@@ -1,0 +1,59 @@
+// Ablation A5: expert replication on top of locality-aware placement.
+//
+// Inference-side systems (Lina et al.) give popular experts more resources;
+// this bench quantifies how much expected communication time replicating hot
+// experts saves beyond placement alone, as a function of the replica budget.
+// (Replication is an accounting-level extension — see placement/replication.h
+// for why the training runtime does not replicate.)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "placement/replication.h"
+#include "util/csv.h"
+
+using namespace vela;
+using namespace vela::bench;
+
+int main() {
+  std::printf("=== Ablation A5: expert replication budget sweep ===\n");
+  cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
+  CsvWriter csv("ablation_replication.csv",
+                {"setting", "budget", "comm_seconds", "external_mb",
+                 "gain_vs_placement_pct"});
+
+  for (const auto& base_setting :
+       {paper_settings()[0], paper_settings()[1]}) {
+    Setting setting = base_setting;
+    SettingRuntime runtime(setting);
+    // Extra capacity slack so there is room for replicas at all.
+    const auto problem =
+        make_problem(setting, topology, runtime.probability, 1.6);
+
+    placement::LocalityAwarePlacement la;
+    placement::Placement base = la.place(problem);
+    const double base_time = placement::expected_comm_seconds(problem, base);
+    const double base_mb =
+        placement::expected_external_bytes(problem, base) / 1e6;
+
+    std::printf("\n--- %s (placement-only: %.4f s, %.1f MB external) ---\n",
+                setting.name.c_str(), base_time, base_mb);
+    std::printf("%-10s %16s %16s %12s\n", "budget", "comm time (s)",
+                "external (MB)", "gain");
+    for (std::size_t budget : {0ul, 4ul, 8ul, 16ul, 32ul, 64ul}) {
+      auto rp = placement::greedy_replication(problem, base, budget);
+      const double t =
+          placement::expected_comm_seconds_replicated(problem, rp);
+      const double mb =
+          placement::expected_external_bytes_replicated(problem, rp) / 1e6;
+      const double gain = 100.0 * (1.0 - t / base_time);
+      std::printf("%-10zu %16.4f %16.1f %11.1f%%\n", budget, t, mb, gain);
+      csv.row({setting.name, std::to_string(budget), std::to_string(t),
+               std::to_string(mb), std::to_string(gain)});
+    }
+  }
+  std::printf("\n=> replication keeps shaving the per-layer max beyond what\n"
+              "   single-copy placement can achieve, with diminishing\n"
+              "   returns once hot experts are split across the fast links.\n");
+  std::printf("CSV written: ablation_replication.csv\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A2: sensitivity of VELA's gain to (a) the cross-node bandwidth
+// ratio and (b) the worker capacity slack — the two environmental knobs the
+// paper's testbed fixes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+using namespace vela;
+using namespace vela::bench;
+
+namespace {
+
+double gain_vs_sequential(const Setting& setting,
+                          const cluster::ClusterTopology& topology,
+                          double capacity_slack) {
+  SettingRuntime runtime(setting);
+  auto problem =
+      make_problem(setting, topology, runtime.probability, capacity_slack);
+  placement::SequentialPlacement seq;
+  placement::LocalityAwarePlacement la;
+  const double t_seq =
+      placement::expected_comm_seconds(problem, seq.place(problem));
+  const double t_vela =
+      placement::expected_comm_seconds(problem, la.place(problem));
+  return 100.0 * (1.0 - t_vela / t_seq);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A2: environment sensitivity ===\n");
+  Setting setting = paper_settings()[0];  // mixtral + wikitext-like
+
+  std::printf("\n[a] cross-node bandwidth sweep (intra fixed at 18.3 GB/s, "
+              "slack 1.34)\n");
+  std::printf("%-16s %20s\n", "cross (GB/s)", "Vela vs Seq comm gain");
+  for (double cross : {0.2, 0.5, 1.17, 3.0, 9.0, 18.3}) {
+    cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+    cfg.cross_node_gbps = cross;
+    cluster::ClusterTopology topology(cfg);
+    std::printf("%-16.2f %19.1f%%\n", cross,
+                gain_vs_sequential(setting, topology, 1.34));
+  }
+  std::printf("=> the heterogeneity between links is what VELA exploits; as\n"
+              "   the network approaches uniformity the gain shrinks.\n");
+
+  std::printf("\n[b] capacity slack sweep (paper testbed bandwidths)\n");
+  std::printf("%-16s %20s\n", "slack factor", "Vela vs Seq comm gain");
+  cluster::ClusterTopology paper(cluster::ClusterConfig::paper_testbed());
+  for (double slack : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+    std::printf("%-16.2f %19.1f%%\n", slack,
+                gain_vs_sequential(setting, paper, slack));
+  }
+  std::printf("=> more spare GPU memory lets the LP pack hot experts onto\n"
+              "   fast workers; at slack 1.0 every worker is full and the\n"
+              "   placement can only permute, not concentrate.\n");
+
+  std::printf("\n[c] number of nodes sweep (2 GPUs each, slack 1.34)\n");
+  std::printf("%-16s %20s\n", "nodes", "Vela vs Seq comm gain");
+  for (std::size_t nodes : {2ul, 3ul, 4ul, 6ul}) {
+    cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+    cfg.num_nodes = nodes;
+    cluster::ClusterTopology topology(cfg);
+    std::printf("%-16zu %19.1f%%\n", nodes,
+                gain_vs_sequential(setting, topology, 1.34));
+  }
+  return 0;
+}

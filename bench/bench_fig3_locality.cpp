@@ -1,0 +1,129 @@
+// Reproduces Fig. 3 (§III): expert locality in a TinyMistral-like model on a
+// Tiny-Shakespeare-like corpus.
+//
+//   (a) per-(layer, expert) access frequency of the pre-trained model;
+//   (b) CDF of the summed softmax scores of the selected experts (block 1);
+//   (c) per-expert access frequency of block 1 over 300 fine-tuning steps.
+#include <cstdio>
+#include <memory>
+
+#include "core/profiler.h"
+#include "data/batch.h"
+#include "model/router_planting.h"
+#include "moe/moe_block.h"
+#include "nn/optimizer.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace vela;
+
+int main() {
+  model::ModelConfig cfg = model::ModelConfig::tiny_mistral();
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::shakespeare_like(cfg.vocab, 6), 2024);
+  moe::LocalExpertBackend backend(cfg.num_layers, cfg.num_experts,
+                                  cfg.model_dim, cfg.hidden_dim, cfg.lora, 11);
+  Rng rng(7);
+  model::MoETransformer model(cfg, &backend, rng);
+  model::plant_locality(model, corpus, model::PlantingConfig{});
+
+  std::printf("=== Fig. 3: expert locality in fine-tuning (%s) ===\n",
+              cfg.to_string().c_str());
+
+  // ---- (a) pre-fine-tuning access frequency --------------------------------
+  const auto dataset = corpus.make_dataset(64, 24);
+  auto stats = core::profile_expert_access(model, dataset, 8);
+  std::printf("\n[Fig 3a] expert access frequency per MoE block "
+              "(rows sum to top-k = %zu)\n", cfg.top_k);
+  std::printf("%-6s", "layer");
+  for (std::size_t e = 0; e < cfg.num_experts; ++e) {
+    std::printf("  exp%zu ", e + 1);
+  }
+  std::printf("\n");
+  CsvWriter csv_a("fig3a_access_frequency.csv",
+                  {"layer", "expert", "frequency"});
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    std::printf("%-6zu", l + 1);
+    for (std::size_t e = 0; e < cfg.num_experts; ++e) {
+      const double f = stats.frequency(l, e);
+      std::printf(" %5.3f ", f);
+      csv_a.row({double(l + 1), double(e + 1), f});
+    }
+    std::printf("\n");
+  }
+
+  // ---- (b) CDF of selected softmax score sums (block 1) --------------------
+  const auto& sums = stats.score_sums(0);
+  std::vector<double> values(sums.begin(), sums.end());
+  std::printf("\n[Fig 3b] CDF of softmax score sums of selected experts "
+              "(block 1, %zu tokens)\n", values.size());
+  CsvWriter csv_b("fig3b_score_cdf.csv", {"score", "cdf"});
+  std::size_t above_half = 0, above_07 = 0;
+  for (double v : values) {
+    if (v > 0.5) ++above_half;
+    if (v > 0.7) ++above_07;
+  }
+  for (double x = 0.30; x <= 1.001; x += 0.05) {
+    const double cdf = empirical_cdf(values, {x})[0];
+    std::printf("  score <= %.2f : %5.1f%%\n", x, 100.0 * cdf);
+    csv_b.row({x, cdf});
+  }
+  std::printf("  fraction of tokens with score sum > 0.5: %.1f%% "
+              "(paper: ~100%%)\n",
+              100.0 * double(above_half) / double(values.size()));
+  std::printf("  fraction of tokens with score sum > 0.7: %.1f%% "
+              "(paper: >60%%)\n",
+              100.0 * double(above_07) / double(values.size()));
+
+  // ---- (c) access frequency of block 1 during fine-tuning ------------------
+  const int kSteps = 300;
+  std::printf("\n[Fig 3c] block-1 expert access frequency over %d "
+              "fine-tuning steps (every 30th shown)\n", kSteps);
+  std::vector<nn::Parameter> params = model.trainable_parameters();
+  for (const auto& p : backend.trainable_parameters()) params.push_back(p);
+  nn::AdamW adam(params, nn::AdamWConfig{});
+  data::BatchIterator batches(dataset, 8, 5);
+  moe::FrequencyTimeline timeline(cfg.num_experts);
+
+  CsvWriter csv_c("fig3c_frequency_timeline.csv",
+                  {"step", "expert", "frequency"});
+  for (int step = 0; step < kSteps; ++step) {
+    adam.zero_grad();
+    ag::Variable loss = model.loss_batch(batches.next());
+    timeline.record_step(model.block(0).last_plan());
+    ag::backward(loss);
+    adam.step();
+    const auto& freq = timeline.step(timeline.num_steps() - 1);
+    for (std::size_t e = 0; e < cfg.num_experts; ++e) {
+      csv_c.row({double(step), double(e + 1), freq[e]});
+    }
+    if (step % 30 == 0) {
+      std::printf("  step %3d :", step);
+      for (double f : freq) std::printf(" %5.3f", f);
+      std::printf("  (loss %.4f)\n", loss.value()[0]);
+    }
+  }
+  // Drift verdict: compare each expert's mean frequency over the first and
+  // last 50 steps (windowing cancels per-batch sampling noise; single-step
+  // max-drift would mostly measure the batch size).
+  const std::size_t kWindow = 50;
+  std::printf("\n  per-expert frequency shift, first-%zu vs last-%zu steps:\n  ",
+              kWindow, kWindow);
+  double max_shift = 0.0;
+  for (std::size_t e = 0; e < cfg.num_experts; ++e) {
+    double head = 0.0, tail = 0.0;
+    for (std::size_t s = 0; s < kWindow; ++s) {
+      head += timeline.step(s)[e];
+      tail += timeline.step(timeline.num_steps() - 1 - s)[e];
+    }
+    const double shift = (tail - head) / double(kWindow);
+    std::printf("%+.3f ", shift);
+    max_shift = std::max(max_shift, std::abs(shift));
+  }
+  std::printf("\n  => locality %s over fine-tuning (paper: stable, popular "
+              "experts drift slightly up)\n",
+              max_shift < 0.1 ? "STABLE" : "UNSTABLE");
+  std::printf("\nCSV written: fig3a_access_frequency.csv, "
+              "fig3b_score_cdf.csv, fig3c_frequency_timeline.csv\n");
+  return 0;
+}

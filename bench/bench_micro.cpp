@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the substrates: tensor kernels,
+// autograd, the gate, the simplex solver, channels, and the end-to-end
+// distributed tiny-model training step.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "comm/channel.h"
+#include "core/vela_system.h"
+#include "data/corpus.h"
+#include "moe/gate.h"
+#include "moe/moe_block.h"
+#include "placement/locality_aware.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vela;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = ops::randn({n, n}, rng);
+  Tensor b = ops::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor logits = ops::randn({512, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::softmax_rows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_AutogradBackwardChain(benchmark::State& state) {
+  for (auto _ : state) {
+    ag::Variable x = ag::Variable::leaf(Tensor::ones({64}), true);
+    ag::Variable y = x;
+    for (int i = 0; i < 64; ++i) y = ag::scale(y, 1.0f);
+    ag::backward(ag::sum(y));
+    benchmark::DoNotOptimize(x.grad());
+  }
+}
+BENCHMARK(BM_AutogradBackwardChain);
+
+void BM_GateRouting(benchmark::State& state) {
+  Rng rng(3);
+  moe::TopKGate gate("g", 64, 8, 2, rng);
+  Rng xr(4);
+  Tensor x = ops::randn({1024, 64}, xr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.forward(ag::Variable::constant(x)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1024);
+}
+BENCHMARK(BM_GateRouting);
+
+void BM_ChannelRoundTrip(benchmark::State& state) {
+  comm::Channel ch(0, 0, nullptr);
+  Tensor payload({64, 64});
+  for (auto _ : state) {
+    comm::Message msg;
+    msg.payload = payload;
+    ch.send(std::move(msg));
+    benchmark::DoNotOptimize(ch.receive());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * 64 * 64 * 4);
+}
+BENCHMARK(BM_ChannelRoundTrip);
+
+void BM_SimplexPlacementLp(benchmark::State& state) {
+  const auto layers = static_cast<std::size_t>(state.range(0));
+  placement::PlacementProblem p;
+  p.num_workers = 6;
+  p.num_layers = layers;
+  p.num_experts = 8;
+  Rng rng(5);
+  p.probability = ops::rand_uniform({layers, 8}, rng, 0.01f, 1.0f);
+  for (std::size_t w = 0; w < 6; ++w) {
+    p.bandwidth.push_back(w < 2 ? 18.3e9 : 1.17e9);
+    p.worker_node.push_back(w / 2);
+  }
+  p.capacity.assign(6, (layers * 8) / 6 + 3);
+  p.tokens_per_step = 2048;
+  p.bytes_per_token = 8192;
+  for (auto _ : state) {
+    placement::LocalityAwarePlacement la;
+    benchmark::DoNotOptimize(la.place(p));
+  }
+}
+BENCHMARK(BM_SimplexPlacementLp)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_DistributedTrainStep(benchmark::State& state) {
+  core::VelaSystemConfig cfg;
+  cfg.model = model::ModelConfig::tiny_test();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.seed = 7;
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::wikitext_like(cfg.model.vocab, 6), 9);
+  core::VelaSystem vela(cfg, &corpus);
+  auto batch = corpus.make_dataset(4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vela.train_step(batch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 4 * 7);
+}
+BENCHMARK(BM_DistributedTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_DenseMoEBlockForward(benchmark::State& state) {
+  Rng rng(8);
+  moe::LocalExpertBackend backend(1, 8, 64, 128, nn::LoRAConfig{8, 16.0f, true},
+                                  3);
+  moe::MoEBlock block("b", 0, 64, 8, 2, rng, &backend);
+  Rng xr(9);
+  Tensor x = ops::randn({256, 64}, xr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.forward(ag::Variable::constant(x)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 256);
+}
+BENCHMARK(BM_DenseMoEBlockForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Live head-to-head: the VELA system vs the executable expert-parallelism
+// baseline, both really fine-tuning the same TinyMistral-like model on the
+// same data, with measured (not modelled) cross-node traffic.
+//
+// This is the paper's core comparison at laptop scale: identical models,
+// identical batches, identical convergence — different communication.
+#include <cstdio>
+
+#include "core/vela_system.h"
+#include "data/batch.h"
+#include "ep/runtime.h"
+#include "util/stats.h"
+
+using namespace vela;
+
+int main() {
+  const auto model_cfg = model::ModelConfig::tiny_mistral();
+  const auto cluster_cfg = cluster::ClusterConfig::paper_testbed();
+  const std::uint64_t seed = 7;
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::wikitext_like(model_cfg.vocab, 6), 19);
+  const auto dataset = corpus.make_dataset(60, 16);
+  const int kSteps = 20;
+
+  std::printf("model: %s\n", model_cfg.to_string().c_str());
+  std::printf("cluster: 3 nodes x 2 GPUs (paper testbed)\n\n");
+
+  // --- VELA: master + 5 workers, profile → LP placement → fine-tune -------
+  core::VelaSystemConfig vcfg;
+  vcfg.model = model_cfg;
+  vcfg.cluster = cluster_cfg;
+  vcfg.seed = seed;
+  core::VelaSystem vela(vcfg, &corpus);
+  vela.profile(dataset, 6);
+  vela.optimize_placement(6.0 * 15.0);
+
+  data::BatchIterator vela_batches(dataset, 6, 3, /*shuffle=*/false);
+  RunningStat vela_mb;
+  float vela_loss = 0.0f;
+  for (int step = 0; step < kSteps; ++step) {
+    auto r = vela.train_step(vela_batches.next());
+    vela_mb.add(r.external_mb_per_node);
+    vela_loss = r.loss;
+  }
+
+  // --- EP: 6 replicated shards, all-to-all + gradient ring ---------------
+  ep::EpRuntimeConfig ecfg;
+  ecfg.model = model_cfg;
+  ecfg.cluster = cluster_cfg;
+  ecfg.seed = seed;
+  ep::EpRuntime ep(ecfg, &corpus);
+
+  data::BatchIterator ep_batches(dataset, 6, 3, /*shuffle=*/false);
+  RunningStat ep_mb;
+  float ep_loss = 0.0f;
+  for (int step = 0; step < kSteps; ++step) {
+    auto r = ep.train_step(ep_batches.next());
+    ep_mb.add(r.external_mb_per_node);
+    ep_loss = r.loss;
+  }
+
+  std::printf("after %d identical fine-tuning steps (batch 6 x seq 16):\n",
+              kSteps);
+  std::printf("  %-22s %12s %22s\n", "system", "final loss",
+              "traffic (MB/node/step)");
+  std::printf("  %-22s %12.4f %22.3f\n", "expert parallelism", ep_loss,
+              ep_mb.mean());
+  std::printf("  %-22s %12.4f %22.3f\n", "VELA (LP placement)", vela_loss,
+              vela_mb.mean());
+  std::printf("\n=> same convergence (the paper's equivalence claim), %.1f%%\n"
+              "   less measured cross-node traffic for VELA.\n",
+              100.0 * (1.0 - vela_mb.mean() / ep_mb.mean()));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Instruction-tuning scenario (the paper's Alpaca task): flatter domain
+// usage, so less expert locality to exploit. Demonstrates that VELA degrades
+// gracefully — it still beats sequential placement, by a smaller margin than
+// on the wikitext-like corpus, and never does worse.
+#include <cstdio>
+
+#include "core/vela_system.h"
+#include "data/batch.h"
+#include "util/stats.h"
+
+using namespace vela;
+
+namespace {
+
+// Runs profile → place → fine-tune on one corpus and returns
+// (mean traffic under sequential, mean traffic under VELA placement).
+std::pair<double, double> run(const data::CorpusConfig& corpus_cfg,
+                              std::uint64_t seed) {
+  core::VelaSystemConfig cfg;
+  cfg.model = model::ModelConfig::tiny_mistral();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.seed = seed;
+
+  data::SyntheticCorpus corpus(corpus_cfg, seed + 1);
+  core::VelaSystem vela(cfg, &corpus);
+  const auto dataset = corpus.make_dataset(48, 16);
+  data::BatchIterator batches(dataset, 8, seed + 2);
+
+  const int kSteps = 12;
+  RunningStat seq_mb;
+  for (int step = 0; step < kSteps; ++step) {
+    seq_mb.add(vela.train_step(batches.next()).external_mb_per_node);
+  }
+  vela.profile(dataset, 8);
+  vela.optimize_placement(8.0 * 15.0);
+  RunningStat vela_mb;
+  for (int step = 0; step < kSteps; ++step) {
+    vela_mb.add(vela.train_step(batches.next()).external_mb_per_node);
+  }
+  return {seq_mb.mean(), vela_mb.mean()};
+}
+
+}  // namespace
+
+int main() {
+  auto model_cfg = model::ModelConfig::tiny_mistral();
+  std::printf("instruction-tuning scenario: %s\n",
+              model_cfg.to_string().c_str());
+
+  const auto [alpaca_seq, alpaca_vela] =
+      run(data::CorpusConfig::alpaca_like(model_cfg.vocab, 6), 31);
+  const auto [wiki_seq, wiki_vela] =
+      run(data::CorpusConfig::wikitext_like(model_cfg.vocab, 6), 31);
+
+  const double alpaca_gain = 100.0 * (1.0 - alpaca_vela / alpaca_seq);
+  const double wiki_gain = 100.0 * (1.0 - wiki_vela / wiki_seq);
+  std::printf("\ncross-node traffic, sequential -> VELA (MB/node/step):\n");
+  std::printf("  alpaca-like  : %.3f -> %.3f  (%.1f%% reduction)\n",
+              alpaca_seq, alpaca_vela, alpaca_gain);
+  std::printf("  wikitext-like: %.3f -> %.3f  (%.1f%% reduction)\n", wiki_seq,
+              wiki_vela, wiki_gain);
+  std::printf("\n=> both tasks benefit; the concentrated wikitext-like corpus"
+              "\n   benefits more — the Fig. 5(a) vs 5(b) contrast.\n");
+  return 0;
+}

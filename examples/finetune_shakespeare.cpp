@@ -1,0 +1,74 @@
+// Fine-tune on REAL text: the embedded Tiny-Shakespeare sample, char-level —
+// the closest runnable analogue of the paper's §III measurement study.
+// Reports perplexity before/after and samples a continuation.
+//
+// Usage: finetune_shakespeare [--steps N] [--batch B] [--seq L] [--lr X]
+#include <cstdio>
+
+#include "core/vela_system.h"
+#include "data/batch.h"
+#include "data/text_corpus.h"
+#include "model/evaluate.h"
+#include "model/generate.h"
+#include "util/argparse.h"
+
+using namespace vela;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t steps = args.get_size("steps", 60);
+  const std::size_t batch_size = args.get_size("batch", 8);
+  const std::size_t seq_len = args.get_size("seq", 32);
+  const float lr = static_cast<float>(args.get_double("lr", 1e-3));
+
+  data::TextCorpus text(data::TextCorpus::tiny_shakespeare_sample(), seq_len,
+                        seq_len / 2);
+  std::printf("corpus: %zu sequences of %zu chars, vocab %zu\n",
+              text.num_sequences(), seq_len, text.vocab_size());
+
+  core::VelaSystemConfig cfg;
+  cfg.model = model::ModelConfig::tiny_mistral();
+  cfg.model.vocab = text.vocab_size();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.seed = 3;
+  cfg.adamw.lr = lr;
+  // Planting still needs a domain structure; real text gets one from the
+  // char-id partition (uninformative but harmless — locality emerges milder).
+  data::SyntheticCorpus plant_corpus(
+      data::CorpusConfig::shakespeare_like(cfg.model.vocab, 6), 9);
+  core::VelaSystem vela(cfg, &plant_corpus);
+
+  const auto& dataset = text.sequences();
+  auto before = model::evaluate_perplexity(vela.model(), dataset, batch_size);
+  std::printf("before: loss %.4f, perplexity %.2f over %zu tokens\n",
+              before.mean_loss, before.perplexity, before.tokens);
+
+  vela.profile(dataset, batch_size);
+  vela.optimize_placement(double(batch_size) * double(seq_len - 1));
+
+  data::BatchIterator batches(dataset, batch_size, 11);
+  for (std::size_t step = 0; step < steps; ++step) {
+    auto report = vela.train_step(batches.next());
+    if (step % 10 == 0) {
+      std::printf("step %3zu: loss %.4f (traffic %.3f MB/node)\n", step,
+                  report.loss, report.external_mb_per_node);
+    }
+  }
+
+  auto after = model::evaluate_perplexity(vela.model(), dataset, batch_size);
+  std::printf("after : loss %.4f, perplexity %.2f (%.1f%% better)\n",
+              after.mean_loss, after.perplexity,
+              100.0 * (1.0 - after.perplexity / before.perplexity));
+
+  const std::string prompt = "Now is the ";
+  Rng gen_rng(5);
+  model::GenerateOptions gen;
+  gen.max_new_tokens = 60;
+  gen.temperature = 0.7f;
+  gen.top_k = 8;
+  auto sample =
+      model::generate(vela.model(), text.tokenizer().encode(prompt), gen,
+                      gen_rng);
+  std::printf("\nsample:\n%s\n", text.decode(sample).c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the full VELA workflow in ~60 lines.
+//
+//   1. describe a cluster and an MoE model;
+//   2. spawn the distributed system (master + one expert worker per GPU);
+//   3. profile expert access on the fine-tuning dataset;
+//   4. solve the locality-aware placement LP and migrate experts;
+//   5. fine-tune with LoRA and watch the per-step communication drop.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/vela_system.h"
+#include "data/batch.h"
+
+using namespace vela;
+
+int main() {
+  // 1. A TinyMistral-like MoE model (12 blocks × 6 experts, top-2) on the
+  //    paper's testbed: 3 nodes × 2 GPUs, 18.3 GB/s intra, 1.17 GB/s cross.
+  core::VelaSystemConfig cfg;
+  cfg.model = model::ModelConfig::tiny_mistral();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.seed = 42;
+
+  // A synthetic Shakespeare-like fine-tuning corpus with planted domain
+  // structure (stand-in for Tiny-Shakespeare).
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::shakespeare_like(cfg.model.vocab, 6), 7);
+
+  // 2. Spawn the system. Pre-trained expert locality is planted for the
+  //    corpus, so the router behaves like a fully trained MoE model.
+  core::VelaSystem vela(cfg, &corpus);
+  std::printf("model: %s\n", cfg.model.to_string().c_str());
+  std::printf("cluster: %s\n", vela.topology().to_string().c_str());
+
+  const auto dataset = corpus.make_dataset(/*num_sequences=*/48, /*len=*/16);
+  data::BatchIterator batches(dataset, /*batch_size=*/8, /*seed=*/1);
+
+  // Warm-up steps under the default sequential placement, to have a
+  // baseline to compare against.
+  std::printf("\n-- sequential placement (baseline) --\n");
+  double baseline_mb = 0.0;
+  for (int step = 0; step < 5; ++step) {
+    auto report = vela.train_step(batches.next());
+    baseline_mb += report.external_mb_per_node;
+    std::printf("step %d: loss %.4f, cross-node traffic %.3f MB/node\n",
+                step, report.loss, report.external_mb_per_node);
+  }
+
+  // 3.+4. Profile → LP placement → expert migration.
+  std::printf("\n-- profiling & locality-aware placement --\n");
+  vela.profile(dataset, /*batch_size=*/8);
+  vela.optimize_placement(/*tokens_per_step=*/8.0 * 15.0);
+  std::printf("LP solved in %zu simplex iterations (status: %s)\n",
+              vela.placement_report().lp_iterations,
+              lp::lp_status_name(vela.placement_report().lp_status));
+
+  // 5. Fine-tune under the optimized placement.
+  std::printf("\n-- locality-aware placement (VELA) --\n");
+  double vela_mb = 0.0;
+  for (int step = 0; step < 5; ++step) {
+    auto report = vela.train_step(batches.next());
+    vela_mb += report.external_mb_per_node;
+    std::printf("step %zu: loss %.4f, cross-node traffic %.3f MB/node\n",
+                report.step, report.loss, report.external_mb_per_node);
+  }
+
+  std::printf("\ncross-node traffic: %.3f -> %.3f MB/node per step "
+              "(%.1f%% reduction)\n",
+              baseline_mb / 5.0, vela_mb / 5.0,
+              100.0 * (1.0 - vela_mb / baseline_mb));
+  return 0;
+}

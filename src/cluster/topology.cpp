@@ -1,0 +1,102 @@
+#include "cluster/topology.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vela::cluster {
+
+namespace {
+constexpr double kGiB = 1e9;  // the paper quotes decimal GB/s
+}
+
+ClusterConfig ClusterConfig::paper_testbed() { return ClusterConfig{}; }
+
+ClusterTopology::ClusterTopology(ClusterConfig cfg) : cfg_(cfg) {
+  VELA_CHECK(cfg_.num_nodes > 0 && cfg_.gpus_per_node > 0);
+  VELA_CHECK(cfg_.master_device < num_devices());
+  VELA_CHECK(cfg_.intra_node_gbps > 0 && cfg_.cross_node_gbps > 0);
+}
+
+std::size_t ClusterTopology::node_of(std::size_t device) const {
+  VELA_CHECK(device < num_devices());
+  return device / cfg_.gpus_per_node;
+}
+
+bool ClusterTopology::same_node(std::size_t a, std::size_t b) const {
+  return node_of(a) == node_of(b);
+}
+
+std::size_t ClusterTopology::num_workers() const {
+  return cfg_.master_exclusive ? num_devices() - 1 : num_devices();
+}
+
+std::size_t ClusterTopology::worker_device(std::size_t worker) const {
+  VELA_CHECK(worker < num_workers());
+  if (!cfg_.master_exclusive) return worker;
+  // Devices in order, skipping the master's GPU.
+  return worker < cfg_.master_device ? worker : worker + 1;
+}
+
+std::size_t ClusterTopology::worker_node(std::size_t worker) const {
+  return node_of(worker_device(worker));
+}
+
+double ClusterTopology::worker_bandwidth(std::size_t worker) const {
+  return master_bandwidth(worker_device(worker));
+}
+
+double ClusterTopology::worker_latency(std::size_t worker) const {
+  return master_latency(worker_device(worker));
+}
+
+double ClusterTopology::master_bandwidth(std::size_t device) const {
+  return same_node(cfg_.master_device, device) ? cfg_.intra_node_gbps * kGiB
+                                               : cfg_.cross_node_gbps * kGiB;
+}
+
+double ClusterTopology::device_bandwidth(std::size_t a, std::size_t b) const {
+  if (a == b) return cfg_.intra_node_gbps * kGiB * 8;  // on-device copy
+  return same_node(a, b) ? cfg_.intra_node_gbps * kGiB
+                         : cfg_.cross_node_gbps * kGiB;
+}
+
+double ClusterTopology::master_latency(std::size_t device) const {
+  return same_node(cfg_.master_device, device) ? cfg_.intra_node_latency_s
+                                               : cfg_.cross_node_latency_s;
+}
+
+double ClusterTopology::device_latency(std::size_t a, std::size_t b) const {
+  if (a == b) return 0.0;
+  return same_node(a, b) ? cfg_.intra_node_latency_s
+                         : cfg_.cross_node_latency_s;
+}
+
+std::vector<std::size_t> ClusterTopology::capacities(
+    std::uint64_t expert_bytes) const {
+  VELA_CHECK(expert_bytes > 0);
+  const std::size_t per_device =
+      static_cast<std::size_t>(cfg_.device_memory_bytes / expert_bytes);
+  return std::vector<std::size_t>(num_workers(), per_device);
+}
+
+std::vector<std::size_t> ClusterTopology::uniform_capacities(
+    std::size_t num_experts_total, double slack) const {
+  VELA_CHECK(slack >= 1.0);
+  const double even = static_cast<double>(num_experts_total) /
+                      static_cast<double>(num_workers());
+  const auto cap = static_cast<std::size_t>(std::ceil(even * slack));
+  return std::vector<std::size_t>(num_workers(), cap);
+}
+
+std::string ClusterTopology::to_string() const {
+  std::ostringstream os;
+  os << cfg_.num_nodes << " nodes x " << cfg_.gpus_per_node
+     << " GPUs (intra " << cfg_.intra_node_gbps << " GB/s, cross "
+     << cfg_.cross_node_gbps << " GB/s, master on device "
+     << cfg_.master_device << ")";
+  return os.str();
+}
+
+}  // namespace vela::cluster

@@ -1,0 +1,83 @@
+// Cluster topology and bandwidth model.
+//
+// Encodes the paper's testbed (§V-A): multiple nodes, several GPUs each,
+// fast intra-node links and a slow cross-node Ethernet. The measured
+// constants from the paper (18.3 GB/s intra-node, 1.17 GB/s cross-node) are
+// the defaults. Worker process n runs on device n; the master process runs
+// on `master_device`'s node, so B_n — the bandwidth between the master and
+// worker n used in Eq. (5) — is the intra-node figure for co-located workers
+// and the Ethernet figure otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vela::cluster {
+
+struct ClusterConfig {
+  std::size_t num_nodes = 3;
+  std::size_t gpus_per_node = 2;
+  double intra_node_gbps = 18.3;   // GB/s, measured over NVLink/PCIe
+  double cross_node_gbps = 1.17;   // GB/s, measured over Ethernet (iperf)
+  double intra_node_latency_s = 30e-6;   // per message
+  double cross_node_latency_s = 200e-6;  // per message
+  std::size_t master_device = 0;   // the GPU hosting the master process
+  // The master process hosts the model backbone on its own GPU; worker
+  // processes run on the remaining devices ("launch worker processes on
+  // each available GPU"). With the paper's 3×2 testbed that yields 5
+  // workers, exactly one of which shares the master's node.
+  bool master_exclusive = true;
+  // GPU memory available for experts per device (bytes). The paper's V100s
+  // have 32 GB; leave headroom for activations and the runtime.
+  std::uint64_t device_memory_bytes = 28ULL << 30;
+
+  static ClusterConfig paper_testbed();  // 3 × 2 V100, paper constants
+};
+
+class ClusterTopology {
+ public:
+  explicit ClusterTopology(ClusterConfig cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  std::size_t num_devices() const { return cfg_.num_nodes * cfg_.gpus_per_node; }
+  std::size_t num_nodes() const { return cfg_.num_nodes; }
+  std::size_t node_of(std::size_t device) const;
+  bool same_node(std::size_t a, std::size_t b) const;
+
+  // --- worker indexing -------------------------------------------------------
+  // Expert workers occupy every device except (when master_exclusive) the
+  // master's own GPU. Placement problems, the broker and the traffic models
+  // all index workers 0..num_workers()−1.
+  std::size_t num_workers() const;
+  std::size_t worker_device(std::size_t worker) const;
+  std::size_t worker_node(std::size_t worker) const;
+  std::size_t master_node() const { return node_of(cfg_.master_device); }
+  // B_n of Eq. (5): bytes/second between the master and worker n.
+  double worker_bandwidth(std::size_t worker) const;
+  double worker_latency(std::size_t worker) const;
+
+  // Bytes/second between the master process and `device`.
+  double master_bandwidth(std::size_t device) const;
+  // Bytes/second between two worker devices (EP all-to-all paths).
+  double device_bandwidth(std::size_t a, std::size_t b) const;
+  // Per-message latency on the master↔worker path.
+  double master_latency(std::size_t device) const;
+  double device_latency(std::size_t a, std::size_t b) const;
+
+  // Worker capacities Cₙ (one entry per WORKER): how many experts of
+  // `expert_bytes` each worker's device memory fits.
+  std::vector<std::size_t> capacities(std::uint64_t expert_bytes) const;
+  // Convenience: uniform per-worker capacity with a slack factor over the
+  // even share of L·E experts. slack >= 1.0.
+  std::vector<std::size_t> uniform_capacities(std::size_t num_experts_total,
+                                              double slack) const;
+
+  std::string to_string() const;
+
+ private:
+  ClusterConfig cfg_;
+};
+
+}  // namespace vela::cluster

@@ -1,0 +1,28 @@
+#include "comm/channel.h"
+
+namespace vela::comm {
+
+Channel::Channel(std::size_t src_node, std::size_t dst_node,
+                 TrafficMeter* meter)
+    : src_(src_node), dst_(dst_node), meter_(meter) {}
+
+bool Channel::send(Message msg) {
+  const std::uint64_t size = msg.wire_size();
+  // Account BEFORE publishing: once the receiver can observe the message,
+  // its bytes must already be visible in the meter — otherwise a reader that
+  // synchronizes on the reply could see a stale count (a real race caught by
+  // the byte-equivalence tests). A send that loses the race with close()
+  // slightly overcounts, which only happens during shutdown.
+  bytes_sent_.fetch_add(size, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (meter_ != nullptr) meter_->record(src_, dst_, size);
+  return queue_.push(std::move(msg));
+}
+
+std::optional<Message> Channel::receive() { return queue_.pop(); }
+
+std::optional<Message> Channel::try_receive() { return queue_.try_pop(); }
+
+void Channel::close() { queue_.close(); }
+
+}  // namespace vela::comm

@@ -1,0 +1,66 @@
+// Point-to-point channel between two processes of the runtime.
+//
+// The channel actually moves the Message (thread-to-thread) and, as a side
+// effect, attributes its wire size to the owning TrafficMeter and to a
+// per-endpoint byte ledger the CommClock later converts into time. This is
+// the NCCL/TCP substitution: payload integrity is real (tests fine-tune
+// through it bit-exactly), transport speed is modelled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "comm/message.h"
+#include "comm/traffic_meter.h"
+#include "util/blocking_queue.h"
+
+namespace vela::comm {
+
+class Channel {
+ public:
+  // `src_node`/`dst_node` locate the endpoints for traffic attribution.
+  // `meter` may be null (un-metered control channels).
+  Channel(std::size_t src_node, std::size_t dst_node, TrafficMeter* meter);
+
+  // Sends a message; records its wire size. Returns false if closed.
+  bool send(Message msg);
+
+  // Blocks for the next message; nullopt once closed and drained.
+  std::optional<Message> receive();
+  std::optional<Message> try_receive();
+
+  void close();
+  std::size_t pending() const { return queue_.size(); }
+
+  std::size_t src_node() const { return src_; }
+  std::size_t dst_node() const { return dst_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+
+ private:
+  std::size_t src_, dst_;
+  TrafficMeter* meter_;
+  BlockingQueue<Message> queue_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+// The bidirectional master↔worker link: a pair of channels.
+struct DuplexLink {
+  DuplexLink(std::size_t master_node, std::size_t worker_node,
+             TrafficMeter* meter)
+      : to_worker(master_node, worker_node, meter),
+        to_master(worker_node, master_node, meter) {}
+
+  Channel to_worker;
+  Channel to_master;
+
+  void close() {
+    to_worker.close();
+    to_master.close();
+  }
+};
+
+}  // namespace vela::comm

@@ -1,0 +1,91 @@
+#include "comm/comm_clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela::comm {
+
+CommClock::CommClock(const cluster::ClusterTopology* topology,
+                     CommClockConfig cfg)
+    : topology_(topology), cfg_(cfg) {
+  VELA_CHECK(topology != nullptr);
+}
+
+double CommClock::vela_comm_seconds(const VelaStepRecord& record) const {
+  const std::size_t n = topology_->num_workers();
+  double total = 0.0;
+  for (const auto& phase : record.phases) {
+    VELA_CHECK(phase.bytes.size() == n && phase.messages.size() == n);
+    // Eq. (7): the master waits for the slowest worker of the phase. The
+    // one-to-all pattern needs no status synchronization — the master
+    // initiates every transfer directly (§V-B).
+    double slowest = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+      const double t =
+          static_cast<double>(phase.bytes[w]) / topology_->worker_bandwidth(w) +
+          static_cast<double>(phase.messages[w]) * topology_->worker_latency(w);
+      slowest = std::max(slowest, t);
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+double CommClock::ep_comm_seconds(const EpStepRecord& record) const {
+  const std::size_t n = topology_->num_devices();
+  double total = 0.0;
+  for (const auto& phase : record.phases) {
+    VELA_CHECK(phase.bytes.size() == n);
+    // All-to-all: each device serializes its sends on its NIC; the phase
+    // ends when the busiest device finishes sending and receiving.
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      VELA_CHECK(phase.bytes[i].size() == n);
+      double send_time = 0.0, recv_time = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (phase.bytes[i][j] > 0) {
+          send_time += static_cast<double>(phase.bytes[i][j]) /
+                           topology_->device_bandwidth(i, j) +
+                       topology_->device_latency(i, j);
+        }
+        if (phase.bytes[j][i] > 0) {
+          recv_time += static_cast<double>(phase.bytes[j][i]) /
+                       topology_->device_bandwidth(j, i);
+        }
+      }
+      slowest = std::max(slowest, std::max(send_time, recv_time));
+    }
+    // Status synchronization before the transfer: devices exchange token
+    // counts and barrier (the interruption §V-B describes).
+    const double sync =
+        cfg_.ep_sync_seconds_per_phase +
+        2.0 * topology_->config().cross_node_latency_s *
+            std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2))));
+    total += slowest + sync;
+  }
+  // Ring all-reduce of the replicated backbone's trainable gradients: each
+  // device sends 2·(N−1)/N of the buffer; the ring is throttled by the
+  // slowest (cross-node) hop.
+  if (record.allreduce_bytes_per_device > 0) {
+    const double ring_bytes = 2.0 *
+                              static_cast<double>(n - 1) /
+                              static_cast<double>(n) *
+                              static_cast<double>(record.allreduce_bytes_per_device);
+    total += ring_bytes /
+             (topology_->config().cross_node_gbps * 1e9);
+  }
+  return total;
+}
+
+double CommClock::vela_step_seconds(const VelaStepRecord& record) const {
+  return cfg_.compute_seconds + vela_comm_seconds(record);
+}
+
+double CommClock::ep_step_seconds(const EpStepRecord& record) const {
+  return cfg_.compute_seconds + ep_comm_seconds(record);
+}
+
+}  // namespace vela::comm

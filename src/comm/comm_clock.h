@@ -1,0 +1,80 @@
+// Analytic step-time model (the Fig. 6 clock).
+//
+// Wall-clock on a CPU dev box says nothing about a 6×V100 cluster, so step
+// time is computed from *measured byte counts* plus the topology's bandwidth
+// and latency constants — exactly the quantity the paper's Eqs. (5)–(7)
+// model, extended with the two effects §V-B identifies as decisive:
+//
+//   * VELA's master–worker exchange per MoE block completes when the slowest
+//     worker finishes (max over workers, Eq. (7)); blocks are serialized by
+//     the model's layer order, for both forward and backward;
+//   * conventional EP inserts a status-synchronization round before every
+//     all-to-all (devices must learn how many tokens to expect) and ends the
+//     step with a gradient all-reduce for the replicated backbone.
+//
+// Compute time is charged identically to every system (same model, same
+// FLOPs — the paper's systems differ only in communication).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace vela::comm {
+
+// One synchronization phase of a VELA step: the master exchanges token
+// blocks (or gradients) with workers for one MoE block, then waits for all
+// of them. A full step has 2·L phases (forward + backward).
+struct MasterWorkerPhase {
+  std::vector<std::uint64_t> bytes;     // [N] master↔worker n, both directions
+  std::vector<std::uint32_t> messages;  // [N] message count (latency term)
+};
+
+struct VelaStepRecord {
+  std::vector<MasterWorkerPhase> phases;
+};
+
+// One all-to-all phase of an EP step: bytes[i][j] flows device i → device j.
+struct AllToAllPhase {
+  std::vector<std::vector<std::uint64_t>> bytes;  // [N][N]
+};
+
+struct EpStepRecord {
+  std::vector<AllToAllPhase> phases;
+  // Backbone (LoRA) gradient all-reduce at the end of the step, per device.
+  std::uint64_t allreduce_bytes_per_device = 0;
+};
+
+struct CommClockConfig {
+  // Forward+backward compute per step, identical across systems. Calibrated
+  // to a V100-class device on the Mixtral workload in the Fig. 6 bench.
+  double compute_seconds = 1.0;
+  // EP status-synchronization cost per all-to-all phase (count exchange +
+  // barrier straggling) on top of the latency terms. A TCP all-gather of
+  // token counts plus a barrier across 6 ranks costs single-digit
+  // milliseconds; 5 ms reproduces the paper's observation that EP is the
+  // slowest system even when its byte volume matches the baselines.
+  double ep_sync_seconds_per_phase = 5e-3;
+};
+
+class CommClock {
+ public:
+  CommClock(const cluster::ClusterTopology* topology, CommClockConfig cfg);
+
+  // Communication-only durations.
+  double vela_comm_seconds(const VelaStepRecord& record) const;
+  double ep_comm_seconds(const EpStepRecord& record) const;
+
+  // Full step durations (comm + compute).
+  double vela_step_seconds(const VelaStepRecord& record) const;
+  double ep_step_seconds(const EpStepRecord& record) const;
+
+  const CommClockConfig& config() const { return cfg_; }
+
+ private:
+  const cluster::ClusterTopology* topology_;
+  CommClockConfig cfg_;
+};
+
+}  // namespace vela::comm

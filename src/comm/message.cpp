@@ -1,0 +1,51 @@
+#include "comm/message.h"
+
+#include <sstream>
+
+namespace vela::comm {
+
+const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kExpertForward:
+      return "ExpertForward";
+    case MessageType::kExpertForwardResult:
+      return "ExpertForwardResult";
+    case MessageType::kExpertBackward:
+      return "ExpertBackward";
+    case MessageType::kExpertBackwardResult:
+      return "ExpertBackwardResult";
+    case MessageType::kOptimizerStep:
+      return "OptimizerStep";
+    case MessageType::kOptimizerStepDone:
+      return "OptimizerStepDone";
+    case MessageType::kFetchExpert:
+      return "FetchExpert";
+    case MessageType::kQueryExpert:
+      return "QueryExpert";
+    case MessageType::kLoadExpertState:
+      return "LoadExpertState";
+    case MessageType::kLoadExpertStateDone:
+      return "LoadExpertStateDone";
+    case MessageType::kExpertState:
+      return "ExpertState";
+    case MessageType::kInstallExpert:
+      return "InstallExpert";
+    case MessageType::kInstallExpertDone:
+      return "InstallExpertDone";
+    case MessageType::kAllReduceChunk:
+      return "AllReduceChunk";
+    case MessageType::kShutdown:
+      return "Shutdown";
+  }
+  return "?";
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << message_type_name(type) << "{req=" << request_id << ", layer=" << layer
+     << ", expert=" << expert << ", step=" << step
+     << ", bytes=" << wire_size() << "}";
+  return os.str();
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,61 @@
+// Wire messages of the master↔worker protocol (Fig. 4).
+//
+// A message either carries a real tensor payload (the runnable models — the
+// bytes that cross the channel are the bytes that are counted) or a phantom
+// payload (shape presets: only the byte count travels, so Mixtral-scale
+// traffic can be accounted without allocating Mixtral-scale tensors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace vela::comm {
+
+enum class MessageType : std::uint8_t {
+  kExpertForward,         // master → worker: token block for one expert
+  kExpertForwardResult,   // worker → master: expert output
+  kExpertBackward,        // master → worker: output gradient for one request
+  kExpertBackwardResult,  // worker → master: input gradient
+  kOptimizerStep,         // master → worker: end of step, apply updates
+  kOptimizerStepDone,     // worker → master: ack
+  kFetchExpert,           // master → worker: detach expert, return its state
+  kQueryExpert,           // master → worker: return state, keep hosting
+  kExpertState,           // worker → master: serialized adapter state
+  kInstallExpert,         // master → worker: host expert (payload = state)
+  kInstallExpertDone,     // worker → master: ack
+  kLoadExpertState,       // master → worker: overwrite a hosted expert's
+                          //   adapters (payload = state; checkpoint restore)
+  kLoadExpertStateDone,   // worker → master: ack
+  kAllReduceChunk,        // EP peer → peer: ring all-reduce gradient chunk
+  kShutdown,              // master → worker: terminate
+};
+
+const char* message_type_name(MessageType t);
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  std::uint64_t request_id = 0;  // pairs requests with their results
+  std::uint32_t source = 0;      // sending process (EP peers route replies by it)
+  std::uint32_t layer = 0;
+  std::uint32_t expert = 0;
+  std::uint32_t step = 0;
+  Tensor payload;                   // empty for control / phantom messages
+  std::uint64_t phantom_bytes = 0;  // payload size when no tensor is carried
+  unsigned wire_bits = 32;          // transport precision of the payload
+
+  // Size of a protocol header on the wire (type, ids, shape descriptor).
+  static constexpr std::uint64_t kHeaderBytes = 36;
+
+  // Total bytes this message occupies on the wire.
+  std::uint64_t wire_size() const {
+    const std::uint64_t body =
+        payload.size() > 0 ? payload.wire_bytes(wire_bits) : phantom_bytes;
+    return kHeaderBytes + body;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace vela::comm

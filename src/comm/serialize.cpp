@@ -1,0 +1,149 @@
+#include "comm/serialize.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace vela::comm {
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, T value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  VELA_CHECK_MSG(offset + sizeof(T) <= in.size(), "wire buffer truncated");
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::uint16_t float_to_half(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::uint16_t sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000);
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7FFFFF;
+
+  if (((bits >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN: keep a mantissa bit for NaN.
+    return static_cast<std::uint16_t>(sign | 0x7C00 |
+                                      (mantissa ? 0x200 : 0));
+  }
+  if (exponent >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00);  // ±inf
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) return sign;
+    mantissa |= 0x800000;  // implicit leading 1
+    const int shift = 14 - exponent;
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normal: round mantissa from 23 to 10 bits, nearest-even.
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t rem = mantissa & 0x1FFF;
+  std::uint32_t half_bits =
+      static_cast<std::uint32_t>(sign) |
+      (static_cast<std::uint32_t>(exponent) << 10) | half_mant;
+  if (rem > 0x1000 || (rem == 0x1000 && (half_bits & 1))) ++half_bits;
+  return static_cast<std::uint16_t>(half_bits);
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = (half & 0x8000u) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1F;
+  const std::uint32_t mantissa = half & 0x3FF;
+  std::uint32_t bits;
+  if (exponent == 0x1F) {
+    bits = sign | 0x7F800000u | (mantissa << 13);
+  } else if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400) == 0);
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FF) << 13);
+    }
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  VELA_CHECK_MSG(msg.phantom_bytes == 0,
+                 "phantom messages are accounting-only and not encodable");
+  VELA_CHECK(msg.wire_bits == 16 || msg.wire_bits == 32);
+  std::vector<std::uint8_t> out;
+  out.reserve(msg.wire_size());
+  append_pod(out, static_cast<std::uint8_t>(msg.type));
+  append_pod(out, static_cast<std::uint8_t>(msg.wire_bits));
+  append_pod(out, static_cast<std::uint16_t>(msg.payload.rank()));
+  append_pod(out, msg.request_id);
+  append_pod(out, msg.source);
+  append_pod(out, msg.layer);
+  append_pod(out, msg.expert);
+  append_pod(out, msg.step);
+  append_pod(out, static_cast<std::uint64_t>(msg.payload.size()));
+  VELA_CHECK(out.size() == Message::kHeaderBytes);
+
+  if (msg.wire_bits == 16) {
+    for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+      append_pod(out, float_to_half(msg.payload[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+      append_pod(out, msg.payload[i]);
+    }
+  }
+  return out;
+}
+
+Message decode(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  Message msg;
+  msg.type = static_cast<MessageType>(read_pod<std::uint8_t>(bytes, offset));
+  msg.wire_bits = read_pod<std::uint8_t>(bytes, offset);
+  VELA_CHECK_MSG(msg.wire_bits == 16 || msg.wire_bits == 32,
+                 "bad wire_bits in message header");
+  read_pod<std::uint16_t>(bytes, offset);  // rank (informational)
+  msg.request_id = read_pod<std::uint64_t>(bytes, offset);
+  msg.source = read_pod<std::uint32_t>(bytes, offset);
+  msg.layer = read_pod<std::uint32_t>(bytes, offset);
+  msg.expert = read_pod<std::uint32_t>(bytes, offset);
+  msg.step = read_pod<std::uint32_t>(bytes, offset);
+  const auto numel = read_pod<std::uint64_t>(bytes, offset);
+  if (numel > 0) {
+    std::vector<float> data(numel);
+    if (msg.wire_bits == 16) {
+      for (auto& v : data) v = half_to_float(read_pod<std::uint16_t>(bytes, offset));
+    } else {
+      for (auto& v : data) v = read_pod<float>(bytes, offset);
+    }
+    msg.payload = Tensor({static_cast<std::size_t>(numel)}, std::move(data));
+  }
+  VELA_CHECK_MSG(offset == bytes.size(), "trailing bytes in wire buffer");
+  return msg;
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,38 @@
+// Byte-level message codec.
+//
+// The in-process channels move Message objects directly, but the byte
+// accounting must correspond to a real wire format — this codec defines it
+// and the tests pin encode(msg).size() == msg.wire_size(). Payloads encode
+// at the message's wire_bits: 32 → raw IEEE binary32, 16 → IEEE binary16
+// (round-to-nearest-even), which is exactly the paper's b = 16 feature
+// transport. Header layout (little-endian, 32 bytes):
+//
+//   u8 type | u8 wire_bits | u16 payload rank | u64 request_id |
+//   u32 layer | u32 expert | u32 step | u64 payload elements
+//
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/message.h"
+
+namespace vela::comm {
+
+// IEEE 754 binary16 conversion (round-to-nearest-even, overflow → ±inf).
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+
+// Encodes a message to its wire representation. Phantom messages (no
+// payload, phantom_bytes set) are not encodable — they exist only for
+// accounting — and are rejected.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+// Decodes a wire buffer back into a Message. The payload comes back as a
+// rank-1 tensor of the transported element count (shape metadata beyond the
+// element count is not carried — receivers know the expected shape from the
+// protocol state, mirroring how the runtime uses it). Throws on malformed
+// input.
+Message decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace vela::comm

@@ -1,0 +1,54 @@
+// Traffic accounting: every byte that crosses a channel is attributed to a
+// (source node, destination node) pair. "External traffic" — the paper's
+// Fig. 5 metric — is traffic whose endpoints sit on different nodes,
+// averaged per node and reported per fine-tuning step.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace vela::comm {
+
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(const cluster::ClusterTopology* topology);
+
+  // Records `bytes` flowing from node `src_node` to node `dst_node`.
+  void record(std::size_t src_node, std::size_t dst_node, std::uint64_t bytes);
+
+  // Closes the current fine-tuning step: snapshots the per-step counters
+  // into history and resets them.
+  void end_step();
+
+  // Drops the currently accumulating counters without recording a step
+  // (used after the profiling pre-pass, which is not a fine-tuning step).
+  void discard_current();
+
+  // --- current (open) step -------------------------------------------------
+  std::uint64_t current_external_bytes() const;
+  std::uint64_t current_total_bytes() const;
+
+  // --- history ---------------------------------------------------------------
+  std::size_t num_steps() const;
+  // Total cross-node bytes in step `i`.
+  std::uint64_t step_external_bytes(std::size_t i) const;
+  // The Fig. 5 series: cross-node MB per node for step `i`.
+  double step_external_mb_per_node(std::size_t i) const;
+  // Mean of the per-step series.
+  double mean_external_mb_per_node() const;
+  std::uint64_t lifetime_external_bytes() const;
+  std::uint64_t lifetime_total_bytes() const;
+
+ private:
+  const cluster::ClusterTopology* topology_;
+  mutable std::mutex mutex_;
+  std::uint64_t cur_external_ = 0;
+  std::uint64_t cur_total_ = 0;
+  std::vector<std::uint64_t> external_history_;
+  std::vector<std::uint64_t> total_history_;
+};
+
+}  // namespace vela::comm

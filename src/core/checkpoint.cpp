@@ -1,0 +1,149 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "core/master.h"
+#include "util/check.h"
+
+namespace vela::core {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'E', 'L', 'A', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  VELA_CHECK_MSG(in.good(), "checkpoint truncated");
+  return value;
+}
+
+std::string expert_entry_name(std::size_t layer, std::size_t expert) {
+  return "expert." + std::to_string(layer) + "." + std::to_string(expert);
+}
+
+}  // namespace
+
+void save_named_tensors(const std::string& path, const NamedTensors& tensors) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  VELA_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    VELA_CHECK(!name.empty());
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint64_t>(tensor.size()));
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+  }
+  VELA_CHECK_MSG(out.good(), "checkpoint write failed: " << path);
+}
+
+NamedTensors load_named_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VELA_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  VELA_CHECK_MSG(in.good() && std::equal(magic, magic + 8, kMagic),
+                 "not a VELA checkpoint: " << path);
+  const auto version = read_pod<std::uint32_t>(in);
+  VELA_CHECK_MSG(version == kVersion,
+                 "unsupported checkpoint version " << version);
+  const auto count = read_pod<std::uint64_t>(in);
+  NamedTensors tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto numel = read_pod<std::uint64_t>(in);
+    VELA_CHECK_MSG(numel > 0, "empty tensor in checkpoint");
+    std::vector<float> data(numel);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    VELA_CHECK_MSG(in.good(), "checkpoint truncated at entry " << name);
+    tensors.emplace_back(
+        std::move(name),
+        Tensor({static_cast<std::size_t>(numel)}, std::move(data)));
+  }
+  return tensors;
+}
+
+NamedTensors snapshot_trainable(const nn::Module& module) {
+  NamedTensors out;
+  for (const auto& p : module.trainable_parameters()) {
+    out.emplace_back(p.name, p.var.value().reshaped({p.var.value().size()}));
+  }
+  return out;
+}
+
+void restore_trainable(const NamedTensors& tensors, nn::Module& module) {
+  auto params = module.trainable_parameters();
+  for (const auto& [name, tensor] : tensors) {
+    bool found = false;
+    for (auto& p : params) {
+      if (p.name != name) continue;
+      Tensor& value = p.var.mutable_value();
+      VELA_CHECK_MSG(value.size() == tensor.size(),
+                     "checkpoint entry " << name << " has " << tensor.size()
+                                         << " elements, parameter has "
+                                         << value.size());
+      std::copy(tensor.data(), tensor.data() + tensor.size(), value.data());
+      found = true;
+      break;
+    }
+    VELA_CHECK_MSG(found, "checkpoint entry " << name
+                                              << " has no matching parameter");
+  }
+}
+
+void save_system_checkpoint(const std::string& path,
+                            const nn::Module& backbone,
+                            MasterProcess& master) {
+  NamedTensors tensors = snapshot_trainable(backbone);
+  const placement::Placement& placement = master.placement();
+  for (std::size_t l = 0; l < placement.num_layers(); ++l) {
+    for (std::size_t e = 0; e < placement.num_experts(); ++e) {
+      Tensor state = master.query_expert_state(l, e);
+      VELA_CHECK_MSG(state.size() > 0,
+                     "expert (" << l << ", " << e << ") has no trainable "
+                                << "state to checkpoint");
+      tensors.emplace_back(expert_entry_name(l, e), std::move(state));
+    }
+  }
+  save_named_tensors(path, tensors);
+}
+
+void load_system_checkpoint(const std::string& path, nn::Module& backbone,
+                            MasterProcess& master) {
+  NamedTensors tensors = load_named_tensors(path);
+  NamedTensors backbone_entries;
+  const placement::Placement& placement = master.placement();
+  for (auto& [name, tensor] : tensors) {
+    if (name.rfind("expert.", 0) != 0) {
+      backbone_entries.emplace_back(name, std::move(tensor));
+      continue;
+    }
+    const auto first_dot = name.find('.', 7);
+    VELA_CHECK_MSG(first_dot != std::string::npos,
+                   "malformed expert entry " << name);
+    const std::size_t layer = std::stoul(name.substr(7, first_dot - 7));
+    const std::size_t expert = std::stoul(name.substr(first_dot + 1));
+    VELA_CHECK(layer < placement.num_layers() &&
+               expert < placement.num_experts());
+    master.load_expert_state(layer, expert, std::move(tensor));
+  }
+  restore_trainable(backbone_entries, backbone);
+}
+
+}  // namespace vela::core

@@ -1,0 +1,46 @@
+// Checkpointing: persist and restore the fine-tuning state (LoRA adapters).
+//
+// Only trainable parameters are stored — frozen pre-trained weights are
+// reproducible from seeds, mirroring how VELA never ships base matrices over
+// the network. Format (little-endian binary):
+//
+//   magic "VELACKPT" | u32 version | u64 entry count |
+//   per entry: u32 name length | name bytes | u64 element count | f32 data
+//
+// MasterProcess gains checkpoint support through the kQueryExpert /
+// kLoadExpertState protocol messages: expert adapter states are pulled from
+// (pushed to) whichever worker currently hosts each expert, without
+// disturbing the placement.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace vela::core {
+
+class MasterProcess;
+
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+// Low-level container I/O. Throws CheckError on malformed files.
+void save_named_tensors(const std::string& path, const NamedTensors& tensors);
+NamedTensors load_named_tensors(const std::string& path);
+
+// Module state: one entry per trainable parameter, keyed by parameter name.
+NamedTensors snapshot_trainable(const nn::Module& module);
+// Restores by name; every entry must match an existing trainable parameter
+// of identical size (extra parameters in the module are left untouched).
+void restore_trainable(const NamedTensors& tensors, nn::Module& module);
+
+// Full-system checkpoint: backbone trainable params (by name) + one packed
+// adapter blob per expert, fetched from / pushed to the hosting workers.
+void save_system_checkpoint(const std::string& path, const nn::Module& backbone,
+                            MasterProcess& master);
+void load_system_checkpoint(const std::string& path, nn::Module& backbone,
+                            MasterProcess& master);
+
+}  // namespace vela::core

@@ -1,0 +1,148 @@
+#include "core/expert_broker.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela::core {
+
+ExpertBroker::ExpertBroker(std::vector<comm::DuplexLink*> links,
+                           const placement::Placement* placement,
+                           std::size_t num_layers, unsigned wire_bits,
+                           bool quantize_wire)
+    : links_(std::move(links)),
+      placement_(placement),
+      num_layers_(num_layers),
+      wire_bits_(wire_bits),
+      quantize_wire_(quantize_wire && wire_bits == 16) {
+  VELA_CHECK(!links_.empty());
+  VELA_CHECK(placement_ != nullptr);
+  for (auto* link : links_) VELA_CHECK(link != nullptr);
+  begin_step();
+}
+
+void ExpertBroker::set_placement(const placement::Placement* placement) {
+  VELA_CHECK(placement != nullptr);
+  placement_ = placement;
+}
+
+void ExpertBroker::begin_step() {
+  const std::size_t n = links_.size();
+  fwd_phases_.assign(num_layers_, comm::MasterWorkerPhase{
+                                      std::vector<std::uint64_t>(n, 0),
+                                      std::vector<std::uint32_t>(n, 0)});
+  bwd_phases_.assign(num_layers_, comm::MasterWorkerPhase{
+                                      std::vector<std::uint64_t>(n, 0),
+                                      std::vector<std::uint32_t>(n, 0)});
+}
+
+comm::VelaStepRecord ExpertBroker::finish_step() {
+  comm::VelaStepRecord record;
+  record.phases.reserve(2 * num_layers_);
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    record.phases.push_back(fwd_phases_[l]);
+  }
+  for (std::size_t l = num_layers_; l-- > 0;) {
+    record.phases.push_back(bwd_phases_[l]);
+  }
+  begin_step();
+  return record;
+}
+
+void ExpertBroker::account(std::size_t layer, bool backward_phase,
+                           std::size_t worker, std::uint64_t bytes,
+                           std::uint32_t messages) {
+  VELA_CHECK(layer < num_layers_ && worker < links_.size());
+  auto& phase = backward_phase ? bwd_phases_[layer] : fwd_phases_[layer];
+  phase.bytes[worker] += bytes;
+  phase.messages[worker] += messages;
+}
+
+comm::Message ExpertBroker::await_reply(std::size_t worker,
+                                        comm::MessageType expected,
+                                        std::uint64_t request_id) {
+  auto maybe = links_[worker]->to_master.receive();
+  VELA_CHECK_MSG(maybe.has_value(),
+                 "worker " << worker << " channel closed while awaiting "
+                           << message_type_name(expected));
+  comm::Message reply = std::move(*maybe);
+  VELA_CHECK_MSG(reply.type == expected && reply.request_id == request_id,
+                 "protocol violation: expected " << message_type_name(expected)
+                                                 << "/" << request_id
+                                                 << ", got "
+                                                 << reply.to_string());
+  return reply;
+}
+
+ag::Variable ExpertBroker::expert_forward(std::size_t layer,
+                                          std::size_t expert,
+                                          const ag::Variable& xs) {
+  auto out = experts_forward(layer, {{expert, xs}});
+  return out[0];
+}
+
+std::vector<ag::Variable> ExpertBroker::experts_forward(
+    std::size_t layer,
+    const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+  struct Outstanding {
+    std::size_t worker;
+    std::uint64_t request_id;
+    std::size_t expert;
+  };
+  // Token dispatcher: send every group before receiving anything, so all
+  // workers compute concurrently.
+  std::vector<Outstanding> outstanding;
+  outstanding.reserve(groups.size());
+  for (const auto& [expert, xs] : groups) {
+    const std::size_t worker = placement_->worker_of(layer, expert);
+    const std::uint64_t request_id = next_request_++;
+    comm::Message msg;
+    msg.type = comm::MessageType::kExpertForward;
+    msg.request_id = request_id;
+    msg.layer = static_cast<std::uint32_t>(layer);
+    msg.expert = static_cast<std::uint32_t>(expert);
+    msg.payload =
+        quantize_wire_ ? ops::to_half_precision(xs.value()) : xs.value();
+    msg.wire_bits = wire_bits_;
+    account(layer, /*backward=*/false, worker, msg.wire_size(), 1);
+    VELA_CHECK(links_[worker]->to_worker.send(std::move(msg)));
+    outstanding.push_back({worker, request_id, expert});
+  }
+
+  // Token receiver: collect results in send order (FIFO per worker).
+  std::vector<ag::Variable> results;
+  results.reserve(groups.size());
+  for (std::size_t i = 0; i < outstanding.size(); ++i) {
+    const Outstanding& o = outstanding[i];
+    comm::Message reply = await_reply(
+        o.worker, comm::MessageType::kExpertForwardResult, o.request_id);
+    account(layer, /*backward=*/false, o.worker, reply.wire_size(), 1);
+
+    // Wire the remote computation into the master tape: the backward closure
+    // is the gradient dispatcher/receiver.
+    const std::size_t worker = o.worker;
+    const std::uint64_t request_id = o.request_id;
+    const std::uint32_t expert32 = static_cast<std::uint32_t>(o.expert);
+    const std::uint32_t layer32 = static_cast<std::uint32_t>(layer);
+    results.push_back(ag::make_op(
+        std::move(reply.payload), {groups[i].second},
+        [this, worker, request_id, layer32, expert32](ag::detail::Node& n) {
+          comm::Message grad_msg;
+          grad_msg.type = comm::MessageType::kExpertBackward;
+          grad_msg.request_id = request_id;
+          grad_msg.layer = layer32;
+          grad_msg.expert = expert32;
+          grad_msg.payload =
+              quantize_wire_ ? ops::to_half_precision(n.grad) : n.grad;
+          grad_msg.wire_bits = wire_bits_;
+          account(layer32, /*backward=*/true, worker, grad_msg.wire_size(), 1);
+          VELA_CHECK(links_[worker]->to_worker.send(std::move(grad_msg)));
+          comm::Message dx = await_reply(
+              worker, comm::MessageType::kExpertBackwardResult, request_id);
+          account(layer32, /*backward=*/true, worker, dx.wire_size(), 1);
+          n.parents[0]->accumulate_grad(dx.payload);
+        }));
+  }
+  return results;
+}
+
+}  // namespace vela::core

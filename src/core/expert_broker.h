@@ -1,0 +1,67 @@
+// The Expert Broker layer (Fig. 4): VELA's replacement for an in-process MoE
+// block's expert calls.
+//
+// Forward (token dispatcher / receiver): every non-empty expert group of a
+// block is sent to whichever worker the current placement assigns the expert
+// to — all sends first, then all receives, so workers overlap. The returned
+// Variables join the master's autograd tape through a custom op whose
+// backward closure implements the gradient dispatcher / receiver: it ships
+// dL/dy to the hosting worker, which backpropagates through its local tape
+// (accumulating expert-adapter gradients on the worker) and returns dL/dx.
+//
+// The broker also keeps the per-phase byte ledger the CommClock converts to
+// Fig. 6 step times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/comm_clock.h"
+#include "moe/moe_block.h"
+#include "placement/placement.h"
+
+namespace vela::core {
+
+class ExpertBroker : public moe::ExpertBackend {
+ public:
+  // `links[n]` connects to worker n. `placement` may be updated later via
+  // set_placement (expert migration). All pointers are non-owning.
+  ExpertBroker(std::vector<comm::DuplexLink*> links,
+               const placement::Placement* placement, std::size_t num_layers,
+               unsigned wire_bits, bool quantize_wire = false);
+
+  ag::Variable expert_forward(std::size_t layer, std::size_t expert,
+                              const ag::Variable& xs) override;
+  std::vector<ag::Variable> experts_forward(
+      std::size_t layer,
+      const std::vector<std::pair<std::size_t, ag::Variable>>& groups) override;
+
+  void set_placement(const placement::Placement* placement);
+  const placement::Placement* placement() const { return placement_; }
+
+  // Step-phase ledger.
+  void begin_step();
+  // Returns phases ordered forward block 0..L−1 then backward block L−1..0
+  // and resets the ledger.
+  comm::VelaStepRecord finish_step();
+
+  std::uint64_t requests_sent() const { return next_request_; }
+
+ private:
+  void account(std::size_t layer, bool backward_phase, std::size_t worker,
+               std::uint64_t bytes, std::uint32_t messages);
+  comm::Message await_reply(std::size_t worker, comm::MessageType expected,
+                            std::uint64_t request_id);
+
+  std::vector<comm::DuplexLink*> links_;
+  const placement::Placement* placement_;
+  std::size_t num_layers_;
+  unsigned wire_bits_;
+  bool quantize_wire_;
+  std::uint64_t next_request_ = 1;
+  std::vector<comm::MasterWorkerPhase> fwd_phases_;  // [L]
+  std::vector<comm::MasterWorkerPhase> bwd_phases_;  // [L]
+};
+
+}  // namespace vela::core

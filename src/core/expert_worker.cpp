@@ -1,0 +1,206 @@
+#include "core/expert_worker.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vela::core {
+
+ExpertWorker::ExpertWorker(WorkerSpec spec, comm::DuplexLink* link,
+                           std::vector<ExpertKey> initial_experts)
+    : spec_(spec), link_(link) {
+  VELA_CHECK(link != nullptr);
+  for (const auto& key : initial_experts) {
+    install_expert(key, nullptr);
+  }
+}
+
+ExpertWorker::~ExpertWorker() {
+  if (thread_.joinable()) {
+    link_->to_worker.close();
+    thread_.join();
+  }
+}
+
+void ExpertWorker::start() {
+  VELA_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { run(); });
+}
+
+void ExpertWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExpertWorker::install_expert(const ExpertKey& key, const Tensor* state) {
+  VELA_CHECK_MSG(!experts_.count(key),
+                 "expert " << to_string(key) << " already hosted on worker "
+                           << spec_.worker_id);
+  Rng rng(nn::expert_seed(spec_.base_seed, key.layer, key.expert));
+  HostedExpert hosted;
+  hosted.expert = std::make_unique<nn::SwiGLUExpert>(
+      "layer" + std::to_string(key.layer) + ".expert" +
+          std::to_string(key.expert),
+      spec_.model_dim, spec_.hidden_dim, spec_.lora, rng);
+  if (state != nullptr) {
+    unpack_trainable(*state, *hosted.expert);
+  }
+  if (spec_.lora.enabled) {
+    hosted.optimizer = std::make_unique<nn::AdamW>(
+        hosted.expert->trainable_parameters(), spec_.adamw);
+  }
+  experts_.emplace(key, std::move(hosted));
+}
+
+ExpertWorker::HostedExpert& ExpertWorker::hosted(const ExpertKey& key) {
+  auto it = experts_.find(key);
+  VELA_CHECK_MSG(it != experts_.end(),
+                 "worker " << spec_.worker_id << " does not host expert "
+                           << to_string(key));
+  return it->second;
+}
+
+void ExpertWorker::run() {
+  const std::string tag = "worker/" + std::to_string(spec_.worker_id);
+  try {
+    run_loop(tag);
+  } catch (const CheckError& err) {
+    // A protocol violation must not take the whole process down via an
+    // exception escaping the thread; the worker dies loudly in the log and
+    // stops answering, which the master detects as a closed/silent channel.
+    VELA_LOG_ERROR(tag) << "worker terminating on protocol error: "
+                        << err.what();
+    link_->to_master.close();
+  }
+}
+
+void ExpertWorker::run_loop(const std::string& tag) {
+  while (true) {
+    auto maybe = link_->to_worker.receive();
+    if (!maybe.has_value()) break;  // channel closed
+    comm::Message msg = std::move(*maybe);
+    const ExpertKey key{msg.layer, msg.expert};
+    switch (msg.type) {
+      case comm::MessageType::kExpertForward: {
+        HostedExpert& h = hosted(key);
+        ag::Variable x = ag::Variable::leaf(std::move(msg.payload),
+                                            /*requires_grad=*/true);
+        ag::Variable y = h.expert->forward(x);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertForwardResult;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        reply.step = msg.step;
+        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
+                            ? ops::to_half_precision(y.value())
+                            : y.value();
+        reply.wire_bits = spec_.wire_bits;
+        pending_.emplace(msg.request_id, PendingRequest{key, x, y});
+        ++requests_served_;
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kExpertBackward: {
+        auto it = pending_.find(msg.request_id);
+        VELA_CHECK_MSG(it != pending_.end(),
+                       "backward for unknown request " << msg.request_id);
+        PendingRequest req = std::move(it->second);
+        pending_.erase(it);
+        // Resume backpropagation: expert LoRA gradients accumulate locally;
+        // only the input gradient returns to the master.
+        ag::backward_from(req.output, msg.payload);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertBackwardResult;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        reply.step = msg.step;
+        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
+                            ? ops::to_half_precision(req.input.grad())
+                            : req.input.grad();
+        reply.wire_bits = spec_.wire_bits;
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kOptimizerStep: {
+        // Forward-only passes (profiling) leave tapes that never receive a
+        // backward; the step boundary retires them.
+        if (!pending_.empty()) {
+          VELA_LOG_DEBUG(tag) << "dropping " << pending_.size()
+                              << " forward-only tapes at step boundary";
+          pending_.clear();
+        }
+        // A scalar payload carries a scheduled learning rate: local expert
+        // optimizers follow the master's LR schedule.
+        if (msg.payload.size() == 1) {
+          for (auto& [k, h] : experts_) {
+            if (h.optimizer != nullptr) {
+              h.optimizer->set_learning_rate(msg.payload[0]);
+            }
+          }
+        }
+        for (auto& [k, h] : experts_) {
+          if (h.optimizer != nullptr) {
+            h.optimizer->step();
+            h.optimizer->zero_grad();
+          }
+        }
+        comm::Message reply;
+        reply.type = comm::MessageType::kOptimizerStepDone;
+        reply.request_id = msg.request_id;
+        reply.step = msg.step;
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kFetchExpert:
+      case comm::MessageType::kQueryExpert: {
+        HostedExpert& h = hosted(key);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertState;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        if (spec_.lora.enabled) reply.payload = pack_trainable(*h.expert);
+        reply.wire_bits = spec_.wire_bits;
+        if (msg.type == comm::MessageType::kFetchExpert) experts_.erase(key);
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kLoadExpertState: {
+        HostedExpert& h = hosted(key);
+        unpack_trainable(msg.payload, *h.expert);
+        comm::Message reply;
+        reply.type = comm::MessageType::kLoadExpertStateDone;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kInstallExpert: {
+        if (msg.payload.size() > 0) {
+          install_expert(key, &msg.payload);
+        } else {
+          install_expert(key, nullptr);
+        }
+        comm::Message reply;
+        reply.type = comm::MessageType::kInstallExpertDone;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        link_->to_master.send(std::move(reply));
+        break;
+      }
+      case comm::MessageType::kShutdown: {
+        VELA_LOG_DEBUG(tag) << "shutdown";
+        return;
+      }
+      default:
+        VELA_CHECK_MSG(false, "worker received unexpected message "
+                                  << msg.to_string());
+    }
+  }
+}
+
+}  // namespace vela::core

@@ -1,0 +1,70 @@
+// The Expert Manager process of Fig. 4, realized as a thread.
+//
+// A worker owns a subset of the model's experts, serves forward requests
+// (keeping the local autograd tape alive per request), resumes backward
+// passes when the master ships output gradients, and runs a *local* AdamW
+// per expert at the end of every step — no gradient ever leaves the worker,
+// which is precisely how VELA avoids data parallelism's all-reduce.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "comm/channel.h"
+#include "core/protocol.h"
+#include "nn/expert.h"
+#include "nn/optimizer.h"
+
+namespace vela::core {
+
+class ExpertWorker {
+ public:
+  // `link` is the duplex master↔worker connection; the worker receives on
+  // link->to_worker and replies on link->to_master. `initial_experts` are
+  // constructed (from the spec's base_seed) before the thread starts.
+  ExpertWorker(WorkerSpec spec, comm::DuplexLink* link,
+               std::vector<ExpertKey> initial_experts);
+  ~ExpertWorker();
+
+  ExpertWorker(const ExpertWorker&) = delete;
+  ExpertWorker& operator=(const ExpertWorker&) = delete;
+
+  void start();
+  // Blocks until the worker thread exits (send kShutdown first, or close the
+  // channel).
+  void join();
+
+  const WorkerSpec& spec() const { return spec_; }
+  // Thread-unsafe introspection; call only after join() (tests).
+  std::size_t experts_hosted() const { return experts_.size(); }
+  std::size_t requests_served() const { return requests_served_; }
+
+ private:
+  struct HostedExpert {
+    std::unique_ptr<nn::SwiGLUExpert> expert;
+    std::unique_ptr<nn::AdamW> optimizer;  // per-expert, moves with it
+  };
+  struct PendingRequest {
+    ExpertKey key;
+    ag::Variable input;
+    ag::Variable output;
+  };
+
+  void run();
+  void run_loop(const std::string& tag);
+  void install_expert(const ExpertKey& key, const Tensor* state);
+  HostedExpert& hosted(const ExpertKey& key);
+
+  WorkerSpec spec_;
+  comm::DuplexLink* link_;
+  std::map<ExpertKey, HostedExpert> experts_;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::size_t requests_served_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace vela::core

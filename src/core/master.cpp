@@ -1,0 +1,147 @@
+#include "core/master.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::core {
+
+MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
+                             const WorkerSpec& spec_template,
+                             placement::Placement placement,
+                             std::size_t num_layers, std::size_t num_experts)
+    : topology_(topology), meter_(&topology_), placement_(std::move(placement)) {
+  VELA_CHECK(placement_.num_layers() == num_layers &&
+             placement_.num_experts() == num_experts);
+  const std::size_t n = topology_.num_workers();
+  const std::size_t master_node = topology_.master_node();
+
+  links_.reserve(n);
+  workers_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    links_.push_back(std::make_unique<comm::DuplexLink>(
+        master_node, topology_.worker_node(w), &meter_));
+    WorkerSpec spec = spec_template;
+    spec.worker_id = w;
+    spec.node = topology_.worker_node(w);
+    std::vector<ExpertKey> assigned;
+    for (const auto& [l, e] : placement_.experts_of(w)) {
+      assigned.push_back(
+          {static_cast<std::uint32_t>(l), static_cast<std::uint32_t>(e)});
+    }
+    workers_.push_back(
+        std::make_unique<ExpertWorker>(spec, links_.back().get(), assigned));
+    workers_.back()->start();
+  }
+  std::vector<comm::DuplexLink*> link_ptrs;
+  for (auto& link : links_) link_ptrs.push_back(link.get());
+  broker_ = std::make_unique<ExpertBroker>(link_ptrs, &placement_, num_layers,
+                                           spec_template.wire_bits,
+                                           spec_template.quantize_wire);
+}
+
+MasterProcess::~MasterProcess() { shutdown(); }
+
+comm::Message MasterProcess::await(std::size_t worker,
+                                   comm::MessageType expected,
+                                   std::uint64_t request_id) {
+  auto maybe = links_[worker]->to_master.receive();
+  VELA_CHECK_MSG(maybe.has_value(), "worker " << worker << " channel closed");
+  comm::Message reply = std::move(*maybe);
+  VELA_CHECK_MSG(reply.type == expected && reply.request_id == request_id,
+                 "protocol violation: expected " << message_type_name(expected)
+                                                 << ", got "
+                                                 << reply.to_string());
+  return reply;
+}
+
+void MasterProcess::broadcast_optimizer_step(std::uint32_t step,
+                                             float scheduled_lr) {
+  std::vector<std::uint64_t> ids(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kOptimizerStep;
+    msg.request_id = ids[w] = next_request_++;
+    msg.step = step;
+    if (scheduled_lr >= 0.0f) {
+      msg.payload = Tensor::full({1}, scheduled_lr);
+    }
+    VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    await(w, comm::MessageType::kOptimizerStepDone, ids[w]);
+  }
+}
+
+void MasterProcess::apply_placement(const placement::Placement& next) {
+  VELA_CHECK(next.num_layers() == placement_.num_layers() &&
+             next.num_experts() == placement_.num_experts());
+  std::size_t moved = 0;
+  for (std::size_t l = 0; l < next.num_layers(); ++l) {
+    for (std::size_t e = 0; e < next.num_experts(); ++e) {
+      const std::size_t from = placement_.worker_of(l, e);
+      const std::size_t to = next.worker_of(l, e);
+      if (from == to) continue;
+      ++moved;
+      comm::Message fetch;
+      fetch.type = comm::MessageType::kFetchExpert;
+      fetch.request_id = next_request_++;
+      fetch.layer = static_cast<std::uint32_t>(l);
+      fetch.expert = static_cast<std::uint32_t>(e);
+      VELA_CHECK(links_[from]->to_worker.send(std::move(fetch)));
+      comm::Message state = await(from, comm::MessageType::kExpertState,
+                                  next_request_ - 1);
+
+      comm::Message install;
+      install.type = comm::MessageType::kInstallExpert;
+      install.request_id = next_request_++;
+      install.layer = static_cast<std::uint32_t>(l);
+      install.expert = static_cast<std::uint32_t>(e);
+      install.payload = std::move(state.payload);
+      VELA_CHECK(links_[to]->to_worker.send(std::move(install)));
+      await(to, comm::MessageType::kInstallExpertDone, next_request_ - 1);
+    }
+  }
+  placement_ = next;
+  broker_->set_placement(&placement_);
+  VELA_LOG_INFO("master") << "applied new placement; migrated " << moved
+                          << " experts";
+}
+
+Tensor MasterProcess::query_expert_state(std::size_t layer,
+                                         std::size_t expert) {
+  const std::size_t w = placement_.worker_of(layer, expert);
+  comm::Message msg;
+  msg.type = comm::MessageType::kQueryExpert;
+  msg.request_id = next_request_++;
+  msg.layer = static_cast<std::uint32_t>(layer);
+  msg.expert = static_cast<std::uint32_t>(expert);
+  VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
+  return await(w, comm::MessageType::kExpertState, next_request_ - 1).payload;
+}
+
+void MasterProcess::load_expert_state(std::size_t layer, std::size_t expert,
+                                      Tensor state) {
+  const std::size_t w = placement_.worker_of(layer, expert);
+  comm::Message msg;
+  msg.type = comm::MessageType::kLoadExpertState;
+  msg.request_id = next_request_++;
+  msg.layer = static_cast<std::uint32_t>(layer);
+  msg.expert = static_cast<std::uint32_t>(expert);
+  msg.payload = std::move(state);
+  VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
+  await(w, comm::MessageType::kLoadExpertStateDone, next_request_ - 1);
+}
+
+void MasterProcess::shutdown() {
+  if (down_) return;
+  down_ = true;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kShutdown;
+    links_[w]->to_worker.send(std::move(msg));
+  }
+  for (auto& worker : workers_) worker->join();
+  for (auto& link : links_) link->close();
+}
+
+}  // namespace vela::core

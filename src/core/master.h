@@ -1,0 +1,74 @@
+// The Master process (Fig. 4): owns the communication fabric, the worker
+// fleet and the broker, and speaks the control side of the protocol
+// (optimizer-step broadcast, expert migration, shutdown).
+//
+// The model backbone and the fine-tuning loop live one level up in
+// VelaSystem; MasterProcess is reusable runtime plumbing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "comm/channel.h"
+#include "comm/traffic_meter.h"
+#include "core/expert_broker.h"
+#include "core/expert_worker.h"
+#include "placement/placement.h"
+
+namespace vela::core {
+
+class MasterProcess {
+ public:
+  // Spawns one worker per cluster device, hosting the experts `placement`
+  // assigns to it. `spec_template` supplies model dims / LoRA / seeds; the
+  // per-worker id and node are filled in here.
+  MasterProcess(const cluster::ClusterTopology& topology,
+                const WorkerSpec& spec_template,
+                placement::Placement placement, std::size_t num_layers,
+                std::size_t num_experts);
+  ~MasterProcess();
+
+  MasterProcess(const MasterProcess&) = delete;
+  MasterProcess& operator=(const MasterProcess&) = delete;
+
+  ExpertBroker& broker() { return *broker_; }
+  comm::TrafficMeter& meter() { return meter_; }
+  const cluster::ClusterTopology& topology() const { return topology_; }
+  const placement::Placement& placement() const { return placement_; }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  // Ends a fine-tuning step: tells every worker to apply its local AdamW and
+  // waits for all acks. When `scheduled_lr` >= 0 it is installed on the
+  // workers' optimizers first (LR-schedule propagation).
+  void broadcast_optimizer_step(std::uint32_t step, float scheduled_lr = -1.0f);
+
+  // Migrates experts so the hosted set matches `next`: each moved expert's
+  // adapter state is fetched from its old worker and installed on the new
+  // one (frozen bases are re-derived from the seed on the new worker).
+  // Control traffic is metered like any other traffic.
+  void apply_placement(const placement::Placement& next);
+
+  // Checkpoint support: reads / overwrites one expert's packed adapter
+  // state on whichever worker currently hosts it (placement unchanged).
+  Tensor query_expert_state(std::size_t layer, std::size_t expert);
+  void load_expert_state(std::size_t layer, std::size_t expert, Tensor state);
+
+  // Graceful shutdown; also called by the destructor.
+  void shutdown();
+
+ private:
+  comm::Message await(std::size_t worker, comm::MessageType expected,
+                      std::uint64_t request_id);
+
+  cluster::ClusterTopology topology_;
+  comm::TrafficMeter meter_;
+  placement::Placement placement_;
+  std::vector<std::unique_ptr<comm::DuplexLink>> links_;
+  std::vector<std::unique_ptr<ExpertWorker>> workers_;
+  std::unique_ptr<ExpertBroker> broker_;
+  std::uint64_t next_request_ = 1u << 20;  // distinct from broker ids
+  bool down_ = false;
+};
+
+}  // namespace vela::core

@@ -1,0 +1,53 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vela::core {
+
+Tensor pack_trainable(const nn::Module& module) {
+  auto params = module.trainable_parameters();
+  std::sort(params.begin(), params.end(),
+            [](const nn::Parameter& a, const nn::Parameter& b) {
+              return a.name < b.name;
+            });
+  std::size_t total = 0;
+  for (const auto& p : params) total += p.var.value().size();
+  VELA_CHECK_MSG(total > 0, "module has no trainable parameters to pack");
+  Tensor packed({total});
+  std::size_t offset = 0;
+  for (const auto& p : params) {
+    const Tensor& v = p.var.value();
+    std::copy(v.data(), v.data() + v.size(), packed.data() + offset);
+    offset += v.size();
+  }
+  return packed;
+}
+
+void unpack_trainable(const Tensor& packed, nn::Module& module) {
+  auto params = module.trainable_parameters();
+  std::sort(params.begin(), params.end(),
+            [](const nn::Parameter& a, const nn::Parameter& b) {
+              return a.name < b.name;
+            });
+  std::size_t total = 0;
+  for (const auto& p : params) total += p.var.value().size();
+  VELA_CHECK_MSG(packed.size() == total,
+                 "packed state size " << packed.size()
+                                      << " != module trainable size " << total);
+  std::size_t offset = 0;
+  for (auto& p : params) {
+    Tensor& v = p.var.mutable_value();
+    std::copy(packed.data() + offset, packed.data() + offset + v.size(),
+              v.data());
+    offset += v.size();
+  }
+}
+
+std::string to_string(const ExpertKey& key) {
+  return "(" + std::to_string(key.layer) + ", " + std::to_string(key.expert) +
+         ")";
+}
+
+}  // namespace vela::core

@@ -1,0 +1,56 @@
+// Shared definitions of the master↔worker protocol: worker specifications
+// and adapter-state (de)serialization for expert migration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace vela::core {
+
+// Everything a worker process needs to construct and train experts locally.
+// Frozen base weights never travel: they are derived from
+// nn::expert_seed(base_seed, layer, expert) on whichever device hosts the
+// expert, so migration only ships the (small) LoRA adapter state.
+struct WorkerSpec {
+  std::size_t worker_id = 0;
+  std::size_t node = 0;
+  std::size_t model_dim = 0;
+  std::size_t hidden_dim = 0;
+  nn::LoRAConfig lora;
+  nn::AdamWConfig adamw;
+  std::uint64_t base_seed = 1;
+  unsigned wire_bits = 32;
+  // When true and wire_bits == 16, payloads are rounded to fp16-representable
+  // values before transmission (simulating a half-precision transport; off
+  // by default so tests can assert bit-exact dense/distributed equivalence).
+  bool quantize_wire = false;
+};
+
+// Packs a module's *trainable* parameters into one flat rank-1 tensor, in
+// name order (deterministic across processes).
+Tensor pack_trainable(const nn::Module& module);
+
+// Inverse of pack_trainable: writes `packed` back into the module's
+// trainable parameters. Sizes must match exactly.
+void unpack_trainable(const Tensor& packed, nn::Module& module);
+
+// Key for an expert within the whole model.
+struct ExpertKey {
+  std::uint32_t layer = 0;
+  std::uint32_t expert = 0;
+
+  bool operator==(const ExpertKey&) const = default;
+  bool operator<(const ExpertKey& o) const {
+    return layer != o.layer ? layer < o.layer : expert < o.expert;
+  }
+};
+
+std::string to_string(const ExpertKey& key);
+
+}  // namespace vela::core

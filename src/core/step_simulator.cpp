@@ -1,0 +1,121 @@
+#include "core/step_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vela::core {
+
+VelaTrafficModel::VelaTrafficModel(const cluster::ClusterTopology* topology,
+                                   VelaTrafficModelConfig cfg)
+    : topology_(topology), cfg_(cfg) {
+  VELA_CHECK(topology != nullptr);
+  VELA_CHECK(cfg_.bytes_per_token > 0);
+}
+
+comm::VelaStepRecord VelaTrafficModel::account_step(
+    const std::vector<moe::RoutePlan>& plans,
+    const placement::Placement& placement) const {
+  const std::size_t num_layers = plans.size();
+  const std::size_t n = topology_->num_workers();
+  VELA_CHECK(placement.num_layers() == num_layers);
+
+  // One phase per block per direction; forward and backward move the same
+  // volume (features out + outputs back ≙ gradients out + input-grads back).
+  std::vector<comm::MasterWorkerPhase> per_block(n ? num_layers : 0);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    per_block[l].bytes.assign(n, 0);
+    per_block[l].messages.assign(n, 0);
+    const moe::RoutePlan& plan = plans[l];
+    VELA_CHECK(plan.num_experts == placement.num_experts());
+    for (std::size_t e = 0; e < plan.num_experts; ++e) {
+      const std::size_t tokens = plan.expert_tokens[e].size();
+      if (tokens == 0) continue;
+      const std::size_t worker = placement.worker_of(l, e);
+      // Request (features) + reply (outputs), each header + payload.
+      per_block[l].bytes[worker] +=
+          2 * (cfg_.header_bytes +
+               static_cast<std::uint64_t>(tokens) * cfg_.bytes_per_token);
+      per_block[l].messages[worker] += 2;
+    }
+  }
+
+  comm::VelaStepRecord record;
+  record.phases.reserve(2 * num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    record.phases.push_back(per_block[l]);
+  }
+  for (std::size_t l = num_layers; l-- > 0;) {
+    record.phases.push_back(per_block[l]);
+  }
+  return record;
+}
+
+comm::VelaStepRecord VelaTrafficModel::account_step_replicated(
+    const std::vector<moe::RoutePlan>& plans,
+    const placement::ReplicatedPlacement& placement,
+    const placement::PlacementProblem& problem) const {
+  const std::size_t num_layers = plans.size();
+  const std::size_t n = topology_->num_workers();
+  VELA_CHECK(placement.num_layers() == num_layers);
+  VELA_CHECK(problem.num_workers == n);
+
+  std::vector<comm::MasterWorkerPhase> per_block(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    per_block[l].bytes.assign(n, 0);
+    per_block[l].messages.assign(n, 0);
+    const moe::RoutePlan& plan = plans[l];
+    for (std::size_t e = 0; e < plan.num_experts; ++e) {
+      const std::size_t tokens = plan.expert_tokens[e].size();
+      if (tokens == 0) continue;
+      const auto& replicas = placement.replicas(l, e);
+      const auto fractions = placement.split_fractions(l, e, problem);
+      // Largest-remainder apportionment of `tokens` over the replicas.
+      std::vector<std::size_t> share(replicas.size());
+      std::vector<std::pair<double, std::size_t>> remainders;
+      std::size_t assigned = 0;
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        const double exact = fractions[i] * static_cast<double>(tokens);
+        share[i] = static_cast<std::size_t>(exact);
+        assigned += share[i];
+        remainders.emplace_back(exact - static_cast<double>(share[i]), i);
+      }
+      std::sort(remainders.rbegin(), remainders.rend());
+      for (std::size_t k = 0; assigned < tokens; ++k, ++assigned) {
+        ++share[remainders[k % remainders.size()].second];
+      }
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (share[i] == 0) continue;
+        per_block[l].bytes[replicas[i]] +=
+            2 * (cfg_.header_bytes +
+                 static_cast<std::uint64_t>(share[i]) * cfg_.bytes_per_token);
+        per_block[l].messages[replicas[i]] += 2;
+      }
+    }
+  }
+
+  comm::VelaStepRecord record;
+  record.phases.reserve(2 * num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    record.phases.push_back(per_block[l]);
+  }
+  for (std::size_t l = num_layers; l-- > 0;) {
+    record.phases.push_back(per_block[l]);
+  }
+  return record;
+}
+
+std::uint64_t VelaTrafficModel::external_bytes(
+    const comm::VelaStepRecord& record) const {
+  const std::size_t master_node = topology_->master_node();
+  std::uint64_t total = 0;
+  for (const auto& phase : record.phases) {
+    for (std::size_t w = 0; w < phase.bytes.size(); ++w) {
+      if (topology_->worker_node(w) != master_node) total += phase.bytes[w];
+    }
+  }
+  return total;
+}
+
+}  // namespace vela::core

@@ -1,0 +1,167 @@
+#include "core/vela_system.h"
+
+#include "core/checkpoint.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::core {
+
+namespace {
+
+placement::Placement sequential_placement(std::size_t num_layers,
+                                          std::size_t num_experts,
+                                          std::size_t num_workers) {
+  placement::Placement p(num_layers, num_experts);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    for (std::size_t e = 0; e < num_experts; ++e) {
+      p.assign(l, e, e % num_workers);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
+                       const data::SyntheticCorpus* plant_corpus,
+                       const model::PlantingConfig& planting)
+    : cfg_(cfg) {
+  cluster::ClusterTopology topology(cfg.cluster);
+
+  WorkerSpec spec;
+  spec.model_dim = cfg.model.model_dim;
+  spec.hidden_dim = cfg.model.hidden_dim;
+  spec.lora = cfg.model.lora;
+  spec.adamw = cfg.adamw;
+  spec.base_seed = cfg.seed;
+  spec.wire_bits = cfg.wire_bits;
+  spec.quantize_wire = cfg.quantize_wire;
+
+  master_ = std::make_unique<MasterProcess>(
+      topology, spec,
+      sequential_placement(cfg.model.num_layers, cfg.model.num_experts,
+                           topology.num_workers()),
+      cfg.model.num_layers, cfg.model.num_experts);
+
+  Rng model_rng(cfg.seed);
+  model_ = std::make_unique<model::MoETransformer>(
+      cfg.model, &master_->broker(), model_rng, /*trainable_gate=*/false);
+  if (plant_corpus != nullptr) {
+    model::plant_locality(*model_, *plant_corpus, planting);
+  }
+  backbone_optimizer_ =
+      std::make_unique<nn::AdamW>(model_->trainable_parameters(), cfg.adamw);
+  clock_ = std::make_unique<comm::CommClock>(&master_->topology(), cfg.clock);
+}
+
+const moe::RoutingStats& VelaSystem::profile(
+    const std::vector<std::vector<std::size_t>>& dataset,
+    std::size_t batch_size) {
+  profiled_ = profile_expert_access(*model_, dataset, batch_size);
+  // Profiling is not a fine-tuning step; retire its traffic and tapes.
+  master_->meter().discard_current();
+  master_->broker().finish_step();
+  master_->broadcast_optimizer_step(0);  // workers drop forward-only tapes
+  return *profiled_;
+}
+
+const placement::Placement& VelaSystem::optimize_placement(
+    double tokens_per_step) {
+  VELA_CHECK_MSG(profiled_.has_value(),
+                 "optimize_placement() requires a profile() pass first");
+  const placement::PlacementProblem problem = build_placement_problem(
+      profiled_->probability_matrix(), cfg_.model, master_->topology(),
+      tokens_per_step, cfg_.capacity_slack);
+  placement::LocalityAwarePlacement strategy;
+  const placement::Placement optimized = strategy.place(problem);
+  placement_report_ = strategy.report();
+  master_->apply_placement(optimized);
+  master_->meter().discard_current();  // migration traffic is one-off setup
+  return master_->placement();
+}
+
+void VelaSystem::set_placement(const placement::Placement& placement) {
+  master_->apply_placement(placement);
+  master_->meter().discard_current();
+}
+
+StepReport VelaSystem::train_step(
+    const std::vector<std::vector<std::size_t>>& batch) {
+  return train_step_accumulated({batch});
+}
+
+StepReport VelaSystem::train_step_accumulated(
+    const std::vector<std::vector<std::vector<std::size_t>>>& micro_batches) {
+  VELA_CHECK(!micro_batches.empty());
+  master_->broker().begin_step();
+  backbone_optimizer_->zero_grad();
+
+  float scheduled_lr = -1.0f;
+  if (lr_schedule_ != nullptr) {
+    scheduled_lr = lr_schedule_->lr(step_);
+    backbone_optimizer_->set_learning_rate(scheduled_lr);
+  }
+
+  // Gradients accumulate across micro-batches — in the master's tape for
+  // the backbone, in the workers' local tapes for the experts — before one
+  // optimizer step. Each micro-batch is scaled so the update equals the
+  // mean-gradient update over the combined batch.
+  const float inv_m = 1.0f / static_cast<float>(micro_batches.size());
+  double loss_total = 0.0;
+  for (const auto& batch : micro_batches) {
+    ag::Variable loss =
+        model_->loss_batch(batch, nullptr, cfg_.aux_loss_weight);
+    loss_total += loss.value()[0];
+    ag::backward(micro_batches.size() == 1 ? loss : ag::scale(loss, inv_m));
+  }
+
+  backbone_optimizer_->step();
+  master_->broadcast_optimizer_step(static_cast<std::uint32_t>(step_),
+                                    scheduled_lr);
+
+  // Dynamic re-placement: migration traffic (if any) is charged to this
+  // step — the price of adapting to routing drift.
+  if (replanner_ != nullptr) {
+    replanner_->observe(model_->last_plans());
+    if (auto next = replanner_->maybe_replan(master_->placement())) {
+      master_->apply_placement(*next);
+    }
+  }
+
+  const comm::VelaStepRecord record = master_->broker().finish_step();
+  master_->meter().end_step();
+
+  StepReport report;
+  report.step = step_++;
+  report.loss = static_cast<float>(loss_total * inv_m);
+  report.external_mb_per_node =
+      master_->meter().step_external_mb_per_node(master_->meter().num_steps() -
+                                                 1);
+  report.comm_seconds = clock_->vela_comm_seconds(record);
+  report.step_seconds = clock_->vela_step_seconds(record);
+  history_.push_back(report);
+  return report;
+}
+
+void VelaSystem::set_lr_schedule(const nn::LrSchedule* schedule) {
+  lr_schedule_ = schedule;
+}
+
+void VelaSystem::save_checkpoint(const std::string& path) {
+  save_system_checkpoint(path, *model_, *master_);
+  master_->meter().discard_current();  // checkpoint traffic is not a step
+}
+
+void VelaSystem::load_checkpoint(const std::string& path) {
+  load_system_checkpoint(path, *model_, *master_);
+  master_->meter().discard_current();
+}
+
+void VelaSystem::enable_dynamic_replacement(const ReplanConfig& cfg,
+                                            double tokens_per_step) {
+  replanner_ = std::make_unique<Replanner>(cfg, cfg_.model,
+                                           &master_->topology(),
+                                           tokens_per_step);
+}
+
+}  // namespace vela::core

@@ -1,0 +1,144 @@
+// VelaSystem: the top-level public API of the library.
+//
+// Wires everything together in the paper's workflow:
+//
+//   VelaSystemConfig cfg;                    // model + cluster + optimizer
+//   VelaSystem vela(cfg);                    // spawn master + workers
+//   vela.profile(dataset);                   // pass data through the model,
+//                                            //   estimate P (§IV-B)
+//   vela.optimize_placement();               // LP placement + migration
+//   for (...) vela.train_step(batch);        // LoRA fine-tuning
+//
+// Every train_step returns the measured per-step communication (Fig. 5's
+// metric) and the modelled step duration (Fig. 6's metric).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "comm/comm_clock.h"
+#include "core/master.h"
+#include "core/profiler.h"
+#include "core/replanner.h"
+#include "model/router_planting.h"
+#include "model/transformer.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "placement/locality_aware.h"
+
+namespace vela::core {
+
+struct VelaSystemConfig {
+  model::ModelConfig model;
+  cluster::ClusterConfig cluster;
+  comm::CommClockConfig clock;
+  nn::AdamWConfig adamw;
+  std::uint64_t seed = 1;
+  // Transport precision for feature/gradient exchange byte accounting
+  // (paper: b = 16). Payload numerics stay fp32 ("exchanged without
+  // precision loss" at computation precision) unless quantize_wire is set.
+  unsigned wire_bits = 16;
+  // Round payloads to fp16 on the wire (validates the paper's claim that
+  // half-precision exchange preserves convergence).
+  bool quantize_wire = false;
+  // Weight of the Switch-style load-balancing auxiliary loss. 0 for the
+  // paper's fine-tuning setting (locality must not be suppressed).
+  float aux_loss_weight = 0.0f;
+  // Worker capacity slack over the even share of L·E experts.
+  double capacity_slack = 1.34;
+};
+
+struct StepReport {
+  std::size_t step = 0;
+  float loss = 0.0f;
+  double external_mb_per_node = 0.0;  // measured bytes (Fig. 5 series)
+  double comm_seconds = 0.0;          // modelled communication time
+  double step_seconds = 0.0;          // modelled comm + compute (Fig. 6)
+};
+
+class VelaSystem {
+ public:
+  // Builds the cluster, spawns workers under an initial sequential
+  // placement, and constructs the backbone model around the expert broker.
+  // If `plant_corpus` is provided, pre-trained expert locality is planted
+  // for it before any worker computation happens.
+  VelaSystem(const VelaSystemConfig& cfg,
+             const data::SyntheticCorpus* plant_corpus = nullptr,
+             const model::PlantingConfig& planting = {});
+
+  // --- the paper's workflow --------------------------------------------------
+  // Profiling pass: estimates the probability matrix P.
+  const moe::RoutingStats& profile(
+      const std::vector<std::vector<std::size_t>>& dataset,
+      std::size_t batch_size);
+
+  // Solves the placement LP from the profiled P for a fine-tuning workload
+  // of `tokens_per_step` (K), migrates experts, returns the placement used.
+  const placement::Placement& optimize_placement(double tokens_per_step);
+  // Installs an externally chosen placement (sequential/random baselines).
+  void set_placement(const placement::Placement& placement);
+
+  // One LoRA fine-tuning step on `batch`.
+  StepReport train_step(const std::vector<std::vector<std::size_t>>& batch);
+
+  // One optimizer step over several micro-batches (gradient accumulation):
+  // gradients from every micro-batch accumulate — on the master for the
+  // backbone, on the workers for the experts — before a single update.
+  // The reported loss is the mean over micro-batches.
+  StepReport train_step_accumulated(
+      const std::vector<std::vector<std::vector<std::size_t>>>& micro_batches);
+
+  // Installs a learning-rate schedule; before each step the scheduled rate
+  // is applied to the backbone optimizer and broadcast to the workers.
+  // The schedule must outlive the system.
+  void set_lr_schedule(const nn::LrSchedule* schedule);
+
+  // Persists / restores the complete fine-tuning state (backbone + expert
+  // LoRA adapters, pulled from / pushed to the hosting workers). Optimizer
+  // moments are not checkpointed.
+  void save_checkpoint(const std::string& path);
+  void load_checkpoint(const std::string& path);
+
+  // Dynamic re-placement: after every step the routing decisions feed a
+  // sliding-window estimate of P, and every cfg.interval steps the placement
+  // LP is re-solved; experts migrate when the predicted gain clears the
+  // hysteresis threshold. Migration traffic is charged to the triggering
+  // step. (Extension beyond the paper, motivated by Fig. 5(a)'s drift.)
+  void enable_dynamic_replacement(const ReplanConfig& cfg,
+                                  double tokens_per_step);
+  const Replanner* replanner() const { return replanner_.get(); }
+
+  // --- access ---------------------------------------------------------------
+  model::MoETransformer& model() { return *model_; }
+  MasterProcess& master() { return *master_; }
+  const cluster::ClusterTopology& topology() const {
+    return master_->topology();
+  }
+  const comm::CommClock& clock() const { return *clock_; }
+  const std::optional<moe::RoutingStats>& profiled_stats() const {
+    return profiled_;
+  }
+  const placement::LocalityAwareReport& placement_report() const {
+    return placement_report_;
+  }
+  std::size_t steps_taken() const { return step_; }
+  const std::vector<StepReport>& history() const { return history_; }
+
+ private:
+  VelaSystemConfig cfg_;
+  std::unique_ptr<MasterProcess> master_;
+  std::unique_ptr<model::MoETransformer> model_;
+  std::unique_ptr<nn::AdamW> backbone_optimizer_;
+  std::unique_ptr<comm::CommClock> clock_;
+  std::optional<moe::RoutingStats> profiled_;
+  placement::LocalityAwareReport placement_report_;
+  const nn::LrSchedule* lr_schedule_ = nullptr;
+  std::unique_ptr<Replanner> replanner_;
+  std::size_t step_ = 0;
+  std::vector<StepReport> history_;
+};
+
+}  // namespace vela::core

@@ -1,0 +1,41 @@
+#include "data/batch.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vela::data {
+
+BatchIterator::BatchIterator(std::vector<std::vector<std::size_t>> dataset,
+                             std::size_t batch_size, std::uint64_t seed,
+                             bool shuffle)
+    : dataset_(std::move(dataset)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  VELA_CHECK(!dataset_.empty());
+  VELA_CHECK(batch_size_ > 0);
+  order_.resize(dataset_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void BatchIterator::reshuffle() {
+  if (shuffle_) rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::vector<std::vector<std::size_t>> BatchIterator::next() {
+  std::vector<std::vector<std::size_t>> batch;
+  batch.reserve(batch_size_);
+  while (batch.size() < batch_size_) {
+    if (cursor_ == order_.size()) {
+      ++epochs_;
+      reshuffle();
+    }
+    batch.push_back(dataset_[order_[cursor_++]]);
+  }
+  return batch;
+}
+
+}  // namespace vela::data

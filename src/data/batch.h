@@ -1,0 +1,38 @@
+// Mini-batch iteration over a fixed fine-tuning dataset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vela::data {
+
+// Cycles through a dataset in shuffled epochs, returning `batch_size`
+// sequences per step — the paper fine-tunes for a fixed number of steps, so
+// the iterator wraps around as needed.
+class BatchIterator {
+ public:
+  BatchIterator(std::vector<std::vector<std::size_t>> dataset,
+                std::size_t batch_size, std::uint64_t seed,
+                bool shuffle = true);
+
+  std::vector<std::vector<std::size_t>> next();
+
+  std::size_t batch_size() const { return batch_size_; }
+  std::size_t dataset_size() const { return dataset_.size(); }
+  std::size_t epochs_completed() const { return epochs_; }
+
+ private:
+  void reshuffle();
+
+  std::vector<std::vector<std::size_t>> dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace vela::data

@@ -1,0 +1,84 @@
+// Synthetic fine-tuning corpora with a planted domain structure.
+//
+// The paper's datasets differ in exactly one property that matters to VELA:
+// how concentrated the induced expert-access distribution is (Fig. 7 —
+// WikiText concentrates on a few hot experts, Alpaca is flatter). The
+// generators reproduce that control surface:
+//
+//   * every token id belongs to one of `num_domains` topic domains;
+//   * a sequence first samples its domain from a Zipf(domain_zipf)
+//     popularity law, then emits tokens from that domain with probability
+//     `purity`, otherwise from a random domain (topic drift / stop words);
+//   * within a domain, token frequencies follow Zipf(token_zipf).
+//
+// Since the router is planted to prefer domain-specific experts (see
+// model/router_planting.h), domain concentration translates directly into
+// expert locality: high domain_zipf + high purity ⇒ WikiText-like hot
+// experts; low values ⇒ Alpaca-like near-uniform access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vela::data {
+
+struct CorpusConfig {
+  std::string name;
+  std::size_t vocab = 96;
+  std::size_t num_domains = 6;
+  double domain_zipf = 1.0;  // sequence-domain popularity skew
+  double token_zipf = 0.8;   // within-domain token popularity skew
+  double purity = 0.9;       // P(token comes from the sequence's domain)
+
+  // Concentrated language-modeling corpus (WikiText-103 stand-in).
+  static CorpusConfig wikitext_like(std::size_t vocab, std::size_t domains);
+  // Flatter instruction-tuning corpus (Alpaca stand-in).
+  static CorpusConfig alpaca_like(std::size_t vocab, std::size_t domains);
+  // Single-author theatrical text (Tiny-Shakespeare stand-in, §III).
+  static CorpusConfig shakespeare_like(std::size_t vocab, std::size_t domains);
+  // Uniform control: no locality at all (adversarial input for VELA).
+  static CorpusConfig uniform(std::size_t vocab, std::size_t domains);
+};
+
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(CorpusConfig cfg, std::uint64_t seed);
+
+  const CorpusConfig& config() const { return cfg_; }
+
+  // Token ids of domain d are {t : t mod num_domains == d}.
+  std::size_t domain_of_token(std::size_t token) const;
+  std::size_t num_domains() const { return cfg_.num_domains; }
+
+  // Samples one sequence of `len` token ids.
+  std::vector<std::size_t> sample_sequence(std::size_t len, Rng& rng) const;
+  std::vector<std::vector<std::size_t>> sample_batch(std::size_t batch_size,
+                                                     std::size_t len,
+                                                     Rng& rng) const;
+
+  // A fixed dataset (deterministic in the corpus seed): the fine-tuning
+  // set that the profiler pre-passes and the trainer then iterates.
+  std::vector<std::vector<std::size_t>> make_dataset(std::size_t num_sequences,
+                                                     std::size_t len) const;
+
+  // Stationary domain usage distribution (for analysis/tests): probability
+  // that a random token belongs to each domain.
+  std::vector<double> domain_distribution() const;
+
+ private:
+  std::size_t sample_token_in_domain(std::size_t domain, Rng& rng) const;
+
+  CorpusConfig cfg_;
+  std::uint64_t seed_;
+  ZipfSampler domain_sampler_;
+  ZipfSampler token_sampler_;  // rank within a domain
+  // Per-domain shuffled rank→token tables so "popular" tokens differ across
+  // domains even when domains share sizes.
+  std::vector<std::vector<std::size_t>> domain_tokens_;
+};
+
+}  // namespace vela::data

@@ -1,0 +1,57 @@
+#include "data/text_corpus.h"
+
+#include "util/check.h"
+
+namespace vela::data {
+
+TextCorpus::TextCorpus(const std::string& text, std::size_t sequence_length,
+                       std::size_t stride)
+    : tokenizer_(text) {
+  VELA_CHECK(sequence_length >= 2);
+  VELA_CHECK(stride >= 1);
+  const std::vector<std::size_t> ids = tokenizer_.encode(text);
+  VELA_CHECK_MSG(ids.size() >= sequence_length,
+                 "text shorter than one sequence window");
+  for (std::size_t start = 0; start + sequence_length <= ids.size();
+       start += stride) {
+    sequences_.emplace_back(ids.begin() + static_cast<long>(start),
+                            ids.begin() + static_cast<long>(start + sequence_length));
+  }
+}
+
+std::string TextCorpus::tiny_shakespeare_sample() {
+  return
+      "Now is the winter of our discontent\n"
+      "Made glorious summer by this sun of York;\n"
+      "And all the clouds that lour'd upon our house\n"
+      "In the deep bosom of the ocean buried.\n"
+      "Now are our brows bound with victorious wreaths;\n"
+      "Our bruised arms hung up for monuments;\n"
+      "Our stern alarums changed to merry meetings,\n"
+      "Our dreadful marches to delightful measures.\n"
+      "Grim-visaged war hath smooth'd his wrinkled front;\n"
+      "And now, instead of mounting barded steeds\n"
+      "To fright the souls of fearful adversaries,\n"
+      "He capers nimbly in a lady's chamber\n"
+      "To the lascivious pleasing of a lute.\n"
+      "Shall I compare thee to a summer's day?\n"
+      "Thou art more lovely and more temperate:\n"
+      "Rough winds do shake the darling buds of May,\n"
+      "And summer's lease hath all too short a date:\n"
+      "Sometime too hot the eye of heaven shines,\n"
+      "And often is his gold complexion dimm'd;\n"
+      "And every fair from fair sometime declines,\n"
+      "By chance, or nature's changing course, untrimm'd;\n"
+      "But thy eternal summer shall not fade,\n"
+      "Nor lose possession of that fair thou ow'st;\n"
+      "Nor shall Death brag thou wander'st in his shade,\n"
+      "When in eternal lines to time thou grow'st;\n"
+      "So long as men can breathe, or eyes can see,\n"
+      "So long lives this, and this gives life to thee.\n"
+      "When forty winters shall besiege thy brow,\n"
+      "And dig deep trenches in thy beauty's field,\n"
+      "Thy youth's proud livery, so gazed on now,\n"
+      "Will be a tatter'd weed, of small worth held.\n";
+}
+
+}  // namespace vela::data

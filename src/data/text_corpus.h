@@ -1,0 +1,44 @@
+// Real-text fine-tuning corpus: char-level tokenization + sliding windows.
+//
+// The synthetic corpora drive the calibrated experiments; this wrapper is for
+// actually fine-tuning on text the way the paper fine-tunes TinyMistral on
+// Tiny-Shakespeare. Ships with an embedded public-domain Shakespeare sample
+// so the examples run without any downloads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/tokenizer.h"
+
+namespace vela::data {
+
+class TextCorpus {
+ public:
+  // Splits `text` into sliding windows of `sequence_length` token ids,
+  // advancing by `stride` (stride == sequence_length → disjoint windows).
+  TextCorpus(const std::string& text, std::size_t sequence_length,
+             std::size_t stride);
+
+  const CharTokenizer& tokenizer() const { return tokenizer_; }
+  std::size_t vocab_size() const { return tokenizer_.vocab_size(); }
+  std::size_t num_sequences() const { return sequences_.size(); }
+  const std::vector<std::vector<std::size_t>>& sequences() const {
+    return sequences_;
+  }
+
+  std::string decode(const std::vector<std::size_t>& ids) const {
+    return tokenizer_.decode(ids);
+  }
+
+  // ~1.5 KB of public-domain Shakespeare (the opening of Richard III's
+  // famous soliloquy plus sonnet fragments) — enough for the tiny models.
+  static std::string tiny_shakespeare_sample();
+
+ private:
+  CharTokenizer tokenizer_;
+  std::vector<std::vector<std::size_t>> sequences_;
+};
+
+}  // namespace vela::data

@@ -1,0 +1,40 @@
+#include "data/tokenizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace vela::data {
+
+CharTokenizer::CharTokenizer(const std::string& corpus)
+    : char_to_id_(256, -1) {
+  VELA_CHECK(!corpus.empty());
+  std::set<char> distinct(corpus.begin(), corpus.end());
+  chars_.assign(distinct.begin(), distinct.end());
+  for (std::size_t i = 0; i < chars_.size(); ++i) {
+    char_to_id_[static_cast<unsigned char>(chars_[i])] = static_cast<int>(i);
+  }
+}
+
+std::vector<std::size_t> CharTokenizer::encode(const std::string& text) const {
+  std::vector<std::size_t> ids;
+  ids.reserve(text.size());
+  for (char c : text) {
+    const int id = char_to_id_[static_cast<unsigned char>(c)];
+    ids.push_back(id >= 0 ? static_cast<std::size_t>(id) : 0);
+  }
+  return ids;
+}
+
+std::string CharTokenizer::decode(const std::vector<std::size_t>& ids) const {
+  std::string text;
+  text.reserve(ids.size());
+  for (std::size_t id : ids) {
+    VELA_CHECK(id < chars_.size());
+    text.push_back(chars_[id]);
+  }
+  return text;
+}
+
+}  // namespace vela::data

@@ -1,0 +1,30 @@
+// Character-level tokenizer.
+//
+// The paper's TinyMistral measurement uses Tiny-Shakespeare, a character-level
+// corpus; this tokenizer provides the same granularity for the examples that
+// fine-tune on real text snippets. Synthetic corpora bypass it and emit token
+// ids directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vela::data {
+
+class CharTokenizer {
+ public:
+  // Vocabulary = the distinct characters of `corpus`, sorted; unknown
+  // characters encode to id 0.
+  explicit CharTokenizer(const std::string& corpus);
+
+  std::size_t vocab_size() const { return chars_.size(); }
+  std::vector<std::size_t> encode(const std::string& text) const;
+  std::string decode(const std::vector<std::size_t>& ids) const;
+
+ private:
+  std::vector<char> chars_;
+  std::vector<int> char_to_id_;  // indexed by unsigned char, -1 = unknown
+};
+
+}  // namespace vela::data

@@ -1,0 +1,109 @@
+#include "ep/expert_parallel.h"
+
+#include "util/check.h"
+
+namespace vela::ep {
+
+ExpertParallelModel::ExpertParallelModel(
+    const cluster::ClusterTopology* topology, EpConfig cfg)
+    : topology_(topology), cfg_(cfg) {
+  VELA_CHECK(topology != nullptr);
+  VELA_CHECK(cfg_.bytes_per_token > 0);
+}
+
+std::size_t ExpertParallelModel::device_of_token(std::size_t token,
+                                                 std::size_t num_tokens) const {
+  VELA_CHECK(token < num_tokens);
+  return token * topology_->num_devices() / num_tokens;
+}
+
+std::size_t ExpertParallelModel::device_of_expert(std::size_t expert) const {
+  return expert % topology_->num_devices();
+}
+
+comm::EpStepRecord ExpertParallelModel::account_step(
+    const std::vector<moe::RoutePlan>& plans) const {
+  const std::size_t n = topology_->num_devices();
+  comm::EpStepRecord record;
+  record.phases.reserve(4 * plans.size());
+
+  // Per block: dispatch matrix D (shard → expert device) and its transpose
+  // G for the gather. Backward repeats the same pair.
+  std::vector<comm::AllToAllPhase> dispatches;
+  dispatches.reserve(plans.size());
+  for (const auto& plan : plans) {
+    comm::AllToAllPhase dispatch;
+    dispatch.bytes.assign(n, std::vector<std::uint64_t>(n, 0));
+    for (std::size_t e = 0; e < plan.num_experts; ++e) {
+      const std::size_t dst = device_of_expert(e);
+      for (std::size_t t : plan.expert_tokens[e]) {
+        const std::size_t src = device_of_token(t, plan.num_tokens);
+        if (src == dst) continue;  // local dispatch, no wire traffic
+        dispatch.bytes[src][dst] += cfg_.bytes_per_token;
+      }
+    }
+    // Framing: one message per communicating pair.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dispatch.bytes[i][j] > 0) dispatch.bytes[i][j] += cfg_.header_bytes;
+      }
+    }
+    dispatches.push_back(std::move(dispatch));
+  }
+
+  const auto transpose = [n](const comm::AllToAllPhase& phase) {
+    comm::AllToAllPhase out;
+    out.bytes.assign(n, std::vector<std::uint64_t>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out.bytes[j][i] = phase.bytes[i][j];
+      }
+    }
+    return out;
+  };
+
+  // Forward: dispatch then gather, block 0..L−1.
+  for (const auto& dispatch : dispatches) {
+    record.phases.push_back(dispatch);
+    record.phases.push_back(transpose(dispatch));
+  }
+  // Backward: gradient dispatch (same direction as forward dispatch: the
+  // token owner holds dL/dy and ships it to the expert device) then gradient
+  // gather, block L−1..0.
+  for (std::size_t l = dispatches.size(); l-- > 0;) {
+    record.phases.push_back(dispatches[l]);
+    record.phases.push_back(transpose(dispatches[l]));
+  }
+
+  record.allreduce_bytes_per_device = cfg_.backbone_grad_bytes;
+  return record;
+}
+
+std::uint64_t ExpertParallelModel::external_bytes(
+    const comm::EpStepRecord& record) const {
+  const std::size_t n = topology_->num_devices();
+  std::uint64_t total = 0;
+  for (const auto& phase : record.phases) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!topology_->same_node(i, j)) total += phase.bytes[i][j];
+      }
+    }
+  }
+  // Ring all-reduce 0→1→…→N−1→0: each directed edge carries
+  // 2·(N−1)/N · B bytes; count the edges whose endpoints straddle nodes.
+  if (record.allreduce_bytes_per_device > 0 && n > 1) {
+    const double per_edge = 2.0 * static_cast<double>(n - 1) /
+                            static_cast<double>(n) *
+                            static_cast<double>(record.allreduce_bytes_per_device);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i + 1) % n;
+      if (!topology_->same_node(i, j)) {
+        total += static_cast<std::uint64_t>(per_edge);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace vela::ep

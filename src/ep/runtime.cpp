@@ -1,0 +1,537 @@
+#include "ep/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "autograd/ops.h"
+#include "core/protocol.h"
+#include "moe/moe_block.h"
+#include "nn/expert.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::ep {
+namespace {
+
+using core::ExpertKey;
+
+// ---------------------------------------------------------------------------
+// Expert server: hosts this shard's expert slice and serves forward/backward
+// requests from every peer (including its own shard).
+// ---------------------------------------------------------------------------
+class ExpertServer {
+ public:
+  ExpertServer(std::size_t shard, const EpRuntimeConfig& cfg,
+               std::size_t num_layers, std::size_t num_experts,
+               std::size_t num_shards, comm::Channel* inbox,
+               std::vector<comm::Channel*> reply)
+      : shard_(shard), cfg_(cfg), inbox_(inbox), reply_(std::move(reply)) {
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      for (std::size_t e = shard; e < num_experts; e += num_shards) {
+        Rng rng(nn::expert_seed(cfg.seed, l, e));
+        Hosted hosted;
+        hosted.expert = std::make_unique<nn::SwiGLUExpert>(
+            "layer" + std::to_string(l) + ".expert" + std::to_string(e),
+            cfg.model.model_dim, cfg.model.hidden_dim, cfg.model.lora, rng);
+        if (cfg.model.lora.enabled) {
+          hosted.optimizer = std::make_unique<nn::AdamW>(
+              hosted.expert->trainable_parameters(), cfg.adamw);
+        }
+        experts_.emplace(
+            ExpertKey{static_cast<std::uint32_t>(l),
+                      static_cast<std::uint32_t>(e)},
+            std::move(hosted));
+      }
+    }
+  }
+
+  void start() { thread_ = std::thread([this] { run(); }); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Hosted {
+    std::unique_ptr<nn::SwiGLUExpert> expert;
+    std::unique_ptr<nn::AdamW> optimizer;
+  };
+  struct Pending {
+    ag::Variable input;
+    ag::Variable output;
+  };
+
+  void run() {
+    const std::string tag = "ep-server/" + std::to_string(shard_);
+    try {
+      while (true) {
+        auto maybe = inbox_->receive();
+        if (!maybe.has_value()) return;
+        comm::Message msg = std::move(*maybe);
+        if (msg.type == comm::MessageType::kShutdown) return;
+        handle(std::move(msg));
+      }
+    } catch (const CheckError& err) {
+      VELA_LOG_ERROR(tag) << "server terminating on protocol error: "
+                          << err.what();
+      for (auto* ch : reply_) ch->close();
+    }
+  }
+
+  void handle(comm::Message msg) {
+    const ExpertKey key{msg.layer, msg.expert};
+    switch (msg.type) {
+      case comm::MessageType::kExpertForward: {
+        auto it = experts_.find(key);
+        VELA_CHECK_MSG(it != experts_.end(),
+                       "shard " << shard_ << " does not own expert "
+                                << core::to_string(key));
+        ag::Variable x =
+            ag::Variable::leaf(std::move(msg.payload), /*requires_grad=*/true);
+        ag::Variable y = it->second.expert->forward(x);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertForwardResult;
+        reply.request_id = msg.request_id;
+        reply.source = static_cast<std::uint32_t>(shard_);
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        reply.payload = y.value();
+        reply.wire_bits = cfg_.wire_bits;
+        pending_.emplace(msg.request_id, Pending{x, y});
+        VELA_CHECK(reply_[msg.source]->send(std::move(reply)));
+        break;
+      }
+      case comm::MessageType::kExpertBackward: {
+        auto it = pending_.find(msg.request_id);
+        VELA_CHECK_MSG(it != pending_.end(),
+                       "EP backward for unknown request " << msg.request_id);
+        Pending req = std::move(it->second);
+        pending_.erase(it);
+        ag::backward_from(req.output, msg.payload);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertBackwardResult;
+        reply.request_id = msg.request_id;
+        reply.source = static_cast<std::uint32_t>(shard_);
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        reply.payload = req.input.grad();
+        reply.wire_bits = cfg_.wire_bits;
+        VELA_CHECK(reply_[msg.source]->send(std::move(reply)));
+        break;
+      }
+      case comm::MessageType::kOptimizerStep: {
+        // Forward-only passes (evaluation) leave tapes without a backward;
+        // the step boundary retires them.
+        pending_.clear();
+        for (auto& [k, hosted] : experts_) {
+          if (hosted.optimizer != nullptr) {
+            hosted.optimizer->step();
+            hosted.optimizer->zero_grad();
+          }
+        }
+        comm::Message reply;
+        reply.type = comm::MessageType::kOptimizerStepDone;
+        reply.request_id = msg.request_id;
+        reply.source = static_cast<std::uint32_t>(shard_);
+        VELA_CHECK(reply_[msg.source]->send(std::move(reply)));
+        break;
+      }
+      default:
+        VELA_CHECK_MSG(false,
+                       "EP server received unexpected " << msg.to_string());
+    }
+  }
+
+  std::size_t shard_;
+  const EpRuntimeConfig& cfg_;
+  comm::Channel* inbox_;
+  std::vector<comm::Channel*> reply_;  // [source shard]
+  std::map<ExpertKey, Hosted> experts_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Peer backend: a shard's MoE dispatch — all-to-all to the owning servers.
+// ---------------------------------------------------------------------------
+class PeerBackend : public moe::ExpertBackend {
+ public:
+  PeerBackend(std::size_t shard, std::size_t num_shards, unsigned wire_bits,
+              const cluster::ClusterTopology* topology,
+              comm::TrafficMeter* meter,
+              std::vector<comm::Channel*> to_server,
+              std::vector<comm::Channel*> from_server)
+      : shard_(shard),
+        num_shards_(num_shards),
+        wire_bits_(wire_bits),
+        topology_(topology),
+        meter_(meter),
+        to_server_(std::move(to_server)),
+        from_server_(std::move(from_server)),
+        next_request_((static_cast<std::uint64_t>(shard) << 48) + 1) {}
+
+  ag::Variable expert_forward(std::size_t layer, std::size_t expert,
+                              const ag::Variable& xs) override {
+    return experts_forward(layer, {{expert, xs}})[0];
+  }
+
+  std::vector<ag::Variable> experts_forward(
+      std::size_t layer,
+      const std::vector<std::pair<std::size_t, ag::Variable>>& groups)
+      override {
+    struct Outstanding {
+      std::size_t owner;
+      std::uint64_t request_id;
+      std::uint32_t expert;
+    };
+    std::vector<Outstanding> outstanding;
+    outstanding.reserve(groups.size());
+    // Dispatch phase of the all-to-all: send every group first.
+    for (const auto& [expert, xs] : groups) {
+      const std::size_t owner = expert % num_shards_;
+      comm::Message msg;
+      msg.type = comm::MessageType::kExpertForward;
+      msg.request_id = next_request_++;
+      msg.source = static_cast<std::uint32_t>(shard_);
+      msg.layer = static_cast<std::uint32_t>(layer);
+      msg.expert = static_cast<std::uint32_t>(expert);
+      msg.payload = xs.value();
+      msg.wire_bits = wire_bits_;
+      record(owner, msg.wire_size());
+      outstanding.push_back(
+          {owner, msg.request_id, static_cast<std::uint32_t>(expert)});
+      VELA_CHECK(to_server_[owner]->send(std::move(msg)));
+    }
+    // Gather phase: collect in send order (FIFO per server per source).
+    std::vector<ag::Variable> results;
+    results.reserve(groups.size());
+    for (std::size_t i = 0; i < outstanding.size(); ++i) {
+      const Outstanding& o = outstanding[i];
+      comm::Message reply = await(o.owner, o.request_id,
+                                  comm::MessageType::kExpertForwardResult);
+      const std::size_t owner = o.owner;
+      const std::uint64_t request_id = o.request_id;
+      const std::uint32_t layer32 = static_cast<std::uint32_t>(layer);
+      const std::uint32_t expert32 = o.expert;
+      results.push_back(ag::make_op(
+          std::move(reply.payload), {groups[i].second},
+          [this, owner, request_id, layer32, expert32](ag::detail::Node& n) {
+            comm::Message grad_msg;
+            grad_msg.type = comm::MessageType::kExpertBackward;
+            grad_msg.request_id = request_id;
+            grad_msg.source = static_cast<std::uint32_t>(shard_);
+            grad_msg.layer = layer32;
+            grad_msg.expert = expert32;
+            grad_msg.payload = n.grad;
+            grad_msg.wire_bits = wire_bits_;
+            record(owner, grad_msg.wire_size());
+            VELA_CHECK(to_server_[owner]->send(std::move(grad_msg)));
+            comm::Message dx = await(
+                owner, request_id, comm::MessageType::kExpertBackwardResult);
+            n.parents[0]->accumulate_grad(dx.payload);
+          }));
+    }
+    return results;
+  }
+
+ private:
+  void record(std::size_t owner, std::uint64_t bytes) {
+    // Server inboxes are shared across sources, so requests are attributed
+    // here; replies are metered by the per-pair reply channels themselves.
+    meter_->record(topology_->node_of(shard_), topology_->node_of(owner),
+                   bytes);
+  }
+
+  comm::Message await(std::size_t owner, std::uint64_t request_id,
+                      comm::MessageType expected) {
+    auto maybe = from_server_[owner]->receive();
+    VELA_CHECK_MSG(maybe.has_value(), "EP server " << owner
+                                                   << " channel closed");
+    VELA_CHECK_MSG(maybe->type == expected && maybe->request_id == request_id,
+                   "EP protocol violation: expected "
+                       << message_type_name(expected) << "/" << request_id
+                       << ", got " << maybe->to_string());
+    return std::move(*maybe);
+  }
+
+  std::size_t shard_, num_shards_;
+  unsigned wire_bits_;
+  const cluster::ClusterTopology* topology_;
+  comm::TrafficMeter* meter_;
+  std::vector<comm::Channel*> to_server_;
+  std::vector<comm::Channel*> from_server_;
+  std::uint64_t next_request_;
+};
+
+// ---------------------------------------------------------------------------
+// Ring all-reduce (sum) over byte-counted channels.
+// ---------------------------------------------------------------------------
+struct ChunkSpan {
+  std::size_t begin;
+  std::size_t size;
+};
+
+ChunkSpan chunk_span(std::size_t total, std::size_t chunks, std::size_t k) {
+  const std::size_t begin = k * total / chunks;
+  const std::size_t end = (k + 1) * total / chunks;
+  return {begin, end - begin};
+}
+
+void ring_allreduce(std::size_t shard, std::size_t n, Tensor& data,
+                    comm::Channel* tx, comm::Channel* rx,
+                    unsigned wire_bits) {
+  if (n <= 1) return;
+  const auto send_chunk = [&](std::size_t k) {
+    const ChunkSpan span = chunk_span(data.size(), n, k);
+    comm::Message msg;
+    msg.type = comm::MessageType::kAllReduceChunk;
+    msg.request_id = k;
+    msg.source = static_cast<std::uint32_t>(shard);
+    msg.payload = Tensor(
+        {std::max<std::size_t>(span.size, 1)},
+        std::vector<float>(data.data() + span.begin,
+                           data.data() + span.begin + span.size +
+                               (span.size == 0 ? 1 : 0)));
+    msg.wire_bits = wire_bits;
+    VELA_CHECK(tx->send(std::move(msg)));
+  };
+  const auto recv_chunk = [&](std::size_t k, bool add) {
+    auto maybe = rx->receive();
+    VELA_CHECK_MSG(maybe.has_value(), "all-reduce ring broken");
+    VELA_CHECK(maybe->type == comm::MessageType::kAllReduceChunk &&
+               maybe->request_id == k);
+    const ChunkSpan span = chunk_span(data.size(), n, k);
+    for (std::size_t i = 0; i < span.size; ++i) {
+      if (add) {
+        data[span.begin + i] += maybe->payload[i];
+      } else {
+        data[span.begin + i] = maybe->payload[i];
+      }
+    }
+  };
+  // Reduce-scatter: after N−1 rounds shard d owns the fully reduced chunk
+  // (d+1) mod N.
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    const std::size_t send_k = (shard + n - r) % n;
+    const std::size_t recv_k = (shard + 2 * n - r - 1) % n;
+    send_chunk(send_k);
+    recv_chunk(recv_k, /*add=*/true);
+  }
+  // All-gather.
+  for (std::size_t r = 0; r + 1 < n; ++r) {
+    const std::size_t send_k = (shard + 1 + n - r) % n;
+    const std::size_t recv_k = (shard + n - r) % n;
+    send_chunk(send_k);
+    recv_chunk(recv_k, /*add=*/false);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EpRuntime
+// ---------------------------------------------------------------------------
+struct EpRuntime::Impl {
+  EpRuntimeConfig cfg;
+  cluster::ClusterTopology topology;
+  comm::TrafficMeter meter;
+  std::size_t n;
+
+  std::vector<std::unique_ptr<comm::Channel>> inbox;            // [server]
+  std::vector<std::vector<std::unique_ptr<comm::Channel>>> reply;  // [srv][src]
+  std::vector<std::unique_ptr<comm::Channel>> ring;             // [d] d→d+1
+  std::vector<std::unique_ptr<ExpertServer>> servers;
+  std::vector<std::unique_ptr<PeerBackend>> backends;
+  std::vector<std::unique_ptr<model::MoETransformer>> replicas;
+  std::vector<std::unique_ptr<nn::AdamW>> optimizers;
+  std::size_t step = 0;
+
+  Impl(const EpRuntimeConfig& config,
+       const data::SyntheticCorpus* plant_corpus,
+       const model::PlantingConfig& planting)
+      : cfg(config), topology(config.cluster), meter(&topology),
+        n(topology.num_devices()) {
+    // Channels. Server inboxes carry mixed sources (metered at the sender);
+    // replies and ring edges have fixed endpoints and meter themselves.
+    for (std::size_t d = 0; d < n; ++d) {
+      inbox.push_back(std::make_unique<comm::Channel>(0, 0, nullptr));
+    }
+    reply.resize(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      for (std::size_t s = 0; s < n; ++s) {
+        reply[d].push_back(std::make_unique<comm::Channel>(
+            topology.node_of(d), topology.node_of(s), &meter));
+      }
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      ring.push_back(std::make_unique<comm::Channel>(
+          topology.node_of(d), topology.node_of((d + 1) % n), &meter));
+    }
+
+    // Servers + replicas.
+    for (std::size_t d = 0; d < n; ++d) {
+      std::vector<comm::Channel*> reply_ptrs;
+      for (auto& ch : reply[d]) reply_ptrs.push_back(ch.get());
+      servers.push_back(std::make_unique<ExpertServer>(
+          d, cfg, cfg.model.num_layers, cfg.model.num_experts, n,
+          inbox[d].get(), std::move(reply_ptrs)));
+      servers.back()->start();
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      std::vector<comm::Channel*> to_server, from_server;
+      for (std::size_t o = 0; o < n; ++o) {
+        to_server.push_back(inbox[o].get());
+        from_server.push_back(reply[o][d].get());
+      }
+      backends.push_back(std::make_unique<PeerBackend>(
+          d, n, cfg.wire_bits, &topology, &meter, std::move(to_server),
+          std::move(from_server)));
+      Rng rng(cfg.seed);
+      replicas.push_back(std::make_unique<model::MoETransformer>(
+          cfg.model, backends.back().get(), rng));
+      if (plant_corpus != nullptr) {
+        model::plant_locality(*replicas.back(), *plant_corpus, planting);
+      }
+      optimizers.push_back(std::make_unique<nn::AdamW>(
+          replicas.back()->trainable_parameters(), cfg.adamw));
+    }
+    meter.discard_current();
+  }
+
+  ~Impl() {
+    for (std::size_t d = 0; d < n; ++d) {
+      comm::Message bye;
+      bye.type = comm::MessageType::kShutdown;
+      inbox[d]->send(std::move(bye));
+    }
+    for (auto& server : servers) server->join();
+    for (auto& ch : inbox) ch->close();
+  }
+
+  // Sorted trainable params of a replica (same order on every shard).
+  static std::vector<nn::Parameter> sorted_params(
+      model::MoETransformer& replica) {
+    auto params = replica.trainable_parameters();
+    std::sort(params.begin(), params.end(),
+              [](const nn::Parameter& a, const nn::Parameter& b) {
+                return a.name < b.name;
+              });
+    return params;
+  }
+
+  void shard_step(std::size_t d,
+                  const std::vector<std::vector<std::size_t>>& my_batch,
+                  float* loss_out) {
+    ag::Variable loss = replicas[d]->loss_batch(my_batch);
+    *loss_out = loss.value()[0];
+    // Backprop 1/N·loss so expert gradients (accumulated across shards on
+    // the owning servers) and all-reduce-SUMMED backbone gradients both
+    // equal the gradient of the global mean loss.
+    ag::backward(ag::scale(loss, 1.0f / static_cast<float>(n)));
+
+    auto params = sorted_params(*replicas[d]);
+    std::size_t total = 0;
+    for (const auto& p : params) total += p.var.value().size();
+    Tensor flat({total});
+    std::size_t offset = 0;
+    for (const auto& p : params) {
+      if (p.var.has_grad()) {
+        std::memcpy(flat.data() + offset, p.var.grad().data(),
+                    p.var.value().size() * sizeof(float));
+      }
+      offset += p.var.value().size();
+    }
+    ring_allreduce(d, n, flat, ring[d].get(), ring[(d + n - 1) % n].get(),
+                   cfg.wire_bits);
+    offset = 0;
+    for (auto& p : params) {
+      const std::size_t size = p.var.value().size();
+      Tensor g(p.var.value().shape());
+      std::memcpy(g.data(), flat.data() + offset, size * sizeof(float));
+      p.var.set_grad(std::move(g));
+      offset += size;
+    }
+    optimizers[d]->step();
+    optimizers[d]->zero_grad();
+  }
+};
+
+EpRuntime::EpRuntime(const EpRuntimeConfig& cfg,
+                     const data::SyntheticCorpus* plant_corpus,
+                     const model::PlantingConfig& planting)
+    : impl_(std::make_unique<Impl>(cfg, plant_corpus, planting)) {}
+
+EpRuntime::~EpRuntime() = default;
+
+EpStepReport EpRuntime::train_step(
+    const std::vector<std::vector<std::size_t>>& batch) {
+  Impl& im = *impl_;
+  VELA_CHECK_MSG(batch.size() % im.n == 0,
+                 "EP batch size must be divisible by the shard count");
+  for (const auto& seq : batch) {
+    VELA_CHECK_MSG(seq.size() == batch[0].size(),
+                   "EP loss averaging requires equal sequence lengths");
+  }
+  // Round-robin sharding of the input batch.
+  std::vector<std::vector<std::vector<std::size_t>>> shards(im.n);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    shards[i % im.n].push_back(batch[i]);
+  }
+
+  std::vector<float> losses(im.n, 0.0f);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(im.n);
+  threads.reserve(im.n);
+  for (std::size_t d = 0; d < im.n; ++d) {
+    threads.emplace_back([&, d] {
+      try {
+        im.shard_step(d, shards[d], &losses[d]);
+      } catch (...) {
+        errors[d] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Expert optimizer steps (one ack per server, routed to source 0).
+  for (std::size_t d = 0; d < im.n; ++d) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kOptimizerStep;
+    msg.request_id = 0;
+    msg.source = 0;
+    VELA_CHECK(im.inbox[d]->send(std::move(msg)));
+  }
+  for (std::size_t d = 0; d < im.n; ++d) {
+    auto ack = im.reply[d][0]->receive();
+    VELA_CHECK(ack.has_value() &&
+               ack->type == comm::MessageType::kOptimizerStepDone);
+  }
+
+  im.meter.end_step();
+  EpStepReport report;
+  report.step = im.step++;
+  float total = 0.0f;
+  for (float l : losses) total += l;
+  report.loss = total / static_cast<float>(im.n);
+  report.external_mb_per_node =
+      im.meter.step_external_mb_per_node(im.meter.num_steps() - 1);
+  return report;
+}
+
+model::MoETransformer& EpRuntime::replica() { return *impl_->replicas[0]; }
+
+std::size_t EpRuntime::num_shards() const { return impl_->n; }
+
+const comm::TrafficMeter& EpRuntime::meter() const { return impl_->meter; }
+
+const cluster::ClusterTopology& EpRuntime::topology() const {
+  return impl_->topology;
+}
+
+}  // namespace vela::ep

@@ -1,0 +1,35 @@
+#include "model/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela::model {
+
+EvalResult evaluate_perplexity(
+    MoETransformer& model,
+    const std::vector<std::vector<std::size_t>>& dataset,
+    std::size_t batch_size) {
+  VELA_CHECK(!dataset.empty() && batch_size > 0);
+  EvalResult result;
+  double weighted_loss = 0.0;
+  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, dataset.size());
+    std::vector<std::vector<std::size_t>> batch(dataset.begin() + start,
+                                                dataset.begin() + end);
+    std::size_t batch_tokens = 0;
+    for (const auto& seq : batch) {
+      VELA_CHECK(seq.size() >= 2);
+      batch_tokens += seq.size() - 1;
+    }
+    const float loss = model.loss_batch(batch).value()[0];
+    weighted_loss += double(loss) * double(batch_tokens);
+    result.tokens += batch_tokens;
+  }
+  result.mean_loss = weighted_loss / double(result.tokens);
+  result.perplexity = std::exp(result.mean_loss);
+  return result;
+}
+
+}  // namespace vela::model

@@ -1,0 +1,25 @@
+// Evaluation utilities: token-weighted mean loss and perplexity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace vela::model {
+
+struct EvalResult {
+  double mean_loss = 0.0;    // mean next-token cross entropy (nats)
+  double perplexity = 0.0;   // exp(mean_loss)
+  std::size_t tokens = 0;    // predicted tokens counted
+};
+
+// Forward-only evaluation over `dataset`, batched; losses are weighted by
+// each batch's predicted-token count so the result equals the corpus-level
+// mean regardless of batching.
+EvalResult evaluate_perplexity(
+    MoETransformer& model,
+    const std::vector<std::vector<std::size_t>>& dataset,
+    std::size_t batch_size);
+
+}  // namespace vela::model

@@ -1,0 +1,58 @@
+#include "model/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela::model {
+
+std::vector<std::size_t> generate(MoETransformer& model,
+                                  const std::vector<std::size_t>& prompt,
+                                  const GenerateOptions& options, Rng& rng,
+                                  moe::RoutingStats* stats) {
+  VELA_CHECK_MSG(!prompt.empty(), "generation needs a non-empty prompt");
+  VELA_CHECK(options.temperature >= 0.0f);
+  std::vector<std::size_t> sequence = prompt;
+
+  for (std::size_t i = 0; i < options.max_new_tokens; ++i) {
+    // No KV cache in this reference implementation: re-run the prefix.
+    const Tensor logits = model.forward_batch({sequence}, stats).value();
+    const std::size_t last = logits.rows() - 1;
+    const std::size_t vocab = logits.cols();
+
+    std::size_t next;
+    if (options.temperature == 0.0f) {
+      next = 0;
+      for (std::size_t v = 1; v < vocab; ++v) {
+        if (logits.at(last, v) > logits.at(last, next)) next = v;
+      }
+    } else {
+      // Temperature softmax, optionally truncated to the top-k logits.
+      std::vector<std::size_t> candidates(vocab);
+      for (std::size_t v = 0; v < vocab; ++v) candidates[v] = v;
+      if (options.top_k > 0 && options.top_k < vocab) {
+        std::partial_sort(candidates.begin(),
+                          candidates.begin() + static_cast<long>(options.top_k),
+                          candidates.end(), [&](std::size_t a, std::size_t b) {
+                            return logits.at(last, a) > logits.at(last, b);
+                          });
+        candidates.resize(options.top_k);
+      }
+      float mx = logits.at(last, candidates[0]);
+      for (std::size_t v : candidates) mx = std::max(mx, logits.at(last, v));
+      std::vector<double> weights;
+      weights.reserve(candidates.size());
+      for (std::size_t v : candidates) {
+        weights.push_back(
+            std::exp((logits.at(last, v) - mx) / options.temperature));
+      }
+      next = candidates[rng.categorical(weights)];
+    }
+    sequence.push_back(next);
+  }
+  return sequence;
+}
+
+}  // namespace vela::model

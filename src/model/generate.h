@@ -1,0 +1,33 @@
+// Autoregressive text generation from the MoE transformer.
+//
+// The deployment-side counterpart of fine-tuning (the setting Lina/Fiddler/
+// MoE-Infinity optimize): greedy or temperature sampling over the model's
+// next-token distribution. Works against any ExpertBackend, so generation
+// can run through VELA's distributed broker exactly like training forwards.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/transformer.h"
+#include "util/rng.h"
+
+namespace vela::model {
+
+struct GenerateOptions {
+  std::size_t max_new_tokens = 32;
+  // 0 → greedy argmax decoding; otherwise softmax temperature.
+  float temperature = 0.0f;
+  // Restrict sampling to the k most likely tokens (0 disables top-k).
+  std::size_t top_k = 0;
+};
+
+// Extends `prompt` by up to max_new_tokens ids. The prompt must be
+// non-empty; the result includes the prompt prefix. `stats` (optional)
+// accumulates routing decisions — generation-time expert access profiling.
+std::vector<std::size_t> generate(MoETransformer& model,
+                                  const std::vector<std::size_t>& prompt,
+                                  const GenerateOptions& options, Rng& rng,
+                                  moe::RoutingStats* stats = nullptr);
+
+}  // namespace vela::model

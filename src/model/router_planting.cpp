@@ -1,0 +1,105 @@
+#include "model/router_planting.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela::model {
+
+PlantedRouting PlantedRouting::generate(std::size_t num_layers,
+                                        std::size_t num_experts,
+                                        std::size_t num_domains,
+                                        double popularity_zipf,
+                                        std::uint64_t seed) {
+  VELA_CHECK(num_layers > 0 && num_experts >= 2 && num_domains > 0);
+  PlantedRouting out;
+  out.num_experts_ = num_experts;
+  out.prefs_.resize(num_layers);
+  ZipfSampler popularity(num_experts, popularity_zipf);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    Rng rng(seed * 0x100000001B3ULL + l);
+    // A per-layer permutation decides WHICH experts are the popular ones, so
+    // hot experts differ across blocks like in Fig. 7.
+    std::vector<std::size_t> perm(num_experts);
+    for (std::size_t e = 0; e < num_experts; ++e) perm[e] = e;
+    rng.shuffle(perm);
+    out.prefs_[l].resize(num_domains);
+    for (std::size_t d = 0; d < num_domains; ++d) {
+      const std::size_t primary = perm[popularity.sample(rng)];
+      std::size_t secondary = primary;
+      while (secondary == primary) secondary = perm[popularity.sample(rng)];
+      out.prefs_[l][d] = {primary, secondary};
+    }
+  }
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> PlantedRouting::preference(
+    std::size_t layer, std::size_t domain) const {
+  VELA_CHECK(layer < prefs_.size() && domain < prefs_[layer].size());
+  return prefs_[layer][domain];
+}
+
+Tensor PlantedRouting::expected_probability(
+    const std::vector<double>& domain_dist) const {
+  VELA_CHECK(domain_dist.size() == num_domains());
+  Tensor p({num_layers(), num_experts_});
+  for (std::size_t l = 0; l < num_layers(); ++l) {
+    for (std::size_t d = 0; d < num_domains(); ++d) {
+      const auto [primary, secondary] = prefs_[l][d];
+      p.at(l, primary) += static_cast<float>(domain_dist[d]);
+      p.at(l, secondary) += static_cast<float>(domain_dist[d]);
+    }
+  }
+  return p;
+}
+
+PlantedRouting plant_locality(MoETransformer& model,
+                              const data::SyntheticCorpus& corpus,
+                              const PlantingConfig& cfg) {
+  const ModelConfig& mc = model.config();
+  const std::size_t domains = corpus.num_domains();
+  VELA_CHECK_MSG(domains <= mc.model_dim,
+                 "planting needs one embedding dim per domain");
+
+  PlantedRouting routing = PlantedRouting::generate(
+      mc.num_layers, mc.num_experts, domains, cfg.popularity_zipf, cfg.seed);
+
+  // 1) Embedding: add a strong component on the domain-signal coordinate.
+  //    Coordinate d carries the signal of domain d.
+  Tensor& emb = model.embedding().weight().mutable_value();
+  for (std::size_t t = 0; t < mc.vocab; ++t) {
+    emb.at(t, corpus.domain_of_token(t)) += cfg.embed_gain;
+  }
+
+  // 2) Gate weights: rewrite each block's router so preferred experts read
+  //    the domain coordinate with a confidently large weight.
+  Rng noise_rng(cfg.seed ^ 0x9A7EULL);
+  for (std::size_t l = 0; l < mc.num_layers; ++l) {
+    Tensor& w = model.block(l).gate().weight().mutable_value();  // [E, H]
+    for (std::size_t e = 0; e < mc.num_experts; ++e) {
+      for (std::size_t h = 0; h < mc.model_dim; ++h) {
+        w.at(e, h) = static_cast<float>(noise_rng.normal(0.0, cfg.gate_noise));
+      }
+    }
+    const float gain =
+        cfg.gate_gain *
+        (1.0f + cfg.depth_compensation * static_cast<float>(l));
+    for (std::size_t d = 0; d < domains; ++d) {
+      const auto [primary, secondary] = routing.preference(l, d);
+      w.at(primary, d) += gain;
+      w.at(secondary, d) += gain * cfg.secondary_ratio;
+    }
+  }
+
+  // 3) Damp the attention out-projections so the residual stream keeps the
+  //    planted embedding signal dominant across all L blocks (a property
+  //    real pre-trained models have by virtue of training; we install it).
+  for (auto& p : model.parameters()) {
+    if (p.name.find(".wo.weight") != std::string::npos) {
+      p.var.mutable_value().scale_(cfg.residual_damp);
+    }
+  }
+  return routing;
+}
+
+}  // namespace vela::model

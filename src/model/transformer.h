@@ -1,0 +1,72 @@
+// The MoE transformer: the full runnable model (Fig. 1, right side).
+//
+// Architecture per block (pre-norm residual, Mistral-style):
+//   x = x + Attention(RMSNorm(x))          — per sequence
+//   x = x + MoEBlock(RMSNorm(x))           — over the flattened token list
+// followed by a final RMSNorm and an LM head.
+//
+// The MoE path performs the paper's pre-/post-processing reshape explicitly:
+// the batch of [T, H] sequences is concatenated into one [ΣT, H] token
+// matrix before gating (tokens are processed individually in the MoE block,
+// regardless of their sequence origin) and split back afterwards.
+//
+// Expert computation is delegated to an ExpertBackend, so the same backbone
+// runs dense (LocalExpertBackend), under VELA's broker, or under the EP
+// baseline — the backbone is "transparent to the fine-tuning process".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "moe/moe_block.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+
+namespace vela::model {
+
+class MoETransformer : public nn::Module {
+ public:
+  // `backend` hosts the experts and must outlive the model. If
+  // `trainable_gate` is set the router weights receive gradients (used only
+  // by the Theorem 1 experiments; the paper's fine-tuning keeps them frozen).
+  MoETransformer(const ModelConfig& cfg, moe::ExpertBackend* backend, Rng& rng,
+                 bool trainable_gate = false);
+
+  // Next-token logits for a batch of token sequences; returns the flattened
+  // [Σ|seq|, vocab] logits in batch order. Routing is recorded into `stats`
+  // when non-null.
+  ag::Variable forward_batch(const std::vector<std::vector<std::size_t>>& seqs,
+                             moe::RoutingStats* stats = nullptr);
+
+  // Mean next-token cross-entropy over the batch: sequence s contributes
+  // targets seq[1..] predicted from inputs seq[..len-1]. Scalar Variable.
+  // When aux_loss_weight > 0, the Switch-style load-balancing loss of every
+  // MoE block is added with that weight (the pre-training regime of §III —
+  // meaningful only with trainable gates).
+  ag::Variable loss_batch(const std::vector<std::vector<std::size_t>>& seqs,
+                          moe::RoutingStats* stats = nullptr,
+                          float aux_loss_weight = 0.0f);
+
+  const ModelConfig& config() const { return cfg_; }
+  moe::MoEBlock& block(std::size_t l);
+  std::size_t num_blocks() const { return blocks_.size(); }
+  nn::Embedding& embedding() { return *embed_; }
+
+  // Routing decisions of the most recent forward pass, one per block.
+  std::vector<moe::RoutePlan> last_plans() const;
+
+ private:
+  ModelConfig cfg_;
+  std::unique_ptr<nn::Embedding> embed_;
+  std::vector<std::unique_ptr<nn::RMSNorm>> attn_norms_;
+  std::vector<std::unique_ptr<nn::CausalSelfAttention>> attns_;
+  std::vector<std::unique_ptr<nn::RMSNorm>> moe_norms_;
+  std::vector<std::unique_ptr<moe::MoEBlock>> blocks_;
+  std::unique_ptr<nn::RMSNorm> final_norm_;
+  std::unique_ptr<nn::LoRALinear> lm_head_;
+};
+
+}  // namespace vela::model

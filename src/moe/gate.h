@@ -1,0 +1,109 @@
+// Top-k softmax gating mechanism (§II of the paper).
+//
+// For every token the gate computes softmax logits over the E experts of its
+// block, selects the k most probable experts, and produces combine weights
+// p_i / Σ p_i over the selected set — which is exactly a softmax over the
+// selected logits (Eq. (1)). The selection itself is discrete and therefore
+// non-differentiable; the combine weights are differentiable w.r.t. the gate
+// logits, matching the standard MoE training recipe. The gate layer is frozen
+// in the paper's fine-tuning setting (Shen et al.: tuning it degrades the
+// model), but it can be constructed trainable for the Theorem 1 study.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace vela::moe {
+
+// The routing decision for one MoE block invocation.
+//
+// Assignments are stored grouped by expert: tokens routed to expert e, in
+// ascending token order, occupy `expert_tokens[e]`. The flat order — expert 0
+// group, then expert 1 group, … — is the canonical "dispatch order": the
+// differentiable combine weights and all dispatched tensors follow it.
+struct RoutePlan {
+  std::size_t num_tokens = 0;
+  std::size_t num_experts = 0;
+  std::size_t top_k = 0;
+  std::vector<std::vector<std::size_t>> expert_tokens;
+
+  // Offset of expert e's group in dispatch order.
+  std::size_t group_offset(std::size_t e) const;
+  // Total number of (token, expert) assignments, == num_tokens * top_k.
+  std::size_t total_assignments() const;
+  // Validates structural invariants (each token appears exactly top_k times,
+  // no token routed twice to the same expert). Throws on violation.
+  void validate() const;
+};
+
+struct GateOutput {
+  RoutePlan plan;
+  // Full softmax over all E experts, detached — the quantity P_t(x) that the
+  // paper's locality analysis and profiler consume. Shape [n_tokens, E].
+  Tensor probs;
+  // Raw router logits, still wired into the tape (auxiliary losses
+  // differentiate through these). Shape [n_tokens, E].
+  ag::Variable logits;
+  // Differentiable combine weights in dispatch order, length n_tokens * k.
+  // Entry for (token t, expert e) equals p_e / Σ_{e' selected} p_e'.
+  ag::Variable combine_weights;
+  // Per-token sum of the selected experts' full-softmax scores (Fig. 3(b)).
+  std::vector<float> selected_score_sums;
+};
+
+class TopKGate : public nn::Module {
+ public:
+  TopKGate(std::string name, std::size_t model_dim, std::size_t num_experts,
+           std::size_t top_k, Rng& rng, bool trainable = false);
+
+  // x: [n_tokens, model_dim].
+  GateOutput forward(const ag::Variable& x) const;
+
+  std::size_t num_experts() const { return experts_; }
+  std::size_t top_k() const { return k_; }
+  // The raw gate projection weight [E, model_dim]; router planting rewrites
+  // it to install pre-trained expert-popularity bias.
+  ag::Variable& weight() { return proj_->weight(); }
+
+  // Expert capacity factor (GShard/Switch style): when > 0, each expert
+  // accepts at most ⌈factor · n · k / E⌉ dispatch slots per forward;
+  // overflowing tokens fall back to their next-best expert with room. The
+  // cap is soft, never lossy: if a token would otherwise receive fewer than
+  // k distinct experts, its remaining selections go to the least-loaded
+  // unselected experts, slightly exceeding the cap rather than dropping the
+  // token. 0 (default) disables capping — the paper's fine-tuning setting,
+  // where locality must NOT be suppressed.
+  void set_capacity_factor(double factor);
+  double capacity_factor() const { return capacity_factor_; }
+
+ private:
+  std::size_t experts_, k_;
+  double capacity_factor_ = 0.0;
+  std::unique_ptr<nn::Linear> proj_;
+};
+
+// Differentiable combine weights: softmax restricted to each token's selected
+// experts, emitted in the plan's dispatch order. Exposed for testing.
+ag::Variable routing_weights(const ag::Variable& logits, const RoutePlan& plan);
+
+// Switch-Transformer-style auxiliary load-balancing loss (§III: pre-training
+// "introduces auxiliary loss terms that penalize this imbalance"):
+//   L_aux = E · Σ_e f_e · P̄_e,
+// where f_e is the fraction of dispatch slots routed to expert e (detached)
+// and P̄_e the mean router probability of e (differentiable). Minimized at
+// the uniform routing, value 1 for any top-k. Requires a trainable gate to
+// have any effect.
+ag::Variable load_balance_loss(const GateOutput& gate_out);
+
+// ST-MoE router z-loss: mean over tokens of (log Σ_e exp z_e)². Penalizes
+// large router logits, keeping the gate numerically tame during
+// (pre-)training without forcing balance. Requires a trainable gate.
+ag::Variable router_z_loss(const GateOutput& gate_out);
+
+}  // namespace vela::moe

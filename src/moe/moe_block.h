@@ -1,0 +1,109 @@
+// The MoE block, generic over where experts physically live.
+//
+// The block owns the gating mechanism (part of the model backbone, like the
+// paper's Fig. 4) but delegates expert computation to an ExpertBackend:
+//
+//   * LocalExpertBackend  — experts in-process (dense reference execution,
+//     used for correctness tests and single-device baselines);
+//   * BrokerExpertBackend — VELA's Expert Broker (src/core), which dispatches
+//     token blocks to remote worker processes and stitches the returned
+//     activations/gradients into the master tape;
+//   * the EP baseline's sharded backend (src/ep).
+//
+// Because the block's dataflow (gate → dispatch → expert → weighted combine)
+// is identical in all three cases, test equivalence between backends is a
+// strong end-to-end check of the distributed protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "moe/gate.h"
+#include "moe/routing_stats.h"
+#include "nn/expert.h"
+#include "nn/module.h"
+
+namespace vela::moe {
+
+// Where expert sub-networks execute. `layer` identifies the MoE block so a
+// single backend instance can serve the whole model.
+class ExpertBackend {
+ public:
+  virtual ~ExpertBackend() = default;
+
+  // Computes expert `expert` of block `layer` on the gathered token block
+  // `xs` ([n_e, H]) and returns its output as a Variable wired into the
+  // caller's autograd tape.
+  virtual ag::Variable expert_forward(std::size_t layer, std::size_t expert,
+                                      const ag::Variable& xs) = 0;
+
+  // Batched form: all non-empty expert groups of one block at once. The
+  // default loops over expert_forward; distributed backends override it to
+  // dispatch every group before collecting any result, so workers compute
+  // in parallel (the master's one-to-all pattern of §V-B).
+  virtual std::vector<ag::Variable> experts_forward(
+      std::size_t layer,
+      const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+    std::vector<ag::Variable> out;
+    out.reserve(groups.size());
+    for (const auto& [expert, xs] : groups) {
+      out.push_back(expert_forward(layer, expert, xs));
+    }
+    return out;
+  }
+};
+
+// In-process backend owning all experts of all layers. Expert (l, e) is
+// initialized from nn::expert_seed(base_seed, l, e), the same derivation the
+// distributed workers use — identical base_seed ⇒ identical weights.
+class LocalExpertBackend : public ExpertBackend, public nn::Module {
+ public:
+  LocalExpertBackend(std::size_t num_layers, std::size_t num_experts,
+                     std::size_t model_dim, std::size_t hidden_dim,
+                     const nn::LoRAConfig& lora, std::uint64_t base_seed);
+
+  ag::Variable expert_forward(std::size_t layer, std::size_t expert,
+                              const ag::Variable& xs) override;
+
+  nn::SwiGLUExpert& expert(std::size_t layer, std::size_t e);
+  std::size_t num_layers() const { return layers_; }
+  std::size_t num_experts() const { return experts_per_layer_; }
+
+ private:
+  std::size_t layers_, experts_per_layer_;
+  std::vector<std::unique_ptr<nn::SwiGLUExpert>> experts_;  // [L*E]
+};
+
+// The MoE block: gate + dispatch/combine around an ExpertBackend.
+class MoEBlock : public nn::Module {
+ public:
+  MoEBlock(std::string name, std::size_t layer_index, std::size_t model_dim,
+           std::size_t num_experts, std::size_t top_k, Rng& rng,
+           ExpertBackend* backend, bool trainable_gate = false);
+
+  // x: [n_tokens, model_dim]. If `stats` is non-null the routing decision is
+  // recorded into it (profiling mode).
+  ag::Variable forward(const ag::Variable& x, RoutingStats* stats = nullptr);
+
+  // The routing decision of the most recent forward (per-step traffic
+  // accounting reads this).
+  const RoutePlan& last_plan() const { return last_gate_output_.plan; }
+  // The full gate output of the most recent forward, still wired into the
+  // tape — auxiliary losses (moe::load_balance_loss) differentiate through
+  // it.
+  const GateOutput& last_gate_output() const { return last_gate_output_; }
+
+  TopKGate& gate() { return *gate_; }
+  std::size_t layer_index() const { return layer_; }
+
+ private:
+  std::size_t layer_;
+  std::unique_ptr<TopKGate> gate_;
+  ExpertBackend* backend_;  // non-owning; shared across blocks
+  GateOutput last_gate_output_;
+};
+
+}  // namespace vela::moe

@@ -1,0 +1,129 @@
+#include "moe/routing_stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela::moe {
+
+RoutingStats::RoutingStats(std::size_t num_layers, std::size_t num_experts)
+    : counts_(num_layers, std::vector<std::uint64_t>(num_experts, 0)),
+      tokens_(num_layers, 0),
+      topk_(num_layers, 0),
+      score_sums_(num_layers) {
+  VELA_CHECK(num_layers > 0 && num_experts > 0);
+}
+
+void RoutingStats::record(std::size_t layer, const RoutePlan& plan) {
+  VELA_CHECK(layer < counts_.size());
+  VELA_CHECK(plan.num_experts == counts_[layer].size());
+  for (std::size_t e = 0; e < plan.num_experts; ++e) {
+    counts_[layer][e] += plan.expert_tokens[e].size();
+  }
+  tokens_[layer] += plan.num_tokens;
+  if (topk_[layer] == 0) topk_[layer] = plan.top_k;
+  VELA_CHECK_MSG(topk_[layer] == plan.top_k,
+                 "inconsistent top_k recorded for layer " << layer);
+}
+
+void RoutingStats::record_score_sums(std::size_t layer,
+                                     const std::vector<float>& sums) {
+  VELA_CHECK(layer < score_sums_.size());
+  score_sums_[layer].insert(score_sums_[layer].end(), sums.begin(), sums.end());
+}
+
+std::uint64_t RoutingStats::count(std::size_t layer, std::size_t expert) const {
+  VELA_CHECK(layer < counts_.size() && expert < counts_[layer].size());
+  return counts_[layer][expert];
+}
+
+std::uint64_t RoutingStats::tokens_seen(std::size_t layer) const {
+  VELA_CHECK(layer < tokens_.size());
+  return tokens_[layer];
+}
+
+double RoutingStats::frequency(std::size_t layer, std::size_t expert) const {
+  const std::uint64_t tokens = tokens_seen(layer);
+  if (tokens == 0) return 0.0;
+  return static_cast<double>(count(layer, expert)) /
+         static_cast<double>(tokens);
+}
+
+std::vector<double> RoutingStats::layer_frequencies(std::size_t layer) const {
+  std::vector<double> out(num_experts());
+  for (std::size_t e = 0; e < out.size(); ++e) out[e] = frequency(layer, e);
+  return out;
+}
+
+Tensor RoutingStats::probability_matrix() const {
+  Tensor p({num_layers(), num_experts()});
+  for (std::size_t l = 0; l < num_layers(); ++l) {
+    for (std::size_t e = 0; e < num_experts(); ++e) {
+      p.at(l, e) = static_cast<float>(frequency(l, e));
+    }
+  }
+  return p;
+}
+
+const std::vector<float>& RoutingStats::score_sums(std::size_t layer) const {
+  VELA_CHECK(layer < score_sums_.size());
+  return score_sums_[layer];
+}
+
+void RoutingStats::reset() {
+  for (auto& row : counts_) {
+    for (auto& c : row) c = 0;
+  }
+  for (auto& t : tokens_) t = 0;
+  for (auto& k : topk_) k = 0;
+  for (auto& s : score_sums_) s.clear();
+}
+
+void RoutingStats::merge(const RoutingStats& other) {
+  VELA_CHECK(num_layers() == other.num_layers() &&
+             num_experts() == other.num_experts());
+  for (std::size_t l = 0; l < num_layers(); ++l) {
+    for (std::size_t e = 0; e < num_experts(); ++e) {
+      counts_[l][e] += other.counts_[l][e];
+    }
+    tokens_[l] += other.tokens_[l];
+    if (topk_[l] == 0) topk_[l] = other.topk_[l];
+    score_sums_[l].insert(score_sums_[l].end(), other.score_sums_[l].begin(),
+                          other.score_sums_[l].end());
+  }
+}
+
+FrequencyTimeline::FrequencyTimeline(std::size_t num_experts)
+    : experts_(num_experts) {
+  VELA_CHECK(num_experts > 0);
+}
+
+void FrequencyTimeline::record_step(const RoutePlan& plan) {
+  VELA_CHECK(plan.num_experts == experts_);
+  std::vector<double> freq(experts_, 0.0);
+  if (plan.num_tokens > 0) {
+    for (std::size_t e = 0; e < experts_; ++e) {
+      freq[e] = static_cast<double>(plan.expert_tokens[e].size()) /
+                static_cast<double>(plan.num_tokens);
+    }
+  }
+  series_.push_back(std::move(freq));
+}
+
+const std::vector<double>& FrequencyTimeline::step(std::size_t i) const {
+  VELA_CHECK(i < series_.size());
+  return series_[i];
+}
+
+double FrequencyTimeline::max_drift(std::size_t expert) const {
+  VELA_CHECK(expert < experts_);
+  if (series_.empty()) return 0.0;
+  double drift = 0.0;
+  const double base = series_[0][expert];
+  for (const auto& step : series_) {
+    drift = std::max(drift, std::abs(step[expert] - base));
+  }
+  return drift;
+}
+
+}  // namespace vela::moe

@@ -1,0 +1,76 @@
+// Expert-access statistics: the measurement machinery behind Figs. 3 and 7
+// and the probability matrix P ∈ R^{L×E} that drives locality-aware placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "moe/gate.h"
+#include "tensor/tensor.h"
+
+namespace vela::moe {
+
+// Accumulates per-(layer, expert) access counts across forward passes.
+class RoutingStats {
+ public:
+  RoutingStats(std::size_t num_layers, std::size_t num_experts);
+
+  // Records one block's routing decision.
+  void record(std::size_t layer, const RoutePlan& plan);
+  // Records the Fig. 3(b) quantity: per-token sums of selected softmax scores.
+  void record_score_sums(std::size_t layer, const std::vector<float>& sums);
+
+  std::size_t num_layers() const { return counts_.size(); }
+  std::size_t num_experts() const { return counts_.empty() ? 0 : counts_[0].size(); }
+
+  // Raw access count of expert e in layer l.
+  std::uint64_t count(std::size_t layer, std::size_t expert) const;
+  // Tokens seen by layer l (each token contributes top_k accesses).
+  std::uint64_t tokens_seen(std::size_t layer) const;
+
+  // Access frequency: count / tokens_seen — the paper's Fig. 3(a)/7 metric.
+  // Rows sum to top_k.
+  double frequency(std::size_t layer, std::size_t expert) const;
+  std::vector<double> layer_frequencies(std::size_t layer) const;
+
+  // Probability matrix P ∈ R^{L×E}: P[l][e] = probability a token selects
+  // expert e in block l (frequency / top_k would give per-slot probability;
+  // the placement model in Eq. (6) multiplies by K tokens and counts each
+  // selection as one dispatch, so we keep the raw selection frequency).
+  Tensor probability_matrix() const;
+
+  const std::vector<float>& score_sums(std::size_t layer) const;
+
+  void reset();
+
+  // Merge counts from another (shape-compatible) accumulator.
+  void merge(const RoutingStats& other);
+
+ private:
+  std::vector<std::vector<std::uint64_t>> counts_;  // [L][E]
+  std::vector<std::uint64_t> tokens_;               // [L]
+  std::vector<std::uint64_t> topk_;                 // [L], top_k observed
+  std::vector<std::vector<float>> score_sums_;      // [L][*]
+};
+
+// A time series of per-step expert access frequencies for one layer —
+// the Fig. 3(c) measurement.
+class FrequencyTimeline {
+ public:
+  explicit FrequencyTimeline(std::size_t num_experts);
+
+  void record_step(const RoutePlan& plan);
+
+  std::size_t num_steps() const { return series_.size(); }
+  // Frequencies of all experts at a recorded step.
+  const std::vector<double>& step(std::size_t i) const;
+  // Max over steps of |freq(step) − freq(0)| for a given expert: the drift
+  // metric used to verify locality stability.
+  double max_drift(std::size_t expert) const;
+
+ private:
+  std::size_t experts_;
+  std::vector<std::vector<double>> series_;
+};
+
+}  // namespace vela::moe

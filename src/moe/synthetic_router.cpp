@@ -1,0 +1,84 @@
+#include "moe/synthetic_router.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace vela::moe {
+
+SyntheticRouter::SyntheticRouter(const model::PlantedRouting* routing,
+                                 SyntheticRouterConfig cfg)
+    : routing_(routing), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  VELA_CHECK(routing_ != nullptr);
+  VELA_CHECK(cfg_.domain_dist.size() == routing_->num_domains());
+  VELA_CHECK(cfg_.routing_noise >= 0.0 && cfg_.routing_noise <= 1.0);
+  domain_dist_ = cfg_.domain_dist;
+  normalize_in_place(domain_dist_);
+}
+
+std::vector<RoutePlan> SyntheticRouter::sample_step(std::size_t num_tokens) {
+  VELA_CHECK(num_tokens > 0);
+  const std::size_t num_layers = routing_->num_layers();
+  const std::size_t num_experts = routing_->num_experts();
+
+  std::vector<RoutePlan> plans(num_layers);
+  for (auto& plan : plans) {
+    plan.num_tokens = num_tokens;
+    plan.num_experts = num_experts;
+    plan.top_k = 2;
+    plan.expert_tokens.assign(num_experts, {});
+  }
+
+  for (std::size_t t = 0; t < num_tokens; ++t) {
+    // A token's domain identity is shared across all blocks.
+    const std::size_t domain = rng_.categorical(domain_dist_);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      auto [first, second] = routing_->preference(l, domain);
+      if (rng_.uniform() < cfg_.routing_noise) {
+        first = static_cast<std::size_t>(rng_.uniform_index(num_experts));
+      }
+      if (rng_.uniform() < cfg_.routing_noise || second == first) {
+        do {
+          second = static_cast<std::size_t>(rng_.uniform_index(num_experts));
+        } while (second == first);
+      }
+      plans[l].expert_tokens[first].push_back(t);
+      plans[l].expert_tokens[second].push_back(t);
+    }
+  }
+  // Groups are ascending by construction (tokens visited in order), but an
+  // expert can appear as both `first` for one token and `second` for another
+  // — still ascending per group since each token pushes at most once per
+  // group.
+
+  // Advance the drift: random walk on log-weights.
+  if (cfg_.drift_sigma > 0.0) {
+    for (auto& w : domain_dist_) {
+      w *= std::exp(cfg_.drift_sigma * rng_.normal());
+    }
+    normalize_in_place(domain_dist_);
+  }
+  return plans;
+}
+
+Tensor SyntheticRouter::estimate_probability(std::size_t num_tokens) {
+  // Sample one large step without advancing drift.
+  const double saved_sigma = cfg_.drift_sigma;
+  const std::vector<double> saved_dist = domain_dist_;
+  cfg_.drift_sigma = 0.0;
+  const auto plans = sample_step(num_tokens);
+  cfg_.drift_sigma = saved_sigma;
+  domain_dist_ = saved_dist;
+
+  Tensor p({routing_->num_layers(), routing_->num_experts()});
+  for (std::size_t l = 0; l < plans.size(); ++l) {
+    for (std::size_t e = 0; e < routing_->num_experts(); ++e) {
+      p.at(l, e) = static_cast<float>(plans[l].expert_tokens[e].size()) /
+                   static_cast<float>(num_tokens);
+    }
+  }
+  return p;
+}
+
+}  // namespace vela::moe

@@ -1,0 +1,58 @@
+// Generative routing model for the Mixtral-shape experiments.
+//
+// Figs. 5–7 run at Mixtral scale (L=32, E=8, H=4096, thousands of tokens per
+// step) where instantiating weight tensors is pointless — only the routing
+// decisions matter for traffic. SyntheticRouter samples per-step RoutePlans
+// from the same planted-preference model the runnable system uses
+// (model::PlantedRouting), with two realism knobs:
+//
+//   * routing_noise — the probability a selection slot deviates from the
+//     domain preference to a uniformly random expert (impure tokens,
+//     boundary tokens);
+//   * drift_sigma — a per-step random walk on the log domain-usage weights,
+//     reproducing the slow distribution shift Fig. 5(a) shows: the placement
+//     computed at step 0 decays slightly as fine-tuning progresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/router_planting.h"
+#include "moe/gate.h"
+#include "util/rng.h"
+
+namespace vela::moe {
+
+struct SyntheticRouterConfig {
+  std::vector<double> domain_dist;  // initial domain usage (normalized here)
+  double routing_noise = 0.05;
+  double drift_sigma = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class SyntheticRouter {
+ public:
+  // `routing` must outlive the router.
+  SyntheticRouter(const model::PlantedRouting* routing,
+                  SyntheticRouterConfig cfg);
+
+  // Samples the routing decisions of one fine-tuning step (`num_tokens`
+  // tokens through every MoE block) and advances the drift process.
+  std::vector<RoutePlan> sample_step(std::size_t num_tokens);
+
+  // Monte-Carlo estimate of the selection-frequency matrix P at the current
+  // drift state (the profiler's output for shape presets).
+  Tensor estimate_probability(std::size_t num_tokens);
+
+  const std::vector<double>& domain_dist() const { return domain_dist_; }
+  std::size_t num_layers() const { return routing_->num_layers(); }
+  std::size_t num_experts() const { return routing_->num_experts(); }
+
+ private:
+  const model::PlantedRouting* routing_;
+  SyntheticRouterConfig cfg_;
+  std::vector<double> domain_dist_;
+  Rng rng_;
+};
+
+}  // namespace vela::moe

@@ -1,0 +1,122 @@
+#include "moe/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace vela::moe {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'E', 'L', 'A', 'T', 'R', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  VELA_CHECK_MSG(in.good(), "routing trace truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_routing_trace(const std::string& path, const RoutingTrace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  VELA_CHECK_MSG(out.good(), "cannot open trace file " << path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(trace.size()));
+  for (const auto& step : trace) {
+    write_pod(out, static_cast<std::uint32_t>(step.size()));
+    for (const auto& plan : step) {
+      plan.validate();
+      write_pod(out, static_cast<std::uint64_t>(plan.num_tokens));
+      write_pod(out, static_cast<std::uint32_t>(plan.num_experts));
+      write_pod(out, static_cast<std::uint32_t>(plan.top_k));
+      for (const auto& group : plan.expert_tokens) {
+        write_pod(out, static_cast<std::uint64_t>(group.size()));
+        for (std::size_t token : group) {
+          write_pod(out, static_cast<std::uint64_t>(token));
+        }
+      }
+    }
+  }
+  VELA_CHECK_MSG(out.good(), "trace write failed: " << path);
+}
+
+RoutingTrace load_routing_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VELA_CHECK_MSG(in.good(), "cannot open trace file " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  VELA_CHECK_MSG(in.good() && std::equal(magic, magic + 8, kMagic),
+                 "not a VELA routing trace: " << path);
+  const auto version = read_pod<std::uint32_t>(in);
+  VELA_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+  const auto steps = read_pod<std::uint64_t>(in);
+  RoutingTrace trace;
+  trace.reserve(steps);
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    const auto layers = read_pod<std::uint32_t>(in);
+    std::vector<RoutePlan> step;
+    step.reserve(layers);
+    for (std::uint32_t l = 0; l < layers; ++l) {
+      RoutePlan plan;
+      plan.num_tokens = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+      plan.num_experts = read_pod<std::uint32_t>(in);
+      plan.top_k = read_pod<std::uint32_t>(in);
+      plan.expert_tokens.resize(plan.num_experts);
+      for (auto& group : plan.expert_tokens) {
+        const auto size = read_pod<std::uint64_t>(in);
+        group.reserve(size);
+        for (std::uint64_t i = 0; i < size; ++i) {
+          group.push_back(static_cast<std::size_t>(read_pod<std::uint64_t>(in)));
+        }
+      }
+      plan.validate();
+      step.push_back(std::move(plan));
+    }
+    trace.push_back(std::move(step));
+  }
+  return trace;
+}
+
+TraceRouter::TraceRouter(RoutingTrace trace) : trace_(std::move(trace)) {
+  VELA_CHECK_MSG(!trace_.empty(), "empty routing trace");
+}
+
+const std::vector<RoutePlan>& TraceRouter::next_step() {
+  const auto& step = trace_[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.size();
+  ++replayed_;
+  return step;
+}
+
+Tensor trace_probability(const RoutingTrace& trace) {
+  VELA_CHECK(!trace.empty() && !trace[0].empty());
+  const std::size_t layers = trace[0].size();
+  const std::size_t experts = trace[0][0].num_experts;
+  Tensor p({layers, experts});
+  std::uint64_t tokens = 0;
+  for (const auto& step : trace) {
+    VELA_CHECK(step.size() == layers);
+    tokens += step[0].num_tokens;
+    for (std::size_t l = 0; l < layers; ++l) {
+      VELA_CHECK(step[l].num_experts == experts);
+      for (std::size_t e = 0; e < experts; ++e) {
+        p.at(l, e) += static_cast<float>(step[l].expert_tokens[e].size());
+      }
+    }
+  }
+  VELA_CHECK(tokens > 0);
+  p.scale_(1.0f / static_cast<float>(tokens));
+  return p;
+}
+
+}  // namespace vela::moe

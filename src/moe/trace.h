@@ -1,0 +1,48 @@
+// Routing-trace capture and replay.
+//
+// Production MoE deployments profile expert access from real traffic traces;
+// this repository substitutes synthetic generators for those traces, and the
+// trace module makes the substitution explicit and swappable: any sequence
+// of per-step routing decisions — recorded from a live fine-tuning run, from
+// the SyntheticRouter, or (in principle) converted from an external system —
+// can be saved to a compact binary file and replayed bit-identically into
+// the placement pipeline and the traffic models.
+//
+// File layout (little-endian): magic "VELATRCE", u32 version, u64 steps,
+// then per step: u32 layers, and per layer: u64 tokens, u32 experts,
+// u32 top_k, per expert: u64 group size + that many u64 token ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moe/gate.h"
+
+namespace vela::moe {
+
+using RoutingTrace = std::vector<std::vector<RoutePlan>>;  // [step][layer]
+
+void save_routing_trace(const std::string& path, const RoutingTrace& trace);
+RoutingTrace load_routing_trace(const std::string& path);
+
+// Replays a trace step by step, wrapping around at the end.
+class TraceRouter {
+ public:
+  explicit TraceRouter(RoutingTrace trace);
+
+  const std::vector<RoutePlan>& next_step();
+  std::size_t num_steps() const { return trace_.size(); }
+  std::size_t steps_replayed() const { return replayed_; }
+
+ private:
+  RoutingTrace trace_;
+  std::size_t cursor_ = 0;
+  std::size_t replayed_ = 0;
+};
+
+// Aggregates a trace into the probability matrix P (the profiling pass over
+// a recorded trace instead of a live model).
+Tensor trace_probability(const RoutingTrace& trace);
+
+}  // namespace vela::moe

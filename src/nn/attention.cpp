@@ -1,0 +1,48 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace vela::nn {
+
+CausalSelfAttention::CausalSelfAttention(std::string name,
+                                         std::size_t model_dim,
+                                         std::size_t num_heads,
+                                         const LoRAConfig& lora, Rng& rng)
+    : dim_(model_dim), heads_(num_heads), head_dim_(model_dim / num_heads) {
+  VELA_CHECK_MSG(model_dim % num_heads == 0,
+                 "model_dim must be divisible by num_heads");
+  wq_ = std::make_unique<LoRALinear>(name + ".wq", dim_, dim_, lora, rng);
+  wk_ = std::make_unique<LoRALinear>(name + ".wk", dim_, dim_, lora, rng);
+  wv_ = std::make_unique<LoRALinear>(name + ".wv", dim_, dim_, lora, rng);
+  wo_ = std::make_unique<LoRALinear>(name + ".wo", dim_, dim_, lora, rng);
+  register_module("wq", wq_.get());
+  register_module("wk", wk_.get());
+  register_module("wv", wv_.get());
+  register_module("wo", wo_.get());
+}
+
+ag::Variable CausalSelfAttention::forward(const ag::Variable& x) const {
+  VELA_CHECK(x.value().rank() == 2 && x.value().cols() == dim_);
+  const ag::Variable q = wq_->forward(x);
+  const ag::Variable k = wk_->forward(x);
+  const ag::Variable v = wv_->forward(x);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<ag::Variable> head_outputs;
+  head_outputs.reserve(heads_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const std::size_t off = h * head_dim_;
+    const ag::Variable qh = ag::slice_cols(q, off, head_dim_);
+    const ag::Variable kh = ag::slice_cols(k, off, head_dim_);
+    const ag::Variable vh = ag::slice_cols(v, off, head_dim_);
+    const ag::Variable scores = ag::scale(ag::matmul_nt(qh, kh), inv_sqrt_d);
+    const ag::Variable attn = ag::causal_masked_softmax(scores);
+    head_outputs.push_back(ag::matmul(attn, vh));
+  }
+  return wo_->forward(ag::concat_cols(head_outputs));
+}
+
+}  // namespace vela::nn

@@ -1,0 +1,34 @@
+// Multi-head causal self-attention with LoRA-adapted projections.
+//
+// All four projection matrices (Q, K, V, O) are LoRALinear, matching the
+// paper's fine-tuning setup of adapting "all the linear layers except for the
+// gating mechanism". The layer operates on a single sequence laid out as a
+// [T, H] matrix; batching is handled by the trainer iterating sequences (the
+// MoE path below treats all tokens of the batch as one flat token list
+// anyway, exactly like the paper's pre-/post-processing reshape).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace vela::nn {
+
+class CausalSelfAttention : public Module {
+ public:
+  CausalSelfAttention(std::string name, std::size_t model_dim,
+                      std::size_t num_heads, const LoRAConfig& lora, Rng& rng);
+
+  // x: [T, model_dim] for one sequence; returns [T, model_dim].
+  ag::Variable forward(const ag::Variable& x) const;
+
+  std::size_t num_heads() const { return heads_; }
+
+ private:
+  std::size_t dim_, heads_, head_dim_;
+  std::unique_ptr<LoRALinear> wq_, wk_, wv_, wo_;
+};
+
+}  // namespace vela::nn

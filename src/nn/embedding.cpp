@@ -1,0 +1,23 @@
+#include "nn/embedding.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela::nn {
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     Rng& rng, bool trainable)
+    : vocab_(vocab), dim_(dim) {
+  VELA_CHECK(vocab > 0 && dim > 0);
+  w_ = register_parameter(name + ".weight",
+                          ops::randn({vocab, dim}, rng, 0.0f, 0.02f),
+                          trainable);
+}
+
+ag::Variable Embedding::forward(const std::vector<std::size_t>& ids) const {
+  VELA_CHECK(!ids.empty());
+  for (std::size_t id : ids) VELA_CHECK_MSG(id < vocab_, "token id out of range");
+  return ag::embedding(w_, ids);
+}
+
+}  // namespace vela::nn

@@ -1,0 +1,31 @@
+// Token embedding table. Frozen during LoRA fine-tuning (the paper trains
+// only linear layers), but can be made trainable for from-scratch tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vela::nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, std::size_t vocab, std::size_t dim, Rng& rng,
+            bool trainable = false);
+
+  // ids are token indices in [0, vocab); returns [|ids|, dim].
+  ag::Variable forward(const std::vector<std::size_t>& ids) const;
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t dim() const { return dim_; }
+  ag::Variable& weight() { return w_; }
+
+ private:
+  std::size_t vocab_, dim_;
+  ag::Variable w_;  // [vocab, dim]
+};
+
+}  // namespace vela::nn

@@ -1,0 +1,31 @@
+#include "nn/expert.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace vela::nn {
+
+SwiGLUExpert::SwiGLUExpert(std::string name, std::size_t model_dim,
+                           std::size_t hidden_dim, const LoRAConfig& lora,
+                           Rng& rng)
+    : dim_(model_dim), hidden_(hidden_dim) {
+  w1_ = std::make_unique<LoRALinear>(name + ".w1", dim_, hidden_, lora, rng);
+  w2_ = std::make_unique<LoRALinear>(name + ".w2", hidden_, dim_, lora, rng);
+  w3_ = std::make_unique<LoRALinear>(name + ".w3", dim_, hidden_, lora, rng);
+  register_module("w1", w1_.get());
+  register_module("w2", w2_.get());
+  register_module("w3", w3_.get());
+}
+
+ag::Variable SwiGLUExpert::forward(const ag::Variable& x) const {
+  VELA_CHECK(x.value().rank() == 2 && x.value().cols() == dim_);
+  const ag::Variable gate = ag::silu(w1_->forward(x));
+  const ag::Variable up = w3_->forward(x);
+  return w2_->forward(ag::mul(gate, up));
+}
+
+std::size_t SwiGLUExpert::memory_bytes(unsigned bits) const {
+  return parameter_count() * (bits / 8);
+}
+
+}  // namespace vela::nn

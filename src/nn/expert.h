@@ -1,0 +1,51 @@
+// SwiGLU expert FFN — the per-expert sub-network of the MoE block.
+//
+// Matches the Mistral/Mixtral expert: y = W2( silu(W1 x) ⊙ (W3 x) ), with
+// all three projections LoRA-adapted during fine-tuning. Experts are the
+// units the placement problem moves between workers, so the class also
+// reports its parameter memory footprint (used to derive worker capacities
+// Cₙ in the placement problem).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace vela::nn {
+
+// Deterministic per-expert weight seed. Both the dense reference backend and
+// remote expert workers construct expert (layer, e) from this seed, so a
+// distributed system and its single-process twin hold bit-identical weights
+// without ever shipping the frozen base matrices over the network.
+inline std::uint64_t expert_seed(std::uint64_t base_seed, std::size_t layer,
+                                 std::size_t expert) {
+  std::uint64_t h = base_seed ^ 0x517CC1B727220A95ULL;
+  h = (h ^ (layer + 1)) * 0x100000001B3ULL;
+  h = (h ^ (expert + 1)) * 0x100000001B3ULL;
+  return h;
+}
+
+class SwiGLUExpert : public Module {
+ public:
+  SwiGLUExpert(std::string name, std::size_t model_dim, std::size_t hidden_dim,
+               const LoRAConfig& lora, Rng& rng);
+
+  // x: [n_tokens, model_dim] -> [n_tokens, model_dim].
+  ag::Variable forward(const ag::Variable& x) const;
+
+  std::size_t model_dim() const { return dim_; }
+  std::size_t hidden_dim() const { return hidden_; }
+
+  // Bytes of parameter storage at the given bit depth (paper: 16-bit halves).
+  std::size_t memory_bytes(unsigned bits = 16) const;
+
+ private:
+  std::size_t dim_, hidden_;
+  std::unique_ptr<LoRALinear> w1_, w2_, w3_;
+};
+
+}  // namespace vela::nn

@@ -1,0 +1,60 @@
+#include "nn/linear.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela::nn {
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features, Rng& rng, bool trainable, bool bias)
+    : in_(in_features), out_(out_features) {
+  VELA_CHECK(in_ > 0 && out_ > 0);
+  w_ = register_parameter(name + ".weight", ops::kaiming(out_, in_, rng),
+                          trainable);
+  if (bias) {
+    b_ = register_parameter(name + ".bias", Tensor({out_}), trainable);
+  }
+}
+
+ag::Variable Linear::forward(const ag::Variable& x) const {
+  VELA_CHECK_MSG(x.value().rank() == 2 && x.value().cols() == in_,
+                 "Linear input shape mismatch");
+  ag::Variable y = ag::linear_nt(x, w_);
+  if (b_.defined()) y = ag::add_row_broadcast(y, b_);
+  return y;
+}
+
+LoRALinear::LoRALinear(std::string name, std::size_t in_features,
+                       std::size_t out_features, const LoRAConfig& cfg,
+                       Rng& rng)
+    : in_(in_features), out_(out_features), cfg_(cfg) {
+  VELA_CHECK(in_ > 0 && out_ > 0);
+  w_ = register_parameter(name + ".weight", ops::kaiming(out_, in_, rng),
+                          /*trainable=*/false);
+  if (cfg_.enabled) {
+    VELA_CHECK(cfg_.rank > 0);
+    // Standard LoRA init: A ~ N(0, 1/r), B = 0 so the adapter starts as a
+    // no-op and the first forward pass equals the frozen pre-trained model.
+    a_ = register_parameter(
+        name + ".lora_a",
+        ops::randn({cfg_.rank, in_}, rng, 0.0f,
+                   1.0f / static_cast<float>(cfg_.rank)),
+        /*trainable=*/true);
+    b_ = register_parameter(name + ".lora_b", Tensor({out_, cfg_.rank}),
+                            /*trainable=*/true);
+  }
+}
+
+ag::Variable LoRALinear::forward(const ag::Variable& x) const {
+  VELA_CHECK_MSG(x.value().rank() == 2 && x.value().cols() == in_,
+                 "LoRALinear input shape mismatch");
+  ag::Variable y = ag::linear_nt(x, w_);
+  if (cfg_.enabled) {
+    ag::Variable low = ag::linear_nt(x, a_);    // [n, r]
+    ag::Variable up = ag::linear_nt(low, b_);   // [n, out]
+    y = ag::add(y, ag::scale(up, cfg_.scaling()));
+  }
+  return y;
+}
+
+}  // namespace vela::nn

@@ -1,0 +1,69 @@
+// Linear and LoRA-augmented linear layers.
+//
+// LoRALinear implements the paper's fine-tuning setting (§II, §V-A): the
+// pre-trained weight W is frozen and two low-rank adapters A ∈ R^{r×in},
+// B ∈ R^{out×r} are trained, so y = xWᵀ + (α/r)·(xAᵀ)Bᵀ. A is Gaussian,
+// B starts at zero so fine-tuning begins exactly at the pre-trained model.
+#pragma once
+
+#include <cstddef>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace vela::nn {
+
+struct LoRAConfig {
+  std::size_t rank = 8;     // r
+  float alpha = 16.0f;      // α; effective scale is α / r
+  bool enabled = true;
+
+  static LoRAConfig disabled() { return {0, 0.0f, false}; }
+  float scaling() const { return enabled ? alpha / static_cast<float>(rank) : 0.0f; }
+};
+
+// Plain trainable linear layer (used by the gate before freezing, and by
+// baseline models).
+class Linear : public Module {
+ public:
+  Linear(std::string name, std::size_t in_features, std::size_t out_features,
+         Rng& rng, bool trainable = true, bool bias = false);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  ag::Variable& weight() { return w_; }
+  const ag::Variable& weight() const { return w_; }
+
+ private:
+  std::size_t in_, out_;
+  ag::Variable w_;  // [out, in]
+  ag::Variable b_;  // [out] or undefined
+};
+
+// Frozen base weight + trainable LoRA adapters.
+class LoRALinear : public Module {
+ public:
+  LoRALinear(std::string name, std::size_t in_features,
+             std::size_t out_features, const LoRAConfig& cfg, Rng& rng);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+  // Direct access to the frozen base weight (router planting, tests).
+  ag::Variable& base_weight() { return w_; }
+  const LoRAConfig& config() const { return cfg_; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  LoRAConfig cfg_;
+  ag::Variable w_;  // frozen [out, in]
+  ag::Variable a_;  // trainable [rank, in]
+  ag::Variable b_;  // trainable [out, rank]
+};
+
+}  // namespace vela::nn

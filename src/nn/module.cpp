@@ -1,0 +1,55 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace vela::nn {
+
+std::vector<Parameter> Module::parameters() const {
+  std::vector<Parameter> all = own_params_;
+  for (const auto& [name, child] : children_) {
+    for (const auto& p : child->parameters()) {
+      all.push_back({name + "." + p.name, p.var});
+    }
+  }
+  return all;
+}
+
+std::vector<Parameter> Module::trainable_parameters() const {
+  std::vector<Parameter> out;
+  for (auto& p : parameters()) {
+    if (p.var.requires_grad()) out.push_back(p);
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) {
+    if (p.var.requires_grad()) p.var.zero_grad();
+  }
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.var.value().size();
+  return n;
+}
+
+std::size_t Module::trainable_parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : trainable_parameters()) n += p.var.value().size();
+  return n;
+}
+
+ag::Variable Module::register_parameter(const std::string& name, Tensor init,
+                                        bool trainable) {
+  ag::Variable v = ag::Variable::leaf(std::move(init), trainable);
+  own_params_.push_back({name, v});
+  return v;
+}
+
+void Module::register_module(const std::string& name, Module* child) {
+  VELA_CHECK(child != nullptr && child != this);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace vela::nn

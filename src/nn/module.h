@@ -1,0 +1,52 @@
+// Module base class: owns named parameters and exposes them to optimizers.
+//
+// Parameters are ag::Variable leaves. Frozen parameters (pre-trained weights
+// under LoRA fine-tuning) are registered with trainable=false; they join the
+// forward graph but receive no gradient and are skipped by optimizers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace vela::nn {
+
+struct Parameter {
+  std::string name;
+  ag::Variable var;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and (recursively) registered submodules.
+  std::vector<Parameter> parameters() const;
+  // Only parameters with requires_grad=true.
+  std::vector<Parameter> trainable_parameters() const;
+
+  // Zeroes gradients of every trainable parameter.
+  void zero_grad();
+
+  // Total scalar counts (for memory/size reporting).
+  std::size_t parameter_count() const;
+  std::size_t trainable_parameter_count() const;
+
+ protected:
+  ag::Variable register_parameter(const std::string& name, Tensor init,
+                                  bool trainable);
+  // Submodule registration: `name` prefixes the child's parameter names.
+  void register_module(const std::string& name, Module* child);
+
+ private:
+  std::vector<Parameter> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace vela::nn

@@ -1,0 +1,16 @@
+#include "nn/norm.h"
+
+namespace vela::nn {
+
+RMSNorm::RMSNorm(std::string name, std::size_t features, bool trainable,
+                 float eps)
+    : eps_(eps) {
+  gain_ = register_parameter(name + ".gain", Tensor::ones({features}),
+                             trainable);
+}
+
+ag::Variable RMSNorm::forward(const ag::Variable& x) const {
+  return ag::rmsnorm(x, gain_, eps_);
+}
+
+}  // namespace vela::nn

@@ -1,0 +1,21 @@
+// RMSNorm layer (the normalization used by Mistral-family models).
+#pragma once
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace vela::nn {
+
+class RMSNorm : public Module {
+ public:
+  RMSNorm(std::string name, std::size_t features, bool trainable = false,
+          float eps = 1e-5f);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+ private:
+  ag::Variable gain_;  // [features], initialized to 1
+  float eps_;
+};
+
+}  // namespace vela::nn

@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela::nn {
+
+Optimizer::Optimizer(std::vector<Parameter> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    VELA_CHECK_MSG(p.var.requires_grad(),
+                   "optimizer given frozen parameter " << p.name);
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.var.zero_grad();
+}
+
+SGD::SGD(std::vector<Parameter> params, float lr)
+    : Optimizer(std::move(params)), lr_(lr) {}
+
+void SGD::step() {
+  for (auto& p : params_) {
+    if (!p.var.has_grad()) continue;
+    p.var.mutable_value().axpy_(-lr_, p.var.grad());
+  }
+}
+
+AdamW::AdamW(std::vector<Parameter> params, AdamWConfig cfg)
+    : Optimizer(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.var.value().shape());
+    v_.emplace_back(p.var.value().shape());
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.var.has_grad()) continue;
+    const Tensor& g = p.var.grad();
+    Tensor& w = p.var.mutable_value();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = cfg_.beta1 * m[j] + (1.0f - cfg_.beta1) * g[j];
+      v[j] = cfg_.beta2 * v[j] + (1.0f - cfg_.beta2) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      // Decoupled weight decay (AdamW, not Adam-with-L2).
+      w[j] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                         cfg_.weight_decay * w[j]);
+    }
+  }
+}
+
+}  // namespace vela::nn

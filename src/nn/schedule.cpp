@@ -1,0 +1,29 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela::nn {
+
+WarmupCosineLr::WarmupCosineLr(float peak_lr, std::size_t warmup_steps,
+                               std::size_t total_steps, float min_lr)
+    : peak_(peak_lr), min_(min_lr), warmup_(warmup_steps), total_(total_steps) {
+  VELA_CHECK(peak_lr > 0.0f && min_lr >= 0.0f && min_lr <= peak_lr);
+  VELA_CHECK(total_steps > warmup_steps);
+}
+
+float WarmupCosineLr::lr(std::size_t step) const {
+  if (step < warmup_) {
+    // Linear ramp; step 0 already gets a nonzero rate so training moves.
+    return peak_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_ + 1);
+  }
+  if (step >= total_) return min_;
+  const double progress = static_cast<double>(step - warmup_) /
+                          static_cast<double>(total_ - warmup_);
+  const double cosine = 0.5 * (1.0 + std::cos(progress * M_PI));
+  return min_ + static_cast<float>(cosine) * (peak_ - min_);
+}
+
+}  // namespace vela::nn

@@ -1,0 +1,43 @@
+// Learning-rate schedules.
+//
+// Fine-tuning recipes (including the paper's 500-step runs) commonly warm
+// the learning rate up linearly and decay it with a cosine to a floor.
+// Schedules are pure functions of the step index; the trainer applies them
+// by calling Optimizer::set_learning_rate before each step.
+#pragma once
+
+#include <cstddef>
+
+namespace vela::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr(std::size_t step) const = 0;
+};
+
+// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr(std::size_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Linear warmup over `warmup_steps`, then cosine decay to `min_lr` at
+// `total_steps` (constant at min_lr afterwards).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float peak_lr, std::size_t warmup_steps,
+                 std::size_t total_steps, float min_lr = 0.0f);
+
+  float lr(std::size_t step) const override;
+
+ private:
+  float peak_, min_;
+  std::size_t warmup_, total_;
+};
+
+}  // namespace vela::nn

@@ -1,0 +1,110 @@
+#include "placement/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "placement/evaluator.h"
+#include "placement/greedy.h"
+#include "placement/locality_aware.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela::placement {
+
+Placement AnnealingPlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  accepted_ = 0;
+  Rng rng(options_.seed);
+
+  Placement current;
+  if (options_.start_from_lp) {
+    LocalityAwarePlacement lp;
+    current = lp.place(problem);
+  } else {
+    GreedyLPTPlacement greedy;
+    current = greedy.place(problem);
+  }
+  std::vector<std::size_t> loads = current.worker_loads(problem.num_workers);
+
+  // Per-layer per-worker time; layer objective is the max over workers.
+  std::vector<std::vector<double>> time(
+      problem.num_layers, std::vector<double>(problem.num_workers, 0.0));
+  std::vector<double> layer_max(problem.num_layers, 0.0);
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      const std::size_t w = current.worker_of(l, e);
+      time[l][w] += problem.cost_coefficient(w, l, e);
+    }
+    layer_max[l] = *std::max_element(time[l].begin(), time[l].end());
+  }
+  double objective = 0.0;
+  for (double t : layer_max) objective += t;
+
+  Placement best = current;
+  double best_objective = objective;
+  double temperature = options_.initial_temperature * objective;
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    temperature *= options_.cooling;
+    const std::size_t l =
+        static_cast<std::size_t>(rng.uniform_index(problem.num_layers));
+    const std::size_t e =
+        static_cast<std::size_t>(rng.uniform_index(problem.num_experts));
+    const std::size_t from = current.worker_of(l, e);
+    const std::size_t to =
+        static_cast<std::size_t>(rng.uniform_index(problem.num_workers));
+    if (to == from) continue;
+
+    const bool is_swap = loads[to] >= problem.capacity[to];
+    std::size_t swap_e = problem.num_experts;
+    if (is_swap) {
+      // Target full: pick one of its experts in this layer to swap back; if
+      // it hosts none in this layer, skip (cross-layer swaps change loads
+      // identically but the incremental update below is per-layer).
+      std::vector<std::size_t> hosted;
+      for (std::size_t o = 0; o < problem.num_experts; ++o) {
+        if (o != e && current.worker_of(l, o) == to) hosted.push_back(o);
+      }
+      if (hosted.empty()) continue;
+      swap_e = hosted[rng.uniform_index(hosted.size())];
+    }
+
+    // Incremental evaluation of the layer's new max.
+    std::vector<double> trial = time[l];
+    trial[from] -= problem.cost_coefficient(from, l, e);
+    trial[to] += problem.cost_coefficient(to, l, e);
+    if (is_swap) {
+      trial[to] -= problem.cost_coefficient(to, l, swap_e);
+      trial[from] += problem.cost_coefficient(from, l, swap_e);
+    }
+    const double new_layer_max =
+        *std::max_element(trial.begin(), trial.end());
+    const double delta = new_layer_max - layer_max[l];
+
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (!accept) continue;
+
+    ++accepted_;
+    current.assign(l, e, to);
+    if (is_swap) {
+      current.assign(l, swap_e, from);
+    } else {
+      --loads[from];
+      ++loads[to];
+    }
+    time[l] = std::move(trial);
+    objective += delta;
+    layer_max[l] = new_layer_max;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best = current;
+    }
+  }
+  VELA_CHECK(best.feasible(problem));
+  return best;
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,41 @@
+// Simulated-annealing expert placement — a metaheuristic baseline for the
+// placement ablation. Starts from the greedy-LPT solution and explores
+// single-expert moves and cross-worker swaps under a geometric cooling
+// schedule, evaluating the Eq. (7) objective incrementally (a move touches
+// only its own layer's max).
+#pragma once
+
+#include <cstdint>
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+struct AnnealingOptions {
+  std::size_t iterations = 20000;
+  double initial_temperature = 0.2;  // relative to the starting objective
+  double cooling = 0.9995;           // geometric factor per iteration
+  std::uint64_t seed = 1;
+  // Start from the paper's LP+rounding placement instead of greedy-LPT:
+  // annealing then acts as a local-search refinement of the rounding,
+  // closing most of the rounding gap (see the A1 ablation).
+  bool start_from_lp = false;
+};
+
+class AnnealingPlacement : public PlacementStrategy {
+ public:
+  explicit AnnealingPlacement(AnnealingOptions options = {})
+      : options_(options) {}
+
+  Placement place(const PlacementProblem& problem) override;
+  std::string name() const override { return "annealing"; }
+
+  // Accepted-move count of the most recent place() call.
+  std::size_t moves_accepted() const { return accepted_; }
+
+ private:
+  AnnealingOptions options_;
+  std::size_t accepted_ = 0;
+};
+
+}  // namespace vela::placement

@@ -1,0 +1,61 @@
+#include "placement/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+double expected_layer_comm_seconds(const PlacementProblem& problem,
+                                   const Placement& placement,
+                                   std::size_t layer) {
+  VELA_CHECK(layer < problem.num_layers);
+  std::vector<double> worker_time(problem.num_workers, 0.0);
+  for (std::size_t e = 0; e < problem.num_experts; ++e) {
+    const std::size_t n = placement.worker_of(layer, e);
+    worker_time[n] += problem.cost_coefficient(n, layer, e);
+  }
+  return *std::max_element(worker_time.begin(), worker_time.end());
+}
+
+double expected_comm_seconds(const PlacementProblem& problem,
+                             const Placement& placement) {
+  double total = 0.0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    total += expected_layer_comm_seconds(problem, placement, l);
+  }
+  return total;
+}
+
+double expected_external_bytes(const PlacementProblem& problem,
+                               const Placement& placement) {
+  double bytes = 0.0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      const std::size_t n = placement.worker_of(l, e);
+      if (problem.worker_node[n] == problem.master_node) continue;
+      const double tokens = static_cast<double>(problem.probability.at(l, e)) *
+                            problem.tokens_per_step;
+      bytes += 4.0 * tokens * problem.bytes_per_token;
+    }
+  }
+  return bytes;
+}
+
+double comm_time_lower_bound(const PlacementProblem& problem) {
+  double aggregate_bandwidth = 0.0;
+  for (double b : problem.bandwidth) aggregate_bandwidth += b;
+  double total = 0.0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    double layer_bytes = 0.0;
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      layer_bytes += 2.0 * problem.bytes_per_token *
+                     static_cast<double>(problem.probability.at(l, e)) *
+                     problem.tokens_per_step;
+    }
+    total += layer_bytes / aggregate_bandwidth;
+  }
+  return total;
+}
+
+}  // namespace vela::placement

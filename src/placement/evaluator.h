@@ -1,0 +1,30 @@
+// Placement quality metrics: the optimization objective (Eq. (7)) and the
+// expected cross-node traffic a placement induces.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+// Expected per-step communication time Σ_l max_n E(T_{n,l}) — the exact
+// objective of Eq. (8). Units: seconds.
+double expected_comm_seconds(const PlacementProblem& problem,
+                             const Placement& placement);
+
+// Expected communication time of MoE block `layer` alone (the inner max).
+double expected_layer_comm_seconds(const PlacementProblem& problem,
+                                   const Placement& placement,
+                                   std::size_t layer);
+
+// Expected cross-node bytes per step: every token dispatched to an expert on
+// a different node than the master crosses the network 4× (feature out/back
+// in the forward pass, gradient out/back in the backward pass).
+double expected_external_bytes(const PlacementProblem& problem,
+                               const Placement& placement);
+
+// Lower bound on Σ_l max_n E(T_{n,l}): for each layer, total dispatch work
+// spread perfectly across the aggregate bandwidth. Useful to judge how close
+// a strategy gets to the ideal.
+double comm_time_lower_bound(const PlacementProblem& problem);
+
+}  // namespace vela::placement

@@ -1,0 +1,222 @@
+#include "placement/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "placement/evaluator.h"
+#include "placement/locality_aware.h"
+#include "util/check.h"
+
+namespace vela::placement {
+namespace {
+
+constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+struct Node {
+  // fixed[l*E + e] = worker, or kFree.
+  std::vector<std::size_t> fixed;
+};
+
+struct RelaxationResult {
+  bool feasible = false;
+  double bound = 0.0;
+  // x[(n * free_count) + i] for free expert i — relaxed assignment.
+  std::vector<double> x;
+  std::vector<std::size_t> free_experts;  // flat (l*E + e) ids
+};
+
+class Solver {
+ public:
+  Solver(const PlacementProblem& problem, const ExactOptions& options)
+      : p_(problem), opt_(options) {}
+
+  RelaxationResult relax(const Node& node) const {
+    RelaxationResult result;
+    const std::size_t n_workers = p_.num_workers;
+
+    // Fixed loads and per-(worker, layer) fixed time contributions.
+    std::vector<std::size_t> fixed_load(n_workers, 0);
+    std::vector<std::vector<double>> fixed_cost(
+        n_workers, std::vector<double>(p_.num_layers, 0.0));
+    for (std::size_t flat = 0; flat < node.fixed.size(); ++flat) {
+      const std::size_t w = node.fixed[flat];
+      if (w == kFree) {
+        result.free_experts.push_back(flat);
+        continue;
+      }
+      const std::size_t l = flat / p_.num_experts;
+      const std::size_t e = flat % p_.num_experts;
+      ++fixed_load[w];
+      fixed_cost[w][l] += p_.cost_coefficient(w, l, e);
+    }
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      if (fixed_load[w] > p_.capacity[w]) return result;  // infeasible node
+    }
+
+    const std::size_t free_count = result.free_experts.size();
+    lp::LinearProgram prog;
+    prog.num_vars = n_workers * free_count + p_.num_layers;
+    prog.objective.assign(prog.num_vars, 0.0);
+    const auto xidx = [&](std::size_t w, std::size_t i) {
+      return w * free_count + i;
+    };
+    const auto lidx = [&](std::size_t l) {
+      return n_workers * free_count + l;
+    };
+    for (std::size_t l = 0; l < p_.num_layers; ++l) {
+      prog.objective[lidx(l)] = 1.0;
+    }
+    // Assignment equalities for free experts.
+    for (std::size_t i = 0; i < free_count; ++i) {
+      lp::SparseRow row;
+      row.rhs = 1.0;
+      for (std::size_t w = 0; w < n_workers; ++w) {
+        row.coeffs.emplace_back(xidx(w, i), 1.0);
+      }
+      prog.add_equality(std::move(row));
+    }
+    // Residual capacities.
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      lp::SparseRow row;
+      row.rhs = static_cast<double>(p_.capacity[w] - fixed_load[w]);
+      for (std::size_t i = 0; i < free_count; ++i) {
+        row.coeffs.emplace_back(xidx(w, i), 1.0);
+      }
+      prog.add_leq(std::move(row));
+    }
+    // λ rows with fixed-cost constants folded into the rhs.
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      for (std::size_t l = 0; l < p_.num_layers; ++l) {
+        lp::SparseRow row;
+        row.rhs = -fixed_cost[w][l];
+        for (std::size_t i = 0; i < free_count; ++i) {
+          const std::size_t flat = result.free_experts[i];
+          if (flat / p_.num_experts != l) continue;
+          row.coeffs.emplace_back(
+              xidx(w, i), p_.cost_coefficient(w, l, flat % p_.num_experts));
+        }
+        row.coeffs.emplace_back(lidx(l), -1.0);
+        prog.add_leq(std::move(row));
+      }
+    }
+    const lp::LpSolution sol = lp::solve(prog);
+    if (sol.status != lp::LpStatus::kOptimal) return result;
+    result.feasible = true;
+    result.bound = sol.objective;
+    result.x.assign(sol.x.begin(),
+                    sol.x.begin() + static_cast<long>(n_workers * free_count));
+    return result;
+  }
+
+  const PlacementProblem& p_;
+  const ExactOptions& opt_;
+};
+
+}  // namespace
+
+Placement ExactPlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  report_ = ExactReport{};
+  Solver solver(problem, options_);
+  const std::size_t total = problem.total_experts();
+
+  // Incumbent: the paper's LP-rounding placement.
+  LocalityAwarePlacement rounding;
+  Placement incumbent = rounding.place(problem);
+  double incumbent_value = expected_comm_seconds(problem, incumbent);
+
+  std::vector<Node> stack;
+  stack.push_back(Node{std::vector<std::size_t>(total, kFree)});
+  bool budget_exhausted = false;
+
+  while (!stack.empty()) {
+    if (report_.nodes_explored >= options_.max_nodes) {
+      budget_exhausted = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++report_.nodes_explored;
+
+    const RelaxationResult relax = solver.relax(node);
+    if (report_.nodes_explored == 1) report_.root_lp_bound = relax.bound;
+    if (!relax.feasible ||
+        relax.bound >= incumbent_value - options_.tolerance) {
+      ++report_.nodes_pruned;
+      continue;
+    }
+
+    const std::size_t free_count = relax.free_experts.size();
+    // Find the most fractional free expert (max over workers of X closest
+    // to 1/2); integral solutions complete the assignment.
+    std::size_t branch_i = free_count;
+    double best_frac = options_.tolerance;
+    for (std::size_t i = 0; i < free_count; ++i) {
+      for (std::size_t w = 0; w < problem.num_workers; ++w) {
+        const double v = relax.x[w * free_count + i];
+        const double frac = std::min(v, 1.0 - v);
+        if (frac > best_frac) {
+          best_frac = frac;
+          branch_i = i;
+        }
+      }
+    }
+
+    if (branch_i == free_count) {
+      // Integral relaxation: materialize and accept as new incumbent.
+      Placement candidate(problem.num_layers, problem.num_experts);
+      for (std::size_t flat = 0; flat < total; ++flat) {
+        if (node.fixed[flat] != kFree) {
+          candidate.assign(flat / problem.num_experts,
+                           flat % problem.num_experts, node.fixed[flat]);
+        }
+      }
+      for (std::size_t i = 0; i < free_count; ++i) {
+        const std::size_t flat = relax.free_experts[i];
+        std::size_t best_w = 0;
+        double best_v = -1.0;
+        for (std::size_t w = 0; w < problem.num_workers; ++w) {
+          if (relax.x[w * free_count + i] > best_v) {
+            best_v = relax.x[w * free_count + i];
+            best_w = w;
+          }
+        }
+        candidate.assign(flat / problem.num_experts,
+                         flat % problem.num_experts, best_w);
+      }
+      if (candidate.feasible(problem)) {
+        const double value = expected_comm_seconds(problem, candidate);
+        if (value < incumbent_value - options_.tolerance) {
+          incumbent = candidate;
+          incumbent_value = value;
+        }
+      }
+      continue;
+    }
+
+    // Branch: children in ascending relaxed affinity so the highest-affinity
+    // child is explored first (LIFO stack).
+    const std::size_t flat = relax.free_experts[branch_i];
+    std::vector<std::size_t> workers(problem.num_workers);
+    std::iota(workers.begin(), workers.end(), 0);
+    std::sort(workers.begin(), workers.end(),
+              [&](std::size_t a, std::size_t b) {
+                return relax.x[a * free_count + branch_i] <
+                       relax.x[b * free_count + branch_i];
+              });
+    for (std::size_t w : workers) {
+      Node child = node;
+      child.fixed[flat] = w;
+      stack.push_back(std::move(child));
+    }
+  }
+
+  report_.proven_optimal = !budget_exhausted;
+  report_.best_objective = incumbent_value;
+  VELA_CHECK(incumbent.feasible(problem));
+  return incumbent;
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,46 @@
+#include "placement/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+Placement GreedyLPTPlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  Placement placement(problem.num_layers, problem.num_experts);
+  std::vector<std::size_t> remaining = problem.capacity;
+
+  // Process layers in order; within a layer, heaviest experts first (LPT).
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    std::vector<std::size_t> order(problem.num_experts);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return problem.probability.at(l, a) > problem.probability.at(l, b);
+    });
+    std::vector<double> layer_time(problem.num_workers, 0.0);
+    for (std::size_t e : order) {
+      std::size_t best = problem.num_workers;
+      double best_time = std::numeric_limits<double>::infinity();
+      for (std::size_t n = 0; n < problem.num_workers; ++n) {
+        if (remaining[n] == 0) continue;
+        const double t = layer_time[n] + problem.cost_coefficient(n, l, e);
+        if (t < best_time) {
+          best_time = t;
+          best = n;
+        }
+      }
+      VELA_CHECK_MSG(best < problem.num_workers,
+                     "greedy placement ran out of capacity");
+      placement.assign(l, e, best);
+      layer_time[best] = best_time;
+      --remaining[best];
+    }
+  }
+  VELA_CHECK(placement.feasible(problem));
+  return placement;
+}
+
+}  // namespace vela::placement

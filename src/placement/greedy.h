@@ -1,0 +1,17 @@
+// Greedy longest-processing-time placement — the ablation comparator for the
+// LP approach. Experts are sorted by expected dispatch load (descending) per
+// layer and each is assigned to the worker whose layer communication time
+// grows the least, subject to capacity.
+#pragma once
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+class GreedyLPTPlacement : public PlacementStrategy {
+ public:
+  Placement place(const PlacementProblem& problem) override;
+  std::string name() const override { return "greedy-lpt"; }
+};
+
+}  // namespace vela::placement

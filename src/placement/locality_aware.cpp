@@ -1,0 +1,118 @@
+#include "placement/locality_aware.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "placement/greedy.h"
+#include "placement/rounding.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::placement {
+
+namespace {
+
+// Variable layout: X_{n,l,e} at ((n·L)+l)·E+e, then λ_l at N·L·E + l.
+std::size_t x_index(const PlacementProblem& p, std::size_t n, std::size_t l,
+                    std::size_t e) {
+  return (n * p.num_layers + l) * p.num_experts + e;
+}
+
+std::size_t lambda_index(const PlacementProblem& p, std::size_t l) {
+  return p.num_workers * p.num_layers * p.num_experts + l;
+}
+
+}  // namespace
+
+lp::LinearProgram LocalityAwarePlacement::build_lp(
+    const PlacementProblem& p) {
+  lp::LinearProgram prog;
+  prog.num_vars = p.num_workers * p.num_layers * p.num_experts + p.num_layers;
+  prog.objective.assign(prog.num_vars, 0.0);
+  for (std::size_t l = 0; l < p.num_layers; ++l) {
+    prog.objective[lambda_index(p, l)] = 1.0;
+  }
+
+  // Σ_n X_{n,l,e} = 1.
+  for (std::size_t l = 0; l < p.num_layers; ++l) {
+    for (std::size_t e = 0; e < p.num_experts; ++e) {
+      lp::SparseRow row;
+      row.rhs = 1.0;
+      for (std::size_t n = 0; n < p.num_workers; ++n) {
+        row.coeffs.emplace_back(x_index(p, n, l, e), 1.0);
+      }
+      prog.add_equality(std::move(row));
+    }
+  }
+
+  // Σ_{l,e} X_{n,l,e} ≤ C_n.
+  for (std::size_t n = 0; n < p.num_workers; ++n) {
+    lp::SparseRow row;
+    row.rhs = static_cast<double>(p.capacity[n]);
+    for (std::size_t l = 0; l < p.num_layers; ++l) {
+      for (std::size_t e = 0; e < p.num_experts; ++e) {
+        row.coeffs.emplace_back(x_index(p, n, l, e), 1.0);
+      }
+    }
+    prog.add_leq(std::move(row));
+  }
+
+  // Per (n, l): Σ_e cost(n,l,e)·X − λ_l ≤ 0.
+  for (std::size_t n = 0; n < p.num_workers; ++n) {
+    for (std::size_t l = 0; l < p.num_layers; ++l) {
+      lp::SparseRow row;
+      row.rhs = 0.0;
+      for (std::size_t e = 0; e < p.num_experts; ++e) {
+        row.coeffs.emplace_back(x_index(p, n, l, e),
+                                p.cost_coefficient(n, l, e));
+      }
+      row.coeffs.emplace_back(lambda_index(p, l), -1.0);
+      prog.add_leq(std::move(row));
+    }
+  }
+  return prog;
+}
+
+Placement LocalityAwarePlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  report_ = LocalityAwareReport{};
+
+  const lp::LinearProgram prog = build_lp(problem);
+  const lp::LpSolution sol = lp::solve(prog, options_);
+  report_.lp_status = sol.status;
+  report_.lp_iterations = sol.iterations;
+  report_.lp_objective = sol.objective;
+
+  if (sol.status != lp::LpStatus::kOptimal) {
+    VELA_LOG_WARN("placement") << "LP solve returned "
+                               << lp::lp_status_name(sol.status)
+                               << "; falling back to greedy placement";
+    report_.used_fallback = true;
+    GreedyLPTPlacement fallback;
+    return fallback.place(problem);
+  }
+
+  // Rounding (§IV-B, steps 1–3) lives in placement/rounding.h so the
+  // procedure is unit-testable on crafted fractional solutions.
+  RelaxedSolution relaxed(problem.num_workers, problem.num_layers,
+                          problem.num_experts);
+  for (std::size_t n = 0; n < problem.num_workers; ++n) {
+    for (std::size_t l = 0; l < problem.num_layers; ++l) {
+      for (std::size_t e = 0; e < problem.num_experts; ++e) {
+        // Clamp simplex round-off into [0, 1].
+        relaxed.set(n, l, e,
+                    std::min(1.0, std::max(0.0, sol.x[x_index(problem, n, l, e)])));
+      }
+    }
+  }
+  RoundingReport rounding;
+  Placement placement =
+      round_relaxed_solution(relaxed, problem.capacity, &rounding);
+  report_.thresholded = rounding.thresholded;
+  report_.evicted = rounding.evicted;
+  report_.reassigned = rounding.reassigned;
+  VELA_CHECK(placement.feasible(problem));
+  return placement;
+}
+
+}  // namespace vela::placement

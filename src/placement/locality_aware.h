@@ -1,0 +1,54 @@
+// VELA's locality-aware expert placement (§IV-B).
+//
+// Builds the relaxed linear program of the paper —
+//
+//   min Σ_l λ_l
+//   s.t. 0 ≤ X_{n,l,e} ≤ 1                      (relaxed binaries)
+//        Σ_n X_{n,l,e} = 1                       (each expert on one worker)
+//        Σ_{l,e} X_{n,l,e} ≤ C_n                 (worker capacity)
+//        bH/(4 B_n) Σ_e X_{n,l,e} P_{l,e} K ≤ λ_l (linearized max)
+//
+// — solves it with the in-repo simplex, then rounds back to a feasible
+// binary placement with the paper's three-step procedure: threshold at 0.5,
+// evict lowest-affinity assignments from overloaded workers, and place any
+// orphaned expert on the highest-affinity worker with spare capacity.
+//
+// (The X ≤ 1 bounds need no explicit rows: they are implied by the
+// assignment equalities plus X ≥ 0.)
+#pragma once
+
+#include "placement/lp/simplex.h"
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+struct LocalityAwareReport {
+  lp::LpStatus lp_status = lp::LpStatus::kIterationLimit;
+  std::size_t lp_iterations = 0;
+  double lp_objective = 0.0;        // relaxed optimum (lower bounds rounded)
+  std::size_t thresholded = 0;      // assignments produced by the 0.5 rule
+  std::size_t evicted = 0;          // removed during capacity repair
+  std::size_t reassigned = 0;       // orphans placed by the affinity rule
+  bool used_fallback = false;       // LP failed; greedy fallback used
+};
+
+class LocalityAwarePlacement : public PlacementStrategy {
+ public:
+  explicit LocalityAwarePlacement(lp::SimplexOptions options = {})
+      : options_(options) {}
+
+  Placement place(const PlacementProblem& problem) override;
+  std::string name() const override { return "locality-aware"; }
+
+  // Diagnostics of the most recent place() call.
+  const LocalityAwareReport& report() const { return report_; }
+
+  // Exposed for tests: the raw LP built for `problem`.
+  static lp::LinearProgram build_lp(const PlacementProblem& problem);
+
+ private:
+  lp::SimplexOptions options_;
+  LocalityAwareReport report_;
+};
+
+}  // namespace vela::placement

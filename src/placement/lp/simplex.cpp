@@ -1,0 +1,295 @@
+#include "placement/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vela::lp {
+
+const char* lp_status_name(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Dense tableau simplex working on the standard form
+//   minimize c·x  s.t.  A x = b,  x ≥ 0,  b ≥ 0,
+// with an initial basic feasible solution given by `basis`.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : m_(rows), n_(cols), a_(rows * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * (n_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const { return a_[r * (n_ + 1) + c]; }
+  double& rhs(std::size_t r) { return a_[r * (n_ + 1) + n_]; }
+  double rhs(std::size_t r) const { return a_[r * (n_ + 1) + n_]; }
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  // Gauss–Jordan pivot on (pr, pc).
+  void pivot(std::size_t pr, std::size_t pc) {
+    const std::size_t width = n_ + 1;
+    double* prow = &a_[pr * width];
+    const double inv = 1.0 / prow[pc];
+    for (std::size_t c = 0; c < width; ++c) prow[c] *= inv;
+    prow[pc] = 1.0;  // cancel rounding
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == pr) continue;
+      double* row = &a_[r * width];
+      const double factor = row[pc];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < width; ++c) row[c] -= factor * prow[c];
+      row[pc] = 0.0;
+    }
+  }
+
+ private:
+  std::size_t m_, n_;
+  std::vector<double> a_;
+};
+
+struct PhaseResult {
+  LpStatus status = LpStatus::kOptimal;
+  std::size_t iterations = 0;
+};
+
+// Runs the simplex on `t` with reduced costs `reduced` (length cols) and
+// objective value `obj_value` maintained alongside. `allowed` masks columns
+// eligible to enter (phase 2 excludes artificials).
+PhaseResult run_simplex(Tableau& t, std::vector<double>& reduced,
+                        double& obj_value, std::vector<std::size_t>& basis,
+                        const std::vector<bool>& allowed,
+                        const SimplexOptions& opt, std::size_t max_iters) {
+  PhaseResult result;
+  std::size_t degenerate_run = 0;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    const bool bland = degenerate_run >= opt.degenerate_switch;
+    // Pricing: most negative reduced cost (Dantzig) or first negative
+    // (Bland, with smallest index, to break cycles).
+    std::size_t enter = t.cols();
+    double best = -opt.eps;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      if (!allowed[c]) continue;
+      const double rc = reduced[c];
+      if (bland) {
+        if (rc < -opt.eps) {
+          enter = c;
+          break;
+        }
+      } else if (rc < best) {
+        best = rc;
+        enter = c;
+      }
+    }
+    if (enter == t.cols()) {
+      result.status = LpStatus::kOptimal;
+      result.iterations = iter;
+      return result;
+    }
+
+    // Ratio test; Bland tie-break on the leaving basis variable index.
+    std::size_t leave = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const double col = t.at(r, enter);
+      if (col <= opt.eps) continue;
+      const double ratio = t.rhs(r) / col;
+      if (ratio < best_ratio - opt.eps ||
+          (ratio < best_ratio + opt.eps && leave < t.rows() &&
+           basis[r] < basis[leave])) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave == t.rows()) {
+      result.status = LpStatus::kUnbounded;
+      result.iterations = iter;
+      return result;
+    }
+
+    degenerate_run = best_ratio <= opt.eps ? degenerate_run + 1 : 0;
+
+    // Update reduced costs and objective before the tableau pivot (they use
+    // the entering column's pre-pivot values).
+    const double pivot_val = t.at(leave, enter);
+    const double rc_enter = reduced[enter];
+    const double theta = t.rhs(leave) / pivot_val;
+    obj_value += rc_enter * theta;
+    const double scale = rc_enter / pivot_val;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      reduced[c] -= scale * t.at(leave, c);
+    }
+    reduced[enter] = 0.0;
+
+    t.pivot(leave, enter);
+    basis[leave] = enter;
+  }
+  result.status = LpStatus::kIterationLimit;
+  result.iterations = max_iters;
+  return result;
+}
+
+}  // namespace
+
+LpSolution solve(const LinearProgram& lp, const SimplexOptions& opt) {
+  VELA_CHECK(lp.objective.size() == lp.num_vars);
+  const std::size_t n_orig = lp.num_vars;
+  const std::size_t n_leq = lp.leq_rows.size();
+  const std::size_t m = lp.equalities.size() + n_leq;
+  VELA_CHECK_MSG(m > 0, "LP has no constraints");
+
+  // Column layout: [original | slacks (one per leq) | artificials (per row
+  // that needs one)]. We conservatively give every row an artificial slot
+  // except leq rows with rhs >= 0, whose slack can start basic.
+  std::vector<SparseRow> rows;
+  rows.reserve(m);
+  for (const auto& r : lp.equalities) rows.push_back(r);
+  for (const auto& r : lp.leq_rows) rows.push_back(r);
+
+  // Which rows are equalities.
+  const std::size_t first_leq = lp.equalities.size();
+
+  const std::size_t slack_base = n_orig;
+  const std::size_t art_base = n_orig + n_leq;
+
+  // Count artificials and assign columns.
+  std::vector<std::size_t> art_col(m, SIZE_MAX);
+  std::size_t n_art = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const bool is_leq = r >= first_leq;
+    const bool rhs_neg = rows[r].rhs < 0.0;
+    // leq with rhs >= 0: slack is basic, no artificial needed.
+    if (!(is_leq && !rhs_neg)) art_col[r] = art_base + n_art++;
+  }
+  const std::size_t n_total = art_base + n_art;
+
+  Tableau t(m, n_total);
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const bool is_leq = r >= first_leq;
+    const bool rhs_neg = rows[r].rhs < 0.0;
+    const double sign = rhs_neg ? -1.0 : 1.0;
+    for (const auto& [idx, coef] : rows[r].coeffs) {
+      VELA_CHECK_MSG(idx < n_orig, "LP coefficient index out of range");
+      t.at(r, idx) += sign * coef;
+    }
+    t.rhs(r) = sign * rows[r].rhs;
+    if (is_leq) {
+      // slack: +1 normally; negating the row turns it into a surplus (−1).
+      t.at(r, slack_base + (r - first_leq)) = sign * 1.0;
+    }
+    if (art_col[r] != SIZE_MAX) {
+      t.at(r, art_col[r]) = 1.0;
+      basis[r] = art_col[r];
+    } else {
+      basis[r] = slack_base + (r - first_leq);
+    }
+  }
+
+  LpSolution solution;
+
+  // --- Phase 1: minimize the sum of artificials. -----------------------------
+  if (n_art > 0) {
+    // Reduced costs of phase-1 objective (Σ artificials) with the artificial
+    // basis priced out: rc_j = −Σ_{rows with artificial basic} a_rj.
+    std::vector<double> reduced(n_total, 0.0);
+    double obj = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (art_col[r] == SIZE_MAX) continue;
+      for (std::size_t c = 0; c < n_total; ++c) reduced[c] -= t.at(r, c);
+      obj -= t.rhs(r);  // phase-1 objective value is Σ rhs of art rows
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (art_col[r] != SIZE_MAX) reduced[art_col[r]] = 0.0;
+    }
+    std::vector<bool> allowed(n_total, true);
+
+    PhaseResult p1 =
+        run_simplex(t, reduced, obj, basis, allowed, opt, opt.max_iterations);
+    solution.iterations += p1.iterations;
+    if (p1.status == LpStatus::kIterationLimit) {
+      solution.status = LpStatus::kIterationLimit;
+      return solution;
+    }
+    // obj tracks −(phase-1 objective); recompute the artificial sum directly
+    // from the basis for robustness.
+    double art_sum = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art_base) art_sum += t.rhs(r);
+    }
+    if (art_sum > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any residual artificials out of the basis (degenerate rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < art_base) continue;
+      std::size_t pivot_col = n_total;
+      for (std::size_t c = 0; c < art_base; ++c) {
+        if (std::abs(t.at(r, c)) > opt.eps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col == n_total) continue;  // redundant row; keep artificial at 0
+      t.pivot(r, pivot_col);
+      basis[r] = pivot_col;
+    }
+  }
+
+  // --- Phase 2: the real objective. -----------------------------------------
+  std::vector<double> reduced(n_total, 0.0);
+  for (std::size_t c = 0; c < n_orig; ++c) reduced[c] = lp.objective[c];
+  // Price out the basis: for each basic column with nonzero cost, subtract
+  // its cost times the row from the reduced costs.
+  double obj = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = basis[r];
+    const double cb = b < n_orig ? lp.objective[b] : 0.0;
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c < n_total; ++c) reduced[c] -= cb * t.at(r, c);
+    obj += cb * t.rhs(r);
+  }
+  for (std::size_t r = 0; r < m; ++r) reduced[basis[r]] = 0.0;
+
+  std::vector<bool> allowed(n_total, true);
+  for (std::size_t c = art_base; c < n_total; ++c) allowed[c] = false;
+
+  double neg_obj = -obj;  // run_simplex tracks Δ via reduced costs
+  PhaseResult p2 =
+      run_simplex(t, reduced, neg_obj, basis, allowed, opt,
+                  opt.max_iterations - solution.iterations);
+  solution.iterations += p2.iterations;
+  if (p2.status != LpStatus::kOptimal) {
+    solution.status = p2.status;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n_orig, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n_orig) solution.x[basis[r]] = t.rhs(r);
+  }
+  double value = 0.0;
+  for (std::size_t c = 0; c < n_orig; ++c)
+    value += lp.objective[c] * solution.x[c];
+  solution.objective = value;
+  return solution;
+}
+
+}  // namespace vela::lp

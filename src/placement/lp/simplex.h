@@ -1,0 +1,59 @@
+// A from-scratch dense two-phase primal simplex solver.
+//
+// This is the "off-the-shelf LP solver" the paper plugs its relaxed
+// placement problem into — built here from first principles so the
+// repository has no external dependencies. Scope: minimize c·x subject to
+// equality rows, ≤ rows and non-negative variables. That is exactly the
+// shape of the relaxed placement LP (§IV-B): the X ≤ 1 bounds are implied by
+// the assignment equalities Σₙ Xₙₗₑ = 1, so general variable bounds are not
+// needed.
+//
+// Anti-cycling: Dantzig pricing normally, switching to Bland's rule after a
+// run of degenerate pivots (guaranteeing termination).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vela::lp {
+
+struct SparseRow {
+  // (variable index, coefficient) pairs; duplicate indices are summed.
+  std::vector<std::pair<std::size_t, double>> coeffs;
+  double rhs = 0.0;
+};
+
+// minimize objective·x  s.t.  equalities (·x = rhs), leq_rows (·x ≤ rhs),
+// x ≥ 0 componentwise.
+struct LinearProgram {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;
+  std::vector<SparseRow> equalities;
+  std::vector<SparseRow> leq_rows;
+
+  void add_equality(SparseRow row) { equalities.push_back(std::move(row)); }
+  void add_leq(SparseRow row) { leq_rows.push_back(std::move(row)); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* lp_status_name(LpStatus s);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double eps = 1e-9;  // pivot / feasibility tolerance
+  // After this many consecutive degenerate pivots, fall back to Bland.
+  std::size_t degenerate_switch = 40;
+};
+
+LpSolution solve(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace vela::lp

@@ -1,0 +1,145 @@
+#include "placement/placement.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+void PlacementProblem::validate() const {
+  VELA_CHECK(num_workers > 0 && num_layers > 0 && num_experts > 0);
+  VELA_CHECK(probability.rank() == 2 && probability.rows() == num_layers &&
+             probability.cols() == num_experts);
+  VELA_CHECK(bandwidth.size() == num_workers);
+  VELA_CHECK(capacity.size() == num_workers);
+  VELA_CHECK(worker_node.size() == num_workers);
+  for (double b : bandwidth) VELA_CHECK_MSG(b > 0.0, "bandwidth must be positive");
+  VELA_CHECK(tokens_per_step > 0.0 && bytes_per_token > 0.0);
+  const std::size_t total_capacity =
+      std::accumulate(capacity.begin(), capacity.end(), std::size_t{0});
+  VELA_CHECK_MSG(total_capacity >= total_experts(),
+                 "total capacity " << total_capacity
+                                   << " cannot host all "
+                                   << total_experts() << " experts");
+}
+
+double PlacementProblem::cost_coefficient(std::size_t worker,
+                                          std::size_t layer,
+                                          std::size_t expert) const {
+  // Eq. (6): bH/(4·B_n)·P_{l,e}·K. bytes_per_token is bH/8; the factor 2
+  // accounts for dispatch + gather of equal size.
+  return 2.0 * bytes_per_token / bandwidth[worker] *
+         static_cast<double>(probability.at(layer, expert)) * tokens_per_step;
+}
+
+Placement::Placement(std::size_t num_layers, std::size_t num_experts)
+    : assignment_(num_layers,
+                  std::vector<std::size_t>(num_experts, kUnassigned)) {}
+
+std::size_t Placement::worker_of(std::size_t layer, std::size_t expert) const {
+  VELA_CHECK(layer < assignment_.size() && expert < assignment_[layer].size());
+  const std::size_t w = assignment_[layer][expert];
+  VELA_CHECK_MSG(w != kUnassigned, "expert (" << layer << ", " << expert
+                                              << ") is unassigned");
+  return w;
+}
+
+void Placement::assign(std::size_t layer, std::size_t expert,
+                       std::size_t worker) {
+  VELA_CHECK(layer < assignment_.size() && expert < assignment_[layer].size());
+  assignment_[layer][expert] = worker;
+}
+
+std::vector<std::size_t> Placement::worker_loads(
+    std::size_t num_workers) const {
+  std::vector<std::size_t> loads(num_workers, 0);
+  for (const auto& layer : assignment_) {
+    for (std::size_t w : layer) {
+      if (w == kUnassigned) continue;
+      VELA_CHECK(w < num_workers);
+      ++loads[w];
+    }
+  }
+  return loads;
+}
+
+bool Placement::feasible(const PlacementProblem& problem) const {
+  if (num_layers() != problem.num_layers ||
+      num_experts() != problem.num_experts) {
+    return false;
+  }
+  for (const auto& layer : assignment_) {
+    for (std::size_t w : layer) {
+      if (w == kUnassigned || w >= problem.num_workers) return false;
+    }
+  }
+  const auto loads = worker_loads(problem.num_workers);
+  for (std::size_t n = 0; n < problem.num_workers; ++n) {
+    if (loads[n] > problem.capacity[n]) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Placement::experts_of(
+    std::size_t worker) const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t l = 0; l < assignment_.size(); ++l) {
+    for (std::size_t e = 0; e < assignment_[l].size(); ++e) {
+      if (assignment_[l][e] == worker) out.emplace_back(l, e);
+    }
+  }
+  return out;
+}
+
+std::string Placement::serialize() const {
+  std::ostringstream os;
+  os << num_layers() << ' ' << num_experts() << '\n';
+  for (const auto& layer : assignment_) {
+    for (std::size_t e = 0; e < layer.size(); ++e) {
+      VELA_CHECK_MSG(layer[e] != kUnassigned,
+                     "cannot serialize a partial placement");
+      if (e) os << ' ';
+      os << layer[e];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Placement Placement::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t layers = 0, experts = 0;
+  is >> layers >> experts;
+  VELA_CHECK_MSG(is.good() && layers > 0 && experts > 0,
+                 "malformed placement header");
+  Placement p(layers, experts);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t e = 0; e < experts; ++e) {
+      std::size_t worker = 0;
+      is >> worker;
+      VELA_CHECK_MSG(!is.fail(), "placement data truncated at layer "
+                                     << l << " expert " << e);
+      p.assign(l, e, worker);
+    }
+  }
+  return p;
+}
+
+std::string Placement::to_string() const {
+  std::ostringstream os;
+  for (std::size_t l = 0; l < assignment_.size(); ++l) {
+    os << "layer " << l << ':';
+    for (std::size_t w : assignment_[l]) {
+      if (w == kUnassigned) {
+        os << " -";
+      } else {
+        os << ' ' << w;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,84 @@
+// Expert placement: problem statement, placement representation, and the
+// strategy interface (§IV-B).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vela::placement {
+
+// All the data Eq. (8)–(11) needs. Bandwidths are bytes/second (B_n);
+// probability is the profiled matrix P ∈ R^{L×E}; tokens_per_step is K;
+// bytes_per_token is bH/8 (one token, one direction).
+struct PlacementProblem {
+  std::size_t num_workers = 0;  // N
+  std::size_t num_layers = 0;   // L
+  std::size_t num_experts = 0;  // E per layer
+  Tensor probability;           // [L, E]
+  std::vector<double> bandwidth;       // [N] master↔worker bytes/s
+  std::vector<std::size_t> capacity;   // [N] C_n, max experts per worker
+  std::vector<std::size_t> worker_node;  // [N] node hosting each worker
+  std::size_t master_node = 0;
+  double tokens_per_step = 0.0;  // K
+  double bytes_per_token = 0.0;  // bH/8
+
+  // Validates shapes and that Σ C_n can host all L·E experts.
+  void validate() const;
+  std::size_t total_experts() const { return num_layers * num_experts; }
+
+  // The per-(worker, layer, expert) cost coefficient of Eq. (6):
+  // bH/(4·B_n) · P_{l,e} · K — expected seconds contributed to worker n's
+  // communication time when expert (l, e) is placed on it.
+  double cost_coefficient(std::size_t worker, std::size_t layer,
+                          std::size_t expert) const;
+};
+
+// A complete assignment of every (layer, expert) to a worker.
+class Placement {
+ public:
+  Placement() = default;
+  Placement(std::size_t num_layers, std::size_t num_experts);
+
+  std::size_t worker_of(std::size_t layer, std::size_t expert) const;
+  void assign(std::size_t layer, std::size_t expert, std::size_t worker);
+
+  std::size_t num_layers() const { return assignment_.size(); }
+  std::size_t num_experts() const {
+    return assignment_.empty() ? 0 : assignment_[0].size();
+  }
+
+  // Experts hosted per worker.
+  std::vector<std::size_t> worker_loads(std::size_t num_workers) const;
+  // True iff every expert is assigned a worker < num_workers and no
+  // capacity is exceeded.
+  bool feasible(const PlacementProblem& problem) const;
+
+  // The experts (layer, expert) assigned to `worker`.
+  std::vector<std::pair<std::size_t, std::size_t>> experts_of(
+      std::size_t worker) const;
+
+  std::string to_string() const;
+
+  // Compact text round-trip ("L E\nw w w ...\n" rows): placements computed
+  // offline (e.g. from a recorded routing trace) can be shipped into a
+  // training job as plain files.
+  std::string serialize() const;
+  static Placement deserialize(const std::string& text);
+
+ private:
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> assignment_;  // [L][E] -> worker
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+  virtual Placement place(const PlacementProblem& problem) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace vela::placement

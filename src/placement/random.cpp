@@ -1,0 +1,39 @@
+#include "placement/random.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela::placement {
+
+Placement RandomPlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  Rng rng(seed_);
+
+  // Shuffle every (layer, expert) pair, then deal them to workers that still
+  // have capacity, visiting workers in random order per expert.
+  std::vector<std::pair<std::size_t, std::size_t>> experts;
+  experts.reserve(problem.total_experts());
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      experts.emplace_back(l, e);
+    }
+  }
+  rng.shuffle(experts);
+
+  std::vector<std::size_t> remaining = problem.capacity;
+  Placement placement(problem.num_layers, problem.num_experts);
+  for (const auto& [l, e] : experts) {
+    // Draw a worker uniformly among those with spare capacity.
+    std::vector<double> weights(problem.num_workers, 0.0);
+    for (std::size_t n = 0; n < problem.num_workers; ++n) {
+      weights[n] = remaining[n] > 0 ? 1.0 : 0.0;
+    }
+    const std::size_t n = rng.categorical(weights);
+    placement.assign(l, e, n);
+    --remaining[n];
+  }
+  VELA_CHECK(placement.feasible(problem));
+  return placement;
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,22 @@
+// Random placement: all L·E experts shuffled and dealt to workers subject to
+// capacity (§V-A's second baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+class RandomPlacement : public PlacementStrategy {
+ public:
+  explicit RandomPlacement(std::uint64_t seed) : seed_(seed) {}
+
+  Placement place(const PlacementProblem& problem) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace vela::placement

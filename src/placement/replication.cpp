@@ -1,0 +1,177 @@
+#include "placement/replication.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+ReplicatedPlacement::ReplicatedPlacement(Placement base) {
+  VELA_CHECK(base.num_layers() > 0 && base.num_experts() > 0);
+  replicas_.resize(base.num_layers());
+  for (std::size_t l = 0; l < base.num_layers(); ++l) {
+    replicas_[l].resize(base.num_experts());
+    for (std::size_t e = 0; e < base.num_experts(); ++e) {
+      replicas_[l][e].push_back(base.worker_of(l, e));
+    }
+  }
+}
+
+void ReplicatedPlacement::add_replica(std::size_t layer, std::size_t expert,
+                                      std::size_t worker) {
+  VELA_CHECK(layer < num_layers() && expert < num_experts());
+  auto& reps = replicas_[layer][expert];
+  VELA_CHECK_MSG(std::find(reps.begin(), reps.end(), worker) == reps.end(),
+                 "worker " << worker << " already hosts expert (" << layer
+                           << ", " << expert << ")");
+  reps.insert(std::upper_bound(reps.begin(), reps.end(), worker), worker);
+}
+
+const std::vector<std::size_t>& ReplicatedPlacement::replicas(
+    std::size_t layer, std::size_t expert) const {
+  VELA_CHECK(layer < num_layers() && expert < num_experts());
+  return replicas_[layer][expert];
+}
+
+std::size_t ReplicatedPlacement::total_replicas() const {
+  std::size_t total = 0;
+  for (const auto& layer : replicas_) {
+    for (const auto& reps : layer) total += reps.size();
+  }
+  return total;
+}
+
+std::vector<std::size_t> ReplicatedPlacement::worker_loads(
+    std::size_t num_workers) const {
+  std::vector<std::size_t> loads(num_workers, 0);
+  for (const auto& layer : replicas_) {
+    for (const auto& reps : layer) {
+      for (std::size_t w : reps) {
+        VELA_CHECK(w < num_workers);
+        ++loads[w];
+      }
+    }
+  }
+  return loads;
+}
+
+bool ReplicatedPlacement::feasible(const PlacementProblem& problem) const {
+  if (num_layers() != problem.num_layers ||
+      num_experts() != problem.num_experts) {
+    return false;
+  }
+  const auto loads = worker_loads(problem.num_workers);
+  for (std::size_t n = 0; n < problem.num_workers; ++n) {
+    if (loads[n] > problem.capacity[n]) return false;
+  }
+  return true;
+}
+
+std::vector<double> ReplicatedPlacement::split_fractions(
+    std::size_t layer, std::size_t expert,
+    const PlacementProblem& problem) const {
+  const auto& reps = replicas(layer, expert);
+  double total_bandwidth = 0.0;
+  for (std::size_t w : reps) total_bandwidth += problem.bandwidth[w];
+  std::vector<double> fractions;
+  fractions.reserve(reps.size());
+  for (std::size_t w : reps) {
+    fractions.push_back(problem.bandwidth[w] / total_bandwidth);
+  }
+  return fractions;
+}
+
+namespace {
+
+double layer_time_replicated(const PlacementProblem& problem,
+                             const ReplicatedPlacement& placement,
+                             std::size_t l) {
+  std::vector<double> worker_time(problem.num_workers, 0.0);
+  for (std::size_t e = 0; e < problem.num_experts; ++e) {
+    const auto& reps = placement.replicas(l, e);
+    const auto fractions = placement.split_fractions(l, e, problem);
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      worker_time[reps[i]] +=
+          problem.cost_coefficient(reps[i], l, e) * fractions[i];
+    }
+  }
+  return *std::max_element(worker_time.begin(), worker_time.end());
+}
+
+}  // namespace
+
+double expected_comm_seconds_replicated(const PlacementProblem& problem,
+                                        const ReplicatedPlacement& placement) {
+  double total = 0.0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    total += layer_time_replicated(problem, placement, l);
+  }
+  return total;
+}
+
+double expected_external_bytes_replicated(
+    const PlacementProblem& problem, const ReplicatedPlacement& placement) {
+  double bytes = 0.0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      const auto& reps = placement.replicas(l, e);
+      const auto fractions = placement.split_fractions(l, e, problem);
+      const double tokens = static_cast<double>(problem.probability.at(l, e)) *
+                            problem.tokens_per_step;
+      for (std::size_t i = 0; i < reps.size(); ++i) {
+        if (problem.worker_node[reps[i]] == problem.master_node) continue;
+        bytes += 4.0 * tokens * fractions[i] * problem.bytes_per_token;
+      }
+    }
+  }
+  return bytes;
+}
+
+ReplicatedPlacement greedy_replication(const PlacementProblem& problem,
+                                       const Placement& base,
+                                       std::size_t budget) {
+  problem.validate();
+  VELA_CHECK(base.feasible(problem));
+  ReplicatedPlacement placement(base);
+  std::vector<std::size_t> loads = placement.worker_loads(problem.num_workers);
+
+  // Cache per-layer times: a candidate replica only changes its own layer.
+  std::vector<double> layer_time(problem.num_layers);
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    layer_time[l] = layer_time_replicated(problem, placement, l);
+  }
+
+  for (std::size_t round = 0; round < budget; ++round) {
+    double best_gain = 1e-15;
+    std::size_t best_l = 0, best_e = 0, best_w = problem.num_workers;
+    double best_new_time = 0.0;
+    for (std::size_t l = 0; l < problem.num_layers; ++l) {
+      for (std::size_t e = 0; e < problem.num_experts; ++e) {
+        for (std::size_t w = 0; w < problem.num_workers; ++w) {
+          if (loads[w] >= problem.capacity[w]) continue;
+          const auto& reps = placement.replicas(l, e);
+          if (std::find(reps.begin(), reps.end(), w) != reps.end()) continue;
+          ReplicatedPlacement candidate = placement;
+          candidate.add_replica(l, e, w);
+          const double t = layer_time_replicated(problem, candidate, l);
+          const double gain = layer_time[l] - t;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_l = l;
+            best_e = e;
+            best_w = w;
+            best_new_time = t;
+          }
+        }
+      }
+    }
+    if (best_w == problem.num_workers) break;  // no improving replica left
+    placement.add_replica(best_l, best_e, best_w);
+    ++loads[best_w];
+    layer_time[best_l] = best_new_time;
+  }
+  return placement;
+}
+
+}  // namespace vela::placement

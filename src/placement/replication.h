@@ -1,0 +1,71 @@
+// Expert replication — an extension beyond the paper, inspired by the
+// inference-side systems it cites (Lina allocates *more resources* to
+// popular experts rather than just placing them well).
+//
+// A ReplicatedPlacement keeps the base single-replica assignment and adds
+// extra replicas for selected (layer, expert) pairs. Token groups split
+// across the replicas of their expert proportionally to the replicas'
+// master-link bandwidths, which minimizes that group's transfer time.
+//
+// Scope note: replication is modelled at the placement/traffic level (and
+// exposed through VelaTrafficModel::account_step_replicated). Using it while
+// *training* LoRA adapters would require synchronizing replica gradients —
+// exactly the all-reduce VELA exists to avoid — so the runtime intentionally
+// does not replicate; see DESIGN.md. The ablation quantifies how much comm
+// time replication could additionally save (e.g. for the frozen-expert
+// forward passes of evaluation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+class ReplicatedPlacement {
+ public:
+  // Starts with one replica per expert, taken from `base`.
+  explicit ReplicatedPlacement(Placement base);
+
+  // Adds a replica of (layer, expert) on `worker`; the worker must not
+  // already host a replica of that expert.
+  void add_replica(std::size_t layer, std::size_t expert, std::size_t worker);
+
+  const std::vector<std::size_t>& replicas(std::size_t layer,
+                                           std::size_t expert) const;
+
+  std::size_t num_layers() const { return replicas_.size(); }
+  std::size_t num_experts() const {
+    return replicas_.empty() ? 0 : replicas_[0].size();
+  }
+  // Total replica slots (== L·E for an unreplicated placement).
+  std::size_t total_replicas() const;
+  std::vector<std::size_t> worker_loads(std::size_t num_workers) const;
+  bool feasible(const PlacementProblem& problem) const;
+
+  // Fraction of expert (l, e)'s tokens sent to each of its replicas:
+  // proportional to the replica workers' bandwidths.
+  std::vector<double> split_fractions(std::size_t layer, std::size_t expert,
+                                      const PlacementProblem& problem) const;
+
+ private:
+  // replicas_[l][e] = workers hosting a replica, ascending.
+  std::vector<std::vector<std::vector<std::size_t>>> replicas_;
+};
+
+// Eq. (7) generalized to split dispatch.
+double expected_comm_seconds_replicated(const PlacementProblem& problem,
+                                        const ReplicatedPlacement& placement);
+double expected_external_bytes_replicated(const PlacementProblem& problem,
+                                          const ReplicatedPlacement& placement);
+
+// Greedily spends up to `budget` extra replica slots: each round replicates
+// the (layer, expert, worker) choice with the largest reduction of the
+// total expected communication time, respecting worker capacities. Stops
+// early when no candidate improves.
+ReplicatedPlacement greedy_replication(const PlacementProblem& problem,
+                                       const Placement& base,
+                                       std::size_t budget);
+
+}  // namespace vela::placement

@@ -1,0 +1,128 @@
+#include "placement/rounding.h"
+
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+RelaxedSolution::RelaxedSolution(std::size_t num_workers,
+                                 std::size_t num_layers,
+                                 std::size_t num_experts)
+    : workers_(num_workers),
+      layers_(num_layers),
+      experts_(num_experts),
+      x_(num_workers * num_layers * num_experts, 0.0) {
+  VELA_CHECK(num_workers > 0 && num_layers > 0 && num_experts > 0);
+}
+
+double RelaxedSolution::get(std::size_t worker, std::size_t layer,
+                            std::size_t expert) const {
+  VELA_CHECK(worker < workers_ && layer < layers_ && expert < experts_);
+  return x_[(worker * layers_ + layer) * experts_ + expert];
+}
+
+void RelaxedSolution::set(std::size_t worker, std::size_t layer,
+                          std::size_t expert, double value) {
+  VELA_CHECK(worker < workers_ && layer < layers_ && expert < experts_);
+  VELA_CHECK_MSG(value >= -1e-9 && value <= 1.0 + 1e-9,
+                 "relaxed value out of [0, 1]: " << value);
+  x_[(worker * layers_ + layer) * experts_ + expert] = value;
+}
+
+double RelaxedSolution::column_sum(std::size_t layer,
+                                   std::size_t expert) const {
+  double total = 0.0;
+  for (std::size_t w = 0; w < workers_; ++w) total += get(w, layer, expert);
+  return total;
+}
+
+Placement round_relaxed_solution(const RelaxedSolution& relaxed,
+                                 const std::vector<std::size_t>& capacity,
+                                 RoundingReport* report) {
+  VELA_CHECK(capacity.size() == relaxed.num_workers());
+  const std::size_t total_experts =
+      relaxed.num_layers() * relaxed.num_experts();
+  VELA_CHECK_MSG(std::accumulate(capacity.begin(), capacity.end(),
+                                 std::size_t{0}) >= total_experts,
+                 "capacities cannot host every expert");
+
+  RoundingReport local_report;
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> chosen(
+      relaxed.num_layers(),
+      std::vector<std::size_t>(relaxed.num_experts(), kUnassigned));
+  std::vector<std::size_t> load(relaxed.num_workers(), 0);
+
+  // Step 1: threshold at 0.5 (strictly greater, per the paper's "any value
+  // above 0.5 becomes 1"). At most one worker can exceed 0.5 per expert.
+  for (std::size_t l = 0; l < relaxed.num_layers(); ++l) {
+    for (std::size_t e = 0; e < relaxed.num_experts(); ++e) {
+      for (std::size_t w = 0; w < relaxed.num_workers(); ++w) {
+        if (relaxed.get(w, l, e) > 0.5) {
+          chosen[l][e] = w;
+          ++load[w];
+          ++local_report.thresholded;
+          break;
+        }
+      }
+    }
+  }
+
+  // Step 2: capacity repair — evict lowest relaxed values from overloaded
+  // workers.
+  for (std::size_t w = 0; w < relaxed.num_workers(); ++w) {
+    while (load[w] > capacity[w]) {
+      std::size_t worst_l = 0, worst_e = 0;
+      double worst = std::numeric_limits<double>::infinity();
+      for (std::size_t l = 0; l < relaxed.num_layers(); ++l) {
+        for (std::size_t e = 0; e < relaxed.num_experts(); ++e) {
+          if (chosen[l][e] != w) continue;
+          const double v = relaxed.get(w, l, e);
+          if (v < worst) {
+            worst = v;
+            worst_l = l;
+            worst_e = e;
+          }
+        }
+      }
+      chosen[worst_l][worst_e] = kUnassigned;
+      --load[w];
+      ++local_report.evicted;
+    }
+  }
+
+  // Step 3: orphans to the highest-affinity worker with spare capacity.
+  for (std::size_t l = 0; l < relaxed.num_layers(); ++l) {
+    for (std::size_t e = 0; e < relaxed.num_experts(); ++e) {
+      if (chosen[l][e] != kUnassigned) continue;
+      std::size_t best = kUnassigned;
+      double best_v = -1.0;
+      for (std::size_t w = 0; w < relaxed.num_workers(); ++w) {
+        if (load[w] >= capacity[w]) continue;
+        const double v = relaxed.get(w, l, e);
+        if (v > best_v) {
+          best_v = v;
+          best = w;
+        }
+      }
+      VELA_CHECK_MSG(best != kUnassigned,
+                     "no capacity left for expert (" << l << ", " << e << ")");
+      chosen[l][e] = best;
+      ++load[best];
+      ++local_report.reassigned;
+    }
+  }
+
+  Placement placement(relaxed.num_layers(), relaxed.num_experts());
+  for (std::size_t l = 0; l < relaxed.num_layers(); ++l) {
+    for (std::size_t e = 0; e < relaxed.num_experts(); ++e) {
+      placement.assign(l, e, chosen[l][e]);
+    }
+  }
+  if (report != nullptr) *report = local_report;
+  return placement;
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,55 @@
+// The paper's LP rounding procedure (§IV-B), as a standalone testable unit:
+//
+//   1. threshold: X > 0.5 → assign;
+//   2. capacity repair: overloaded workers evict their lowest-affinity
+//      assignments;
+//   3. orphans go to the highest-affinity worker with spare capacity.
+//
+// `RelaxedSolution` is the LP's X tensor; LocalityAwarePlacement feeds its
+// simplex output through here, and the unit tests drive crafted fractional
+// solutions through every branch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+// Relaxed assignment values X_{n,l,e} ∈ [0, 1].
+class RelaxedSolution {
+ public:
+  RelaxedSolution(std::size_t num_workers, std::size_t num_layers,
+                  std::size_t num_experts);
+
+  double get(std::size_t worker, std::size_t layer, std::size_t expert) const;
+  void set(std::size_t worker, std::size_t layer, std::size_t expert,
+           double value);
+
+  std::size_t num_workers() const { return workers_; }
+  std::size_t num_layers() const { return layers_; }
+  std::size_t num_experts() const { return experts_; }
+
+  // Σ_n X_{n,l,e} for validation.
+  double column_sum(std::size_t layer, std::size_t expert) const;
+
+ private:
+  std::size_t workers_, layers_, experts_;
+  std::vector<double> x_;
+};
+
+struct RoundingReport {
+  std::size_t thresholded = 0;
+  std::size_t evicted = 0;
+  std::size_t reassigned = 0;
+};
+
+// Rounds `relaxed` to a feasible binary placement under `capacity` (one
+// entry per worker). Throws CheckError if no feasible completion exists
+// (total capacity below the expert count).
+Placement round_relaxed_solution(const RelaxedSolution& relaxed,
+                                 const std::vector<std::size_t>& capacity,
+                                 RoundingReport* report = nullptr);
+
+}  // namespace vela::placement

@@ -1,0 +1,21 @@
+#include "placement/sequential.h"
+
+#include "util/check.h"
+
+namespace vela::placement {
+
+Placement SequentialPlacement::place(const PlacementProblem& problem) {
+  problem.validate();
+  Placement placement(problem.num_layers, problem.num_experts);
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    for (std::size_t e = 0; e < problem.num_experts; ++e) {
+      placement.assign(l, e, e % problem.num_workers);
+    }
+  }
+  VELA_CHECK_MSG(placement.feasible(problem),
+                 "sequential placement exceeds a worker capacity; increase "
+                 "capacity or use a capacity-aware strategy");
+  return placement;
+}
+
+}  // namespace vela::placement

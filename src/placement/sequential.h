@@ -1,0 +1,15 @@
+// Sequential placement: expert e of every MoE block goes to worker e mod N —
+// the layout conventional expert parallelism uses (§V-A baselines).
+#pragma once
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+class SequentialPlacement : public PlacementStrategy {
+ public:
+  Placement place(const PlacementProblem& problem) override;
+  std::string name() const override { return "sequential"; }
+};
+
+}  // namespace vela::placement

@@ -1,0 +1,343 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vela::ops {
+namespace {
+
+Tensor elementwise_binary(const Tensor& a, const Tensor& b,
+                          float (*f)(float, float)) {
+  VELA_CHECK_MSG(a.same_shape(b), "elementwise shape mismatch "
+                                      << a.shape_string() << " vs "
+                                      << b.shape_string());
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  return out;
+}
+
+Tensor elementwise_unary(const Tensor& a, float (*f)(float)) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out.scale_(s);
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor silu(const Tensor& a) {
+  return elementwise_unary(a, [](float x) { return x * sigmoid_scalar(x); });
+}
+
+Tensor silu_grad(const Tensor& a) {
+  return elementwise_unary(a, [](float x) {
+    const float s = sigmoid_scalar(x);
+    return s * (1.0f + x * (1.0f - s));
+  });
+}
+
+Tensor sigmoid(const Tensor& a) { return elementwise_unary(a, sigmoid_scalar); }
+
+Tensor tanh_t(const Tensor& a) {
+  return elementwise_unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor relu(const Tensor& a) {
+  return elementwise_unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  VELA_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && a.cols() == b.rows(),
+                 "matmul shape mismatch " << a.shape_string() << " x "
+                                          << b.shape_string());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  Tensor c({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams over b rows, cache friendly without tiling.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * m;
+      float* crow = pc + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  VELA_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && a.rows() == b.rows(),
+                 "matmul_tn shape mismatch " << a.shape_string() << " x "
+                                             << b.shape_string());
+  const std::size_t k = a.rows(), n = a.cols(), m = b.cols();
+  Tensor c({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * n;
+    const float* brow = pb + kk * m;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  VELA_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && a.cols() == b.cols(),
+                 "matmul_nt shape mismatch " << a.shape_string() << " x "
+                                             << b.shape_string());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  Tensor c({n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * m + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  VELA_CHECK(a.rank() == 2);
+  const std::size_t n = a.rows(), m = a.cols();
+  Tensor t({m, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  VELA_CHECK(a.rank() == 2 && bias.rank() == 1 && a.cols() == bias.dim(0));
+  Tensor out = a;
+  const std::size_t n = a.rows(), m = a.cols();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) out.at(i, j) += bias.at(j);
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  VELA_CHECK(a.size() > 0);
+  return sum(a) / static_cast<float>(a.size());
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  VELA_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i]));
+  return m;
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+Tensor sum_rows(const Tensor& a) {
+  VELA_CHECK(a.rank() == 2);
+  Tensor out({a.cols()});
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out.at(j) += a.at(i, j);
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  VELA_CHECK(logits.rank() == 2);
+  const std::size_t n = logits.rows(), m = logits.cols();
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < n; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const float e = std::exp(logits.at(i, j) - mx);
+      out.at(i, j) = e;
+      total += e;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::size_t j = 0; j < m; ++j) out.at(i, j) *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  VELA_CHECK(logits.rank() == 2);
+  const std::size_t n = logits.rows(), m = logits.cols();
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < n; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) total += std::exp(logits.at(i, j) - mx);
+    const float lse = mx + static_cast<float>(std::log(total));
+    for (std::size_t j = 0; j < m; ++j) out.at(i, j) = logits.at(i, j) - lse;
+  }
+  return out;
+}
+
+float cross_entropy(const Tensor& logits,
+                    const std::vector<std::size_t>& targets) {
+  VELA_CHECK(logits.rank() == 2 && logits.rows() == targets.size());
+  const Tensor logp = log_softmax_rows(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    VELA_CHECK(targets[i] < logits.cols());
+    loss -= logp.at(i, targets[i]);
+  }
+  return static_cast<float>(loss / static_cast<double>(targets.size()));
+}
+
+Tensor cross_entropy_grad(const Tensor& logits,
+                          const std::vector<std::size_t>& targets) {
+  VELA_CHECK(logits.rank() == 2 && logits.rows() == targets.size());
+  Tensor grad = softmax_rows(logits);
+  const float inv_n = 1.0f / static_cast<float>(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    grad.at(i, targets[i]) -= 1.0f;
+  }
+  grad.scale_(inv_n);
+  return grad;
+}
+
+std::vector<std::vector<std::size_t>> topk_rows(const Tensor& logits,
+                                                std::size_t k) {
+  VELA_CHECK(logits.rank() == 2 && k >= 1 && k <= logits.cols());
+  const std::size_t n = logits.rows(), m = logits.cols();
+  std::vector<std::vector<std::size_t>> result(n);
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                      idx.end(), [&](std::size_t a, std::size_t b) {
+                        if (logits.at(i, a) != logits.at(i, b))
+                          return logits.at(i, a) > logits.at(i, b);
+                        return a < b;  // deterministic tie-break
+                      });
+    result[i].assign(idx.begin(), idx.begin() + static_cast<long>(k));
+  }
+  return result;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& indices) {
+  VELA_CHECK(a.rank() == 2);
+  VELA_CHECK_MSG(!indices.empty(), "gather_rows requires non-empty indices");
+  const std::size_t m = a.cols();
+  Tensor out({indices.size(), m});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    VELA_CHECK(indices[i] < a.rows());
+    std::memcpy(out.data() + i * m, a.data() + indices[i] * m,
+                m * sizeof(float));
+  }
+  return out;
+}
+
+void scatter_add_rows(Tensor& out, const Tensor& a,
+                      const std::vector<std::size_t>& indices) {
+  VELA_CHECK(out.rank() == 2 && a.rank() == 2 && out.cols() == a.cols());
+  VELA_CHECK(a.rows() == indices.size());
+  const std::size_t m = out.cols();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    VELA_CHECK(indices[i] < out.rows());
+    float* dst = out.data() + indices[i] * m;
+    const float* src = a.data() + i * m;
+    for (std::size_t j = 0; j < m; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor randn(std::vector<std::size_t> shape, Rng& rng, float mean,
+             float stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor rand_uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                    float hi) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor kaiming(std::size_t fan_out, std::size_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return randn({fan_out, fan_in}, rng, 0.0f, stddev);
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = std::abs(a[i] - b[i]);
+    if (diff > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+Tensor to_half_precision(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Round-trip through IEEE fp16 semantics: keep 10 mantissa bits.
+    float x = a[i];
+    if (!std::isfinite(x)) {
+      out[i] = x;
+      continue;
+    }
+    // Scale so the mantissa truncation happens at the fp16 precision level.
+    int exp = 0;
+    const float frac = std::frexp(x, &exp);
+    const float scaled = std::ldexp(std::nearbyint(std::ldexp(frac, 11)), -11);
+    out[i] = std::ldexp(scaled, exp);
+  }
+  return out;
+}
+
+}  // namespace vela::ops

@@ -1,0 +1,167 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+std::size_t volume(const std::vector<std::size_t>& shape) {
+  std::size_t v = 1;
+  for (std::size_t d : shape) {
+    VELA_CHECK_MSG(d > 0, "tensor dimensions must be positive");
+    v *= d;
+  }
+  return shape.empty() ? 0 : v;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  VELA_CHECK_MSG(data_.size() == volume(shape_),
+                 "data size " << data_.size() << " does not match shape volume "
+                              << volume(shape_));
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::ones(std::vector<std::size_t> shape) {
+  return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values) {
+  VELA_CHECK(!values.empty());
+  return Tensor({values.size()}, values);
+}
+
+Tensor Tensor::from_rows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  VELA_CHECK(rows.size() > 0);
+  const std::size_t n = rows.size();
+  const std::size_t m = rows.begin()->size();
+  std::vector<float> data;
+  data.reserve(n * m);
+  for (const auto& row : rows) {
+    VELA_CHECK_MSG(row.size() == m, "ragged initializer for Tensor::from_rows");
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return Tensor({n, m}, std::move(data));
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  VELA_CHECK(i < shape_.size());
+  return shape_[i];
+}
+
+std::size_t Tensor::rows() const {
+  VELA_CHECK_MSG(rank() == 2, "rows() requires a rank-2 tensor, got "
+                                  << shape_string());
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  VELA_CHECK_MSG(rank() == 2, "cols() requires a rank-2 tensor, got "
+                                  << shape_string());
+  return shape_[1];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  VELA_CHECK_MSG(volume(shape) == size(),
+                 "reshape volume mismatch: " << shape_string());
+  return Tensor(std::move(shape), data_);
+}
+
+float& Tensor::at(std::size_t i) {
+  VELA_DCHECK(rank() == 1 && i < shape_[0]);
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  VELA_DCHECK(rank() == 1 && i < shape_[0]);
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  VELA_DCHECK(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  VELA_DCHECK(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  VELA_DCHECK(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  VELA_DCHECK(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+void Tensor::fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::add_(const Tensor& other) {
+  VELA_CHECK_MSG(same_shape(other), "add_ shape mismatch: " << shape_string()
+                                                            << " vs "
+                                                            << other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::sub_(const Tensor& other) {
+  VELA_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+void Tensor::axpy_(float a, const Tensor& x) {
+  VELA_CHECK(same_shape(x));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+}
+
+bool Tensor::all_finite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::size_t Tensor::wire_bytes(unsigned bits) const {
+  VELA_CHECK(bits > 0 && bits % 8 == 0);
+  return size() * (bits / 8);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace vela

@@ -1,0 +1,89 @@
+// Dense row-major float tensor.
+//
+// This is the numeric substrate for the whole reproduction: the autograd
+// engine, the MoE model and the distributed runtime all move Tensors around.
+// Only the operations the system actually needs are provided; they live in
+// tensor/ops.h as free functions so the class itself stays a plain value type
+// with clear ownership (std::vector<float> storage, copy = deep copy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vela {
+
+class Tensor {
+ public:
+  // Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape. All dims must be > 0.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  // Tensor with explicit data; data.size() must equal the shape volume.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  // --- factories -----------------------------------------------------------
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor ones(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  // 1-D tensor from values.
+  static Tensor from_vector(const std::vector<float>& values);
+  // 2-D row-major tensor from nested initializer list (tests/examples).
+  static Tensor from_rows(std::initializer_list<std::initializer_list<float>> rows);
+
+  // --- shape ---------------------------------------------------------------
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const;
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Rows/cols of a 2-D tensor (checked).
+  std::size_t rows() const;
+  std::size_t cols() const;
+
+  // Returns a tensor sharing no storage with this one but viewing the same
+  // data under a new shape; volume must match.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  // --- element access ------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& at(std::size_t i);              // rank-1
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);  // rank-2
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);  // rank-3
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+
+  // Raw flat access (bounds-checked in debug builds).
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // --- in-place helpers ----------------------------------------------------
+  void fill(float value);
+  void add_(const Tensor& other);          // this += other
+  void sub_(const Tensor& other);          // this -= other
+  void scale_(float s);                    // this *= s
+  void axpy_(float a, const Tensor& x);    // this += a * x
+
+  // --- misc ----------------------------------------------------------------
+  bool all_finite() const;
+  // Number of bytes this tensor occupies on the wire when transmitted with
+  // bit-depth `bits` per element (the paper uses b=16 for features).
+  std::size_t wire_bytes(unsigned bits = 32) const;
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace vela

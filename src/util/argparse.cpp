@@ -1,0 +1,67 @@
+#include "util/argparse.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace vela {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  VELA_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    VELA_CHECK_MSG(!arg.empty(), "bare '--' is not a valid option");
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // boolean flag
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  VELA_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                 "option --" << name << " expects a number, got '"
+                             << it->second << "'");
+  return value;
+}
+
+std::size_t ArgParser::get_size(const std::string& name,
+                                std::size_t fallback) const {
+  const double value =
+      get_double(name, static_cast<double>(fallback));
+  VELA_CHECK_MSG(value >= 0 && value == static_cast<std::size_t>(value),
+                 "option --" << name << " expects a non-negative integer");
+  return static_cast<std::size_t>(value);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  return it->second.empty() || it->second == "1" || it->second == "true";
+}
+
+}  // namespace vela

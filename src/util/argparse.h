@@ -1,0 +1,35 @@
+// Minimal command-line argument parser for the example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean flags `--name`.
+// Unknown arguments are collected and reported so typos fail loudly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vela {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::size_t get_size(const std::string& name, std::size_t fallback) const;
+  bool get_flag(const std::string& name) const;
+
+  // Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;  // name -> value ("" = flag)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vela

@@ -1,0 +1,55 @@
+// Lightweight runtime-check macros used across the library.
+//
+// VELA_CHECK is always on (it guards API contracts and distributed-protocol
+// invariants whose violation would otherwise corrupt training state), while
+// VELA_DCHECK compiles out in release builds and is meant for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vela {
+
+// Thrown by VELA_CHECK failures. Deriving from std::logic_error keeps the
+// failure catchable in tests while signalling a programming/contract error.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VELA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace vela
+
+#define VELA_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::vela::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define VELA_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream vela_check_os_;                                  \
+      vela_check_os_ << msg;                                              \
+      ::vela::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                   vela_check_os_.str());                 \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define VELA_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define VELA_DCHECK(expr) VELA_CHECK(expr)
+#endif

@@ -1,0 +1,44 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vela {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  VELA_CHECK_MSG(out_.good(), "failed to open CSV file " << path);
+  VELA_CHECK(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  VELA_CHECK_MSG(cells.size() == columns_,
+                 "CSV row width " << cells.size() << " != header width "
+                                  << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+}  // namespace vela

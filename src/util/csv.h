@@ -1,0 +1,32 @@
+// Tiny CSV writer used by benchmarks to dump figure series.
+//
+// Each bench binary both prints human-readable rows and (optionally) writes
+// a CSV next to the binary so the figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vela {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  // Appends a data row; the number of cells must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience: formats doubles with full precision.
+  void row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace vela

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The distributed runtime runs many threads; log lines are serialized through
+// a single mutex so interleaved output stays readable. Verbosity is a global
+// knob because experiments toggle it from main().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vela {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Thread-safe sink used by the LOG macros. `tag` is typically a subsystem
+// name such as "master" or "worker/2".
+void log_message(LogLevel level, const std::string& tag,
+                 const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string tag)
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogLine() { log_message(level_, tag_, os_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace vela
+
+#define VELA_LOG_DEBUG(tag) ::vela::detail::LogLine(::vela::LogLevel::kDebug, tag)
+#define VELA_LOG_INFO(tag) ::vela::detail::LogLine(::vela::LogLevel::kInfo, tag)
+#define VELA_LOG_WARN(tag) ::vela::detail::LogLine(::vela::LogLevel::kWarn, tag)
+#define VELA_LOG_ERROR(tag) ::vela::detail::LogLine(::vela::LogLevel::kError, tag)

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// All stochastic pieces of the system (weight init, synthetic corpora,
+// random placement, token sampling) draw from an explicitly seeded Rng so
+// experiments are bit-reproducible. The generator is xoshiro256**, seeded
+// through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vela {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Standard normal via Box–Muller (cached spare value).
+  double normal();
+
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  // Zipf-distributed integer in [0, n) with exponent s >= 0.
+  // s == 0 degenerates to the uniform distribution. Sampling is by inverse
+  // CDF over the precomputable harmonic weights; for repeated draws prefer
+  // ZipfSampler below.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  // Sample an index from an unnormalized non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Split off an independent child stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+// Precomputed Zipf(n, s) sampler: O(log n) per draw via CDF binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  // Probability mass of rank i (normalized).
+  double pmf(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace vela

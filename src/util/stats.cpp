@@ -1,0 +1,82 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vela {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  VELA_CHECK(!values.empty());
+  VELA_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> empirical_cdf(const std::vector<double>& values,
+                                  const std::vector<double>& points) {
+  VELA_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double x : points) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    out.push_back(static_cast<double>(it - sorted.begin()) /
+                  static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+void normalize_in_place(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) {
+    VELA_CHECK(x >= 0.0);
+    total += x;
+  }
+  if (total <= 0.0) return;
+  for (auto& x : v) x /= total;
+}
+
+double entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double x : p) {
+    if (x > 0.0) h -= x * std::log(x);
+  }
+  return h;
+}
+
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  VELA_CHECK(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace vela

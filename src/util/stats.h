@@ -1,0 +1,47 @@
+// Small statistics helpers shared by the profiler, benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vela {
+
+// Streaming mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile of a sample (linear interpolation); p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+// Empirical CDF evaluated on a sorted copy of `values` at the given points.
+std::vector<double> empirical_cdf(const std::vector<double>& values,
+                                  const std::vector<double>& points);
+
+// Normalizes a non-negative vector to sum to 1 (no-op on an all-zero input).
+void normalize_in_place(std::vector<double>& v);
+
+// Entropy (nats) of a probability vector; tolerates zeros.
+double entropy(const std::vector<double>& p);
+
+// L1 distance between two equally sized vectors.
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace vela

@@ -1,0 +1,163 @@
+// Property-style sweeps over the autograd engine: gradcheck across shapes
+// and seeds, plus algebraic identities the backward pass must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+using ag::Variable;
+
+struct Shape {
+  std::size_t rows;
+  std::size_t cols;
+  std::uint64_t seed;
+};
+
+class GradcheckSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GradcheckSweep, ComposedNetworkGradchecks) {
+  // A miniature network touching most ops at once: y = softmax(silu(xWᵀ)),
+  // loss = Σ (y ⊙ c) with a random constant c.
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  Variable x =
+      Variable::leaf(ops::randn({param.rows, param.cols}, rng), true);
+  Variable w =
+      Variable::leaf(ops::randn({param.cols, param.cols}, rng), true);
+  Rng cr(param.seed + 1);
+  Variable c =
+      Variable::constant(ops::randn({param.rows, param.cols}, cr));
+  auto loss = [&] {
+    return ag::sum(
+        ag::mul(ag::softmax_rows(ag::silu(ag::linear_nt(x, w))), c));
+  };
+  EXPECT_LT(ag::gradcheck_max_abs_err(x, loss, 1e-2f), 2e-2f);
+  EXPECT_LT(ag::gradcheck_max_abs_err(w, loss, 1e-2f), 2e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GradcheckSweep,
+                         ::testing::Values(Shape{2, 3, 1}, Shape{3, 4, 2},
+                                           Shape{4, 2, 3}, Shape{1, 6, 4},
+                                           Shape{6, 1, 5}, Shape{5, 5, 6}));
+
+class MatmulChainSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MatmulChainSweep, ChainRuleThroughTwoMatmuls) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 100);
+  Variable a = Variable::leaf(ops::randn({param.rows, param.cols}, rng), true);
+  Variable b = Variable::leaf(ops::randn({param.cols, 3}, rng), true);
+  Variable c = Variable::leaf(ops::randn({3, 2}, rng), true);
+  auto loss = [&] { return ag::mean(ag::matmul(ag::matmul(a, b), c)); };
+  EXPECT_LT(ag::gradcheck_max_abs_err(a, loss, 1e-2f), 1e-2f);
+  EXPECT_LT(ag::gradcheck_max_abs_err(b, loss, 1e-2f), 1e-2f);
+  EXPECT_LT(ag::gradcheck_max_abs_err(c, loss, 1e-2f), 1e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulChainSweep,
+                         ::testing::Values(Shape{2, 3, 1}, Shape{4, 4, 2},
+                                           Shape{3, 5, 3}));
+
+TEST(AutogradProperties, BackwardIsLinearInSeed) {
+  // backward_from(root, a·g1 + b·g2) == a·backward_from(root, g1) +
+  // b·backward_from(root, g2): reverse-mode is a linear map.
+  Rng rng(7);
+  const Tensor x0 = ops::randn({3, 4}, rng);
+  const Tensor w0 = ops::randn({4, 4}, rng);
+  const Tensor g1 = ops::randn({3, 4}, rng);
+  const Tensor g2 = ops::randn({3, 4}, rng);
+
+  auto grad_for = [&](const Tensor& seed) {
+    Variable x = Variable::leaf(x0, true);
+    Variable w = Variable::constant(w0);
+    Variable y = ag::silu(ag::matmul(x, w));
+    ag::backward_from(y, seed);
+    return x.grad();
+  };
+
+  Tensor combined_seed = ops::add(ops::scale(g1, 2.0f), ops::scale(g2, -3.0f));
+  Tensor lhs = grad_for(combined_seed);
+  Tensor rhs = ops::add(ops::scale(grad_for(g1), 2.0f),
+                        ops::scale(grad_for(g2), -3.0f));
+  EXPECT_TRUE(ops::allclose(lhs, rhs, 1e-4f, 1e-4f));
+}
+
+TEST(AutogradProperties, SoftmaxGradOrthogonalToOnes) {
+  // Softmax outputs sum to 1 per row, so the Jacobian maps any upstream
+  // gradient to a row-wise zero-sum gradient.
+  Rng rng(9);
+  Variable x = Variable::leaf(ops::randn({4, 6}, rng), true);
+  Variable y = ag::softmax_rows(x);
+  ag::backward_from(y, ops::randn({4, 6}, rng));
+  for (std::size_t i = 0; i < 4; ++i) {
+    float row = 0.0f;
+    for (std::size_t j = 0; j < 6; ++j) row += x.grad().at(i, j);
+    EXPECT_NEAR(row, 0.0f, 1e-5f);
+  }
+}
+
+TEST(AutogradProperties, RmsNormGradOrthogonalToInput) {
+  // y = x/rms(x) is scale-invariant: d/dt f(norm(t·x)) |_{t=1} = 0, so the
+  // input gradient must be orthogonal to x row-wise (with unit gain).
+  Rng rng(11);
+  const Tensor x0 = ops::randn({3, 8}, rng);
+  Variable x = Variable::leaf(x0, true);
+  Variable g = Variable::constant(Tensor::ones({8}));
+  Variable y = ag::rmsnorm(x, g, 0.0f);
+  ag::backward_from(y, ops::randn({3, 8}, rng));
+  for (std::size_t i = 0; i < 3; ++i) {
+    double inner = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      inner += double(x.grad().at(i, j)) * x0.at(i, j);
+    }
+    EXPECT_NEAR(inner, 0.0, 1e-4);
+  }
+}
+
+TEST(AutogradProperties, GatherScatterAreAdjoint) {
+  // <gather(x, idx), y> == <x, scatter(y, idx)> — the defining adjoint
+  // relation that makes their backward passes each other's forward.
+  Rng rng(13);
+  const Tensor x0 = ops::randn({5, 3}, rng);
+  const std::vector<std::size_t> idx{4, 0, 2, 0};
+  const Tensor y0 = ops::randn({4, 3}, rng);
+
+  const Tensor gathered = ops::gather_rows(x0, idx);
+  Tensor scattered({5, 3});
+  ops::scatter_add_rows(scattered, y0, idx);
+  EXPECT_NEAR(ops::dot(gathered, y0), ops::dot(x0, scattered), 1e-4f);
+}
+
+TEST(AutogradProperties, CrossEntropyGradImprovesLoss) {
+  // One tiny gradient step on the logits must reduce the CE loss (descent
+  // direction property).
+  Rng rng(15);
+  Tensor logits = ops::randn({6, 5}, rng);
+  const std::vector<std::size_t> targets{0, 1, 2, 3, 4, 0};
+  const float before = ops::cross_entropy(logits, targets);
+  Tensor grad = ops::cross_entropy_grad(logits, targets);
+  logits.axpy_(-0.1f, grad);
+  EXPECT_LT(ops::cross_entropy(logits, targets), before);
+}
+
+TEST(AutogradProperties, ZeroGradIsolatesSteps) {
+  Rng rng(17);
+  Variable x = Variable::leaf(ops::randn({4}, rng), true);
+  ag::backward(ag::sum(x));
+  const Tensor first = x.grad();
+  x.zero_grad();
+  ag::backward(ag::sum(ag::scale(x, 2.0f)));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+    EXPECT_FLOAT_EQ(first[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace vela

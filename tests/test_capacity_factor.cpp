@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "moe/gate.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+// A gate whose weights force every token towards expert 0 (then 1, 2, ...).
+std::unique_ptr<moe::TopKGate> biased_gate(Rng& rng, std::size_t experts,
+                                           bool strong = true) {
+  auto gate = std::make_unique<moe::TopKGate>("g", 8, experts, 2, rng);
+  Tensor& w = gate->weight().mutable_value();
+  w.fill(0.0f);
+  for (std::size_t e = 0; e < experts; ++e) {
+    for (std::size_t h = 0; h < 8; ++h) {
+      w.at(e, h) = (strong ? 2.0f : 0.2f) *
+                   static_cast<float>(experts - e);  // 0 hottest
+    }
+  }
+  return gate;
+}
+
+TEST(CapacityFactor, OffByDefaultAllowsFullConcentration) {
+  Rng rng(1);
+  auto gate = biased_gate(rng, 4);
+  Rng xr(2);
+  auto out = gate->forward(
+      ag::Variable::constant(ops::rand_uniform({12, 8}, xr, 0.5f, 1.0f)));
+  // Everyone picks experts 0 and 1.
+  EXPECT_EQ(out.plan.expert_tokens[0].size(), 12u);
+  EXPECT_EQ(out.plan.expert_tokens[1].size(), 12u);
+}
+
+TEST(CapacityFactor, CapsGroupSizesAndKeepsPlanValid) {
+  Rng rng(3);
+  auto gate = biased_gate(rng, 4);
+  gate->set_capacity_factor(1.0);  // each expert ≤ ⌈12·2/4⌉ = 6 slots
+  Rng xr(4);
+  auto out = gate->forward(
+      ag::Variable::constant(ops::rand_uniform({12, 8}, xr, 0.5f, 1.0f)));
+  EXPECT_NO_THROW(out.plan.validate());
+  for (const auto& group : out.plan.expert_tokens) {
+    EXPECT_LE(group.size(), 6u + 2u);  // soft cap: small tail overflow only
+  }
+  // Overflow spilled into the previously idle experts.
+  EXPECT_GT(out.plan.expert_tokens[2].size(), 0u);
+}
+
+TEST(CapacityFactor, LooseFactorChangesNothing) {
+  Rng rng(5);
+  auto gate_off = biased_gate(rng, 4);
+  Rng rng2(5);
+  auto gate_loose = biased_gate(rng2, 4);
+  gate_loose->set_capacity_factor(4.0);  // cap = 24 ≥ any group
+  Rng xr(6);
+  Tensor x = ops::rand_uniform({10, 8}, xr, 0.5f, 1.0f);
+  auto a = gate_off->forward(ag::Variable::constant(x));
+  auto b = gate_loose->forward(ag::Variable::constant(x));
+  EXPECT_EQ(a.plan.expert_tokens, b.plan.expert_tokens);
+}
+
+TEST(CapacityFactor, CombineWeightsStillNormalized) {
+  Rng rng(7);
+  auto gate = biased_gate(rng, 4);
+  gate->set_capacity_factor(1.0);
+  Rng xr(8);
+  auto out = gate->forward(
+      ag::Variable::constant(ops::rand_uniform({8, 8}, xr, 0.5f, 1.0f)));
+  std::vector<float> token_sum(8, 0.0f);
+  std::size_t idx = 0;
+  for (std::size_t e = 0; e < 4; ++e) {
+    for (std::size_t t : out.plan.expert_tokens[e]) {
+      token_sum[t] += out.combine_weights.value()[idx++];
+    }
+  }
+  for (float s : token_sum) EXPECT_NEAR(s, 1.0f, 1e-5f);
+}
+
+TEST(CapacityFactor, RejectsFactorBelowOne) {
+  Rng rng(9);
+  moe::TopKGate gate("g", 8, 4, 2, rng);
+  EXPECT_THROW(gate.set_capacity_factor(0.5), CheckError);
+  EXPECT_THROW(gate.set_capacity_factor(-1.0), CheckError);
+  EXPECT_NO_THROW(gate.set_capacity_factor(0.0));
+  EXPECT_NO_THROW(gate.set_capacity_factor(1.25));
+}
+
+// Property sweep: for any factor ≥ 1 every token still gets exactly k
+// experts and no group exceeds the cap.
+class CapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitySweep, InvariantsHold) {
+  Rng rng(11);
+  auto gate = biased_gate(rng, 6, /*strong=*/false);
+  gate->set_capacity_factor(GetParam());
+  Rng xr(12);
+  auto out =
+      gate->forward(ag::Variable::constant(ops::randn({30, 8}, xr)));
+  EXPECT_NO_THROW(out.plan.validate());
+  const std::size_t cap = static_cast<std::size_t>(
+      std::ceil(GetParam() * 30.0 * 2.0 / 6.0));
+  for (const auto& group : out.plan.expert_tokens) {
+    EXPECT_LE(group.size(), cap + 2u);  // soft cap
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, CapacitySweep,
+                         ::testing::Values(1.0, 1.1, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace vela

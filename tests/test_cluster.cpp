@@ -1,0 +1,131 @@
+#include "cluster/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(Cluster, PaperTestbedDefaults) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  EXPECT_EQ(topo.num_devices(), 6u);
+  EXPECT_EQ(topo.num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(topo.config().intra_node_gbps, 18.3);
+  EXPECT_DOUBLE_EQ(topo.config().cross_node_gbps, 1.17);
+}
+
+TEST(Cluster, NodeAssignment) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  EXPECT_EQ(topo.node_of(0), 0u);
+  EXPECT_EQ(topo.node_of(1), 0u);
+  EXPECT_EQ(topo.node_of(2), 1u);
+  EXPECT_EQ(topo.node_of(5), 2u);
+  EXPECT_TRUE(topo.same_node(0, 1));
+  EXPECT_FALSE(topo.same_node(1, 2));
+  EXPECT_THROW(topo.node_of(6), CheckError);
+}
+
+TEST(Cluster, MasterBandwidthDependsOnLocality) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  // Master on device 0 (node 0): workers 0/1 are intra-node, 2..5 cross.
+  EXPECT_DOUBLE_EQ(topo.master_bandwidth(1), 18.3e9);
+  EXPECT_DOUBLE_EQ(topo.master_bandwidth(2), 1.17e9);
+  EXPECT_GT(topo.master_bandwidth(0), topo.master_bandwidth(4));
+}
+
+TEST(Cluster, MasterLatencyDependsOnLocality) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  EXPECT_LT(topo.master_latency(1), topo.master_latency(3));
+}
+
+TEST(Cluster, DeviceBandwidthSymmetricClasses) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  EXPECT_DOUBLE_EQ(topo.device_bandwidth(2, 3), 18.3e9);   // same node
+  EXPECT_DOUBLE_EQ(topo.device_bandwidth(0, 5), 1.17e9);   // cross node
+  EXPECT_GT(topo.device_bandwidth(4, 4), topo.device_bandwidth(4, 5));
+  EXPECT_DOUBLE_EQ(topo.device_latency(4, 4), 0.0);
+}
+
+TEST(Cluster, WorkerIndexingSkipsMasterDevice) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  // Master occupies device 0 → 5 workers on devices 1..5.
+  EXPECT_EQ(topo.num_workers(), 5u);
+  EXPECT_EQ(topo.worker_device(0), 1u);
+  EXPECT_EQ(topo.worker_device(4), 5u);
+  EXPECT_EQ(topo.worker_node(0), 0u);  // shares the master's node
+  EXPECT_EQ(topo.worker_node(1), 1u);
+  EXPECT_EQ(topo.master_node(), 0u);
+  EXPECT_THROW(topo.worker_device(5), CheckError);
+  // Exactly one worker is co-located with the master.
+  std::size_t local = 0;
+  for (std::size_t w = 0; w < topo.num_workers(); ++w) {
+    if (topo.worker_node(w) == topo.master_node()) ++local;
+  }
+  EXPECT_EQ(local, 1u);
+}
+
+TEST(Cluster, WorkerIndexingWithMidMaster) {
+  cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+  cfg.master_device = 3;
+  cluster::ClusterTopology topo(cfg);
+  EXPECT_EQ(topo.worker_device(2), 2u);
+  EXPECT_EQ(topo.worker_device(3), 4u);  // skips device 3
+}
+
+TEST(Cluster, NonExclusiveMasterSharesDevice) {
+  cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+  cfg.master_exclusive = false;
+  cluster::ClusterTopology topo(cfg);
+  EXPECT_EQ(topo.num_workers(), 6u);
+  EXPECT_EQ(topo.worker_device(0), 0u);
+}
+
+TEST(Cluster, WorkerBandwidthMatchesLocality) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  EXPECT_DOUBLE_EQ(topo.worker_bandwidth(0), 18.3e9);  // device 1, node 0
+  EXPECT_DOUBLE_EQ(topo.worker_bandwidth(1), 1.17e9);  // device 2, node 1
+  EXPECT_LT(topo.worker_latency(0), topo.worker_latency(3));
+}
+
+TEST(Cluster, CapacityFromDeviceMemory) {
+  cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+  cfg.device_memory_bytes = 100;
+  cluster::ClusterTopology topo(cfg);
+  auto caps = topo.capacities(30);
+  EXPECT_EQ(caps.size(), 5u);  // one per worker
+  for (auto c : caps) EXPECT_EQ(c, 3u);
+  EXPECT_THROW(topo.capacities(0), CheckError);
+}
+
+TEST(Cluster, UniformCapacityWithSlack) {
+  cluster::ClusterTopology topo(cluster::ClusterConfig::paper_testbed());
+  // 96 experts over 5 workers = 19.2 each; slack 1.25 → 24.
+  auto caps = topo.uniform_capacities(96, 1.25);
+  EXPECT_EQ(caps.size(), 5u);
+  for (auto c : caps) EXPECT_EQ(c, 24u);
+  EXPECT_THROW(topo.uniform_capacities(96, 0.5), CheckError);
+}
+
+TEST(Cluster, ValidationRejectsBadConfigs) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(cluster::ClusterTopology{cfg}, CheckError);
+  cfg = cluster::ClusterConfig{};
+  cfg.master_device = 99;
+  EXPECT_THROW(cluster::ClusterTopology{cfg}, CheckError);
+  cfg = cluster::ClusterConfig{};
+  cfg.cross_node_gbps = 0.0;
+  EXPECT_THROW(cluster::ClusterTopology{cfg}, CheckError);
+}
+
+TEST(Cluster, MasterOnOtherNode) {
+  cluster::ClusterConfig cfg = cluster::ClusterConfig::paper_testbed();
+  cfg.master_device = 4;  // node 2
+  cluster::ClusterTopology topo(cfg);
+  EXPECT_DOUBLE_EQ(topo.master_bandwidth(5), 18.3e9);
+  EXPECT_DOUBLE_EQ(topo.master_bandwidth(0), 1.17e9);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,133 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "data/batch.h"
+#include "data/tokenizer.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace vela {
+namespace {
+
+TEST(CharTokenizer, RoundTrip) {
+  data::CharTokenizer tok("hello world");
+  const std::string text = "dlrow olleh";
+  EXPECT_EQ(tok.decode(tok.encode(text)), text);
+}
+
+TEST(CharTokenizer, VocabIsDistinctChars) {
+  data::CharTokenizer tok("aabbc");
+  EXPECT_EQ(tok.vocab_size(), 3u);
+}
+
+TEST(CharTokenizer, UnknownMapsToZero) {
+  data::CharTokenizer tok("ab");
+  auto ids = tok.encode("z");
+  EXPECT_EQ(ids[0], 0u);
+}
+
+TEST(Corpus, PresetsHaveExpectedOrdering) {
+  auto wiki = data::CorpusConfig::wikitext_like(96, 8);
+  auto alpaca = data::CorpusConfig::alpaca_like(96, 8);
+  // WikiText-like must be strictly more concentrated than Alpaca-like.
+  EXPECT_GT(wiki.domain_zipf, alpaca.domain_zipf);
+  EXPECT_GT(wiki.purity, alpaca.purity);
+}
+
+TEST(Corpus, TokensInRangeAndDomainMapping) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::wikitext_like(50, 5), 1);
+  Rng rng(2);
+  auto seq = corpus.sample_sequence(100, rng);
+  for (std::size_t t : seq) {
+    ASSERT_LT(t, 50u);
+    EXPECT_EQ(corpus.domain_of_token(t), t % 5);
+  }
+}
+
+TEST(Corpus, DatasetIsDeterministic) {
+  data::SyntheticCorpus a(data::CorpusConfig::wikitext_like(50, 5), 42);
+  data::SyntheticCorpus b(data::CorpusConfig::wikitext_like(50, 5), 42);
+  EXPECT_EQ(a.make_dataset(5, 16), b.make_dataset(5, 16));
+}
+
+TEST(Corpus, DifferentSeedsDifferentDatasets) {
+  data::SyntheticCorpus a(data::CorpusConfig::wikitext_like(50, 5), 1);
+  data::SyntheticCorpus b(data::CorpusConfig::wikitext_like(50, 5), 2);
+  EXPECT_NE(a.make_dataset(5, 16), b.make_dataset(5, 16));
+}
+
+TEST(Corpus, DomainDistributionNormalized) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::alpaca_like(60, 6), 3);
+  auto dist = corpus.domain_distribution();
+  double total = 0.0;
+  for (double d : dist) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Corpus, EmpiricalDomainUsageMatchesAnalytic) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::wikitext_like(60, 6), 4);
+  const auto analytic = corpus.domain_distribution();
+  Rng rng(5);
+  std::vector<double> counts(6, 0.0);
+  const int seqs = 3000, len = 20;
+  for (int s = 0; s < seqs; ++s) {
+    for (std::size_t t : corpus.sample_sequence(len, rng)) {
+      counts[corpus.domain_of_token(t)] += 1.0;
+    }
+  }
+  normalize_in_place(counts);
+  EXPECT_LT(l1_distance(counts, analytic), 0.05);
+}
+
+TEST(Corpus, WikitextMoreConcentratedThanAlpaca) {
+  data::SyntheticCorpus wiki(data::CorpusConfig::wikitext_like(60, 6), 7);
+  data::SyntheticCorpus alpaca(data::CorpusConfig::alpaca_like(60, 6), 7);
+  EXPECT_LT(entropy(wiki.domain_distribution()),
+            entropy(alpaca.domain_distribution()));
+}
+
+TEST(Corpus, UniformConfigIsFlat) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::uniform(60, 6), 8);
+  auto dist = corpus.domain_distribution();
+  for (double d : dist) EXPECT_NEAR(d, 1.0 / 6.0, 1e-9);
+}
+
+TEST(Corpus, VocabSmallerThanDomainsRejected) {
+  EXPECT_THROW(
+      data::SyntheticCorpus(data::CorpusConfig::uniform(3, 6), 1),
+      CheckError);
+}
+
+TEST(BatchIterator, YieldsRequestedBatchSize) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::wikitext_like(50, 5), 1);
+  data::BatchIterator it(corpus.make_dataset(10, 8), 4, 2);
+  auto batch = it.next();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].size(), 8u);
+}
+
+TEST(BatchIterator, WrapsAroundEpochs) {
+  data::SyntheticCorpus corpus(data::CorpusConfig::wikitext_like(50, 5), 1);
+  data::BatchIterator it(corpus.make_dataset(3, 8), 2, 2);
+  EXPECT_EQ(it.epochs_completed(), 0u);
+  it.next();
+  it.next();  // needs a reshuffle after 3 sequences
+  EXPECT_GE(it.epochs_completed(), 1u);
+}
+
+TEST(BatchIterator, UnshuffledPreservesOrder) {
+  std::vector<std::vector<std::size_t>> data{{1, 1}, {2, 2}, {3, 3}};
+  data::BatchIterator it(data, 3, 0, /*shuffle=*/false);
+  auto batch = it.next();
+  EXPECT_EQ(batch[0][0], 1u);
+  EXPECT_EQ(batch[1][0], 2u);
+  EXPECT_EQ(batch[2][0], 3u);
+}
+
+TEST(BatchIterator, RejectsEmptyDataset) {
+  EXPECT_THROW(data::BatchIterator({}, 2, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace vela

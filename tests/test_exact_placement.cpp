@@ -1,0 +1,147 @@
+#include "placement/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "placement/annealing.h"
+#include "placement/evaluator.h"
+#include "placement/greedy.h"
+#include "placement/locality_aware.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+placement::PlacementProblem small_problem(std::uint64_t seed,
+                                          std::size_t workers = 3,
+                                          std::size_t layers = 2,
+                                          std::size_t experts = 4) {
+  placement::PlacementProblem p;
+  p.num_workers = workers;
+  p.num_layers = layers;
+  p.num_experts = experts;
+  Rng rng(seed);
+  p.probability = ops::rand_uniform({layers, experts}, rng, 0.05f, 1.0f);
+  for (std::size_t w = 0; w < workers; ++w) {
+    p.bandwidth.push_back(w == 0 ? 18.3e9 : 1.17e9);
+    p.worker_node.push_back(w == 0 ? 0 : 1);
+  }
+  p.master_node = 0;
+  p.capacity.assign(workers, (layers * experts) / workers + 2);
+  p.tokens_per_step = 1024.0;
+  p.bytes_per_token = 4096.0;
+  p.validate();
+  return p;
+}
+
+double brute_force(const placement::PlacementProblem& p) {
+  const std::size_t total = p.num_layers * p.num_experts;
+  const std::size_t combos = static_cast<std::size_t>(
+      std::pow(double(p.num_workers), double(total)));
+  double best = 1e100;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::size_t m = mask;
+    placement::Placement placement(p.num_layers, p.num_experts);
+    std::vector<std::size_t> load(p.num_workers, 0);
+    bool ok = true;
+    for (std::size_t flat = 0; flat < total && ok; ++flat) {
+      const std::size_t w = m % p.num_workers;
+      m /= p.num_workers;
+      placement.assign(flat / p.num_experts, flat % p.num_experts, w);
+      ok = ++load[w] <= p.capacity[w];
+    }
+    if (!ok) continue;
+    best = std::min(best, placement::expected_comm_seconds(p, placement));
+  }
+  return best;
+}
+
+class ExactMatchesBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactMatchesBruteForce, ProvenOptimumEqualsEnumeration) {
+  auto problem = small_problem(GetParam());
+  placement::ExactPlacement exact;
+  auto placement = exact.place(problem);
+  ASSERT_TRUE(exact.report().proven_optimal);
+  EXPECT_TRUE(placement.feasible(problem));
+  const double bnb = placement::expected_comm_seconds(problem, placement);
+  const double enumerated = brute_force(problem);
+  EXPECT_NEAR(bnb, enumerated, enumerated * 1e-9 + 1e-15);
+  // The root LP bound must lower-bound the optimum.
+  EXPECT_LE(exact.report().root_lp_bound, bnb + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMatchesBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(ExactPlacement, NeverWorseThanLpRounding) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    auto problem = small_problem(seed, 3, 3, 4);
+    placement::ExactPlacement exact;
+    placement::LocalityAwarePlacement rounding;
+    const double t_exact =
+        placement::expected_comm_seconds(problem, exact.place(problem));
+    const double t_round =
+        placement::expected_comm_seconds(problem, rounding.place(problem));
+    EXPECT_LE(t_exact, t_round + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(ExactPlacement, PrunesAggressively) {
+  auto problem = small_problem(42, 3, 3, 4);
+  placement::ExactPlacement exact;
+  exact.place(problem);
+  // Far fewer nodes than the 3^12 ≈ 531k enumeration.
+  EXPECT_LT(exact.report().nodes_explored, 20000u);
+}
+
+TEST(ExactPlacement, NodeBudgetReportsUnproven) {
+  auto problem = small_problem(7, 4, 3, 6);
+  placement::ExactOptions options;
+  options.max_nodes = 3;
+  placement::ExactPlacement exact(options);
+  auto placement = exact.place(problem);
+  EXPECT_FALSE(exact.report().proven_optimal);
+  // Still returns the (feasible) incumbent.
+  EXPECT_TRUE(placement.feasible(problem));
+}
+
+TEST(Annealing, FeasibleAndAtLeastAsGoodAsGreedyStart) {
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    auto problem = small_problem(seed, 4, 4, 6);
+    placement::AnnealingPlacement annealing(
+        placement::AnnealingOptions{8000, 0.2, 0.999, seed});
+    placement::GreedyLPTPlacement greedy;
+    auto pa = annealing.place(problem);
+    EXPECT_TRUE(pa.feasible(problem));
+    EXPECT_LE(placement::expected_comm_seconds(problem, pa),
+              placement::expected_comm_seconds(problem, greedy.place(problem)) +
+                  1e-12)
+        << "seed " << seed;
+    EXPECT_GT(annealing.moves_accepted(), 0u);
+  }
+}
+
+TEST(Annealing, ApproachesExactOptimumOnSmallInstances) {
+  auto problem = small_problem(30);
+  placement::ExactPlacement exact;
+  const double optimum =
+      placement::expected_comm_seconds(problem, exact.place(problem));
+  placement::AnnealingPlacement annealing(
+      placement::AnnealingOptions{30000, 0.3, 0.9995, 3});
+  const double annealed =
+      placement::expected_comm_seconds(problem, annealing.place(problem));
+  EXPECT_LE(annealed, optimum * 1.15 + 1e-12);
+}
+
+TEST(Annealing, DeterministicInSeed) {
+  auto problem = small_problem(40, 4, 3, 5);
+  placement::AnnealingPlacement a(placement::AnnealingOptions{5000, 0.2, 0.999, 9});
+  placement::AnnealingPlacement b(placement::AnnealingOptions{5000, 0.2, 0.999, 9});
+  EXPECT_EQ(a.place(problem).to_string(), b.place(problem).to_string());
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,148 @@
+// Failure-injection tests: the runtime must fail loudly and cleanly — a
+// silent wrong answer is the worst outcome for a training system.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/expert_broker.h"
+#include "core/expert_worker.h"
+#include "core/master.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+core::WorkerSpec spec() {
+  core::WorkerSpec s;
+  s.model_dim = 8;
+  s.hidden_dim = 16;
+  s.lora = nn::LoRAConfig{2, 4.0f, true};
+  s.base_seed = 3;
+  s.wire_bits = 32;
+  return s;
+}
+
+placement::Placement one_layer_placement(std::size_t experts,
+                                         std::size_t workers) {
+  placement::Placement p(1, experts);
+  for (std::size_t e = 0; e < experts; ++e) p.assign(0, e, e % workers);
+  return p;
+}
+
+TEST(FaultInjection, BrokerDetectsDeadWorkerChannel) {
+  comm::DuplexLink link(0, 1, nullptr);
+  placement::Placement placement = one_layer_placement(2, 1);
+  core::ExpertBroker broker({&link}, &placement, 1, 32);
+  // No worker is attached; close the reply channel to simulate a crash.
+  link.to_master.close();
+  Rng xr(1);
+  EXPECT_THROW(broker.expert_forward(
+                   0, 0, ag::Variable::constant(ops::randn({2, 8}, xr))),
+               CheckError);
+}
+
+TEST(FaultInjection, BrokerRejectsMismatchedReply) {
+  comm::DuplexLink link(0, 1, nullptr);
+  placement::Placement placement = one_layer_placement(2, 1);
+  core::ExpertBroker broker({&link}, &placement, 1, 32);
+  // An impostor injects a reply with the wrong request id before the real
+  // worker could answer.
+  comm::Message bogus;
+  bogus.type = comm::MessageType::kExpertForwardResult;
+  bogus.request_id = 0xDEAD;
+  link.to_master.send(std::move(bogus));
+  Rng xr(2);
+  EXPECT_THROW(broker.expert_forward(
+                   0, 0, ag::Variable::constant(ops::randn({2, 8}, xr))),
+               CheckError);
+}
+
+TEST(FaultInjection, WorkerBackwardForUnknownRequestKillsWorker) {
+  comm::DuplexLink link(0, 0, nullptr);
+  core::ExpertWorker worker(spec(), &link, {{0, 0}});
+  worker.start();
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertBackward;
+  msg.request_id = 999;  // never issued
+  msg.payload = Tensor::ones({2, 8});
+  link.to_worker.send(std::move(msg));
+  // The worker thread aborts its loop via CheckError; join must not hang
+  // and no reply may appear.
+  link.to_worker.close();
+  worker.join();
+  EXPECT_FALSE(link.to_master.try_receive().has_value());
+}
+
+TEST(FaultInjection, WorkerForwardForMissingExpertKillsWorker) {
+  comm::DuplexLink link(0, 0, nullptr);
+  core::ExpertWorker worker(spec(), &link, {{0, 0}});
+  worker.start();
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForward;
+  msg.request_id = 1;
+  msg.layer = 5;  // not hosted
+  msg.expert = 5;
+  msg.payload = Tensor::ones({2, 8});
+  link.to_worker.send(std::move(msg));
+  link.to_worker.close();
+  worker.join();
+  EXPECT_FALSE(link.to_master.try_receive().has_value());
+}
+
+TEST(FaultInjection, DoubleInstallRejected) {
+  comm::DuplexLink link(0, 0, nullptr);
+  core::ExpertWorker worker(spec(), &link, {{0, 0}});
+  worker.start();
+  comm::Message install;
+  install.type = comm::MessageType::kInstallExpert;
+  install.request_id = 1;
+  install.layer = 0;
+  install.expert = 0;  // already hosted
+  link.to_worker.send(std::move(install));
+  link.to_worker.close();
+  worker.join();
+  EXPECT_FALSE(link.to_master.try_receive().has_value());
+}
+
+TEST(FaultInjection, MasterSurvivesShutdownDuringIdle) {
+  cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
+  core::MasterProcess master(topology, spec(), one_layer_placement(4, 5), 1,
+                             4);
+  // Interleave real work with shutdown; nothing should deadlock.
+  Rng xr(3);
+  master.broker().expert_forward(0, 1,
+                                 ag::Variable::constant(ops::randn({2, 8}, xr)));
+  master.broadcast_optimizer_step(0);
+  master.shutdown();
+  master.shutdown();  // idempotent
+  SUCCEED();
+}
+
+TEST(FaultInjection, ChannelCloseDuringPendingReceiveUnblocks) {
+  comm::Channel ch(0, 1, nullptr);
+  std::thread receiver([&] {
+    auto msg = ch.receive();
+    EXPECT_FALSE(msg.has_value());
+  });
+  ch.close();
+  receiver.join();
+}
+
+TEST(FaultInjection, FetchOfUnknownExpertKillsWorker) {
+  comm::DuplexLink link(0, 0, nullptr);
+  core::ExpertWorker worker(spec(), &link, {{0, 0}});
+  worker.start();
+  comm::Message fetch;
+  fetch.type = comm::MessageType::kFetchExpert;
+  fetch.request_id = 2;
+  fetch.layer = 9;
+  fetch.expert = 9;
+  link.to_worker.send(std::move(fetch));
+  link.to_worker.close();
+  worker.join();
+  EXPECT_FALSE(link.to_master.try_receive().has_value());
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,179 @@
+#include "moe/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+moe::GateOutput run_gate(std::size_t tokens, std::size_t dim,
+                         std::size_t experts, std::size_t k,
+                         std::uint64_t seed = 1) {
+  Rng rng(seed);
+  moe::TopKGate gate("g", dim, experts, k, rng);
+  Rng xr(seed + 100);
+  ag::Variable x = ag::Variable::constant(ops::randn({tokens, dim}, xr));
+  return gate.forward(x);
+}
+
+TEST(RoutePlan, ValidateAcceptsWellFormed) {
+  moe::RoutePlan plan;
+  plan.num_tokens = 3;
+  plan.num_experts = 2;
+  plan.top_k = 2;
+  plan.expert_tokens = {{0, 1, 2}, {0, 1, 2}};
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_EQ(plan.total_assignments(), 6u);
+  EXPECT_EQ(plan.group_offset(1), 3u);
+}
+
+TEST(RoutePlan, ValidateRejectsWrongMultiplicity) {
+  moe::RoutePlan plan;
+  plan.num_tokens = 2;
+  plan.num_experts = 2;
+  plan.top_k = 2;
+  plan.expert_tokens = {{0, 1}, {0}};  // token 1 routed once
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(RoutePlan, ValidateRejectsNonAscendingGroup) {
+  moe::RoutePlan plan;
+  plan.num_tokens = 2;
+  plan.num_experts = 2;
+  plan.top_k = 1;
+  plan.expert_tokens = {{1, 0}, {}};
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(TopKGate, PlanIsValidAndComplete) {
+  auto out = run_gate(16, 8, 6, 2);
+  EXPECT_NO_THROW(out.plan.validate());
+  EXPECT_EQ(out.plan.num_tokens, 16u);
+  EXPECT_EQ(out.plan.top_k, 2u);
+}
+
+TEST(TopKGate, ProbsAreFullSoftmax) {
+  auto out = run_gate(5, 8, 4, 2);
+  for (std::size_t t = 0; t < 5; ++t) {
+    float row = 0.0f;
+    for (std::size_t e = 0; e < 4; ++e) row += out.probs.at(t, e);
+    EXPECT_NEAR(row, 1.0f, 1e-5);
+  }
+}
+
+TEST(TopKGate, SelectedExpertsHaveHighestProbs) {
+  auto out = run_gate(10, 8, 5, 2);
+  for (std::size_t e = 0; e < 5; ++e) {
+    for (std::size_t t : out.plan.expert_tokens[e]) {
+      // The selected expert's prob must be >= at least 3 others.
+      int beaten = 0;
+      for (std::size_t o = 0; o < 5; ++o) {
+        if (out.probs.at(t, e) >= out.probs.at(t, o)) ++beaten;
+      }
+      EXPECT_GE(beaten, 4);  // itself + 3 others
+    }
+  }
+}
+
+TEST(TopKGate, CombineWeightsNormalizedPerToken) {
+  auto out = run_gate(12, 8, 6, 2);
+  // Sum the weights each token received across its selected experts.
+  std::vector<float> token_sum(12, 0.0f);
+  std::size_t idx = 0;
+  for (std::size_t e = 0; e < 6; ++e) {
+    for (std::size_t t : out.plan.expert_tokens[e]) {
+      token_sum[t] += out.combine_weights.value()[idx++];
+    }
+  }
+  for (float s : token_sum) EXPECT_NEAR(s, 1.0f, 1e-5);
+}
+
+TEST(TopKGate, CombineWeightsMatchEquationOne) {
+  // Eq. (1): weight of selected expert i is p_i / Σ_{selected} p.
+  auto out = run_gate(6, 8, 4, 2);
+  std::size_t idx = 0;
+  for (std::size_t e = 0; e < 4; ++e) {
+    for (std::size_t t : out.plan.expert_tokens[e]) {
+      EXPECT_NEAR(out.combine_weights.value()[idx++],
+                  out.probs.at(t, e) / out.selected_score_sums[t], 1e-4);
+    }
+  }
+}
+
+TEST(TopKGate, ScoreSumsAreSumOfSelectedProbs) {
+  auto out = run_gate(8, 8, 5, 2);
+  ASSERT_EQ(out.selected_score_sums.size(), 8u);
+  for (float s : out.selected_score_sums) {
+    EXPECT_GT(s, 2.0f / 5.0f - 1e-5);  // top-2 of 5 beats the uniform share
+    EXPECT_LE(s, 1.0f + 1e-5);
+  }
+}
+
+TEST(TopKGate, TopKEqualsExpertsSelectsAll) {
+  auto out = run_gate(4, 8, 3, 3);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(out.plan.expert_tokens[e].size(), 4u);
+  }
+}
+
+TEST(TopKGate, GateFrozenByDefault) {
+  Rng rng(1);
+  moe::TopKGate gate("g", 8, 4, 2, rng);
+  EXPECT_EQ(gate.trainable_parameter_count(), 0u);
+  Rng rng2(1);
+  moe::TopKGate trainable("g", 8, 4, 2, rng2, /*trainable=*/true);
+  EXPECT_EQ(trainable.trainable_parameter_count(), 32u);
+}
+
+TEST(RoutingWeights, GradcheckThroughRestrictedSoftmax) {
+  Rng rng(3);
+  ag::Variable logits = ag::Variable::leaf(ops::randn({3, 4}, rng), true);
+  moe::RoutePlan plan;
+  plan.num_tokens = 3;
+  plan.num_experts = 4;
+  plan.top_k = 2;
+  plan.expert_tokens = {{0, 2}, {1}, {0, 1}, {2}};
+  plan.validate();
+  Rng wr(4);
+  Tensor weights = ops::randn({6}, wr);
+  ag::Variable w = ag::Variable::constant(weights);
+  auto loss = [&] {
+    return ag::sum(ag::mul(moe::routing_weights(logits, plan), w));
+  };
+  EXPECT_LT(ag::gradcheck_max_abs_err(logits, loss, 1e-2f), 1e-2f);
+}
+
+TEST(RoutingWeights, UnselectedLogitsGetZeroGrad) {
+  Rng rng(5);
+  ag::Variable logits = ag::Variable::leaf(ops::randn({2, 3}, rng), true);
+  moe::RoutePlan plan;
+  plan.num_tokens = 2;
+  plan.num_experts = 3;
+  plan.top_k = 1;
+  plan.expert_tokens = {{0}, {1}, {}};
+  ag::backward(ag::sum(moe::routing_weights(logits, plan)));
+  // Token 0 only uses expert 0; experts 1/2 logits untouched.
+  EXPECT_EQ(logits.grad().at(0, 1), 0.0f);
+  EXPECT_EQ(logits.grad().at(0, 2), 0.0f);
+  EXPECT_EQ(logits.grad().at(1, 0), 0.0f);
+}
+
+TEST(RoutingWeights, SingleSelectionIsConstantOne) {
+  Rng rng(6);
+  ag::Variable logits = ag::Variable::leaf(ops::randn({2, 3}, rng), false);
+  moe::RoutePlan plan;
+  plan.num_tokens = 2;
+  plan.num_experts = 3;
+  plan.top_k = 1;
+  plan.expert_tokens = {{0}, {1}, {}};
+  Tensor w = moe::routing_weights(logits, plan).value();
+  EXPECT_NEAR(w[0], 1.0f, 1e-6);
+  EXPECT_NEAR(w[1], 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,149 @@
+#include "moe/moe_block.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+struct Fixture {
+  static constexpr std::size_t kDim = 8;
+  static constexpr std::size_t kHidden = 16;
+  static constexpr std::size_t kExperts = 4;
+  static constexpr std::size_t kTopK = 2;
+
+  Fixture()
+      : backend(2, kExperts, kDim, kHidden, nn::LoRAConfig{2, 4.0f, true}, 42),
+        rng(7),
+        block("b", 0, kDim, kExperts, kTopK, rng, &backend) {}
+
+  moe::LocalExpertBackend backend;
+  Rng rng;
+  moe::MoEBlock block;
+};
+
+TEST(MoEBlock, OutputShapeMatchesInput) {
+  Fixture f;
+  Rng xr(1);
+  ag::Variable x = ag::Variable::constant(ops::randn({10, Fixture::kDim}, xr));
+  Tensor y = f.block.forward(x).value();
+  EXPECT_EQ(y.rows(), 10u);
+  EXPECT_EQ(y.cols(), Fixture::kDim);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(MoEBlock, LastPlanReflectsForward) {
+  Fixture f;
+  Rng xr(2);
+  ag::Variable x = ag::Variable::constant(ops::randn({6, Fixture::kDim}, xr));
+  f.block.forward(x);
+  const moe::RoutePlan& plan = f.block.last_plan();
+  EXPECT_EQ(plan.num_tokens, 6u);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(MoEBlock, RecordsStatsWhenRequested) {
+  Fixture f;
+  moe::RoutingStats stats(2, Fixture::kExperts);
+  Rng xr(3);
+  ag::Variable x = ag::Variable::constant(ops::randn({5, Fixture::kDim}, xr));
+  f.block.forward(x, &stats);
+  EXPECT_EQ(stats.tokens_seen(0), 5u);
+  EXPECT_EQ(stats.tokens_seen(1), 0u);
+  std::uint64_t total = 0;
+  for (std::size_t e = 0; e < Fixture::kExperts; ++e) total += stats.count(0, e);
+  EXPECT_EQ(total, 5u * Fixture::kTopK);
+  EXPECT_EQ(stats.score_sums(0).size(), 5u);
+}
+
+TEST(MoEBlock, OutputIsConvexCombinationOfExpertOutputs) {
+  // With k = E = 1-expert blocks the MoE output must equal that expert's
+  // output exactly (combine weight 1).
+  Rng rng(11);
+  moe::LocalExpertBackend backend(1, 1, 8, 16, nn::LoRAConfig::disabled(), 5);
+  moe::MoEBlock block("b", 0, 8, 1, 1, rng, &backend);
+  Rng xr(12);
+  Tensor x = ops::randn({4, 8}, xr);
+  Tensor moe_out = block.forward(ag::Variable::constant(x)).value();
+  Tensor direct =
+      backend.expert(0, 0).forward(ag::Variable::constant(x)).value();
+  EXPECT_TRUE(ops::allclose(moe_out, direct));
+}
+
+TEST(MoEBlock, GradFlowsToExpertAdaptersAndInput) {
+  Fixture f;
+  Rng xr(4);
+  ag::Variable x =
+      ag::Variable::leaf(ops::randn({6, Fixture::kDim}, xr), true);
+  ag::backward(ag::sum(f.block.forward(x)));
+  EXPECT_TRUE(x.has_grad());
+  EXPECT_GT(ops::max_abs(x.grad()), 0.0f);
+  std::size_t experts_with_grad = 0;
+  for (const auto& p : f.backend.trainable_parameters()) {
+    if (p.var.has_grad()) ++experts_with_grad;
+  }
+  EXPECT_GT(experts_with_grad, 0u);
+}
+
+TEST(MoEBlock, EndToEndGradcheckThroughDispatchAndCombine) {
+  Rng rng(13);
+  moe::LocalExpertBackend backend(1, 3, 6, 8, nn::LoRAConfig{2, 4.0f, true},
+                                  17);
+  moe::MoEBlock block("b", 0, 6, 3, 2, rng, &backend);
+  Rng xr(14);
+  ag::Variable x = ag::Variable::leaf(ops::randn({4, 6}, xr), true);
+  auto loss = [&] {
+    ag::Variable y = block.forward(x);
+    return ag::sum(ag::mul(y, y));
+  };
+  EXPECT_LT(ag::gradcheck_max_abs_err(x, loss, 1e-2f), 3e-2f);
+}
+
+TEST(MoEBlock, DeterministicAcrossIdenticalConstruction) {
+  Rng ra(21), rb(21);
+  moe::LocalExpertBackend ba(1, 4, 8, 16, nn::LoRAConfig::disabled(), 9);
+  moe::LocalExpertBackend bb(1, 4, 8, 16, nn::LoRAConfig::disabled(), 9);
+  moe::MoEBlock blocka("b", 0, 8, 4, 2, ra, &ba);
+  moe::MoEBlock blockb("b", 0, 8, 4, 2, rb, &bb);
+  Rng xr(22);
+  Tensor x = ops::randn({5, 8}, xr);
+  EXPECT_TRUE(
+      ops::allclose(blocka.forward(ag::Variable::constant(x)).value(),
+                    blockb.forward(ag::Variable::constant(x)).value()));
+}
+
+TEST(LocalExpertBackend, SeededDeterminism) {
+  moe::LocalExpertBackend a(2, 3, 8, 16, nn::LoRAConfig::disabled(), 33);
+  moe::LocalExpertBackend b(2, 3, 8, 16, nn::LoRAConfig::disabled(), 33);
+  Rng xr(1);
+  Tensor x = ops::randn({3, 8}, xr);
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t e = 0; e < 3; ++e) {
+      EXPECT_TRUE(ops::allclose(
+          a.expert(l, e).forward(ag::Variable::constant(x)).value(),
+          b.expert(l, e).forward(ag::Variable::constant(x)).value()));
+    }
+  }
+}
+
+TEST(LocalExpertBackend, DifferentSeedsDifferentExperts) {
+  moe::LocalExpertBackend a(1, 1, 8, 16, nn::LoRAConfig::disabled(), 1);
+  moe::LocalExpertBackend b(1, 1, 8, 16, nn::LoRAConfig::disabled(), 2);
+  Rng xr(1);
+  Tensor x = ops::randn({3, 8}, xr);
+  EXPECT_FALSE(ops::allclose(
+      a.expert(0, 0).forward(ag::Variable::constant(x)).value(),
+      b.expert(0, 0).forward(ag::Variable::constant(x)).value()));
+}
+
+TEST(LocalExpertBackend, OutOfRangeAccessThrows) {
+  moe::LocalExpertBackend a(1, 2, 8, 16, nn::LoRAConfig::disabled(), 1);
+  EXPECT_THROW(a.expert(1, 0), CheckError);
+  EXPECT_THROW(a.expert(0, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace vela

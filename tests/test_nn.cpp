@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/expert.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+nn::LoRAConfig small_lora() { return nn::LoRAConfig{2, 4.0f, true}; }
+
+TEST(Linear, ShapesAndParamCount) {
+  Rng rng(1);
+  nn::Linear layer("l", 4, 3, rng);
+  EXPECT_EQ(layer.parameter_count(), 12u);
+  ag::Variable x = ag::Variable::constant(Tensor::ones({2, 4}));
+  EXPECT_EQ(layer.forward(x).value().rows(), 2u);
+  EXPECT_EQ(layer.forward(x).value().cols(), 3u);
+}
+
+TEST(Linear, BiasAddsParams) {
+  Rng rng(1);
+  nn::Linear layer("l", 4, 3, rng, true, /*bias=*/true);
+  EXPECT_EQ(layer.parameter_count(), 15u);
+}
+
+TEST(Linear, FrozenHasNoTrainableParams) {
+  Rng rng(1);
+  nn::Linear layer("l", 4, 3, rng, /*trainable=*/false);
+  EXPECT_EQ(layer.trainable_parameter_count(), 0u);
+}
+
+TEST(Linear, InputShapeValidated) {
+  Rng rng(1);
+  nn::Linear layer("l", 4, 3, rng);
+  ag::Variable bad = ag::Variable::constant(Tensor::ones({2, 5}));
+  EXPECT_THROW(layer.forward(bad), CheckError);
+}
+
+TEST(LoRALinear, StartsExactlyAtBaseModel) {
+  Rng rng(2);
+  nn::LoRALinear lora("l", 6, 4, small_lora(), rng);
+  Rng rng2(2);
+  nn::LoRALinear base("l", 6, 4, nn::LoRAConfig::disabled(), rng2);
+  Rng xr(3);
+  ag::Variable x = ag::Variable::constant(ops::randn({3, 6}, xr));
+  // B initialized to zero ⇒ adapter contributes nothing initially.
+  EXPECT_TRUE(ops::allclose(lora.forward(x).value(), base.forward(x).value()));
+}
+
+TEST(LoRALinear, OnlyAdaptersTrainable) {
+  Rng rng(2);
+  nn::LoRALinear lora("l", 6, 4, small_lora(), rng);
+  // base 24, A 12, B 8.
+  EXPECT_EQ(lora.parameter_count(), 24u + 12u + 8u);
+  EXPECT_EQ(lora.trainable_parameter_count(), 20u);
+  for (const auto& p : lora.trainable_parameters()) {
+    EXPECT_TRUE(p.name.find("lora") != std::string::npos) << p.name;
+  }
+}
+
+TEST(LoRALinear, AdapterAffectsOutputAfterUpdate) {
+  Rng rng(4);
+  nn::LoRALinear lora("l", 4, 4, small_lora(), rng);
+  Rng xr(5);
+  ag::Variable x = ag::Variable::constant(ops::randn({2, 4}, xr));
+  Tensor before = lora.forward(x).value();
+  // Push B away from zero manually.
+  for (auto& p : lora.trainable_parameters()) {
+    if (p.name.find("lora_b") != std::string::npos) {
+      p.var.mutable_value().fill(0.5f);
+    }
+  }
+  Tensor after = lora.forward(x).value();
+  EXPECT_FALSE(ops::allclose(before, after));
+}
+
+TEST(LoRALinear, GradFlowsToAdaptersNotBase) {
+  Rng rng(6);
+  nn::LoRALinear lora("l", 4, 4, small_lora(), rng);
+  Rng xr(7);
+  ag::Variable x = ag::Variable::constant(ops::randn({2, 4}, xr));
+  ag::backward(ag::sum(lora.forward(x)));
+  for (const auto& p : lora.parameters()) {
+    if (p.name.find("lora_a") != std::string::npos) {
+      // dL/dA is nonzero only through B, which is 0; A receives a zero
+      // gradient tensor but it must exist.
+      EXPECT_TRUE(p.var.has_grad()) << p.name;
+    } else if (p.name.find("lora_b") != std::string::npos) {
+      EXPECT_TRUE(p.var.has_grad()) << p.name;
+      EXPECT_GT(ops::max_abs(p.var.grad()), 0.0f);
+    } else {
+      EXPECT_FALSE(p.var.has_grad()) << p.name;
+    }
+  }
+}
+
+TEST(RMSNorm, NormalizesRows) {
+  nn::RMSNorm norm("n", 8);
+  Rng rng(8);
+  ag::Variable x = ag::Variable::constant(ops::randn({4, 8}, rng, 0.0f, 5.0f));
+  Tensor y = norm.forward(x).value();
+  for (std::size_t i = 0; i < 4; ++i) {
+    double ss = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) ss += double(y.at(i, j)) * y.at(i, j);
+    EXPECT_NEAR(std::sqrt(ss / 8.0), 1.0, 1e-2);
+  }
+}
+
+TEST(RMSNorm, PreservesDirection) {
+  nn::RMSNorm norm("n", 4);
+  ag::Variable x =
+      ag::Variable::constant(Tensor::from_rows({{2.0f, 0.0f, 0.0f, 0.0f}}));
+  Tensor y = norm.forward(x).value();
+  EXPECT_GT(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Embedding, LooksUpRows) {
+  Rng rng(9);
+  nn::Embedding emb("e", 10, 4, rng);
+  ag::Variable out = emb.forward({3, 3, 7});
+  EXPECT_EQ(out.value().rows(), 3u);
+  EXPECT_TRUE(ops::allclose(
+      ops::gather_rows(out.value(), {0}), ops::gather_rows(out.value(), {1})));
+}
+
+TEST(Embedding, RejectsOutOfRangeIds) {
+  Rng rng(9);
+  nn::Embedding emb("e", 10, 4, rng);
+  EXPECT_THROW(emb.forward({10}), CheckError);
+  EXPECT_THROW(emb.forward({}), CheckError);
+}
+
+TEST(Attention, OutputShapeMatchesInput) {
+  Rng rng(10);
+  nn::CausalSelfAttention attn("a", 8, 2, small_lora(), rng);
+  ag::Variable x = ag::Variable::constant(ops::randn({5, 8}, rng));
+  Tensor y = attn.forward(x).value();
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 8u);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(Attention, RequiresDivisibleHeads) {
+  Rng rng(10);
+  EXPECT_THROW(nn::CausalSelfAttention("a", 9, 2, small_lora(), rng),
+               CheckError);
+}
+
+TEST(Attention, CausalityFirstTokenUnaffectedByLaterTokens) {
+  Rng rng(11);
+  nn::CausalSelfAttention attn("a", 8, 2, small_lora(), rng);
+  Rng xr(12);
+  Tensor x = ops::randn({4, 8}, xr);
+  Tensor x2 = x;
+  // Perturb the last token only.
+  for (std::size_t j = 0; j < 8; ++j) x2.at(3, j) += 1.0f;
+  Tensor y1 = attn.forward(ag::Variable::constant(x)).value();
+  Tensor y2 = attn.forward(ag::Variable::constant(x2)).value();
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(y1.at(0, j), y2.at(0, j));
+    EXPECT_FLOAT_EQ(y1.at(2, j), y2.at(2, j));
+  }
+  // ...but the last row must change.
+  bool changed = false;
+  for (std::size_t j = 0; j < 8; ++j) {
+    changed = changed || y1.at(3, j) != y2.at(3, j);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Attention, GradReachesAllAdapters) {
+  Rng rng(13);
+  nn::CausalSelfAttention attn("a", 8, 2, small_lora(), rng);
+  Rng xr(14);
+  ag::Variable x = ag::Variable::constant(ops::randn({3, 8}, xr));
+  ag::backward(ag::sum(attn.forward(x)));
+  std::size_t with_grad = 0;
+  for (const auto& p : attn.trainable_parameters()) {
+    if (p.var.has_grad()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, attn.trainable_parameters().size());
+}
+
+TEST(Expert, SwiGLUShapesAndFiniteness) {
+  Rng rng(15);
+  nn::SwiGLUExpert expert("x", 6, 12, small_lora(), rng);
+  ag::Variable x = ag::Variable::constant(ops::randn({7, 6}, rng));
+  Tensor y = expert.forward(x).value();
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 6u);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(Expert, MemoryBytesScalesWithBitDepth) {
+  Rng rng(15);
+  nn::SwiGLUExpert expert("x", 6, 12, small_lora(), rng);
+  EXPECT_EQ(expert.memory_bytes(32), 2 * expert.memory_bytes(16));
+}
+
+TEST(Expert, DeterministicSeedReproducesWeights) {
+  const std::uint64_t seed = nn::expert_seed(99, 3, 1);
+  Rng r1(seed), r2(seed);
+  nn::SwiGLUExpert a("x", 6, 12, small_lora(), r1);
+  nn::SwiGLUExpert b("x", 6, 12, small_lora(), r2);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::allclose(pa[i].var.value(), pb[i].var.value()));
+  }
+}
+
+TEST(Expert, SeedsDifferAcrossExperts) {
+  EXPECT_NE(nn::expert_seed(1, 0, 0), nn::expert_seed(1, 0, 1));
+  EXPECT_NE(nn::expert_seed(1, 0, 0), nn::expert_seed(1, 1, 0));
+  EXPECT_NE(nn::expert_seed(1, 0, 0), nn::expert_seed(2, 0, 0));
+}
+
+TEST(Module, RecursiveParameterNaming) {
+  Rng rng(16);
+  nn::SwiGLUExpert expert("e", 4, 8, small_lora(), rng);
+  bool found = false;
+  for (const auto& p : expert.parameters()) {
+    if (p.name.find("w1.e.w1.weight") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,118 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+nn::Parameter make_param(const std::string& name, Tensor value) {
+  return {name, ag::Variable::leaf(std::move(value), true)};
+}
+
+TEST(Optimizer, RejectsFrozenParams) {
+  nn::Parameter frozen{"w", ag::Variable::leaf(Tensor::ones({2}), false)};
+  EXPECT_THROW(nn::SGD({frozen}, 0.1f), CheckError);
+}
+
+TEST(SGD, AppliesGradientDescent) {
+  auto p = make_param("w", Tensor::from_vector({1.0f, 2.0f}));
+  nn::SGD sgd({p}, 0.5f);
+  ag::backward(ag::sum(ag::mul(p.var, p.var)));  // dL/dw = 2w
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.var.value().at(0), 0.0f);   // 1 - 0.5*2
+  EXPECT_FLOAT_EQ(p.var.value().at(1), 0.0f);   // 2 - 0.5*4
+}
+
+TEST(SGD, SkipsParamsWithoutGrad) {
+  auto p = make_param("w", Tensor::ones({2}));
+  nn::SGD sgd({p}, 0.5f);
+  sgd.step();  // no backward happened
+  EXPECT_FLOAT_EQ(p.var.value().at(0), 1.0f);
+}
+
+TEST(SGD, ConvergesOnQuadratic) {
+  auto p = make_param("w", Tensor::from_vector({5.0f}));
+  nn::SGD sgd({p}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.zero_grad();
+    ag::backward(ag::sum(ag::mul(p.var, p.var)));
+    sgd.step();
+  }
+  EXPECT_NEAR(p.var.value().at(0), 0.0f, 1e-4);
+}
+
+TEST(AdamW, FirstStepMovesByLearningRate) {
+  auto p = make_param("w", Tensor::from_vector({1.0f}));
+  nn::AdamWConfig cfg;
+  cfg.lr = 0.01f;
+  cfg.weight_decay = 0.0f;
+  nn::AdamW adam({p}, cfg);
+  ag::backward(ag::sum(p.var));  // grad = 1
+  adam.step();
+  // With bias correction, the first AdamW step magnitude is ≈ lr.
+  EXPECT_NEAR(p.var.value().at(0), 1.0f - 0.01f, 1e-5);
+}
+
+TEST(AdamW, DecoupledWeightDecayShrinksWithoutGradSignal) {
+  auto p = make_param("w", Tensor::from_vector({10.0f}));
+  nn::AdamWConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.1f;
+  nn::AdamW adam({p}, cfg);
+  // Zero gradient: only the decay term acts.
+  p.var.zero_grad();
+  ag::backward(ag::sum(ag::scale(p.var, 0.0f)));
+  adam.step();
+  EXPECT_NEAR(p.var.value().at(0), 10.0f * (1.0f - 0.1f * 0.1f), 1e-4);
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  auto p = make_param("w", Tensor::from_vector({3.0f, -4.0f}));
+  nn::AdamWConfig cfg;
+  cfg.lr = 0.05f;
+  nn::AdamW adam({p}, cfg);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    ag::backward(ag::sum(ag::mul(p.var, p.var)));
+    adam.step();
+  }
+  EXPECT_NEAR(p.var.value().at(0), 0.0f, 1e-2);
+  EXPECT_NEAR(p.var.value().at(1), 0.0f, 1e-2);
+}
+
+TEST(AdamW, StepsCounted) {
+  auto p = make_param("w", Tensor::ones({1}));
+  nn::AdamW adam({p});
+  EXPECT_EQ(adam.steps_taken(), 0u);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.steps_taken(), 2u);
+}
+
+TEST(AdamW, PaperHyperparametersAreDefault) {
+  nn::AdamWConfig cfg;
+  EXPECT_FLOAT_EQ(cfg.lr, 3e-5f);
+  EXPECT_FLOAT_EQ(cfg.beta1, 0.8f);
+  EXPECT_FLOAT_EQ(cfg.beta2, 0.999f);
+  EXPECT_FLOAT_EQ(cfg.eps, 1e-8f);
+  EXPECT_FLOAT_EQ(cfg.weight_decay, 3e-7f);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  auto p = make_param("w", Tensor::ones({2}));
+  nn::SGD sgd({p}, 0.1f);
+  ag::backward(ag::sum(p.var));
+  EXPECT_TRUE(p.var.has_grad());
+  sgd.zero_grad();
+  EXPECT_FALSE(p.var.has_grad());
+}
+
+}  // namespace
+}  // namespace vela

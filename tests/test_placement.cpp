@@ -1,0 +1,196 @@
+#include "placement/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/evaluator.h"
+#include "placement/greedy.h"
+#include "placement/random.h"
+#include "placement/sequential.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+placement::PlacementProblem make_problem(std::size_t workers = 4,
+                                         std::size_t layers = 3,
+                                         std::size_t experts = 4,
+                                         double slack = 1.5,
+                                         std::uint64_t seed = 1) {
+  placement::PlacementProblem p;
+  p.num_workers = workers;
+  p.num_layers = layers;
+  p.num_experts = experts;
+  Rng rng(seed);
+  p.probability = ops::rand_uniform({layers, experts}, rng, 0.05f, 1.0f);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Half the workers fast (intra-node), half slow (cross-node).
+    p.bandwidth.push_back(w < workers / 2 ? 18.3e9 : 1.17e9);
+    p.worker_node.push_back(w < workers / 2 ? 0 : 1 + w % 2);
+  }
+  const auto cap = static_cast<std::size_t>(
+      static_cast<double>(layers * experts) / workers * slack + 0.999);
+  p.capacity.assign(workers, cap);
+  p.master_node = 0;
+  p.tokens_per_step = 1024.0;
+  p.bytes_per_token = 8192.0;
+  p.validate();
+  return p;
+}
+
+TEST(PlacementProblem, ValidateCatchesCapacityShortfall) {
+  auto p = make_problem();
+  p.capacity.assign(p.num_workers, 1);  // 4 slots for 12 experts
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(PlacementProblem, ValidateCatchesShapeMismatch) {
+  auto p = make_problem();
+  p.bandwidth.pop_back();
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(PlacementProblem, CostCoefficientMatchesEquationSix) {
+  auto p = make_problem();
+  // Eq. (6): 2 · bytes_per_token / B_n · P_le · K.
+  const double expected = 2.0 * 8192.0 / 18.3e9 *
+                          double(p.probability.at(1, 2)) * 1024.0;
+  EXPECT_NEAR(p.cost_coefficient(0, 1, 2), expected, 1e-12);
+  // Slower workers cost proportionally more.
+  EXPECT_NEAR(p.cost_coefficient(3, 1, 2) / p.cost_coefficient(0, 1, 2),
+              18.3 / 1.17, 1e-6);
+}
+
+TEST(Placement, AssignAndQuery) {
+  placement::Placement p(2, 3);
+  p.assign(0, 0, 1);
+  EXPECT_EQ(p.worker_of(0, 0), 1u);
+  EXPECT_THROW(p.worker_of(0, 1), CheckError);  // unassigned
+  EXPECT_THROW(p.assign(2, 0, 0), CheckError);  // out of range
+}
+
+TEST(Placement, WorkerLoadsAndExpertsOf) {
+  placement::Placement p(2, 2);
+  p.assign(0, 0, 0);
+  p.assign(0, 1, 1);
+  p.assign(1, 0, 0);
+  p.assign(1, 1, 0);
+  auto loads = p.worker_loads(2);
+  EXPECT_EQ(loads[0], 3u);
+  EXPECT_EQ(loads[1], 1u);
+  auto experts = p.experts_of(0);
+  EXPECT_EQ(experts.size(), 3u);
+}
+
+TEST(Placement, FeasibilityChecksCapacityAndCompleteness) {
+  auto problem = make_problem(2, 1, 2, 1.0);
+  placement::Placement p(1, 2);
+  EXPECT_FALSE(p.feasible(problem));  // unassigned
+  p.assign(0, 0, 0);
+  p.assign(0, 1, 0);
+  EXPECT_FALSE(p.feasible(problem));  // capacity 1 per worker exceeded
+  p.assign(0, 1, 1);
+  EXPECT_TRUE(p.feasible(problem));
+}
+
+TEST(SequentialPlacement, RoundRobinLayout) {
+  auto problem = make_problem(4, 2, 6, 2.0);
+  placement::SequentialPlacement strategy;
+  auto p = strategy.place(problem);
+  EXPECT_TRUE(p.feasible(problem));
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+  EXPECT_EQ(p.worker_of(0, 5), 1u);
+  EXPECT_EQ(p.worker_of(1, 4), 0u);
+}
+
+TEST(RandomPlacement, FeasibleAndSeedDeterministic) {
+  auto problem = make_problem();
+  placement::RandomPlacement a(5), b(5), c(6);
+  auto pa = a.place(problem);
+  auto pb = b.place(problem);
+  auto pc = c.place(problem);
+  EXPECT_TRUE(pa.feasible(problem));
+  EXPECT_EQ(pa.to_string(), pb.to_string());
+  EXPECT_NE(pa.to_string(), pc.to_string());
+}
+
+TEST(RandomPlacement, RespectsTightCapacity) {
+  auto problem = make_problem(4, 3, 4, 1.0);  // exactly 3 per worker
+  placement::RandomPlacement strategy(9);
+  auto p = strategy.place(problem);
+  EXPECT_TRUE(p.feasible(problem));
+  for (std::size_t load : p.worker_loads(4)) EXPECT_EQ(load, 3u);
+}
+
+TEST(GreedyPlacement, FeasibleAndBeatsSequentialOnSkewedLoad) {
+  auto problem = make_problem(4, 6, 4, 1.5, 3);
+  // Make expert 3 extremely hot in every layer. Sequential pins it to the
+  // slow worker 3 (e mod N); a load-aware strategy must do better.
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    problem.probability.at(l, 3) = 1.0f;
+    for (std::size_t e = 0; e < 3; ++e) {
+      problem.probability.at(l, e) = 0.05f;
+    }
+  }
+  placement::GreedyLPTPlacement greedy;
+  placement::SequentialPlacement sequential;
+  auto pg = greedy.place(problem);
+  auto ps = sequential.place(problem);
+  EXPECT_TRUE(pg.feasible(problem));
+  EXPECT_LE(placement::expected_comm_seconds(problem, pg),
+            placement::expected_comm_seconds(problem, ps) + 1e-12);
+}
+
+TEST(Evaluator, LayerTimeIsMaxOverWorkers) {
+  auto problem = make_problem(2, 1, 2, 2.0);
+  placement::Placement p(1, 2);
+  p.assign(0, 0, 0);
+  p.assign(0, 1, 1);
+  const double t0 = problem.cost_coefficient(0, 0, 0);
+  const double t1 = problem.cost_coefficient(1, 0, 1);
+  EXPECT_NEAR(placement::expected_layer_comm_seconds(problem, p, 0),
+              std::max(t0, t1), 1e-15);
+}
+
+TEST(Evaluator, TotalIsSumOfLayers) {
+  auto problem = make_problem(2, 3, 2, 2.0);
+  placement::SequentialPlacement strategy;
+  auto p = strategy.place(problem);
+  double total = 0.0;
+  for (std::size_t l = 0; l < 3; ++l) {
+    total += placement::expected_layer_comm_seconds(problem, p, l);
+  }
+  EXPECT_NEAR(placement::expected_comm_seconds(problem, p), total, 1e-15);
+}
+
+TEST(Evaluator, ExternalBytesCountOnlyRemoteWorkers) {
+  auto problem = make_problem(2, 1, 2, 2.0);
+  placement::Placement all_local(1, 2);
+  all_local.assign(0, 0, 0);
+  all_local.assign(0, 1, 0);  // worker 0 on master node
+  EXPECT_DOUBLE_EQ(placement::expected_external_bytes(problem, all_local), 0.0);
+
+  placement::Placement all_remote(1, 2);
+  all_remote.assign(0, 0, 1);
+  all_remote.assign(0, 1, 1);
+  const double tokens =
+      (double(problem.probability.at(0, 0)) + problem.probability.at(0, 1)) *
+      problem.tokens_per_step;
+  EXPECT_NEAR(placement::expected_external_bytes(problem, all_remote),
+              4.0 * tokens * problem.bytes_per_token, 1e-6);
+}
+
+TEST(Evaluator, LowerBoundHolds) {
+  auto problem = make_problem(4, 4, 5, 1.5, 7);
+  placement::SequentialPlacement sequential;
+  placement::GreedyLPTPlacement greedy;
+  const double lb = placement::comm_time_lower_bound(problem);
+  EXPECT_GE(placement::expected_comm_seconds(problem, sequential.place(problem)),
+            lb - 1e-12);
+  EXPECT_GE(placement::expected_comm_seconds(problem, greedy.place(problem)),
+            lb - 1e-12);
+}
+
+}  // namespace
+}  // namespace vela

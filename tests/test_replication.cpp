@@ -1,0 +1,152 @@
+#include "placement/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/evaluator.h"
+#include "placement/sequential.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+placement::PlacementProblem make_problem(std::uint64_t seed = 1,
+                                         double hot = 1.2f) {
+  placement::PlacementProblem p;
+  p.num_workers = 5;
+  p.num_layers = 3;
+  p.num_experts = 5;
+  p.probability = Tensor({3, 5});
+  Rng rng(seed);
+  for (std::size_t l = 0; l < 3; ++l) {
+    p.probability.at(l, 0) = static_cast<float>(hot);  // hot expert 0
+    for (std::size_t e = 1; e < 5; ++e) {
+      p.probability.at(l, e) =
+          static_cast<float>((2.0 - hot) / 4.0 * rng.uniform(0.8, 1.2));
+    }
+  }
+  for (std::size_t w = 0; w < 5; ++w) {
+    p.bandwidth.push_back(w == 0 ? 18.3e9 : 1.17e9);
+    p.worker_node.push_back(w == 0 ? 0 : 1 + (w - 1) / 2);
+  }
+  p.master_node = 0;
+  p.capacity.assign(5, 6);
+  p.tokens_per_step = 1024.0;
+  p.bytes_per_token = 4096.0;
+  p.validate();
+  return p;
+}
+
+placement::Placement sequential(const placement::PlacementProblem& p) {
+  placement::SequentialPlacement strategy;
+  return strategy.place(p);
+}
+
+TEST(ReplicatedPlacement, StartsAsBase) {
+  auto problem = make_problem();
+  auto base = sequential(problem);
+  placement::ReplicatedPlacement rp(base);
+  EXPECT_EQ(rp.total_replicas(), 15u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t e = 0; e < 5; ++e) {
+      ASSERT_EQ(rp.replicas(l, e).size(), 1u);
+      EXPECT_EQ(rp.replicas(l, e)[0], base.worker_of(l, e));
+    }
+  }
+  EXPECT_TRUE(rp.feasible(problem));
+}
+
+TEST(ReplicatedPlacement, AddReplicaRules) {
+  auto problem = make_problem();
+  placement::ReplicatedPlacement rp(sequential(problem));
+  rp.add_replica(0, 0, 3);
+  EXPECT_EQ(rp.replicas(0, 0).size(), 2u);
+  EXPECT_EQ(rp.total_replicas(), 16u);
+  // Duplicate replica on the same worker is rejected.
+  EXPECT_THROW(rp.add_replica(0, 0, 3), CheckError);
+  EXPECT_THROW(rp.add_replica(0, 0, 0), CheckError);  // base replica
+}
+
+TEST(ReplicatedPlacement, SplitFractionsFollowBandwidth) {
+  auto problem = make_problem();
+  placement::ReplicatedPlacement rp(sequential(problem));
+  // Expert (0,1) sits on worker 1 (1.17 GB/s); replicate to worker 0 (18.3).
+  rp.add_replica(0, 1, 0);
+  auto fractions = rp.split_fractions(0, 1, problem);
+  ASSERT_EQ(fractions.size(), 2u);
+  EXPECT_NEAR(fractions[0] + fractions[1], 1.0, 1e-12);
+  // Replicas are stored ascending: worker 0 first, and it takes the larger
+  // share 18.3/(18.3+1.17).
+  EXPECT_NEAR(fractions[0], 18.3 / 19.47, 1e-9);
+}
+
+TEST(ReplicatedPlacement, UnreplicatedMatchesBaseEvaluator) {
+  auto problem = make_problem();
+  auto base = sequential(problem);
+  placement::ReplicatedPlacement rp(base);
+  EXPECT_NEAR(placement::expected_comm_seconds_replicated(problem, rp),
+              placement::expected_comm_seconds(problem, base), 1e-15);
+  EXPECT_NEAR(placement::expected_external_bytes_replicated(problem, rp),
+              placement::expected_external_bytes(problem, base), 1e-6);
+}
+
+TEST(ReplicatedPlacement, ReplicationNeverHurtsCommTime) {
+  auto problem = make_problem();
+  auto base = sequential(problem);
+  const double base_time = placement::expected_comm_seconds(problem, base);
+  for (std::size_t budget : {1u, 3u, 6u, 10u}) {
+    auto rp = placement::greedy_replication(problem, base, budget);
+    EXPECT_TRUE(rp.feasible(problem));
+    EXPECT_LE(placement::expected_comm_seconds_replicated(problem, rp),
+              base_time + 1e-12)
+        << "budget " << budget;
+  }
+}
+
+TEST(ReplicatedPlacement, GreedyImprovesMonotonicallyWithBudget) {
+  auto problem = make_problem(3, 1.4);
+  auto base = sequential(problem);
+  double prev = placement::expected_comm_seconds(problem, base);
+  for (std::size_t budget = 1; budget <= 8; ++budget) {
+    auto rp = placement::greedy_replication(problem, base, budget);
+    const double t = placement::expected_comm_seconds_replicated(problem, rp);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST(ReplicatedPlacement, GreedyReplicatesTheHotExpert) {
+  auto problem = make_problem(5, 1.6);
+  auto base = sequential(problem);
+  auto rp = placement::greedy_replication(problem, base, 3);
+  // At least one added replica must belong to the hot expert column 0.
+  std::size_t extra_on_hot = 0;
+  for (std::size_t l = 0; l < problem.num_layers; ++l) {
+    extra_on_hot += rp.replicas(l, 0).size() - 1;
+  }
+  EXPECT_GT(extra_on_hot, 0u);
+}
+
+TEST(ReplicatedPlacement, GreedyStopsWhenNothingImproves) {
+  // Uniform probabilities and equal bandwidths: replication cannot reduce
+  // the max; the greedy must stop early and keep the base.
+  auto problem = make_problem(7, 2.0 / 5.0 * 1.0);
+  problem.probability.fill(0.4f);
+  for (auto& b : problem.bandwidth) b = 1.17e9;
+  auto base = sequential(problem);
+  auto rp = placement::greedy_replication(problem, base, 10);
+  EXPECT_EQ(rp.total_replicas(), 15u);
+}
+
+TEST(ReplicatedPlacement, RespectsCapacity) {
+  auto problem = make_problem(9, 1.6);
+  problem.capacity.assign(5, 3);  // exactly the base load, no spare slots
+  auto base = sequential(problem);
+  auto rp = placement::greedy_replication(problem, base, 5);
+  EXPECT_EQ(rp.total_replicas(), 15u);  // nowhere to put replicas
+  EXPECT_TRUE(rp.feasible(problem));
+}
+
+}  // namespace
+}  // namespace vela

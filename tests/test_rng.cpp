@@ -1,0 +1,166 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7.0, 0.01);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), CheckError);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScalesCorrectly) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalRejectsNegativeAndAllZero) {
+  Rng rng(23);
+  EXPECT_THROW(rng.categorical({1.0, -0.5}), CheckError);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), CheckError);
+  EXPECT_THROW(rng.categorical({}), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler sampler(5, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(sampler.pmf(i), 0.2, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler sampler(20, 1.2);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) total += sampler.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  ZipfSampler sampler(10, 1.0);
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_LT(sampler.pmf(i), sampler.pmf(i - 1));
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler sampler(6, 1.1);
+  Rng rng(37);
+  std::vector<int> counts(6, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(counts[i] / double(n), sampler.pmf(i), 0.01);
+  }
+}
+
+// Property sweep: Zipf head mass grows with the exponent.
+class ZipfConcentration : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfConcentration, HeadMassMonotoneInExponent) {
+  const double s = GetParam();
+  ZipfSampler low(16, s);
+  ZipfSampler high(16, s + 0.5);
+  EXPECT_LT(low.pmf(0), high.pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfConcentration,
+                         ::testing::Values(0.0, 0.3, 0.7, 1.0, 1.5));
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,167 @@
+// Unit tests of the paper's LP rounding (§IV-B) on crafted fractional
+// solutions — every branch of the three-step procedure, in isolation from
+// the simplex.
+#include "placement/rounding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+using placement::RelaxedSolution;
+using placement::RoundingReport;
+using placement::round_relaxed_solution;
+
+TEST(Rounding, IntegralSolutionPassesThrough) {
+  RelaxedSolution relaxed(2, 1, 3);
+  relaxed.set(0, 0, 0, 1.0);
+  relaxed.set(1, 0, 1, 1.0);
+  relaxed.set(0, 0, 2, 1.0);
+  RoundingReport report;
+  auto p = round_relaxed_solution(relaxed, {2, 1}, &report);
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+  EXPECT_EQ(p.worker_of(0, 1), 1u);
+  EXPECT_EQ(p.worker_of(0, 2), 0u);
+  EXPECT_EQ(report.thresholded, 3u);
+  EXPECT_EQ(report.evicted, 0u);
+  EXPECT_EQ(report.reassigned, 0u);
+}
+
+TEST(Rounding, ThresholdPicksTheMajorityWorker) {
+  RelaxedSolution relaxed(3, 1, 1);
+  relaxed.set(0, 0, 0, 0.2);
+  relaxed.set(1, 0, 0, 0.7);
+  relaxed.set(2, 0, 0, 0.1);
+  auto p = round_relaxed_solution(relaxed, {1, 1, 1});
+  EXPECT_EQ(p.worker_of(0, 0), 1u);
+}
+
+TEST(Rounding, ExactHalfGoesToAffinityStep) {
+  // 0.5/0.5 split: neither exceeds the threshold ("above 0.5"), so step 3
+  // assigns by affinity (first max wins the tie deterministically).
+  RelaxedSolution relaxed(2, 1, 1);
+  relaxed.set(0, 0, 0, 0.5);
+  relaxed.set(1, 0, 0, 0.5);
+  RoundingReport report;
+  auto p = round_relaxed_solution(relaxed, {1, 1}, &report);
+  EXPECT_EQ(report.thresholded, 0u);
+  EXPECT_EQ(report.reassigned, 1u);
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+}
+
+TEST(Rounding, CapacityRepairEvictsLowestAffinity) {
+  // Worker 0 wins three experts (0.9, 0.8, 0.6) but has capacity 2: the
+  // 0.6 assignment must be evicted and land on worker 1.
+  RelaxedSolution relaxed(2, 1, 3);
+  relaxed.set(0, 0, 0, 0.9);
+  relaxed.set(1, 0, 0, 0.1);
+  relaxed.set(0, 0, 1, 0.8);
+  relaxed.set(1, 0, 1, 0.2);
+  relaxed.set(0, 0, 2, 0.6);
+  relaxed.set(1, 0, 2, 0.4);
+  RoundingReport report;
+  auto p = round_relaxed_solution(relaxed, {2, 3}, &report);
+  EXPECT_EQ(report.thresholded, 3u);
+  EXPECT_EQ(report.evicted, 1u);
+  EXPECT_EQ(report.reassigned, 1u);
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+  EXPECT_EQ(p.worker_of(0, 1), 0u);
+  EXPECT_EQ(p.worker_of(0, 2), 1u);
+}
+
+TEST(Rounding, OrphanSkipsFullWorkersEvenWithHigherAffinity) {
+  // The orphan's best-affinity worker 0 is already full; it must take
+  // worker 1 (next-best with capacity).
+  RelaxedSolution relaxed(3, 1, 2);
+  relaxed.set(0, 0, 0, 1.0);              // fills worker 0
+  relaxed.set(0, 0, 1, 0.45);             // orphan prefers worker 0...
+  relaxed.set(1, 0, 1, 0.35);
+  relaxed.set(2, 0, 1, 0.20);
+  auto p = round_relaxed_solution(relaxed, {1, 1, 1});
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+  EXPECT_EQ(p.worker_of(0, 1), 1u);       // ...but lands on worker 1
+}
+
+TEST(Rounding, CascadingEvictionsConverge) {
+  // Two layers' experts all prefer worker 0 (capacity 1): exactly one
+  // survives there; the rest distribute by affinity.
+  RelaxedSolution relaxed(2, 2, 2);
+  double v = 0.9;
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      relaxed.set(0, l, e, v);
+      relaxed.set(1, l, e, 1.0 - v);
+      v -= 0.05;
+    }
+  }
+  auto p = round_relaxed_solution(relaxed, {1, 3});
+  std::size_t on_zero = 0;
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      if (p.worker_of(l, e) == 0) ++on_zero;
+    }
+  }
+  EXPECT_EQ(on_zero, 1u);
+  // The survivor is the strongest-affinity assignment (0.9).
+  EXPECT_EQ(p.worker_of(0, 0), 0u);
+}
+
+TEST(Rounding, InfeasibleCapacityThrows) {
+  RelaxedSolution relaxed(2, 1, 3);
+  EXPECT_THROW(round_relaxed_solution(relaxed, {1, 1}), CheckError);
+}
+
+TEST(Rounding, RejectsOutOfRangeValues) {
+  RelaxedSolution relaxed(2, 1, 1);
+  EXPECT_THROW(relaxed.set(0, 0, 0, 1.5), CheckError);
+  EXPECT_THROW(relaxed.set(0, 0, 0, -0.2), CheckError);
+  EXPECT_THROW(relaxed.get(2, 0, 0), CheckError);
+}
+
+TEST(Rounding, ColumnSums) {
+  RelaxedSolution relaxed(3, 1, 1);
+  relaxed.set(0, 0, 0, 0.25);
+  relaxed.set(1, 0, 0, 0.25);
+  relaxed.set(2, 0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(relaxed.column_sum(0, 0), 1.0);
+}
+
+TEST(Rounding, AlwaysProducesCompleteFeasiblePlacement) {
+  // Property: for any relaxed solution with column sums 1 and feasible
+  // capacities, the result assigns every expert within capacity.
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t workers = 2 + rng.uniform_index(3);
+    const std::size_t layers = 1 + rng.uniform_index(3);
+    const std::size_t experts = 2 + rng.uniform_index(4);
+    RelaxedSolution relaxed(workers, layers, experts);
+    for (std::size_t l = 0; l < layers; ++l) {
+      for (std::size_t e = 0; e < experts; ++e) {
+        std::vector<double> weights(workers);
+        double total = 0.0;
+        for (auto& w : weights) {
+          w = rng.uniform(0.0, 1.0);
+          total += w;
+        }
+        for (std::size_t w = 0; w < workers; ++w) {
+          relaxed.set(w, l, e, weights[w] / total);
+        }
+      }
+    }
+    const std::size_t cap =
+        (layers * experts + workers - 1) / workers + 1;
+    auto p = round_relaxed_solution(relaxed,
+                                    std::vector<std::size_t>(workers, cap));
+    auto loads = p.worker_loads(workers);
+    for (std::size_t w = 0; w < workers; ++w) EXPECT_LE(loads[w], cap);
+    std::size_t total_assigned = 0;
+    for (std::size_t w = 0; w < workers; ++w) total_assigned += loads[w];
+    EXPECT_EQ(total_assigned, layers * experts);
+  }
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,109 @@
+#include "moe/routing_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+moe::RoutePlan make_plan(std::size_t tokens, std::size_t experts,
+                         std::size_t k,
+                         std::vector<std::vector<std::size_t>> groups) {
+  moe::RoutePlan plan;
+  plan.num_tokens = tokens;
+  plan.num_experts = experts;
+  plan.top_k = k;
+  plan.expert_tokens = std::move(groups);
+  return plan;
+}
+
+TEST(RoutingStats, CountsAndFrequencies) {
+  moe::RoutingStats stats(2, 3);
+  stats.record(0, make_plan(4, 3, 2, {{0, 1, 2, 3}, {0, 1}, {2, 3}}));
+  EXPECT_EQ(stats.count(0, 0), 4u);
+  EXPECT_EQ(stats.count(0, 1), 2u);
+  EXPECT_EQ(stats.tokens_seen(0), 4u);
+  EXPECT_DOUBLE_EQ(stats.frequency(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.frequency(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(stats.frequency(1, 0), 0.0);  // untouched layer
+}
+
+TEST(RoutingStats, FrequenciesSumToTopK) {
+  moe::RoutingStats stats(1, 3);
+  stats.record(0, make_plan(4, 3, 2, {{0, 1, 2, 3}, {0, 1}, {2, 3}}));
+  auto freq = stats.layer_frequencies(0);
+  double total = 0.0;
+  for (double f : freq) total += f;
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(RoutingStats, AccumulatesAcrossRecords) {
+  moe::RoutingStats stats(1, 2);
+  stats.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  stats.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  EXPECT_EQ(stats.tokens_seen(0), 4u);
+  EXPECT_EQ(stats.count(0, 0), 4u);
+}
+
+TEST(RoutingStats, InconsistentTopKRejected) {
+  moe::RoutingStats stats(1, 2);
+  stats.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  EXPECT_THROW(stats.record(0, make_plan(2, 2, 1, {{0, 1}, {}})), CheckError);
+}
+
+TEST(RoutingStats, ProbabilityMatrixShapeAndValues) {
+  moe::RoutingStats stats(2, 2);
+  stats.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  stats.record(1, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  Tensor p = stats.probability_matrix();
+  EXPECT_EQ(p.rows(), 2u);
+  EXPECT_EQ(p.cols(), 2u);
+  EXPECT_FLOAT_EQ(p.at(0, 0), 1.0f);
+}
+
+TEST(RoutingStats, ScoreSumsAppend) {
+  moe::RoutingStats stats(1, 2);
+  stats.record_score_sums(0, {0.5f, 0.7f});
+  stats.record_score_sums(0, {0.9f});
+  EXPECT_EQ(stats.score_sums(0).size(), 3u);
+}
+
+TEST(RoutingStats, ResetClearsEverything) {
+  moe::RoutingStats stats(1, 2);
+  stats.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  stats.record_score_sums(0, {0.5f});
+  stats.reset();
+  EXPECT_EQ(stats.tokens_seen(0), 0u);
+  EXPECT_EQ(stats.count(0, 0), 0u);
+  EXPECT_TRUE(stats.score_sums(0).empty());
+}
+
+TEST(RoutingStats, MergeCombinesCounts) {
+  moe::RoutingStats a(1, 2), b(1, 2);
+  a.record(0, make_plan(2, 2, 2, {{0, 1}, {0, 1}}));
+  b.record(0, make_plan(4, 2, 2, {{0, 1, 2, 3}, {0, 1, 2, 3}}));
+  a.merge(b);
+  EXPECT_EQ(a.tokens_seen(0), 6u);
+  EXPECT_EQ(a.count(0, 0), 6u);
+}
+
+TEST(FrequencyTimeline, RecordsSeries) {
+  moe::FrequencyTimeline timeline(2);
+  timeline.record_step(make_plan(4, 2, 2, {{0, 1, 2, 3}, {0, 1, 2, 3}}));
+  timeline.record_step(make_plan(4, 2, 1, {{0, 1, 2}, {3}}));
+  EXPECT_EQ(timeline.num_steps(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.step(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline.step(1)[0], 0.75);
+}
+
+TEST(FrequencyTimeline, MaxDriftAgainstFirstStep) {
+  moe::FrequencyTimeline timeline(2);
+  timeline.record_step(make_plan(4, 2, 1, {{0, 1}, {2, 3}}));     // 0.5 / 0.5
+  timeline.record_step(make_plan(4, 2, 1, {{0, 1, 2}, {3}}));     // 0.75
+  timeline.record_step(make_plan(4, 2, 1, {{0}, {1, 2, 3}}));     // 0.25
+  EXPECT_DOUBLE_EQ(timeline.max_drift(0), 0.25);
+}
+
+}  // namespace
+}  // namespace vela

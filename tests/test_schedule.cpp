@@ -1,0 +1,69 @@
+#include "nn/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(Schedule, ConstantLr) {
+  nn::ConstantLr schedule(0.01f);
+  EXPECT_FLOAT_EQ(schedule.lr(0), 0.01f);
+  EXPECT_FLOAT_EQ(schedule.lr(10000), 0.01f);
+}
+
+TEST(Schedule, WarmupRampsLinearly) {
+  nn::WarmupCosineLr schedule(1.0f, 9, 100);
+  EXPECT_GT(schedule.lr(0), 0.0f);
+  EXPECT_LT(schedule.lr(0), schedule.lr(5));
+  EXPECT_LT(schedule.lr(5), schedule.lr(8));
+  EXPECT_NEAR(schedule.lr(4), 0.5f, 1e-5f);  // (4+1)/(9+1)
+}
+
+TEST(Schedule, PeakAtWarmupEnd) {
+  nn::WarmupCosineLr schedule(2.0f, 10, 100);
+  EXPECT_NEAR(schedule.lr(10), 2.0f, 1e-5f);
+}
+
+TEST(Schedule, CosineDecaysToMin) {
+  nn::WarmupCosineLr schedule(1.0f, 0, 100, 0.1f);
+  EXPECT_GT(schedule.lr(1), schedule.lr(50));
+  EXPECT_GT(schedule.lr(50), schedule.lr(99));
+  EXPECT_NEAR(schedule.lr(100), 0.1f, 1e-6f);
+  EXPECT_NEAR(schedule.lr(5000), 0.1f, 1e-6f);  // constant after total
+  // Halfway through the cosine: mid-point between peak and min.
+  EXPECT_NEAR(schedule.lr(50), 0.55f, 1e-2f);
+}
+
+TEST(Schedule, MonotoneDecreasingAfterWarmup) {
+  nn::WarmupCosineLr schedule(3e-5f, 20, 500, 1e-6f);
+  for (std::size_t step = 20; step < 499; ++step) {
+    EXPECT_GE(schedule.lr(step), schedule.lr(step + 1));
+  }
+}
+
+TEST(Schedule, RejectsBadConfigs) {
+  EXPECT_THROW(nn::WarmupCosineLr(0.0f, 5, 100), CheckError);
+  EXPECT_THROW(nn::WarmupCosineLr(1.0f, 100, 100), CheckError);
+  EXPECT_THROW(nn::WarmupCosineLr(1.0f, 5, 100, 2.0f), CheckError);
+}
+
+TEST(Schedule, DrivesOptimizerLearningRate) {
+  nn::Parameter p{"w", ag::Variable::leaf(Tensor::ones({1}), true)};
+  nn::AdamW adam({p});
+  nn::WarmupCosineLr schedule(0.5f, 2, 10);
+  adam.set_learning_rate(schedule.lr(0));
+  EXPECT_FLOAT_EQ(adam.learning_rate(), schedule.lr(0));
+  adam.set_learning_rate(schedule.lr(2));
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.5f);
+
+  nn::SGD sgd({p}, 1.0f);
+  sgd.set_learning_rate(0.25f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.25f);
+}
+
+}  // namespace
+}  // namespace vela

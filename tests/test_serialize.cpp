@@ -1,0 +1,148 @@
+#include "comm/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -4.0f, 0.25f, 1024.0f,
+                  -0.125f, 65504.0f /* max finite half */}) {
+    EXPECT_EQ(comm::half_to_float(comm::float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(comm::float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(comm::float_to_half(-0.0f), 0x8000);
+}
+
+TEST(Half, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(comm::float_to_half(inf), 0x7C00);
+  EXPECT_EQ(comm::float_to_half(-inf), 0xFC00);
+  EXPECT_TRUE(std::isinf(comm::half_to_float(0x7C00)));
+  const std::uint16_t nan_half =
+      comm::float_to_half(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(comm::half_to_float(nan_half)));
+}
+
+TEST(Half, OverflowSaturatesToInf) {
+  EXPECT_EQ(comm::float_to_half(1e10f), 0x7C00);
+  EXPECT_EQ(comm::float_to_half(-1e10f), 0xFC00);
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive half subnormal is 2^-24 ≈ 5.96e-8.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(tiny)), tiny);
+  // Below half precision entirely → flush to zero.
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(1e-9f)), 0.0f);
+}
+
+TEST(Half, RoundTripErrorWithinOneUlp) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 10.0));
+    const float back = comm::half_to_float(comm::float_to_half(v));
+    EXPECT_NEAR(back, v, std::abs(v) / 1024.0f + 1e-7f);
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2048 + 1 = 2049 is exactly halfway between representable 2048 and 2050;
+  // nearest-even picks 2048.
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(2049.0f)), 2048.0f);
+  // 2051 is halfway between 2050 and 2052 → even mantissa gives 2052.
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(2051.0f)), 2052.0f);
+}
+
+comm::Message sample_message(unsigned wire_bits) {
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForward;
+  msg.request_id = 0xABCDEF0123456789ull;
+  msg.layer = 7;
+  msg.expert = 3;
+  msg.step = 42;
+  Rng rng(5);
+  msg.payload = ops::randn({6, 4}, rng);
+  msg.wire_bits = wire_bits;
+  return msg;
+}
+
+TEST(Serialize, EncodedSizeEqualsWireSize) {
+  for (unsigned bits : {16u, 32u}) {
+    const comm::Message msg = sample_message(bits);
+    EXPECT_EQ(comm::encode(msg).size(), msg.wire_size()) << bits;
+  }
+  comm::Message control;
+  control.type = comm::MessageType::kShutdown;
+  EXPECT_EQ(comm::encode(control).size(), comm::Message::kHeaderBytes);
+}
+
+TEST(Serialize, RoundTrip32BitIsExact) {
+  const comm::Message msg = sample_message(32);
+  const comm::Message back = comm::decode(comm::encode(msg));
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.layer, msg.layer);
+  EXPECT_EQ(back.expert, msg.expert);
+  EXPECT_EQ(back.step, msg.step);
+  ASSERT_EQ(back.payload.size(), msg.payload.size());
+  for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+    EXPECT_EQ(back.payload[i], msg.payload[i]);
+  }
+}
+
+TEST(Serialize, RoundTrip16BitMatchesHalfRounding) {
+  const comm::Message msg = sample_message(16);
+  const comm::Message back = comm::decode(comm::encode(msg));
+  ASSERT_EQ(back.payload.size(), msg.payload.size());
+  for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+    EXPECT_EQ(back.payload[i],
+              comm::half_to_float(comm::float_to_half(msg.payload[i])));
+  }
+}
+
+TEST(Serialize, PhantomMessagesRejected) {
+  comm::Message msg;
+  msg.phantom_bytes = 100;
+  EXPECT_THROW(comm::encode(msg), CheckError);
+}
+
+TEST(Serialize, TruncatedBufferRejected) {
+  auto bytes = comm::encode(sample_message(32));
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(comm::decode(bytes), CheckError);
+  std::vector<std::uint8_t> tiny(8, 0);
+  EXPECT_THROW(comm::decode(tiny), CheckError);
+}
+
+TEST(Serialize, TrailingBytesRejected) {
+  auto bytes = comm::encode(sample_message(32));
+  bytes.push_back(0);
+  EXPECT_THROW(comm::decode(bytes), CheckError);
+}
+
+TEST(Serialize, HalfPrecisionTensorOpAgreesWithCodec) {
+  // ops::to_half_precision (used by the quantize-wire runtime path) and the
+  // binary16 codec must implement the same value set.
+  Rng rng(7);
+  Tensor t = ops::randn({512}, rng, 0.0f, 3.0f);
+  Tensor rounded = ops::to_half_precision(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_FLOAT_EQ(rounded[i],
+                    comm::half_to_float(comm::float_to_half(t[i])))
+        << "element " << i << " value " << t[i];
+  }
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,248 @@
+#include "placement/lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+using lp::LinearProgram;
+using lp::LpStatus;
+using lp::SparseRow;
+
+TEST(Simplex, TrivialBoundedMinimum) {
+  // min x0 s.t. x0 >= 2 (as -x0 <= -2).
+  LinearProgram prog;
+  prog.num_vars = 1;
+  prog.objective = {1.0};
+  prog.add_leq({{{0, -1.0}}, -2.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, ClassicTwoVariableMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (min of negative).
+  LinearProgram prog;
+  prog.num_vars = 2;
+  prog.objective = {-3.0, -5.0};
+  prog.add_leq({{{0, 1.0}}, 4.0});
+  prog.add_leq({{{1, 2.0}}, 12.0});
+  prog.add_leq({{{0, 3.0}, {1, 2.0}}, 18.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, x <= 4.
+  LinearProgram prog;
+  prog.num_vars = 2;
+  prog.objective = {1.0, 2.0};
+  prog.add_equality({{{0, 1.0}, {1, 1.0}}, 10.0});
+  prog.add_leq({{{0, 1.0}}, 4.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 3 simultaneously.
+  LinearProgram prog;
+  prog.num_vars = 1;
+  prog.objective = {1.0};
+  prog.add_leq({{{0, 1.0}}, 1.0});
+  prog.add_leq({{{0, -1.0}}, -3.0});
+  EXPECT_EQ(lp::solve(prog).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x with only x >= 0.
+  LinearProgram prog;
+  prog.num_vars = 1;
+  prog.objective = {-1.0};
+  prog.add_leq({{{0, -1.0}}, 0.0});  // -x <= 0, always true
+  EXPECT_EQ(lp::solve(prog).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum (degenerate vertex).
+  LinearProgram prog;
+  prog.num_vars = 2;
+  prog.objective = {-1.0, -1.0};
+  prog.add_leq({{{0, 1.0}}, 1.0});
+  prog.add_leq({{{0, 1.0}, {1, 1.0}}, 1.0});
+  prog.add_leq({{{1, 1.0}}, 1.0});
+  prog.add_leq({{{0, 2.0}, {1, 1.0}}, 2.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityHandled) {
+  // Same equality twice: phase 1 leaves a degenerate artificial basic row.
+  LinearProgram prog;
+  prog.num_vars = 2;
+  prog.objective = {1.0, 1.0};
+  prog.add_equality({{{0, 1.0}, {1, 1.0}}, 4.0});
+  prog.add_equality({{{0, 2.0}, {1, 2.0}}, 8.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x - y <= -5 (i.e. x + y >= 5), min x + y.
+  LinearProgram prog;
+  prog.num_vars = 2;
+  prog.objective = {1.0, 1.0};
+  prog.add_leq({{{0, -1.0}, {1, -1.0}}, -5.0});
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+}
+
+// Property test: LP assignment relaxations with a min-max objective are
+// verified against brute force over all binary assignments.
+struct MiniInstance {
+  std::size_t workers;
+  std::size_t experts;
+  std::uint64_t seed;
+};
+
+class SimplexVsBruteForce : public ::testing::TestWithParam<MiniInstance> {};
+
+TEST_P(SimplexVsBruteForce, LpLowerBoundsBruteForceOptimum) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  // Cost of placing expert e on worker n.
+  std::vector<std::vector<double>> cost(param.workers,
+                                        std::vector<double>(param.experts));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.uniform(0.1, 2.0);
+  }
+  const std::size_t capacity = (param.experts + 1) / 2 + 1;
+
+  // LP: min λ s.t. Σ_n x_ne = 1, Σ_e x_ne <= cap, Σ_e cost·x − λ <= 0.
+  LinearProgram prog;
+  prog.num_vars = param.workers * param.experts + 1;
+  const std::size_t lambda = param.workers * param.experts;
+  prog.objective.assign(prog.num_vars, 0.0);
+  prog.objective[lambda] = 1.0;
+  for (std::size_t e = 0; e < param.experts; ++e) {
+    SparseRow row;
+    row.rhs = 1.0;
+    for (std::size_t n = 0; n < param.workers; ++n) {
+      row.coeffs.emplace_back(n * param.experts + e, 1.0);
+    }
+    prog.add_equality(std::move(row));
+  }
+  for (std::size_t n = 0; n < param.workers; ++n) {
+    SparseRow cap_row;
+    cap_row.rhs = static_cast<double>(capacity);
+    SparseRow time_row;
+    time_row.rhs = 0.0;
+    for (std::size_t e = 0; e < param.experts; ++e) {
+      cap_row.coeffs.emplace_back(n * param.experts + e, 1.0);
+      time_row.coeffs.emplace_back(n * param.experts + e, cost[n][e]);
+    }
+    time_row.coeffs.emplace_back(lambda, -1.0);
+    prog.add_leq(std::move(cap_row));
+    prog.add_leq(std::move(time_row));
+  }
+  auto sol = lp::solve(prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+
+  // Brute force the binary optimum.
+  double best = 1e100;
+  std::vector<std::size_t> assign(param.experts, 0);
+  const std::size_t combos =
+      static_cast<std::size_t>(std::pow(param.workers, param.experts));
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::size_t m = mask;
+    std::vector<double> worker_cost(param.workers, 0.0);
+    std::vector<std::size_t> load(param.workers, 0);
+    for (std::size_t e = 0; e < param.experts; ++e) {
+      const std::size_t n = m % param.workers;
+      m /= param.workers;
+      worker_cost[n] += cost[n][e];
+      ++load[n];
+    }
+    bool ok = true;
+    for (std::size_t n = 0; n < param.workers; ++n) {
+      ok = ok && load[n] <= capacity;
+    }
+    if (!ok) continue;
+    double t = 0.0;
+    for (double c : worker_cost) t = std::max(t, c);
+    best = std::min(best, t);
+  }
+  // The relaxation must lower-bound the integer optimum (within tolerance).
+  EXPECT_LE(sol.objective, best + 1e-6);
+  // And it should not be absurdly loose on these tiny instances.
+  EXPECT_GE(sol.objective, best * 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, SimplexVsBruteForce,
+    ::testing::Values(MiniInstance{2, 4, 1}, MiniInstance{2, 5, 2},
+                      MiniInstance{3, 4, 3}, MiniInstance{3, 5, 4},
+                      MiniInstance{2, 6, 5}, MiniInstance{3, 6, 6}));
+
+TEST(Simplex, SolvesPlacementScaleInstanceQuickly) {
+  // The real Mixtral-size LP: N=6, L=32, E=8 → 1568 + 32 vars.
+  Rng rng(99);
+  const std::size_t n = 6, layers = 32, experts = 8;
+  LinearProgram prog;
+  prog.num_vars = n * layers * experts + layers;
+  prog.objective.assign(prog.num_vars, 0.0);
+  const auto xidx = [&](std::size_t w, std::size_t l, std::size_t e) {
+    return (w * layers + l) * experts + e;
+  };
+  for (std::size_t l = 0; l < layers; ++l) {
+    prog.objective[n * layers * experts + l] = 1.0;
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t e = 0; e < experts; ++e) {
+      SparseRow row;
+      row.rhs = 1.0;
+      for (std::size_t w = 0; w < n; ++w) {
+        row.coeffs.emplace_back(xidx(w, l, e), 1.0);
+      }
+      prog.add_equality(std::move(row));
+    }
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    SparseRow cap;
+    cap.rhs = 56.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+      for (std::size_t e = 0; e < experts; ++e) {
+        cap.coeffs.emplace_back(xidx(w, l, e), 1.0);
+      }
+    }
+    prog.add_leq(std::move(cap));
+    for (std::size_t l = 0; l < layers; ++l) {
+      SparseRow row;
+      row.rhs = 0.0;
+      for (std::size_t e = 0; e < experts; ++e) {
+        row.coeffs.emplace_back(xidx(w, l, e), rng.uniform(0.01, 1.0));
+      }
+      row.coeffs.emplace_back(n * layers * experts + l, -1.0);
+      prog.add_leq(std::move(row));
+    }
+  }
+  auto sol = lp::solve(prog);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace vela

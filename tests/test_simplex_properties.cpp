@@ -1,0 +1,138 @@
+// Property tests for the simplex solver on randomly generated LPs: every
+// reported optimum must be primal-feasible, and must weakly dominate any
+// feasible point we can construct independently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "placement/lp/simplex.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+using lp::LinearProgram;
+using lp::LpStatus;
+using lp::SparseRow;
+
+// Random LP constructed AROUND a known feasible point x*, so feasibility is
+// guaranteed: each ≤ row gets rhs = a·x* + slack, each equality row gets
+// rhs = a·x* exactly.
+struct RandomLp {
+  LinearProgram prog;
+  std::vector<double> feasible_point;
+};
+
+RandomLp make_random_lp(std::uint64_t seed, std::size_t vars,
+                        std::size_t leq_rows, std::size_t eq_rows) {
+  Rng rng(seed);
+  RandomLp out;
+  out.prog.num_vars = vars;
+  out.feasible_point.resize(vars);
+  for (auto& x : out.feasible_point) x = rng.uniform(0.0, 3.0);
+  out.prog.objective.resize(vars);
+  for (auto& c : out.prog.objective) c = rng.uniform(-1.0, 2.0);
+
+  const auto dot_row = [&](const SparseRow& row) {
+    double v = 0.0;
+    for (const auto& [idx, coef] : row.coeffs) {
+      v += coef * out.feasible_point[idx];
+    }
+    return v;
+  };
+
+  for (std::size_t r = 0; r < leq_rows; ++r) {
+    SparseRow row;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (rng.uniform() < 0.6) {
+        row.coeffs.emplace_back(v, rng.uniform(-2.0, 2.0));
+      }
+    }
+    if (row.coeffs.empty()) row.coeffs.emplace_back(0, 1.0);
+    row.rhs = dot_row(row) + rng.uniform(0.0, 2.0);
+    out.prog.add_leq(std::move(row));
+  }
+  for (std::size_t r = 0; r < eq_rows; ++r) {
+    SparseRow row;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (rng.uniform() < 0.5) {
+        row.coeffs.emplace_back(v, rng.uniform(-1.5, 1.5));
+      }
+    }
+    if (row.coeffs.empty()) row.coeffs.emplace_back(r % vars, 1.0);
+    row.rhs = dot_row(row);
+    out.prog.add_equality(std::move(row));
+  }
+  // Bound the feasible region so the LP cannot be unbounded: Σ x ≤ big.
+  SparseRow cap;
+  for (std::size_t v = 0; v < vars; ++v) cap.coeffs.emplace_back(v, 1.0);
+  cap.rhs = 10.0 * double(vars);
+  out.prog.add_leq(std::move(cap));
+  return out;
+}
+
+bool satisfies(const LinearProgram& prog, const std::vector<double>& x,
+               double tol = 1e-6) {
+  for (double v : x) {
+    if (v < -tol) return false;
+  }
+  for (const auto& row : prog.equalities) {
+    double lhs = 0.0;
+    for (const auto& [idx, coef] : row.coeffs) lhs += coef * x[idx];
+    if (std::abs(lhs - row.rhs) > tol) return false;
+  }
+  for (const auto& row : prog.leq_rows) {
+    double lhs = 0.0;
+    for (const auto& [idx, coef] : row.coeffs) lhs += coef * x[idx];
+    if (lhs > row.rhs + tol) return false;
+  }
+  return true;
+}
+
+double objective_of(const LinearProgram& prog, const std::vector<double>& x) {
+  double v = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) v += prog.objective[i] * x[i];
+  return v;
+}
+
+class RandomLpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLpSweep, OptimumIsFeasibleAndDominatesKnownPoint) {
+  auto instance = make_random_lp(GetParam(), 8, 6, 2);
+  ASSERT_TRUE(satisfies(instance.prog, instance.feasible_point))
+      << "construction bug: seed point infeasible";
+  auto sol = lp::solve(instance.prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(satisfies(instance.prog, sol.x));
+  // Minimization: the optimum is at most the constructed point's value.
+  EXPECT_LE(sol.objective,
+            objective_of(instance.prog, instance.feasible_point) + 1e-6);
+  // Reported objective is consistent with the reported x.
+  EXPECT_NEAR(sol.objective, objective_of(instance.prog, sol.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+TEST(RandomLpLarge, MediumInstanceStaysFeasible) {
+  auto instance = make_random_lp(99, 40, 30, 8);
+  auto sol = lp::solve(instance.prog);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(satisfies(instance.prog, sol.x, 1e-5));
+  EXPECT_LE(sol.objective,
+            objective_of(instance.prog, instance.feasible_point) + 1e-5);
+}
+
+TEST(RandomLpSweepNegatives, PerturbedEqualityBecomesInfeasible) {
+  // Push an equality away from every feasible direction by also bounding the
+  // variables it involves: x0 = -1 with x ≥ 0 is infeasible.
+  LinearProgram prog;
+  prog.num_vars = 3;
+  prog.objective = {1.0, 1.0, 1.0};
+  prog.add_equality({{{0, 1.0}}, -1.0});
+  EXPECT_EQ(lp::solve(prog).status, LpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace vela

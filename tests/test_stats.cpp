@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 73.0), 42.0);
+}
+
+TEST(EmpiricalCdf, StepsThroughSample) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  auto cdf = empirical_cdf(values, {0.5, 1.0, 2.5, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(Normalize, SumsToOne) {
+  std::vector<double> v{2.0, 3.0, 5.0};
+  normalize_in_place(v);
+  EXPECT_DOUBLE_EQ(v[0] + v[1] + v[2], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Normalize, AllZeroIsNoop) {
+  std::vector<double> v{0.0, 0.0};
+  normalize_in_place(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(Normalize, RejectsNegative) {
+  std::vector<double> v{1.0, -1.0};
+  EXPECT_THROW(normalize_in_place(v), CheckError);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(entropy(p), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(entropy({1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(L1Distance, Basics) {
+  EXPECT_DOUBLE_EQ(l1_distance({1.0, 2.0}, {0.0, 4.0}), 3.0);
+  EXPECT_THROW(l1_distance({1.0}, {1.0, 2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,177 @@
+#include "core/step_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+cluster::ClusterTopology paper_topo() {
+  return cluster::ClusterTopology(cluster::ClusterConfig::paper_testbed());
+}
+
+moe::RoutePlan uniform_plan(std::size_t tokens, std::size_t experts) {
+  moe::RoutePlan plan;
+  plan.num_tokens = tokens;
+  plan.num_experts = experts;
+  plan.top_k = 1;
+  plan.expert_tokens.assign(experts, {});
+  for (std::size_t t = 0; t < tokens; ++t) {
+    plan.expert_tokens[t % experts].push_back(t);
+  }
+  return plan;
+}
+
+placement::Placement seq(std::size_t layers, std::size_t experts,
+                         std::size_t workers) {
+  placement::Placement p(layers, experts);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t e = 0; e < experts; ++e) p.assign(l, e, e % workers);
+  }
+  return p;
+}
+
+TEST(VelaTrafficModel, PhaseCountAndSymmetry) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5), uniform_plan(10, 5)};
+  auto record = model.account_step(plans, seq(2, 5, 5));
+  ASSERT_EQ(record.phases.size(), 4u);
+  // Forward phase l and backward phase (2L-1-l) carry identical bytes.
+  for (std::size_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(record.phases[0].bytes[w], record.phases[3].bytes[w]);
+    EXPECT_EQ(record.phases[1].bytes[w], record.phases[2].bytes[w]);
+  }
+}
+
+TEST(VelaTrafficModel, BytesPerWorkerMatchHandCount) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto record = model.account_step(plans, seq(1, 5, 5));
+  // Each expert gets 2 tokens; each worker hosts one expert:
+  // 2 tokens × 128 B × 2 directions = 512 B.
+  for (std::size_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(record.phases[0].bytes[w], 512u);
+    EXPECT_EQ(record.phases[0].messages[w], 2u);
+  }
+}
+
+TEST(VelaTrafficModel, HeadersCountedPerGroup) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 32});
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto record = model.account_step(plans, seq(1, 5, 5));
+  EXPECT_EQ(record.phases[0].bytes[0], 512u + 2u * 32u);
+}
+
+TEST(VelaTrafficModel, EmptyExpertGroupsCostNothing) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 32});
+  moe::RoutePlan plan;
+  plan.num_tokens = 4;
+  plan.num_experts = 5;
+  plan.top_k = 1;
+  plan.expert_tokens.assign(5, {});
+  plan.expert_tokens[0] = {0, 1, 2, 3};  // everything on expert 0
+  auto record = model.account_step({plan}, seq(1, 5, 5));
+  EXPECT_GT(record.phases[0].bytes[0], 0u);
+  for (std::size_t w = 1; w < 5; ++w) {
+    EXPECT_EQ(record.phases[0].bytes[w], 0u);
+    EXPECT_EQ(record.phases[0].messages[w], 0u);
+  }
+}
+
+TEST(VelaTrafficModel, ExternalBytesExcludeMasterNodeWorkers) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto record = model.account_step(plans, seq(1, 5, 5));
+  // Worker 0 (device 1) shares node 0 with the master; 512 of the 5·512
+  // forward bytes are internal. Same backward. External = 2 × 4 × 512.
+  EXPECT_EQ(model.external_bytes(record), 2u * 4u * 512u);
+}
+
+TEST(VelaTrafficModel, AllLocalPlacementHasZeroExternal) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});
+  placement::Placement local(1, 5);
+  // Worker 0 is the only one sharing the master's node.
+  for (std::size_t e = 0; e < 5; ++e) local.assign(0, e, 0);
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  EXPECT_EQ(model.external_bytes(model.account_step(plans, local)), 0u);
+}
+
+placement::PlacementProblem replicated_problem() {
+  placement::PlacementProblem p;
+  p.num_workers = 5;
+  p.num_layers = 1;
+  p.num_experts = 5;
+  p.probability = Tensor({1, 5});
+  for (std::size_t e = 0; e < 5; ++e) p.probability.at(0, e) = 0.4f;
+  for (std::size_t w = 0; w < 5; ++w) {
+    p.bandwidth.push_back(w == 0 ? 18.3e9 : 1.17e9);
+    p.worker_node.push_back(w == 0 ? 0 : 1 + (w - 1) / 2);
+  }
+  p.master_node = 0;
+  p.capacity.assign(5, 3);
+  p.tokens_per_step = 10.0;
+  p.bytes_per_token = 128.0;
+  p.validate();
+  return p;
+}
+
+TEST(VelaTrafficModel, ReplicatedUnreplicatedMatchesBase) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 32});
+  auto problem = replicated_problem();
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto base = seq(1, 5, 5);
+  placement::ReplicatedPlacement rp(base);
+  auto plain = model.account_step(plans, base);
+  auto repl = model.account_step_replicated(plans, rp, problem);
+  ASSERT_EQ(plain.phases.size(), repl.phases.size());
+  for (std::size_t i = 0; i < plain.phases.size(); ++i) {
+    EXPECT_EQ(plain.phases[i].bytes, repl.phases[i].bytes);
+  }
+}
+
+TEST(VelaTrafficModel, ReplicatedSplitsConserveTokens) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});  // no headers: pure payload
+  auto problem = replicated_problem();
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto base = seq(1, 5, 5);
+  placement::ReplicatedPlacement rp(base);
+  rp.add_replica(0, 1, 0);  // expert 1 also on the fast worker 0
+  rp.add_replica(0, 2, 4);
+  auto record = model.account_step_replicated(plans, rp, problem);
+  // Total forward bytes must equal the unreplicated total: splits move the
+  // same tokens, just to more destinations.
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < 5; ++w) total += record.phases[0].bytes[w];
+  EXPECT_EQ(total, 10u * 2u * 128u);  // 10 assignments × 2 directions × 128 B
+}
+
+TEST(VelaTrafficModel, ReplicationToMasterNodeCutsExternalBytes) {
+  auto topo = paper_topo();
+  core::VelaTrafficModel model(&topo, {128, 0});
+  auto problem = replicated_problem();
+  std::vector<moe::RoutePlan> plans{uniform_plan(10, 5)};
+  auto base = seq(1, 5, 5);
+  placement::ReplicatedPlacement rp(base);
+  rp.add_replica(0, 3, 0);  // remote expert gains a master-node replica
+  const auto before = model.external_bytes(model.account_step(plans, base));
+  const auto after =
+      model.external_bytes(model.account_step_replicated(plans, rp, problem));
+  EXPECT_LT(after, before);
+}
+
+TEST(VelaTrafficModel, RejectsZeroBytesPerToken) {
+  auto topo = paper_topo();
+  EXPECT_THROW(core::VelaTrafficModel(&topo, {0, 0}), CheckError);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,131 @@
+#include "moe/synthetic_router.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace vela {
+namespace {
+
+model::PlantedRouting routing(std::size_t layers = 4, std::size_t experts = 8,
+                              std::size_t domains = 8) {
+  return model::PlantedRouting::generate(layers, experts, domains, 1.2, 5);
+}
+
+moe::SyntheticRouterConfig router_cfg(std::size_t domains = 8) {
+  moe::SyntheticRouterConfig cfg;
+  cfg.domain_dist.assign(domains, 1.0);
+  cfg.domain_dist[0] = 5.0;  // skewed usage
+  cfg.routing_noise = 0.05;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(SyntheticRouter, PlansAreValidTop2) {
+  auto r = routing();
+  moe::SyntheticRouter router(&r, router_cfg());
+  auto plans = router.sample_step(64);
+  ASSERT_EQ(plans.size(), 4u);
+  for (const auto& plan : plans) {
+    EXPECT_NO_THROW(plan.validate());
+    EXPECT_EQ(plan.top_k, 2u);
+    EXPECT_EQ(plan.num_tokens, 64u);
+  }
+}
+
+TEST(SyntheticRouter, NoNoiseFollowsPreferencesExactly) {
+  auto r = routing(2, 6, 4);
+  auto cfg = router_cfg(4);
+  cfg.routing_noise = 0.0;
+  moe::SyntheticRouter router(&r, cfg);
+  auto plans = router.sample_step(128);
+  // Every token must be routed to a (primary, secondary) pair of SOME
+  // domain; with 4 domains that means at most 8 distinct experts get
+  // traffic and each token's two experts form a planted pair.
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::vector<std::pair<std::size_t, std::size_t>> valid_pairs;
+    for (std::size_t d = 0; d < 4; ++d) valid_pairs.push_back(r.preference(l, d));
+    // Rebuild per-token expert pairs.
+    std::vector<std::vector<std::size_t>> token_experts(128);
+    for (std::size_t e = 0; e < plans[l].num_experts; ++e) {
+      for (std::size_t t : plans[l].expert_tokens[e]) {
+        token_experts[t].push_back(e);
+      }
+    }
+    for (const auto& pair : token_experts) {
+      ASSERT_EQ(pair.size(), 2u);
+      bool matches = false;
+      for (auto [p, s] : valid_pairs) {
+        matches = matches || (std::min(p, s) == std::min(pair[0], pair[1]) &&
+                              std::max(p, s) == std::max(pair[0], pair[1]));
+      }
+      EXPECT_TRUE(matches);
+    }
+  }
+}
+
+TEST(SyntheticRouter, EstimateProbabilityRowsSumToTwo) {
+  auto r = routing();
+  moe::SyntheticRouter router(&r, router_cfg());
+  Tensor p = router.estimate_probability(4000);
+  for (std::size_t l = 0; l < 4; ++l) {
+    float row = 0.0f;
+    for (std::size_t e = 0; e < 8; ++e) row += p.at(l, e);
+    EXPECT_NEAR(row, 2.0f, 1e-4);
+  }
+}
+
+TEST(SyntheticRouter, EstimateTracksAnalyticExpectation) {
+  auto r = routing();
+  auto cfg = router_cfg();
+  cfg.routing_noise = 0.0;
+  moe::SyntheticRouter router(&r, cfg);
+  Tensor estimated = router.estimate_probability(20000);
+  Tensor analytic = r.expected_probability(router.domain_dist());
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t e = 0; e < 8; ++e) {
+      EXPECT_NEAR(estimated.at(l, e), analytic.at(l, e), 0.03)
+          << "layer " << l << " expert " << e;
+    }
+  }
+}
+
+TEST(SyntheticRouter, DriftChangesDomainUsage) {
+  auto r = routing();
+  auto cfg = router_cfg();
+  cfg.drift_sigma = 0.05;
+  moe::SyntheticRouter router(&r, cfg);
+  const auto before = router.domain_dist();
+  for (int i = 0; i < 50; ++i) router.sample_step(16);
+  EXPECT_GT(l1_distance(before, router.domain_dist()), 0.01);
+}
+
+TEST(SyntheticRouter, NoDriftKeepsDistributionFixed) {
+  auto r = routing();
+  moe::SyntheticRouter router(&r, router_cfg());
+  const auto before = router.domain_dist();
+  router.sample_step(16);
+  EXPECT_DOUBLE_EQ(l1_distance(before, router.domain_dist()), 0.0);
+}
+
+TEST(SyntheticRouter, DeterministicInSeed) {
+  auto r = routing();
+  moe::SyntheticRouter a(&r, router_cfg());
+  moe::SyntheticRouter b(&r, router_cfg());
+  auto pa = a.sample_step(32);
+  auto pb = b.sample_step(32);
+  for (std::size_t l = 0; l < pa.size(); ++l) {
+    EXPECT_EQ(pa[l].expert_tokens, pb[l].expert_tokens);
+  }
+}
+
+TEST(SyntheticRouter, RejectsMismatchedDomainDist) {
+  auto r = routing();
+  moe::SyntheticRouterConfig cfg;
+  cfg.domain_dist.assign(3, 1.0);  // routing has 8 domains
+  EXPECT_THROW(moe::SyntheticRouter(&r, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace vela

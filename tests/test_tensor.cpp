@@ -1,0 +1,107 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsZeroDimension) {
+  EXPECT_THROW(Tensor({2, 0}), CheckError);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f}), CheckError);
+}
+
+TEST(Tensor, FromRowsLayout) {
+  Tensor t = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, FromRowsRejectsRagged) {
+  EXPECT_THROW(Tensor::from_rows({{1.0f}, {1.0f, 2.0f}}), CheckError);
+}
+
+TEST(Tensor, Rank3Access) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_rows({{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(0, 1), 2.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a = Tensor::ones({2, 2});
+  Tensor b = a;
+  b.at(0, 0) = 5.0f;
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::from_vector({1.0f, 2.0f});
+  Tensor b = Tensor::from_vector({3.0f, 4.0f});
+  a.add_(b);
+  EXPECT_EQ(a.at(0), 4.0f);
+  a.sub_(b);
+  EXPECT_EQ(a.at(1), 2.0f);
+  a.scale_(3.0f);
+  EXPECT_EQ(a.at(0), 3.0f);
+  a.axpy_(2.0f, b);
+  EXPECT_EQ(a.at(1), 14.0f);
+}
+
+TEST(Tensor, InPlaceShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.add_(b), CheckError);
+}
+
+TEST(Tensor, AllFiniteDetectsNan) {
+  Tensor t = Tensor::ones({2});
+  EXPECT_TRUE(t.all_finite());
+  t.at(1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, WireBytesRespectsBitDepth) {
+  Tensor t({4, 8});
+  EXPECT_EQ(t.wire_bytes(32), 32u * 4);
+  EXPECT_EQ(t.wire_bytes(16), 32u * 2);
+  EXPECT_THROW(t.wire_bytes(12), CheckError);
+}
+
+TEST(Tensor, RowsColsRequireRank2) {
+  Tensor t({4});
+  EXPECT_THROW(t.rows(), CheckError);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.shape_string(), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace vela

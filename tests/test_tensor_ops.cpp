@@ -1,0 +1,239 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(TensorOps, ElementwiseAddSubMul) {
+  Tensor a = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::from_vector({4.0f, 5.0f, 6.0f});
+  EXPECT_EQ(ops::add(a, b).at(0), 5.0f);
+  EXPECT_EQ(ops::sub(b, a).at(2), 3.0f);
+  EXPECT_EQ(ops::mul(a, b).at(1), 10.0f);
+  EXPECT_EQ(ops::scale(a, 2.0f).at(2), 6.0f);
+  EXPECT_EQ(ops::neg(a).at(0), -1.0f);
+}
+
+TEST(TensorOps, SiluValues) {
+  Tensor x = Tensor::from_vector({0.0f, 100.0f, -100.0f});
+  Tensor y = ops::silu(x);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_NEAR(y.at(1), 100.0f, 1e-3);
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-3);
+}
+
+TEST(TensorOps, SiluGradMatchesNumeric) {
+  Rng rng(3);
+  Tensor x = ops::randn({8}, rng);
+  Tensor g = ops::silu_grad(x);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor up = x, down = x;
+    up[i] += eps;
+    down[i] -= eps;
+    const float numeric =
+        (ops::silu(up)[i] - ops::silu(down)[i]) / (2.0f * eps);
+    EXPECT_NEAR(g[i], numeric, 1e-3);
+  }
+}
+
+TEST(TensorOps, MatmulSmall) {
+  Tensor a = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  Tensor b = Tensor::from_rows({{5.0f, 6.0f}, {7.0f, 8.0f}});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(TensorOps, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(ops::matmul(a, b), CheckError);
+}
+
+TEST(TensorOps, MatmulVariantsAgree) {
+  Rng rng(5);
+  Tensor a = ops::randn({4, 6}, rng);
+  Tensor b = ops::randn({6, 5}, rng);
+  Tensor direct = ops::matmul(a, b);
+  // matmul_tn(Aᵀ stored, B) == A·B when we pass A transposed.
+  Tensor at = ops::transpose(a);
+  EXPECT_TRUE(ops::allclose(ops::matmul_tn(at, b), direct));
+  // matmul_nt(A, Bᵀ stored) == A·B.
+  Tensor bt = ops::transpose(b);
+  EXPECT_TRUE(ops::allclose(ops::matmul_nt(a, bt), direct));
+}
+
+TEST(TensorOps, TransposeRoundTrip) {
+  Rng rng(7);
+  Tensor a = ops::randn({3, 5}, rng);
+  EXPECT_TRUE(ops::allclose(ops::transpose(ops::transpose(a)), a));
+}
+
+TEST(TensorOps, AddRowBroadcast) {
+  Tensor a = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  Tensor bias = Tensor::from_vector({10.0f, 20.0f});
+  Tensor out = ops::add_row_broadcast(a, bias);
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a = Tensor::from_rows({{1.0f, -2.0f}, {3.0f, 4.0f}});
+  EXPECT_FLOAT_EQ(ops::sum(a), 6.0f);
+  EXPECT_FLOAT_EQ(ops::mean(a), 1.5f);
+  EXPECT_FLOAT_EQ(ops::max_abs(a), 4.0f);
+  Tensor rows = ops::sum_rows(a);
+  EXPECT_FLOAT_EQ(rows.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(rows.at(1), 2.0f);
+}
+
+TEST(TensorOps, DotAndNorm) {
+  Tensor a = Tensor::from_vector({3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(ops::dot(a, a), 25.0f);
+  EXPECT_FLOAT_EQ(ops::l2_norm(a), 5.0f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(11);
+  Tensor logits = ops::randn({5, 7}, rng, 0.0f, 3.0f);
+  Tensor p = ops::softmax_rows(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    float row = 0.0f;
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      row += p.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0f, 1e-5);
+  }
+}
+
+TEST(TensorOps, SoftmaxNumericallyStableWithLargeLogits) {
+  Tensor logits = Tensor::from_rows({{1000.0f, 999.0f}});
+  Tensor p = ops::softmax_rows(logits);
+  EXPECT_TRUE(p.all_finite());
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-6);
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(TensorOps, LogSoftmaxConsistentWithSoftmax) {
+  Rng rng(13);
+  Tensor logits = ops::randn({3, 4}, rng);
+  Tensor p = ops::softmax_rows(logits);
+  Tensor logp = ops::log_softmax_rows(logits);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(std::exp(logp[i]), p[i], 1e-5);
+  }
+}
+
+TEST(TensorOps, CrossEntropyOfPerfectPrediction) {
+  Tensor logits = Tensor::from_rows({{100.0f, 0.0f}, {0.0f, 100.0f}});
+  EXPECT_NEAR(ops::cross_entropy(logits, {0, 1}), 0.0f, 1e-5);
+}
+
+TEST(TensorOps, CrossEntropyUniformIsLogC) {
+  Tensor logits = Tensor::zeros({2, 4});
+  EXPECT_NEAR(ops::cross_entropy(logits, {1, 2}), std::log(4.0f), 1e-5);
+}
+
+TEST(TensorOps, CrossEntropyGradSumsToZeroPerRow) {
+  Rng rng(17);
+  Tensor logits = ops::randn({4, 6}, rng);
+  Tensor g = ops::cross_entropy_grad(logits, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < 4; ++i) {
+    float row = 0.0f;
+    for (std::size_t j = 0; j < 6; ++j) row += g.at(i, j);
+    EXPECT_NEAR(row, 0.0f, 1e-6);
+  }
+}
+
+TEST(TensorOps, TopkRowsOrderedDescending) {
+  Tensor logits = Tensor::from_rows({{0.1f, 0.9f, 0.5f, 0.3f}});
+  auto topk = ops::topk_rows(logits, 3);
+  ASSERT_EQ(topk[0].size(), 3u);
+  EXPECT_EQ(topk[0][0], 1u);
+  EXPECT_EQ(topk[0][1], 2u);
+  EXPECT_EQ(topk[0][2], 3u);
+}
+
+TEST(TensorOps, TopkDeterministicTieBreak) {
+  Tensor logits = Tensor::from_rows({{0.5f, 0.5f, 0.5f}});
+  auto topk = ops::topk_rows(logits, 2);
+  EXPECT_EQ(topk[0][0], 0u);
+  EXPECT_EQ(topk[0][1], 1u);
+}
+
+TEST(TensorOps, GatherScatterRoundTrip) {
+  Tensor a = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}});
+  std::vector<std::size_t> idx{2, 0};
+  Tensor g = ops::gather_rows(a, idx);
+  EXPECT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_EQ(g.at(1, 1), 2.0f);
+
+  Tensor out({3, 2});
+  ops::scatter_add_rows(out, g, idx);
+  EXPECT_EQ(out.at(2, 0), 5.0f);
+  EXPECT_EQ(out.at(0, 1), 2.0f);
+  EXPECT_EQ(out.at(1, 0), 0.0f);
+}
+
+TEST(TensorOps, ScatterAccumulatesOnCollision) {
+  Tensor src = Tensor::from_rows({{1.0f}, {2.0f}});
+  Tensor out({1, 1});
+  ops::scatter_add_rows(out, src, {0, 0});
+  EXPECT_EQ(out.at(0, 0), 3.0f);
+}
+
+TEST(TensorOps, GatherEmptyIndicesThrows) {
+  Tensor a({2, 2});
+  EXPECT_THROW(ops::gather_rows(a, {}), CheckError);
+}
+
+TEST(TensorOps, RandnMoments) {
+  Rng rng(19);
+  Tensor t = ops::randn({10000}, rng, 1.0f, 2.0f);
+  float sum = 0.0f, sumsq = 0.0f;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sumsq += (t[i] - 1.0f) * (t[i] - 1.0f);
+  }
+  EXPECT_NEAR(sum / t.size(), 1.0f, 0.1f);
+  EXPECT_NEAR(sumsq / t.size(), 4.0f, 0.2f);
+}
+
+TEST(TensorOps, AllcloseToleratesSmallDeviation) {
+  Tensor a = Tensor::ones({3});
+  Tensor b = a;
+  b.at(0) += 1e-6f;
+  EXPECT_TRUE(ops::allclose(a, b));
+  b.at(0) += 1.0f;
+  EXPECT_FALSE(ops::allclose(a, b));
+}
+
+TEST(TensorOps, HalfPrecisionRoundTripError) {
+  Rng rng(23);
+  Tensor a = ops::randn({1000}, rng);
+  Tensor h = ops::to_half_precision(a);
+  EXPECT_TRUE(h.all_finite());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // fp16 has ~3 decimal digits: relative error below 2^-10.
+    EXPECT_NEAR(h[i], a[i], std::abs(a[i]) * 1.0f / 1024.0f + 1e-7f);
+  }
+}
+
+TEST(TensorOps, HalfPrecisionKeepsExactValues) {
+  Tensor a = Tensor::from_vector({0.5f, 1.0f, 2.0f, -4.0f, 0.0f});
+  Tensor h = ops::to_half_precision(a);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(h[i], a[i]);
+}
+
+}  // namespace
+}  // namespace vela

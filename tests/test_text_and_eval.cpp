@@ -1,0 +1,150 @@
+// Tests for the real-text corpus, perplexity evaluation, and the arg parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/text_corpus.h"
+#include "model/evaluate.h"
+#include "moe/moe_block.h"
+#include "nn/optimizer.h"
+#include "util/argparse.h"
+#include "util/check.h"
+
+namespace vela {
+namespace {
+
+TEST(TextCorpus, SlidingWindows) {
+  data::TextCorpus corpus("abcdefgh", 4, 2);
+  // windows: abcd, cdef, efgh.
+  ASSERT_EQ(corpus.num_sequences(), 3u);
+  EXPECT_EQ(corpus.decode(corpus.sequences()[0]), "abcd");
+  EXPECT_EQ(corpus.decode(corpus.sequences()[1]), "cdef");
+  EXPECT_EQ(corpus.decode(corpus.sequences()[2]), "efgh");
+}
+
+TEST(TextCorpus, DisjointStride) {
+  data::TextCorpus corpus("abcdefgh", 4, 4);
+  ASSERT_EQ(corpus.num_sequences(), 2u);
+  EXPECT_EQ(corpus.decode(corpus.sequences()[1]), "efgh");
+}
+
+TEST(TextCorpus, VocabIsDistinctChars) {
+  data::TextCorpus corpus("aabbcc", 2, 1);
+  EXPECT_EQ(corpus.vocab_size(), 3u);
+  for (const auto& seq : corpus.sequences()) {
+    for (std::size_t id : seq) EXPECT_LT(id, 3u);
+  }
+}
+
+TEST(TextCorpus, RejectsTooShortText) {
+  EXPECT_THROW(data::TextCorpus("ab", 4, 1), CheckError);
+  EXPECT_THROW(data::TextCorpus("abcdef", 1, 1), CheckError);
+}
+
+TEST(TextCorpus, ShakespeareSampleUsable) {
+  const std::string text = data::TextCorpus::tiny_shakespeare_sample();
+  EXPECT_GT(text.size(), 1000u);
+  data::TextCorpus corpus(text, 32, 16);
+  EXPECT_GT(corpus.num_sequences(), 50u);
+  EXPECT_LT(corpus.vocab_size(), 64u);  // letters + punctuation
+  // Round-trip through the tokenizer.
+  EXPECT_EQ(corpus.decode(corpus.tokenizer().encode("Now is")), "Now is");
+}
+
+struct EvalFixture {
+  EvalFixture()
+      : cfg(model::ModelConfig::tiny_test()),
+        backend(cfg.num_layers, cfg.num_experts, cfg.model_dim, cfg.hidden_dim,
+                cfg.lora, 3),
+        rng(5),
+        model(cfg, &backend, rng) {}
+  model::ModelConfig cfg;
+  moe::LocalExpertBackend backend;
+  Rng rng;
+  model::MoETransformer model;
+};
+
+TEST(Evaluate, PerplexityIsExpOfLoss) {
+  EvalFixture f;
+  std::vector<std::vector<std::size_t>> dataset{{1, 2, 3, 4}, {5, 6, 7, 8}};
+  auto result = model::evaluate_perplexity(f.model, dataset, 2);
+  EXPECT_EQ(result.tokens, 6u);
+  EXPECT_NEAR(result.perplexity, std::exp(result.mean_loss), 1e-9);
+  // Untrained model on a uniform-ish vocab: perplexity near vocab size.
+  EXPECT_GT(result.perplexity, 5.0);
+}
+
+TEST(Evaluate, BatchingInvariance) {
+  // Token-weighted aggregation: the result must not depend on batch size,
+  // even with ragged sequence lengths.
+  EvalFixture f;
+  std::vector<std::vector<std::size_t>> dataset{
+      {1, 2, 3, 4, 5, 6}, {7, 8, 9}, {10, 11, 12, 13}, {14, 15}};
+  auto one = model::evaluate_perplexity(f.model, dataset, 1);
+  auto all = model::evaluate_perplexity(f.model, dataset, 4);
+  auto two = model::evaluate_perplexity(f.model, dataset, 2);
+  EXPECT_NEAR(one.mean_loss, all.mean_loss, 2e-3);
+  EXPECT_NEAR(two.mean_loss, all.mean_loss, 2e-3);
+  EXPECT_EQ(one.tokens, 5u + 2u + 3u + 1u);
+}
+
+TEST(Evaluate, TrainingImprovesPerplexity) {
+  EvalFixture f;
+  std::vector<std::vector<std::size_t>> dataset{{1, 2, 3, 1, 2, 3, 1, 2},
+                                                {4, 5, 6, 4, 5, 6, 4, 5}};
+  const auto before = model::evaluate_perplexity(f.model, dataset, 2);
+  auto params = f.model.trainable_parameters();
+  for (const auto& p : f.backend.trainable_parameters()) params.push_back(p);
+  nn::SGD sgd(params, 0.05f);
+  for (int i = 0; i < 30; ++i) {
+    sgd.zero_grad();
+    ag::backward(f.model.loss_batch(dataset));
+    sgd.step();
+  }
+  const auto after = model::evaluate_perplexity(f.model, dataset, 2);
+  EXPECT_LT(after.perplexity, before.perplexity);
+}
+
+TEST(ArgParser, OptionsAndFlags) {
+  const char* argv[] = {"prog", "pos1",      "--steps", "50",
+                        "--lr=0.001", "--batch", "8",   "--verbose"};
+  ArgParser args(8, argv);
+  EXPECT_EQ(args.get_size("steps", 0), 50u);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.001);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+  EXPECT_EQ(args.get_size("batch", 0), 8u);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(ArgParser, GreedyValueBinding) {
+  // A bare option consumes the following non-option token as its value —
+  // use --name=value when a positional must follow.
+  const char* argv[] = {"prog", "--verbose", "pos1"};
+  ArgParser args(3, argv);
+  EXPECT_EQ(args.get_string("verbose", ""), "pos1");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(ArgParser, FallbacksAndErrors) {
+  const char* argv[] = {"prog", "--count", "abc"};
+  ArgParser args(3, argv);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_THROW(args.get_double("count", 0.0), CheckError);
+  const char* argv2[] = {"prog", "--frac", "1.5"};
+  ArgParser args2(3, argv2);
+  EXPECT_THROW(args2.get_size("frac", 0), CheckError);
+}
+
+TEST(ArgParser, FlagFollowedByOption) {
+  const char* argv[] = {"prog", "--dry-run", "--steps", "3"};
+  ArgParser args(4, argv);
+  EXPECT_TRUE(args.get_flag("dry-run"));
+  EXPECT_EQ(args.get_size("steps", 0), 3u);
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moe/gate.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  Rng rng(1);
+  ag::Variable x = ag::Variable::constant(ops::randn({4, 6}, rng));
+  Tensor lse = ag::logsumexp_rows(x).value();
+  for (std::size_t i = 0; i < 4; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) total += std::exp(x.value().at(i, j));
+    EXPECT_NEAR(lse.at(i), std::log(total), 1e-5);
+  }
+}
+
+TEST(LogSumExp, StableForLargeLogits) {
+  ag::Variable x =
+      ag::Variable::constant(Tensor::from_rows({{500.0f, 499.0f, 100.0f}}));
+  Tensor lse = ag::logsumexp_rows(x).value();
+  EXPECT_TRUE(lse.all_finite());
+  EXPECT_NEAR(lse.at(0), 500.0f + std::log(1.0f + std::exp(-1.0f)), 1e-3);
+}
+
+TEST(LogSumExp, Gradcheck) {
+  Rng rng(2);
+  ag::Variable x = ag::Variable::leaf(ops::randn({3, 5}, rng), true);
+  Rng wr(3);
+  ag::Variable w = ag::Variable::constant(ops::randn({3}, wr));
+  auto loss = [&] { return ag::sum(ag::mul(ag::logsumexp_rows(x), w)); };
+  EXPECT_LT(ag::gradcheck_max_abs_err(x, loss, 1e-2f), 1e-2f);
+}
+
+TEST(RouterZLoss, ZeroLogitsGiveLogESquared) {
+  Rng rng(4);
+  moe::TopKGate gate("g", 8, 4, 2, rng);
+  gate.weight().mutable_value().fill(0.0f);
+  Rng xr(5);
+  auto out = gate.forward(ag::Variable::constant(ops::randn({8, 8}, xr)));
+  const float expected = std::log(4.0f) * std::log(4.0f);
+  EXPECT_NEAR(moe::router_z_loss(out).value()[0], expected, 1e-4f);
+}
+
+TEST(RouterZLoss, GrowsWithLogitMagnitude) {
+  Rng rng(6);
+  moe::TopKGate small("g", 8, 4, 2, rng);
+  Rng rng2(6);
+  moe::TopKGate large("g", 8, 4, 2, rng2);
+  large.weight().mutable_value().scale_(10.0f);
+  Rng xr(7);
+  Tensor x = ops::randn({16, 8}, xr);
+  const float z_small =
+      moe::router_z_loss(small.forward(ag::Variable::constant(x))).value()[0];
+  const float z_large =
+      moe::router_z_loss(large.forward(ag::Variable::constant(x))).value()[0];
+  EXPECT_GT(z_large, z_small);
+}
+
+TEST(RouterZLoss, TrainingShrinksLogits) {
+  Rng rng(8);
+  moe::TopKGate gate("g", 8, 4, 2, rng, /*trainable=*/true);
+  gate.weight().mutable_value().scale_(8.0f);  // oversized router weights
+  Rng xr(9);
+  Tensor x = ops::randn({32, 8}, xr);
+
+  const float initial_norm = ops::l2_norm(gate.weight().value());
+  const float initial_z =
+      moe::router_z_loss(gate.forward(ag::Variable::constant(x))).value()[0];
+  nn::SGD sgd(gate.trainable_parameters(), 0.05f);
+  for (int step = 0; step < 100; ++step) {
+    sgd.zero_grad();
+    ag::backward(
+        moe::router_z_loss(gate.forward(ag::Variable::constant(x))));
+    sgd.step();
+  }
+  const float final_z =
+      moe::router_z_loss(gate.forward(ag::Variable::constant(x))).value()[0];
+  EXPECT_LT(final_z, initial_z * 0.8f);
+  EXPECT_LT(ops::l2_norm(gate.weight().value()), initial_norm);
+}
+
+}  // namespace
+}  // namespace vela
