@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_steptime.dir/bench_fig6_steptime.cpp.o"
+  "CMakeFiles/bench_fig6_steptime.dir/bench_fig6_steptime.cpp.o.d"
+  "bench_fig6_steptime"
+  "bench_fig6_steptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_steptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

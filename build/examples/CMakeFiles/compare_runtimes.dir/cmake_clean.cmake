@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_runtimes.dir/compare_runtimes.cpp.o"
+  "CMakeFiles/compare_runtimes.dir/compare_runtimes.cpp.o.d"
+  "compare_runtimes"
+  "compare_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

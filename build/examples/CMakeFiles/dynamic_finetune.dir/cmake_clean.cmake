@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_finetune.dir/dynamic_finetune.cpp.o"
+  "CMakeFiles/dynamic_finetune.dir/dynamic_finetune.cpp.o.d"
+  "dynamic_finetune"
+  "dynamic_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

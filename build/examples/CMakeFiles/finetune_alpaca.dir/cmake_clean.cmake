@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_alpaca.dir/finetune_alpaca.cpp.o"
+  "CMakeFiles/finetune_alpaca.dir/finetune_alpaca.cpp.o.d"
+  "finetune_alpaca"
+  "finetune_alpaca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_alpaca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

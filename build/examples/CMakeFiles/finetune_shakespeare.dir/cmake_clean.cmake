@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_shakespeare.dir/finetune_shakespeare.cpp.o"
+  "CMakeFiles/finetune_shakespeare.dir/finetune_shakespeare.cpp.o.d"
+  "finetune_shakespeare"
+  "finetune_shakespeare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_shakespeare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

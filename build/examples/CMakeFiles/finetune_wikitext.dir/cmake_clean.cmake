@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_wikitext.dir/finetune_wikitext.cpp.o"
+  "CMakeFiles/finetune_wikitext.dir/finetune_wikitext.cpp.o.d"
+  "finetune_wikitext"
+  "finetune_wikitext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_wikitext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

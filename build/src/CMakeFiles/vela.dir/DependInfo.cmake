@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cpp" "src/CMakeFiles/vela.dir/autograd/ops.cpp.o" "gcc" "src/CMakeFiles/vela.dir/autograd/ops.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/CMakeFiles/vela.dir/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/vela.dir/autograd/variable.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/vela.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/vela.dir/cluster/topology.cpp.o.d"
+  "/root/repo/src/comm/channel.cpp" "src/CMakeFiles/vela.dir/comm/channel.cpp.o" "gcc" "src/CMakeFiles/vela.dir/comm/channel.cpp.o.d"
+  "/root/repo/src/comm/comm_clock.cpp" "src/CMakeFiles/vela.dir/comm/comm_clock.cpp.o" "gcc" "src/CMakeFiles/vela.dir/comm/comm_clock.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "src/CMakeFiles/vela.dir/comm/message.cpp.o" "gcc" "src/CMakeFiles/vela.dir/comm/message.cpp.o.d"
+  "/root/repo/src/comm/serialize.cpp" "src/CMakeFiles/vela.dir/comm/serialize.cpp.o" "gcc" "src/CMakeFiles/vela.dir/comm/serialize.cpp.o.d"
+  "/root/repo/src/comm/traffic_meter.cpp" "src/CMakeFiles/vela.dir/comm/traffic_meter.cpp.o" "gcc" "src/CMakeFiles/vela.dir/comm/traffic_meter.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/vela.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/expert_broker.cpp" "src/CMakeFiles/vela.dir/core/expert_broker.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/expert_broker.cpp.o.d"
+  "/root/repo/src/core/expert_worker.cpp" "src/CMakeFiles/vela.dir/core/expert_worker.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/expert_worker.cpp.o.d"
+  "/root/repo/src/core/master.cpp" "src/CMakeFiles/vela.dir/core/master.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/master.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/vela.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/vela.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/core/replanner.cpp" "src/CMakeFiles/vela.dir/core/replanner.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/replanner.cpp.o.d"
+  "/root/repo/src/core/step_simulator.cpp" "src/CMakeFiles/vela.dir/core/step_simulator.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/step_simulator.cpp.o.d"
+  "/root/repo/src/core/vela_system.cpp" "src/CMakeFiles/vela.dir/core/vela_system.cpp.o" "gcc" "src/CMakeFiles/vela.dir/core/vela_system.cpp.o.d"
+  "/root/repo/src/data/batch.cpp" "src/CMakeFiles/vela.dir/data/batch.cpp.o" "gcc" "src/CMakeFiles/vela.dir/data/batch.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/CMakeFiles/vela.dir/data/corpus.cpp.o" "gcc" "src/CMakeFiles/vela.dir/data/corpus.cpp.o.d"
+  "/root/repo/src/data/text_corpus.cpp" "src/CMakeFiles/vela.dir/data/text_corpus.cpp.o" "gcc" "src/CMakeFiles/vela.dir/data/text_corpus.cpp.o.d"
+  "/root/repo/src/data/tokenizer.cpp" "src/CMakeFiles/vela.dir/data/tokenizer.cpp.o" "gcc" "src/CMakeFiles/vela.dir/data/tokenizer.cpp.o.d"
+  "/root/repo/src/ep/expert_parallel.cpp" "src/CMakeFiles/vela.dir/ep/expert_parallel.cpp.o" "gcc" "src/CMakeFiles/vela.dir/ep/expert_parallel.cpp.o.d"
+  "/root/repo/src/ep/runtime.cpp" "src/CMakeFiles/vela.dir/ep/runtime.cpp.o" "gcc" "src/CMakeFiles/vela.dir/ep/runtime.cpp.o.d"
+  "/root/repo/src/model/config.cpp" "src/CMakeFiles/vela.dir/model/config.cpp.o" "gcc" "src/CMakeFiles/vela.dir/model/config.cpp.o.d"
+  "/root/repo/src/model/evaluate.cpp" "src/CMakeFiles/vela.dir/model/evaluate.cpp.o" "gcc" "src/CMakeFiles/vela.dir/model/evaluate.cpp.o.d"
+  "/root/repo/src/model/generate.cpp" "src/CMakeFiles/vela.dir/model/generate.cpp.o" "gcc" "src/CMakeFiles/vela.dir/model/generate.cpp.o.d"
+  "/root/repo/src/model/router_planting.cpp" "src/CMakeFiles/vela.dir/model/router_planting.cpp.o" "gcc" "src/CMakeFiles/vela.dir/model/router_planting.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/CMakeFiles/vela.dir/model/transformer.cpp.o" "gcc" "src/CMakeFiles/vela.dir/model/transformer.cpp.o.d"
+  "/root/repo/src/moe/gate.cpp" "src/CMakeFiles/vela.dir/moe/gate.cpp.o" "gcc" "src/CMakeFiles/vela.dir/moe/gate.cpp.o.d"
+  "/root/repo/src/moe/moe_block.cpp" "src/CMakeFiles/vela.dir/moe/moe_block.cpp.o" "gcc" "src/CMakeFiles/vela.dir/moe/moe_block.cpp.o.d"
+  "/root/repo/src/moe/routing_stats.cpp" "src/CMakeFiles/vela.dir/moe/routing_stats.cpp.o" "gcc" "src/CMakeFiles/vela.dir/moe/routing_stats.cpp.o.d"
+  "/root/repo/src/moe/synthetic_router.cpp" "src/CMakeFiles/vela.dir/moe/synthetic_router.cpp.o" "gcc" "src/CMakeFiles/vela.dir/moe/synthetic_router.cpp.o.d"
+  "/root/repo/src/moe/trace.cpp" "src/CMakeFiles/vela.dir/moe/trace.cpp.o" "gcc" "src/CMakeFiles/vela.dir/moe/trace.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/vela.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/vela.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/expert.cpp" "src/CMakeFiles/vela.dir/nn/expert.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/expert.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/vela.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/vela.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/CMakeFiles/vela.dir/nn/norm.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/vela.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/vela.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/vela.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/placement/annealing.cpp" "src/CMakeFiles/vela.dir/placement/annealing.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/annealing.cpp.o.d"
+  "/root/repo/src/placement/evaluator.cpp" "src/CMakeFiles/vela.dir/placement/evaluator.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/evaluator.cpp.o.d"
+  "/root/repo/src/placement/exact.cpp" "src/CMakeFiles/vela.dir/placement/exact.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/exact.cpp.o.d"
+  "/root/repo/src/placement/greedy.cpp" "src/CMakeFiles/vela.dir/placement/greedy.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/greedy.cpp.o.d"
+  "/root/repo/src/placement/locality_aware.cpp" "src/CMakeFiles/vela.dir/placement/locality_aware.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/locality_aware.cpp.o.d"
+  "/root/repo/src/placement/lp/simplex.cpp" "src/CMakeFiles/vela.dir/placement/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/lp/simplex.cpp.o.d"
+  "/root/repo/src/placement/placement.cpp" "src/CMakeFiles/vela.dir/placement/placement.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/placement.cpp.o.d"
+  "/root/repo/src/placement/random.cpp" "src/CMakeFiles/vela.dir/placement/random.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/random.cpp.o.d"
+  "/root/repo/src/placement/replication.cpp" "src/CMakeFiles/vela.dir/placement/replication.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/replication.cpp.o.d"
+  "/root/repo/src/placement/rounding.cpp" "src/CMakeFiles/vela.dir/placement/rounding.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/rounding.cpp.o.d"
+  "/root/repo/src/placement/sequential.cpp" "src/CMakeFiles/vela.dir/placement/sequential.cpp.o" "gcc" "src/CMakeFiles/vela.dir/placement/sequential.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/vela.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/vela.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/vela.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/vela.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/argparse.cpp" "src/CMakeFiles/vela.dir/util/argparse.cpp.o" "gcc" "src/CMakeFiles/vela.dir/util/argparse.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/vela.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/vela.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/vela.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/vela.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/vela.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/vela.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/vela.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/vela.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autograd.cpp" "tests/CMakeFiles/vela_tests.dir/test_autograd.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_autograd.cpp.o.d"
+  "/root/repo/tests/test_autograd_properties.cpp" "tests/CMakeFiles/vela_tests.dir/test_autograd_properties.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_autograd_properties.cpp.o.d"
+  "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/vela_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_capacity_factor.cpp" "tests/CMakeFiles/vela_tests.dir/test_capacity_factor.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_capacity_factor.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/vela_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/vela_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/vela_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_comm_clock.cpp" "tests/CMakeFiles/vela_tests.dir/test_comm_clock.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_comm_clock.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/vela_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_ep.cpp" "tests/CMakeFiles/vela_tests.dir/test_ep.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_ep.cpp.o.d"
+  "/root/repo/tests/test_ep_runtime.cpp" "tests/CMakeFiles/vela_tests.dir/test_ep_runtime.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_ep_runtime.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/vela_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_exact_placement.cpp" "tests/CMakeFiles/vela_tests.dir/test_exact_placement.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_exact_placement.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/vela_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_gate.cpp" "tests/CMakeFiles/vela_tests.dir/test_gate.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_gate.cpp.o.d"
+  "/root/repo/tests/test_generate.cpp" "tests/CMakeFiles/vela_tests.dir/test_generate.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_generate.cpp.o.d"
+  "/root/repo/tests/test_integration_workflow.cpp" "tests/CMakeFiles/vela_tests.dir/test_integration_workflow.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_integration_workflow.cpp.o.d"
+  "/root/repo/tests/test_load_balance.cpp" "tests/CMakeFiles/vela_tests.dir/test_load_balance.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_load_balance.cpp.o.d"
+  "/root/repo/tests/test_locality_aware.cpp" "tests/CMakeFiles/vela_tests.dir/test_locality_aware.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_locality_aware.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/vela_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_moe_block.cpp" "tests/CMakeFiles/vela_tests.dir/test_moe_block.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_moe_block.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/vela_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/vela_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/vela_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_planting.cpp" "tests/CMakeFiles/vela_tests.dir/test_planting.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_planting.cpp.o.d"
+  "/root/repo/tests/test_replanner.cpp" "tests/CMakeFiles/vela_tests.dir/test_replanner.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_replanner.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/vela_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/vela_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rounding.cpp" "tests/CMakeFiles/vela_tests.dir/test_rounding.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_rounding.cpp.o.d"
+  "/root/repo/tests/test_routing_modes.cpp" "tests/CMakeFiles/vela_tests.dir/test_routing_modes.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_routing_modes.cpp.o.d"
+  "/root/repo/tests/test_routing_stats.cpp" "tests/CMakeFiles/vela_tests.dir/test_routing_stats.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_routing_stats.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/vela_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/vela_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_simplex.cpp" "tests/CMakeFiles/vela_tests.dir/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_simplex.cpp.o.d"
+  "/root/repo/tests/test_simplex_properties.cpp" "tests/CMakeFiles/vela_tests.dir/test_simplex_properties.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_simplex_properties.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/vela_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_step_simulator.cpp" "tests/CMakeFiles/vela_tests.dir/test_step_simulator.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_step_simulator.cpp.o.d"
+  "/root/repo/tests/test_synthetic_router.cpp" "tests/CMakeFiles/vela_tests.dir/test_synthetic_router.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_synthetic_router.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/vela_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/vela_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_text_and_eval.cpp" "tests/CMakeFiles/vela_tests.dir/test_text_and_eval.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_text_and_eval.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/vela_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_theorem1.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/vela_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_training_features.cpp" "tests/CMakeFiles/vela_tests.dir/test_training_features.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_training_features.cpp.o.d"
+  "/root/repo/tests/test_util_io.cpp" "tests/CMakeFiles/vela_tests.dir/test_util_io.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_util_io.cpp.o.d"
+  "/root/repo/tests/test_vela_system.cpp" "tests/CMakeFiles/vela_tests.dir/test_vela_system.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_vela_system.cpp.o.d"
+  "/root/repo/tests/test_worker.cpp" "tests/CMakeFiles/vela_tests.dir/test_worker.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_worker.cpp.o.d"
+  "/root/repo/tests/test_zloss.cpp" "tests/CMakeFiles/vela_tests.dir/test_zloss.cpp.o" "gcc" "tests/CMakeFiles/vela_tests.dir/test_zloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vela.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
