@@ -4,8 +4,10 @@
 //
 // This is the paper's core comparison at laptop scale: identical models,
 // identical batches, identical convergence — different communication.
+#include <chrono>
 #include <cstdio>
 
+#include "comm/fault_injector.h"
 #include "core/vela_system.h"
 #include "data/batch.h"
 #include "ep/runtime.h"
@@ -59,6 +61,46 @@ int main() {
     ep_loss = r.loss;
   }
 
+  // --- VELA again, over a hostile network: a scripted worker crash plus a
+  // handful of dropped/corrupted messages. With fault tolerance enabled the
+  // run detects each fault, retransmits or respawns, and lands on the same
+  // loss as the clean VELA run above.
+  comm::FaultPlan plan;
+  plan.rules.push_back(
+      {1, comm::LinkDir::kToWorker, 5, comm::FaultKind::kCrashWorker, 0.0});
+  plan.rules.push_back(
+      {0, comm::LinkDir::kToWorker, 9, comm::FaultKind::kDrop, 0.0});
+  plan.rules.push_back(
+      {2, comm::LinkDir::kToMaster, 7, comm::FaultKind::kCorrupt, 0.0});
+  plan.rules.push_back(
+      {3, comm::LinkDir::kToWorker, 33, comm::FaultKind::kCorrupt, 0.0});
+  plan.rules.push_back(
+      {4, comm::LinkDir::kToWorker, 50, comm::FaultKind::kDrop, 0.0});
+  comm::FaultInjector injector(plan);  // must outlive the system it attaches to
+
+  core::VelaSystem vela_ft(vcfg, &corpus);
+  vela_ft.profile(dataset, 6);
+  vela_ft.optimize_placement(6.0 * 15.0);
+  core::FaultToleranceConfig ft;
+  ft.retry.timeout = std::chrono::milliseconds(50);
+  vela_ft.enable_fault_tolerance(ft);
+  vela_ft.attach_fault_injector(&injector);  // faults start with fine-tuning
+
+  data::BatchIterator ft_batches(dataset, 6, 3, /*shuffle=*/false);
+  RunningStat ft_mb;
+  float ft_loss = 0.0f;
+  std::size_t faults = 0, retries = 0, respawns = 0;
+  double recovery_mb = 0.0;
+  for (int step = 0; step < kSteps; ++step) {
+    auto r = vela_ft.train_step(ft_batches.next());
+    ft_mb.add(r.external_mb_per_node);
+    ft_loss = r.loss;
+    faults += r.faults_injected;
+    retries += r.retries;
+    respawns += r.workers_recovered;
+    recovery_mb += r.recovery_mb;
+  }
+
   std::printf("after %d identical fine-tuning steps (batch 6 x seq 16):\n",
               kSteps);
   std::printf("  %-22s %12s %22s\n", "system", "final loss",
@@ -67,8 +109,14 @@ int main() {
               ep_mb.mean());
   std::printf("  %-22s %12.4f %22.3f\n", "VELA (LP placement)", vela_loss,
               vela_mb.mean());
+  std::printf("  %-22s %12.4f %22.3f\n", "VELA + injected faults", ft_loss,
+              ft_mb.mean());
   std::printf("\n=> same convergence (the paper's equivalence claim), %.1f%%\n"
               "   less measured cross-node traffic for VELA.\n",
               100.0 * (1.0 - vela_mb.mean() / ep_mb.mean()));
+  std::printf("=> faulted run: %zu faults injected, %zu step retries, "
+              "%zu worker respawn(s),\n   %.3f MB of metered recovery traffic "
+              "— and the same final loss.\n",
+              faults, retries, respawns, recovery_mb);
   return 0;
 }

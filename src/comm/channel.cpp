@@ -7,21 +7,60 @@ Channel::Channel(std::size_t src_node, std::size_t dst_node,
     : src_(src_node), dst_(dst_node), meter_(meter) {}
 
 bool Channel::send(Message msg) {
+  FaultKind fault = FaultKind::kNone;
+  if (injector_ != nullptr) {
+    // Stamp before the injector mutates: a corrupted payload then fails
+    // verification at the receiver, exactly like a real CRC.
+    msg.stamp_checksum();
+    fault = injector_->on_send(injector_link_, injector_dir_, msg);
+  }
   const std::uint64_t size = msg.wire_size();
   // Account BEFORE publishing: once the receiver can observe the message,
   // its bytes must already be visible in the meter — otherwise a reader that
   // synchronizes on the reply could see a stale count (a real race caught by
   // the byte-equivalence tests). A send that loses the race with close()
-  // slightly overcounts, which only happens during shutdown.
-  bytes_sent_.fetch_add(size, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  if (meter_ != nullptr) meter_->record(src_, dst_, size);
-  return queue_.push(std::move(msg));
+  // slightly overcounts, which only happens during shutdown. Dropped and
+  // corrupted messages still left the sender's NIC, so their bytes count;
+  // a duplicate is two transmissions and counts twice.
+  const std::uint64_t transmissions = fault == FaultKind::kDuplicate ? 2 : 1;
+  bytes_sent_.fetch_add(size * transmissions, std::memory_order_relaxed);
+  messages_sent_.fetch_add(transmissions, std::memory_order_relaxed);
+  if (meter_ != nullptr) {
+    for (std::uint64_t i = 0; i < transmissions; ++i) {
+      meter_->record(src_, dst_, size);
+    }
+  }
+  switch (fault) {
+    case FaultKind::kDrop:
+      return true;  // transmitted, never delivered
+    case FaultKind::kSever:
+      queue_.close();
+      return false;
+    case FaultKind::kDuplicate: {
+      Message copy = msg;
+      queue_.push(std::move(copy));
+      return queue_.push(std::move(msg));
+    }
+    default:
+      return queue_.push(std::move(msg));
+  }
 }
 
 std::optional<Message> Channel::receive() { return queue_.pop(); }
 
 std::optional<Message> Channel::try_receive() { return queue_.try_pop(); }
+
+PopStatus Channel::receive_for(std::chrono::milliseconds timeout,
+                               Message* out) {
+  return queue_.pop_for(timeout, out);
+}
+
+void Channel::set_fault_injector(FaultInjector* injector, std::size_t link,
+                                 LinkDir dir) {
+  injector_ = injector;
+  injector_link_ = link;
+  injector_dir_ = dir;
+}
 
 void Channel::close() { queue_.close(); }
 

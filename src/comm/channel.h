@@ -8,10 +8,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 
+#include "comm/fault_injector.h"
 #include "comm/message.h"
 #include "comm/traffic_meter.h"
 #include "util/blocking_queue.h"
@@ -30,6 +32,17 @@ class Channel {
   // Blocks for the next message; nullopt once closed and drained.
   std::optional<Message> receive();
   std::optional<Message> try_receive();
+  // Timed receive: kOk fills *out, kTimeout means nothing arrived, kClosed
+  // means the channel is closed and drained. The retry layer is built on
+  // this — a timeout is a suspected fault, a close a confirmed one.
+  PopStatus receive_for(std::chrono::milliseconds timeout, Message* out);
+
+  // Attaches a fault injector (may be null to detach). `link` and `dir`
+  // identify this channel in the injector's per-lane fault plan. While an
+  // injector is attached every outgoing message is checksummed.
+  void set_fault_injector(FaultInjector* injector, std::size_t link,
+                          LinkDir dir);
+  bool closed() const { return queue_.closed(); }
 
   void close();
   std::size_t pending() const { return queue_.size(); }
@@ -45,6 +58,9 @@ class Channel {
   BlockingQueue<Message> queue_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
+  FaultInjector* injector_ = nullptr;
+  std::size_t injector_link_ = 0;
+  LinkDir injector_dir_ = LinkDir::kToWorker;
 };
 
 // The bidirectional master↔worker link: a pair of channels.
@@ -56,6 +72,13 @@ struct DuplexLink {
 
   Channel to_worker;
   Channel to_master;
+
+  // Attaches `injector` (null detaches) to both directions under lane id
+  // `link` (the worker index in the master's fleet).
+  void set_fault_injector(FaultInjector* injector, std::size_t link) {
+    to_worker.set_fault_injector(injector, link, LinkDir::kToWorker);
+    to_master.set_fault_injector(injector, link, LinkDir::kToMaster);
+  }
 
   void close() {
     to_worker.close();

@@ -1,0 +1,151 @@
+#include "comm/fault_injector.h"
+
+#include "util/check.h"
+
+namespace vela::comm {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kSever:
+      return "sever";
+    case FaultKind::kCrashWorker:
+      return "crash-worker";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rule_fired_(plan_.rules.size(), false) {
+  for (const auto& r : plan_.rules) {
+    VELA_CHECK_MSG(r.kind != FaultKind::kNone,
+                   "fault rule with kind kNone is meaningless");
+    VELA_CHECK_MSG(r.kind != FaultKind::kDelay || r.delay_seconds >= 0.0,
+                   "negative delay in fault rule");
+  }
+}
+
+FaultInjector::Lane& FaultInjector::lane(std::size_t link, LinkDir dir) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(link) * 2 + static_cast<std::uint64_t>(dir);
+  Lane& l = lanes_[key];
+  if (!l.rng_init) {
+    // A fixed per-lane stream: single-producer channels make the sequence of
+    // draws — and therefore every background fault — reproducible.
+    l.rng = Rng(plan_.seed * 0x9E3779B97F4A7C15ULL + key + 1);
+    l.rng_init = true;
+  }
+  return l;
+}
+
+FaultKind FaultInjector::pick_fault(Lane& lane, std::size_t link, LinkDir dir,
+                                    std::uint64_t index, double* delay_out) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (rule_fired_[i] || r.link != link || r.dir != dir ||
+        r.message_index != index) {
+      continue;
+    }
+    rule_fired_[i] = true;
+    *delay_out = r.delay_seconds;
+    return r.kind;
+  }
+  const double background = plan_.drop_rate + plan_.corrupt_rate +
+                            plan_.duplicate_rate + plan_.delay_rate;
+  if (background > 0.0) {
+    const double u = lane.rng.uniform();
+    if (u < plan_.drop_rate) return FaultKind::kDrop;
+    if (u < plan_.drop_rate + plan_.corrupt_rate) return FaultKind::kCorrupt;
+    if (u < plan_.drop_rate + plan_.corrupt_rate + plan_.duplicate_rate) {
+      return FaultKind::kDuplicate;
+    }
+    if (u < background) {
+      *delay_out = plan_.delay_seconds;
+      return FaultKind::kDelay;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::on_send(std::size_t link, LinkDir dir, Message& msg) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Lane& l = lane(link, dir);
+  const std::uint64_t index = l.next_index++;
+  double delay = 0.0;
+  const FaultKind kind = pick_fault(l, link, dir, index, &delay);
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDrop:
+      ++counters_.dropped;
+      break;
+    case FaultKind::kDelay:
+      ++counters_.delayed;
+      pending_delay_seconds_ += delay;
+      break;
+    case FaultKind::kDuplicate:
+      ++counters_.duplicated;
+      break;
+    case FaultKind::kCorrupt:
+      ++counters_.corrupted;
+      // Flip payload bits after the channel stamped the checksum; receivers
+      // detect the mismatch and drop the message (they never read the
+      // garbage, so the flipped values themselves are irrelevant).
+      if (msg.payload.size() > 0) {
+        float* data = msg.payload.data();
+        for (std::size_t i = 0; i < msg.payload.size();
+             i += msg.payload.size() / 4 + 1) {
+          data[i] = -data[i] + 1.0f;
+        }
+      }
+      msg.checksum ^= 0x5A5A5A5Au;  // guarantees detection even when the
+                                    // flips cancel or there is no payload
+      break;
+    case FaultKind::kSever:
+      ++counters_.severed;
+      break;
+    case FaultKind::kCrashWorker:
+      ++counters_.crashed;
+      msg = Message{};
+      msg.type = MessageType::kCrash;
+      break;
+  }
+  return kind;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return counters_;
+}
+
+std::uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return counters_.total();
+}
+
+double FaultInjector::consume_delay_seconds() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const double d = pending_delay_seconds_;
+  pending_delay_seconds_ = 0.0;
+  return d;
+}
+
+std::uint64_t FaultInjector::messages_seen(std::size_t link,
+                                           LinkDir dir) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(link) * 2 + static_cast<std::uint64_t>(dir);
+  auto it = lanes_.find(key);
+  return it == lanes_.end() ? 0 : it->second.next_index;
+}
+
+}  // namespace vela::comm

@@ -1,5 +1,6 @@
 #include "comm/message.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace vela::comm {
@@ -36,8 +37,54 @@ const char* message_type_name(MessageType t) {
       return "AllReduceChunk";
     case MessageType::kShutdown:
       return "Shutdown";
+    case MessageType::kProbe:
+      return "Probe";
+    case MessageType::kProbeAck:
+      return "ProbeAck";
+    case MessageType::kAbortStep:
+      return "AbortStep";
+    case MessageType::kAbortStepDone:
+      return "AbortStepDone";
+    case MessageType::kSnapshotExpert:
+      return "SnapshotExpert";
+    case MessageType::kExpertSnapshot:
+      return "ExpertSnapshot";
+    case MessageType::kRestoreExpert:
+      return "RestoreExpert";
+    case MessageType::kRestoreExpertDone:
+      return "RestoreExpertDone";
+    case MessageType::kCrash:
+      return "Crash";
   }
   return "?";
+}
+
+std::uint32_t Message::compute_checksum() const {
+  // FNV-1a, folding in every field a receiver acts on. Never returns 0 so a
+  // stamped message cannot be mistaken for an unchecksummed one.
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 16777619u;
+    }
+  };
+  mix(static_cast<std::uint32_t>(type));
+  mix(static_cast<std::uint32_t>(request_id));
+  mix(static_cast<std::uint32_t>(request_id >> 32));
+  mix(source);
+  mix(layer);
+  mix(expert);
+  mix(step);
+  mix(static_cast<std::uint32_t>(phantom_bytes));
+  const float* data = payload.data();
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(float));
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    mix(bits);
+  }
+  return h == 0 ? 1u : h;
 }
 
 std::string Message::to_string() const {

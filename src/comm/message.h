@@ -30,6 +30,19 @@ enum class MessageType : std::uint8_t {
   kLoadExpertStateDone,   // worker → master: ack
   kAllReduceChunk,        // EP peer → peer: ring all-reduce gradient chunk
   kShutdown,              // master → worker: terminate
+  kProbe,                 // master → worker: liveness probe (heartbeat)
+  kProbeAck,              // worker → master: probe ack
+  kAbortStep,             // master → worker: discard tapes + gradients of the
+                          //   in-flight step (mid-step failure recovery)
+  kAbortStepDone,         // worker → master: ack
+  kSnapshotExpert,        // master → worker: return full recovery state
+                          //   (adapters + optimizer moments), keep hosting
+  kExpertSnapshot,        // worker → master: packed full recovery state
+  kRestoreExpert,         // master → worker: host expert, restoring full
+                          //   recovery state (empty payload = fresh from seed)
+  kRestoreExpertDone,     // worker → master: ack
+  kCrash,                 // fault injection only: simulate an abrupt worker
+                          //   process death (both channels die, state is lost)
 };
 
 const char* message_type_name(MessageType t);
@@ -44,8 +57,13 @@ struct Message {
   Tensor payload;                   // empty for control / phantom messages
   std::uint64_t phantom_bytes = 0;  // payload size when no tensor is carried
   unsigned wire_bits = 32;          // transport precision of the payload
+  // Integrity check over header fields + payload. 0 means "not checksummed":
+  // channels only stamp checksums when a FaultInjector is attached, so the
+  // fault-free hot path pays nothing. The checksum models the CRC a real
+  // transport carries inside its header — kHeaderBytes already budgets it.
+  std::uint32_t checksum = 0;
 
-  // Size of a protocol header on the wire (type, ids, shape descriptor).
+  // Size of a protocol header on the wire (type, ids, shape descriptor, CRC).
   static constexpr std::uint64_t kHeaderBytes = 36;
 
   // Total bytes this message occupies on the wire.
@@ -53,6 +71,15 @@ struct Message {
     const std::uint64_t body =
         payload.size() > 0 ? payload.wire_bytes(wire_bits) : phantom_bytes;
     return kHeaderBytes + body;
+  }
+
+  // FNV-1a over the routing header and payload bits.
+  std::uint32_t compute_checksum() const;
+  void stamp_checksum() { checksum = compute_checksum(); }
+  // True when unchecksummed or the checksum matches (receivers treat a
+  // mismatch as in-flight corruption and drop the message).
+  bool checksum_ok() const {
+    return checksum == 0 || checksum == compute_checksum();
   }
 
   std::string to_string() const;

@@ -5,18 +5,18 @@
 
 namespace vela::core {
 
-ExpertBroker::ExpertBroker(std::vector<comm::DuplexLink*> links,
+ExpertBroker::ExpertBroker(std::vector<ReliableLink*> rlinks,
                            const placement::Placement* placement,
                            std::size_t num_layers, unsigned wire_bits,
                            bool quantize_wire)
-    : links_(std::move(links)),
+    : rlinks_(std::move(rlinks)),
       placement_(placement),
       num_layers_(num_layers),
       wire_bits_(wire_bits),
       quantize_wire_(quantize_wire && wire_bits == 16) {
-  VELA_CHECK(!links_.empty());
+  VELA_CHECK(!rlinks_.empty());
   VELA_CHECK(placement_ != nullptr);
-  for (auto* link : links_) VELA_CHECK(link != nullptr);
+  for (auto* rlink : rlinks_) VELA_CHECK(rlink != nullptr);
   begin_step();
 }
 
@@ -26,7 +26,7 @@ void ExpertBroker::set_placement(const placement::Placement* placement) {
 }
 
 void ExpertBroker::begin_step() {
-  const std::size_t n = links_.size();
+  const std::size_t n = rlinks_.size();
   fwd_phases_.assign(num_layers_, comm::MasterWorkerPhase{
                                       std::vector<std::uint64_t>(n, 0),
                                       std::vector<std::uint32_t>(n, 0)});
@@ -51,7 +51,7 @@ comm::VelaStepRecord ExpertBroker::finish_step() {
 void ExpertBroker::account(std::size_t layer, bool backward_phase,
                            std::size_t worker, std::uint64_t bytes,
                            std::uint32_t messages) {
-  VELA_CHECK(layer < num_layers_ && worker < links_.size());
+  VELA_CHECK(layer < num_layers_ && worker < rlinks_.size());
   auto& phase = backward_phase ? bwd_phases_[layer] : fwd_phases_[layer];
   phase.bytes[worker] += bytes;
   phase.messages[worker] += messages;
@@ -59,18 +59,13 @@ void ExpertBroker::account(std::size_t layer, bool backward_phase,
 
 comm::Message ExpertBroker::await_reply(std::size_t worker,
                                         comm::MessageType expected,
-                                        std::uint64_t request_id) {
-  auto maybe = links_[worker]->to_master.receive();
-  VELA_CHECK_MSG(maybe.has_value(),
-                 "worker " << worker << " channel closed while awaiting "
-                           << message_type_name(expected));
-  comm::Message reply = std::move(*maybe);
-  VELA_CHECK_MSG(reply.type == expected && reply.request_id == request_id,
-                 "protocol violation: expected " << message_type_name(expected)
-                                                 << "/" << request_id
-                                                 << ", got "
-                                                 << reply.to_string());
-  return reply;
+                                        std::uint64_t request_id,
+                                        std::size_t layer,
+                                        bool backward_phase) {
+  return rlinks_[worker]->await(
+      expected, request_id, [&](std::uint64_t bytes) {
+        account(layer, backward_phase, worker, bytes, 1);
+      });
 }
 
 ag::Variable ExpertBroker::expert_forward(std::size_t layer,
@@ -104,7 +99,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
         quantize_wire_ ? ops::to_half_precision(xs.value()) : xs.value();
     msg.wire_bits = wire_bits_;
     account(layer, /*backward=*/false, worker, msg.wire_size(), 1);
-    VELA_CHECK(links_[worker]->to_worker.send(std::move(msg)));
+    rlinks_[worker]->post(std::move(msg));
     outstanding.push_back({worker, request_id, expert});
   }
 
@@ -113,8 +108,9 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
   results.reserve(groups.size());
   for (std::size_t i = 0; i < outstanding.size(); ++i) {
     const Outstanding& o = outstanding[i];
-    comm::Message reply = await_reply(
-        o.worker, comm::MessageType::kExpertForwardResult, o.request_id);
+    comm::Message reply =
+        await_reply(o.worker, comm::MessageType::kExpertForwardResult,
+                    o.request_id, layer, /*backward=*/false);
     account(layer, /*backward=*/false, o.worker, reply.wire_size(), 1);
 
     // Wire the remote computation into the master tape: the backward closure
@@ -135,9 +131,10 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
               quantize_wire_ ? ops::to_half_precision(n.grad) : n.grad;
           grad_msg.wire_bits = wire_bits_;
           account(layer32, /*backward=*/true, worker, grad_msg.wire_size(), 1);
-          VELA_CHECK(links_[worker]->to_worker.send(std::move(grad_msg)));
-          comm::Message dx = await_reply(
-              worker, comm::MessageType::kExpertBackwardResult, request_id);
+          rlinks_[worker]->post(std::move(grad_msg));
+          comm::Message dx =
+              await_reply(worker, comm::MessageType::kExpertBackwardResult,
+                          request_id, layer32, /*backward=*/true);
           account(layer32, /*backward=*/true, worker, dx.wire_size(), 1);
           n.parents[0]->accumulate_grad(dx.payload);
         }));

@@ -9,6 +9,12 @@
 // dL/dy to the hosting worker, which backpropagates through its local tape
 // (accumulating expert-adapter gradients on the worker) and returns dL/dx.
 //
+// Requests travel over ReliableLinks (core/fault_tolerance.h): lost or
+// corrupted messages are retransmitted with backoff, duplicates discarded,
+// and a worker that stops answering raises WorkerFailedError rather than
+// hanging the step. Retransmitted bytes are charged to the same phase ledger
+// as first transmissions.
+//
 // The broker also keeps the per-phase byte ledger the CommClock converts to
 // Fig. 6 step times.
 #pragma once
@@ -16,8 +22,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "comm/channel.h"
 #include "comm/comm_clock.h"
+#include "core/fault_tolerance.h"
 #include "moe/moe_block.h"
 #include "placement/placement.h"
 
@@ -25,9 +31,10 @@ namespace vela::core {
 
 class ExpertBroker : public moe::ExpertBackend {
  public:
-  // `links[n]` connects to worker n. `placement` may be updated later via
-  // set_placement (expert migration). All pointers are non-owning.
-  ExpertBroker(std::vector<comm::DuplexLink*> links,
+  // `rlinks[n]` is the reliable link to worker n. `placement` may be updated
+  // later via set_placement (expert migration). All pointers are non-owning;
+  // MasterProcess keeps the links valid across worker respawns.
+  ExpertBroker(std::vector<ReliableLink*> rlinks,
                const placement::Placement* placement, std::size_t num_layers,
                unsigned wire_bits, bool quantize_wire = false);
 
@@ -51,10 +58,13 @@ class ExpertBroker : public moe::ExpertBackend {
  private:
   void account(std::size_t layer, bool backward_phase, std::size_t worker,
                std::uint64_t bytes, std::uint32_t messages);
+  // Awaits via the worker's ReliableLink, charging retransmitted bytes to
+  // the same (layer, phase, worker) ledger cell as the original request.
   comm::Message await_reply(std::size_t worker, comm::MessageType expected,
-                            std::uint64_t request_id);
+                            std::uint64_t request_id, std::size_t layer,
+                            bool backward_phase);
 
-  std::vector<comm::DuplexLink*> links_;
+  std::vector<ReliableLink*> rlinks_;
   const placement::Placement* placement_;
   std::size_t num_layers_;
   unsigned wire_bits_;

@@ -74,12 +74,50 @@ void ExpertWorker::run() {
   }
 }
 
+bool ExpertWorker::reply_and_cache(std::uint64_t key, comm::Message reply) {
+  constexpr std::size_t kReplyCacheCapacity = 512;
+  reply_cache_[key] = reply;
+  reply_cache_order_.push_back(key);
+  while (reply_cache_order_.size() > kReplyCacheCapacity) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+  return link_->to_master.send(std::move(reply));
+}
+
 void ExpertWorker::run_loop(const std::string& tag) {
+  // (type, id) key matching ReliableLink's: forward and backward of the same
+  // request share an id, so the type must disambiguate the cache entry.
+  const auto dedupe_key = [](const comm::Message& m) {
+    return (static_cast<std::uint64_t>(m.type) << 56) ^ m.request_id;
+  };
   while (true) {
     auto maybe = link_->to_worker.receive();
     if (!maybe.has_value()) break;  // channel closed
     comm::Message msg = std::move(*maybe);
+
+    // Corrupted in flight: drop; the master times out and retransmits.
+    if (!msg.checksum_ok()) {
+      ++corrupt_dropped_;
+      VELA_LOG_DEBUG(tag) << "dropping corrupted " << msg.to_string();
+      continue;
+    }
+    // Already served (duplicate fault or master retransmission after a lost
+    // reply): replay the cached reply, do not re-execute.
+    if (auto it = reply_cache_.find(dedupe_key(msg)); it != reply_cache_.end()) {
+      ++duplicates_replayed_;
+      if (!link_->to_master.send(comm::Message(it->second))) {
+        VELA_LOG_ERROR(tag) << "master channel gone while replaying reply; "
+                               "terminating";
+        link_->to_worker.close();
+        return;
+      }
+      continue;
+    }
+
     const ExpertKey key{msg.layer, msg.expert};
+    const std::uint64_t req_key = dedupe_key(msg);
+    bool sent = true;
     switch (msg.type) {
       case comm::MessageType::kExpertForward: {
         HostedExpert& h = hosted(key);
@@ -98,7 +136,7 @@ void ExpertWorker::run_loop(const std::string& tag) {
         reply.wire_bits = spec_.wire_bits;
         pending_.emplace(msg.request_id, PendingRequest{key, x, y});
         ++requests_served_;
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kExpertBackward: {
@@ -120,7 +158,7 @@ void ExpertWorker::run_loop(const std::string& tag) {
                             ? ops::to_half_precision(req.input.grad())
                             : req.input.grad();
         reply.wire_bits = spec_.wire_bits;
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kOptimizerStep: {
@@ -150,7 +188,7 @@ void ExpertWorker::run_loop(const std::string& tag) {
         reply.type = comm::MessageType::kOptimizerStepDone;
         reply.request_id = msg.request_id;
         reply.step = msg.step;
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kFetchExpert:
@@ -164,7 +202,38 @@ void ExpertWorker::run_loop(const std::string& tag) {
         if (spec_.lora.enabled) reply.payload = pack_trainable(*h.expert);
         reply.wire_bits = spec_.wire_bits;
         if (msg.type == comm::MessageType::kFetchExpert) experts_.erase(key);
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
+        break;
+      }
+      case comm::MessageType::kSnapshotExpert: {
+        HostedExpert& h = hosted(key);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertSnapshot;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        if (spec_.lora.enabled) {
+          reply.payload = pack_full_state(*h.expert, h.optimizer.get());
+        }
+        reply.wire_bits = spec_.wire_bits;
+        sent = reply_and_cache(req_key, std::move(reply));
+        break;
+      }
+      case comm::MessageType::kRestoreExpert: {
+        // Recovery install (or standby refresh when already hosted): frozen
+        // bases re-derive from the seed; the payload (when present) restores
+        // adapters + optimizer moments.
+        if (experts_.count(key) == 0) install_expert(key, nullptr);
+        if (msg.payload.size() > 0) {
+          HostedExpert& h = hosted(key);
+          unpack_full_state(msg.payload, *h.expert, h.optimizer.get());
+        }
+        comm::Message reply;
+        reply.type = comm::MessageType::kRestoreExpertDone;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kLoadExpertState: {
@@ -175,7 +244,7 @@ void ExpertWorker::run_loop(const std::string& tag) {
         reply.request_id = msg.request_id;
         reply.layer = msg.layer;
         reply.expert = msg.expert;
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kInstallExpert: {
@@ -189,8 +258,44 @@ void ExpertWorker::run_loop(const std::string& tag) {
         reply.request_id = msg.request_id;
         reply.layer = msg.layer;
         reply.expert = msg.expert;
-        link_->to_master.send(std::move(reply));
+        sent = reply_and_cache(req_key, std::move(reply));
         break;
+      }
+      case comm::MessageType::kProbe: {
+        comm::Message reply;
+        reply.type = comm::MessageType::kProbeAck;
+        reply.request_id = msg.request_id;
+        sent = reply_and_cache(req_key, std::move(reply));
+        break;
+      }
+      case comm::MessageType::kAbortStep: {
+        // Mid-step failure recovery: discard the in-flight step entirely —
+        // pending tapes and any expert gradients accumulated by partial
+        // backwards — so the retried step starts from clean state.
+        if (!pending_.empty()) {
+          VELA_LOG_DEBUG(tag) << "abort: dropping " << pending_.size()
+                              << " in-flight tapes";
+          pending_.clear();
+        }
+        for (auto& [k, h] : experts_) {
+          if (h.optimizer != nullptr) h.optimizer->zero_grad();
+        }
+        comm::Message reply;
+        reply.type = comm::MessageType::kAbortStepDone;
+        reply.request_id = msg.request_id;
+        sent = reply_and_cache(req_key, std::move(reply));
+        break;
+      }
+      case comm::MessageType::kCrash: {
+        // Injected fault: simulate an abrupt process death. Both channel
+        // directions die and all hosted state is lost; the master's
+        // detection + respawn path takes it from here.
+        VELA_LOG_ERROR(tag) << "injected crash: simulating worker death";
+        experts_.clear();
+        pending_.clear();
+        link_->to_master.close();
+        link_->to_worker.close();
+        return;
       }
       case comm::MessageType::kShutdown: {
         VELA_LOG_DEBUG(tag) << "shutdown";
@@ -199,6 +304,13 @@ void ExpertWorker::run_loop(const std::string& tag) {
       default:
         VELA_CHECK_MSG(false, "worker received unexpected message "
                                   << msg.to_string());
+    }
+    if (!sent) {
+      // The master-side channel is gone (severed link or master teardown):
+      // a structured death instead of silently computing into the void.
+      VELA_LOG_ERROR(tag) << "reply channel closed; worker terminating";
+      link_->to_worker.close();
+      return;
     }
   }
 }

@@ -5,8 +5,16 @@
 // passes when the master ships output gradients, and runs a *local* AdamW
 // per expert at the end of every step — no gradient ever leaves the worker,
 // which is precisely how VELA avoids data parallelism's all-reduce.
+//
+// Request handling is idempotent: every (type, request id) pair is served at
+// most once and its reply cached, so a master retransmission (after a lost
+// request or a lost reply) replays the cached reply instead of re-executing.
+// Checksummed messages that fail verification are dropped — the master's
+// timeout/retry recovers them. Both are prerequisites for the retry layer in
+// core/fault_tolerance.h.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <thread>
@@ -42,6 +50,8 @@ class ExpertWorker {
   // Thread-unsafe introspection; call only after join() (tests).
   std::size_t experts_hosted() const { return experts_.size(); }
   std::size_t requests_served() const { return requests_served_; }
+  std::size_t duplicates_replayed() const { return duplicates_replayed_; }
+  std::size_t corrupt_dropped() const { return corrupt_dropped_; }
 
  private:
   struct HostedExpert {
@@ -58,12 +68,20 @@ class ExpertWorker {
   void run_loop(const std::string& tag);
   void install_expert(const ExpertKey& key, const Tensor* state);
   HostedExpert& hosted(const ExpertKey& key);
+  // Sends a reply and caches a copy under `key` for idempotent replay.
+  // Returns false when the master-side channel is gone (terminate loop).
+  bool reply_and_cache(std::uint64_t key, comm::Message reply);
 
   WorkerSpec spec_;
   comm::DuplexLink* link_;
   std::map<ExpertKey, HostedExpert> experts_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  // (request type, request id) → cached reply, bounded FIFO.
+  std::unordered_map<std::uint64_t, comm::Message> reply_cache_;
+  std::deque<std::uint64_t> reply_cache_order_;
   std::size_t requests_served_ = 0;
+  std::size_t duplicates_replayed_ = 0;
+  std::size_t corrupt_dropped_ = 0;
   std::thread thread_;
 };
 

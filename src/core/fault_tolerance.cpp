@@ -1,0 +1,188 @@
+#include "core/fault_tolerance.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::core {
+
+namespace {
+constexpr std::size_t kRecentCapacity = 1024;
+}  // namespace
+
+comm::MessageType expected_reply_type(comm::MessageType request) {
+  using comm::MessageType;
+  switch (request) {
+    case MessageType::kExpertForward:
+      return MessageType::kExpertForwardResult;
+    case MessageType::kExpertBackward:
+      return MessageType::kExpertBackwardResult;
+    case MessageType::kOptimizerStep:
+      return MessageType::kOptimizerStepDone;
+    case MessageType::kFetchExpert:
+    case MessageType::kQueryExpert:
+      return MessageType::kExpertState;
+    case MessageType::kInstallExpert:
+      return MessageType::kInstallExpertDone;
+    case MessageType::kLoadExpertState:
+      return MessageType::kLoadExpertStateDone;
+    case MessageType::kProbe:
+      return MessageType::kProbeAck;
+    case MessageType::kAbortStep:
+      return MessageType::kAbortStepDone;
+    case MessageType::kSnapshotExpert:
+      return MessageType::kExpertSnapshot;
+    case MessageType::kRestoreExpert:
+      return MessageType::kRestoreExpertDone;
+    default:
+      return request;  // fire-and-forget messages have no reply
+  }
+}
+
+ReliableLink::ReliableLink(std::size_t worker, comm::DuplexLink* link,
+                           const RetryPolicy* policy)
+    : worker_(worker), link_(link), policy_(policy) {
+  VELA_CHECK(link_ != nullptr && policy_ != nullptr);
+}
+
+void ReliableLink::reset(comm::DuplexLink* link) {
+  VELA_CHECK(link != nullptr);
+  abandon_outstanding();
+  link_ = link;
+}
+
+void ReliableLink::remember(std::uint64_t key) {
+  if (recent_.insert(key).second) {
+    recent_order_.push_back(key);
+    while (recent_order_.size() > kRecentCapacity) {
+      recent_.erase(recent_order_.front());
+      recent_order_.pop_front();
+    }
+  }
+}
+
+void ReliableLink::post(comm::Message msg) {
+  comm::Message copy = msg;
+  const std::uint64_t id = msg.request_id;
+  if (!link_->to_worker.send(std::move(msg))) {
+    throw WorkerFailedError(worker_, "channel severed while sending " +
+                                         copy.to_string());
+  }
+  outstanding_[id] = std::move(copy);
+}
+
+void ReliableLink::abandon_outstanding() {
+  for (const auto& [id, req] : outstanding_) {
+    remember(key_of(expected_reply_type(req.type), id));
+  }
+  outstanding_.clear();
+  for (const auto& [key, reply] : stash_) remember(key);
+  stash_.clear();
+}
+
+comm::Message ReliableLink::await(
+    comm::MessageType expected, std::uint64_t request_id,
+    const std::function<void(std::uint64_t)>& on_retransmit,
+    const RetryPolicy* policy_override) {
+  const RetryPolicy& policy =
+      policy_override != nullptr ? *policy_override : *policy_;
+  const std::uint64_t want = key_of(expected, request_id);
+
+  // A reply that raced ahead of this await.
+  if (auto it = stash_.find(want); it != stash_.end()) {
+    comm::Message reply = std::move(it->second);
+    stash_.erase(it);
+    outstanding_.erase(request_id);
+    remember(want);
+    return reply;
+  }
+
+  double timeout_ms = static_cast<double>(policy.timeout.count());
+  for (int attempt = 0;; ++attempt) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(
+                        static_cast<std::int64_t>(timeout_ms));
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) break;
+      comm::Message reply;
+      const PopStatus status = link_->to_master.receive_for(remaining, &reply);
+      if (status == PopStatus::kClosed) {
+        throw WorkerFailedError(worker_,
+                                "channel closed while awaiting " +
+                                    std::string(comm::message_type_name(
+                                        expected)));
+      }
+      if (status == PopStatus::kTimeout) break;
+      if (!reply.checksum_ok()) {
+        ++stats_.corrupt_dropped;
+        VELA_LOG_DEBUG("rlink") << "worker " << worker_
+                                << ": dropping corrupted " << reply.to_string();
+        continue;
+      }
+      const std::uint64_t key = key_of(reply.type, reply.request_id);
+      if (key == want) {
+        outstanding_.erase(request_id);
+        remember(want);
+        return reply;
+      }
+      if (outstanding_.count(reply.request_id) > 0 &&
+          expected_reply_type(outstanding_[reply.request_id].type) ==
+              reply.type) {
+        stash_[key] = std::move(reply);  // out-of-order reply; deliver later
+        continue;
+      }
+      if (recent_.count(key) > 0 || stash_.count(key) > 0) {
+        ++stats_.duplicates_discarded;
+        continue;
+      }
+      VELA_CHECK_MSG(false, "protocol violation: worker "
+                                << worker_ << " sent unexpected "
+                                << reply.to_string() << " while awaiting "
+                                << comm::message_type_name(expected) << "/"
+                                << request_id);
+    }
+
+    // Timed out. Retransmit the stored request, or give the worker up.
+    ++stats_.timeouts;
+    if (attempt >= policy.max_retries) {
+      throw WorkerFailedError(
+          worker_, std::string("no ") + comm::message_type_name(expected) +
+                       " after " + std::to_string(attempt + 1) +
+                       " attempt(s)");
+    }
+    auto it = outstanding_.find(request_id);
+    VELA_CHECK_MSG(it != outstanding_.end(),
+                   "await without a posted request " << request_id);
+    comm::Message resend = it->second;
+    const std::uint64_t bytes = resend.wire_size();
+    ++stats_.retransmissions;
+    VELA_LOG_DEBUG("rlink") << "worker " << worker_ << ": retransmitting "
+                            << resend.to_string() << " (attempt "
+                            << (attempt + 2) << ")";
+    if (!link_->to_worker.send(std::move(resend))) {
+      throw WorkerFailedError(worker_, "channel severed while retransmitting");
+    }
+    if (on_retransmit) on_retransmit(bytes);
+    timeout_ms *= policy.backoff;
+  }
+}
+
+bool ReliableLink::probe(std::uint64_t request_id,
+                         const RetryPolicy* policy_override) {
+  comm::Message msg;
+  msg.type = comm::MessageType::kProbe;
+  msg.request_id = request_id;
+  try {
+    post(std::move(msg));
+    await(comm::MessageType::kProbeAck, request_id, nullptr, policy_override);
+    return true;
+  } catch (const WorkerFailedError&) {
+    outstanding_.erase(request_id);
+    remember(key_of(comm::MessageType::kProbeAck, request_id));
+    return false;
+  }
+}
+
+}  // namespace vela::core

@@ -9,7 +9,12 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
                              const WorkerSpec& spec_template,
                              placement::Placement placement,
                              std::size_t num_layers, std::size_t num_experts)
-    : topology_(topology), meter_(&topology_), placement_(std::move(placement)) {
+    : topology_(topology),
+      meter_(&topology_),
+      placement_(std::move(placement)),
+      spec_template_(spec_template),
+      num_layers_(num_layers),
+      num_experts_(num_experts) {
   VELA_CHECK(placement_.num_layers() == num_layers &&
              placement_.num_experts() == num_experts);
   const std::size_t n = topology_.num_workers();
@@ -17,10 +22,11 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
 
   links_.reserve(n);
   workers_.reserve(n);
+  rlinks_.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     links_.push_back(std::make_unique<comm::DuplexLink>(
         master_node, topology_.worker_node(w), &meter_));
-    WorkerSpec spec = spec_template;
+    WorkerSpec spec = spec_template_;
     spec.worker_id = w;
     spec.node = topology_.worker_node(w);
     std::vector<ExpertKey> assigned;
@@ -31,27 +37,23 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
     workers_.push_back(
         std::make_unique<ExpertWorker>(spec, links_.back().get(), assigned));
     workers_.back()->start();
+    rlinks_.push_back(
+        std::make_unique<ReliableLink>(w, links_.back().get(), &retry_policy_));
   }
-  std::vector<comm::DuplexLink*> link_ptrs;
-  for (auto& link : links_) link_ptrs.push_back(link.get());
-  broker_ = std::make_unique<ExpertBroker>(link_ptrs, &placement_, num_layers,
-                                           spec_template.wire_bits,
-                                           spec_template.quantize_wire);
+  std::vector<ReliableLink*> rlink_ptrs;
+  for (auto& rl : rlinks_) rlink_ptrs.push_back(rl.get());
+  broker_ = std::make_unique<ExpertBroker>(rlink_ptrs, &placement_, num_layers,
+                                           spec_template_.wire_bits,
+                                           spec_template_.quantize_wire);
 }
 
 MasterProcess::~MasterProcess() { shutdown(); }
 
-comm::Message MasterProcess::await(std::size_t worker,
-                                   comm::MessageType expected,
-                                   std::uint64_t request_id) {
-  auto maybe = links_[worker]->to_master.receive();
-  VELA_CHECK_MSG(maybe.has_value(), "worker " << worker << " channel closed");
-  comm::Message reply = std::move(*maybe);
-  VELA_CHECK_MSG(reply.type == expected && reply.request_id == request_id,
-                 "protocol violation: expected " << message_type_name(expected)
-                                                 << ", got "
-                                                 << reply.to_string());
-  return reply;
+comm::Message MasterProcess::exchange(std::size_t worker, comm::Message msg) {
+  const comm::MessageType reply_type = expected_reply_type(msg.type);
+  const std::uint64_t id = msg.request_id;
+  rlinks_[worker]->post(std::move(msg));
+  return rlinks_[worker]->await(reply_type, id);
 }
 
 void MasterProcess::broadcast_optimizer_step(std::uint32_t step,
@@ -65,10 +67,10 @@ void MasterProcess::broadcast_optimizer_step(std::uint32_t step,
     if (scheduled_lr >= 0.0f) {
       msg.payload = Tensor::full({1}, scheduled_lr);
     }
-    VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
+    rlinks_[w]->post(std::move(msg));
   }
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    await(w, comm::MessageType::kOptimizerStepDone, ids[w]);
+    rlinks_[w]->await(comm::MessageType::kOptimizerStepDone, ids[w]);
   }
 }
 
@@ -82,23 +84,26 @@ void MasterProcess::apply_placement(const placement::Placement& next) {
       const std::size_t to = next.worker_of(l, e);
       if (from == to) continue;
       ++moved;
+      const ExpertKey key{static_cast<std::uint32_t>(l),
+                          static_cast<std::uint32_t>(e)};
+      // A standby replica on the destination would collide with the
+      // migrating primary; retire it first.
+      drop_standby(key, to);
+
       comm::Message fetch;
       fetch.type = comm::MessageType::kFetchExpert;
       fetch.request_id = next_request_++;
-      fetch.layer = static_cast<std::uint32_t>(l);
-      fetch.expert = static_cast<std::uint32_t>(e);
-      VELA_CHECK(links_[from]->to_worker.send(std::move(fetch)));
-      comm::Message state = await(from, comm::MessageType::kExpertState,
-                                  next_request_ - 1);
+      fetch.layer = key.layer;
+      fetch.expert = key.expert;
+      comm::Message state = exchange(from, std::move(fetch));
 
       comm::Message install;
       install.type = comm::MessageType::kInstallExpert;
       install.request_id = next_request_++;
-      install.layer = static_cast<std::uint32_t>(l);
-      install.expert = static_cast<std::uint32_t>(e);
+      install.layer = key.layer;
+      install.expert = key.expert;
       install.payload = std::move(state.payload);
-      VELA_CHECK(links_[to]->to_worker.send(std::move(install)));
-      await(to, comm::MessageType::kInstallExpertDone, next_request_ - 1);
+      exchange(to, std::move(install));
     }
   }
   placement_ = next;
@@ -115,8 +120,7 @@ Tensor MasterProcess::query_expert_state(std::size_t layer,
   msg.request_id = next_request_++;
   msg.layer = static_cast<std::uint32_t>(layer);
   msg.expert = static_cast<std::uint32_t>(expert);
-  VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
-  return await(w, comm::MessageType::kExpertState, next_request_ - 1).payload;
+  return exchange(w, std::move(msg)).payload;
 }
 
 void MasterProcess::load_expert_state(std::size_t layer, std::size_t expert,
@@ -128,8 +132,213 @@ void MasterProcess::load_expert_state(std::size_t layer, std::size_t expert,
   msg.layer = static_cast<std::uint32_t>(layer);
   msg.expert = static_cast<std::uint32_t>(expert);
   msg.payload = std::move(state);
-  VELA_CHECK(links_[w]->to_worker.send(std::move(msg)));
-  await(w, comm::MessageType::kLoadExpertStateDone, next_request_ - 1);
+  exchange(w, std::move(msg));
+}
+
+void MasterProcess::attach_fault_injector(comm::FaultInjector* injector) {
+  injector_ = injector;
+  for (std::size_t w = 0; w < links_.size(); ++w) {
+    links_[w]->set_fault_injector(injector_, w);
+  }
+}
+
+bool MasterProcess::probe_worker(std::size_t w) {
+  VELA_CHECK(w < workers_.size());
+  if (links_[w]->to_worker.closed() || links_[w]->to_master.closed()) {
+    return false;
+  }
+  // One retransmission: a single dropped or corrupted ack must not condemn
+  // a live worker. Truly dead workers usually hit the closed-channel fast
+  // path above and never pay these timeouts.
+  RetryPolicy policy = retry_policy_;
+  policy.max_retries = 1;
+  return rlinks_[w]->probe(next_request_++, &policy);
+}
+
+void MasterProcess::snapshot_experts() {
+  if (!spec_template_.lora.enabled) return;
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    for (std::size_t e = 0; e < num_experts_; ++e) {
+      const ExpertKey key{static_cast<std::uint32_t>(l),
+                          static_cast<std::uint32_t>(e)};
+      comm::Message msg;
+      msg.type = comm::MessageType::kSnapshotExpert;
+      msg.request_id = next_request_++;
+      msg.layer = key.layer;
+      msg.expert = key.expert;
+      snapshot_[key] =
+          exchange(placement_.worker_of(l, e), std::move(msg)).payload;
+    }
+  }
+  // Standbys track the snapshot: push the fresh state out so a fail-over
+  // source is never staler than the master's own copy.
+  for (const auto& [key, hosts] : standbys_) {
+    for (const std::size_t s : hosts) {
+      restore_expert(s, key, snapshot_[key]);
+    }
+  }
+}
+
+void MasterProcess::add_standby_replica(std::size_t layer, std::size_t expert,
+                                        std::size_t worker) {
+  VELA_CHECK(worker < workers_.size());
+  const ExpertKey key{static_cast<std::uint32_t>(layer),
+                      static_cast<std::uint32_t>(expert)};
+  VELA_CHECK_MSG(worker != placement_.worker_of(layer, expert),
+                 "standby for " << to_string(key)
+                                << " would land on its own primary");
+  auto& hosts = standbys_[key];
+  for (const std::size_t s : hosts) VELA_CHECK(s != worker);
+
+  Tensor state;
+  if (auto it = snapshot_.find(key); it != snapshot_.end()) {
+    state = it->second;
+  } else if (spec_template_.lora.enabled) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kSnapshotExpert;
+    msg.request_id = next_request_++;
+    msg.layer = key.layer;
+    msg.expert = key.expert;
+    state = exchange(placement_.worker_of(layer, expert), std::move(msg))
+                .payload;
+  }
+  restore_expert(worker, key, std::move(state));
+  hosts.push_back(worker);
+}
+
+void MasterProcess::drop_standby(const ExpertKey& key, std::size_t worker) {
+  auto it = standbys_.find(key);
+  if (it == standbys_.end()) return;
+  auto& hosts = it->second;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i] != worker) continue;
+    comm::Message fetch;
+    fetch.type = comm::MessageType::kFetchExpert;
+    fetch.request_id = next_request_++;
+    fetch.layer = key.layer;
+    fetch.expert = key.expert;
+    exchange(worker, std::move(fetch));  // state discarded; primary is live
+    hosts.erase(hosts.begin() + i);
+    break;
+  }
+  if (hosts.empty()) standbys_.erase(it);
+}
+
+Tensor MasterProcess::recovery_state(const ExpertKey& key, std::size_t dead) {
+  // Prefer a live standby: it was refreshed at the last snapshot and its
+  // fetch is charged to the recovering step like any other traffic.
+  if (auto it = standbys_.find(key); it != standbys_.end()) {
+    for (const std::size_t s : it->second) {
+      if (s == dead) continue;
+      try {
+        comm::Message msg;
+        msg.type = comm::MessageType::kSnapshotExpert;
+        msg.request_id = next_request_++;
+        msg.layer = key.layer;
+        msg.expert = key.expert;
+        recovery_bytes_ += msg.wire_size();
+        comm::Message reply = exchange(s, std::move(msg));
+        recovery_bytes_ += reply.wire_size();
+        return std::move(reply.payload);
+      } catch (const WorkerFailedError&) {
+        // Standby host is failing too; fall through to the next source.
+      }
+    }
+  }
+  if (auto it = snapshot_.find(key); it != snapshot_.end()) return it->second;
+  return {};  // fresh from the seed — lossy, but the step still completes
+}
+
+void MasterProcess::restore_expert(std::size_t w, const ExpertKey& key,
+                                   Tensor state) {
+  comm::Message msg;
+  msg.type = comm::MessageType::kRestoreExpert;
+  msg.request_id = next_request_++;
+  msg.layer = key.layer;
+  msg.expert = key.expert;
+  msg.payload = std::move(state);
+  recovery_bytes_ += msg.wire_size();
+  recovery_bytes_ += exchange(w, std::move(msg)).wire_size();
+}
+
+void MasterProcess::respawn_worker(std::size_t w) {
+  VELA_CHECK(w < workers_.size());
+  VELA_LOG_INFO("master") << "respawning worker " << w;
+  // Tear down whatever is left: close both directions (unblocks a wedged
+  // thread) and join. join() is a no-op if the thread already exited.
+  links_[w]->close();
+  workers_[w]->join();
+
+  auto fresh = std::make_unique<comm::DuplexLink>(
+      topology_.master_node(), topology_.worker_node(w), &meter_);
+  if (injector_ != nullptr) fresh->set_fault_injector(injector_, w);
+  links_[w] = std::move(fresh);
+  rlinks_[w]->reset(links_[w].get());
+
+  WorkerSpec spec = spec_template_;
+  spec.worker_id = w;
+  spec.node = topology_.worker_node(w);
+  // Start empty: every expert is reinstalled over the wire so recovery
+  // traffic is measured, exactly like migration traffic.
+  workers_[w] = std::make_unique<ExpertWorker>(spec, links_[w].get(),
+                                               std::vector<ExpertKey>{});
+  workers_[w]->start();
+  ++workers_recovered_;
+
+  for (const auto& [l, e] : placement_.experts_of(w)) {
+    const ExpertKey key{static_cast<std::uint32_t>(l),
+                        static_cast<std::uint32_t>(e)};
+    restore_expert(w, key, recovery_state(key, w));
+  }
+  // Standby replicas that lived on the dead worker are rebuilt from the
+  // current primaries (or the master snapshot when a primary is also down).
+  for (auto& [key, hosts] : standbys_) {
+    for (const std::size_t s : hosts) {
+      if (s != w) continue;
+      restore_expert(w, key, recovery_state(key, w));
+    }
+  }
+}
+
+std::size_t MasterProcess::recover_step() {
+  // Everything in flight is void: replies may be lost, duplicated or stale.
+  for (auto& rl : rlinks_) rl->abandon_outstanding();
+
+  std::size_t respawned = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!probe_worker(w)) {
+      respawn_worker(w);
+      ++respawned;
+    }
+  }
+  // Discard the in-flight step on the survivors (fresh respawns have
+  // nothing to discard, but the abort is idempotent and cheap).
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kAbortStep;
+    msg.request_id = next_request_++;
+    try {
+      exchange(w, std::move(msg));
+    } catch (const WorkerFailedError&) {
+      // Died between probe and abort: respawn; the fresh worker needs no
+      // abort.
+      respawn_worker(w);
+      ++respawned;
+    }
+  }
+  return respawned;
+}
+
+FaultStats MasterProcess::fault_stats() const {
+  FaultStats total;
+  for (const auto& rl : rlinks_) {
+    const FaultStats& s = rl->stats();
+    total.retransmissions += s.retransmissions;
+    total.timeouts += s.timeouts;
+    total.corrupt_dropped += s.corrupt_dropped;
+    total.duplicates_discarded += s.duplicates_discarded;
+  }
+  return total;
 }
 
 void MasterProcess::shutdown() {
@@ -138,10 +347,14 @@ void MasterProcess::shutdown() {
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     comm::Message msg;
     msg.type = comm::MessageType::kShutdown;
+    // Best effort: a severed link or an already-dead worker returns false,
+    // which is fine — the close below guarantees the thread exits.
     links_[w]->to_worker.send(std::move(msg));
   }
-  for (auto& worker : workers_) worker->join();
+  // close() wakes any worker blocked in receive() once its backlog drains,
+  // so join() cannot hang even for workers that never saw the kShutdown.
   for (auto& link : links_) link->close();
+  for (auto& worker : workers_) worker->join();
 }
 
 }  // namespace vela::core

@@ -2,18 +2,29 @@
 // fleet and the broker, and speaks the control side of the protocol
 // (optimizer-step broadcast, expert migration, shutdown).
 //
+// The fabric is fault-tolerant: every link is wrapped in a ReliableLink
+// (timeouts, retransmission, dedupe — core/fault_tolerance.h), workers can
+// be probed for liveness and respawned in place after a crash, and periodic
+// full-state snapshots (adapters + optimizer moments) plus optional standby
+// replicas (placement/replication.h gives the placement-level rationale)
+// make that respawn lossless. All detection, recovery and snapshot traffic
+// flows through the metered channels like any other traffic.
+//
 // The model backbone and the fine-tuning loop live one level up in
 // VelaSystem; MasterProcess is reusable runtime plumbing.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "cluster/topology.h"
 #include "comm/channel.h"
+#include "comm/fault_injector.h"
 #include "comm/traffic_meter.h"
 #include "core/expert_broker.h"
 #include "core/expert_worker.h"
+#include "core/fault_tolerance.h"
 #include "placement/placement.h"
 
 namespace vela::core {
@@ -54,19 +65,78 @@ class MasterProcess {
   Tensor query_expert_state(std::size_t layer, std::size_t expert);
   void load_expert_state(std::size_t layer, std::size_t expert, Tensor state);
 
-  // Graceful shutdown; also called by the destructor.
+  // --- fault tolerance -------------------------------------------------------
+  // Attaches a fault injector to every link (and to links of workers
+  // respawned later). Null detaches.
+  void attach_fault_injector(comm::FaultInjector* injector);
+  comm::FaultInjector* fault_injector() const { return injector_; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Heartbeat: true if worker `w` answers a probe within one retry-policy
+  // timeout. Never throws.
+  bool probe_worker(std::size_t w);
+
+  // Pulls a full recovery snapshot (LoRA adapters + AdamW moments) of every
+  // expert from its hosting worker, and refreshes standby replicas from it.
+  // Metered; charge it to whichever step triggers it. No-op without LoRA.
+  void snapshot_experts();
+  std::size_t snapshots_held() const { return snapshot_.size(); }
+
+  // Registers and provisions a standby replica of (layer, expert) on
+  // `worker` (must differ from the current primary). The standby receives
+  // state on every snapshot_experts() refresh, is never routed tokens, and
+  // is the preferred recovery source when the primary's worker dies.
+  void add_standby_replica(std::size_t layer, std::size_t expert,
+                           std::size_t worker);
+
+  // Mid-step failure recovery: abandons all in-flight requests, probes the
+  // fleet, respawns every dead worker on its original device (rebuilding
+  // frozen bases from the seed and restoring adapter/optimizer state from a
+  // live standby replica, else the last snapshot, else fresh), and aborts
+  // the in-flight step on surviving workers (tapes + partial gradients are
+  // discarded). Returns the number of workers respawned. Recovery traffic is
+  // metered and tallied in recovery_bytes().
+  std::size_t recover_step();
+
+  // Tears down and rebuilds one worker; recover_step() drives this.
+  void respawn_worker(std::size_t w);
+
+  // --- fault accounting ------------------------------------------------------
+  // Aggregated retry-layer counters over all links.
+  FaultStats fault_stats() const;
+  std::size_t workers_recovered() const { return workers_recovered_; }
+  std::uint64_t recovery_bytes() const { return recovery_bytes_; }
+
+  // Graceful shutdown; also called by the destructor. Robust to workers
+  // that already died (no hang, no double-join).
   void shutdown();
 
  private:
-  comm::Message await(std::size_t worker, comm::MessageType expected,
-                      std::uint64_t request_id);
+  comm::Message exchange(std::size_t worker, comm::Message msg);
+  // Best recovery state for (layer, expert) when worker `dead` is gone:
+  // live standby → master snapshot → empty (fresh from seed).
+  Tensor recovery_state(const ExpertKey& key, std::size_t dead);
+  void restore_expert(std::size_t w, const ExpertKey& key, Tensor state);
+  void drop_standby(const ExpertKey& key, std::size_t worker);
 
   cluster::ClusterTopology topology_;
   comm::TrafficMeter meter_;
   placement::Placement placement_;
+  WorkerSpec spec_template_;
+  std::size_t num_layers_ = 0;
+  std::size_t num_experts_ = 0;
+  RetryPolicy retry_policy_;  // must outlive rlinks_ (they point at it)
   std::vector<std::unique_ptr<comm::DuplexLink>> links_;
   std::vector<std::unique_ptr<ExpertWorker>> workers_;
+  std::vector<std::unique_ptr<ReliableLink>> rlinks_;
   std::unique_ptr<ExpertBroker> broker_;
+  comm::FaultInjector* injector_ = nullptr;
+  std::map<ExpertKey, Tensor> snapshot_;
+  std::map<ExpertKey, std::vector<std::size_t>> standbys_;
+  std::size_t workers_recovered_ = 0;
+  std::uint64_t recovery_bytes_ = 0;
   std::uint64_t next_request_ = 1u << 20;  // distinct from broker ids
   bool down_ = false;
 };

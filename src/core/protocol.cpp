@@ -45,6 +45,41 @@ void unpack_trainable(const Tensor& packed, nn::Module& module) {
   }
 }
 
+Tensor pack_full_state(const nn::Module& module, const nn::AdamW* optimizer) {
+  const Tensor params = pack_trainable(module);
+  const Tensor opt =
+      optimizer != nullptr ? optimizer->pack_state() : Tensor{};
+  Tensor packed({1 + params.size() + opt.size()});
+  packed[0] = static_cast<float>(params.size());
+  std::copy(params.data(), params.data() + params.size(), packed.data() + 1);
+  if (opt.size() > 0) {
+    std::copy(opt.data(), opt.data() + opt.size(),
+              packed.data() + 1 + params.size());
+  }
+  return packed;
+}
+
+void unpack_full_state(const Tensor& packed, nn::Module& module,
+                       nn::AdamW* optimizer) {
+  VELA_CHECK_MSG(packed.size() >= 1, "full state blob is empty");
+  const std::size_t param_count = static_cast<std::size_t>(packed[0]);
+  VELA_CHECK_MSG(1 + param_count <= packed.size(),
+                 "full state blob truncated: declares " << param_count
+                                                        << " params in "
+                                                        << packed.size()
+                                                        << " floats");
+  Tensor params({param_count});
+  std::copy(packed.data() + 1, packed.data() + 1 + param_count, params.data());
+  unpack_trainable(params, module);
+  const std::size_t opt_size = packed.size() - 1 - param_count;
+  if (optimizer != nullptr && opt_size > 0) {
+    Tensor opt({opt_size});
+    std::copy(packed.data() + 1 + param_count,
+              packed.data() + packed.size(), opt.data());
+    optimizer->load_state(opt);
+  }
+}
+
 std::string to_string(const ExpertKey& key) {
   return "(" + std::to_string(key.layer) + ", " + std::to_string(key.expert) +
          ")";

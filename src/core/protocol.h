@@ -40,6 +40,15 @@ Tensor pack_trainable(const nn::Module& module);
 // trainable parameters. Sizes must match exactly.
 void unpack_trainable(const Tensor& packed, nn::Module& module);
 
+// Full recovery state of a hosted expert: [param count, params...,
+// optimizer state...]. Unlike pack_trainable this also carries the AdamW
+// step count and moment buffers, so restoring onto a respawned worker
+// resumes training bit-exactly (adapter-only restores reset the moments and
+// perturb every later update). `optimizer` may be null (frozen experts).
+Tensor pack_full_state(const nn::Module& module, const nn::AdamW* optimizer);
+void unpack_full_state(const Tensor& packed, nn::Module& module,
+                       nn::AdamW* optimizer);
+
 // Key for an expert within the whole model.
 struct ExpertKey {
   std::uint32_t layer = 0;

@@ -93,8 +93,14 @@ StepReport VelaSystem::train_step(
 StepReport VelaSystem::train_step_accumulated(
     const std::vector<std::vector<std::vector<std::size_t>>>& micro_batches) {
   VELA_CHECK(!micro_batches.empty());
+  comm::FaultInjector* injector = master_->fault_injector();
+  const std::uint64_t faults_before =
+      injector != nullptr ? injector->faults_injected() : 0;
+  const std::size_t recovered_before = master_->workers_recovered();
+  const std::uint64_t recovery_bytes_before = master_->recovery_bytes();
+  std::size_t retries = 0;
+
   master_->broker().begin_step();
-  backbone_optimizer_->zero_grad();
 
   float scheduled_lr = -1.0f;
   if (lr_schedule_ != nullptr) {
@@ -106,18 +112,54 @@ StepReport VelaSystem::train_step_accumulated(
   // the backbone, in the workers' local tapes for the experts — before one
   // optimizer step. Each micro-batch is scaled so the update equals the
   // mean-gradient update over the combined batch.
+  //
+  // Graceful degradation: a worker failure anywhere in the forward/backward
+  // sweep aborts the attempt (no optimizer has stepped yet), recovers the
+  // fleet, and re-runs the whole sweep. With a current snapshot the retry
+  // starts from exactly the pre-step state, so it is bit-identical to a
+  // fault-free step. Traffic of the failed attempt stays charged to this
+  // step — those bytes really crossed the network.
   const float inv_m = 1.0f / static_cast<float>(micro_batches.size());
   double loss_total = 0.0;
-  for (const auto& batch : micro_batches) {
-    ag::Variable loss =
-        model_->loss_batch(batch, nullptr, cfg_.aux_loss_weight);
-    loss_total += loss.value()[0];
-    ag::backward(micro_batches.size() == 1 ? loss : ag::scale(loss, inv_m));
+  for (;;) {
+    try {
+      backbone_optimizer_->zero_grad();
+      loss_total = 0.0;
+      for (const auto& batch : micro_batches) {
+        ag::Variable loss =
+            model_->loss_batch(batch, nullptr, cfg_.aux_loss_weight);
+        loss_total += loss.value()[0];
+        ag::backward(micro_batches.size() == 1 ? loss : ag::scale(loss, inv_m));
+      }
+      break;
+    } catch (const WorkerFailedError& err) {
+      if (!ft_enabled_ || static_cast<int>(retries) >= ft_.max_step_retries) {
+        throw;
+      }
+      ++retries;
+      VELA_LOG_ERROR("vela") << "step " << step_ << " attempt failed ("
+                             << err.what() << "); recovering and retrying";
+      master_->recover_step();
+    }
   }
 
   backbone_optimizer_->step();
-  master_->broadcast_optimizer_step(static_cast<std::uint32_t>(step_),
-                                    scheduled_lr);
+  try {
+    master_->broadcast_optimizer_step(static_cast<std::uint32_t>(step_),
+                                      scheduled_lr);
+  } catch (const WorkerFailedError& err) {
+    // Commit-phase failure: the backbone and the surviving workers have
+    // already applied this step's update (the broadcast is idempotent on
+    // survivors thanks to reply caching), so the step is NOT re-run. The
+    // respawned worker restores the last snapshot and loses at most this
+    // one expert update — bounded staleness, like an async straggler.
+    if (!ft_enabled_) throw;
+    ++retries;
+    VELA_LOG_ERROR("vela") << "step " << step_ << " commit-phase failure ("
+                           << err.what()
+                           << "); respawned worker resumes one update behind";
+    master_->recover_step();
+  }
 
   // Dynamic re-placement: migration traffic (if any) is charged to this
   // step — the price of adapting to routing drift.
@@ -126,6 +168,12 @@ StepReport VelaSystem::train_step_accumulated(
     if (auto next = replanner_->maybe_replan(master_->placement())) {
       master_->apply_placement(*next);
     }
+  }
+
+  // Periodic recovery snapshot; its traffic is metered into this step.
+  if (ft_enabled_ && ft_.snapshot_interval > 0 &&
+      (step_ + 1) % ft_.snapshot_interval == 0) {
+    master_->snapshot_experts();
   }
 
   const comm::VelaStepRecord record = master_->broker().finish_step();
@@ -139,8 +187,30 @@ StepReport VelaSystem::train_step_accumulated(
                                                  1);
   report.comm_seconds = clock_->vela_comm_seconds(record);
   report.step_seconds = clock_->vela_step_seconds(record);
+  report.retries = retries;
+  report.workers_recovered = master_->workers_recovered() - recovered_before;
+  report.recovery_mb =
+      static_cast<double>(master_->recovery_bytes() - recovery_bytes_before) /
+      1e6;
+  if (injector != nullptr) {
+    report.faults_injected = injector->faults_injected() - faults_before;
+    // Delay faults are virtual: the injector accrues seconds, the step
+    // pays them.
+    report.injected_delay_seconds = injector->consume_delay_seconds();
+    report.comm_seconds += report.injected_delay_seconds;
+    report.step_seconds += report.injected_delay_seconds;
+  }
   history_.push_back(report);
   return report;
+}
+
+void VelaSystem::enable_fault_tolerance(const FaultToleranceConfig& cfg) {
+  ft_ = cfg;
+  ft_enabled_ = true;
+  master_->set_retry_policy(cfg.retry);
+  // Provision the initial restore point; setup traffic, not step traffic.
+  master_->snapshot_experts();
+  master_->meter().discard_current();
 }
 
 void VelaSystem::set_lr_schedule(const nn::LrSchedule* schedule) {

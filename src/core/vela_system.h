@@ -57,6 +57,28 @@ struct StepReport {
   double external_mb_per_node = 0.0;  // measured bytes (Fig. 5 series)
   double comm_seconds = 0.0;          // modelled communication time
   double step_seconds = 0.0;          // modelled comm + compute (Fig. 6)
+  // --- fault tolerance (all zero on a healthy run) ---------------------------
+  std::size_t faults_injected = 0;    // injector events during this step
+  std::size_t retries = 0;            // step-level recovery retries
+  std::size_t workers_recovered = 0;  // workers respawned during this step
+  double recovery_mb = 0.0;           // state-restoration traffic (in the
+                                      // meter too; broken out here)
+  double injected_delay_seconds = 0.0;  // virtual delay-fault time, already
+                                        // included in comm/step_seconds
+};
+
+// Opt-in resilience for train_step: on a WorkerFailedError the fleet is
+// probed, dead workers respawned (state restored from the last snapshot),
+// and the step retried. Defaults make crash recovery lossless: with a
+// snapshot every step, a retried step re-runs from exactly the pre-step
+// state, so the loss sequence is bit-identical to a fault-free run.
+struct FaultToleranceConfig {
+  RetryPolicy retry;           // per-request timeout / retransmission budget
+  int max_step_retries = 3;    // whole-step retries before giving up
+  // Steps between full-state snapshots (adapters + optimizer moments);
+  // 0 disables periodic snapshots. Snapshot traffic is metered and charged
+  // to the step that takes it.
+  std::size_t snapshot_interval = 1;
 };
 
 class VelaSystem {
@@ -111,6 +133,23 @@ class VelaSystem {
                                   double tokens_per_step);
   const Replanner* replanner() const { return replanner_.get(); }
 
+  // --- fault tolerance -------------------------------------------------------
+  // Turns on graceful degradation (see FaultToleranceConfig): installs the
+  // retry policy on every link and takes an initial snapshot so even a
+  // first-step crash has a restore point. The provisioning snapshot's
+  // traffic is discarded (setup, like initial placement); periodic refresh
+  // snapshots are charged to the step that takes them.
+  void enable_fault_tolerance(const FaultToleranceConfig& cfg = {});
+  bool fault_tolerance_enabled() const { return ft_enabled_; }
+
+  // Attaches a deterministic fault injector to every master↔worker link
+  // (comm/fault_injector.h). Null detaches. The injector must outlive the
+  // system. Injected faults, step retries, respawned workers and recovery
+  // traffic all surface in the StepReport.
+  void attach_fault_injector(comm::FaultInjector* injector) {
+    master_->attach_fault_injector(injector);
+  }
+
   // --- access ---------------------------------------------------------------
   model::MoETransformer& model() { return *model_; }
   MasterProcess& master() { return *master_; }
@@ -137,6 +176,8 @@ class VelaSystem {
   placement::LocalityAwareReport placement_report_;
   const nn::LrSchedule* lr_schedule_ = nullptr;
   std::unique_ptr<Replanner> replanner_;
+  bool ft_enabled_ = false;
+  FaultToleranceConfig ft_;
   std::size_t step_ = 0;
   std::vector<StepReport> history_;
 };

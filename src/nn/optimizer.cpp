@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -57,6 +58,38 @@ void AdamW::step() {
       // Decoupled weight decay (AdamW, not Adam-with-L2).
       w[j] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
                          cfg_.weight_decay * w[j]);
+    }
+  }
+}
+
+Tensor AdamW::pack_state() const {
+  std::size_t per_buffer = 0;
+  for (const auto& m : m_) per_buffer += m.size();
+  Tensor packed({1 + 2 * per_buffer});
+  packed[0] = static_cast<float>(t_);
+  std::size_t offset = 1;
+  for (const auto& buf : {&m_, &v_}) {
+    for (const auto& t : *buf) {
+      std::copy(t.data(), t.data() + t.size(), packed.data() + offset);
+      offset += t.size();
+    }
+  }
+  return packed;
+}
+
+void AdamW::load_state(const Tensor& packed) {
+  std::size_t per_buffer = 0;
+  for (const auto& m : m_) per_buffer += m.size();
+  VELA_CHECK_MSG(packed.size() == 1 + 2 * per_buffer,
+                 "optimizer state size " << packed.size() << " != expected "
+                                         << (1 + 2 * per_buffer));
+  t_ = static_cast<std::size_t>(packed[0]);
+  std::size_t offset = 1;
+  for (auto* buf : {&m_, &v_}) {
+    for (auto& t : *buf) {
+      std::copy(packed.data() + offset, packed.data() + offset + t.size(),
+                t.data());
+      offset += t.size();
     }
   }
 }

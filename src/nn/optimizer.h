@@ -69,6 +69,15 @@ class AdamW : public Optimizer {
   const AdamWConfig& config() const { return cfg_; }
   std::size_t steps_taken() const { return t_; }
 
+  // Packs the internal state (step count + both moment buffers) into one
+  // rank-1 tensor: [t, m..., v...]. Together with the packed parameters this
+  // makes a worker respawn bit-exact — Adam's bias correction depends on t,
+  // so restoring moments without it would silently change every later
+  // update.
+  Tensor pack_state() const;
+  // Inverse of pack_state; sizes must match this optimizer's parameters.
+  void load_state(const Tensor& packed);
+
  private:
   AdamWConfig cfg_;
   std::size_t t_ = 0;

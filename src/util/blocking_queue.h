@@ -3,6 +3,7 @@
 // which is how the runtime shuts worker threads down cleanly.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -10,6 +11,10 @@
 #include <utility>
 
 namespace vela {
+
+// Outcome of a timed pop (fault-tolerant receivers must tell a quiet link
+// apart from a dead one).
+enum class PopStatus { kOk, kTimeout, kClosed };
 
 template <typename T>
 class BlockingQueue {
@@ -38,6 +43,21 @@ class BlockingQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  // Blocks up to `timeout` for an item. kOk stores the item in *out;
+  // kTimeout means the queue stayed empty and open; kClosed means closed and
+  // drained.
+  PopStatus pop_for(std::chrono::milliseconds timeout, T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !items_.empty() || closed_; })) {
+      return PopStatus::kTimeout;
+    }
+    if (items_.empty()) return PopStatus::kClosed;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return PopStatus::kOk;
   }
 
   // Non-blocking pop.
