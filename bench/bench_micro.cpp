@@ -3,15 +3,22 @@
 // distributed tiny-model training step.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "autograd/ops.h"
 #include "comm/channel.h"
 #include "core/vela_system.h"
 #include "data/corpus.h"
 #include "moe/gate.h"
 #include "moe/moe_block.h"
+#include "nn/expert.h"
 #include "placement/locality_aware.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -126,6 +133,120 @@ void BM_DenseMoEBlockForward(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseMoEBlockForward);
 
+// --- threads-vs-throughput sweep --------------------------------------------
+// The same kernels at pool sizes 1/2/4/8 (results are bit-identical across
+// sizes; only wall-clock may change). Registered as google-benchmark cases
+// and, in main(), re-run as a manual timed sweep that emits
+// bench_parallel.json for the scaling record.
+
+void BM_MatmulThreads(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = 256;
+  Rng rng(1);
+  Tensor a = ops::randn({n, n}, rng);
+  Tensor b = ops::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExpertForwardThreads(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  nn::SwiGLUExpert expert("bench.expert", 64, 128, nn::LoRAConfig{}, rng);
+  Rng xr(7);
+  Tensor x = ops::randn({256, 64}, xr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expert.forward(ag::Variable::constant(x)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 256);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_ExpertForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Times `iters` calls of `fn` and returns seconds elapsed.
+template <typename Fn>
+double time_calls(int iters, const Fn& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void write_bench_parallel_json() {
+  const std::size_t kMat = 256;
+  Rng rng(1);
+  const Tensor a = ops::randn({kMat, kMat}, rng);
+  const Tensor b = ops::randn({kMat, kMat}, rng);
+  Rng er(6);
+  const nn::SwiGLUExpert expert("sweep.expert", 64, 128, nn::LoRAConfig{}, er);
+  Rng xr(7);
+  const Tensor x = ops::randn({256, 64}, xr);
+
+  struct Point {
+    std::size_t threads;
+    double matmul_gflops;
+    double expert_tokens_per_s;
+  };
+  std::vector<Point> points;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    // Warm the pool and the caches before timing.
+    ops::matmul(a, b);
+    expert.forward(ag::Variable::constant(x));
+    const int mat_iters = 20;
+    const double mat_s = time_calls(mat_iters, [&] {
+      benchmark::DoNotOptimize(ops::matmul(a, b));
+    });
+    const int fwd_iters = 50;
+    const double fwd_s = time_calls(fwd_iters, [&] {
+      benchmark::DoNotOptimize(expert.forward(ag::Variable::constant(x)));
+    });
+    points.push_back(
+        {threads,
+         2.0 * kMat * kMat * kMat * mat_iters / mat_s / 1e9,
+         256.0 * fwd_iters / fwd_s});
+  }
+  util::ThreadPool::set_global_threads(0);
+
+  std::FILE* f = std::fopen("bench_parallel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open bench_parallel.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"matmul_n\": %zu,\n  \"sweep\": [\n", kMat);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"matmul_gflops\": %.3f, "
+                 "\"matmul_speedup_vs_1\": %.3f, "
+                 "\"expert_fwd_tokens_per_s\": %.1f, "
+                 "\"expert_fwd_speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.matmul_gflops,
+                 p.matmul_gflops / points[0].matmul_gflops,
+                 p.expert_tokens_per_s,
+                 p.expert_tokens_per_s / points[0].expert_tokens_per_s,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote bench_parallel.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_parallel_json();
+  return 0;
+}

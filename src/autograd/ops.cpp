@@ -1,14 +1,34 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace vela::ag {
 
 using detail::Node;
+
+namespace {
+
+// Row-parallel helper: rows are independent in every kernel below, so chunk
+// boundaries (fixed by row count and grain) never affect the result.
+void for_rows(std::size_t n, std::size_t cols,
+              const std::function<void(std::size_t)>& row_fn) {
+  constexpr std::size_t kRowGrainElems = 16384;
+  const std::size_t grain =
+      std::max<std::size_t>(1, kRowGrainElems / std::max<std::size_t>(cols, 1));
+  util::ThreadPool::global().parallel_for(
+      n, grain, [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i) row_fn(i);
+      });
+}
+
+}  // namespace
 
 Variable add(const Variable& a, const Variable& b) {
   Tensor value = ops::add(a.value(), b.value());
@@ -102,7 +122,7 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
   // Precompute the per-row inverse RMS once; the backward closure reuses it.
   auto inv_rms = std::make_shared<std::vector<float>>(n);
   Tensor value({n, m});
-  for (std::size_t i = 0; i < n; ++i) {
+  for_rows(n, m, [&](std::size_t i) {
     double ss = 0.0;
     for (std::size_t j = 0; j < m; ++j) ss += double(xv.at(i, j)) * xv.at(i, j);
     const float r =
@@ -110,14 +130,14 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
     (*inv_rms)[i] = r;
     for (std::size_t j = 0; j < m; ++j)
       value.at(i, j) = xv.at(i, j) * r * gain.value().at(j);
-  }
+  });
   return make_op(std::move(value), {x, gain}, [inv_rms, n, m](Node& node) {
     const Tensor& xv = node.parents[0]->value;
     const Tensor& g = node.parents[1]->value;
     const Tensor& dy = node.grad;
     if (node.parents[0]->requires_grad) {
       Tensor dx({n, m});
-      for (std::size_t i = 0; i < n; ++i) {
+      for_rows(n, m, [&](std::size_t i) {
         const float r = (*inv_rms)[i];
         double proj = 0.0;  // Σ_j dy_j g_j x_j
         for (std::size_t j = 0; j < m; ++j)
@@ -126,7 +146,7 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
             static_cast<float>(proj) * r * r * r / static_cast<float>(m);
         for (std::size_t j = 0; j < m; ++j)
           dx.at(i, j) = r * g.at(j) * dy.at(i, j) - c * xv.at(i, j);
-      }
+      });
       node.parents[0]->accumulate_grad(dx);
     }
     if (node.parents[1]->requires_grad) {
@@ -147,13 +167,13 @@ namespace {
 Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
   const std::size_t n = y.rows(), m = y.cols();
   Tensor dz({n, m});
-  for (std::size_t i = 0; i < n; ++i) {
+  for_rows(n, m, [&](std::size_t i) {
     double inner = 0.0;
     for (std::size_t j = 0; j < m; ++j)
       inner += double(dy.at(i, j)) * y.at(i, j);
     for (std::size_t j = 0; j < m; ++j)
       dz.at(i, j) = (dy.at(i, j) - static_cast<float>(inner)) * y.at(i, j);
-  }
+  });
   return dz;
 }
 
@@ -172,7 +192,7 @@ Variable causal_masked_softmax(const Variable& scores) {
                  "causal mask requires a square score matrix");
   const std::size_t t = s.rows();
   Tensor value({t, t});
-  for (std::size_t i = 0; i < t; ++i) {
+  for_rows(t, t, [&](std::size_t i) {
     float mx = s.at(i, 0);
     for (std::size_t j = 1; j <= i; ++j) mx = std::max(mx, s.at(i, j));
     double total = 0.0;
@@ -184,7 +204,7 @@ Variable causal_masked_softmax(const Variable& scores) {
     const float inv = static_cast<float>(1.0 / total);
     for (std::size_t j = 0; j <= i; ++j) value.at(i, j) *= inv;
     // j > i stays exactly zero: masked out.
-  }
+  });
   return make_op(std::move(value), {scores}, [](Node& n) {
     // Masked entries have y == 0, so softmax_backward already yields zero
     // gradient for them.

@@ -1,7 +1,10 @@
 #include "core/expert_broker.h"
 
+#include <functional>
+
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace vela::core {
 
@@ -83,11 +86,30 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
     std::uint64_t request_id;
     std::size_t expert;
   };
+  // Overlap dispatch serialization with itself: the per-group wire payloads
+  // (fp16 quantization, or a plain copy) are built as parallel tasks before
+  // the sequential post loop, so expert compute on the workers starts while
+  // later groups are still being packed. Posting order, accounting order and
+  // byte counts are exactly the serial ones — only the packing is concurrent.
+  std::vector<Tensor> wire(groups.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      tasks.push_back([this, &groups, &wire, i] {
+        const Tensor& x = groups[i].second.value();
+        wire[i] = quantize_wire_ ? ops::to_half_precision(x) : x;
+      });
+    }
+    util::ThreadPool::global().run(tasks);
+  }
+
   // Token dispatcher: send every group before receiving anything, so all
   // workers compute concurrently.
   std::vector<Outstanding> outstanding;
   outstanding.reserve(groups.size());
-  for (const auto& [expert, xs] : groups) {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::size_t expert = groups[i].first;
     const std::size_t worker = placement_->worker_of(layer, expert);
     const std::uint64_t request_id = next_request_++;
     comm::Message msg;
@@ -95,8 +117,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
     msg.request_id = request_id;
     msg.layer = static_cast<std::uint32_t>(layer);
     msg.expert = static_cast<std::uint32_t>(expert);
-    msg.payload =
-        quantize_wire_ ? ops::to_half_precision(xs.value()) : xs.value();
+    msg.payload = std::move(wire[i]);
     msg.wire_bits = wire_bits_;
     account(layer, /*backward=*/false, worker, msg.wire_size(), 1);
     rlinks_[worker]->post(std::move(msg));

@@ -1,9 +1,13 @@
 #include "core/expert_worker.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "tensor/ops.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vela::core {
 
@@ -86,15 +90,148 @@ bool ExpertWorker::reply_and_cache(std::uint64_t key, comm::Message reply) {
 }
 
 void ExpertWorker::run_loop(const std::string& tag) {
-  // (type, id) key matching ReliableLink's: forward and backward of the same
-  // request share an id, so the type must disambiguate the cache entry.
-  const auto dedupe_key = [](const comm::Message& m) {
-    return (static_cast<std::uint64_t>(m.type) << 56) ^ m.request_id;
-  };
   while (true) {
     auto maybe = link_->to_worker.receive();
     if (!maybe.has_value()) break;  // channel closed
-    comm::Message msg = std::move(*maybe);
+    // Drain whatever else already queued up behind it: consecutive compute
+    // requests inside the batch become parallel tasks on the shared pool
+    // while control traffic keeps its strict arrival-order handling.
+    std::vector<comm::Message> batch;
+    batch.push_back(std::move(*maybe));
+    while (auto more = link_->to_worker.try_receive()) {
+      batch.push_back(std::move(*more));
+    }
+    if (!process_batch(std::move(batch), tag)) return;
+  }
+}
+
+bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
+  // Serial semantics on a missing expert: every request before it completes
+  // and replies, then the failed lookup kills the worker. Truncate the run at
+  // the first unhosted expert, compute the valid prefix, then let hosted()
+  // raise for the offender.
+  std::size_t valid = run.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (experts_.count({run[i].layer, run[i].expert}) == 0) {
+      valid = i;
+      break;
+    }
+  }
+  struct Slot {
+    ag::Variable x;
+    ag::Variable y;
+    comm::Message reply;
+  };
+  std::vector<Slot> slots(valid);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(valid);
+  for (std::size_t i = 0; i < valid; ++i) {
+    // Forwards only read expert weights, and each task owns its own request
+    // payload and slot, so distinct requests are data-race free even when
+    // they hit the same expert.
+    tasks.push_back([this, &run, &slots, i] {
+      comm::Message& msg = run[i];
+      Slot& s = slots[i];
+      nn::SwiGLUExpert& expert =
+          *experts_.at({msg.layer, msg.expert}).expert;
+      s.x = ag::Variable::leaf(std::move(msg.payload), /*requires_grad=*/true);
+      s.y = expert.forward(s.x);
+      comm::Message reply;
+      reply.type = comm::MessageType::kExpertForwardResult;
+      reply.request_id = msg.request_id;
+      reply.layer = msg.layer;
+      reply.expert = msg.expert;
+      reply.step = msg.step;
+      reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
+                          ? ops::to_half_precision(s.y.value())
+                          : s.y.value();
+      reply.wire_bits = spec_.wire_bits;
+      s.reply = std::move(reply);
+    });
+  }
+  util::ThreadPool::global().run(tasks);
+  // Bookkeeping and replies stay on the worker thread, in arrival order, so
+  // the master observes exactly the serial reply sequence.
+  for (std::size_t i = 0; i < valid; ++i) {
+    pending_.emplace(run[i].request_id,
+                     PendingRequest{{run[i].layer, run[i].expert}, slots[i].x,
+                                    slots[i].y});
+    ++requests_served_;
+    if (!reply_and_cache(dedupe_key(run[i]), std::move(slots[i].reply))) {
+      return false;
+    }
+  }
+  if (valid < run.size()) hosted({run[valid].layer, run[valid].expert});
+  return true;
+}
+
+bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
+  // Same truncation contract as forward runs, for unknown request ids.
+  std::size_t valid = run.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (pending_.count(run[i].request_id) == 0) {
+      valid = i;
+      break;
+    }
+  }
+  struct Slot {
+    PendingRequest req;
+    comm::Message reply;
+  };
+  std::vector<Slot> slots(valid);
+  // Group by expert: backwards for the same expert accumulate into the same
+  // LoRA gradient buffers, so they run sequentially inside one task (in
+  // arrival order — the serial accumulation order); distinct experts touch
+  // disjoint parameter nodes and run as parallel tasks. std::map keys the
+  // groups in fixed expert-id order.
+  std::map<ExpertKey, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < valid; ++i) {
+    auto it = pending_.find(run[i].request_id);
+    slots[i].req = std::move(it->second);
+    pending_.erase(it);
+    groups[slots[i].req.key].push_back(i);
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(groups.size());
+  for (auto& [key, indices] : groups) {
+    tasks.push_back([this, &run, &slots, &indices = indices] {
+      for (const std::size_t i : indices) {
+        comm::Message& msg = run[i];
+        Slot& s = slots[i];
+        // Resume backpropagation: expert LoRA gradients accumulate locally;
+        // only the input gradient returns to the master.
+        ag::backward_from(s.req.output, msg.payload);
+        comm::Message reply;
+        reply.type = comm::MessageType::kExpertBackwardResult;
+        reply.request_id = msg.request_id;
+        reply.layer = msg.layer;
+        reply.expert = msg.expert;
+        reply.step = msg.step;
+        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
+                            ? ops::to_half_precision(s.req.input.grad())
+                            : s.req.input.grad();
+        reply.wire_bits = spec_.wire_bits;
+        s.reply = std::move(reply);
+      }
+    });
+  }
+  util::ThreadPool::global().run(tasks);
+  for (std::size_t i = 0; i < valid; ++i) {
+    if (!reply_and_cache(dedupe_key(run[i]), std::move(slots[i].reply))) {
+      return false;
+    }
+  }
+  VELA_CHECK_MSG(valid == run.size(),
+                 "backward for unknown request " << run[valid].request_id);
+  return true;
+}
+
+bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
+                                 const std::string& tag) {
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    comm::Message msg = std::move(batch[i]);
+    ++i;
 
     // Corrupted in flight: drop; the master times out and retransmits.
     if (!msg.checksum_ok()) {
@@ -110,7 +247,36 @@ void ExpertWorker::run_loop(const std::string& tag) {
         VELA_LOG_ERROR(tag) << "master channel gone while replaying reply; "
                                "terminating";
         link_->to_worker.close();
-        return;
+        return false;
+      }
+      continue;
+    }
+
+    // A run of compute requests: extend it with same-type, clean,
+    // not-yet-served messages from the rest of the batch (a (type, id) pair
+    // repeated within the batch breaks the run so the second copy hits the
+    // reply cache, exactly as it would serially).
+    if (msg.type == comm::MessageType::kExpertForward ||
+        msg.type == comm::MessageType::kExpertBackward) {
+      std::vector<comm::Message> run;
+      run.push_back(std::move(msg));
+      while (i < batch.size() && batch[i].type == run.front().type &&
+             batch[i].checksum_ok() &&
+             reply_cache_.find(dedupe_key(batch[i])) == reply_cache_.end() &&
+             std::none_of(run.begin(), run.end(),
+                          [&](const comm::Message& m) {
+                            return dedupe_key(m) == dedupe_key(batch[i]);
+                          })) {
+        run.push_back(std::move(batch[i]));
+        ++i;
+      }
+      const bool ok = run.front().type == comm::MessageType::kExpertForward
+                          ? handle_forward_run(run)
+                          : handle_backward_run(run);
+      if (!ok) {
+        VELA_LOG_ERROR(tag) << "reply channel closed; worker terminating";
+        link_->to_worker.close();
+        return false;
       }
       continue;
     }
@@ -119,48 +285,6 @@ void ExpertWorker::run_loop(const std::string& tag) {
     const std::uint64_t req_key = dedupe_key(msg);
     bool sent = true;
     switch (msg.type) {
-      case comm::MessageType::kExpertForward: {
-        HostedExpert& h = hosted(key);
-        ag::Variable x = ag::Variable::leaf(std::move(msg.payload),
-                                            /*requires_grad=*/true);
-        ag::Variable y = h.expert->forward(x);
-        comm::Message reply;
-        reply.type = comm::MessageType::kExpertForwardResult;
-        reply.request_id = msg.request_id;
-        reply.layer = msg.layer;
-        reply.expert = msg.expert;
-        reply.step = msg.step;
-        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
-                            ? ops::to_half_precision(y.value())
-                            : y.value();
-        reply.wire_bits = spec_.wire_bits;
-        pending_.emplace(msg.request_id, PendingRequest{key, x, y});
-        ++requests_served_;
-        sent = reply_and_cache(req_key, std::move(reply));
-        break;
-      }
-      case comm::MessageType::kExpertBackward: {
-        auto it = pending_.find(msg.request_id);
-        VELA_CHECK_MSG(it != pending_.end(),
-                       "backward for unknown request " << msg.request_id);
-        PendingRequest req = std::move(it->second);
-        pending_.erase(it);
-        // Resume backpropagation: expert LoRA gradients accumulate locally;
-        // only the input gradient returns to the master.
-        ag::backward_from(req.output, msg.payload);
-        comm::Message reply;
-        reply.type = comm::MessageType::kExpertBackwardResult;
-        reply.request_id = msg.request_id;
-        reply.layer = msg.layer;
-        reply.expert = msg.expert;
-        reply.step = msg.step;
-        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
-                            ? ops::to_half_precision(req.input.grad())
-                            : req.input.grad();
-        reply.wire_bits = spec_.wire_bits;
-        sent = reply_and_cache(req_key, std::move(reply));
-        break;
-      }
       case comm::MessageType::kOptimizerStep: {
         // Forward-only passes (profiling) leave tapes that never receive a
         // backward; the step boundary retires them.
@@ -178,11 +302,20 @@ void ExpertWorker::run_loop(const std::string& tag) {
             }
           }
         }
-        for (auto& [k, h] : experts_) {
-          if (h.optimizer != nullptr) {
-            h.optimizer->step();
-            h.optimizer->zero_grad();
+        // Per-expert AdamW states are disjoint, so the steps run as parallel
+        // tasks; experts_ is a std::map, so task order is fixed expert-id
+        // order regardless of pool size.
+        {
+          std::vector<std::function<void()>> tasks;
+          for (auto& [k, h] : experts_) {
+            if (h.optimizer != nullptr) {
+              tasks.push_back([&opt = *h.optimizer] {
+                opt.step();
+                opt.zero_grad();
+              });
+            }
           }
+          util::ThreadPool::global().run(tasks);
         }
         comm::Message reply;
         reply.type = comm::MessageType::kOptimizerStepDone;
@@ -295,11 +428,11 @@ void ExpertWorker::run_loop(const std::string& tag) {
         pending_.clear();
         link_->to_master.close();
         link_->to_worker.close();
-        return;
+        return false;
       }
       case comm::MessageType::kShutdown: {
         VELA_LOG_DEBUG(tag) << "shutdown";
-        return;
+        return false;
       }
       default:
         VELA_CHECK_MSG(false, "worker received unexpected message "
@@ -310,9 +443,10 @@ void ExpertWorker::run_loop(const std::string& tag) {
       // a structured death instead of silently computing into the void.
       VELA_LOG_ERROR(tag) << "reply channel closed; worker terminating";
       link_->to_worker.close();
-      return;
+      return false;
     }
   }
+  return true;
 }
 
 }  // namespace vela::core

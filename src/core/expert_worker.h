@@ -66,11 +66,27 @@ class ExpertWorker {
 
   void run();
   void run_loop(const std::string& tag);
+  // Drains and handles one batch of messages. Consecutive forward (resp.
+  // backward) requests are computed as parallel tasks on the shared
+  // util::ThreadPool; everything else is handled serially in arrival order.
+  // Returns false when the worker must terminate (closed channel, shutdown
+  // or injected crash).
+  bool process_batch(std::vector<comm::Message> batch, const std::string& tag);
+  // Computes a run of forward (backward) requests in parallel and sends the
+  // replies in arrival order. Backward runs are grouped by expert id so each
+  // expert's gradient accumulation stays sequential (and so deterministic).
+  bool handle_forward_run(std::vector<comm::Message>& run);
+  bool handle_backward_run(std::vector<comm::Message>& run);
   void install_expert(const ExpertKey& key, const Tensor* state);
   HostedExpert& hosted(const ExpertKey& key);
   // Sends a reply and caches a copy under `key` for idempotent replay.
   // Returns false when the master-side channel is gone (terminate loop).
   bool reply_and_cache(std::uint64_t key, comm::Message reply);
+  static std::uint64_t dedupe_key(const comm::Message& m) {
+    // (type, id) key matching ReliableLink's: forward and backward of the
+    // same request share an id, so the type disambiguates the cache entry.
+    return (static_cast<std::uint64_t>(m.type) << 56) ^ m.request_id;
+  }
 
   WorkerSpec spec_;
   comm::DuplexLink* link_;

@@ -157,6 +157,18 @@ bool MasterProcess::probe_worker(std::size_t w) {
 
 void MasterProcess::snapshot_experts() {
   if (!spec_template_.lora.enabled) return;
+  // Post every snapshot request up front so worker-side state packing for
+  // later experts overlaps with receiving earlier replies, then collect in
+  // request order (ReliableLink stashes out-of-order arrivals). Same
+  // messages, same bytes, same retry semantics as the serial
+  // exchange-per-expert loop — only the waiting overlaps.
+  struct Outstanding {
+    ExpertKey key;
+    std::size_t worker;
+    std::uint64_t request_id;
+  };
+  std::vector<Outstanding> outstanding;
+  outstanding.reserve(num_layers_ * num_experts_);
   for (std::size_t l = 0; l < num_layers_; ++l) {
     for (std::size_t e = 0; e < num_experts_; ++e) {
       const ExpertKey key{static_cast<std::uint32_t>(l),
@@ -166,9 +178,17 @@ void MasterProcess::snapshot_experts() {
       msg.request_id = next_request_++;
       msg.layer = key.layer;
       msg.expert = key.expert;
-      snapshot_[key] =
-          exchange(placement_.worker_of(l, e), std::move(msg)).payload;
+      const std::size_t worker = placement_.worker_of(l, e);
+      const std::uint64_t id = msg.request_id;
+      rlinks_[worker]->post(std::move(msg));
+      outstanding.push_back({key, worker, id});
     }
+  }
+  for (const auto& o : outstanding) {
+    snapshot_[o.key] = rlinks_[o.worker]
+                           ->await(comm::MessageType::kExpertSnapshot,
+                                   o.request_id)
+                           .payload;
   }
   // Standbys track the snapshot: push the fresh state out so a fail-over
   // source is never staler than the master's own copy.

@@ -3,6 +3,7 @@
 #include "core/checkpoint.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vela::core {
 
@@ -26,6 +27,11 @@ VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
                        const data::SyntheticCorpus* plant_corpus,
                        const model::PlantingConfig& planting)
     : cfg_(cfg) {
+  // Warm the shared compute pool before any worker thread races to build it,
+  // and surface the lane count once per system (VELA_THREADS overrides the
+  // hardware default; results are bit-identical at any size).
+  VELA_LOG_INFO("vela") << "thread pool: "
+                        << util::ThreadPool::global().size() << " lane(s)";
   cluster::ClusterTopology topology(cfg.cluster);
 
   WorkerSpec spec;

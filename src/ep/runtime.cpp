@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "nn/expert.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vela::ep {
 namespace {
@@ -70,9 +72,34 @@ class ExpertServer {
       while (true) {
         auto maybe = inbox_->receive();
         if (!maybe.has_value()) return;
-        comm::Message msg = std::move(*maybe);
-        if (msg.type == comm::MessageType::kShutdown) return;
-        handle(std::move(msg));
+        // Drain the backlog: runs of same-type compute requests across all
+        // peers become parallel tasks on the shared pool. Per-(server,
+        // source) reply FIFO order is preserved because replies always go
+        // out on this thread in arrival order.
+        std::vector<comm::Message> batch;
+        batch.push_back(std::move(*maybe));
+        while (auto more = inbox_->try_receive()) {
+          batch.push_back(std::move(*more));
+        }
+        std::size_t i = 0;
+        while (i < batch.size()) {
+          const comm::MessageType type = batch[i].type;
+          if (type == comm::MessageType::kShutdown) return;
+          if (type == comm::MessageType::kExpertForward ||
+              type == comm::MessageType::kExpertBackward) {
+            std::size_t j = i;
+            while (j < batch.size() && batch[j].type == type) ++j;
+            if (type == comm::MessageType::kExpertForward) {
+              handle_forward_run(batch, i, j);
+            } else {
+              handle_backward_run(batch, i, j);
+            }
+            i = j;
+            continue;
+          }
+          handle(std::move(batch[i]));
+          ++i;
+        }
       }
     } catch (const CheckError& err) {
       VELA_LOG_ERROR(tag) << "server terminating on protocol error: "
@@ -81,57 +108,134 @@ class ExpertServer {
     }
   }
 
-  void handle(comm::Message msg) {
-    const ExpertKey key{msg.layer, msg.expert};
-    switch (msg.type) {
-      case comm::MessageType::kExpertForward: {
-        auto it = experts_.find(key);
-        VELA_CHECK_MSG(it != experts_.end(),
-                       "shard " << shard_ << " does not own expert "
-                                << core::to_string(key));
-        ag::Variable x =
-            ag::Variable::leaf(std::move(msg.payload), /*requires_grad=*/true);
-        ag::Variable y = it->second.expert->forward(x);
+  // Computes batch[b, e) — all kExpertForward — as parallel tasks. Forwards
+  // only read expert weights and each task owns its request payload and
+  // output slot, so concurrent requests (even for the same expert) are safe.
+  void handle_forward_run(std::vector<comm::Message>& batch, std::size_t b,
+                          std::size_t e) {
+    const std::size_t count = e - b;
+    // Serial semantics on an unowned expert: every request before it still
+    // replies; truncate, compute the prefix, then raise for the offender.
+    std::size_t valid = count;
+    for (std::size_t k = 0; k < count; ++k) {
+      if (experts_.count({batch[b + k].layer, batch[b + k].expert}) == 0) {
+        valid = k;
+        break;
+      }
+    }
+    struct Slot {
+      ag::Variable x;
+      ag::Variable y;
+      comm::Message reply;
+    };
+    std::vector<Slot> slots(valid);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(valid);
+    for (std::size_t k = 0; k < valid; ++k) {
+      tasks.push_back([this, &batch, &slots, b, k] {
+        comm::Message& msg = batch[b + k];
+        Slot& s = slots[k];
+        nn::SwiGLUExpert& expert =
+            *experts_.at({msg.layer, msg.expert}).expert;
+        s.x = ag::Variable::leaf(std::move(msg.payload),
+                                 /*requires_grad=*/true);
+        s.y = expert.forward(s.x);
         comm::Message reply;
         reply.type = comm::MessageType::kExpertForwardResult;
         reply.request_id = msg.request_id;
         reply.source = static_cast<std::uint32_t>(shard_);
         reply.layer = msg.layer;
         reply.expert = msg.expert;
-        reply.payload = y.value();
+        reply.payload = s.y.value();
         reply.wire_bits = cfg_.wire_bits;
-        pending_.emplace(msg.request_id, Pending{x, y});
-        VELA_CHECK(reply_[msg.source]->send(std::move(reply)));
+        s.reply = std::move(reply);
+      });
+    }
+    util::ThreadPool::global().run(tasks);
+    for (std::size_t k = 0; k < valid; ++k) {
+      pending_.emplace(batch[b + k].request_id, Pending{slots[k].x, slots[k].y});
+      VELA_CHECK(reply_[batch[b + k].source]->send(std::move(slots[k].reply)));
+    }
+    if (valid < count) {
+      VELA_CHECK_MSG(false, "shard " << shard_ << " does not own expert "
+                                     << core::to_string(ExpertKey{
+                                            batch[b + valid].layer,
+                                            batch[b + valid].expert}));
+    }
+  }
+
+  // Computes batch[b, e) — all kExpertBackward. Backwards for the same
+  // expert accumulate into shared LoRA gradient buffers, so they stay
+  // sequential (in arrival order) within one task; distinct experts touch
+  // disjoint parameter nodes and run in parallel.
+  void handle_backward_run(std::vector<comm::Message>& batch, std::size_t b,
+                           std::size_t e) {
+    const std::size_t count = e - b;
+    std::size_t valid = count;
+    for (std::size_t k = 0; k < count; ++k) {
+      if (pending_.count(batch[b + k].request_id) == 0) {
+        valid = k;
         break;
       }
-      case comm::MessageType::kExpertBackward: {
-        auto it = pending_.find(msg.request_id);
-        VELA_CHECK_MSG(it != pending_.end(),
-                       "EP backward for unknown request " << msg.request_id);
-        Pending req = std::move(it->second);
-        pending_.erase(it);
-        ag::backward_from(req.output, msg.payload);
-        comm::Message reply;
-        reply.type = comm::MessageType::kExpertBackwardResult;
-        reply.request_id = msg.request_id;
-        reply.source = static_cast<std::uint32_t>(shard_);
-        reply.layer = msg.layer;
-        reply.expert = msg.expert;
-        reply.payload = req.input.grad();
-        reply.wire_bits = cfg_.wire_bits;
-        VELA_CHECK(reply_[msg.source]->send(std::move(reply)));
-        break;
-      }
+    }
+    struct Slot {
+      Pending req;
+      comm::Message reply;
+    };
+    std::vector<Slot> slots(valid);
+    std::map<ExpertKey, std::vector<std::size_t>> groups;
+    for (std::size_t k = 0; k < valid; ++k) {
+      auto it = pending_.find(batch[b + k].request_id);
+      slots[k].req = std::move(it->second);
+      pending_.erase(it);
+      groups[{batch[b + k].layer, batch[b + k].expert}].push_back(k);
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(groups.size());
+    for (auto& [key, indices] : groups) {
+      tasks.push_back([this, &batch, &slots, b, &indices = indices] {
+        for (const std::size_t k : indices) {
+          comm::Message& msg = batch[b + k];
+          Slot& s = slots[k];
+          ag::backward_from(s.req.output, msg.payload);
+          comm::Message reply;
+          reply.type = comm::MessageType::kExpertBackwardResult;
+          reply.request_id = msg.request_id;
+          reply.source = static_cast<std::uint32_t>(shard_);
+          reply.layer = msg.layer;
+          reply.expert = msg.expert;
+          reply.payload = s.req.input.grad();
+          reply.wire_bits = cfg_.wire_bits;
+          s.reply = std::move(reply);
+        }
+      });
+    }
+    util::ThreadPool::global().run(tasks);
+    for (std::size_t k = 0; k < valid; ++k) {
+      VELA_CHECK(reply_[batch[b + k].source]->send(std::move(slots[k].reply)));
+    }
+    VELA_CHECK_MSG(valid == count, "EP backward for unknown request "
+                                       << batch[b + valid].request_id);
+  }
+
+  void handle(comm::Message msg) {
+    switch (msg.type) {
       case comm::MessageType::kOptimizerStep: {
         // Forward-only passes (evaluation) leave tapes without a backward;
         // the step boundary retires them.
         pending_.clear();
+        // Disjoint per-expert AdamW states step as parallel tasks, in fixed
+        // expert-id order (experts_ is a std::map).
+        std::vector<std::function<void()>> tasks;
         for (auto& [k, hosted] : experts_) {
           if (hosted.optimizer != nullptr) {
-            hosted.optimizer->step();
-            hosted.optimizer->zero_grad();
+            tasks.push_back([&opt = *hosted.optimizer] {
+              opt.step();
+              opt.zero_grad();
+            });
           }
         }
+        util::ThreadPool::global().run(tasks);
         comm::Message reply;
         reply.type = comm::MessageType::kOptimizerStepDone;
         reply.request_id = msg.request_id;

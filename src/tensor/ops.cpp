@@ -7,9 +7,24 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace vela::ops {
 namespace {
+
+// Grain sizes for the parallel kernels. Chunk boundaries depend only on the
+// problem size and these constants — never on the pool size — so per-chunk
+// work (and, for reductions, the partial-merge order) is identical under any
+// VELA_THREADS, which is what makes the parallel kernels bit-compatible with
+// the serial reference. Small inputs produce a single chunk and run inline.
+constexpr std::size_t kElemGrain = 16384;    // elements per elementwise chunk
+constexpr std::size_t kReduceGrain = 8192;   // elements per reduction chunk
+constexpr std::size_t kMatmulGrainFlops = 1 << 16;  // ~mults per row block
+
+// Row grain so one chunk carries roughly `target` scalar mults of work.
+std::size_t row_grain(std::size_t row_cost, std::size_t target) {
+  return std::max<std::size_t>(1, target / std::max<std::size_t>(row_cost, 1));
+}
 
 Tensor elementwise_binary(const Tensor& a, const Tensor& b,
                           float (*f)(float, float)) {
@@ -17,14 +32,40 @@ Tensor elementwise_binary(const Tensor& a, const Tensor& b,
                                       << a.shape_string() << " vs "
                                       << b.shape_string());
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  util::ThreadPool::global().parallel_for(
+      a.size(), kElemGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
+      });
   return out;
 }
 
 Tensor elementwise_unary(const Tensor& a, float (*f)(float)) {
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  util::ThreadPool::global().parallel_for(
+      a.size(), kElemGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = f(a[i]);
+      });
   return out;
+}
+
+// Fixed-partition reduction: per-chunk partials in double, merged in chunk
+// order. The single-chunk case degenerates to the plain serial loop.
+template <typename PerElement>
+double chunked_reduce(std::size_t n, const PerElement& pe) {
+  const std::size_t chunks = (n + kReduceGrain - 1) / kReduceGrain;
+  std::vector<double> partial(chunks, 0.0);
+  util::ThreadPool::global().parallel_for(
+      n, kReduceGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t c) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += pe(i);
+        partial[c] = acc;
+      });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
 }
 
 float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
@@ -81,16 +122,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // ikj loop order: streams over b rows, cache friendly without tiling.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * m;
-      float* crow = pc + i * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Row-blocked across the pool: each chunk owns a contiguous slice of
+  // output rows, so the per-element accumulation order (ikj, streaming over
+  // b rows — cache friendly without tiling) is the serial order exactly.
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(k * m, kMatmulGrainFlops),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * m;
+            float* crow = pc + i * m;
+            for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      });
   return c;
 }
 
@@ -103,16 +150,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * n;
-    const float* brow = pb + kk * m;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Output rows are blocked across the pool; within a block the kk-outer
+  // order is kept, so every c[i][j] accumulates over kk ascending — the same
+  // order as the serial sweep, hence bit-identical.
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(k * m, kMatmulGrainFlops),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float* arow = pa + kk * n;
+          const float* brow = pb + kk * m;
+          for (std::size_t i = r0; i < r1; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f) continue;
+            float* crow = pc + i * m;
+            for (std::size_t j = 0; j < m; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      });
   return c;
 }
 
@@ -125,15 +179,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < m; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * m + j] = acc;
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(k * m, kMatmulGrainFlops),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* arow = pa + i * k;
+          for (std::size_t j = 0; j < m; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            pc[i * m + j] = acc;
+          }
+        }
+      });
   return c;
 }
 
@@ -150,15 +208,18 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
   VELA_CHECK(a.rank() == 2 && bias.rank() == 1 && a.cols() == bias.dim(0));
   Tensor out = a;
   const std::size_t n = a.rows(), m = a.cols();
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j) out.at(i, j) += bias.at(j);
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(m, kElemGrain),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i)
+          for (std::size_t j = 0; j < m; ++j) out.at(i, j) += bias.at(j);
+      });
   return out;
 }
 
 float sum(const Tensor& a) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i];
-  return static_cast<float>(acc);
+  return static_cast<float>(
+      chunked_reduce(a.size(), [&](std::size_t i) { return double(a[i]); }));
 }
 
 float mean(const Tensor& a) {
@@ -168,9 +229,8 @@ float mean(const Tensor& a) {
 
 float dot(const Tensor& a, const Tensor& b) {
   VELA_CHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += double(a[i]) * b[i];
-  return static_cast<float>(acc);
+  return static_cast<float>(chunked_reduce(
+      a.size(), [&](std::size_t i) { return double(a[i]) * b[i]; }));
 }
 
 float max_abs(const Tensor& a) {
@@ -183,9 +243,25 @@ float l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
 
 Tensor sum_rows(const Tensor& a) {
   VELA_CHECK(a.rank() == 2);
-  Tensor out({a.cols()});
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) out.at(j) += a.at(i, j);
+  const std::size_t n = a.rows(), m = a.cols();
+  Tensor out({m});
+  const std::size_t grain = row_grain(m, kReduceGrain);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j) out.at(j) += a.at(i, j);
+    return out;
+  }
+  // Fixed row partition; per-chunk partial rows merged in chunk order keep
+  // the per-column accumulation order identical at any pool size.
+  Tensor partial({chunks, m});
+  util::ThreadPool::global().parallel_for(
+      n, grain, [&](std::size_t r0, std::size_t r1, std::size_t c) {
+        for (std::size_t i = r0; i < r1; ++i)
+          for (std::size_t j = 0; j < m; ++j) partial.at(c, j) += a.at(i, j);
+      });
+  for (std::size_t c = 0; c < chunks; ++c)
+    for (std::size_t j = 0; j < m; ++j) out.at(j) += partial.at(c, j);
   return out;
 }
 
@@ -193,18 +269,23 @@ Tensor softmax_rows(const Tensor& logits) {
   VELA_CHECK(logits.rank() == 2);
   const std::size_t n = logits.rows(), m = logits.cols();
   Tensor out({n, m});
-  for (std::size_t i = 0; i < n; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
-    double total = 0.0;
-    for (std::size_t j = 0; j < m; ++j) {
-      const float e = std::exp(logits.at(i, j) - mx);
-      out.at(i, j) = e;
-      total += e;
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (std::size_t j = 0; j < m; ++j) out.at(i, j) *= inv;
-  }
+  // Rows are independent: block them across the pool.
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(m, kElemGrain),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float mx = -std::numeric_limits<float>::infinity();
+          for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
+          double total = 0.0;
+          for (std::size_t j = 0; j < m; ++j) {
+            const float e = std::exp(logits.at(i, j) - mx);
+            out.at(i, j) = e;
+            total += e;
+          }
+          const float inv = static_cast<float>(1.0 / total);
+          for (std::size_t j = 0; j < m; ++j) out.at(i, j) *= inv;
+        }
+      });
   return out;
 }
 
@@ -212,14 +293,20 @@ Tensor log_softmax_rows(const Tensor& logits) {
   VELA_CHECK(logits.rank() == 2);
   const std::size_t n = logits.rows(), m = logits.cols();
   Tensor out({n, m});
-  for (std::size_t i = 0; i < n; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
-    double total = 0.0;
-    for (std::size_t j = 0; j < m; ++j) total += std::exp(logits.at(i, j) - mx);
-    const float lse = mx + static_cast<float>(std::log(total));
-    for (std::size_t j = 0; j < m; ++j) out.at(i, j) = logits.at(i, j) - lse;
-  }
+  util::ThreadPool::global().parallel_for(
+      n, row_grain(m, kElemGrain),
+      [&](std::size_t r0, std::size_t r1, std::size_t) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float mx = -std::numeric_limits<float>::infinity();
+          for (std::size_t j = 0; j < m; ++j) mx = std::max(mx, logits.at(i, j));
+          double total = 0.0;
+          for (std::size_t j = 0; j < m; ++j)
+            total += std::exp(logits.at(i, j) - mx);
+          const float lse = mx + static_cast<float>(std::log(total));
+          for (std::size_t j = 0; j < m; ++j)
+            out.at(i, j) = logits.at(i, j) - lse;
+        }
+      });
   return out;
 }
 
@@ -324,19 +411,25 @@ bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
 
 Tensor to_half_precision(const Tensor& a) {
   Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    // Round-trip through IEEE fp16 semantics: keep 10 mantissa bits.
-    float x = a[i];
-    if (!std::isfinite(x)) {
-      out[i] = x;
-      continue;
-    }
-    // Scale so the mantissa truncation happens at the fp16 precision level.
-    int exp = 0;
-    const float frac = std::frexp(x, &exp);
-    const float scaled = std::ldexp(std::nearbyint(std::ldexp(frac, 11)), -11);
-    out[i] = std::ldexp(scaled, exp);
-  }
+  util::ThreadPool::global().parallel_for(
+      a.size(), kElemGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          // Round-trip through IEEE fp16 semantics: keep 10 mantissa bits.
+          float x = a[i];
+          if (!std::isfinite(x)) {
+            out[i] = x;
+            continue;
+          }
+          // Scale so the mantissa truncation happens at the fp16 precision
+          // level.
+          int exp = 0;
+          const float frac = std::frexp(x, &exp);
+          const float scaled =
+              std::ldexp(std::nearbyint(std::ldexp(frac, 11)), -11);
+          out[i] = std::ldexp(scaled, exp);
+        }
+      });
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "core/vela_system.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace vela {
 namespace {
@@ -658,6 +659,41 @@ TEST(FaultRecovery, SoakFiftyStepsUnderContinuousFaults) {
   EXPECT_GE(total(run.reports, &core::StepReport::faults_injected), 10u);
   EXPECT_EQ(run.workers_recovered, 2u);
   // Still training: the tail is clearly below the head despite the noise.
+  EXPECT_LT(run.reports.back().loss, run.reports.front().loss);
+}
+
+TEST(FaultRecovery, TwoHundredStepsMixedFaultsUnderParallelCompute) {
+  // Stress the interaction of the two subsystems: a 4-lane compute pool
+  // (parallel expert forwards/backwards and batched worker inboxes) under
+  // continuous background faults plus three scripted worker crashes, for
+  // 200 fine-tuning iterations. Retry/replay and batch-parallel execution
+  // must compose: every step finishes with finite loss, every crashed
+  // worker is recovered, and the model is still learning at the end.
+  util::ThreadPool::set_global_threads(4);
+  comm::FaultPlan plan;
+  plan.drop_rate = 0.003;
+  plan.corrupt_rate = 0.003;
+  plan.duplicate_rate = 0.008;
+  plan.delay_rate = 0.008;
+  plan.delay_seconds = 0.02;
+  plan.seed = 4096;
+  plan.rules.push_back(
+      {1, comm::LinkDir::kToWorker, 9, comm::FaultKind::kCrashWorker, 0.0});
+  plan.rules.push_back(
+      {3, comm::LinkDir::kToWorker, 200, comm::FaultKind::kCrashWorker, 0.0});
+  plan.rules.push_back(
+      {0, comm::LinkDir::kToWorker, 450, comm::FaultKind::kCrashWorker, 0.0});
+  core::FaultToleranceConfig ft = fast_ft();
+  ft.snapshot_interval = 10;
+  FaultedRun run = run_finetune(200, &plan, ft);
+  util::ThreadPool::set_global_threads(0);  // restore the environment default
+
+  ASSERT_EQ(run.reports.size(), 200u);
+  for (const auto& r : run.reports) {
+    EXPECT_TRUE(std::isfinite(r.loss));
+  }
+  EXPECT_GE(total(run.reports, &core::StepReport::faults_injected), 20u);
+  EXPECT_EQ(run.workers_recovered, 3u);
   EXPECT_LT(run.reports.back().loss, run.reports.front().loss);
 }
 
