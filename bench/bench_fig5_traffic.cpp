@@ -7,76 +7,21 @@
 // pattern — the same control the paper's testbed gives.
 #include <cstdio>
 
-#include "bench_common.h"
-#include "core/step_simulator.h"
-#include "ep/expert_parallel.h"
-#include "util/csv.h"
-#include "util/stats.h"
+#include "fig_csv.h"
 
 using namespace vela;
 using namespace vela::bench;
 
 namespace {
 
-struct SeriesStats {
-  RunningStat seq, rnd, vela, ep;
-  RunningStat vela_head, vela_tail;  // first/last 100 steps (drift check)
-};
-
 void run_setting(const Setting& setting, CsvWriter& csv) {
   cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
-  SettingRuntime runtime(setting);
-
-  // Placement phase: VELA profiles P before fine-tuning (§IV-B) and solves
-  // the LP; baselines need no profile.
-  const auto problem = make_problem(setting, topology, runtime.probability);
-  StrategySet placements = make_placements(problem, setting.seed + 99);
-
-  core::VelaTrafficModelConfig vt_cfg;
-  vt_cfg.bytes_per_token = setting.model.bytes_per_token();
-  core::VelaTrafficModel vela_model(&topology, vt_cfg);
-
-  ep::EpConfig ep_cfg;
-  ep_cfg.bytes_per_token = setting.model.bytes_per_token();
-  ep_cfg.backbone_grad_bytes = backbone_lora_grad_bytes(setting.model);
-  ep::ExpertParallelModel ep_model(&topology, ep_cfg);
-
-  const double nodes = static_cast<double>(topology.num_nodes());
-  SeriesStats stats;
   std::printf("\n--- %s ---\n", setting.name.c_str());
   std::printf("%-6s %12s %12s %12s %12s   (MB/node)\n", "step", "Sequential",
               "Random", "Vela", "EP");
-  for (std::size_t step = 0; step < kFineTuneSteps; ++step) {
-    const auto plans = runtime.router.sample_step(kTokensPerStep);
-    const double seq_mb =
-        double(vela_model.external_bytes(
-            vela_model.account_step(plans, placements.sequential))) /
-        1e6 / nodes;
-    const double rnd_mb =
-        double(vela_model.external_bytes(
-            vela_model.account_step(plans, placements.random))) /
-        1e6 / nodes;
-    const double vela_mb =
-        double(vela_model.external_bytes(
-            vela_model.account_step(plans, placements.vela))) /
-        1e6 / nodes;
-    const double ep_mb =
-        double(ep_model.external_bytes(ep_model.account_step(plans))) / 1e6 /
-        nodes;
-    stats.seq.add(seq_mb);
-    stats.rnd.add(rnd_mb);
-    stats.vela.add(vela_mb);
-    stats.ep.add(ep_mb);
-    if (step < 100) stats.vela_head.add(vela_mb);
-    if (step + 100 >= kFineTuneSteps) stats.vela_tail.add(vela_mb);
-    csv.row({setting.name, std::to_string(step), std::to_string(seq_mb),
-             std::to_string(rnd_mb), std::to_string(vela_mb),
-             std::to_string(ep_mb)});
-    if (step % 100 == 0 || step == kFineTuneSteps - 1) {
-      std::printf("%-6zu %12.1f %12.1f %12.1f %12.1f\n", step, seq_mb, rnd_mb,
-                  vela_mb, ep_mb);
-    }
-  }
+  const Fig5SettingStats stats =
+      emit_fig5_setting(setting, topology, csv, kFineTuneSteps, kTokensPerStep,
+                        /*print_progress=*/true);
   std::printf("  mean: %10.1f %12.1f %12.1f %12.1f\n", stats.seq.mean(),
               stats.rnd.mean(), stats.vela.mean(), stats.ep.mean());
   std::printf("  Vela reduction vs EP:        %5.1f%%  (paper: 17.3%%-25.3%%)\n",
@@ -100,9 +45,7 @@ int main() {
                   .c_str());
   std::printf("Workload: K = %zu tokens/step (batch 8 x seq 256), %zu steps\n",
               kTokensPerStep, kFineTuneSteps);
-  CsvWriter csv("fig5_traffic.csv",
-                {"setting", "step", "sequential_mb", "random_mb", "vela_mb",
-                 "ep_mb"});
+  CsvWriter csv("fig5_traffic.csv", fig5_columns());
   for (const auto& setting : paper_settings()) {
     run_setting(setting, csv);
   }

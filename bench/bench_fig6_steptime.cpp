@@ -1,5 +1,7 @@
 // Reproduces Fig. 6: average time to complete one fine-tuning step for
-// {EP, Sequential, Random, Vela} on the four evaluation settings.
+// {EP, Sequential, Random, Vela} on the four evaluation settings, plus the
+// vela+overlap series (the same measured bytes under the micro-chunked
+// dispatch pipeline's clock, DESIGN.md §8).
 //
 // Byte counts are measured per step (same sampled routing for all systems);
 // the CommClock converts them to time with the paper's measured bandwidths.
@@ -7,11 +9,7 @@
 // systems run the same FLOPs and differ only in communication pattern.
 #include <cstdio>
 
-#include "bench_common.h"
-#include "core/step_simulator.h"
-#include "ep/expert_parallel.h"
-#include "util/csv.h"
-#include "util/stats.h"
+#include "fig_csv.h"
 
 using namespace vela;
 using namespace vela::bench;
@@ -25,56 +23,37 @@ namespace {
 //   spread over 6 GPUs ≈ 2.66e13 each → ≈ 1.9 s.
 constexpr double kComputeSeconds = 1.9;
 
+// Pipeline depth of the vela+overlap series (VELA_OVERLAP=8): deep enough to
+// hide most of each phase's transfer under its compute slice, shallow enough
+// that per-chunk latency terms stay irrelevant (byte counts don't change).
+constexpr std::size_t kOverlapChunks = 8;
+
 void run_setting(const Setting& setting, CsvWriter& csv) {
   cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
-  SettingRuntime runtime(setting);
-
-  const auto problem = make_problem(setting, topology, runtime.probability);
-  StrategySet placements = make_placements(problem, setting.seed + 99);
-
-  core::VelaTrafficModelConfig vt_cfg;
-  vt_cfg.bytes_per_token = setting.model.bytes_per_token();
-  core::VelaTrafficModel vela_model(&topology, vt_cfg);
-
-  ep::EpConfig ep_cfg;
-  ep_cfg.bytes_per_token = setting.model.bytes_per_token();
-  ep_cfg.backbone_grad_bytes = backbone_lora_grad_bytes(setting.model);
-  ep::ExpertParallelModel ep_model(&topology, ep_cfg);
-
-  comm::CommClockConfig clock_cfg;
-  clock_cfg.compute_seconds = kComputeSeconds;
-  comm::CommClock clock(&topology, clock_cfg);
-
-  RunningStat t_seq, t_rnd, t_vela, t_ep;
-  for (std::size_t step = 0; step < kFineTuneSteps; ++step) {
-    const auto plans = runtime.router.sample_step(kTokensPerStep);
-    t_seq.add(clock.vela_step_seconds(
-        vela_model.account_step(plans, placements.sequential)));
-    t_rnd.add(clock.vela_step_seconds(
-        vela_model.account_step(plans, placements.random)));
-    t_vela.add(clock.vela_step_seconds(
-        vela_model.account_step(plans, placements.vela)));
-    t_ep.add(clock.ep_step_seconds(ep_model.account_step(plans)));
-  }
+  const Fig6SettingStats t =
+      emit_fig6_setting(setting, topology, csv, kFineTuneSteps, kTokensPerStep,
+                        kComputeSeconds, kOverlapChunks);
 
   std::printf("\n--- %s ---\n", setting.name.c_str());
-  std::printf("  %-12s %10s %10s\n", "system", "mean (s)", "stddev");
-  std::printf("  %-12s %10.3f %10.4f\n", "EP", t_ep.mean(), t_ep.stddev());
-  std::printf("  %-12s %10.3f %10.4f\n", "Sequential", t_seq.mean(),
-              t_seq.stddev());
-  std::printf("  %-12s %10.3f %10.4f\n", "Random", t_rnd.mean(),
-              t_rnd.stddev());
-  std::printf("  %-12s %10.3f %10.4f\n", "Vela", t_vela.mean(),
-              t_vela.stddev());
+  std::printf("  %-16s %10s %10s\n", "system", "mean (s)", "stddev");
+  std::printf("  %-16s %10.3f %10.4f\n", "EP", t.ep.mean(), t.ep.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Sequential", t.seq.mean(),
+              t.seq.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Random", t.rnd.mean(),
+              t.rnd.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Vela", t.vela.mean(),
+              t.vela.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Vela+overlap", t.vela_overlap.mean(),
+              t.vela_overlap.stddev());
   std::printf("  Vela speedup vs EP:         %5.1f%%  (paper: 20.6%%-28.2%%)\n",
-              100.0 * (1.0 - t_vela.mean() / t_ep.mean()));
+              100.0 * (1.0 - t.vela.mean() / t.ep.mean()));
   std::printf("  Vela speedup vs Sequential: %5.1f%%\n",
-              100.0 * (1.0 - t_vela.mean() / t_seq.mean()));
+              100.0 * (1.0 - t.vela.mean() / t.seq.mean()));
   std::printf("  Vela speedup vs Random:     %5.1f%%\n",
-              100.0 * (1.0 - t_vela.mean() / t_rnd.mean()));
-  csv.row({setting.name, std::to_string(t_ep.mean()),
-           std::to_string(t_seq.mean()), std::to_string(t_rnd.mean()),
-           std::to_string(t_vela.mean())});
+              100.0 * (1.0 - t.vela.mean() / t.rnd.mean()));
+  std::printf("  Overlap (K=%zu) speedup vs Vela: %5.1f%%  (same bytes)\n",
+              kOverlapChunks,
+              100.0 * (1.0 - t.vela_overlap.mean() / t.vela.mean()));
 }
 
 }  // namespace
@@ -83,8 +62,7 @@ int main() {
   std::printf("=== Fig. 6: average time per fine-tuning step ===\n");
   std::printf("compute charged per step (all systems): %.2f s\n",
               kComputeSeconds);
-  CsvWriter csv("fig6_steptime.csv",
-                {"setting", "ep_s", "sequential_s", "random_s", "vela_s"});
+  CsvWriter csv("fig6_steptime.csv", fig6_columns());
   for (const auto& setting : paper_settings()) {
     run_setting(setting, csv);
   }

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "bench_common.h"
 #include "comm/channel.h"
+#include "comm/comm_clock.h"
+#include "core/step_simulator.h"
 #include "core/vela_system.h"
 #include "data/corpus.h"
 #include "moe/gate.h"
@@ -240,6 +243,56 @@ void write_bench_parallel_json() {
   std::fprintf(stderr, "wrote bench_parallel.json\n");
 }
 
+// Modeled step time of the overlap dispatch pipeline (DESIGN.md §8) versus
+// pipeline depth K, on one sampled Mixtral-scale step's byte ledger. The
+// modeled clock — not wall-clock — is the meaningful quantity here: on a
+// CPU dev box (often a single core) the pipeline cannot show real speedup,
+// but the byte ledger is measured and the clock is calibrated, exactly as
+// for Fig. 6.
+void write_bench_overlap_json() {
+  using namespace vela::bench;
+  cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
+  const Setting setting = paper_settings()[0];  // mixtral-wikitext
+  SettingRuntime runtime(setting);
+  const auto problem = make_problem(setting, topology, runtime.probability);
+  StrategySet placements = make_placements(problem, setting.seed + 99);
+  core::VelaTrafficModelConfig vt_cfg;
+  vt_cfg.bytes_per_token = setting.model.bytes_per_token();
+  core::VelaTrafficModel vela_model(&topology, vt_cfg);
+  comm::CommClockConfig clock_cfg;
+  clock_cfg.compute_seconds = 1.9;  // matches bench_fig6_steptime
+  comm::CommClock clock(&topology, clock_cfg);
+  const auto plans = runtime.router.sample_step(kTokensPerStep);
+  const comm::VelaStepRecord record =
+      vela_model.account_step(plans, placements.vela);
+
+  std::FILE* f = std::fopen("bench_overlap.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open bench_overlap.json for writing\n");
+    return;
+  }
+  const double sequential_s = clock.vela_step_seconds(record);
+  std::fprintf(f, "{\n  \"setting\": \"%s\",\n", setting.name.c_str());
+  std::fprintf(f, "  \"compute_seconds\": %.3f,\n",
+               clock_cfg.compute_seconds);
+  std::fprintf(f, "  \"sequential_step_seconds\": %.6f,\n  \"sweep\": [\n",
+               sequential_s);
+  const std::size_t depths[] = {1, 2, 4, 8, 16, 32};
+  const std::size_t count = sizeof(depths) / sizeof(depths[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::ModeledStepTimes t =
+        core::modeled_step_times(clock, record, depths[i]);
+    std::fprintf(f,
+                 "    {\"chunks\": %zu, \"step_seconds\": %.6f, "
+                 "\"speedup_vs_sequential\": %.4f}%s\n",
+                 depths[i], t.overlap_s, sequential_s / t.overlap_s,
+                 i + 1 < count ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote bench_overlap.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,5 +301,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_bench_parallel_json();
+  write_bench_overlap_json();
   return 0;
 }

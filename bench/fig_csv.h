@@ -1,0 +1,150 @@
+// Shared per-setting emitters for the Fig. 5 / Fig. 6 CSV series.
+//
+// Both the paper-scale bench binaries and the golden-file regression test
+// (tests/test_bench_golden.cpp) run settings through these emitters, so the
+// CSV schema, series order and cell formatting cannot drift from what the
+// golden files pin. Cells are formatted with std::to_string (fixed, six
+// decimals) — deterministic across runs and thread counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/comm_clock.h"
+#include "core/step_simulator.h"
+#include "ep/expert_parallel.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace vela::bench {
+
+inline const std::vector<std::string>& fig5_columns() {
+  static const std::vector<std::string> cols = {
+      "setting", "step", "sequential_mb", "random_mb", "vela_mb", "ep_mb"};
+  return cols;
+}
+
+inline const std::vector<std::string>& fig6_columns() {
+  static const std::vector<std::string> cols = {"setting",  "ep_s",
+                                                "sequential_s", "random_s",
+                                                "vela_s",   "vela_overlap_s"};
+  return cols;
+}
+
+struct Fig5SettingStats {
+  RunningStat seq, rnd, vela, ep;
+  RunningStat vela_head, vela_tail;  // first/last window (drift check)
+};
+
+// One Fig. 5 setting: per-step cross-node MB/node for the four systems, one
+// CSV row per step. The routing decisions of every step are sampled once and
+// fed to all systems, so series differ purely by placement.
+inline Fig5SettingStats emit_fig5_setting(
+    const Setting& setting, const cluster::ClusterTopology& topology,
+    CsvWriter& csv, std::size_t steps, std::size_t tokens_per_step,
+    bool print_progress = false) {
+  SettingRuntime runtime(setting);
+  const auto problem = make_problem(setting, topology, runtime.probability);
+  StrategySet placements = make_placements(problem, setting.seed + 99);
+
+  core::VelaTrafficModelConfig vt_cfg;
+  vt_cfg.bytes_per_token = setting.model.bytes_per_token();
+  core::VelaTrafficModel vela_model(&topology, vt_cfg);
+
+  ep::EpConfig ep_cfg;
+  ep_cfg.bytes_per_token = setting.model.bytes_per_token();
+  ep_cfg.backbone_grad_bytes = backbone_lora_grad_bytes(setting.model);
+  ep::ExpertParallelModel ep_model(&topology, ep_cfg);
+
+  const double nodes = static_cast<double>(topology.num_nodes());
+  const std::size_t window = std::min<std::size_t>(100, steps);
+  Fig5SettingStats stats;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto plans = runtime.router.sample_step(tokens_per_step);
+    const double seq_mb =
+        double(vela_model.external_bytes(
+            vela_model.account_step(plans, placements.sequential))) /
+        1e6 / nodes;
+    const double rnd_mb =
+        double(vela_model.external_bytes(
+            vela_model.account_step(plans, placements.random))) /
+        1e6 / nodes;
+    const double vela_mb =
+        double(vela_model.external_bytes(
+            vela_model.account_step(plans, placements.vela))) /
+        1e6 / nodes;
+    const double ep_mb =
+        double(ep_model.external_bytes(ep_model.account_step(plans))) / 1e6 /
+        nodes;
+    stats.seq.add(seq_mb);
+    stats.rnd.add(rnd_mb);
+    stats.vela.add(vela_mb);
+    stats.ep.add(ep_mb);
+    if (step < window) stats.vela_head.add(vela_mb);
+    if (step + window >= steps) stats.vela_tail.add(vela_mb);
+    csv.row({setting.name, std::to_string(step), std::to_string(seq_mb),
+             std::to_string(rnd_mb), std::to_string(vela_mb),
+             std::to_string(ep_mb)});
+    if (print_progress && (step % 100 == 0 || step == steps - 1)) {
+      std::printf("%-6zu %12.1f %12.1f %12.1f %12.1f\n", step, seq_mb, rnd_mb,
+                  vela_mb, ep_mb);
+    }
+  }
+  return stats;
+}
+
+struct Fig6SettingStats {
+  RunningStat ep, seq, rnd, vela, vela_overlap;
+};
+
+// One Fig. 6 setting: mean modeled step time of the four systems plus the
+// vela+overlap series — the SAME vela byte record pushed through the
+// overlap-pipelined clock at depth `overlap_chunks` (byte counts are
+// invariant in the pipeline depth; only the step-time model changes).
+inline Fig6SettingStats emit_fig6_setting(
+    const Setting& setting, const cluster::ClusterTopology& topology,
+    CsvWriter& csv, std::size_t steps, std::size_t tokens_per_step,
+    double compute_seconds, std::size_t overlap_chunks) {
+  SettingRuntime runtime(setting);
+  const auto problem = make_problem(setting, topology, runtime.probability);
+  StrategySet placements = make_placements(problem, setting.seed + 99);
+
+  core::VelaTrafficModelConfig vt_cfg;
+  vt_cfg.bytes_per_token = setting.model.bytes_per_token();
+  core::VelaTrafficModel vela_model(&topology, vt_cfg);
+
+  ep::EpConfig ep_cfg;
+  ep_cfg.bytes_per_token = setting.model.bytes_per_token();
+  ep_cfg.backbone_grad_bytes = backbone_lora_grad_bytes(setting.model);
+  ep::ExpertParallelModel ep_model(&topology, ep_cfg);
+
+  comm::CommClockConfig clock_cfg;
+  clock_cfg.compute_seconds = compute_seconds;
+  comm::CommClock clock(&topology, clock_cfg);
+
+  Fig6SettingStats stats;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto plans = runtime.router.sample_step(tokens_per_step);
+    stats.seq.add(clock.vela_step_seconds(
+        vela_model.account_step(plans, placements.sequential)));
+    stats.rnd.add(clock.vela_step_seconds(
+        vela_model.account_step(plans, placements.random)));
+    const comm::VelaStepRecord vela_record =
+        vela_model.account_step(plans, placements.vela);
+    const core::ModeledStepTimes times =
+        core::modeled_step_times(clock, vela_record, overlap_chunks);
+    stats.vela.add(times.sequential_s);
+    stats.vela_overlap.add(times.overlap_s);
+    stats.ep.add(clock.ep_step_seconds(ep_model.account_step(plans)));
+  }
+  csv.row({setting.name, std::to_string(stats.ep.mean()),
+           std::to_string(stats.seq.mean()), std::to_string(stats.rnd.mean()),
+           std::to_string(stats.vela.mean()),
+           std::to_string(stats.vela_overlap.mean())});
+  return stats;
+}
+
+}  // namespace vela::bench

@@ -84,6 +84,44 @@ double CommClock::vela_step_seconds(const VelaStepRecord& record) const {
   return cfg_.compute_seconds + vela_comm_seconds(record);
 }
 
+double CommClock::vela_overlap_step_seconds(const VelaStepRecord& record,
+                                            std::size_t chunks) const {
+  // K <= 1 is the sequential schedule; return it through the sequential
+  // model so the two paths are bit-identical, not merely algebraically equal
+  // (the pipeline formula below sums in a different order).
+  if (chunks <= 1) return vela_step_seconds(record);
+  const std::size_t n = topology_->num_workers();
+  const std::size_t phases = record.phases.size();
+  if (phases == 0) return cfg_.compute_seconds;
+  const double k = static_cast<double>(chunks);
+  // The phase's share of the step's (system-independent) compute: with
+  // micro-chunked dispatch the worker computes chunk i while chunk i+1 is in
+  // flight, so each phase hides its transfers under its own expert compute.
+  const double c = cfg_.compute_seconds / static_cast<double>(phases);
+  double total = 0.0;
+  for (const auto& phase : record.phases) {
+    VELA_CHECK(phase.bytes.size() == n && phase.messages.size() == n);
+    double slowest = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+      const double t =
+          static_cast<double>(phase.bytes[w]) / topology_->worker_bandwidth(w) +
+          static_cast<double>(phase.messages[w]) * topology_->worker_latency(w);
+      // Two-stage pipeline over K chunks: fill with the first chunk's
+      // transfer+compute, then K−1 beats of the slower stage.
+      const double piped = (t + c) / k + (k - 1.0) / k * std::max(t, c);
+      slowest = std::max(slowest, piped);
+    }
+    total += slowest;
+  }
+  return total;
+}
+
+double CommClock::vela_overlap_comm_seconds(const VelaStepRecord& record,
+                                            std::size_t chunks) const {
+  if (chunks <= 1) return vela_comm_seconds(record);
+  return vela_overlap_step_seconds(record, chunks) - cfg_.compute_seconds;
+}
+
 double CommClock::ep_step_seconds(const EpStepRecord& record) const {
   return cfg_.compute_seconds + ep_comm_seconds(record);
 }

@@ -70,6 +70,24 @@ class CommClock {
   double vela_step_seconds(const VelaStepRecord& record) const;
   double ep_step_seconds(const EpStepRecord& record) const;
 
+  // Overlap-aware step model (Eqs. (5)–(7) generalized; DESIGN.md §8): each
+  // of the P phases splits its exchange into `chunks` micro-chunks pipelined
+  // against the phase's compute slice (compute_seconds / P), so the phase
+  // completes on the critical path of the chunk pipeline,
+  //
+  //   T_p = max_w [ (t_w + c)/K + (K−1)/K · max(t_w, c) ],
+  //
+  // with t_w the worker's full-phase transfer time under the same calibrated
+  // bandwidths (byte counts are invariant in K) and c the compute slice.
+  // chunks <= 1 is exactly the sequential model (vela_step_seconds). The EP
+  // models above are untouched: the all-to-all's status-synchronization and
+  // all-reduce terms do not pipeline.
+  double vela_overlap_step_seconds(const VelaStepRecord& record,
+                                   std::size_t chunks) const;
+  // The step's non-hidden communication: overlap step time minus compute.
+  double vela_overlap_comm_seconds(const VelaStepRecord& record,
+                                   std::size_t chunks) const;
+
   const CommClockConfig& config() const { return cfg_; }
 
  private:

@@ -77,6 +77,8 @@ std::uint32_t Message::compute_checksum() const {
   mix(expert);
   mix(step);
   mix(static_cast<std::uint32_t>(phantom_bytes));
+  mix(static_cast<std::uint32_t>(chunk_index) |
+      (static_cast<std::uint32_t>(chunk_count) << 8));
   const float* data = payload.data();
   for (std::size_t i = 0; i < payload.size(); ++i) {
     std::uint32_t bits;
@@ -90,8 +92,12 @@ std::uint32_t Message::compute_checksum() const {
 std::string Message::to_string() const {
   std::ostringstream os;
   os << message_type_name(type) << "{req=" << request_id << ", layer=" << layer
-     << ", expert=" << expert << ", step=" << step
-     << ", bytes=" << wire_size() << "}";
+     << ", expert=" << expert << ", step=" << step;
+  if (chunk_count > 1) {
+    os << ", chunk=" << static_cast<unsigned>(chunk_index) << "/"
+       << static_cast<unsigned>(chunk_count);
+  }
+  os << ", bytes=" << wire_size() << "}";
   return os.str();
 }
 

@@ -57,6 +57,16 @@ struct Message {
   Tensor payload;                   // empty for control / phantom messages
   std::uint64_t phantom_bytes = 0;  // payload size when no tensor is carried
   unsigned wire_bits = 32;          // transport precision of the payload
+  // Fragmentation of one logical transfer (the VELA_OVERLAP dispatch
+  // pipeline): a payload split into `chunk_count` row chunks travels as
+  // fragments that share one protocol header — fragment 0 carries it, the
+  // continuations (chunk_index > 0) are header-free, exactly like the
+  // fragments of a scatter-gather write. Fragments of a group carry
+  // consecutive request ids (base = request_id - chunk_index), so receivers
+  // can reassemble without extra header fields. Unfragmented messages keep
+  // the defaults (0, 1).
+  std::uint8_t chunk_index = 0;
+  std::uint8_t chunk_count = 1;
   // Integrity check over header fields + payload. 0 means "not checksummed":
   // channels only stamp checksums when a FaultInjector is attached, so the
   // fault-free hot path pays nothing. The checksum models the CRC a real
@@ -66,11 +76,14 @@ struct Message {
   // Size of a protocol header on the wire (type, ids, shape descriptor, CRC).
   static constexpr std::uint64_t kHeaderBytes = 36;
 
-  // Total bytes this message occupies on the wire.
+  // Total bytes this message occupies on the wire. Continuation fragments
+  // ride the logical transfer whose header fragment 0 already paid for, so
+  // they cost their payload only — which is what makes the chunked dispatch
+  // pipeline byte-identical to the unchunked exchange at any chunk count.
   std::uint64_t wire_size() const {
     const std::uint64_t body =
         payload.size() > 0 ? payload.wire_bytes(wire_bits) : phantom_bytes;
-    return kHeaderBytes + body;
+    return (chunk_index > 0 ? 0 : kHeaderBytes) + body;
   }
 
   // FNV-1a over the routing header and payload bits.

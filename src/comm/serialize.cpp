@@ -98,7 +98,8 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   out.reserve(msg.wire_size());
   append_pod(out, static_cast<std::uint8_t>(msg.type));
   append_pod(out, static_cast<std::uint8_t>(msg.wire_bits));
-  append_pod(out, static_cast<std::uint16_t>(msg.payload.rank()));
+  append_pod(out, msg.chunk_index);
+  append_pod(out, msg.chunk_count);
   append_pod(out, msg.request_id);
   append_pod(out, msg.source);
   append_pod(out, msg.layer);
@@ -126,7 +127,10 @@ Message decode(const std::vector<std::uint8_t>& bytes) {
   msg.wire_bits = read_pod<std::uint8_t>(bytes, offset);
   VELA_CHECK_MSG(msg.wire_bits == 16 || msg.wire_bits == 32,
                  "bad wire_bits in message header");
-  read_pod<std::uint16_t>(bytes, offset);  // rank (informational)
+  msg.chunk_index = read_pod<std::uint8_t>(bytes, offset);
+  msg.chunk_count = read_pod<std::uint8_t>(bytes, offset);
+  VELA_CHECK_MSG(msg.chunk_count > 0 && msg.chunk_index < msg.chunk_count,
+                 "bad fragment indices in message header");
   msg.request_id = read_pod<std::uint64_t>(bytes, offset);
   msg.source = read_pod<std::uint32_t>(bytes, offset);
   msg.layer = read_pod<std::uint32_t>(bytes, offset);

@@ -5,11 +5,18 @@
 // and the tests pin encode(msg).size() == msg.wire_size(). Payloads encode
 // at the message's wire_bits: 32 → raw IEEE binary32, 16 → IEEE binary16
 // (round-to-nearest-even), which is exactly the paper's b = 16 feature
-// transport. Header layout (little-endian, 32 bytes):
+// transport. Header layout (little-endian, 36 bytes):
 //
-//   u8 type | u8 wire_bits | u16 payload rank | u64 request_id |
-//   u32 layer | u32 expert | u32 step | u64 payload elements
+//   u8 type | u8 wire_bits | u8 chunk_index | u8 chunk_count |
+//   u64 request_id | u32 source | u32 layer | u32 expert | u32 step |
+//   u64 payload elements
 //
+// One caveat for fragmented transfers (chunk_count > 1): every physical
+// fragment still encodes the full framing above, but wire_size() charges the
+// protocol header once per *logical* transfer (fragment 0 only) — the
+// continuations' framing stands in for the few flag bytes a real
+// scatter-gather transport amortizes across a fragment train. The size pin
+// therefore holds exactly for unfragmented messages and fragment 0.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "core/expert_broker.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <functional>
 
 #include "tensor/ops.h"
@@ -7,6 +9,29 @@
 #include "util/thread_pool.h"
 
 namespace vela::core {
+
+namespace {
+
+// Fixed row partition of a group into at most `k` chunks (no empty chunks).
+// Depends only on (rows, k), so the chunk schedule — and with it every
+// accounting and accumulation order — is identical across runs.
+std::vector<std::size_t> chunk_row_counts(std::size_t rows, std::size_t k) {
+  const std::size_t n = std::max<std::size_t>(1, std::min(k, rows));
+  std::vector<std::size_t> out(n, rows / n);
+  for (std::size_t c = 0; c < rows % n; ++c) ++out[c];
+  return out;
+}
+
+}  // namespace
+
+std::size_t overlap_chunks_from_env() {
+  const char* env = std::getenv("VELA_OVERLAP");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v <= 1) return 0;
+  return static_cast<std::size_t>(std::min<long>(v, 255));
+}
 
 ExpertBroker::ExpertBroker(std::vector<ReliableLink*> rlinks,
                            const placement::Placement* placement,
@@ -26,6 +51,10 @@ ExpertBroker::ExpertBroker(std::vector<ReliableLink*> rlinks,
 void ExpertBroker::set_placement(const placement::Placement* placement) {
   VELA_CHECK(placement != nullptr);
   placement_ = placement;
+}
+
+void ExpertBroker::set_overlap_chunks(std::size_t chunks) {
+  overlap_chunks_ = std::min<std::size_t>(chunks, 255);
 }
 
 void ExpertBroker::begin_step() {
@@ -81,6 +110,7 @@ ag::Variable ExpertBroker::expert_forward(std::size_t layer,
 std::vector<ag::Variable> ExpertBroker::experts_forward(
     std::size_t layer,
     const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+  if (overlap_chunks_ >= 2) return experts_forward_chunked(layer, groups);
   struct Outstanding {
     std::size_t worker;
     std::uint64_t request_id;
@@ -158,6 +188,169 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
                           request_id, layer32, /*backward=*/true);
           account(layer32, /*backward=*/true, worker, dx.wire_size(), 1);
           n.parents[0]->accumulate_grad(dx.payload);
+        }));
+  }
+  return results;
+}
+
+comm::Message ExpertBroker::await_train_reply(
+    std::size_t worker, std::uint64_t request_id, std::size_t layer,
+    const std::vector<comm::Message>& train) {
+  ReliableLink& rlink = *rlinks_[worker];
+  const RetryPolicy& policy = rlink.policy();
+  RetryPolicy attempt = policy;
+  attempt.max_retries = 0;  // escalation below replaces per-request retries
+  for (int escalations = 0;; ++escalations) {
+    try {
+      return rlink.await(comm::MessageType::kExpertBackwardResult, request_id,
+                         /*on_retransmit=*/nullptr, &attempt);
+    } catch (const WorkerFailedError&) {
+      if (escalations >= policy.max_retries) throw;
+      rlink.stats().retransmissions += train.size();
+      for (const comm::Message& m : train) {
+        account(layer, /*backward=*/true, worker, m.wire_size(),
+                m.chunk_index == 0 ? 1 : 0);
+        rlink.post(comm::Message(m));
+      }
+      attempt.timeout = std::chrono::milliseconds(static_cast<std::int64_t>(
+          static_cast<double>(attempt.timeout.count()) * policy.backoff));
+    }
+  }
+}
+
+std::vector<ag::Variable> ExpertBroker::experts_forward_chunked(
+    std::size_t layer,
+    const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+  struct GroupPlan {
+    std::size_t expert = 0;
+    std::size_t worker = 0;
+    std::uint64_t base_id = 0;                // fragment c has id base_id + c
+    std::vector<std::size_t> rows;            // per-chunk row counts
+    std::vector<std::size_t> begin;           // per-chunk first row
+    std::vector<Tensor> wire;                 // per-chunk request payloads
+    std::vector<Tensor> result;               // per-chunk reply payloads
+  };
+  std::vector<GroupPlan> plans(groups.size());
+  std::size_t max_chunks = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    GroupPlan& p = plans[g];
+    p.expert = groups[g].first;
+    p.worker = placement_->worker_of(layer, p.expert);
+    p.rows = chunk_row_counts(groups[g].second.value().rows(), overlap_chunks_);
+    p.begin.resize(p.rows.size());
+    std::size_t at = 0;
+    for (std::size_t c = 0; c < p.rows.size(); ++c) {
+      p.begin[c] = at;
+      at += p.rows[c];
+    }
+    p.base_id = next_request_;
+    next_request_ += p.rows.size();
+    p.wire.resize(p.rows.size());
+    p.result.resize(p.rows.size());
+    max_chunks = std::max(max_chunks, p.rows.size());
+  }
+
+  // Pack every chunk's wire payload as parallel tasks (fp16 rounding is
+  // elementwise, so slice-then-quantize equals quantize-then-slice bitwise).
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t g = 0; g < plans.size(); ++g) {
+      for (std::size_t c = 0; c < plans[g].rows.size(); ++c) {
+        tasks.push_back([this, &groups, &plans, g, c] {
+          GroupPlan& p = plans[g];
+          Tensor slice =
+              ops::slice_rows(groups[g].second.value(), p.begin[c], p.rows[c]);
+          p.wire[c] =
+              quantize_wire_ ? ops::to_half_precision(slice) : std::move(slice);
+        });
+      }
+    }
+    util::ThreadPool::global().run(tasks);
+  }
+
+  // Dispatch pipeline: chunk-major post order, so every worker holds its
+  // groups' fragment 0 and computes it while fragment 1 is still in flight.
+  // Fragment 0 carries the logical transfer's header (and its message count);
+  // continuations are charged payload-only, keeping the ledger invariant in K.
+  for (std::size_t c = 0; c < max_chunks; ++c) {
+    for (GroupPlan& p : plans) {
+      if (c >= p.rows.size()) continue;
+      comm::Message msg;
+      msg.type = comm::MessageType::kExpertForward;
+      msg.request_id = p.base_id + c;
+      msg.layer = static_cast<std::uint32_t>(layer);
+      msg.expert = static_cast<std::uint32_t>(p.expert);
+      msg.chunk_index = static_cast<std::uint8_t>(c);
+      msg.chunk_count = static_cast<std::uint8_t>(p.rows.size());
+      msg.payload = std::move(p.wire[c]);
+      msg.wire_bits = wire_bits_;
+      account(layer, /*backward=*/false, p.worker, msg.wire_size(),
+              c == 0 ? 1 : 0);
+      rlinks_[p.worker]->post(std::move(msg));
+    }
+  }
+
+  // Collect replies in post order. A retransmitted fragment re-pays exactly
+  // its own wire size (continuations stay header-free and message-free).
+  for (std::size_t c = 0; c < max_chunks; ++c) {
+    for (GroupPlan& p : plans) {
+      if (c >= p.rows.size()) continue;
+      const std::uint32_t msgs = c == 0 ? 1 : 0;
+      comm::Message reply = rlinks_[p.worker]->await(
+          comm::MessageType::kExpertForwardResult, p.base_id + c,
+          [&](std::uint64_t bytes) {
+            account(layer, /*backward=*/false, p.worker, bytes, msgs);
+          });
+      account(layer, /*backward=*/false, p.worker, reply.wire_size(),
+              reply.chunk_index == 0 ? 1 : 0);
+      p.result[c] = std::move(reply.payload);
+    }
+  }
+
+  // Merge in fixed chunk order (per-chunk forward equals full-batch forward
+  // row-for-row: the expert kernels are row-local) and wire each group into
+  // the master tape. The backward closure ships dL/dy as the same fragment
+  // train and reassembles dL/dx from the per-fragment replies.
+  std::vector<ag::Variable> results;
+  results.reserve(groups.size());
+  for (std::size_t g = 0; g < plans.size(); ++g) {
+    GroupPlan& p = plans[g];
+    Tensor merged = ops::concat_rows(p.result);
+    const std::size_t worker = p.worker;
+    const std::uint64_t base_id = p.base_id;
+    const std::uint32_t expert32 = static_cast<std::uint32_t>(p.expert);
+    const std::uint32_t layer32 = static_cast<std::uint32_t>(layer);
+    results.push_back(ag::make_op(
+        std::move(merged), {groups[g].second},
+        [this, worker, base_id, layer32, expert32, rows = p.rows,
+         begin = p.begin](ag::detail::Node& n) {
+          const std::size_t k = rows.size();
+          std::vector<comm::Message> train(k);
+          for (std::size_t c = 0; c < k; ++c) {
+            comm::Message& m = train[c];
+            m.type = comm::MessageType::kExpertBackward;
+            m.request_id = base_id + c;
+            m.layer = layer32;
+            m.expert = expert32;
+            m.chunk_index = static_cast<std::uint8_t>(c);
+            m.chunk_count = static_cast<std::uint8_t>(k);
+            Tensor slice = ops::slice_rows(n.grad, begin[c], rows[c]);
+            m.payload = quantize_wire_ ? ops::to_half_precision(slice)
+                                       : std::move(slice);
+            m.wire_bits = wire_bits_;
+            account(layer32, /*backward=*/true, worker, m.wire_size(),
+                    c == 0 ? 1 : 0);
+            rlinks_[worker]->post(comm::Message(m));  // keep the train copy
+          }
+          std::vector<Tensor> dx(k);
+          for (std::size_t c = 0; c < k; ++c) {
+            comm::Message reply =
+                await_train_reply(worker, base_id + c, layer32, train);
+            account(layer32, /*backward=*/true, worker, reply.wire_size(),
+                    c == 0 ? 1 : 0);
+            dx[c] = std::move(reply.payload);
+          }
+          n.parents[0]->accumulate_grad(ops::concat_rows(dx));
         }));
   }
   return results;

@@ -47,6 +47,16 @@ class ExpertBroker : public moe::ExpertBackend {
   void set_placement(const placement::Placement* placement);
   const placement::Placement* placement() const { return placement_; }
 
+  // Micro-chunked dispatch pipeline (VELA_OVERLAP, DESIGN.md §8): 0 or 1
+  // keeps the sequential exchange; K >= 2 splits every expert group into K
+  // row chunks sent as fragments of one logical transfer (fragment 0 carries
+  // the header, continuations are header-free), posted chunk-major so a
+  // worker computes chunk i while chunk i+1 is in flight. Results, gradients
+  // and the byte ledger are bit-identical to the sequential path at any K.
+  // Values above 255 are clamped (the fragment header is one byte).
+  void set_overlap_chunks(std::size_t chunks);
+  std::size_t overlap_chunks() const { return overlap_chunks_; }
+
   // Step-phase ledger.
   void begin_step();
   // Returns phases ordered forward block 0..L−1 then backward block L−1..0
@@ -64,14 +74,32 @@ class ExpertBroker : public moe::ExpertBackend {
                             std::uint64_t request_id, std::size_t layer,
                             bool backward_phase);
 
+  // The overlap pipeline's experts_forward (overlap_chunks_ >= 2).
+  std::vector<ag::Variable> experts_forward_chunked(
+      std::size_t layer,
+      const std::vector<std::pair<std::size_t, ag::Variable>>& groups);
+  // Awaits one fragment's backward reply. A worker answers a fragment train
+  // only once the whole train has arrived, so a lost fragment cannot be
+  // recovered by retransmitting the awaited one alone: on timeout the entire
+  // train is re-posted (charged to the ledger like any retransmission),
+  // bounded by the link's RetryPolicy.
+  comm::Message await_train_reply(std::size_t worker, std::uint64_t request_id,
+                                  std::size_t layer,
+                                  const std::vector<comm::Message>& train);
+
   std::vector<ReliableLink*> rlinks_;
   const placement::Placement* placement_;
   std::size_t num_layers_;
   unsigned wire_bits_;
   bool quantize_wire_;
+  std::size_t overlap_chunks_ = 0;
   std::uint64_t next_request_ = 1;
   std::vector<comm::MasterWorkerPhase> fwd_phases_;  // [L]
   std::vector<comm::MasterWorkerPhase> bwd_phases_;  // [L]
 };
+
+// Parses VELA_OVERLAP (the pipeline depth K). Unset, 0, 1 or unparsable all
+// mean "sequential"; values above 255 are clamped.
+std::size_t overlap_chunks_from_env();
 
 }  // namespace vela::core

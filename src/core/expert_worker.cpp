@@ -142,6 +142,10 @@ bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
       reply.layer = msg.layer;
       reply.expert = msg.expert;
       reply.step = msg.step;
+      // Replies to fragments are fragments of the merged result: the echo
+      // keeps the broker's header-once-per-transfer accounting symmetric.
+      reply.chunk_index = msg.chunk_index;
+      reply.chunk_count = msg.chunk_count;
       reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
                           ? ops::to_half_precision(s.y.value())
                           : s.y.value();
@@ -174,6 +178,32 @@ bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
       break;
     }
   }
+  // Fragment trains (the master's VELA_OVERLAP dispatch pipeline) assemble
+  // in arrival order and backpropagate once — through one full-batch tape —
+  // when their last fragment lands; a duplicate fragment of an incomplete
+  // train is simply ignored (the retransmission that completes it is the one
+  // that matters). Unfragmented messages keep the grouped-parallel path
+  // below. The master serializes backward round trips, so a run never mixes
+  // the two in practice; handling both keeps the contract local.
+  std::vector<std::size_t> plain;
+  plain.reserve(valid);
+  for (std::size_t i = 0; i < valid; ++i) {
+    comm::Message& msg = run[i];
+    if (msg.chunk_count <= 1) {
+      plain.push_back(i);
+      continue;
+    }
+    const std::uint64_t base = msg.request_id - msg.chunk_index;
+    PartialTrain& train = partial_backward_[base];
+    train.chunk_count = msg.chunk_count;
+    const std::size_t chunk = msg.chunk_index;
+    if (!train.fragments.emplace(chunk, std::move(msg)).second) continue;
+    if (train.fragments.size() == train.chunk_count) {
+      PartialTrain done = std::move(train);
+      partial_backward_.erase(base);
+      if (!stitched_backward(base, std::move(done))) return false;
+    }
+  }
   struct Slot {
     PendingRequest req;
     comm::Message reply;
@@ -185,7 +215,7 @@ bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
   // disjoint parameter nodes and run as parallel tasks. std::map keys the
   // groups in fixed expert-id order.
   std::map<ExpertKey, std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < valid; ++i) {
+  for (const std::size_t i : plain) {
     auto it = pending_.find(run[i].request_id);
     slots[i].req = std::move(it->second);
     pending_.erase(it);
@@ -216,13 +246,68 @@ bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
     });
   }
   util::ThreadPool::global().run(tasks);
-  for (std::size_t i = 0; i < valid; ++i) {
+  for (const std::size_t i : plain) {
     if (!reply_and_cache(dedupe_key(run[i]), std::move(slots[i].reply))) {
       return false;
     }
   }
   VELA_CHECK_MSG(valid == run.size(),
                  "backward for unknown request " << run[valid].request_id);
+  return true;
+}
+
+bool ExpertWorker::stitched_backward(std::uint64_t base_id,
+                                     PartialTrain train) {
+  // The per-chunk forward tapes are discarded and the forward recomputed on
+  // the concatenated batch: the expert kernels are row-local, so the
+  // recomputation reproduces the chunk outputs bit-for-bit, and running ONE
+  // backward over the full batch keeps the LoRA gradient accumulation order
+  // — and with it every low-order bit of the weights — identical to the
+  // unchunked exchange (per-chunk backwards would sum partial dWs in a
+  // different order).
+  const comm::Message& first = train.fragments.begin()->second;
+  const ExpertKey key{first.layer, first.expert};
+  std::vector<Tensor> xs, dys;
+  xs.reserve(train.chunk_count);
+  dys.reserve(train.chunk_count);
+  for (auto& [chunk, msg] : train.fragments) {
+    auto it = pending_.find(base_id + chunk);
+    VELA_CHECK_MSG(it != pending_.end(),
+                   "backward fragment for unknown request " << base_id + chunk);
+    VELA_CHECK_MSG(it->second.key.layer == key.layer &&
+                       it->second.key.expert == key.expert,
+                   "fragment train spans experts");
+    xs.push_back(it->second.input.value());
+    dys.push_back(std::move(msg.payload));
+  }
+  nn::SwiGLUExpert& expert = *hosted(key).expert;
+  ag::Variable in =
+      ag::Variable::leaf(ops::concat_rows(xs), /*requires_grad=*/true);
+  ag::Variable out = expert.forward(in);
+  ag::backward_from(out, ops::concat_rows(dys));
+  const Tensor& dx = in.grad();
+  std::size_t at = 0;
+  std::size_t c = 0;
+  for (auto& [chunk, msg] : train.fragments) {
+    const std::size_t rows = xs[c].rows();
+    comm::Message reply;
+    reply.type = comm::MessageType::kExpertBackwardResult;
+    reply.request_id = msg.request_id;
+    reply.layer = msg.layer;
+    reply.expert = msg.expert;
+    reply.step = msg.step;
+    reply.chunk_index = msg.chunk_index;
+    reply.chunk_count = msg.chunk_count;
+    Tensor slice = ops::slice_rows(dx, at, rows);
+    reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
+                        ? ops::to_half_precision(slice)
+                        : std::move(slice);
+    reply.wire_bits = spec_.wire_bits;
+    at += rows;
+    ++c;
+    pending_.erase(msg.request_id);
+    if (!reply_and_cache(dedupe_key(msg), std::move(reply))) return false;
+  }
   return true;
 }
 
@@ -293,6 +378,7 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
                               << " forward-only tapes at step boundary";
           pending_.clear();
         }
+        partial_backward_.clear();
         // A scalar payload carries a scheduled learning rate: local expert
         // optimizers follow the master's LR schedule.
         if (msg.payload.size() == 1) {
@@ -410,6 +496,7 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
                               << " in-flight tapes";
           pending_.clear();
         }
+        partial_backward_.clear();
         for (auto& [k, h] : experts_) {
           if (h.optimizer != nullptr) h.optimizer->zero_grad();
         }
@@ -426,6 +513,7 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
         VELA_LOG_ERROR(tag) << "injected crash: simulating worker death";
         experts_.clear();
         pending_.clear();
+        partial_backward_.clear();
         link_->to_master.close();
         link_->to_worker.close();
         return false;

@@ -63,6 +63,13 @@ class ExpertWorker {
     ag::Variable input;
     ag::Variable output;
   };
+  // Backward fragments of one logical transfer (the master's VELA_OVERLAP
+  // dispatch pipeline) collected until the train is complete; keyed by
+  // chunk index, so iteration is chunk order. May span worker batches.
+  struct PartialTrain {
+    std::size_t chunk_count = 0;
+    std::map<std::size_t, comm::Message> fragments;
+  };
 
   void run();
   void run_loop(const std::string& tag);
@@ -77,6 +84,12 @@ class ExpertWorker {
   // expert's gradient accumulation stays sequential (and so deterministic).
   bool handle_forward_run(std::vector<comm::Message>& run);
   bool handle_backward_run(std::vector<comm::Message>& run);
+  // Backpropagates a complete fragment train through ONE full-batch tape
+  // (forward recomputed on the concatenated chunks — the expert kernels are
+  // row-local, so values match the per-chunk tapes bit-for-bit) and replies
+  // per fragment in chunk order. Keeps the LoRA gradient accumulation order
+  // identical to the unchunked exchange.
+  bool stitched_backward(std::uint64_t base_id, PartialTrain train);
   void install_expert(const ExpertKey& key, const Tensor* state);
   HostedExpert& hosted(const ExpertKey& key);
   // Sends a reply and caches a copy under `key` for idempotent replay.
@@ -92,6 +105,10 @@ class ExpertWorker {
   comm::DuplexLink* link_;
   std::map<ExpertKey, HostedExpert> experts_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  // Incomplete backward fragment trains, keyed by the train's base request
+  // id (fragment ids are consecutive: base + chunk_index). Cleared with
+  // pending_ at step boundaries and aborts.
+  std::unordered_map<std::uint64_t, PartialTrain> partial_backward_;
   // (request type, request id) → cached reply, bounded FIFO.
   std::unordered_map<std::uint64_t, comm::Message> reply_cache_;
   std::deque<std::uint64_t> reply_cache_order_;

@@ -83,6 +83,7 @@ class ReliableLink {
 
   comm::DuplexLink* link() { return link_; }
   std::size_t worker() const { return worker_; }
+  const RetryPolicy& policy() const { return *policy_; }
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
 

@@ -45,6 +45,13 @@ class MasterProcess {
 
   ExpertBroker& broker() { return *broker_; }
   comm::TrafficMeter& meter() { return meter_; }
+  // Pipeline depth of the broker's micro-chunked dispatch (DESIGN.md §8);
+  // 0/1 = sequential exchange. The broker survives worker respawns, so the
+  // setting does too.
+  void set_overlap_chunks(std::size_t chunks) {
+    broker_->set_overlap_chunks(chunks);
+  }
+  std::size_t overlap_chunks() const { return broker_->overlap_chunks(); }
   const cluster::ClusterTopology& topology() const { return topology_; }
   const placement::Placement& placement() const { return placement_; }
   std::size_t num_workers() const { return workers_.size(); }

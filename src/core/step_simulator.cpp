@@ -118,4 +118,13 @@ std::uint64_t VelaTrafficModel::external_bytes(
   return total;
 }
 
+ModeledStepTimes modeled_step_times(const comm::CommClock& clock,
+                                    const comm::VelaStepRecord& record,
+                                    std::size_t overlap_chunks) {
+  ModeledStepTimes times;
+  times.sequential_s = clock.vela_step_seconds(record);
+  times.overlap_s = clock.vela_overlap_step_seconds(record, overlap_chunks);
+  return times;
+}
+
 }  // namespace vela::core

@@ -51,4 +51,16 @@ class VelaTrafficModel {
   VelaTrafficModelConfig cfg_;
 };
 
+// Fig. 6 step times of one record under both schedules: the sequential
+// exchange and the micro-chunked overlap pipeline at depth `overlap_chunks`
+// (DESIGN.md §8). The record — and hence every byte — is the same for both;
+// only the clock model differs. overlap_chunks <= 1 yields equal fields.
+struct ModeledStepTimes {
+  double sequential_s = 0.0;
+  double overlap_s = 0.0;
+};
+ModeledStepTimes modeled_step_times(const comm::CommClock& clock,
+                                    const comm::VelaStepRecord& record,
+                                    std::size_t overlap_chunks);
+
 }  // namespace vela::core

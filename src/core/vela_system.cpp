@@ -1,5 +1,7 @@
 #include "core/vela_system.h"
 
+#include <algorithm>
+
 #include "core/checkpoint.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -58,6 +60,16 @@ VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
   backbone_optimizer_ =
       std::make_unique<nn::AdamW>(model_->trainable_parameters(), cfg.adamw);
   clock_ = std::make_unique<comm::CommClock>(&master_->topology(), cfg.clock);
+
+  // Dispatch pipeline depth: config wins, env (VELA_OVERLAP) is the default.
+  overlap_chunks_ = cfg.overlap_chunks >= 0
+                        ? std::min<std::size_t>(
+                              static_cast<std::size_t>(cfg.overlap_chunks), 255)
+                        : overlap_chunks_from_env();
+  master_->set_overlap_chunks(overlap_chunks_);
+  if (overlap_chunks_ >= 2) {
+    VELA_LOG_INFO("vela") << "overlap dispatch pipeline: K=" << overlap_chunks_;
+  }
 }
 
 const moe::RoutingStats& VelaSystem::profile(
@@ -193,6 +205,11 @@ StepReport VelaSystem::train_step_accumulated(
                                                  1);
   report.comm_seconds = clock_->vela_comm_seconds(record);
   report.step_seconds = clock_->vela_step_seconds(record);
+  // The measured byte ledger is invariant in the pipeline depth; only the
+  // step-time model changes (== step_seconds when the pipeline is off).
+  report.overlap_chunks = overlap_chunks_;
+  report.overlap_step_seconds =
+      clock_->vela_overlap_step_seconds(record, overlap_chunks_);
   report.retries = retries;
   report.workers_recovered = master_->workers_recovered() - recovered_before;
   report.recovery_mb =
@@ -205,6 +222,7 @@ StepReport VelaSystem::train_step_accumulated(
     report.injected_delay_seconds = injector->consume_delay_seconds();
     report.comm_seconds += report.injected_delay_seconds;
     report.step_seconds += report.injected_delay_seconds;
+    report.overlap_step_seconds += report.injected_delay_seconds;
   }
   history_.push_back(report);
   return report;

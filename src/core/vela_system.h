@@ -49,6 +49,12 @@ struct VelaSystemConfig {
   float aux_loss_weight = 0.0f;
   // Worker capacity slack over the even share of L·E experts.
   double capacity_slack = 1.34;
+  // Micro-chunked dispatch pipeline depth K (DESIGN.md §8): each expert
+  // group is split into K row chunks so workers compute chunk i while chunk
+  // i+1 is in flight. Results, gradients and byte counts are bit-identical
+  // to the sequential exchange at any K; only the modeled overlap step time
+  // changes. -1 = read the VELA_OVERLAP env var; 0 or 1 = off.
+  int overlap_chunks = -1;
 };
 
 struct StepReport {
@@ -57,6 +63,9 @@ struct StepReport {
   double external_mb_per_node = 0.0;  // measured bytes (Fig. 5 series)
   double comm_seconds = 0.0;          // modelled communication time
   double step_seconds = 0.0;          // modelled comm + compute (Fig. 6)
+  std::size_t overlap_chunks = 0;     // dispatch pipeline depth (0/1 = off)
+  double overlap_step_seconds = 0.0;  // modelled step time under the overlap
+                                      // clock; equals step_seconds when off
   // --- fault tolerance (all zero on a healthy run) ---------------------------
   std::size_t faults_injected = 0;    // injector events during this step
   std::size_t retries = 0;            // step-level recovery retries
@@ -164,6 +173,7 @@ class VelaSystem {
     return placement_report_;
   }
   std::size_t steps_taken() const { return step_; }
+  std::size_t overlap_chunks() const { return overlap_chunks_; }
   const std::vector<StepReport>& history() const { return history_; }
 
  private:
@@ -178,6 +188,7 @@ class VelaSystem {
   std::unique_ptr<Replanner> replanner_;
   bool ft_enabled_ = false;
   FaultToleranceConfig ft_;
+  std::size_t overlap_chunks_ = 0;  // resolved pipeline depth (0/1 = off)
   std::size_t step_ = 0;
   std::vector<StepReport> history_;
 };

@@ -263,19 +263,34 @@ class ExpertServer {
 // ---------------------------------------------------------------------------
 class PeerBackend : public moe::ExpertBackend {
  public:
-  PeerBackend(std::size_t shard, std::size_t num_shards, unsigned wire_bits,
+  PeerBackend(std::size_t shard, std::size_t num_shards,
+              std::size_t num_layers, unsigned wire_bits,
               const cluster::ClusterTopology* topology,
               comm::TrafficMeter* meter,
               std::vector<comm::Channel*> to_server,
               std::vector<comm::Channel*> from_server)
       : shard_(shard),
         num_shards_(num_shards),
+        num_layers_(num_layers),
         wire_bits_(wire_bits),
         topology_(topology),
         meter_(meter),
         to_server_(std::move(to_server)),
         from_server_(std::move(from_server)),
-        next_request_((static_cast<std::uint64_t>(shard) << 48) + 1) {}
+        next_request_((static_cast<std::uint64_t>(shard) << 48) + 1) {
+    reset_record();
+  }
+
+  // This shard's contribution to the step's per-phase all-to-all ledger
+  // (requests it sends, replies it receives) — phases are forward blocks
+  // 0..L−1 then backward L−1..0, the broker's convention. Each shard writes
+  // only its own record; the runtime merges them after joining the shard
+  // threads, so no cell is ever written concurrently.
+  comm::EpStepRecord take_record() {
+    comm::EpStepRecord out = std::move(record_);
+    reset_record();
+    return out;
+  }
 
   ag::Variable expert_forward(std::size_t layer, std::size_t expert,
                               const ag::Variable& xs) override {
@@ -305,6 +320,7 @@ class PeerBackend : public moe::ExpertBackend {
       msg.payload = xs.value();
       msg.wire_bits = wire_bits_;
       record(owner, msg.wire_size());
+      account(layer, /*backward=*/false, shard_, owner, msg.wire_size());
       outstanding.push_back(
           {owner, msg.request_id, static_cast<std::uint32_t>(expert)});
       VELA_CHECK(to_server_[owner]->send(std::move(msg)));
@@ -316,6 +332,7 @@ class PeerBackend : public moe::ExpertBackend {
       const Outstanding& o = outstanding[i];
       comm::Message reply = await(o.owner, o.request_id,
                                   comm::MessageType::kExpertForwardResult);
+      account(layer, /*backward=*/false, o.owner, shard_, reply.wire_size());
       const std::size_t owner = o.owner;
       const std::uint64_t request_id = o.request_id;
       const std::uint32_t layer32 = static_cast<std::uint32_t>(layer);
@@ -332,9 +349,12 @@ class PeerBackend : public moe::ExpertBackend {
             grad_msg.payload = n.grad;
             grad_msg.wire_bits = wire_bits_;
             record(owner, grad_msg.wire_size());
+            account(layer32, /*backward=*/true, shard_, owner,
+                    grad_msg.wire_size());
             VELA_CHECK(to_server_[owner]->send(std::move(grad_msg)));
             comm::Message dx = await(
                 owner, request_id, comm::MessageType::kExpertBackwardResult);
+            account(layer32, /*backward=*/true, owner, shard_, dx.wire_size());
             n.parents[0]->accumulate_grad(dx.payload);
           }));
     }
@@ -349,6 +369,19 @@ class PeerBackend : public moe::ExpertBackend {
                    bytes);
   }
 
+  void reset_record() {
+    record_.phases.assign(
+        2 * num_layers_,
+        comm::AllToAllPhase{std::vector<std::vector<std::uint64_t>>(
+            num_shards_, std::vector<std::uint64_t>(num_shards_, 0))});
+  }
+
+  void account(std::size_t layer, bool backward, std::size_t src,
+               std::size_t dst, std::uint64_t bytes) {
+    const std::size_t phase = backward ? 2 * num_layers_ - 1 - layer : layer;
+    record_.phases[phase].bytes[src][dst] += bytes;
+  }
+
   comm::Message await(std::size_t owner, std::uint64_t request_id,
                       comm::MessageType expected) {
     auto maybe = from_server_[owner]->receive();
@@ -361,13 +394,14 @@ class PeerBackend : public moe::ExpertBackend {
     return std::move(*maybe);
   }
 
-  std::size_t shard_, num_shards_;
+  std::size_t shard_, num_shards_, num_layers_;
   unsigned wire_bits_;
   const cluster::ClusterTopology* topology_;
   comm::TrafficMeter* meter_;
   std::vector<comm::Channel*> to_server_;
   std::vector<comm::Channel*> from_server_;
   std::uint64_t next_request_;
+  comm::EpStepRecord record_;
 };
 
 // ---------------------------------------------------------------------------
@@ -442,7 +476,11 @@ struct EpRuntime::Impl {
   EpRuntimeConfig cfg;
   cluster::ClusterTopology topology;
   comm::TrafficMeter meter;
+  comm::CommClock clock;
   std::size_t n;
+  // Bytes of the flat backbone-gradient buffer one device all-reduces
+  // (identical on every shard; shard 0 records it). Joined before read.
+  std::uint64_t allreduce_bytes = 0;
 
   std::vector<std::unique_ptr<comm::Channel>> inbox;            // [server]
   std::vector<std::vector<std::unique_ptr<comm::Channel>>> reply;  // [srv][src]
@@ -457,7 +495,7 @@ struct EpRuntime::Impl {
        const data::SyntheticCorpus* plant_corpus,
        const model::PlantingConfig& planting)
       : cfg(config), topology(config.cluster), meter(&topology),
-        n(topology.num_devices()) {
+        clock(&topology, config.clock), n(topology.num_devices()) {
     // Channels. Server inboxes carry mixed sources (metered at the sender);
     // replies and ring edges have fixed endpoints and meter themselves.
     for (std::size_t d = 0; d < n; ++d) {
@@ -491,8 +529,8 @@ struct EpRuntime::Impl {
         from_server.push_back(reply[o][d].get());
       }
       backends.push_back(std::make_unique<PeerBackend>(
-          d, n, cfg.wire_bits, &topology, &meter, std::move(to_server),
-          std::move(from_server)));
+          d, n, cfg.model.num_layers, cfg.wire_bits, &topology, &meter,
+          std::move(to_server), std::move(from_server)));
       Rng rng(cfg.seed);
       replicas.push_back(std::make_unique<model::MoETransformer>(
           cfg.model, backends.back().get(), rng));
@@ -540,6 +578,10 @@ struct EpRuntime::Impl {
     std::size_t total = 0;
     for (const auto& p : params) total += p.var.value().size();
     Tensor flat({total});
+    if (d == 0) {
+      allreduce_bytes =
+          static_cast<std::uint64_t>(total) * (cfg.wire_bits / 8);
+    }
     std::size_t offset = 0;
     for (const auto& p : params) {
       if (p.var.has_grad()) {
@@ -625,6 +667,29 @@ EpStepReport EpRuntime::train_step(
   report.loss = total / static_cast<float>(im.n);
   report.external_mb_per_node =
       im.meter.step_external_mb_per_node(im.meter.num_steps() - 1);
+
+  // Modeled Fig. 6 times: merge the shards' per-phase all-to-all ledgers
+  // (threads are joined, so the per-backend records are quiescent) and let
+  // the analytic clock convert bytes to seconds. Profiling passes leave the
+  // measured byte story untouched — the record is rebuilt every step.
+  comm::EpStepRecord record;
+  record.phases.assign(
+      2 * im.cfg.model.num_layers,
+      comm::AllToAllPhase{std::vector<std::vector<std::uint64_t>>(
+          im.n, std::vector<std::uint64_t>(im.n, 0))});
+  for (auto& backend : im.backends) {
+    const comm::EpStepRecord shard_record = backend->take_record();
+    for (std::size_t p = 0; p < record.phases.size(); ++p) {
+      for (std::size_t i = 0; i < im.n; ++i) {
+        for (std::size_t j = 0; j < im.n; ++j) {
+          record.phases[p].bytes[i][j] += shard_record.phases[p].bytes[i][j];
+        }
+      }
+    }
+  }
+  record.allreduce_bytes_per_device = im.allreduce_bytes;
+  report.comm_seconds = im.clock.ep_comm_seconds(record);
+  report.step_seconds = im.clock.ep_step_seconds(record);
   return report;
 }
 

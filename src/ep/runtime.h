@@ -23,6 +23,7 @@
 
 #include "cluster/topology.h"
 #include "comm/channel.h"
+#include "comm/comm_clock.h"
 #include "comm/traffic_meter.h"
 #include "data/corpus.h"
 #include "model/router_planting.h"
@@ -37,12 +38,19 @@ struct EpRuntimeConfig {
   nn::AdamWConfig adamw;
   std::uint64_t seed = 1;
   unsigned wire_bits = 32;
+  // Analytic step-time model (same calibrated constants as the VELA side).
+  comm::CommClockConfig clock;
 };
 
 struct EpStepReport {
   std::size_t step = 0;
   float loss = 0.0f;  // mean over shards (== dense mean for equal shards)
   double external_mb_per_node = 0.0;
+  // Modeled Fig. 6 times from the step's measured all-to-all ledger
+  // (forward blocks 0..L−1 then backward L−1..0, plus the backbone
+  // gradient ring all-reduce) through CommClock's EP model.
+  double comm_seconds = 0.0;
+  double step_seconds = 0.0;
 };
 
 class EpRuntime {

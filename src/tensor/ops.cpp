@@ -366,6 +366,32 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& indices) {
   return out;
 }
 
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t rows) {
+  VELA_CHECK(a.rank() == 2);
+  VELA_CHECK_MSG(begin + rows <= a.rows(), "slice_rows window out of range");
+  const std::size_t m = a.cols();
+  Tensor out({rows, m});
+  std::memcpy(out.data(), a.data() + begin * m, rows * m * sizeof(float));
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  VELA_CHECK_MSG(!parts.empty(), "concat_rows requires at least one part");
+  const std::size_t m = parts.front().cols();
+  std::size_t rows = 0;
+  for (const Tensor& p : parts) {
+    VELA_CHECK(p.rank() == 2 && p.cols() == m);
+    rows += p.rows();
+  }
+  Tensor out({rows, m});
+  std::size_t at = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(out.data() + at * m, p.data(), p.rows() * m * sizeof(float));
+    at += p.rows();
+  }
+  return out;
+}
+
 void scatter_add_rows(Tensor& out, const Tensor& a,
                       const std::vector<std::size_t>& indices) {
   VELA_CHECK(out.rank() == 2 && a.rank() == 2 && out.cols() == a.cols());

@@ -70,6 +70,10 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::size_t>& indices);
 // out.row(indices[i]) += a.row(i); out must be [n, m], a [|indices|, m].
 void scatter_add_rows(Tensor& out, const Tensor& a,
                       const std::vector<std::size_t>& indices);
+// Contiguous row window [begin, begin + rows) of a [n, m] tensor.
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t rows);
+// Stacks rank-2 tensors of equal column count along the row axis, in order.
+Tensor concat_rows(const std::vector<Tensor>& parts);
 
 // --- initialization --------------------------------------------------------
 Tensor randn(std::vector<std::size_t> shape, Rng& rng, float mean = 0.0f,

@@ -1,0 +1,173 @@
+// The overlap-aware step model (`ctest -L overlap`, DESIGN.md §8).
+//
+// Two contracts:
+//  * the pipelined clock generalizes Eqs. (5)–(7) — depth K <= 1 reproduces
+//    the sequential model bit-for-bit, deeper pipelines follow the closed
+//    form T_p = max_w[(t_w + c)/K + (K−1)/K · max(t_w, c)] and never beat
+//    the critical-path bound max(t_w, c);
+//  * the EP analytic model is untouched by this PR — its step times are
+//    pinned to the exact doubles the pre-overlap clock produced, so any
+//    accidental drift in the all-to-all/sync/all-reduce terms is caught
+//    byte-for-byte.
+#include "comm/comm_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace vela {
+namespace {
+
+cluster::ClusterTopology paper_topo() {
+  return cluster::ClusterTopology(cluster::ClusterConfig::paper_testbed());
+}
+
+// Deterministic non-trivial VELA record: 4 phases, every worker loaded with
+// a distinct byte count and message count.
+comm::VelaStepRecord pinned_vela_record(std::size_t workers) {
+  comm::VelaStepRecord vr;
+  for (int p = 0; p < 4; ++p) {
+    comm::MasterWorkerPhase ph;
+    ph.bytes.assign(workers, 0);
+    ph.messages.assign(workers, 0);
+    for (std::size_t k = 0; k < workers; ++k) {
+      ph.bytes[k] = 500000ull * (k + 1) + 13ull * p;
+      ph.messages[k] = static_cast<std::uint32_t>(2 + (k % 3));
+    }
+    vr.phases.push_back(ph);
+  }
+  return vr;
+}
+
+// Deterministic EP record: two all-to-all phases with a fixed byte pattern
+// plus a backbone all-reduce.
+comm::EpStepRecord pinned_ep_record(std::size_t devices) {
+  comm::EpStepRecord rec;
+  for (int p = 0; p < 2; ++p) {
+    comm::AllToAllPhase phase;
+    phase.bytes.assign(devices, std::vector<std::uint64_t>(devices, 0));
+    for (std::size_t i = 0; i < devices; ++i) {
+      for (std::size_t j = 0; j < devices; ++j) {
+        if (i != j) {
+          phase.bytes[i][j] =
+              1000000ull * (i + 1) + 37ull * j + 1000ull * static_cast<unsigned>(p);
+        }
+      }
+    }
+    rec.phases.push_back(phase);
+  }
+  rec.allreduce_bytes_per_device = 4200000;
+  return rec;
+}
+
+TEST(OverlapClock, DepthZeroAndOneMatchSequentialExactly) {
+  auto topo = paper_topo();
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.9;
+  comm::CommClock clock(&topo, cfg);
+  const auto record = pinned_vela_record(topo.num_workers());
+  // Not NEAR: the sequential model IS the K<=1 path, same arithmetic.
+  EXPECT_EQ(clock.vela_overlap_step_seconds(record, 0),
+            clock.vela_step_seconds(record));
+  EXPECT_EQ(clock.vela_overlap_step_seconds(record, 1),
+            clock.vela_step_seconds(record));
+  EXPECT_EQ(clock.vela_overlap_comm_seconds(record, 0),
+            clock.vela_comm_seconds(record));
+  EXPECT_EQ(clock.vela_overlap_comm_seconds(record, 1),
+            clock.vela_comm_seconds(record));
+}
+
+TEST(OverlapClock, PipelineFormulaMatchesClosedForm) {
+  // One cross-node worker (worker 2 = device 3: 1.17 GB/s, 200 µs/message),
+  // three identical phases, compute 1.2 s → c = 0.4 s per phase.
+  auto topo = paper_topo();
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.2;
+  comm::CommClock clock(&topo, cfg);
+  comm::VelaStepRecord record;
+  for (int p = 0; p < 3; ++p) {
+    comm::MasterWorkerPhase ph;
+    ph.bytes.assign(topo.num_workers(), 0);
+    ph.messages.assign(topo.num_workers(), 0);
+    ph.bytes[2] = 11'700'000;  // t = 10 ms
+    record.phases.push_back(ph);
+  }
+  // K = 4: T_p = (0.01 + 0.4)/4 + (3/4)·max(0.01, 0.4)
+  //            = 0.1025 + 0.3 = 0.4025; step = 3 · 0.4025.
+  EXPECT_NEAR(clock.vela_overlap_step_seconds(record, 4), 3 * 0.4025, 1e-9);
+  // Comm view subtracts the full compute budget.
+  EXPECT_NEAR(clock.vela_overlap_comm_seconds(record, 4), 3 * 0.4025 - 1.2,
+              1e-9);
+}
+
+TEST(OverlapClock, MonotoneNonIncreasingInDepthAndBoundedBelow) {
+  // dT_p/dK = −min(t, c)/K² <= 0: deeper pipelines can only help, and no
+  // depth beats the per-phase critical path max(t, c).
+  auto topo = paper_topo();
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.9;
+  comm::CommClock clock(&topo, cfg);
+  const auto record = pinned_vela_record(topo.num_workers());
+  double prev = clock.vela_overlap_step_seconds(record, 1);
+  for (std::size_t k = 2; k <= 64; k *= 2) {
+    const double t = clock.vela_overlap_step_seconds(record, k);
+    EXPECT_LE(t, prev + 1e-12) << "depth " << k << " regressed the model";
+    prev = t;
+  }
+  // Lower bounds: the step can hide comm under compute (or vice versa) but
+  // never shrink either.
+  EXPECT_GE(prev, cfg.compute_seconds);
+  EXPECT_GE(prev, clock.vela_comm_seconds(record));
+}
+
+TEST(OverlapClock, OverlapHidesTransferUnderCompute) {
+  // Compute-dominated phases: at depth 8 all but 1/8 of the transfer hides
+  // under compute, so the step must be strictly below sequential and within
+  // (t + c)/K of the compute floor.
+  auto topo = paper_topo();
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.9;
+  comm::CommClock clock(&topo, cfg);
+  const auto record = pinned_vela_record(topo.num_workers());
+  const double seq = clock.vela_step_seconds(record);
+  const double piped = clock.vela_overlap_step_seconds(record, 8);
+  EXPECT_LT(piped, seq);
+  EXPECT_GT(seq - piped, 0.0);
+}
+
+// --- EP model pinned byte-for-byte (satellite: the all-to-all sync-cost
+// --- term must be unchanged by the overlap PR) ------------------------------
+
+TEST(OverlapClock, EpStepModelPinnedToPreOverlapValues) {
+  auto topo = paper_topo();
+  ASSERT_EQ(topo.num_devices(), 6u);
+  ASSERT_EQ(topo.num_workers(), 5u);
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.9;
+  comm::CommClock clock(&topo, cfg);
+
+  const auto rec = pinned_ep_record(topo.num_devices());
+  // Exact doubles produced by the pre-overlap clock on this record (printed
+  // with %.17g, which round-trips doubles). EXPECT_EQ, not NEAR: any change
+  // to the EP arithmetic is a regression this PR promised not to make.
+  EXPECT_EQ(clock.ep_comm_seconds(rec), 0.061728153823735456);
+  EXPECT_EQ(clock.ep_step_seconds(rec), 1.9617281538237354);
+
+  comm::EpStepRecord no_allreduce = rec;
+  no_allreduce.allreduce_bytes_per_device = 0;
+  EXPECT_EQ(clock.ep_comm_seconds(no_allreduce), 0.055745247840829473);
+}
+
+TEST(OverlapClock, VelaSequentialModelPinnedToPreOverlapValues) {
+  auto topo = paper_topo();
+  comm::CommClockConfig cfg;
+  cfg.compute_seconds = 1.9;
+  comm::CommClock clock(&topo, cfg);
+  const auto vr = pinned_vela_record(topo.num_workers());
+  EXPECT_EQ(clock.vela_comm_seconds(vr), 0.010947075213675213);
+  EXPECT_EQ(clock.vela_step_seconds(vr), 1.910947075213675);
+}
+
+}  // namespace
+}  // namespace vela

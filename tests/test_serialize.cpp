@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -129,6 +132,182 @@ TEST(Serialize, TrailingBytesRejected) {
   auto bytes = comm::encode(sample_message(32));
   bytes.push_back(0);
   EXPECT_THROW(comm::decode(bytes), CheckError);
+}
+
+// --- edge-value round-trip properties ----------------------------------------
+
+// The IEEE corner cases a lossy codec is most likely to mangle.
+std::vector<float> edge_values() {
+  const float inf = std::numeric_limits<float>::infinity();
+  float nan_payload;
+  const std::uint32_t nan_bits = 0x7FC01234u;  // qNaN with payload bits set
+  std::memcpy(&nan_payload, &nan_bits, sizeof(nan_payload));
+  return {0.0f,
+          -0.0f,
+          inf,
+          -inf,
+          nan_payload,
+          65504.0f,                                // max finite binary16
+          -65504.0f,
+          std::ldexp(1.0f, -24),                   // smallest binary16 subnormal
+          std::ldexp(1.0f, -14),                   // smallest binary16 normal
+          std::numeric_limits<float>::max(),       // max finite binary32
+          std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::denorm_min(),  // binary32 subnormal
+          std::numeric_limits<float>::min()};
+}
+
+std::uint32_t bits_of(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+TEST(Serialize, Binary32RoundTripPreservesEveryBitPattern) {
+  // 32-bit transport is declared lossless; that must include signed zeros,
+  // infinities, subnormals and NaN payload bits — compare bit patterns, not
+  // values (NaN != NaN).
+  const auto edges = edge_values();
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForward;
+  msg.request_id = 9;
+  msg.wire_bits = 32;
+  msg.payload = Tensor::ones({edges.size()});
+  for (std::size_t i = 0; i < edges.size(); ++i) msg.payload[i] = edges[i];
+  const comm::Message back = comm::decode(comm::encode(msg));
+  ASSERT_EQ(back.payload.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(bits_of(back.payload[i]), bits_of(edges[i]))
+        << "edge value index " << i;
+  }
+}
+
+TEST(Serialize, Binary16RoundTripHandlesEdgeValues) {
+  // Through the 16-bit codec every edge value must land on the value the
+  // binary16 format defines for it — and a second trip must be a fixed
+  // point (quantization is idempotent).
+  const auto edges = edge_values();
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForward;
+  msg.request_id = 10;
+  msg.wire_bits = 16;
+  msg.payload = Tensor::ones({edges.size()});
+  for (std::size_t i = 0; i < edges.size(); ++i) msg.payload[i] = edges[i];
+  const comm::Message once = comm::decode(comm::encode(msg));
+  ASSERT_EQ(once.payload.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const float expected = comm::half_to_float(comm::float_to_half(edges[i]));
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(once.payload[i])) << "index " << i;
+    } else {
+      EXPECT_EQ(bits_of(once.payload[i]), bits_of(expected)) << "index " << i;
+    }
+  }
+  // ±0 signs, ±inf and max-finite survive exactly.
+  EXPECT_EQ(bits_of(once.payload[0]), bits_of(0.0f));
+  EXPECT_EQ(bits_of(once.payload[1]), bits_of(-0.0f));
+  EXPECT_TRUE(std::isinf(once.payload[2]) && once.payload[2] > 0);
+  EXPECT_TRUE(std::isinf(once.payload[3]) && once.payload[3] < 0);
+  EXPECT_TRUE(std::isnan(once.payload[4]));
+  EXPECT_EQ(once.payload[5], 65504.0f);
+  EXPECT_EQ(once.payload[6], -65504.0f);
+  // Idempotence: re-encoding the decoded tensor changes nothing.
+  comm::Message again = once;
+  again.wire_bits = 16;
+  const comm::Message twice = comm::decode(comm::encode(again));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (std::isnan(once.payload[i])) {
+      EXPECT_TRUE(std::isnan(twice.payload[i])) << "index " << i;
+    } else {
+      EXPECT_EQ(bits_of(twice.payload[i]), bits_of(once.payload[i]))
+          << "index " << i;
+    }
+  }
+}
+
+TEST(Serialize, ZeroLengthTensorFramesAndRoundTrips) {
+  // A message whose payload is a zero-element tensor is pure framing: it
+  // must encode to exactly one header, decode back to an empty payload, and
+  // carry all routing fields intact.
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForwardResult;
+  msg.request_id = 77;
+  msg.layer = 1;
+  msg.expert = 2;
+  msg.step = 5;
+  msg.wire_bits = 32;
+  msg.payload = Tensor();  // zero-element: dims must be positive, so "empty"
+                           // is the default tensor — pure framing
+  EXPECT_EQ(msg.wire_size(), comm::Message::kHeaderBytes);
+  const auto bytes = comm::encode(msg);
+  EXPECT_EQ(bytes.size(), comm::Message::kHeaderBytes);
+  const comm::Message back = comm::decode(bytes);
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.layer, msg.layer);
+  EXPECT_EQ(back.expert, msg.expert);
+  EXPECT_EQ(back.step, msg.step);
+  EXPECT_EQ(back.payload.size(), 0u);
+}
+
+// --- fragment framing (the overlap pipeline's wire contract) -----------------
+
+TEST(Serialize, ChunkFieldsRoundTripThroughCodec) {
+  comm::Message msg = sample_message(32);
+  msg.chunk_index = 3;
+  msg.chunk_count = 5;
+  const comm::Message back = comm::decode(comm::encode(msg));
+  EXPECT_EQ(back.chunk_index, 3u);
+  EXPECT_EQ(back.chunk_count, 5u);
+  // Defaults (unfragmented) survive too.
+  const comm::Message plain = comm::decode(comm::encode(sample_message(32)));
+  EXPECT_EQ(plain.chunk_index, 0u);
+  EXPECT_EQ(plain.chunk_count, 1u);
+}
+
+TEST(Serialize, MalformedChunkFieldsRejected) {
+  // Header layout: byte 2 = chunk_index, byte 3 = chunk_count.
+  auto zero_count = comm::encode(sample_message(32));
+  zero_count[3] = 0;  // chunk_count must be >= 1
+  EXPECT_THROW(comm::decode(zero_count), CheckError);
+  auto index_beyond = comm::encode(sample_message(32));
+  index_beyond[2] = 4;
+  index_beyond[3] = 4;  // chunk_index must be < chunk_count
+  EXPECT_THROW(comm::decode(index_beyond), CheckError);
+}
+
+TEST(Serialize, FragmentTrainCostsExactlyOneHeader) {
+  // Splitting a transfer into K row fragments must not change its wire
+  // cost: fragment 0 carries the header, continuations are payload-only, so
+  // the train's total equals the unfragmented message's total — at both
+  // transport precisions and for any K.
+  Rng rng(11);
+  const Tensor full = ops::randn({12, 4}, rng);
+  for (unsigned bits : {16u, 32u}) {
+    comm::Message whole;
+    whole.type = comm::MessageType::kExpertForward;
+    whole.request_id = 100;
+    whole.wire_bits = bits;
+    whole.payload = full;
+    for (std::size_t k : {2u, 3u, 5u, 12u}) {
+      std::uint64_t train_bytes = 0;
+      std::size_t at = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const std::size_t rows = 12 / k + (c < 12 % k ? 1 : 0);
+        comm::Message frag;
+        frag.type = comm::MessageType::kExpertForward;
+        frag.request_id = 100 + c;
+        frag.wire_bits = bits;
+        frag.chunk_index = static_cast<std::uint8_t>(c);
+        frag.chunk_count = static_cast<std::uint8_t>(k);
+        frag.payload = ops::slice_rows(full, at, rows);
+        at += rows;
+        train_bytes += frag.wire_size();
+      }
+      ASSERT_EQ(at, 12u);
+      EXPECT_EQ(train_bytes, whole.wire_size()) << "bits " << bits << " K " << k;
+    }
+  }
 }
 
 TEST(Serialize, HalfPrecisionTensorOpAgreesWithCodec) {
