@@ -132,7 +132,7 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
       value.at(i, j) = xv.at(i, j) * r * gain.value().at(j);
   });
   return make_op(std::move(value), {x, gain}, [inv_rms, n, m](Node& node) {
-    const Tensor& xv = node.parents[0]->value;
+    const Tensor& px = node.parents[0]->value;
     const Tensor& g = node.parents[1]->value;
     const Tensor& dy = node.grad;
     if (node.parents[0]->requires_grad) {
@@ -141,11 +141,11 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
         const float r = (*inv_rms)[i];
         double proj = 0.0;  // Σ_j dy_j g_j x_j
         for (std::size_t j = 0; j < m; ++j)
-          proj += double(dy.at(i, j)) * g.at(j) * xv.at(i, j);
+          proj += double(dy.at(i, j)) * g.at(j) * px.at(i, j);
         const float c =
             static_cast<float>(proj) * r * r * r / static_cast<float>(m);
         for (std::size_t j = 0; j < m; ++j)
-          dx.at(i, j) = r * g.at(j) * dy.at(i, j) - c * xv.at(i, j);
+          dx.at(i, j) = r * g.at(j) * dy.at(i, j) - c * px.at(i, j);
       });
       node.parents[0]->accumulate_grad(dx);
     }
@@ -154,7 +154,7 @@ Variable rmsnorm(const Variable& x, const Variable& gain, float eps) {
       for (std::size_t i = 0; i < n; ++i) {
         const float r = (*inv_rms)[i];
         for (std::size_t j = 0; j < m; ++j)
-          dg.at(j) += dy.at(i, j) * xv.at(i, j) * r;
+          dg.at(j) += dy.at(i, j) * px.at(i, j) * r;
       }
       node.parents[1]->accumulate_grad(dg);
     }
@@ -253,13 +253,13 @@ Variable scale_rows(const Variable& x, const Variable& weights) {
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < m; ++j) value.at(i, j) = xv.at(i, j) * wv.at(i);
   return make_op(std::move(value), {x, weights}, [n, m](Node& node) {
-    const Tensor& xv = node.parents[0]->value;
-    const Tensor& wv = node.parents[1]->value;
+    const Tensor& px = node.parents[0]->value;
+    const Tensor& pw = node.parents[1]->value;
     if (node.parents[0]->requires_grad) {
       Tensor dx({n, m});
       for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < m; ++j)
-          dx.at(i, j) = node.grad.at(i, j) * wv.at(i);
+          dx.at(i, j) = node.grad.at(i, j) * pw.at(i);
       node.parents[0]->accumulate_grad(dx);
     }
     if (node.parents[1]->requires_grad) {
@@ -267,7 +267,7 @@ Variable scale_rows(const Variable& x, const Variable& weights) {
       for (std::size_t i = 0; i < n; ++i) {
         double acc = 0.0;
         for (std::size_t j = 0; j < m; ++j)
-          acc += double(node.grad.at(i, j)) * xv.at(i, j);
+          acc += double(node.grad.at(i, j)) * px.at(i, j);
         dw.at(i) = static_cast<float>(acc);
       }
       node.parents[1]->accumulate_grad(dw);
@@ -411,8 +411,8 @@ Variable logsumexp_rows(const Variable& x) {
   }
   return make_op(std::move(value), {x}, [n, m](Node& node) {
     // d lse_i / d x_ij = softmax(x_i)_j.
-    const Tensor& xv = node.parents[0]->value;
-    Tensor dx = ops::softmax_rows(xv);
+    const Tensor& px = node.parents[0]->value;
+    Tensor dx = ops::softmax_rows(px);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < m; ++j) dx.at(i, j) *= node.grad.at(i);
     }

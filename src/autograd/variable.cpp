@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace vela::ag {
@@ -129,9 +130,24 @@ void backward_from(const Variable& root, const Tensor& grad) {
   }
 
   root.node()->accumulate_grad(grad);
+  const bool auditing = audit::enabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     detail::Node* node = *it;
-    if (node->backward_fn && node->grad_ready) node->backward_fn(*node);
+    if (!node->backward_fn || !node->grad_ready) continue;
+    if (auditing) {
+      audit::check_backward_tensors(node->value, node->grad, "backward node");
+    }
+    node->backward_fn(*node);
+    if (auditing) {
+      // backward_fn just wrote into the parents' grads; validate each one
+      // while the producing node is still identifiable.
+      for (const auto& parent : node->parents) {
+        if (parent->grad_ready) {
+          audit::check_backward_tensors(parent->value, parent->grad,
+                                        "backward parent");
+        }
+      }
+    }
   }
 }
 

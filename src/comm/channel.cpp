@@ -1,6 +1,39 @@
 #include "comm/channel.h"
 
+#include "util/audit.h"
+
 namespace vela::comm {
+namespace {
+
+// Feeds the VELA_AUDIT byte-conservation ledger from the channel boundary.
+// Every disposition a message can take (enqueued, dropped by a fault,
+// rejected by a closed queue, handed to a receiver) reports here, so a new
+// code path that forgets one trips the step-end conservation check.
+//
+// Ordering contract: the posted+enqueued charge happens BEFORE the queue
+// push publishes the message. Once a receiver can observe the message its
+// accounting is complete — otherwise a sender preempted between push and
+// charge would make a concurrent step-end check see delivered bytes that
+// were never enqueued. A push that then loses the race with close() converts
+// its optimistic charge into a drop.
+void ledger_posted_enqueued(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_posted_enqueued(bytes);
+}
+void ledger_posted_dropped(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_posted_dropped(bytes);
+}
+void ledger_enqueue_rejected(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_enqueue_rejected(bytes);
+}
+void ledger_received(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_received(bytes);
+}
+
+}  // namespace
 
 Channel::Channel(std::size_t src_node, std::size_t dst_node,
                  TrafficMeter* meter)
@@ -32,27 +65,48 @@ bool Channel::send(Message msg) {
   }
   switch (fault) {
     case FaultKind::kDrop:
+      ledger_posted_dropped(size);
       return true;  // transmitted, never delivered
     case FaultKind::kSever:
+      ledger_posted_dropped(size);
       queue_.close();
       return false;
     case FaultKind::kDuplicate: {
       Message copy = msg;
-      queue_.push(std::move(copy));
-      return queue_.push(std::move(msg));
+      ledger_posted_enqueued(size);
+      if (!queue_.push(std::move(copy))) ledger_enqueue_rejected(size);
+      ledger_posted_enqueued(size);
+      const bool ok = queue_.push(std::move(msg));
+      if (!ok) ledger_enqueue_rejected(size);
+      return ok;
     }
-    default:
-      return queue_.push(std::move(msg));
+    default: {
+      ledger_posted_enqueued(size);
+      const bool ok = queue_.push(std::move(msg));
+      // Lost the race with close(); the message was never queued.
+      if (!ok) ledger_enqueue_rejected(size);
+      return ok;
+    }
   }
 }
 
-std::optional<Message> Channel::receive() { return queue_.pop(); }
+std::optional<Message> Channel::receive() {
+  std::optional<Message> msg = queue_.pop();
+  if (msg.has_value()) ledger_received(msg->wire_size());
+  return msg;
+}
 
-std::optional<Message> Channel::try_receive() { return queue_.try_pop(); }
+std::optional<Message> Channel::try_receive() {
+  std::optional<Message> msg = queue_.try_pop();
+  if (msg.has_value()) ledger_received(msg->wire_size());
+  return msg;
+}
 
 PopStatus Channel::receive_for(std::chrono::milliseconds timeout,
                                Message* out) {
-  return queue_.pop_for(timeout, out);
+  const PopStatus status = queue_.pop_for(timeout, out);
+  if (status == PopStatus::kOk) ledger_received(out->wire_size());
+  return status;
 }
 
 void Channel::set_fault_injector(FaultInjector* injector, std::size_t link,

@@ -82,8 +82,8 @@ std::uint32_t Message::compute_checksum() const {
   const float* data = payload.data();
   for (std::size_t i = 0; i < payload.size(); ++i) {
     std::uint32_t bits;
-    static_assert(sizeof(bits) == sizeof(float));
-    std::memcpy(&bits, &data[i], sizeof(bits));
+    static_assert(sizeof(std::uint32_t) == sizeof(float));
+    std::memcpy(&bits, &data[i], sizeof(std::uint32_t));
     mix(bits);
   }
   return h == 0 ? 1u : h;

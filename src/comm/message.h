@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "tensor/tensor.h"
 
@@ -80,22 +81,51 @@ struct Message {
   // ride the logical transfer whose header fragment 0 already paid for, so
   // they cost their payload only — which is what makes the chunked dispatch
   // pipeline byte-identical to the unchunked exchange at any chunk count.
-  std::uint64_t wire_size() const {
+  [[nodiscard]] std::uint64_t wire_size() const {
     const std::uint64_t body =
         payload.size() > 0 ? payload.wire_bytes(wire_bits) : phantom_bytes;
     return (chunk_index > 0 ? 0 : kHeaderBytes) + body;
   }
 
   // FNV-1a over the routing header and payload bits.
-  std::uint32_t compute_checksum() const;
+  [[nodiscard]] std::uint32_t compute_checksum() const;
   void stamp_checksum() { checksum = compute_checksum(); }
   // True when unchecksummed or the checksum matches (receivers treat a
   // mismatch as in-flight corruption and drop the message).
-  bool checksum_ok() const {
+  [[nodiscard]] bool checksum_ok() const {
     return checksum == 0 || checksum == compute_checksum();
   }
 
   std::string to_string() const;
 };
+
+// Wire-layout pins (DESIGN.md §9). The codec in serialize.cpp writes the
+// header fields below at these exact widths; kHeaderBytes is what every
+// ledger, clock and golden CSV in the tree is calibrated against. Narrowing,
+// widening or retyping a header field must break the build here — not drift
+// the protocol silently (the PR 3 chunk-field repurposing is the motivating
+// precedent). Message itself is NOT trivially copyable (it owns a Tensor);
+// only the header fields are raw scalars.
+static_assert(std::is_trivially_copyable_v<MessageType> &&
+                  sizeof(MessageType) == sizeof(std::uint8_t),
+              "wire header: type travels as u8");
+static_assert(std::is_same_v<decltype(Message::request_id), std::uint64_t>,
+              "wire header: request_id travels as u64");
+static_assert(std::is_same_v<decltype(Message::source), std::uint32_t> &&
+                  std::is_same_v<decltype(Message::layer), std::uint32_t> &&
+                  std::is_same_v<decltype(Message::expert), std::uint32_t> &&
+                  std::is_same_v<decltype(Message::step), std::uint32_t>,
+              "wire header: routing ids travel as u32");
+static_assert(std::is_same_v<decltype(Message::chunk_index), std::uint8_t> &&
+                  std::is_same_v<decltype(Message::chunk_count), std::uint8_t>,
+              "wire header: fragment indices travel as u8 (receivers "
+              "reassemble trains keyed on request_id - chunk_index)");
+static_assert(std::is_same_v<decltype(Message::checksum), std::uint32_t>,
+              "wire header: the CRC slot is u32 (budgeted in kHeaderBytes)");
+static_assert(Message::kHeaderBytes ==
+                  4 * sizeof(std::uint8_t) +    // type, wire_bits, chunk_*
+                      2 * sizeof(std::uint64_t) +  // request_id, element count
+                      4 * sizeof(std::uint32_t),   // source, layer, expert, step
+              "wire header: kHeaderBytes must equal the serialized field sum");
 
 }  // namespace vela::comm

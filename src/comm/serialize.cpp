@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "util/check.h"
 
@@ -10,12 +11,20 @@ namespace {
 
 template <typename T>
 void append_pod(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire fields must be raw fixed-layout scalars");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "wire fields are at most 8 bytes");
   const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
   out.insert(out.end(), bytes, bytes + sizeof(T));
 }
 
 template <typename T>
 T read_pod(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire fields must be raw fixed-layout scalars");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "wire fields are at most 8 bytes");
   VELA_CHECK_MSG(offset + sizeof(T) <= in.size(), "wire buffer truncated");
   T value;
   std::memcpy(&value, in.data() + offset, sizeof(T));
@@ -27,7 +36,7 @@ T read_pod(const std::vector<std::uint8_t>& in, std::size_t& offset) {
 
 std::uint16_t float_to_half(float value) {
   std::uint32_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
+  std::memcpy(&bits, &value, sizeof(std::uint32_t));
   const std::uint16_t sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000);
   const std::int32_t exponent =
       static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
@@ -86,7 +95,7 @@ float half_to_float(std::uint16_t half) {
     bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
   }
   float value;
-  std::memcpy(&value, &bits, sizeof(value));
+  std::memcpy(&value, &bits, sizeof(float));
   return value;
 }
 

@@ -19,12 +19,38 @@
 // therefore holds exactly for unfragmented messages and fragment 0.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "comm/message.h"
 
 namespace vela::comm {
+
+// Field-by-field mirror of the header layout documented above, pinned at
+// compile time so the comment, the codec and the byte accounting cannot
+// drift apart. encode() checks the running offset against these at runtime;
+// the static_assert makes drift a build failure first.
+namespace wire {
+inline constexpr std::size_t kTypeBytes = sizeof(std::uint8_t);
+inline constexpr std::size_t kWireBitsBytes = sizeof(std::uint8_t);
+inline constexpr std::size_t kChunkIndexBytes = sizeof(std::uint8_t);
+inline constexpr std::size_t kChunkCountBytes = sizeof(std::uint8_t);
+inline constexpr std::size_t kRequestIdBytes = sizeof(std::uint64_t);
+inline constexpr std::size_t kSourceBytes = sizeof(std::uint32_t);
+inline constexpr std::size_t kLayerBytes = sizeof(std::uint32_t);
+inline constexpr std::size_t kExpertBytes = sizeof(std::uint32_t);
+inline constexpr std::size_t kStepBytes = sizeof(std::uint32_t);
+inline constexpr std::size_t kElementCountBytes = sizeof(std::uint64_t);
+}  // namespace wire
+
+static_assert(wire::kTypeBytes + wire::kWireBitsBytes +
+                      wire::kChunkIndexBytes + wire::kChunkCountBytes +
+                      wire::kRequestIdBytes + wire::kSourceBytes +
+                      wire::kLayerBytes + wire::kExpertBytes +
+                      wire::kStepBytes + wire::kElementCountBytes ==
+                  Message::kHeaderBytes,
+              "wire header fields must sum to Message::kHeaderBytes");
 
 // IEEE 754 binary16 conversion (round-to-nearest-even, overflow → ±inf).
 std::uint16_t float_to_half(float value);

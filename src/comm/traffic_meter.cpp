@@ -13,13 +13,13 @@ void TrafficMeter::record(std::size_t src_node, std::size_t dst_node,
                           std::uint64_t bytes) {
   VELA_CHECK(src_node < topology_->num_nodes() &&
              dst_node < topology_->num_nodes());
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   cur_total_ += bytes;
   if (src_node != dst_node) cur_external_ += bytes;
 }
 
 void TrafficMeter::end_step() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   external_history_.push_back(cur_external_);
   total_history_.push_back(cur_total_);
   cur_external_ = 0;
@@ -27,28 +27,28 @@ void TrafficMeter::end_step() {
 }
 
 void TrafficMeter::discard_current() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   cur_external_ = 0;
   cur_total_ = 0;
 }
 
 std::uint64_t TrafficMeter::current_external_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   return cur_external_;
 }
 
 std::uint64_t TrafficMeter::current_total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   return cur_total_;
 }
 
 std::size_t TrafficMeter::num_steps() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   return external_history_.size();
 }
 
 std::uint64_t TrafficMeter::step_external_bytes(std::size_t i) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   VELA_CHECK(i < external_history_.size());
   return external_history_[i];
 }
@@ -59,7 +59,7 @@ double TrafficMeter::step_external_mb_per_node(std::size_t i) const {
 }
 
 double TrafficMeter::mean_external_mb_per_node() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   if (external_history_.empty()) return 0.0;
   double total = 0.0;
   for (auto b : external_history_) total += static_cast<double>(b);
@@ -68,14 +68,14 @@ double TrafficMeter::mean_external_mb_per_node() const {
 }
 
 std::uint64_t TrafficMeter::lifetime_external_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   std::uint64_t total = cur_external_;
   for (auto b : external_history_) total += b;
   return total;
 }
 
 std::uint64_t TrafficMeter::lifetime_total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
   std::uint64_t total = cur_total_;
   for (auto b : total_history_) total += b;
   return total;

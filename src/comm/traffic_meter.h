@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/topology.h"
+#include "util/audit.h"
 
 namespace vela::comm {
 
@@ -44,7 +45,7 @@ class TrafficMeter {
 
  private:
   const cluster::ClusterTopology* topology_;
-  mutable std::mutex mutex_;
+  mutable audit::AuditedMutex mutex_{"traffic_meter"};
   std::uint64_t cur_external_ = 0;
   std::uint64_t cur_total_ = 0;
   std::vector<std::uint64_t> external_history_;

@@ -1,5 +1,9 @@
 #include "core/fault_tolerance.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -71,12 +75,19 @@ void ReliableLink::post(comm::Message msg) {
 }
 
 void ReliableLink::abandon_outstanding() {
+  // remember() evicts oldest-first once the recent-set fills, so the order
+  // keys enter it is observable. Sort before inserting: unordered_map
+  // iteration order would make the surviving set hash-seed dependent.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(outstanding_.size() + stash_.size());
   for (const auto& [id, req] : outstanding_) {
-    remember(key_of(expected_reply_type(req.type), id));
+    keys.push_back(key_of(expected_reply_type(req.type), id));
   }
   outstanding_.clear();
-  for (const auto& [key, reply] : stash_) remember(key);
+  for (const auto& [key, reply] : stash_) keys.push_back(key);
   stash_.clear();
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) remember(key);
 }
 
 comm::Message ReliableLink::await(
@@ -163,6 +174,9 @@ comm::Message ReliableLink::await(
                             << (attempt + 2) << ")";
     if (!link_->to_worker.send(std::move(resend))) {
       throw WorkerFailedError(worker_, "channel severed while retransmitting");
+    }
+    if (audit::enabled()) {
+      audit::ConservationLedger::instance().on_retransmit(bytes);
     }
     if (on_retransmit) on_retransmit(bytes);
     timeout_ms *= policy.backoff;

@@ -110,6 +110,12 @@ class ReliableLink {
   bool probe(std::uint64_t request_id,
              const RetryPolicy* policy_override = nullptr);
 
+  // Insertion-ordered recently-completed keys (tests pin this order: the
+  // eviction sequence must not depend on unordered_map iteration order).
+  const std::deque<std::uint64_t>& recent_keys_for_testing() const {
+    return recent_order_;
+  }
+
  private:
   static std::uint64_t key_of(comm::MessageType type, std::uint64_t id) {
     return (static_cast<std::uint64_t>(type) << 56) ^ id;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/checkpoint.h"
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -196,6 +197,9 @@ StepReport VelaSystem::train_step_accumulated(
 
   const comm::VelaStepRecord record = master_->broker().finish_step();
   master_->meter().end_step();
+  // Request/reply traffic is quiescent here, so the audit ledger must
+  // balance: every posted byte delivered, dropped, or queued.
+  audit::ConservationLedger::instance().check("train_step");
 
   StepReport report;
   report.step = step_++;

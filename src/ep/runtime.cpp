@@ -11,6 +11,7 @@
 #include "core/protocol.h"
 #include "moe/moe_block.h"
 #include "nn/expert.h"
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -42,6 +43,7 @@ class ExpertServer {
           hosted.optimizer = std::make_unique<nn::AdamW>(
               hosted.expert->trainable_parameters(), cfg.adamw);
         }
+        hosted.trainable = hosted.expert->trainable_parameters();
         experts_.emplace(
             ExpertKey{static_cast<std::uint32_t>(l),
                       static_cast<std::uint32_t>(e)},
@@ -60,6 +62,16 @@ class ExpertServer {
   struct Hosted {
     std::unique_ptr<nn::SwiGLUExpert> expert;
     std::unique_ptr<nn::AdamW> optimizer;
+    // Cached trainable-parameter handles, in registration order — the
+    // staging slots below are parallel arrays over this list.
+    std::vector<nn::Parameter> trainable;
+    // Per-source-shard gradient deltas staged during the step and folded
+    // into the parameter grads in ascending source order at
+    // kOptimizerStep time. Backward requests from different shards race
+    // into the server inbox; accumulating them in arrival order made the
+    // summed gradient (and therefore the whole trajectory) depend on
+    // thread scheduling. Staging by source restores bit-determinism.
+    std::map<std::uint32_t, std::vector<Tensor>> staged;
   };
   struct Pending {
     ag::Variable input;
@@ -164,10 +176,35 @@ class ExpertServer {
     }
   }
 
+  // Moves the parameter-gradient delta the last backward_from produced into
+  // the expert's per-source staging slot and re-zeroes the shared buffers.
+  // The cross-source summation order is thereby fixed at fold time
+  // (ascending source id, see kOptimizerStep) instead of inheriting the
+  // nondeterministic message arrival order.
+  static void stage_grads(Hosted& hosted, std::uint32_t source) {
+    auto& slot = hosted.staged[source];
+    const bool fresh = slot.empty();
+    if (fresh) slot.reserve(hosted.trainable.size());
+    for (std::size_t i = 0; i < hosted.trainable.size(); ++i) {
+      ag::Variable& p = hosted.trainable[i].var;
+      if (fresh) {
+        slot.push_back(p.has_grad() ? p.grad()
+                                    : Tensor::zeros(p.value().shape()));
+      } else if (p.has_grad()) {
+        Tensor& acc = slot[i];
+        const Tensor& g = p.grad();
+        for (std::size_t j = 0; j < acc.size(); ++j) {
+          acc.data()[j] += g.data()[j];
+        }
+      }
+      p.zero_grad();
+    }
+  }
+
   // Computes batch[b, e) — all kExpertBackward. Backwards for the same
-  // expert accumulate into shared LoRA gradient buffers, so they stay
-  // sequential (in arrival order) within one task; distinct experts touch
-  // disjoint parameter nodes and run in parallel.
+  // expert share LoRA gradient buffers and a staging slot, so they stay
+  // sequential within one task; distinct experts touch disjoint parameter
+  // nodes and run in parallel.
   void handle_backward_run(std::vector<comm::Message>& batch, std::size_t b,
                            std::size_t e) {
     const std::size_t count = e - b;
@@ -193,11 +230,14 @@ class ExpertServer {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(groups.size());
     for (auto& [key, indices] : groups) {
-      tasks.push_back([this, &batch, &slots, b, &indices = indices] {
+      Hosted& hosted = experts_.at(key);
+      tasks.push_back([this, &batch, &slots, &hosted, b,
+                       &indices = indices] {
         for (const std::size_t k : indices) {
           comm::Message& msg = batch[b + k];
           Slot& s = slots[k];
           ag::backward_from(s.req.output, msg.payload);
+          stage_grads(hosted, msg.source);
           comm::Message reply;
           reply.type = comm::MessageType::kExpertBackwardResult;
           reply.request_id = msg.request_id;
@@ -229,9 +269,28 @@ class ExpertServer {
         std::vector<std::function<void()>> tasks;
         for (auto& [k, hosted] : experts_) {
           if (hosted.optimizer != nullptr) {
-            tasks.push_back([&opt = *hosted.optimizer] {
-              opt.step();
-              opt.zero_grad();
+            tasks.push_back([&h = hosted] {
+              // Fold the staged per-source gradient deltas in ascending
+              // source order (staged is a std::map) — the summed gradient
+              // is now independent of backward-request arrival order.
+              for (std::size_t i = 0; i < h.trainable.size(); ++i) {
+                Tensor total;
+                for (auto& [source, grads] : h.staged) {
+                  if (total.size() == 0) {
+                    total = grads[i];
+                  } else {
+                    for (std::size_t j = 0; j < total.size(); ++j) {
+                      total.data()[j] += grads[i].data()[j];
+                    }
+                  }
+                }
+                if (total.size() > 0) {
+                  h.trainable[i].var.set_grad(std::move(total));
+                }
+              }
+              h.staged.clear();
+              h.optimizer->step();
+              h.optimizer->zero_grad();
             });
           }
         }
@@ -660,6 +719,9 @@ EpStepReport EpRuntime::train_step(
   }
 
   im.meter.end_step();
+  // Shard threads are joined and acks drained: the transport is quiescent,
+  // so the audit ledger must balance at this boundary.
+  audit::ConservationLedger::instance().check("ep_step");
   EpStepReport report;
   report.step = im.step++;
   float total = 0.0f;

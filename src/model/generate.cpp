@@ -23,6 +23,8 @@ std::vector<std::size_t> generate(MoETransformer& model,
     const std::size_t vocab = logits.cols();
 
     std::size_t next;
+    // Temperature 0 is an assigned sentinel (greedy decoding), never the
+    // result of arithmetic. vela-lint: allow(float-equality)
     if (options.temperature == 0.0f) {
       next = 0;
       for (std::size_t v = 1; v < vocab; ++v) {

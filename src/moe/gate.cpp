@@ -57,7 +57,9 @@ TopKGate::TopKGate(std::string name, std::size_t model_dim,
 void TopKGate::set_capacity_factor(double factor) {
   VELA_CHECK(factor >= 0.0);
   // factor < 1 would guarantee dropped tokens; this gate reroutes instead of
-  // dropping, which needs at least the average load per expert.
+  // dropping, which needs at least the average load per expert. 0 is the
+  // assigned "off" sentinel, so exact compare is sound.
+  // vela-lint: allow(float-equality)
   VELA_CHECK_MSG(factor == 0.0 || factor >= 1.0,
                  "capacity factor must be 0 (off) or >= 1");
   capacity_factor_ = factor;

@@ -52,6 +52,8 @@ class Tableau {
       if (r == pr) continue;
       double* row = &a_[r * width];
       const double factor = row[pc];
+      // Exact-zero rows contribute nothing to the pivot; skipping them is an
+      // identity, not a tolerance. vela-lint: allow(float-equality)
       if (factor == 0.0) continue;
       for (std::size_t c = 0; c < width; ++c) row[c] -= factor * prow[c];
       row[pc] = 0.0;
@@ -261,6 +263,8 @@ LpSolution solve(const LinearProgram& lp, const SimplexOptions& opt) {
   for (std::size_t r = 0; r < m; ++r) {
     const std::size_t b = basis[r];
     const double cb = b < n_orig ? lp.objective[b] : 0.0;
+    // Zero-cost basics price out to nothing — exact skip is an identity.
+    // vela-lint: allow(float-equality)
     if (cb == 0.0) continue;
     for (std::size_t c = 0; c < n_total; ++c) reduced[c] -= cb * t.at(r, c);
     obj += cb * t.rhs(r);

@@ -131,6 +131,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         for (std::size_t i = r0; i < r1; ++i) {
           for (std::size_t kk = 0; kk < k; ++kk) {
             const float aik = pa[i * k + kk];
+            // Exact-zero skip: adding 0*row is the identity (finite inputs),
+            // and routing masks make zeros common.
+            // vela-lint: allow(float-equality)
             if (aik == 0.0f) continue;
             const float* brow = pb + kk * m;
             float* crow = pc + i * m;
@@ -161,6 +164,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
           const float* brow = pb + kk * m;
           for (std::size_t i = r0; i < r1; ++i) {
             const float aki = arow[i];
+            // Same exact-zero identity as matmul's inner skip.
+            // vela-lint: allow(float-equality)
             if (aki == 0.0f) continue;
             float* crow = pc + i * m;
             for (std::size_t j = 0; j < m; ++j) crow[j] += aki * brow[j];

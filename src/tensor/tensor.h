@@ -78,7 +78,7 @@ class Tensor {
   bool all_finite() const;
   // Number of bytes this tensor occupies on the wire when transmitted with
   // bit-depth `bits` per element (the paper uses b=16 for features).
-  std::size_t wire_bytes(unsigned bits = 32) const;
+  [[nodiscard]] std::size_t wire_bytes(unsigned bits = 32) const;
   std::string shape_string() const;
 
  private:

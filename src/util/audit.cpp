@@ -1,0 +1,356 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vela::audit {
+
+namespace {
+
+// -1 = not yet read from the environment, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+std::mutex g_handler_mutex;
+ViolationHandler g_handler;  // empty → default log+abort
+
+void default_handler(const std::string& category, const std::string& detail) {
+  std::fprintf(stderr, "[vela-audit] %s violation: %s\n", category.c_str(),
+               detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("VELA_AUDIT");
+    state = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_enabled_for_testing(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_violation_handler(ViolationHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  g_handler = std::move(handler);
+}
+
+void fail(const char* category, const std::string& detail) {
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(category, detail);
+  } else {
+    default_handler(category, detail);
+  }
+}
+
+// --- lock-order auditing ----------------------------------------------------
+
+namespace {
+
+// Global graph state. Guarded by a plain std::mutex — never an AuditedMutex,
+// so the auditor cannot recurse into itself. Ordered containers keep the
+// diagnostics and traversal deterministic.
+struct LockGraphState {
+  std::mutex mutex;
+  std::map<const AuditedMutex*, std::set<const AuditedMutex*>> edges;
+};
+
+LockGraphState& graph_state() {
+  static LockGraphState* state = new LockGraphState();  // vela-lint: allow(naked-new)
+  return *state;  // leaked intentionally: mutexes may outlive static teardown
+}
+
+// Per-thread stack of currently held audited mutexes, in acquisition order.
+// A leaked pointer TLS, not a plain thread_local vector: the vector's
+// destructor would run at TLS teardown, but atexit-destroyed statics (the
+// global ThreadPool) still lock AuditedMutexes after that point.
+thread_local std::vector<const AuditedMutex*>* t_held = nullptr;
+
+std::vector<const AuditedMutex*>& held_stack() {
+  if (t_held == nullptr) {
+    // One small vector per auditing thread, reclaimed at process exit.
+    t_held = new std::vector<const AuditedMutex*>();  // vela-lint: allow(naked-new)
+  }
+  return *t_held;
+}
+
+// True if `to` is reachable from `from` following recorded edges. Caller
+// holds the graph mutex.
+bool reachable(const LockGraphState& state, const AuditedMutex* from,
+               const AuditedMutex* to) {
+  std::set<const AuditedMutex*> visited;
+  std::vector<const AuditedMutex*> stack{from};
+  while (!stack.empty()) {
+    const AuditedMutex* node = stack.back();
+    stack.pop_back();
+    if (node == to) return true;
+    if (!visited.insert(node).second) continue;
+    auto it = state.edges.find(node);
+    if (it == state.edges.end()) continue;
+    for (const AuditedMutex* next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+}  // namespace
+
+LockOrderGraph& LockOrderGraph::instance() {
+  static LockOrderGraph graph;
+  return graph;
+}
+
+void LockOrderGraph::on_acquire(const AuditedMutex* m) {
+  std::vector<const AuditedMutex*>& held_list = held_stack();
+  if (!held_list.empty()) {
+    LockGraphState& state = graph_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const AuditedMutex* held : held_list) {
+      if (held == m) continue;  // relock through a cv wait; no new ordering
+      auto& successors = state.edges[held];
+      if (!successors.insert(m).second) continue;  // edge already known
+      // The new edge held→m closes a cycle iff held was already reachable
+      // from m. Report the inversion with both mutex names.
+      if (reachable(state, m, held)) {
+        std::ostringstream oss;
+        oss << "lock-order cycle: acquiring \"" << m->name() << "\" (" << m
+            << ") while holding \"" << held->name() << "\" (" << held
+            << ") inverts an established order";
+        successors.erase(m);  // keep the graph acyclic for later checks
+        fail("lock-order", oss.str());
+      }
+    }
+  }
+  held_list.push_back(m);
+}
+
+void LockOrderGraph::on_release(const AuditedMutex* m) {
+  std::vector<const AuditedMutex*>& held_list = held_stack();
+  for (auto it = held_list.rbegin(); it != held_list.rend(); ++it) {
+    if (*it == m) {
+      held_list.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockOrderGraph::forget(const AuditedMutex* m) {
+  LockGraphState& state = graph_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.edges.erase(m);
+  for (auto& [node, successors] : state.edges) {
+    (void)node;
+    successors.erase(m);
+  }
+}
+
+void LockOrderGraph::reset_for_testing() {
+  LockGraphState& state = graph_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.edges.clear();
+  held_stack().clear();
+}
+
+std::size_t LockOrderGraph::edge_count() const {
+  LockGraphState& state = graph_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t count = 0;
+  for (const auto& [node, successors] : state.edges) {
+    (void)node;
+    count += successors.size();
+  }
+  return count;
+}
+
+AuditedMutex::~AuditedMutex() {
+  if (enabled()) LockOrderGraph::instance().forget(this);
+}
+
+void AuditedMutex::lock() {
+  m_.lock();  // vela-lint: allow(manual-lock) — this IS the RAII layer
+  if (enabled()) LockOrderGraph::instance().on_acquire(this);
+}
+
+bool AuditedMutex::try_lock() {
+  if (!m_.try_lock()) return false;
+  if (enabled()) LockOrderGraph::instance().on_acquire(this);
+  return true;
+}
+
+void AuditedMutex::unlock() {
+  if (enabled()) LockOrderGraph::instance().on_release(this);
+  m_.unlock();  // vela-lint: allow(manual-lock) — this IS the RAII layer
+}
+
+// --- byte-conservation auditing ---------------------------------------------
+
+namespace {
+
+// Counter state. Guarded by a plain std::mutex (never an AuditedMutex — the
+// ledger must not feed the lock-order graph it shares a module with). A
+// mutex rather than per-counter atomics because the channel layer needs
+// compound transitions: a message's posted+enqueued charge must become
+// visible atomically, BEFORE the queue push publishes the message, or a
+// step-end check() racing a preempted sender sees a false leak.
+struct LedgerState {
+  std::mutex mutex;
+  std::uint64_t posted = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmit = 0;
+};
+
+LedgerState& ledger_state() {
+  static LedgerState state;
+  return state;
+}
+
+}  // namespace
+
+ConservationLedger& ConservationLedger::instance() {
+  static ConservationLedger ledger;
+  return ledger;
+}
+
+void ConservationLedger::on_posted(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.posted += bytes;
+}
+void ConservationLedger::on_enqueued(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.enqueued += bytes;
+}
+void ConservationLedger::on_dequeued(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.dequeued += bytes;
+}
+void ConservationLedger::on_delivered(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.delivered += bytes;
+}
+void ConservationLedger::on_dropped(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.dropped += bytes;
+}
+void ConservationLedger::on_retransmit(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.retransmit += bytes;
+}
+
+void ConservationLedger::on_posted_enqueued(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.posted += bytes;
+  state.enqueued += bytes;
+}
+void ConservationLedger::on_posted_dropped(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.posted += bytes;
+  state.dropped += bytes;
+}
+void ConservationLedger::on_enqueue_rejected(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  // The push lost the race with close(): the optimistic enqueued charge
+  // becomes a drop. Between the charge and this conversion the bytes look
+  // in-flight, which still balances.
+  state.enqueued -= bytes;
+  state.dropped += bytes;
+}
+void ConservationLedger::on_received(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.dequeued += bytes;
+  state.delivered += bytes;
+}
+
+ConservationLedger::Snapshot ConservationLedger::snapshot() const {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  Snapshot snap;
+  snap.posted = state.posted;
+  snap.enqueued = state.enqueued;
+  snap.dequeued = state.dequeued;
+  snap.delivered = state.delivered;
+  snap.dropped = state.dropped;
+  snap.retransmit = state.retransmit;
+  return snap;
+}
+
+void ConservationLedger::check(const char* phase) const {
+  if (!enabled()) return;
+  const Snapshot snap = snapshot();
+  if (snap.balanced()) return;
+  std::ostringstream oss;
+  oss << "byte conservation broken at \"" << phase
+      << "\": posted=" << snap.posted << " delivered=" << snap.delivered
+      << " dropped=" << snap.dropped << " in_flight=" << snap.in_flight()
+      << " (enqueued=" << snap.enqueued << " dequeued=" << snap.dequeued
+      << ") retransmit=" << snap.retransmit
+      << "; expected posted == delivered + dropped + in_flight";
+  fail("conservation", oss.str());
+}
+
+void ConservationLedger::reset_for_testing() {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.posted = 0;
+  state.enqueued = 0;
+  state.dequeued = 0;
+  state.delivered = 0;
+  state.dropped = 0;
+  state.retransmit = 0;
+}
+
+// --- autograd backward auditing ---------------------------------------------
+
+void check_backward_tensors(const Tensor& value, const Tensor& grad,
+                            const char* where) {
+  if (!enabled()) return;
+  if (value.shape() != grad.shape()) {
+    std::ostringstream oss;
+    oss << "gradient shape mismatch at " << where << ": value [";
+    for (std::size_t i = 0; i < value.shape().size(); ++i)
+      oss << (i ? "," : "") << value.shape()[i];
+    oss << "] vs grad [";
+    for (std::size_t i = 0; i < grad.shape().size(); ++i)
+      oss << (i ? "," : "") << grad.shape()[i];
+    oss << "]";
+    fail("backward", oss.str());
+    return;
+  }
+  if (value.size() > 0 && value.data() == grad.data()) {
+    std::ostringstream oss;
+    oss << "gradient aliases value storage at " << where << " (buffer "
+        << static_cast<const void*>(value.data()) << ")";
+    fail("backward", oss.str());
+  }
+}
+
+}  // namespace vela::audit

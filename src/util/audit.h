@@ -1,0 +1,178 @@
+// Compiled-in dynamic auditors, armed at runtime by VELA_AUDIT=1
+// (DESIGN.md §9).
+//
+// Three invariant checkers share this module:
+//
+//  * LockOrderGraph — every AuditedMutex acquisition while other audited
+//    mutexes are held adds held→acquired edges to a global lock-order graph;
+//    the first edge that closes a cycle is a potential deadlock and fails
+//    the audit at formation time, long before the interleaving that would
+//    actually deadlock. blocking_queue / ThreadPool / channel / meter
+//    mutexes are all AuditedMutex.
+//
+//  * ConservationLedger — byte conservation for the transport layer: every
+//    wire byte a channel posts must end up delivered, dropped by a fault, or
+//    still sitting in a queue. Channels feed the ledger from independent
+//    measurement points (send entry, queue boundary, receive exit, fault
+//    dispositions), and the runtimes call check() at every step end, so an
+//    accounting leak — a code path that forgets a disposition — trips the
+//    audit within one step. Retransmission bytes are tracked separately so
+//    the recovery layer's re-posts are distinguishable from first sends.
+//
+//  * check_backward_tensors — shape/aliasing guard for autograd's reverse
+//    sweep: a gradient must match its value's shape and must not alias the
+//    value's storage (an aliased buffer would let an in-place optimizer
+//    update corrupt a gradient still being propagated).
+//
+// When VELA_AUDIT is not set every hook is a single relaxed atomic load.
+// Violations log and abort by default; tests install a handler to observe
+// them instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace vela {
+class Tensor;
+}
+
+namespace vela::audit {
+
+// True when auditing is armed (VELA_AUDIT=1 in the environment, read once,
+// or an explicit test override).
+bool enabled();
+// Test hook: overrides the environment; pass-through to re-arm lazily is not
+// supported (tests set it explicitly around their scopes).
+void set_enabled_for_testing(bool on);
+
+// Violation sink. The default handler logs the category and detail to
+// stderr and aborts. Tests install a handler to capture violations; an
+// empty handler restores the default.
+using ViolationHandler =
+    std::function<void(const std::string& category, const std::string& detail)>;
+void set_violation_handler(ViolationHandler handler);
+// Reports a violation through the current handler.
+void fail(const char* category, const std::string& detail);
+
+// --- lock-order auditing ----------------------------------------------------
+
+class AuditedMutex;
+
+// Global held→acquired lock-order graph over live AuditedMutex instances.
+// Cycle formation is reported through fail("lock-order", ...).
+class LockOrderGraph {
+ public:
+  static LockOrderGraph& instance();
+
+  void on_acquire(const AuditedMutex* m);
+  void on_release(const AuditedMutex* m);
+  // Drops a destroyed mutex's node (addresses are reused; a stale node
+  // could weld two unrelated lifetimes into a phantom cycle).
+  void forget(const AuditedMutex* m);
+  // Clears edges and held stacks (tests).
+  void reset_for_testing();
+  // Number of distinct held→acquired edges observed so far.
+  std::size_t edge_count() const;
+
+ private:
+  LockOrderGraph() = default;
+};
+
+// Drop-in std::mutex replacement that reports acquisitions to the
+// LockOrderGraph when auditing is armed. Satisfies Lockable, so it works
+// under std::lock_guard / std::unique_lock and (with
+// std::condition_variable_any) condition waits — the wait's internal
+// unlock/relock flows through these methods, keeping the held-set exact.
+class AuditedMutex {
+ public:
+  explicit AuditedMutex(const char* name = "mutex") : name_(name) {}
+  ~AuditedMutex();
+
+  AuditedMutex(const AuditedMutex&) = delete;
+  AuditedMutex& operator=(const AuditedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex m_;
+  const char* name_;
+};
+
+// --- byte-conservation auditing ---------------------------------------------
+
+// Process-global transport ledger. Counters are fed from independent points
+// in the channel layer; conservation is
+//
+//   posted == delivered + dropped + in_flight
+//
+// where in_flight = enqueued - dequeued. check() verifies the balance and
+// reports the retransmit share; it is meaningful at step boundaries, when
+// the runtime's request/reply traffic is quiescent.
+//
+// All counter updates and reads share one plain std::mutex (never an
+// AuditedMutex — the ledger must not feed the graph it audits), and the
+// channel layer uses the compound transitions so that a message is never
+// observable by a receiver before its send-side accounting completed:
+// on_posted_enqueued runs BEFORE the queue push publishes the message, and
+// a push that then loses the race with close() converts the charge with
+// on_enqueue_rejected. Without this ordering a sender preempted between
+// push and charge makes a step-end check() see delivered bytes that were
+// never enqueued — a false leak.
+class ConservationLedger {
+ public:
+  static ConservationLedger& instance();
+
+  void on_posted(std::uint64_t bytes);      // send entry (per transmission)
+  void on_enqueued(std::uint64_t bytes);    // accepted into a queue
+  void on_dequeued(std::uint64_t bytes);    // handed to a receiver
+  void on_delivered(std::uint64_t bytes);   // receive API returned it
+  void on_dropped(std::uint64_t bytes);     // fault disposition (drop/sever)
+  void on_retransmit(std::uint64_t bytes);  // recovery re-post (also posted)
+
+  // Compound transitions (single critical section each) for the channel
+  // hot paths — see the ordering contract above.
+  void on_posted_enqueued(std::uint64_t bytes);   // charge before push
+  void on_posted_dropped(std::uint64_t bytes);    // drop/sever disposition
+  void on_enqueue_rejected(std::uint64_t bytes);  // failed push: enqueued
+                                                  //   charge becomes dropped
+  void on_received(std::uint64_t bytes);          // dequeued + delivered
+
+  struct Snapshot {
+    std::uint64_t posted = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t retransmit = 0;
+    std::uint64_t in_flight() const { return enqueued - dequeued; }
+    bool balanced() const {
+      return posted == delivered + dropped + in_flight() &&
+             dequeued == delivered;
+    }
+  };
+  Snapshot snapshot() const;
+
+  // Verifies conservation; `phase` labels the checkpoint in the violation
+  // message (e.g. "train_step", "ep_step").
+  void check(const char* phase) const;
+  void reset_for_testing();
+
+ private:
+  ConservationLedger() = default;
+};
+
+// --- autograd backward auditing ---------------------------------------------
+
+// Validates one (value, grad) pair during the reverse sweep: shapes must
+// match and the buffers must not alias. `where` names the node for the
+// violation message.
+void check_backward_tensors(const Tensor& value, const Tensor& grad,
+                            const char* where);
+
+}  // namespace vela::audit

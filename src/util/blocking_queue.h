@@ -10,6 +10,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/audit.h"
+
 namespace vela {
 
 // Outcome of a timed pop (fault-tolerant receivers must tell a quiet link
@@ -26,7 +28,7 @@ class BlockingQueue {
   // Returns false if the queue is already closed (the item is dropped).
   bool push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<audit::AuditedMutex> lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -37,7 +39,7 @@ class BlockingQueue {
   // Blocks until an item is available or the queue is closed and drained.
   // Returns nullopt only after close() once the backlog is empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<audit::AuditedMutex> lock(mutex_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -49,7 +51,7 @@ class BlockingQueue {
   // kTimeout means the queue stayed empty and open; kClosed means closed and
   // drained.
   PopStatus pop_for(std::chrono::milliseconds timeout, T* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<audit::AuditedMutex> lock(mutex_);
     if (!cv_.wait_for(lock, timeout,
                       [&] { return !items_.empty() || closed_; })) {
       return PopStatus::kTimeout;
@@ -62,7 +64,7 @@ class BlockingQueue {
 
   // Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -71,25 +73,25 @@ class BlockingQueue {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<audit::AuditedMutex> lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable audit::AuditedMutex mutex_{"blocking_queue"};
+  std::condition_variable_any cv_;
   std::deque<T> items_;
   bool closed_ = false;
 };

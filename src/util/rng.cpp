@@ -63,6 +63,8 @@ double Rng::normal() {
     return spare_normal_;
   }
   double u1 = 0.0;
+  // Box-Muller rejects exact zero (log(0) = -inf); uniform() can return it.
+  // vela-lint: allow(float-equality)
   while (u1 == 0.0) u1 = uniform();
   const double u2 = uniform();
   const double radius = std::sqrt(-2.0 * std::log(u1));

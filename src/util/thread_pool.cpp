@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(queue_mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
@@ -49,7 +49,7 @@ void ThreadPool::work_on(Job& job) {
       err = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(job.m);
+      std::lock_guard<audit::AuditedMutex> lock(job.m);
       if (err) job.errors.emplace_back(i, err);
       if (++job.done == job.count) job.cv.notify_all();
     }
@@ -61,7 +61,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      std::unique_lock<audit::AuditedMutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       job = queue_.front();
@@ -90,7 +90,7 @@ void ThreadPool::dispatch(const std::function<void(std::size_t)>& task,
   job->task = &task;
   job->count = count;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(queue_mutex_);
     queue_.push_back(job);
   }
   queue_cv_.notify_all();
@@ -99,12 +99,12 @@ void ThreadPool::dispatch(const std::function<void(std::size_t)>& task,
   work_on(*job);
 
   {
-    std::unique_lock<std::mutex> lock(job->m);
+    std::unique_lock<audit::AuditedMutex> lock(job->m);
     job->cv.wait(lock, [&] { return job->done == job->count; });
   }
   {
     // Retire the job from the queue if no worker got there first.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<audit::AuditedMutex> lock(queue_mutex_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->get() == job.get()) {
         queue_.erase(it);

@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/audit.h"
+
 namespace vela::util {
 
 class ThreadPool {
@@ -87,8 +89,8 @@ class ThreadPool {
     std::size_t done = 0;  // guarded by m
     // (task index, exception) pairs; rethrow picks the lowest index.
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
-    std::mutex m;
-    std::condition_variable cv;
+    audit::AuditedMutex m{"thread_pool_job"};
+    std::condition_variable_any cv;
   };
 
   void worker_loop();
@@ -101,8 +103,8 @@ class ThreadPool {
 
   std::size_t size_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  audit::AuditedMutex queue_mutex_{"thread_pool_queue"};
+  std::condition_variable_any queue_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   bool stop_ = false;
 };

@@ -106,6 +106,32 @@ TEST(EpRuntime, FourShardsAlsoTrack) {
   }
 }
 
+TEST(EpRuntime, TrainingIsBitDeterministicAcrossRuns) {
+  // Backward requests from different shard threads race into each expert
+  // server's inbox; the server stages gradient deltas per source shard and
+  // folds them in ascending source order, so the trajectory must be
+  // bit-identical run to run regardless of thread scheduling.
+  auto cfg = small_config(2, 2);  // 4 shards — ≥3 contributions per expert
+  auto corpus = corpus_for(cfg.model, 19);
+  auto batch = corpus.make_dataset(4, 8);
+
+  std::vector<float> first;
+  for (int run = 0; run < 2; ++run) {
+    ep::EpRuntime ep(cfg, &corpus);
+    std::vector<float> losses;
+    for (int step = 0; step < 3; ++step) {
+      losses.push_back(ep.train_step(batch).loss);
+    }
+    if (run == 0) {
+      first = losses;
+    } else {
+      for (std::size_t i = 0; i < losses.size(); ++i) {
+        EXPECT_EQ(first[i], losses[i]) << "step " << i;  // bit-exact
+      }
+    }
+  }
+}
+
 TEST(EpRuntime, CrossNodeTrafficMeasuredAndAllReducePaid) {
   auto cfg = small_config();  // 2 nodes × 1 GPU
   auto corpus = corpus_for(cfg.model, 19);
@@ -127,7 +153,8 @@ TEST(EpRuntime, CrossNodeTrafficMeasuredAndAllReducePaid) {
   }();
   const double ring_bytes = 2.0 * (2.0 - 1.0) / 2.0 *
                             double(lora_params) * sizeof(float) * 2.0;
-  EXPECT_GT(report.external_mb_per_node * 1e6 * ep.topology().num_nodes(),
+  EXPECT_GT(report.external_mb_per_node * 1e6 *
+                static_cast<double>(ep.topology().num_nodes()),
             ring_bytes);
 }
 

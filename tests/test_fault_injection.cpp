@@ -9,9 +9,11 @@
 //    lossless the loss sequence is bit-identical to a fault-free run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "comm/fault_injector.h"
 #include "core/expert_broker.h"
@@ -308,6 +310,27 @@ TEST(ReliableLinkTest, ExhaustedRetriesRaiseWorkerFailed) {
     EXPECT_EQ(err.worker(), 3u);  // structured: carries the worker index
   }
   EXPECT_EQ(rlink.stats().retransmissions, 1u);
+}
+
+TEST(ReliableLinkTest, AbandonOutstandingRemembersKeysInSortedOrder) {
+  // Regression: the duplicate-discard set is FIFO-bounded, so the order
+  // abandoned keys enter it is observable once eviction kicks in. It must be
+  // sorted-by-key, never unordered_map iteration order (hash-seed
+  // dependent).
+  comm::DuplexLink link(0, 0, nullptr);
+  core::RetryPolicy policy = fast_policy();
+  core::ReliableLink rlink(0, &link, &policy);
+  const std::vector<std::uint64_t> ids = {42, 3, 17, 99, 8};
+  for (std::uint64_t id : ids) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kProbe;
+    msg.request_id = id;
+    rlink.post(std::move(msg));
+  }
+  rlink.abandon_outstanding();
+  const auto& remembered = rlink.recent_keys_for_testing();
+  ASSERT_EQ(remembered.size(), ids.size());
+  EXPECT_TRUE(std::is_sorted(remembered.begin(), remembered.end()));
 }
 
 TEST(ReliableLinkTest, WorkerReplaysCachedReplyOnDuplicate) {

@@ -71,7 +71,8 @@ TEST(LoadBalanceLoss, TrainingWithAuxLossFlattensRouting) {
   const auto max_dispatch_fraction = [](const moe::GateOutput& out) {
     double mx = 0.0;
     for (const auto& g : out.plan.expert_tokens) {
-      mx = std::max(mx, double(g.size()) / out.plan.total_assignments());
+      mx = std::max(
+          mx, double(g.size()) / double(out.plan.total_assignments()));
     }
     return mx;
   };
@@ -87,7 +88,7 @@ TEST(LoadBalanceLoss, TrainingWithAuxLossFlattensRouting) {
     for (std::size_t t = 0; t < out.plan.num_tokens; ++t) {
       total += out.probs.at(t, e);
     }
-    return total / out.plan.num_tokens;
+    return total / static_cast<double>(out.plan.num_tokens);
   };
   const double initial_p0 = mean_prob(initial, 0);
 

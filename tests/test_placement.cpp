@@ -30,7 +30,9 @@ placement::PlacementProblem make_problem(std::size_t workers = 4,
     p.worker_node.push_back(w < workers / 2 ? 0 : 1 + w % 2);
   }
   const auto cap = static_cast<std::size_t>(
-      static_cast<double>(layers * experts) / workers * slack + 0.999);
+      static_cast<double>(layers * experts) / static_cast<double>(workers) *
+          slack +
+      0.999);
   p.capacity.assign(workers, cap);
   p.master_node = 0;
   p.tokens_per_step = 1024.0;

@@ -150,7 +150,8 @@ TEST_F(PlantedModelTest, RouterIsConfident) {
   for (float s : sums) {
     if (s > 0.5f) ++confident;
   }
-  EXPECT_GT(static_cast<double>(confident) / sums.size(), 0.8);
+  EXPECT_GT(static_cast<double>(confident) / static_cast<double>(sums.size()),
+            0.8);
 }
 
 TEST_F(PlantedModelTest, PlantingRequiresEnoughDims) {

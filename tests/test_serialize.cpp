@@ -141,7 +141,7 @@ std::vector<float> edge_values() {
   const float inf = std::numeric_limits<float>::infinity();
   float nan_payload;
   const std::uint32_t nan_bits = 0x7FC01234u;  // qNaN with payload bits set
-  std::memcpy(&nan_payload, &nan_bits, sizeof(nan_payload));
+  std::memcpy(&nan_payload, &nan_bits, sizeof(float));
   return {0.0f,
           -0.0f,
           inf,
@@ -159,7 +159,7 @@ std::vector<float> edge_values() {
 
 std::uint32_t bits_of(float v) {
   std::uint32_t b;
-  std::memcpy(&b, &v, sizeof(b));
+  std::memcpy(&b, &v, sizeof(std::uint32_t));
   return b;
 }
 

@@ -25,10 +25,10 @@ TEST(RunningStat, MatchesDirectComputation) {
     s.add(x);
     sum += x;
   }
-  const double mean = sum / xs.size();
+  const double mean = sum / static_cast<double>(xs.size());
   double var = 0.0;
   for (double x : xs) var += (x - mean) * (x - mean);
-  var /= xs.size();
+  var /= static_cast<double>(xs.size());
   EXPECT_EQ(s.count(), xs.size());
   EXPECT_DOUBLE_EQ(s.mean(), mean);
   EXPECT_NEAR(s.variance(), var, 1e-12);

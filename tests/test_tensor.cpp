@@ -90,7 +90,7 @@ TEST(Tensor, WireBytesRespectsBitDepth) {
   Tensor t({4, 8});
   EXPECT_EQ(t.wire_bytes(32), 32u * 4);
   EXPECT_EQ(t.wire_bytes(16), 32u * 2);
-  EXPECT_THROW(t.wire_bytes(12), CheckError);
+  EXPECT_THROW(static_cast<void>(t.wire_bytes(12)), CheckError);
 }
 
 TEST(Tensor, RowsColsRequireRank2) {

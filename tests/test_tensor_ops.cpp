@@ -205,8 +205,9 @@ TEST(TensorOps, RandnMoments) {
     sum += t[i];
     sumsq += (t[i] - 1.0f) * (t[i] - 1.0f);
   }
-  EXPECT_NEAR(sum / t.size(), 1.0f, 0.1f);
-  EXPECT_NEAR(sumsq / t.size(), 4.0f, 0.2f);
+  const float n = static_cast<float>(t.size());
+  EXPECT_NEAR(sum / n, 1.0f, 0.1f);
+  EXPECT_NEAR(sumsq / n, 4.0f, 0.2f);
 }
 
 TEST(TensorOps, AllcloseToleratesSmallDeviation) {

@@ -1,0 +1,59 @@
+// vela_lint fixture: idiomatic VELA code — zero unsuppressed findings
+// expected (the one allowance below is the canonical sort-the-keys pattern).
+// Guards against rule over-reach: false positives on the patterns the tree
+// actually uses.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Ordered containers iterate deterministically.
+inline int sum_ordered(const std::map<int, int>& ordered) {
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += v + k;
+  return total;
+}
+
+// Sorting the keys first is the canonical fix for unordered feeds.
+inline std::vector<int> sorted_keys(const std::unordered_map<int, int>& by_id) {
+  std::vector<int> keys;
+  keys.reserve(by_id.size());
+  // vela-lint: allow(unordered-iteration)
+  for (const auto& [k, v] : by_id) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Smart pointers, deleted special members, RAII locks: all clean.
+struct Resource {
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+  std::unique_ptr<int> storage = std::make_unique<int>(0);
+};
+
+inline void guarded(std::mutex& m) {
+  std::lock_guard<std::mutex> lock(m);
+}
+
+// memcpy with both adjacent asserts is compliant.
+struct Header {
+  unsigned int id;
+};
+static_assert(std::is_trivially_copyable_v<Header>, "wire layout");
+static_assert(sizeof(Header) == 4, "wire layout");
+
+inline void pack(unsigned char* out, const Header& h) {
+  std::memcpy(out, &h, sizeof(h));
+}
+
+// Integer equality and tolerance-based float compare are fine.
+inline bool close(float a, float b) {
+  return (a > b ? a - b : b - a) < 1e-6f && 16 == 16;
+}
+
+}  // namespace fixture

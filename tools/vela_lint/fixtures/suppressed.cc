@@ -1,0 +1,41 @@
+// vela_lint fixture: every hazard here carries a `vela-lint: allow(<rule>)`
+// suppression — the self-test pins that suppressed findings are still
+// reported in the JSON ledger but do not fail the scan.
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+inline int count_evens(const std::unordered_map<int, int>& histogram) {
+  int evens = 0;
+  // Order cannot escape: the loop computes an order-independent reduction.
+  // vela-lint: allow(unordered-iteration)
+  for (const auto& [key, value] : histogram) {
+    if (value % 2 == 0) ++evens;
+  }
+  return evens;
+}
+
+inline void legacy_alloc() {
+  int* raw = new int;  // vela-lint: allow(naked-new)
+  delete raw;          // vela-lint: allow(naked-new)
+}
+
+inline void pack(unsigned char* out, const unsigned int& word) {
+  // vela-lint: allow(wire-memcpy)
+  std::memcpy(out, &word, sizeof(word));
+}
+
+inline void condvar_handoff(std::mutex& m) {
+  // vela-lint: allow(manual-lock)
+  m.lock();
+  m.unlock();  // vela-lint: allow(manual-lock)
+}
+
+inline bool is_sentinel(float v) {
+  // The sentinel is assigned, never computed, so exact compare is sound.
+  return v == -1.0f;  // vela-lint: allow(float-equality)
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// vela_lint fixture: one seeded violation per rule, at known line numbers.
+// This file is never compiled — it exists so the linter self-test can pin
+// that every rule detects its hazard pattern. Keep the line numbers of the
+// seeded violations in sync with test_vela_lint.cpp.
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Ledger {
+  void add(int k, double v);
+};
+
+inline void emit_ledger(Ledger& ledger) {
+  std::unordered_map<int, double> per_expert;
+  for (const auto& [expert, bytes] : per_expert) {  // line 17: unordered-iteration
+    ledger.add(expert, bytes);
+  }
+}
+
+inline int* allocate() {
+  int* raw = new int[4];  // line 23: naked-new
+  delete[] raw;           // line 24: naked-new
+  return nullptr;
+}
+
+struct WireHeader {
+  unsigned int request_id;
+  unsigned short layer;
+};
+
+inline void pack(unsigned char* out, const WireHeader& h) {
+  std::memcpy(out, &h, sizeof(h));  // line 34: wire-memcpy (no asserts)
+}
+
+inline void locked_section(std::mutex& m) {
+  m.lock();  // line 38: manual-lock
+  m.unlock();  // line 39: manual-lock
+}
+
+inline bool converged(float loss) {
+  return loss == 0.0f;  // line 43: float-equality
+}
+
+}  // namespace fixture

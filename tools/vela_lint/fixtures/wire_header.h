@@ -1,0 +1,19 @@
+// vela_lint fixture: nodiscard-wire runs on headers only. One compliant
+// declaration, one missing the attribute, one suppressed, one void mutator
+// that must not be flagged.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Packet {
+  std::uint32_t checksum = 0;
+
+  [[nodiscard]] std::uint64_t wire_size() const;     // compliant
+  std::uint32_t compute_checksum() const;            // line 14: nodiscard-wire
+  bool checksum_ok() const;  // vela-lint: allow(nodiscard-wire)
+  void stamp_checksum();                             // void: not flagged
+};
+
+}  // namespace fixture

@@ -1,0 +1,179 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace vela::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so longest-match wins.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "##",  "[[",  "]]",
+};
+
+// Records `vela-lint: allow(a, b)` rule names found inside comment text.
+void scan_allowances(const std::string& comment, std::size_t line,
+                     std::map<std::size_t, std::set<std::string>>* out) {
+  const std::string tag = "vela-lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string::npos) return;
+  pos = comment.find("allow", pos + tag.size());
+  if (pos == std::string::npos) return;
+  pos = comment.find('(', pos);
+  if (pos == std::string::npos) return;
+  const std::size_t end = comment.find(')', pos);
+  if (end == std::string::npos) return;
+  std::string name;
+  for (std::size_t i = pos + 1; i <= end; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!name.empty()) (*out)[line].insert(name);
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+bool is_float_literal(const std::string& t) {
+  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    // Hex floats exist but carry a mandatory p-exponent.
+    return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
+  }
+  for (char c : t) {
+    if (c == '.' || c == 'e' || c == 'E' || c == 'f' || c == 'F') return true;
+  }
+  return false;
+}
+
+LexResult lex(const std::string& src) {
+  LexResult out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_allowances(src.substr(start, i - start), line, &out.allowances);
+      continue;
+    }
+    // Block comment. An allowance inside applies to the line it starts on.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t start = i;
+      const std::size_t start_line = line;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;
+      scan_allowances(src.substr(start, i - start), start_line,
+                      &out.allowances);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      const std::size_t stop = end == n ? n : end + close.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokenKind::kString, "R\"...\"", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal (escape-aware).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t tok_line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({quote == '"' ? TokenKind::kString : TokenKind::kChar,
+                            std::string(1, quote) + "..." + quote, tok_line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (pp-number-ish: digits, dots, suffixes, exponents with sign).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          // Exponent sign binds to the number: 1e-3, 0x1p+2.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (peek(0) == '+' || peek(0) == '-')) {
+            ++i;
+          }
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokenKind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace vela::lint

@@ -1,0 +1,52 @@
+// Token-level C++ lexer for vela_lint.
+//
+// This is not a compiler front end: it produces a flat token stream with
+// line numbers, skipping comments and the interiors of string/char literals
+// (both of which routinely contain text that looks like code). That is
+// exactly the right altitude for the repo-specific hazard patterns the
+// linter checks — every rule is a short token-pattern match, so the linter
+// stays dependency-free, fast, and auditable.
+//
+// Suppression comments are the one piece of comment content the lexer keeps:
+// a comment containing `vela-lint: allow(rule-a, rule-b)` records those rule
+// names against the comment's line, and a finding is suppressed when its
+// line or the line directly above carries a matching allowance.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vela::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the rules tell them apart)
+  kNumber,      // integer or floating literal, suffix included
+  kString,      // string literal (text is the raw spelling, quotes included)
+  kChar,        // character literal
+  kPunct,       // operators and punctuation, longest-match ("==", "->", ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  // 1-based
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // line -> rule names allowed on that line via `vela-lint: allow(...)`.
+  std::map<std::size_t, std::set<std::string>> allowances;
+};
+
+// Lexes one translation unit worth of source text. Never throws: malformed
+// trailing constructs (unterminated literals/comments) lex to end-of-input.
+LexResult lex(const std::string& source);
+
+// True when a floating-point literal: has a '.', a p/P or (non-hex) e/E
+// exponent, or an f/F suffix on a decimal literal.
+bool is_float_literal(const std::string& number_text);
+
+}  // namespace vela::lint

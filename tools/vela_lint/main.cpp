@@ -1,0 +1,156 @@
+// vela_lint — repo-specific static analysis for the VELA tree.
+//
+// Usage:
+//   vela_lint [--json <report.json>] [--list-rules] <file-or-dir>...
+//
+// Directories are scanned recursively for .h/.hpp/.cpp/.cc/.cxx files
+// (build trees and lint fixtures are skipped). Exit status is 0 when every
+// finding is suppressed via `// vela-lint: allow(<rule>)`, 1 when any
+// unsuppressed finding remains, 2 on usage/IO errors — so the tree scan can
+// run as a ctest that fails the build on new hazards.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool skipped_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+void collect_files(const fs::path& root, std::vector<fs::path>* out) {
+  if (fs::is_regular_file(root)) {
+    out->push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory() && skipped_directory(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(it->path())) {
+      out->push_back(it->path());
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : vela::lint::all_rules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "vela_lint: --json needs a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (!fs::exists(arg)) {
+      std::cerr << "vela_lint: no such file or directory: " << arg << "\n";
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: vela_lint [--json report.json] [--list-rules] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& r : roots) collect_files(r, &files);
+  std::sort(files.begin(), files.end());
+
+  std::vector<vela::lint::Finding> all;
+  for (const fs::path& f : files) {
+    std::ifstream in(f);
+    if (!in) {
+      std::cerr << "vela_lint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string path = f.generic_string();
+    for (vela::lint::Finding& finding :
+         vela::lint::lint_file(path, buf.str())) {
+      all.push_back(std::move(finding));
+    }
+  }
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const vela::lint::Finding& f : all) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "vela_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << "{\n  \"files_scanned\": " << files.size()
+        << ",\n  \"unsuppressed\": " << unsuppressed
+        << ",\n  \"suppressed\": " << suppressed << ",\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const vela::lint::Finding& f = all[i];
+      out << "    {\"file\": \"" << json_escape(f.file)
+          << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+          << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+          << ", \"message\": \"" << json_escape(f.message) << "\"}"
+          << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  std::cerr << "vela_lint: " << files.size() << " files, " << unsuppressed
+            << " unsuppressed finding(s), " << suppressed << " suppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

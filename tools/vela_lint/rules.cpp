@@ -1,0 +1,413 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lexer.h"
+
+namespace vela::lint {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool is_header(const std::string& path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp");
+}
+
+bool is_tok(const Token& t, const char* text) { return t.text == text; }
+
+// Keywords that can directly precede a call expression; a candidate function
+// name preceded by one of these is a use, not a declaration.
+bool is_expression_keyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "return", "co_return", "co_await", "co_yield", "throw", "case",
+      "sizeof", "typeid",    "not",      "else",     "do",    "goto",
+  };
+  return kKeywords.count(t) > 0;
+}
+
+// --- shared token-walking helpers -----------------------------------------
+
+// Index of the matching closer for the opener at `open` ('<'/'>', '('/')').
+// Returns tokens.size() when unbalanced. Treats ">>" as two closers when
+// matching angle brackets.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  const bool angles = opener[0] == '<';
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == opener) {
+      ++depth;
+    } else if (t == closer) {
+      if (--depth == 0) return i;
+    } else if (angles && t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (angles && (t == ";" || t == "{")) {
+      return toks.size();  // not a template argument list after all
+    }
+  }
+  return toks.size();
+}
+
+// --- rule: unordered-iteration --------------------------------------------
+
+// Collects names of variables declared with an unordered container type,
+// including one level of `using Alias = std::unordered_map<...>` indirection,
+// then flags any range-for whose range expression names one of them.
+void rule_unordered_iteration(const std::string& path,
+                              const std::vector<Token>& toks,
+                              std::vector<Finding>* findings) {
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_type_aliases;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool base_type = toks[i].kind == TokenKind::kIdentifier &&
+                           (toks[i].text == "unordered_map" ||
+                            toks[i].text == "unordered_set" ||
+                            toks[i].text == "unordered_multimap" ||
+                            toks[i].text == "unordered_multiset");
+    const bool alias_type = toks[i].kind == TokenKind::kIdentifier &&
+                            unordered_type_aliases.count(toks[i].text) > 0;
+    if (!base_type && !alias_type) continue;
+
+    // `using Alias = std::unordered_map<...>` records the alias (the
+    // namespace qualifier is optional).
+    std::size_t eq = i;
+    if (eq >= 2 && is_tok(toks[eq - 1], "::")) eq -= 2;
+    if (eq >= 3 && is_tok(toks[eq - 1], "=") && is_tok(toks[eq - 3], "using") &&
+        toks[eq - 2].kind == TokenKind::kIdentifier) {
+      unordered_type_aliases.insert(toks[eq - 2].text);
+      continue;
+    }
+
+    // Skip the template argument list, if any.
+    std::size_t j = i + 1;
+    if (base_type) {
+      if (j >= toks.size() || !is_tok(toks[j], "<")) continue;
+      j = match_forward(toks, j, "<", ">");
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    // `Type::iterator`, `Type(`... are not variable declarations.
+    while (j < toks.size() &&
+           (is_tok(toks[j], "&") || is_tok(toks[j], "*") ||
+            (toks[j].kind == TokenKind::kIdentifier &&
+             toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+        !is_expression_keyword(toks[j].text) &&
+        (j + 1 >= toks.size() || !is_tok(toks[j + 1], "("))) {
+      unordered_vars.insert(toks[j].text);
+    }
+  }
+
+  if (unordered_vars.empty()) return;
+
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(toks[i].kind == TokenKind::kIdentifier && toks[i].text == "for"))
+      continue;
+    if (!is_tok(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // Find the range-for colon at paren depth 1.
+    std::size_t colon = toks.size();
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_tok(toks[j], "(")) ++depth;
+      if (is_tok(toks[j], ")")) --depth;
+      if (depth == 1 && is_tok(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+      if (depth == 1 && is_tok(toks[j], ";")) break;  // classic for
+    }
+    if (colon >= toks.size()) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          unordered_vars.count(toks[j].text) > 0) {
+        findings->push_back(
+            {"unordered-iteration", path, toks[j].line,
+             "range-for over unordered container '" + toks[j].text +
+                 "': iteration order is implementation-defined — sort keys "
+                 "before feeding ledgers, CSV emitters, or serialized "
+                 "payloads"});
+        break;
+      }
+    }
+  }
+}
+
+// --- rule: naked-new -------------------------------------------------------
+
+void rule_naked_new(const std::string& path, const std::vector<Token>& toks,
+                    std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t != "new" && t != "delete") continue;
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    if (prev == "operator") continue;  // operator new/delete declarations
+    if (t == "delete" && prev == "=") continue;  // deleted special members
+    findings->push_back(
+        {"naked-new", path, toks[i].line,
+         "naked '" + t +
+             "': ownership must go through std::unique_ptr / std::make_* / "
+             "containers"});
+  }
+}
+
+// --- rule: wire-memcpy -----------------------------------------------------
+
+// Fundamental types whose layout cannot drift: a memcpy sized in terms of
+// `sizeof(<builtin>)` is a bulk element copy (or a float<->bits cast), not a
+// struct-layout dependency, and is exempt.
+bool is_builtin_type_name(const std::string& t) {
+  static const std::set<std::string> kBuiltins = {
+      "float",    "double",   "char",     "short",    "int",      "long",
+      "bool",     "unsigned", "signed",   "size_t",   "wchar_t",  "char8_t",
+      "char16_t", "char32_t", "int8_t",   "int16_t",  "int32_t",  "int64_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t",
+      "ptrdiff_t"};
+  return kBuiltins.count(t) > 0;
+}
+
+// True when the token range [begin, end) contains `sizeof(<builtin>)`.
+bool has_builtin_sizeof(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (!(toks[i].kind == TokenKind::kIdentifier && toks[i].text == "sizeof"))
+      continue;
+    if (i + 1 >= toks.size() || !is_tok(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          is_builtin_type_name(toks[j].text)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Every struct-sized memcpy needs a
+// static_assert(std::is_trivially_copyable_v<...>) and a sizeof-based
+// static_assert within the surrounding 40 lines (10 after) — close enough
+// that layout drift and the copy that depends on it are reviewed together.
+void rule_wire_memcpy(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Finding>* findings) {
+  struct AssertInfo {
+    std::size_t line;
+    bool trivially_copyable = false;
+    bool size = false;
+  };
+  std::vector<AssertInfo> asserts;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(toks[i].kind == TokenKind::kIdentifier &&
+          toks[i].text == "static_assert")) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_tok(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    AssertInfo info{toks[i].line, false, false};
+    for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+      if (toks[j].kind != TokenKind::kIdentifier) continue;
+      if (toks[j].text.find("is_trivially_copyable") != std::string::npos)
+        info.trivially_copyable = true;
+      if (toks[j].text == "sizeof") info.size = true;
+    }
+    asserts.push_back(info);
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(toks[i].kind == TokenKind::kIdentifier &&
+          toks[i].text == "memcpy")) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_tok(toks[i + 1], "(")) continue;
+    const std::size_t call_close = match_forward(toks, i + 1, "(", ")");
+    if (has_builtin_sizeof(toks, i + 2, call_close)) continue;
+    const std::size_t line = toks[i].line;
+    bool has_tc = false;
+    bool has_size = false;
+    for (const AssertInfo& a : asserts) {
+      // Assert may sit up to 40 lines above the memcpy or 10 lines below it.
+      const bool adjacent = a.line + 40 >= line && a.line <= line + 10;
+      if (!adjacent) continue;
+      has_tc = has_tc || a.trivially_copyable;
+      has_size = has_size || a.size;
+    }
+    if (has_tc && has_size) continue;
+    std::string missing;
+    if (!has_tc) missing = "static_assert(std::is_trivially_copyable_v<...>)";
+    if (!has_size) {
+      if (!missing.empty()) missing += " and ";
+      missing += "a sizeof-based size static_assert";
+    }
+    findings->push_back(
+        {"wire-memcpy", path, line,
+         "memcpy without adjacent " + missing +
+             " — wire/struct layout drift must break the build, not the "
+             "protocol"});
+  }
+}
+
+// --- rule: manual-lock -----------------------------------------------------
+
+void rule_manual_lock(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Finding>* findings) {
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t != "lock" && t != "unlock") continue;
+    const std::string& prev = toks[i - 1].text;
+    if (prev != "." && prev != "->") continue;
+    if (!is_tok(toks[i + 1], "(")) continue;
+    findings->push_back(
+        {"manual-lock", path, toks[i].line,
+         "direct ." + t +
+             "() call: lock discipline is RAII-only (std::lock_guard / "
+             "std::unique_lock / std::scoped_lock)"});
+  }
+}
+
+// --- rule: float-equality --------------------------------------------------
+
+void rule_float_equality(const std::string& path,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>* findings) {
+  if (is_test_file(path)) return;  // tests pin bit-exactness on purpose
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text != "==" && toks[i].text != "!=") continue;
+    const Token& lhs = toks[i - 1];
+    // A signed literal lexes as a sign punct plus a number.
+    std::size_t r = i + 1;
+    if ((is_tok(toks[r], "-") || is_tok(toks[r], "+")) && r + 1 < toks.size())
+      ++r;
+    const Token& rhs = toks[r];
+    const bool lhs_float =
+        lhs.kind == TokenKind::kNumber && is_float_literal(lhs.text);
+    const bool rhs_float =
+        rhs.kind == TokenKind::kNumber && is_float_literal(rhs.text);
+    if (!lhs_float && !rhs_float) continue;
+    findings->push_back(
+        {"float-equality", path, toks[i].line,
+         "'" + toks[i].text +
+             "' against a floating-point literal outside tests: compare "
+             "against a tolerance, or restructure to avoid exact float "
+             "comparison"});
+  }
+}
+
+// --- rule: nodiscard-wire --------------------------------------------------
+
+bool is_wire_function_name(const std::string& name) {
+  if (name == "wire_size" || name == "wire_bytes") return true;
+  return name.find("checksum") != std::string::npos;
+}
+
+// Token texts that may appear inside a declaration's specifier/return-type
+// span when walking backwards from the function name.
+bool is_decl_span_token(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) return true;
+  static const std::set<std::string> kPunct = {"::", "<", ">", ">>", "&",
+                                               "*",  ",", "[[", "]]"};
+  return kPunct.count(t.text) > 0;
+}
+
+void rule_nodiscard_wire(const std::string& path,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>* findings) {
+  if (!is_header(path)) return;  // the attribute belongs on declarations
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (!is_wire_function_name(toks[i].text)) continue;
+    if (!is_tok(toks[i + 1], "(")) continue;
+    const Token& prev = toks[i - 1];
+    // A declaration has its return type directly before the name; calls are
+    // preceded by ./->/(/operators/expression keywords instead.
+    const bool preceded_by_type =
+        (prev.kind == TokenKind::kIdentifier &&
+         !is_expression_keyword(prev.text)) ||
+        prev.text == ">" || prev.text == "&" || prev.text == "*" ||
+        prev.text == "]]" || prev.text == "::";
+    if (!preceded_by_type) continue;
+    if (prev.text == "::") continue;  // out-of-line definition
+    // Walk the specifier/return-type span backwards; [[nodiscard]] anywhere
+    // in it (or `void`, which has nothing to discard) satisfies the rule.
+    bool ok = false;
+    for (std::size_t j = i; j-- > 0;) {
+      if (!is_decl_span_token(toks[j])) break;
+      if (toks[j].text == "nodiscard") ok = true;
+      if (toks[j].text == "void") ok = true;
+    }
+    if (ok) continue;
+    findings->push_back(
+        {"nodiscard-wire", path, toks[i].line,
+         "'" + toks[i].text +
+             "' declaration missing [[nodiscard]]: dropping wire-size or "
+             "checksum results silently corrupts byte accounting"});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "unordered-iteration", "naked-new",      "wire-memcpy",
+      "manual-lock",         "float-equality", "nodiscard-wire",
+  };
+  return kRules;
+}
+
+bool is_test_file(const std::string& path) {
+  if (path.find("/tests/") != std::string::npos) return true;
+  const std::string base = basename_of(path);
+  return base.rfind("test_", 0) == 0;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& source) {
+  const LexResult lexed = lex(source);
+  std::vector<Finding> findings;
+  rule_unordered_iteration(path, lexed.tokens, &findings);
+  rule_naked_new(path, lexed.tokens, &findings);
+  rule_wire_memcpy(path, lexed.tokens, &findings);
+  rule_manual_lock(path, lexed.tokens, &findings);
+  rule_float_equality(path, lexed.tokens, &findings);
+  rule_nodiscard_wire(path, lexed.tokens, &findings);
+
+  // Apply suppressions: an allowance on the finding's line or the line
+  // directly above it covers the finding.
+  for (Finding& f : findings) {
+    for (std::size_t line : {f.line, f.line > 0 ? f.line - 1 : f.line}) {
+      auto it = lexed.allowances.find(line);
+      if (it != lexed.allowances.end() &&
+          (it->second.count(f.rule) > 0 || it->second.count("all") > 0)) {
+        f.suppressed = true;
+        break;
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace vela::lint

@@ -1,0 +1,56 @@
+// vela_lint's rule set: repo-specific hazard patterns for the VELA tree.
+//
+// Every rule guards an invariant the runtime's headline guarantees depend on
+// (DESIGN.md §9): bit-identical losses across thread counts / overlap depths
+// and byte-accurate traffic ledgers only hold if the code never lets an
+// unordered container's iteration order, an unchecked wire-struct layout, or
+// a hand-rolled lock/unlock pair leak into an observable path.
+//
+//   unordered-iteration  range-for over an unordered_map/unordered_set —
+//                        iteration order is implementation-defined, so any
+//                        ledger/CSV/serialized output fed from it is
+//                        nondeterministic. Sort keys first, or suppress with
+//                        a rationale when order provably cannot escape.
+//   naked-new            `new` / `delete` outside owning smart pointers and
+//                        containers (leak + exception-safety hazard).
+//   wire-memcpy          memcpy without an adjacent
+//                        static_assert(std::is_trivially_copyable_v<...>)
+//                        plus a sizeof-based size assert — layout drift must
+//                        break the build, not the protocol.
+//   manual-lock          direct `.lock()` / `.unlock()` calls on anything —
+//                        lock discipline is RAII-only (lock_guard /
+//                        unique_lock / scoped_lock).
+//   float-equality       `==` / `!=` against a floating-point literal
+//                        outside tests (tests pin bit-exactness on purpose).
+//   nodiscard-wire       wire_size / wire_bytes / *checksum* declarations in
+//                        headers missing [[nodiscard]] — dropping these
+//                        return values silently corrupts byte accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vela::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  bool suppressed = false;  // a `vela-lint: allow(rule)` covers this line
+};
+
+// The rule names above, in reporting order.
+const std::vector<std::string>& all_rules();
+
+// Runs every rule over one file's source text. `path` decides per-file rule
+// scoping (float-equality skips test files; nodiscard-wire runs on headers).
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& source);
+
+// True for files the float-equality rule exempts: anything under a tests/
+// directory or whose basename starts with "test_".
+bool is_test_file(const std::string& path);
+
+}  // namespace vela::lint
