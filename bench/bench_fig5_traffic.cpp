@@ -7,7 +7,9 @@
 // pattern — the same control the paper's testbed gives.
 #include <cstdio>
 
+#include "comm/transport.h"
 #include "fig_csv.h"
+#include "util/argparse.h"
 
 using namespace vela;
 using namespace vela::bench;
@@ -37,8 +39,16 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  vela::ArgParser args(argc, argv);
+  // The figures are simulator-driven (no live channels), so --transport only
+  // names the active comm-fabric backend in the header; the byte ledger —
+  // and therefore the CSV — is backend-invariant by construction.
+  const comm::TransportKind transport =
+      comm::transport_kind_from_name(args.get_string("transport", "inproc"));
   std::printf("=== Fig. 5: cross-node traffic per node per step ===\n");
+  std::printf("comm fabric: %s (simulated figures are backend-invariant)\n",
+              comm::transport_kind_name(transport));
   std::printf("Testbed: %s\n",
               cluster::ClusterTopology(cluster::ClusterConfig::paper_testbed())
                   .to_string()

@@ -9,7 +9,9 @@
 // systems run the same FLOPs and differ only in communication pattern.
 #include <cstdio>
 
+#include "comm/transport.h"
 #include "fig_csv.h"
+#include "util/argparse.h"
 
 using namespace vela;
 using namespace vela::bench;
@@ -58,8 +60,15 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  vela::ArgParser args(argc, argv);
+  // Simulator-driven figure: --transport names the backend in the header
+  // only; the modelled step times and the CSV are backend-invariant.
+  const comm::TransportKind transport =
+      comm::transport_kind_from_name(args.get_string("transport", "inproc"));
   std::printf("=== Fig. 6: average time per fine-tuning step ===\n");
+  std::printf("comm fabric: %s (simulated figures are backend-invariant)\n",
+              comm::transport_kind_name(transport));
   std::printf("compute charged per step (all systems): %.2f s\n",
               kComputeSeconds);
   CsvWriter csv("fig6_steptime.csv", fig6_columns());

@@ -1,5 +1,5 @@
 // Micro-benchmarks (google-benchmark) of the substrates: tensor kernels,
-// autograd, the gate, the simplex solver, channels, and the end-to-end
+// autograd, the gate, the simplex solver, endpoints, and the end-to-end
 // distributed tiny-model training step.
 #include <benchmark/benchmark.h>
 
@@ -10,8 +10,8 @@
 
 #include "autograd/ops.h"
 #include "bench_common.h"
-#include "comm/channel.h"
 #include "comm/comm_clock.h"
+#include "comm/endpoint.h"
 #include "core/step_simulator.h"
 #include "core/vela_system.h"
 #include "data/corpus.h"
@@ -71,8 +71,11 @@ void BM_GateRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_GateRouting);
 
-void BM_ChannelRoundTrip(benchmark::State& state) {
-  comm::Channel ch(0, 0, nullptr);
+void BM_EndpointRoundTrip(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? comm::TransportKind::kInProc
+                                        : comm::TransportKind::kSocket;
+  // vela-lint: allow(direct-transport) -- benchmarks pin the backend by hand
+  comm::Endpoint ch(kind, 0, 0, nullptr);
   Tensor payload({64, 64});
   for (auto _ : state) {
     comm::Message msg;
@@ -82,7 +85,7 @@ void BM_ChannelRoundTrip(benchmark::State& state) {
   }
   state.SetBytesProcessed(int64_t(state.iterations()) * 64 * 64 * 4);
 }
-BENCHMARK(BM_ChannelRoundTrip);
+BENCHMARK(BM_EndpointRoundTrip)->Arg(0)->Arg(1);
 
 void BM_SimplexPlacementLp(benchmark::State& state) {
   const auto layers = static_cast<std::size_t>(state.range(0));

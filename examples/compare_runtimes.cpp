@@ -8,14 +8,22 @@
 #include <cstdio>
 
 #include "comm/fault_injector.h"
+#include "comm/transport.h"
 #include "core/vela_system.h"
 #include "data/batch.h"
 #include "ep/runtime.h"
+#include "util/argparse.h"
 #include "util/stats.h"
 
 using namespace vela;
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  // --transport inproc|socket|default selects the comm-fabric backend for
+  // BOTH runtimes ("default" follows VELA_TRANSPORT). Losses and byte
+  // ledgers are bit-exact across backends; only wall-clock may differ.
+  const comm::TransportKind transport =
+      comm::transport_kind_from_name(args.get_string("transport", "inproc"));
   const auto model_cfg = model::ModelConfig::tiny_mistral();
   const auto cluster_cfg = cluster::ClusterConfig::paper_testbed();
   const std::uint64_t seed = 7;
@@ -25,13 +33,15 @@ int main() {
   const int kSteps = 20;
 
   std::printf("model: %s\n", model_cfg.to_string().c_str());
-  std::printf("cluster: 3 nodes x 2 GPUs (paper testbed)\n\n");
+  std::printf("cluster: 3 nodes x 2 GPUs (paper testbed)\n");
+  std::printf("transport: %s\n\n", comm::transport_kind_name(transport));
 
   // --- VELA: master + 5 workers, profile → LP placement → fine-tune -------
   core::VelaSystemConfig vcfg;
   vcfg.model = model_cfg;
   vcfg.cluster = cluster_cfg;
   vcfg.seed = seed;
+  vcfg.transport = transport;
   core::VelaSystem vela(vcfg, &corpus);
   vela.profile(dataset, 6);
   vela.optimize_placement(6.0 * 15.0);
@@ -50,6 +60,7 @@ int main() {
   ecfg.model = model_cfg;
   ecfg.cluster = cluster_cfg;
   ecfg.seed = seed;
+  ecfg.transport = transport;
   ep::EpRuntime ep(ecfg, &corpus);
 
   data::BatchIterator ep_batches(dataset, 6, 3, /*shuffle=*/false);

@@ -1,0 +1,174 @@
+#include "comm/endpoint.h"
+
+#include "comm/frame.h"
+#include "util/audit.h"
+#include "util/check.h"
+
+namespace vela::comm {
+namespace {
+
+// Feeds the VELA_AUDIT byte-conservation ledger from the endpoint boundary.
+// Every disposition a message can take (accepted by the transport, dropped
+// by a fault, rejected by a closed transport, handed to a receiver) reports
+// here, so a new code path that forgets one trips the step-end conservation
+// check — on every backend, because no charge lives below this layer.
+//
+// Ordering contract: the posted+enqueued charge happens BEFORE the transport
+// send publishes the frame. Once a receiver can observe the message its
+// accounting is complete — otherwise a sender preempted between publish and
+// charge would make a concurrent step-end check see delivered bytes that
+// were never enqueued. A send that then loses the race with close() converts
+// its optimistic charge into a drop.
+void ledger_posted_enqueued(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_posted_enqueued(bytes);
+}
+void ledger_posted_dropped(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_posted_dropped(bytes);
+}
+void ledger_enqueue_rejected(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_enqueue_rejected(bytes);
+}
+void ledger_received(std::uint64_t bytes) {
+  if (audit::enabled())
+    audit::ConservationLedger::instance().on_received(bytes);
+}
+
+}  // namespace
+
+Endpoint::Endpoint(TransportKind kind, std::size_t src_node,
+                   std::size_t dst_node, TrafficMeter* meter)
+    : kind_(resolve_transport(kind)),
+      src_(src_node),
+      dst_(dst_node),
+      meter_(meter),
+      transport_(make_transport(kind_)) {}
+
+bool Endpoint::offer(const Message& msg, std::uint64_t size) {
+  std::vector<std::uint8_t> frame = encode_frame(msg);
+  // pending() mirrors the ledger: count the message before the transport
+  // publishes it, take the count back if the transport turned it away.
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  ledger_posted_enqueued(size);
+  if (!transport_->send(std::move(frame))) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    ledger_enqueue_rejected(size);
+    return false;
+  }
+  return true;
+}
+
+bool Endpoint::send(Message msg) {
+  FaultKind fault = FaultKind::kNone;
+  if (injector_ != nullptr) {
+    // Stamp before the injector mutates: a corrupted payload then fails
+    // verification at the receiver, exactly like a real CRC. The stamped
+    // checksum travels inside the frame body, so the socket backend carries
+    // the corruption end to end just like the in-proc queue.
+    msg.stamp_checksum();
+    fault = injector_->on_send(injector_link_, injector_dir_, msg);
+  }
+  const std::uint64_t size = msg.wire_size();
+  // Account BEFORE publishing: once the receiver can observe the message,
+  // its bytes must already be visible in the meter — otherwise a reader that
+  // synchronizes on the reply could see a stale count (a real race caught by
+  // the byte-equivalence tests). A send that loses the race with close()
+  // slightly overcounts, which only happens during shutdown. Dropped and
+  // corrupted messages still left the sender's NIC, so their bytes count;
+  // a duplicate is two transmissions and counts twice.
+  const std::uint64_t transmissions = fault == FaultKind::kDuplicate ? 2 : 1;
+  bytes_sent_.fetch_add(size * transmissions, std::memory_order_relaxed);
+  messages_sent_.fetch_add(transmissions, std::memory_order_relaxed);
+  if (meter_ != nullptr) {
+    for (std::uint64_t i = 0; i < transmissions; ++i) {
+      meter_->record(src_, dst_, size);
+    }
+  }
+  switch (fault) {
+    case FaultKind::kDrop:
+      ledger_posted_dropped(size);
+      return true;  // transmitted, never delivered
+    case FaultKind::kSever:
+      ledger_posted_dropped(size);
+      transport_->close();
+      return false;
+    case FaultKind::kDuplicate: {
+      const bool first = offer(msg, size);
+      const bool second = offer(msg, size);
+      return first && second;
+    }
+    default:
+      return offer(msg, size);
+  }
+}
+
+std::optional<Message> Endpoint::receive() {
+  std::optional<std::vector<std::uint8_t>> frame = transport_->receive();
+  if (!frame.has_value()) return std::nullopt;
+  Message msg;
+  std::string error;
+  VELA_CHECK_MSG(decode_frame(*frame, &msg, &error),
+                 "transport delivered an undecodable frame: " + error);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  ledger_received(msg.wire_size());
+  return msg;
+}
+
+std::optional<Message> Endpoint::try_receive() {
+  std::optional<std::vector<std::uint8_t>> frame = transport_->try_receive();
+  if (!frame.has_value()) return std::nullopt;
+  Message msg;
+  std::string error;
+  VELA_CHECK_MSG(decode_frame(*frame, &msg, &error),
+                 "transport delivered an undecodable frame: " + error);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  ledger_received(msg.wire_size());
+  return msg;
+}
+
+PopStatus Endpoint::receive_for(std::chrono::milliseconds timeout,
+                                Message* out) {
+  std::vector<std::uint8_t> frame;
+  const PopStatus status = transport_->receive_for(timeout, &frame);
+  if (status != PopStatus::kOk) return status;
+  std::string error;
+  VELA_CHECK_MSG(decode_frame(frame, out, &error),
+                 "transport delivered an undecodable frame: " + error);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  ledger_received(out->wire_size());
+  return status;
+}
+
+void Endpoint::set_fault_injector(FaultInjector* injector, std::size_t link,
+                                  LinkDir dir) {
+  injector_ = injector;
+  injector_link_ = link;
+  injector_dir_ = dir;
+}
+
+void Endpoint::close() { transport_->close(); }
+
+std::size_t Endpoint::pending() const {
+  const std::uint64_t accepted = accepted_.load(std::memory_order_relaxed);
+  const std::uint64_t delivered = delivered_.load(std::memory_order_relaxed);
+  return accepted > delivered ? static_cast<std::size_t>(accepted - delivered)
+                              : 0;
+}
+
+std::unique_ptr<Endpoint> make_endpoint(TransportKind kind,
+                                        std::size_t src_node,
+                                        std::size_t dst_node,
+                                        TrafficMeter* meter) {
+  return std::make_unique<Endpoint>(kind, src_node, dst_node, meter);
+}
+
+std::unique_ptr<DuplexLink> make_duplex_link(TransportKind kind,
+                                             std::size_t master_node,
+                                             std::size_t worker_node,
+                                             TrafficMeter* meter) {
+  return std::make_unique<DuplexLink>(kind, master_node, worker_node, meter);
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,135 @@
+// Point-to-point endpoint between two processes of the runtime — the
+// transport-agnostic layer of the comm fabric (DESIGN.md §10).
+//
+// An Endpoint owns exactly the responsibilities that must be identical on
+// every backend:
+//
+//   * Message ↔ frame serialization (frame.h, lossless);
+//   * traffic attribution — the TrafficMeter, the per-endpoint byte/message
+//     counters, and the VELA_AUDIT conservation ledger are all charged HERE,
+//     never in a runtime and never in a Transport. The charge is always
+//     Message::wire_size() (the accounted protocol size), never the physical
+//     frame size, so Fig. 5/6 numbers are invariant across backends;
+//   * fault injection and integrity: the checksum is stamped and the
+//     FaultInjector consulted before framing, so a corrupted message frames
+//     cleanly and is only rejected by the receiving runtime's checksum_ok()
+//     — drop/sever/duplicate/corrupt behave identically over a queue and a
+//     socket, and ReliableLink's retransmit logic needs no backend code.
+//
+// This replaces the old comm::Channel (which fused all of the above with a
+// hard-wired BlockingQueue<Message>). Construction goes through
+// make_endpoint/make_duplex_link or a config's TransportKind; vela_lint's
+// direct-transport rule keeps ad-hoc construction out of the runtimes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "comm/fault_injector.h"
+#include "comm/message.h"
+#include "comm/traffic_meter.h"
+#include "comm/transport.h"
+
+namespace vela::comm {
+
+class Endpoint {
+ public:
+  // `src_node`/`dst_node` locate the endpoints for traffic attribution.
+  // `meter` may be null (un-metered control channels). `kind` is resolved
+  // against VELA_TRANSPORT once, at construction.
+  Endpoint(TransportKind kind, std::size_t src_node, std::size_t dst_node,
+           TrafficMeter* meter);
+
+  // Sends a message; records its wire size. Returns false if closed.
+  bool send(Message msg);
+
+  // Blocks for the next message; nullopt once closed and drained.
+  std::optional<Message> receive();
+  std::optional<Message> try_receive();
+  // Timed receive: kOk fills *out, kTimeout means nothing arrived, kClosed
+  // means the endpoint is closed and drained. The retry layer is built on
+  // this — a timeout is a suspected fault, a close a confirmed one.
+  PopStatus receive_for(std::chrono::milliseconds timeout, Message* out);
+
+  // Attaches a fault injector (may be null to detach). `link` and `dir`
+  // identify this endpoint in the injector's per-lane fault plan. While an
+  // injector is attached every outgoing message is checksummed.
+  void set_fault_injector(FaultInjector* injector, std::size_t link,
+                          LinkDir dir);
+
+  void close();
+  [[nodiscard]] bool closed() const { return transport_->closed(); }
+
+  // Messages accepted by the transport but not yet handed to a receiver.
+  // Maintained here (not read from a backend queue) with the same
+  // charge-before-publish ordering as the conservation ledger, so at a
+  // quiescent step boundary pending() over all endpoints equals the
+  // ledger's in_flight count on every backend.
+  [[nodiscard]] std::size_t pending() const;
+
+  [[nodiscard]] std::size_t src_node() const { return src_; }
+  [[nodiscard]] std::size_t dst_node() const { return dst_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load();
+  }
+  [[nodiscard]] TransportKind kind() const { return kind_; }
+  [[nodiscard]] const char* backend_name() const { return transport_->name(); }
+
+ private:
+  // Frames `msg` and offers it to the transport, with the ledger charged
+  // before the frame is published (see channel ordering contract).
+  bool offer(const Message& msg, std::uint64_t size);
+
+  TransportKind kind_;
+  std::size_t src_, dst_;
+  TrafficMeter* meter_;
+  std::unique_ptr<Transport> transport_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  FaultInjector* injector_ = nullptr;
+  std::size_t injector_link_ = 0;
+  LinkDir injector_dir_ = LinkDir::kToWorker;
+};
+
+// The bidirectional master↔worker link: a pair of endpoints.
+struct DuplexLink {
+  explicit DuplexLink(TransportKind kind = TransportKind::kDefault,
+                      std::size_t master_node = 0, std::size_t worker_node = 0,
+                      TrafficMeter* meter = nullptr)
+      : to_worker(kind, master_node, worker_node, meter),
+        to_master(kind, worker_node, master_node, meter) {}
+
+  Endpoint to_worker;
+  Endpoint to_master;
+
+  // Attaches `injector` (null detaches) to both directions under lane id
+  // `link` (the worker index in the master's fleet).
+  void set_fault_injector(FaultInjector* injector, std::size_t link) {
+    to_worker.set_fault_injector(injector, link, LinkDir::kToWorker);
+    to_master.set_fault_injector(injector, link, LinkDir::kToMaster);
+  }
+
+  void close() {
+    to_worker.close();
+    to_master.close();
+  }
+};
+
+// Factories — how the runtimes (and tests that are not about the fabric
+// itself) construct endpoints; `kind` may be kDefault to follow
+// VELA_TRANSPORT.
+[[nodiscard]] std::unique_ptr<Endpoint> make_endpoint(TransportKind kind,
+                                                      std::size_t src_node,
+                                                      std::size_t dst_node,
+                                                      TrafficMeter* meter);
+[[nodiscard]] std::unique_ptr<DuplexLink> make_duplex_link(
+    TransportKind kind, std::size_t master_node, std::size_t worker_node,
+    TrafficMeter* meter);
+
+}  // namespace vela::comm

@@ -1,0 +1,197 @@
+#include "comm/frame.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace vela::comm {
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "frame fields must be raw fixed-layout scalars");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "frame fields are at most 8 bytes");
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+// Bounds-checked read that reports malformed input through a flag instead of
+// throwing: decode_frame must reject bad frames gracefully (the tests feed
+// it truncated and bit-flipped buffers on purpose).
+template <typename T>
+bool read_pod(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+              T* out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "frame fields must be raw fixed-layout scalars");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "frame fields are at most 8 bytes");
+  if (offset + sizeof(T) > size) return false;
+  std::memcpy(out, data + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+bool fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t frame_crc(const std::uint8_t* data, std::size_t size) {
+  // FNV-1a, the same construction Message::compute_checksum uses — cheap and
+  // bit-stable across platforms.
+  std::uint32_t hash = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  VELA_CHECK_MSG(msg.wire_bits <= 0xFF,
+                 "wire_bits must fit the frame's u8 slot");
+  std::vector<std::uint8_t> body;
+  const std::size_t numel = msg.payload.size();
+  body.reserve(Message::kHeaderBytes + 2 * sizeof(std::uint64_t) +
+               sizeof(std::uint32_t) +
+               msg.payload.rank() * sizeof(std::uint64_t) +
+               numel * sizeof(float));
+  append_pod(body, static_cast<std::uint8_t>(msg.type));
+  append_pod(body, static_cast<std::uint8_t>(msg.wire_bits));
+  append_pod(body, msg.chunk_index);
+  append_pod(body, msg.chunk_count);
+  append_pod(body, msg.request_id);
+  append_pod(body, msg.source);
+  append_pod(body, msg.layer);
+  append_pod(body, msg.expert);
+  append_pod(body, msg.step);
+  append_pod(body, msg.checksum);
+  append_pod(body, msg.phantom_bytes);
+  append_pod(body, static_cast<std::uint32_t>(msg.payload.rank()));
+  for (std::size_t d = 0; d < msg.payload.rank(); ++d) {
+    append_pod(body, static_cast<std::uint64_t>(msg.payload.dim(d)));
+  }
+  for (std::size_t i = 0; i < numel; ++i) {
+    append_pod(body, msg.payload[i]);
+  }
+  VELA_CHECK_MSG(body.size() <= kMaxFrameBodyBytes,
+                 "message too large for one frame");
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(body.size() + kFrameOverheadBytes);
+  append_pod(frame, static_cast<std::uint32_t>(body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+  append_pod(frame, frame_crc(body.data(), body.size()));
+  return frame;
+}
+
+bool decode_frame(const std::vector<std::uint8_t>& frame, Message* out,
+                  std::string* error) {
+  VELA_CHECK(out != nullptr);
+  if (frame.size() < kFrameOverheadBytes) {
+    return fail(error, "frame shorter than its framing overhead");
+  }
+  std::size_t offset = 0;
+  const std::uint8_t* data = frame.data();
+  std::uint32_t body_len = 0;
+  if (!read_pod(data, frame.size(), offset, &body_len)) {
+    return fail(error, "truncated length prefix");
+  }
+  if (body_len > kMaxFrameBodyBytes) {
+    return fail(error, "length prefix exceeds the frame body limit");
+  }
+  if (frame.size() != kFrameOverheadBytes + body_len) {
+    return fail(error, "length prefix disagrees with the buffer size");
+  }
+  const std::uint8_t* body = data + sizeof(std::uint32_t);
+  std::uint32_t crc = 0;
+  std::size_t crc_offset = sizeof(std::uint32_t) + body_len;
+  if (!read_pod(data, frame.size(), crc_offset, &crc)) {
+    return fail(error, "truncated frame CRC");
+  }
+  if (crc != frame_crc(body, body_len)) {
+    return fail(error, "frame CRC mismatch");
+  }
+
+  Message msg;
+  offset = 0;
+  std::uint8_t type = 0, wire_bits = 0;
+  bool ok = read_pod(body, body_len, offset, &type) &&
+            read_pod(body, body_len, offset, &wire_bits) &&
+            read_pod(body, body_len, offset, &msg.chunk_index) &&
+            read_pod(body, body_len, offset, &msg.chunk_count) &&
+            read_pod(body, body_len, offset, &msg.request_id) &&
+            read_pod(body, body_len, offset, &msg.source) &&
+            read_pod(body, body_len, offset, &msg.layer) &&
+            read_pod(body, body_len, offset, &msg.expert) &&
+            read_pod(body, body_len, offset, &msg.step) &&
+            read_pod(body, body_len, offset, &msg.checksum) &&
+            read_pod(body, body_len, offset, &msg.phantom_bytes);
+  std::uint32_t rank = 0;
+  ok = ok && read_pod(body, body_len, offset, &rank);
+  if (!ok) return fail(error, "truncated frame body header");
+  msg.type = static_cast<MessageType>(type);
+  msg.wire_bits = wire_bits;
+
+  std::vector<std::size_t> shape;
+  shape.reserve(rank);
+  std::size_t numel = rank > 0 ? 1 : 0;
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    std::uint64_t dim = 0;
+    if (!read_pod(body, body_len, offset, &dim)) {
+      return fail(error, "truncated shape descriptor");
+    }
+    if (dim == 0 || dim > kMaxFrameBodyBytes) {
+      return fail(error, "implausible tensor dimension");
+    }
+    shape.push_back(static_cast<std::size_t>(dim));
+    numel *= static_cast<std::size_t>(dim);
+    if (numel > kMaxFrameBodyBytes) {
+      return fail(error, "shape volume exceeds the frame body limit");
+    }
+  }
+  if (numel * sizeof(float) > body_len) {
+    return fail(error, "shape volume exceeds the frame body");
+  }
+  if (numel > 0) {
+    std::vector<float> values(numel);
+    for (std::size_t i = 0; i < numel; ++i) {
+      if (!read_pod(body, body_len, offset, &values[i])) {
+        return fail(error, "truncated payload data");
+      }
+    }
+    msg.payload = Tensor(std::move(shape), std::move(values));
+  }
+  if (offset != body_len) return fail(error, "trailing bytes in frame body");
+  *out = std::move(msg);
+  return true;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::next(std::vector<std::uint8_t>* frame) {
+  VELA_CHECK(frame != nullptr);
+  if (buffer_.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, buffer_.data(), sizeof(std::uint32_t));
+  // A byte stream cannot resynchronize after a corrupt length prefix: every
+  // later "frame" would start at a garbage offset. Fail loudly instead of
+  // delivering noise.
+  VELA_CHECK_MSG(body_len <= kMaxFrameBodyBytes,
+                 "frame stream corrupt: oversize length prefix");
+  const std::size_t total = kFrameOverheadBytes + body_len;
+  if (buffer_.size() < total) return false;
+  frame->assign(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,64 @@
+#include "comm/phase_ledger.h"
+
+#include "util/check.h"
+
+namespace vela::comm {
+
+PhaseLedger::PhaseLedger(std::size_t num_layers, std::size_t rows,
+                         std::size_t cols)
+    : num_layers_(num_layers), rows_(rows), cols_(cols) {
+  VELA_CHECK(num_layers_ > 0 && rows_ > 0 && cols_ > 0);
+  reset();
+}
+
+void PhaseLedger::charge(std::size_t layer, bool backward_phase,
+                         std::size_t row, std::size_t col, std::uint64_t bytes,
+                         std::uint32_t messages) {
+  VELA_CHECK(layer < num_layers_ && row < rows_ && col < cols_);
+  Cells& cells = backward_phase ? bwd_[layer] : fwd_[layer];
+  cells.bytes[row][col] += bytes;
+  cells.messages[row][col] += messages;
+}
+
+void PhaseLedger::reset() {
+  const Cells zero{
+      std::vector<std::vector<std::uint64_t>>(
+          rows_, std::vector<std::uint64_t>(cols_, 0)),
+      std::vector<std::vector<std::uint32_t>>(
+          rows_, std::vector<std::uint32_t>(cols_, 0))};
+  fwd_.assign(num_layers_, zero);
+  bwd_.assign(num_layers_, zero);
+}
+
+VelaStepRecord PhaseLedger::take_vela() {
+  VELA_CHECK_MSG(rows_ == 1,
+                 "VelaStepRecord has one master row; this ledger has more");
+  VelaStepRecord record;
+  record.phases.reserve(2 * num_layers_);
+  const auto lane_phase = [](const Cells& cells) {
+    return MasterWorkerPhase{cells.bytes[0], cells.messages[0]};
+  };
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    record.phases.push_back(lane_phase(fwd_[l]));
+  }
+  for (std::size_t l = num_layers_; l-- > 0;) {
+    record.phases.push_back(lane_phase(bwd_[l]));
+  }
+  reset();
+  return record;
+}
+
+EpStepRecord PhaseLedger::take_ep() {
+  EpStepRecord record;
+  record.phases.reserve(2 * num_layers_);
+  for (std::size_t l = 0; l < num_layers_; ++l) {
+    record.phases.push_back(AllToAllPhase{fwd_[l].bytes});
+  }
+  for (std::size_t l = num_layers_; l-- > 0;) {
+    record.phases.push_back(AllToAllPhase{bwd_[l].bytes});
+  }
+  reset();
+  return record;
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,59 @@
+// Shared per-phase byte/message ledger for both runtimes.
+//
+// A training step has 2·L synchronization phases — forward MoE block 0..L−1,
+// then backward L−1..0 — and both runtimes feed the CommClock a record of
+// the bytes each phase moved: VELA as master↔worker lanes (VelaStepRecord),
+// the EP baseline as a full [N][N] all-to-all matrix (EpStepRecord). The
+// charge/phase-interleave/reset bookkeeping used to be copy-pasted between
+// ExpertBroker and ep::PeerBackend; this helper owns it once, so the phase
+// ordering convention cannot drift between the systems being compared.
+//
+// Thread-safety: none — each owner charges from a single thread (the master
+// thread; one EP shard thread per ledger) and merges after joining, exactly
+// as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm_clock.h"
+
+namespace vela::comm {
+
+class PhaseLedger {
+ public:
+  // `rows`×`cols` cells per phase. VELA uses 1×N (one master row, one column
+  // per worker); EP uses N×N (device → device).
+  PhaseLedger(std::size_t num_layers, std::size_t rows, std::size_t cols);
+
+  // Charges `bytes`/`messages` to the (row, col) cell of layer `layer`'s
+  // forward or backward phase.
+  void charge(std::size_t layer, bool backward_phase, std::size_t row,
+              std::size_t col, std::uint64_t bytes, std::uint32_t messages);
+
+  void reset();
+
+  // Drains into a VelaStepRecord (phases forward 0..L−1 then backward
+  // L−1..0) and resets. Requires rows == 1: lane n is cell (0, n).
+  [[nodiscard]] VelaStepRecord take_vela();
+
+  // Drains into an EpStepRecord's phases (same ordering) and resets. The
+  // caller fills allreduce_bytes_per_device — the all-reduce is not a phase.
+  [[nodiscard]] EpStepRecord take_ep();
+
+  [[nodiscard]] std::size_t num_layers() const { return num_layers_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+ private:
+  struct Cells {
+    std::vector<std::vector<std::uint64_t>> bytes;     // [rows][cols]
+    std::vector<std::vector<std::uint32_t>> messages;  // [rows][cols]
+  };
+
+  std::size_t num_layers_, rows_, cols_;
+  std::vector<Cells> fwd_;  // [L]
+  std::vector<Cells> bwd_;  // [L]
+};
+
+}  // namespace vela::comm

@@ -1,0 +1,246 @@
+#include "comm/transport.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "comm/frame.h"
+#include "util/check.h"
+
+namespace vela::comm {
+
+TransportKind resolve_transport(TransportKind kind) {
+  if (kind != TransportKind::kDefault) return kind;
+  const char* env = std::getenv("VELA_TRANSPORT");
+  if (env == nullptr || env[0] == '\0') return TransportKind::kInProc;
+  const std::string value(env);
+  if (value == "inproc") return TransportKind::kInProc;
+  if (value == "socket") return TransportKind::kSocket;
+  VELA_CHECK_MSG(false, "VELA_TRANSPORT must be 'inproc' or 'socket', got '" +
+                            value + "'");
+  return TransportKind::kInProc;  // unreachable
+}
+
+TransportKind transport_kind_from_name(const std::string& name) {
+  if (name == "inproc") return TransportKind::kInProc;
+  if (name == "socket") return TransportKind::kSocket;
+  if (name.empty() || name == "default") return TransportKind::kDefault;
+  VELA_CHECK_MSG(false, "unknown transport '" + name +
+                            "' (expected inproc, socket or default)");
+  return TransportKind::kInProc;  // unreachable
+}
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (resolve_transport(kind)) {
+    case TransportKind::kSocket:
+      return "socket";
+    default:
+      return "inproc";
+  }
+}
+
+// --- InProcTransport --------------------------------------------------------
+
+bool InProcTransport::send(std::vector<std::uint8_t> frame) {
+  return queue_.push(std::move(frame));
+}
+
+std::optional<std::vector<std::uint8_t>> InProcTransport::receive() {
+  return queue_.pop();
+}
+
+std::optional<std::vector<std::uint8_t>> InProcTransport::try_receive() {
+  return queue_.try_pop();
+}
+
+PopStatus InProcTransport::receive_for(std::chrono::milliseconds timeout,
+                                       std::vector<std::uint8_t>* out) {
+  return queue_.pop_for(timeout, out);
+}
+
+void InProcTransport::close() { queue_.close(); }
+
+bool InProcTransport::closed() const { return queue_.closed(); }
+
+// --- SocketTransport --------------------------------------------------------
+
+class SocketTransport::Impl {
+ public:
+  Impl() {
+    // Blocking handshake on an ephemeral loopback port: listen, connect,
+    // accept. The connect completes against the listen backlog, so a single
+    // thread can run all three steps in order.
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    VELA_CHECK_MSG(listener >= 0, "socket(): " +
+                                      std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    VELA_CHECK_MSG(
+        ::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) == 0,
+        "bind(127.0.0.1:0): " + std::string(std::strerror(errno)));
+    VELA_CHECK_MSG(::listen(listener, 1) == 0,
+                   "listen(): " + std::string(std::strerror(errno)));
+    socklen_t len = sizeof(addr);
+    VELA_CHECK(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0);
+
+    tx_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    VELA_CHECK_MSG(tx_fd_ >= 0,
+                   "socket(): " + std::string(std::strerror(errno)));
+    VELA_CHECK_MSG(::connect(tx_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                   "connect(loopback): " + std::string(std::strerror(errno)));
+    rx_fd_ = ::accept(listener, nullptr, nullptr);
+    VELA_CHECK_MSG(rx_fd_ >= 0,
+                   "accept(): " + std::string(std::strerror(errno)));
+    ::close(listener);
+
+    // Frames are small and latency-sensitive (request/reply protocol):
+    // disable Nagle so a frame is not held back waiting for an ACK.
+    const int one = 1;
+    ::setsockopt(tx_fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~Impl() {
+    if (tx_fd_ >= 0) ::close(tx_fd_);
+    if (rx_fd_ >= 0) ::close(rx_fd_);
+  }
+
+  bool send(const std::vector<std::uint8_t>& frame) {
+    // One mutex per direction keeps concurrent senders' frames intact on the
+    // stream (the EP inboxes are many-writer) and orders close() after any
+    // in-progress write, so a frame is never torn by shutdown.
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return false;
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(tx_fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Peer fd gone (teardown): behave like a closed queue.
+        closed_.store(true, std::memory_order_release);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Timed/blocking/non-blocking receive share one loop; `timeout_ms` < 0
+  // blocks indefinitely, 0 polls.
+  PopStatus receive_within(long timeout_ms, std::vector<std::uint8_t>* out) {
+    std::lock_guard<std::mutex> lock(rx_mutex_);
+    const auto deadline =
+        timeout_ms < 0
+            ? std::chrono::steady_clock::time_point::max()
+            : std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      if (decoder_.next(out)) return PopStatus::kOk;
+      if (eof_) return PopStatus::kClosed;
+
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto remaining = deadline - std::chrono::steady_clock::now();
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+                .count();
+        if (ms < 0 && timeout_ms != 0) return PopStatus::kTimeout;
+        wait_ms = ms < 0 ? 0 : static_cast<int>(ms);
+      }
+      pollfd pfd{};
+      pfd.fd = rx_fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        VELA_CHECK_MSG(false, "poll(): " + std::string(std::strerror(errno)));
+      }
+      if (ready == 0) return PopStatus::kTimeout;
+
+      std::uint8_t buf[65536];
+      const ssize_t n = ::recv(rx_fd_, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        VELA_CHECK_MSG(false, "recv(): " + std::string(std::strerror(errno)));
+      }
+      if (n == 0) {
+        // Graceful shutdown: everything buffered has been fed to the
+        // decoder; whole frames still drain, a torn tail is discarded.
+        eof_ = true;
+        continue;
+      }
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    // FIN after the last complete frame: the receiver drains the socket
+    // buffer, then sees EOF — BlockingQueue's close-then-drain contract.
+    ::shutdown(tx_fd_, SHUT_WR);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  int tx_fd_ = -1;
+  int rx_fd_ = -1;
+  std::mutex tx_mutex_;
+  std::mutex rx_mutex_;
+  FrameDecoder decoder_;  // guarded by rx_mutex_
+  bool eof_ = false;      // guarded by rx_mutex_
+  std::atomic<bool> closed_{false};
+};
+
+SocketTransport::SocketTransport() : impl_(std::make_unique<Impl>()) {}
+SocketTransport::~SocketTransport() = default;
+
+bool SocketTransport::send(std::vector<std::uint8_t> frame) {
+  return impl_->send(frame);
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::receive() {
+  std::vector<std::uint8_t> frame;
+  if (impl_->receive_within(-1, &frame) != PopStatus::kOk) return std::nullopt;
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::try_receive() {
+  std::vector<std::uint8_t> frame;
+  if (impl_->receive_within(0, &frame) != PopStatus::kOk) return std::nullopt;
+  return frame;
+}
+
+PopStatus SocketTransport::receive_for(std::chrono::milliseconds timeout,
+                                       std::vector<std::uint8_t>* out) {
+  const long ms = static_cast<long>(timeout.count());
+  return impl_->receive_within(ms < 0 ? 0 : ms, out);
+}
+
+void SocketTransport::close() { impl_->close(); }
+
+bool SocketTransport::closed() const { return impl_->closed(); }
+
+std::unique_ptr<Transport> make_transport(TransportKind kind) {
+  if (resolve_transport(kind) == TransportKind::kSocket) {
+    return std::make_unique<SocketTransport>();
+  }
+  return std::make_unique<InProcTransport>();
+}
+
+}  // namespace vela::comm

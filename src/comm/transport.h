@@ -1,0 +1,128 @@
+// Byte-stream transport under the comm fabric (DESIGN.md §10).
+//
+// A Transport moves complete frames (frame.h: length-prefixed, CRC-trailed
+// byte buffers) between two endpoints that both live in this process. It
+// knows nothing about Messages, meters, ledgers or fault injection — all of
+// that lives one layer up in comm::Endpoint, which is what makes the
+// backends interchangeable: the same fine-tune must be bit-exact (losses,
+// weights, TrafficMeter counts) under every TransportKind.
+//
+// Two from-scratch backends:
+//
+//   * InProcTransport — a BlockingQueue of frame buffers; exactly the
+//     blocking-queue semantics the runtime has always had.
+//   * SocketTransport — a real localhost TCP connection established with a
+//     blocking listen/connect/accept handshake. Frames cross the kernel's
+//     socket buffers; reads are re-segmented with a FrameDecoder, so torn
+//     reads and short writes are handled, and close() is a graceful
+//     shutdown(SHUT_WR) that lets the receiver drain buffered frames before
+//     seeing EOF — mirroring BlockingQueue's close-then-drain contract.
+//
+// Selection: VELA_TRANSPORT=inproc|socket (config fields default to
+// kDefault, which defers to the environment; unset means inproc).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/blocking_queue.h"
+
+namespace vela::comm {
+
+enum class TransportKind : std::uint8_t {
+  kDefault,  // resolve from VELA_TRANSPORT (unset → kInProc)
+  kInProc,
+  kSocket,
+};
+
+// Resolves kDefault against the VELA_TRANSPORT environment variable
+// (read per call, so tests can flip it); other kinds pass through.
+// Unrecognized values fail a VELA_CHECK rather than silently degrading.
+[[nodiscard]] TransportKind resolve_transport(TransportKind kind);
+
+// "inproc" / "socket" (resolves kDefault first).
+[[nodiscard]] const char* transport_kind_name(TransportKind kind);
+
+// Parses a --transport flag value: "inproc", "socket", or "default"/"" (=
+// follow VELA_TRANSPORT). Anything else fails a VELA_CHECK.
+[[nodiscard]] TransportKind transport_kind_from_name(const std::string& name);
+
+// Unidirectional frame pipe. Thread-safe: the EP runtime's shared inboxes
+// have many writers and the fabric makes no single-reader promise either.
+// Semantics mirror BlockingQueue: send() after close() returns false,
+// receivers drain buffered frames after close() before seeing end-of-stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Queues one complete frame; false if the transport is closed (the frame
+  // is dropped). A true return means the frame was accepted in order and
+  // intact — partial writes never surface to the caller.
+  virtual bool send(std::vector<std::uint8_t> frame) = 0;
+
+  // Blocks for the next frame; nullopt once closed and drained.
+  virtual std::optional<std::vector<std::uint8_t>> receive() = 0;
+  virtual std::optional<std::vector<std::uint8_t>> try_receive() = 0;
+  // Timed receive: kOk fills *out, kTimeout means nothing arrived, kClosed
+  // means closed and drained.
+  virtual PopStatus receive_for(std::chrono::milliseconds timeout,
+                                std::vector<std::uint8_t>* out) = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// Factory — the only way the layers above comm construct a transport
+// (vela_lint's direct-transport rule enforces this).
+[[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind);
+
+// In-process backend: frames ride a BlockingQueue, preserving the original
+// channel semantics bit for bit.
+class InProcTransport final : public Transport {
+ public:
+  bool send(std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> receive() override;
+  std::optional<std::vector<std::uint8_t>> try_receive() override;
+  PopStatus receive_for(std::chrono::milliseconds timeout,
+                        std::vector<std::uint8_t>* out) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+  [[nodiscard]] const char* name() const override { return "inproc"; }
+
+ private:
+  BlockingQueue<std::vector<std::uint8_t>> queue_;
+};
+
+// Real-socket backend: a loopback TCP connection whose two file descriptors
+// are both owned by this object (the remote-process split is a later PR).
+// The constructor performs the blocking handshake — listen on an ephemeral
+// 127.0.0.1 port, connect, accept — and then discards the listener.
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport();
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  bool send(std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> receive() override;
+  std::optional<std::vector<std::uint8_t>> try_receive() override;
+  PopStatus receive_for(std::chrono::milliseconds timeout,
+                        std::vector<std::uint8_t>* out) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+  [[nodiscard]] const char* name() const override { return "socket"; }
+
+ private:
+  class Impl;  // keeps <sys/socket.h> and friends out of this header
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vela::comm

@@ -41,11 +41,11 @@ ExpertBroker::ExpertBroker(std::vector<ReliableLink*> rlinks,
       placement_(placement),
       num_layers_(num_layers),
       wire_bits_(wire_bits),
-      quantize_wire_(quantize_wire && wire_bits == 16) {
+      quantize_wire_(quantize_wire && wire_bits == 16),
+      ledger_(num_layers, 1, rlinks_.size()) {
   VELA_CHECK(!rlinks_.empty());
   VELA_CHECK(placement_ != nullptr);
   for (auto* rlink : rlinks_) VELA_CHECK(rlink != nullptr);
-  begin_step();
 }
 
 void ExpertBroker::set_placement(const placement::Placement* placement) {
@@ -57,36 +57,17 @@ void ExpertBroker::set_overlap_chunks(std::size_t chunks) {
   overlap_chunks_ = std::min<std::size_t>(chunks, 255);
 }
 
-void ExpertBroker::begin_step() {
-  const std::size_t n = rlinks_.size();
-  fwd_phases_.assign(num_layers_, comm::MasterWorkerPhase{
-                                      std::vector<std::uint64_t>(n, 0),
-                                      std::vector<std::uint32_t>(n, 0)});
-  bwd_phases_.assign(num_layers_, comm::MasterWorkerPhase{
-                                      std::vector<std::uint64_t>(n, 0),
-                                      std::vector<std::uint32_t>(n, 0)});
-}
+void ExpertBroker::begin_step() { ledger_.reset(); }
 
 comm::VelaStepRecord ExpertBroker::finish_step() {
-  comm::VelaStepRecord record;
-  record.phases.reserve(2 * num_layers_);
-  for (std::size_t l = 0; l < num_layers_; ++l) {
-    record.phases.push_back(fwd_phases_[l]);
-  }
-  for (std::size_t l = num_layers_; l-- > 0;) {
-    record.phases.push_back(bwd_phases_[l]);
-  }
-  begin_step();
-  return record;
+  // take_vela() emits phases forward 0..L−1 then backward L−1..0 and resets.
+  return ledger_.take_vela();
 }
 
 void ExpertBroker::account(std::size_t layer, bool backward_phase,
                            std::size_t worker, std::uint64_t bytes,
                            std::uint32_t messages) {
-  VELA_CHECK(layer < num_layers_ && worker < rlinks_.size());
-  auto& phase = backward_phase ? bwd_phases_[layer] : fwd_phases_[layer];
-  phase.bytes[worker] += bytes;
-  phase.messages[worker] += messages;
+  ledger_.charge(layer, backward_phase, 0, worker, bytes, messages);
 }
 
 comm::Message ExpertBroker::await_reply(std::size_t worker,

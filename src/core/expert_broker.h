@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/comm_clock.h"
+#include "comm/phase_ledger.h"
 #include "core/fault_tolerance.h"
 #include "moe/moe_block.h"
 #include "placement/placement.h"
@@ -94,8 +95,9 @@ class ExpertBroker : public moe::ExpertBackend {
   bool quantize_wire_;
   std::size_t overlap_chunks_ = 0;
   std::uint64_t next_request_ = 1;
-  std::vector<comm::MasterWorkerPhase> fwd_phases_;  // [L]
-  std::vector<comm::MasterWorkerPhase> bwd_phases_;  // [L]
+  // Per-phase byte/message ledger, one master row × one column per worker
+  // (the same helper the EP runtime uses with an N×N shape).
+  comm::PhaseLedger ledger_;
 };
 
 // Parses VELA_OVERLAP (the pipeline depth K). Unset, 0, 1 or unparsable all

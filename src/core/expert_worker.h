@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
-#include "comm/channel.h"
+#include "comm/endpoint.h"
 #include "core/protocol.h"
 #include "nn/expert.h"
 #include "nn/optimizer.h"

@@ -1,6 +1,6 @@
 // Fault-tolerant request/reply layer over a master↔worker DuplexLink.
 //
-// The raw Channel is an unreliable transport once a FaultInjector is in
+// The raw Endpoint is an unreliable transport once a FaultInjector is in
 // play: messages can vanish, arrive twice, or arrive corrupted, and the
 // channel itself can die. ReliableLink turns that into the semantics the
 // broker and master need:
@@ -31,7 +31,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "comm/channel.h"
+#include "comm/endpoint.h"
 
 namespace vela::core {
 

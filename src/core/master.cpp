@@ -8,8 +8,10 @@ namespace vela::core {
 MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
                              const WorkerSpec& spec_template,
                              placement::Placement placement,
-                             std::size_t num_layers, std::size_t num_experts)
+                             std::size_t num_layers, std::size_t num_experts,
+                             comm::TransportKind transport)
     : topology_(topology),
+      transport_(comm::resolve_transport(transport)),
       meter_(&topology_),
       placement_(std::move(placement)),
       spec_template_(spec_template),
@@ -24,8 +26,8 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
   workers_.reserve(n);
   rlinks_.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
-    links_.push_back(std::make_unique<comm::DuplexLink>(
-        master_node, topology_.worker_node(w), &meter_));
+    links_.push_back(comm::make_duplex_link(
+        transport_, master_node, topology_.worker_node(w), &meter_));
     WorkerSpec spec = spec_template_;
     spec.worker_id = w;
     spec.node = topology_.worker_node(w);
@@ -289,8 +291,8 @@ void MasterProcess::respawn_worker(std::size_t w) {
   links_[w]->close();
   workers_[w]->join();
 
-  auto fresh = std::make_unique<comm::DuplexLink>(
-      topology_.master_node(), topology_.worker_node(w), &meter_);
+  auto fresh = comm::make_duplex_link(
+      transport_, topology_.master_node(), topology_.worker_node(w), &meter_);
   if (injector_ != nullptr) fresh->set_fault_injector(injector_, w);
   links_[w] = std::move(fresh);
   rlinks_[w]->reset(links_[w].get());

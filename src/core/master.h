@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "cluster/topology.h"
-#include "comm/channel.h"
+#include "comm/endpoint.h"
 #include "comm/fault_injector.h"
 #include "comm/traffic_meter.h"
 #include "core/expert_broker.h"
@@ -34,10 +34,14 @@ class MasterProcess {
   // Spawns one worker per cluster device, hosting the experts `placement`
   // assigns to it. `spec_template` supplies model dims / LoRA / seeds; the
   // per-worker id and node are filled in here.
+  // `transport` selects the comm-fabric backend for every link (kDefault
+  // follows VELA_TRANSPORT); respawned workers get fresh links of the same
+  // kind.
   MasterProcess(const cluster::ClusterTopology& topology,
                 const WorkerSpec& spec_template,
                 placement::Placement placement, std::size_t num_layers,
-                std::size_t num_experts);
+                std::size_t num_experts,
+                comm::TransportKind transport = comm::TransportKind::kDefault);
   ~MasterProcess();
 
   MasterProcess(const MasterProcess&) = delete;
@@ -52,6 +56,8 @@ class MasterProcess {
     broker_->set_overlap_chunks(chunks);
   }
   std::size_t overlap_chunks() const { return broker_->overlap_chunks(); }
+  // The comm-fabric backend every link runs on (resolved at construction).
+  comm::TransportKind transport() const { return transport_; }
   const cluster::ClusterTopology& topology() const { return topology_; }
   const placement::Placement& placement() const { return placement_; }
   std::size_t num_workers() const { return workers_.size(); }
@@ -129,6 +135,7 @@ class MasterProcess {
   void drop_standby(const ExpertKey& key, std::size_t worker);
 
   cluster::ClusterTopology topology_;
+  comm::TransportKind transport_ = comm::TransportKind::kInProc;
   comm::TrafficMeter meter_;
   placement::Placement placement_;
   WorkerSpec spec_template_;

@@ -50,7 +50,7 @@ VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
       topology, spec,
       sequential_placement(cfg.model.num_layers, cfg.model.num_experts,
                            topology.num_workers()),
-      cfg.model.num_layers, cfg.model.num_experts);
+      cfg.model.num_layers, cfg.model.num_experts, cfg.transport);
 
   Rng model_rng(cfg.seed);
   model_ = std::make_unique<model::MoETransformer>(

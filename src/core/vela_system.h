@@ -55,6 +55,10 @@ struct VelaSystemConfig {
   // to the sequential exchange at any K; only the modeled overlap step time
   // changes. -1 = read the VELA_OVERLAP env var; 0 or 1 = off.
   int overlap_chunks = -1;
+  // Comm-fabric backend for every master↔worker link (DESIGN.md §10).
+  // kDefault follows VELA_TRANSPORT (unset → inproc). Losses, weights and
+  // TrafficMeter byte counts are bit-exact across backends.
+  comm::TransportKind transport = comm::TransportKind::kDefault;
 };
 
 struct StepReport {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "autograd/ops.h"
+#include "comm/phase_ledger.h"
 #include "core/protocol.h"
 #include "moe/moe_block.h"
 #include "nn/expert.h"
@@ -29,8 +30,8 @@ class ExpertServer {
  public:
   ExpertServer(std::size_t shard, const EpRuntimeConfig& cfg,
                std::size_t num_layers, std::size_t num_experts,
-               std::size_t num_shards, comm::Channel* inbox,
-               std::vector<comm::Channel*> reply)
+               std::size_t num_shards, comm::Endpoint* inbox,
+               std::vector<comm::Endpoint*> reply)
       : shard_(shard), cfg_(cfg), inbox_(inbox), reply_(std::move(reply)) {
     for (std::size_t l = 0; l < num_layers; ++l) {
       for (std::size_t e = shard; e < num_experts; e += num_shards) {
@@ -310,8 +311,8 @@ class ExpertServer {
 
   std::size_t shard_;
   const EpRuntimeConfig& cfg_;
-  comm::Channel* inbox_;
-  std::vector<comm::Channel*> reply_;  // [source shard]
+  comm::Endpoint* inbox_;
+  std::vector<comm::Endpoint*> reply_;  // [source shard]
   std::map<ExpertKey, Hosted> experts_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::thread thread_;
@@ -326,8 +327,8 @@ class PeerBackend : public moe::ExpertBackend {
               std::size_t num_layers, unsigned wire_bits,
               const cluster::ClusterTopology* topology,
               comm::TrafficMeter* meter,
-              std::vector<comm::Channel*> to_server,
-              std::vector<comm::Channel*> from_server)
+              std::vector<comm::Endpoint*> to_server,
+              std::vector<comm::Endpoint*> from_server)
       : shard_(shard),
         num_shards_(num_shards),
         num_layers_(num_layers),
@@ -336,20 +337,15 @@ class PeerBackend : public moe::ExpertBackend {
         meter_(meter),
         to_server_(std::move(to_server)),
         from_server_(std::move(from_server)),
-        next_request_((static_cast<std::uint64_t>(shard) << 48) + 1) {
-    reset_record();
-  }
+        ledger_(num_layers, num_shards, num_shards),
+        next_request_((static_cast<std::uint64_t>(shard) << 48) + 1) {}
 
   // This shard's contribution to the step's per-phase all-to-all ledger
   // (requests it sends, replies it receives) — phases are forward blocks
-  // 0..L−1 then backward L−1..0, the broker's convention. Each shard writes
-  // only its own record; the runtime merges them after joining the shard
-  // threads, so no cell is ever written concurrently.
-  comm::EpStepRecord take_record() {
-    comm::EpStepRecord out = std::move(record_);
-    reset_record();
-    return out;
-  }
+  // 0..L−1 then backward L−1..0, the shared PhaseLedger convention. Each
+  // shard writes only its own ledger; the runtime merges them after joining
+  // the shard threads, so no cell is ever written concurrently.
+  comm::EpStepRecord take_record() { return ledger_.take_ep(); }
 
   ag::Variable expert_forward(std::size_t layer, std::size_t expert,
                               const ag::Variable& xs) override {
@@ -428,17 +424,9 @@ class PeerBackend : public moe::ExpertBackend {
                    bytes);
   }
 
-  void reset_record() {
-    record_.phases.assign(
-        2 * num_layers_,
-        comm::AllToAllPhase{std::vector<std::vector<std::uint64_t>>(
-            num_shards_, std::vector<std::uint64_t>(num_shards_, 0))});
-  }
-
   void account(std::size_t layer, bool backward, std::size_t src,
                std::size_t dst, std::uint64_t bytes) {
-    const std::size_t phase = backward ? 2 * num_layers_ - 1 - layer : layer;
-    record_.phases[phase].bytes[src][dst] += bytes;
+    ledger_.charge(layer, backward, src, dst, bytes, 1);
   }
 
   comm::Message await(std::size_t owner, std::uint64_t request_id,
@@ -457,10 +445,10 @@ class PeerBackend : public moe::ExpertBackend {
   unsigned wire_bits_;
   const cluster::ClusterTopology* topology_;
   comm::TrafficMeter* meter_;
-  std::vector<comm::Channel*> to_server_;
-  std::vector<comm::Channel*> from_server_;
+  std::vector<comm::Endpoint*> to_server_;
+  std::vector<comm::Endpoint*> from_server_;
+  comm::PhaseLedger ledger_;
   std::uint64_t next_request_;
-  comm::EpStepRecord record_;
 };
 
 // ---------------------------------------------------------------------------
@@ -478,7 +466,7 @@ ChunkSpan chunk_span(std::size_t total, std::size_t chunks, std::size_t k) {
 }
 
 void ring_allreduce(std::size_t shard, std::size_t n, Tensor& data,
-                    comm::Channel* tx, comm::Channel* rx,
+                    comm::Endpoint* tx, comm::Endpoint* rx,
                     unsigned wire_bits) {
   if (n <= 1) return;
   const auto send_chunk = [&](std::size_t k) {
@@ -541,9 +529,9 @@ struct EpRuntime::Impl {
   // (identical on every shard; shard 0 records it). Joined before read.
   std::uint64_t allreduce_bytes = 0;
 
-  std::vector<std::unique_ptr<comm::Channel>> inbox;            // [server]
-  std::vector<std::vector<std::unique_ptr<comm::Channel>>> reply;  // [srv][src]
-  std::vector<std::unique_ptr<comm::Channel>> ring;             // [d] d→d+1
+  std::vector<std::unique_ptr<comm::Endpoint>> inbox;            // [server]
+  std::vector<std::vector<std::unique_ptr<comm::Endpoint>>> reply;  // [srv][src]
+  std::vector<std::unique_ptr<comm::Endpoint>> ring;             // [d] d→d+1
   std::vector<std::unique_ptr<ExpertServer>> servers;
   std::vector<std::unique_ptr<PeerBackend>> backends;
   std::vector<std::unique_ptr<model::MoETransformer>> replicas;
@@ -555,26 +543,29 @@ struct EpRuntime::Impl {
        const model::PlantingConfig& planting)
       : cfg(config), topology(config.cluster), meter(&topology),
         clock(&topology, config.clock), n(topology.num_devices()) {
-    // Channels. Server inboxes carry mixed sources (metered at the sender);
-    // replies and ring edges have fixed endpoints and meter themselves.
+    // Endpoints, all on the configured transport backend. Server inboxes
+    // carry mixed sources (metered at the sender); replies and ring edges
+    // have fixed endpoints and meter themselves.
+    const comm::TransportKind transport = comm::resolve_transport(cfg.transport);
     for (std::size_t d = 0; d < n; ++d) {
-      inbox.push_back(std::make_unique<comm::Channel>(0, 0, nullptr));
+      inbox.push_back(comm::make_endpoint(transport, 0, 0, nullptr));
     }
     reply.resize(n);
     for (std::size_t d = 0; d < n; ++d) {
       for (std::size_t s = 0; s < n; ++s) {
-        reply[d].push_back(std::make_unique<comm::Channel>(
-            topology.node_of(d), topology.node_of(s), &meter));
+        reply[d].push_back(comm::make_endpoint(
+            transport, topology.node_of(d), topology.node_of(s), &meter));
       }
     }
     for (std::size_t d = 0; d < n; ++d) {
-      ring.push_back(std::make_unique<comm::Channel>(
-          topology.node_of(d), topology.node_of((d + 1) % n), &meter));
+      ring.push_back(comm::make_endpoint(
+          transport, topology.node_of(d), topology.node_of((d + 1) % n),
+          &meter));
     }
 
     // Servers + replicas.
     for (std::size_t d = 0; d < n; ++d) {
-      std::vector<comm::Channel*> reply_ptrs;
+      std::vector<comm::Endpoint*> reply_ptrs;
       for (auto& ch : reply[d]) reply_ptrs.push_back(ch.get());
       servers.push_back(std::make_unique<ExpertServer>(
           d, cfg, cfg.model.num_layers, cfg.model.num_experts, n,
@@ -582,7 +573,7 @@ struct EpRuntime::Impl {
       servers.back()->start();
     }
     for (std::size_t d = 0; d < n; ++d) {
-      std::vector<comm::Channel*> to_server, from_server;
+      std::vector<comm::Endpoint*> to_server, from_server;
       for (std::size_t o = 0; o < n; ++o) {
         to_server.push_back(inbox[o].get());
         from_server.push_back(reply[o][d].get());

@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "cluster/topology.h"
-#include "comm/channel.h"
 #include "comm/comm_clock.h"
+#include "comm/endpoint.h"
 #include "comm/traffic_meter.h"
 #include "data/corpus.h"
 #include "model/router_planting.h"
@@ -38,6 +38,10 @@ struct EpRuntimeConfig {
   nn::AdamWConfig adamw;
   std::uint64_t seed = 1;
   unsigned wire_bits = 32;
+  // Comm-fabric backend for every channel (inbox, reply, ring); kDefault
+  // follows VELA_TRANSPORT. Losses, weights and byte counts are bit-exact
+  // across backends.
+  comm::TransportKind transport = comm::TransportKind::kDefault;
   // Analytic step-time model (same calibrated constants as the VELA side).
   comm::CommClockConfig clock;
 };

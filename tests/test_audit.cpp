@@ -11,7 +11,7 @@
 #include <utility>
 #include <vector>
 
-#include "comm/channel.h"
+#include "comm/endpoint.h"
 #include "comm/message.h"
 #include "core/vela_system.h"
 #include "data/batch.h"
@@ -153,11 +153,11 @@ TEST(ConservationAudit, CatchesDequeueWithoutDelivery) {
   EXPECT_EQ(scope.count("conservation"), 1u);
 }
 
-TEST(ConservationAudit, ChannelFlowBalances) {
+TEST(ConservationAudit, EndpointFlowBalances) {
   AuditScope scope;
   auto& ledger = audit::ConservationLedger::instance();
 
-  comm::Channel ch(0, 1, nullptr);
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, nullptr);
   comm::Message msg;
   msg.type = comm::MessageType::kProbe;
   msg.request_id = 7;

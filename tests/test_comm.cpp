@@ -2,7 +2,7 @@
 
 #include <thread>
 
-#include "comm/channel.h"
+#include "comm/endpoint.h"
 #include "comm/message.h"
 #include "comm/traffic_meter.h"
 #include "util/blocking_queue.h"
@@ -114,10 +114,10 @@ TEST(TrafficMeter, LifetimeTotalsIncludeOpenStep) {
   EXPECT_EQ(meter.lifetime_external_bytes(), 125u);
 }
 
-TEST(Channel, CountsBytesAndMessages) {
+TEST(Endpoint, CountsBytesAndMessages) {
   auto topo = paper_topo();
   comm::TrafficMeter meter(&topo);
-  comm::Channel ch(0, 1, &meter);
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, &meter);
   comm::Message msg;
   msg.payload = Tensor({2, 2});
   msg.wire_bits = 32;
@@ -131,15 +131,15 @@ TEST(Channel, CountsBytesAndMessages) {
   EXPECT_EQ(received->payload.size(), 4u);
 }
 
-TEST(Channel, NullMeterAllowed) {
-  comm::Channel ch(0, 0, nullptr);
+TEST(Endpoint, NullMeterAllowed) {
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 0, nullptr);
   comm::Message msg;
   EXPECT_TRUE(ch.send(std::move(msg)));
   EXPECT_TRUE(ch.receive().has_value());
 }
 
-TEST(Channel, PayloadIntegrityAcrossThreads) {
-  comm::Channel ch(0, 1, nullptr);
+TEST(Endpoint, PayloadIntegrityAcrossThreads) {
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, nullptr);
   Tensor payload = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 4.0f}});
   std::thread sender([&] {
     comm::Message msg;
@@ -155,7 +155,7 @@ TEST(Channel, PayloadIntegrityAcrossThreads) {
 TEST(DuplexLink, TwoIndependentDirections) {
   auto topo = paper_topo();
   comm::TrafficMeter meter(&topo);
-  comm::DuplexLink link(0, 2, &meter);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 2, &meter);
   comm::Message a, b;
   a.request_id = 1;
   b.request_id = 2;

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/endpoint.h"
 #include "comm/fault_injector.h"
 #include "core/expert_broker.h"
 #include "core/expert_worker.h"
@@ -56,7 +57,7 @@ core::RetryPolicy fast_policy() {
 // --- fail-loudly behaviour (pre-fault-tolerance contracts) -------------------
 
 TEST(FaultInjection, BrokerDetectsDeadWorkerChannel) {
-  comm::DuplexLink link(0, 1, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 1, nullptr);
   core::RetryPolicy policy = fast_policy();
   core::ReliableLink rlink(0, &link, &policy);
   placement::Placement placement = one_layer_placement(2, 1);
@@ -71,7 +72,7 @@ TEST(FaultInjection, BrokerDetectsDeadWorkerChannel) {
 }
 
 TEST(FaultInjection, BrokerRejectsMismatchedReply) {
-  comm::DuplexLink link(0, 1, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 1, nullptr);
   core::RetryPolicy policy = fast_policy();
   core::ReliableLink rlink(0, &link, &policy);
   placement::Placement placement = one_layer_placement(2, 1);
@@ -89,7 +90,7 @@ TEST(FaultInjection, BrokerRejectsMismatchedReply) {
 }
 
 TEST(FaultInjection, WorkerBackwardForUnknownRequestKillsWorker) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
   comm::Message msg;
@@ -105,7 +106,7 @@ TEST(FaultInjection, WorkerBackwardForUnknownRequestKillsWorker) {
 }
 
 TEST(FaultInjection, WorkerForwardForMissingExpertKillsWorker) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
   comm::Message msg;
@@ -121,7 +122,7 @@ TEST(FaultInjection, WorkerForwardForMissingExpertKillsWorker) {
 }
 
 TEST(FaultInjection, DoubleInstallRejected) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
   comm::Message install;
@@ -150,7 +151,7 @@ TEST(FaultInjection, MasterSurvivesShutdownDuringIdle) {
 }
 
 TEST(FaultInjection, ChannelCloseDuringPendingReceiveUnblocks) {
-  comm::Channel ch(0, 1, nullptr);
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, nullptr);
   std::thread receiver([&] {
     auto msg = ch.receive();
     EXPECT_FALSE(msg.has_value());
@@ -160,7 +161,7 @@ TEST(FaultInjection, ChannelCloseDuringPendingReceiveUnblocks) {
 }
 
 TEST(FaultInjection, FetchOfUnknownExpertKillsWorker) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
   comm::Message fetch;
@@ -232,7 +233,7 @@ TEST(FaultInjectorTest, SeverClosesChannelPermanently) {
   plan.rules.push_back(
       {0, comm::LinkDir::kToWorker, 1, comm::FaultKind::kSever, 0.0});
   comm::FaultInjector injector(plan);
-  comm::Channel ch(0, 1, nullptr);
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, nullptr);
   ch.set_fault_injector(&injector, 0, comm::LinkDir::kToWorker);
   comm::Message m;
   m.type = comm::MessageType::kProbe;
@@ -246,7 +247,7 @@ TEST(FaultInjectorTest, SeverClosesChannelPermanently) {
 TEST(FaultInjectorTest, NoInjectorMeansNoChecksumAndSameBytes) {
   // Acceptance guard: without an injector the wire format is byte-identical
   // to the seed runtime — no checksum stamped, header size unchanged.
-  comm::Channel ch(0, 1, nullptr);
+  comm::Endpoint ch(comm::TransportKind::kDefault, 0, 1, nullptr);
   comm::Message m;
   m.type = comm::MessageType::kExpertForward;
   m.request_id = 1;
@@ -267,7 +268,7 @@ TEST(ReliableLinkTest, RetransmitsAfterDroppedRequest) {
   plan.rules.push_back(
       {0, comm::LinkDir::kToWorker, 0, comm::FaultKind::kDrop, 0.0});
   comm::FaultInjector injector(plan);
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   link.set_fault_injector(&injector, 0);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
@@ -294,7 +295,7 @@ TEST(ReliableLinkTest, RetransmitsAfterDroppedRequest) {
 }
 
 TEST(ReliableLinkTest, ExhaustedRetriesRaiseWorkerFailed) {
-  comm::DuplexLink link(0, 0, nullptr);  // nobody answers
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);  // nobody answers
   core::RetryPolicy policy;
   policy.timeout = std::chrono::milliseconds(10);
   policy.max_retries = 1;
@@ -317,7 +318,7 @@ TEST(ReliableLinkTest, AbandonOutstandingRemembersKeysInSortedOrder) {
   // abandoned keys enter it is observable once eviction kicks in. It must be
   // sorted-by-key, never unordered_map iteration order (hash-seed
   // dependent).
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::RetryPolicy policy = fast_policy();
   core::ReliableLink rlink(0, &link, &policy);
   const std::vector<std::uint64_t> ids = {42, 3, 17, 99, 8};
@@ -334,7 +335,7 @@ TEST(ReliableLinkTest, AbandonOutstandingRemembersKeysInSortedOrder) {
 }
 
 TEST(ReliableLinkTest, WorkerReplaysCachedReplyOnDuplicate) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(spec(), &link, {{0, 0}});
   worker.start();
   comm::Message fwd;

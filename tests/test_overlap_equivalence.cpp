@@ -241,7 +241,7 @@ struct BrokerRun {
 // chunk 0, 1, 2, 3 (then the replies).
 BrokerRun run_chunked_forward(const comm::FaultPlan* plan) {
   comm::FaultInjector injector(plan != nullptr ? *plan : comm::FaultPlan{});
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   if (plan != nullptr) link.set_fault_injector(&injector, 0);
   core::ExpertWorker worker(broker_spec(), &link, {{0, 0}});
   worker.start();
@@ -313,7 +313,7 @@ TEST(OverlapEquivalence, ChunkedForwardLedgerMatchesSequential) {
   // chunked dispatch must record the same per-phase bytes AND messages as
   // the sequential dispatch of the same group.
   const auto run_at_depth = [](std::size_t k) {
-    comm::DuplexLink link(0, 0, nullptr);
+    comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
     core::ExpertWorker worker(broker_spec(), &link, {{0, 0}});
     worker.start();
     core::RetryPolicy policy;

@@ -24,7 +24,7 @@ core::WorkerSpec test_spec() {
 
 struct WorkerFixture {
   WorkerFixture()
-      : link(0, 0, nullptr),
+      : link(comm::TransportKind::kDefault, 0, 0, nullptr),
         worker(test_spec(), &link, {{0, 0}, {0, 1}}) {
     worker.start();
   }
@@ -122,7 +122,7 @@ TEST(ExpertWorker, UnknownExpertIsProtocolError) {
   // surfaces as a closed channel (the worker thread dies with an exception
   // suppressed by join) — instead we check through a fresh worker to keep
   // the failure containable: send to layer 5.
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(test_spec(), &link, {{0, 0}});
   // Don't start the thread; exercise the construction paths only.
   EXPECT_EQ(worker.experts_hosted(), 1u);
@@ -159,7 +159,7 @@ TEST(ExpertWorker, FetchRemovesAndInstallRestores) {
 }
 
 TEST(ExpertWorker, ClosingChannelStopsThread) {
-  comm::DuplexLink link(0, 0, nullptr);
+  comm::DuplexLink link(comm::TransportKind::kDefault, 0, 0, nullptr);
   core::ExpertWorker worker(test_spec(), &link, {{0, 0}});
   worker.start();
   link.to_worker.close();

@@ -56,4 +56,15 @@ inline bool close(float a, float b) {
   return (a > b ? a - b : b - a) < 1e-6f && 16 == 16;
 }
 
+// Fabric types by pointer, reference or template argument are uses, not
+// constructions; factory calls are the sanctioned construction path.
+struct Endpoint;
+std::unique_ptr<Endpoint> make_endpoint(int src, int dst);
+inline void route(Endpoint* ep, const Endpoint& ref,
+                  std::vector<Endpoint*>* all) {
+  if (ep != nullptr && all != nullptr) all->push_back(ep);
+  (void)ref;
+  auto owned = make_endpoint(0, 1);
+}
+
 }  // namespace fixture

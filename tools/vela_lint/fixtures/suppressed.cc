@@ -38,4 +38,12 @@ inline bool is_sentinel(float v) {
   return v == -1.0f;  // vela-lint: allow(float-equality)
 }
 
+struct Endpoint {};
+
+inline void fabric_by_hand() {
+  // A micro-benchmark drives a raw endpoint pair on purpose.
+  // vela-lint: allow(direct-transport)
+  Endpoint probe;
+}
+
 }  // namespace fixture

@@ -43,4 +43,16 @@ inline bool converged(float loss) {
   return loss == 0.0f;  // line 43: float-equality
 }
 
+// Hand-rolled comm-fabric construction: the rule is name-based, so local
+// stand-ins with the fabric type names exercise it without the real headers.
+struct Endpoint {};
+template <typename T>
+class BlockingQueue {};
+
+inline void hand_rolled_fabric() {
+  Endpoint ep;                                // line 53: direct-transport
+  BlockingQueue<int> inbox;                   // line 54: direct-transport
+  auto heap = std::make_unique<Endpoint>();   // line 55: direct-transport
+}
+
 }  // namespace fixture

@@ -362,12 +362,86 @@ void rule_nodiscard_wire(const std::string& path,
   }
 }
 
+// --- rule: direct-transport ------------------------------------------------
+
+// Comm-fabric primitives a runtime must not construct by hand. Construction
+// goes through comm::make_endpoint / comm::make_duplex_link (or a config's
+// TransportKind), which is what keeps traffic attribution inside Endpoint
+// and the backend swappable via VELA_TRANSPORT (DESIGN.md §10).
+bool is_fabric_type(const std::string& name) {
+  return name == "Channel" || name == "Endpoint" || name == "DuplexLink" ||
+         name == "BlockingQueue" || name == "InProcTransport" ||
+         name == "SocketTransport";
+}
+
+void rule_direct_transport(const std::string& path,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>* findings) {
+  // The fabric layer constructs its own primitives; the queue header defines
+  // one; fabric tests construct backends directly on purpose (same carve-out
+  // as float-equality). Everyone else needs an allow() rationale.
+  if (path.find("src/comm/") != std::string::npos) return;
+  if (ends_with(path, "util/blocking_queue.h")) return;
+  if (is_test_file(path)) return;
+  const std::string advice =
+      " outside src/comm: construct through comm::make_endpoint / "
+      "comm::make_duplex_link (or a config's TransportKind) so traffic "
+      "attribution and backend selection stay inside the fabric";
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        !is_fabric_type(toks[i].text)) {
+      continue;
+    }
+    const std::string& type = toks[i].text;
+    if (i > 0) {
+      const std::string& prev = toks[i - 1].text;
+      // The type's own declarations and destructors are not constructions.
+      if (prev == "class" || prev == "struct" || prev == "friend" ||
+          prev == "~") {
+        continue;
+      }
+      // `new Endpoint(...)` / `make_unique<Endpoint>(...)` heap construction.
+      if (prev == "new" ||
+          (prev == "<" && i >= 2 && toks[i - 2].text == "make_unique")) {
+        findings->push_back({"direct-transport", path, toks[i].line,
+                             "heap-constructed " + type + advice});
+        continue;
+      }
+      // Any other template-argument position is a use, not a construction
+      // (`std::unique_ptr<Endpoint>`, `std::vector<DuplexLink>`).
+      if (prev == "<" || prev == ",") continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_tok(toks[j], "<")) {
+      j = match_forward(toks, j, "<", ">");
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    if (j >= toks.size()) continue;
+    // Pointer, reference and nested-name uses are fine.
+    if (is_tok(toks[j], "*") || is_tok(toks[j], "&") || is_tok(toks[j], "::"))
+      continue;
+    // `Endpoint ep(...)` / `... ep{...}` / `... ep;` / `... ep = ...` stack
+    // declarations, and `Endpoint(...)` / `Endpoint{...}` temporaries.
+    const bool named_decl =
+        toks[j].kind == TokenKind::kIdentifier &&
+        !is_expression_keyword(toks[j].text) && j + 1 < toks.size() &&
+        (is_tok(toks[j + 1], "(") || is_tok(toks[j + 1], "{") ||
+         is_tok(toks[j + 1], ";") || is_tok(toks[j + 1], "="));
+    const bool temporary = is_tok(toks[j], "(") || is_tok(toks[j], "{");
+    if (!named_decl && !temporary) continue;
+    findings->push_back({"direct-transport", path, toks[i].line,
+                         "direct construction of " + type + advice});
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
+      "direct-transport",
   };
   return kRules;
 }
@@ -388,6 +462,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_manual_lock(path, lexed.tokens, &findings);
   rule_float_equality(path, lexed.tokens, &findings);
   rule_nodiscard_wire(path, lexed.tokens, &findings);
+  rule_direct_transport(path, lexed.tokens, &findings);
 
   // Apply suppressions: an allowance on the finding's line or the line
   // directly above it covers the finding.

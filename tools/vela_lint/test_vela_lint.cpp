@@ -58,6 +58,8 @@ TEST(VelaLintFixtures, DetectsEverySeededViolation) {
             (std::set<std::size_t>{38, 39}));
   EXPECT_EQ(unsuppressed_lines(findings, "float-equality"),
             (std::set<std::size_t>{43}));
+  EXPECT_EQ(unsuppressed_lines(findings, "direct-transport"),
+            (std::set<std::size_t>{53, 54, 55}));
 }
 
 TEST(VelaLintFixtures, NodiscardWireOnHeaders) {
@@ -83,8 +85,8 @@ TEST(VelaLintFixtures, SuppressionsDowngradeEveryRule) {
     ++suppressed;
   }
   // One per rule demonstrated: unordered-iteration, 2× naked-new,
-  // wire-memcpy, 2× manual-lock, float-equality.
-  EXPECT_EQ(suppressed, 7u);
+  // wire-memcpy, 2× manual-lock, float-equality, direct-transport.
+  EXPECT_EQ(suppressed, 8u);
 }
 
 TEST(VelaLintFixtures, CleanFixtureHasNoUnsuppressedFindings) {
@@ -206,12 +208,44 @@ TEST(VelaLintRules, SuppressionOnPrecedingLineCovers) {
   EXPECT_FALSE(findings[1].suppressed);
 }
 
+TEST(VelaLintRules, DirectTransportScopedToNonFabricCode) {
+  const std::string construction = R"src(
+namespace comm { struct Endpoint {}; }
+void hand_roll() { comm::Endpoint ep{}; }
+)src";
+  // A runtime file is flagged; the fabric layer and test files are exempt.
+  EXPECT_EQ(
+      unsuppressed_lines(lint_file("src/core/master.cpp", construction),
+                         "direct-transport")
+          .size(),
+      1u);
+  EXPECT_TRUE(lint_file("src/comm/endpoint.cpp", construction).empty());
+  EXPECT_TRUE(lint_file("tests/test_transport.cpp", construction).empty());
+}
+
+TEST(VelaLintRules, DirectTransportAllowsFactoriesAndViews) {
+  const std::string src = R"src(
+#include <memory>
+namespace comm {
+struct Endpoint;
+struct DuplexLink;
+std::unique_ptr<comm::Endpoint> make_endpoint(int, int);
+}  // namespace comm
+void wire(comm::Endpoint* ep, const comm::DuplexLink& link) {
+  auto owned = comm::make_endpoint(0, 1);
+  (void)ep; (void)link; (void)owned;
+}
+)src";
+  EXPECT_TRUE(lint_file("src/core/master.cpp", src).empty());
+}
+
 TEST(VelaLintRules, AllRulesListedAndStable) {
   const auto& rules = vela::lint::all_rules();
-  EXPECT_EQ(rules.size(), 6u);
+  EXPECT_EQ(rules.size(), 7u);
   const std::set<std::string> expected = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
-      "manual-lock",         "float-equality", "nodiscard-wire"};
+      "manual-lock",         "float-equality", "nodiscard-wire",
+      "direct-transport"};
   EXPECT_EQ(std::set<std::string>(rules.begin(), rules.end()), expected);
 }
 
