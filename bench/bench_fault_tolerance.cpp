@@ -10,6 +10,7 @@
 #include "comm/fault_injector.h"
 #include "core/vela_system.h"
 #include "data/corpus.h"
+#include "degrade_csv.h"
 #include "util/csv.h"
 
 using namespace vela;
@@ -117,5 +118,18 @@ int main() {
   run_scenario(noise, csv);
   run_scenario(delays, csv);
   run_scenario(crashes, csv);
+
+  // Degrade-and-continue (DESIGN.md §11): a scripted kill with a zero
+  // respawn budget shrinks the fleet for good; the per-step recovery CSV
+  // is shared with the golden test (tests/test_degrade_golden.cpp).
+  CsvWriter degrade_csv("bench_fault_degrade.csv", bench::degrade_columns());
+  const bench::DegradeRunStats d = bench::emit_degrade_recovery(
+      "tiny-degrade", degrade_csv, kSteps, /*kill_worker=*/1,
+      /*kill_message=*/20);
+  std::printf(
+      "%-14s lost=%zu live=%zu recovery=%6.3f MB loss=%.5f (per-step CSV in "
+      "%s)\n",
+      "degrade", d.workers_lost, d.live_workers, d.recovery_mb,
+      static_cast<double>(d.final_loss), degrade_csv.path().c_str());
   return 0;
 }

@@ -62,13 +62,14 @@ bool Endpoint::offer(const Message& msg, std::uint64_t size) {
 
 bool Endpoint::send(Message msg) {
   FaultKind fault = FaultKind::kNone;
-  if (injector_ != nullptr) {
+  if (FaultInjector* injector = injector_.load(std::memory_order_acquire);
+      injector != nullptr) {
     // Stamp before the injector mutates: a corrupted payload then fails
     // verification at the receiver, exactly like a real CRC. The stamped
     // checksum travels inside the frame body, so the socket backend carries
     // the corruption end to end just like the in-proc queue.
     msg.stamp_checksum();
-    fault = injector_->on_send(injector_link_, injector_dir_, msg);
+    fault = injector->on_send(injector_link_, injector_dir_, msg);
   }
   const std::uint64_t size = msg.wire_size();
   // Account BEFORE publishing: once the receiver can observe the message,
@@ -143,9 +144,15 @@ PopStatus Endpoint::receive_for(std::chrono::milliseconds timeout,
 
 void Endpoint::set_fault_injector(FaultInjector* injector, std::size_t link,
                                   LinkDir dir) {
-  injector_ = injector;
+  // Lane id/direction first, pointer last: a sender that wins the acquire
+  // load must see a fully-described lane.
   injector_link_ = link;
   injector_dir_ = dir;
+  injector_.store(injector, std::memory_order_release);
+  // Connection-level faults live below the frame layer: hand the script
+  // straight to the transport (nullptr clears any previous script).
+  transport_->set_connection_script(
+      injector != nullptr ? injector->connection_script(link, dir) : nullptr);
 }
 
 void Endpoint::close() { transport_->close(); }

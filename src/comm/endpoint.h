@@ -92,7 +92,10 @@ class Endpoint {
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> delivered_{0};
-  FaultInjector* injector_ = nullptr;
+  // Atomic: detach (master thread, at shutdown) can race a worker's late
+  // reply send. The lane id/direction are only written before the pointer
+  // is published (release/acquire pairing in set_fault_injector / send).
+  std::atomic<FaultInjector*> injector_{nullptr};
   std::size_t injector_link_ = 0;
   LinkDir injector_dir_ = LinkDir::kToWorker;
 };

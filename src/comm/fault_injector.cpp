@@ -148,4 +148,14 @@ std::uint64_t FaultInjector::messages_seen(std::size_t link,
   return it == lanes_.end() ? 0 : it->second.next_index;
 }
 
+const ConnectionScript* FaultInjector::connection_script(std::size_t link,
+                                                         LinkDir dir) const {
+  // plan_ is immutable after construction; no lock needed and the returned
+  // pointer stays valid for the injector's lifetime.
+  for (const ConnectionFaultRule& rule : plan_.connection_rules) {
+    if (rule.link == link && rule.dir == dir) return &rule.script;
+  }
+  return nullptr;
+}
+
 }  // namespace vela::comm

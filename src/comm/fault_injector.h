@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "comm/message.h"
+#include "comm/transport.h"
 #include "util/rng.h"
 
 namespace vela::comm {
@@ -61,8 +62,23 @@ struct FaultRule {
   double delay_seconds = 0.0;  // kDelay only
 };
 
+// Connection-level fault script for one link direction (DESIGN.md §11):
+// faults BELOW the frame layer — severing the byte stream mid-record,
+// refusing reconnect attempts, delaying accepts. The Endpoint pushes the
+// script down to its Transport; on the socket backend these exercise the
+// session-resume machinery, on the in-proc backend a sever is permanent
+// link death (see transport.h).
+struct ConnectionFaultRule {
+  std::size_t link = 0;
+  LinkDir dir = LinkDir::kToWorker;
+  ConnectionScript script;
+};
+
 struct FaultPlan {
   std::vector<FaultRule> rules;
+  // At most one ConnectionFaultRule per (link, dir); the Endpoint installs
+  // the first match at set_fault_injector time.
+  std::vector<ConnectionFaultRule> connection_rules;
   // Background fault rates in [0, 1), evaluated per message from a seeded
   // per-link-direction stream after scripted rules. At most one background
   // fault fires per message.
@@ -105,6 +121,12 @@ class FaultInjector {
   double consume_delay_seconds();
 
   std::uint64_t messages_seen(std::size_t link, LinkDir dir) const;
+
+  // The connection-fault script for a link direction, or nullptr. The
+  // returned pointer lives as long as the injector (the Endpoint hands it
+  // straight to its Transport).
+  const ConnectionScript* connection_script(std::size_t link,
+                                            LinkDir dir) const;
 
  private:
   struct Lane {

@@ -16,20 +16,56 @@ void TrafficMeter::record(std::size_t src_node, std::size_t dst_node,
   std::lock_guard<audit::AuditedMutex> lock(mutex_);
   cur_total_ += bytes;
   if (src_node != dst_node) cur_external_ += bytes;
+  if (recovery_depth_ > 0) cur_recovery_ += bytes;
 }
 
 void TrafficMeter::end_step() {
   std::lock_guard<audit::AuditedMutex> lock(mutex_);
   external_history_.push_back(cur_external_);
   total_history_.push_back(cur_total_);
+  recovery_history_.push_back(cur_recovery_);
   cur_external_ = 0;
   cur_total_ = 0;
+  cur_recovery_ = 0;
 }
 
 void TrafficMeter::discard_current() {
   std::lock_guard<audit::AuditedMutex> lock(mutex_);
   cur_external_ = 0;
   cur_total_ = 0;
+  cur_recovery_ = 0;
+}
+
+TrafficMeter::RecoveryScope::RecoveryScope(TrafficMeter* meter)
+    : meter_(meter) {
+  if (meter_ == nullptr) return;
+  std::lock_guard<audit::AuditedMutex> lock(meter_->mutex_);
+  ++meter_->recovery_depth_;
+}
+
+TrafficMeter::RecoveryScope::~RecoveryScope() {
+  if (meter_ == nullptr) return;
+  std::lock_guard<audit::AuditedMutex> lock(meter_->mutex_);
+  VELA_CHECK(meter_->recovery_depth_ > 0);
+  --meter_->recovery_depth_;
+}
+
+std::uint64_t TrafficMeter::current_recovery_bytes() const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  return cur_recovery_;
+}
+
+std::uint64_t TrafficMeter::step_recovery_bytes(std::size_t i) const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  VELA_CHECK(i < recovery_history_.size());
+  return recovery_history_[i];
+}
+
+std::uint64_t TrafficMeter::lifetime_recovery_bytes() const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  std::uint64_t total = cur_recovery_;
+  for (auto b : recovery_history_) total += b;
+  return total;
 }
 
 std::uint64_t TrafficMeter::current_external_bytes() const {

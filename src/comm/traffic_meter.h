@@ -2,6 +2,16 @@
 // (source node, destination node) pair. "External traffic" — the paper's
 // Fig. 5 metric — is traffic whose endpoints sit on different nodes,
 // averaged per node and reported per fine-tuning step.
+//
+// Recovery phase (DESIGN.md §11): while a RecoveryScope is open, every
+// recorded byte is ADDITIONALLY charged to the step's recovery counters —
+// the elastic-FT layer's restore/migration traffic. The external/total
+// series are untouched (a recovered byte still crossed the wire), so all
+// existing ledgers and golden CSVs are unaffected; the recovery series is a
+// new, separate breakdown. The master opens the scope around respawn
+// restores and degrade migrations; both run single-threaded on the master
+// thread with workers only echoing its requests, so everything metered
+// inside the scope is recovery traffic by construction.
 #pragma once
 
 #include <cstdint>
@@ -43,13 +53,35 @@ class TrafficMeter {
   std::uint64_t lifetime_external_bytes() const;
   std::uint64_t lifetime_total_bytes() const;
 
+  // --- recovery phase (DESIGN.md §11) --------------------------------------
+  // RAII scope: while alive, recorded bytes are also charged to the step's
+  // recovery counters. Nestable (a degrade inside a recover_step charges
+  // once, not twice).
+  class RecoveryScope {
+   public:
+    explicit RecoveryScope(TrafficMeter* meter);
+    ~RecoveryScope();
+    RecoveryScope(const RecoveryScope&) = delete;
+    RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+   private:
+    TrafficMeter* meter_;  // nullptr when metering is disabled
+  };
+
+  std::uint64_t current_recovery_bytes() const;
+  std::uint64_t step_recovery_bytes(std::size_t i) const;
+  std::uint64_t lifetime_recovery_bytes() const;
+
  private:
   const cluster::ClusterTopology* topology_;
   mutable audit::AuditedMutex mutex_{"traffic_meter"};
   std::uint64_t cur_external_ = 0;
   std::uint64_t cur_total_ = 0;
+  std::uint64_t cur_recovery_ = 0;
+  int recovery_depth_ = 0;  // > 0 while a RecoveryScope is open
   std::vector<std::uint64_t> external_history_;
   std::vector<std::uint64_t> total_history_;
+  std::vector<std::uint64_t> recovery_history_;
 };
 
 }  // namespace vela::comm

@@ -6,15 +6,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "comm/frame.h"
+#include "util/audit.h"
 #include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
 
 namespace vela::comm {
 
@@ -51,6 +58,22 @@ const char* transport_kind_name(TransportKind kind) {
 // --- InProcTransport --------------------------------------------------------
 
 bool InProcTransport::send(std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(script_mutex_);
+    const std::uint64_t index = frames_sent_++;
+    if (script_ != nullptr) {
+      for (std::size_t i = 0; i < script_->severs.size(); ++i) {
+        if (!sever_fired_[i] && script_->severs[i].frame_index == index) {
+          // No byte stream to resume on this backend: a scripted sever is a
+          // permanent link death, the backend-invariant "worker killed"
+          // signal (see header).
+          sever_fired_[i] = true;
+          queue_.close();
+          return false;
+        }
+      }
+    }
+  }
   return queue_.push(std::move(frame));
 }
 
@@ -71,89 +94,351 @@ void InProcTransport::close() { queue_.close(); }
 
 bool InProcTransport::closed() const { return queue_.closed(); }
 
+void InProcTransport::set_connection_script(const ConnectionScript* script) {
+  std::lock_guard<std::mutex> lock(script_mutex_);
+  script_ = script;
+  sever_fired_.assign(script != nullptr ? script->severs.size() : 0, false);
+}
+
+// --- SocketTransport: session records ---------------------------------------
+//
+// The socket backend wraps every frame in a session record so a severed
+// connection can resume without frame loss (DESIGN.md §11). Stream layout
+// (little-endian), data direction tx_fd → rx_fd:
+//
+//   kData    := u8 1 | u64 seq | u32 frame_len | frame[frame_len]
+//
+// and on the reverse direction of the same TCP connection (rx_fd → tx_fd):
+//
+//   kAck     := u8 2 | u64 next_expected_seq
+//   kHello   := u8 3 | u64 next_expected_seq     (reconnect handshake)
+//   kGoodbye := u8 4                              (graceful close, tx → rx)
+//
+// The sender keeps every data record in a replay buffer until an ack (or
+// reconnect hello) covers its sequence number; the receiver delivers frames
+// strictly in sequence order and discards duplicates, so a replayed record
+// is observed at most once above the transport — which is why all byte
+// accounting stays at Message::wire_size() and replays only surface in the
+// informational session counters.
+
+namespace {
+
+enum : std::uint8_t {
+  kRecData = 1,
+  kRecAck = 2,
+  kRecHello = 3,
+  kRecGoodbye = 4,
+};
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct Record {
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> frame;  // kData only
+};
+
+// Incremental session-record segmenter: the session-envelope counterpart of
+// FrameDecoder (socket reads never align with record boundaries).
+class RecordParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size) {
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+
+  [[nodiscard]] bool next(Record* out) {
+    if (buffer_.empty()) return false;
+    const std::uint8_t type = buffer_[0];
+    std::size_t header = 0;
+    switch (type) {
+      case kRecData:
+        header = kSessionDataOverheadBytes;
+        break;
+      case kRecAck:
+      case kRecHello:
+        header = 1 + sizeof(std::uint64_t);
+        break;
+      case kRecGoodbye:
+        header = 1;
+        break;
+      default:
+        VELA_CHECK_MSG(false, "session stream corrupted: record type "
+                                  << static_cast<int>(type));
+    }
+    if (buffer_.size() < header) return false;
+    std::size_t total = header;
+    if (type == kRecData) {
+      const std::uint32_t len = get_u32(buffer_.data() + 9);
+      VELA_CHECK_MSG(len <= kMaxFrameBodyBytes + kFrameOverheadBytes,
+                     "session stream corrupted: frame length " << len);
+      total += len;
+      if (buffer_.size() < total) return false;
+    }
+    out->type = type;
+    out->seq = type == kRecGoodbye ? 0 : get_u64(buffer_.data() + 1);
+    out->frame.clear();
+    if (type == kRecData) {
+      out->frame.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(header),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    return true;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+std::vector<std::uint8_t> encode_data_record(
+    std::uint64_t seq, const std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kSessionDataOverheadBytes + frame.size());
+  rec.push_back(kRecData);
+  put_u64(&rec, seq);
+  put_u32(&rec, static_cast<std::uint32_t>(frame.size()));
+  rec.insert(rec.end(), frame.begin(), frame.end());
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_ctrl_record(std::uint8_t type,
+                                             std::uint64_t seq) {
+  std::vector<std::uint8_t> rec;
+  if (type == kRecGoodbye) {
+    rec.push_back(kRecGoodbye);
+    return rec;
+  }
+  rec.reserve(1 + sizeof(std::uint64_t));
+  rec.push_back(type);
+  put_u64(&rec, seq);
+  return rec;
+}
+
+// Blocking write with EINTR retry; false on a dead peer.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Non-blocking write with a real-time budget: used where the only drainer
+// may itself be momentarily stalled (reconnect replay), so a wedged peer
+// fails the attempt instead of deadlocking. Poll deadlines are OS-level
+// waits, the injection point itself. vela-lint: allow(naked-clock)
+bool write_all_timed(int fd, const std::uint8_t* data, std::size_t size,
+                     int budget_ms) {
+  // vela-lint: allow(naked-clock)
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;
+    }
+    // vela-lint: allow(naked-clock)
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        remaining)
+                        .count();
+    if (ms <= 0) return false;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    ::poll(&pfd, 1, static_cast<int>(ms));
+  }
+  return true;
+}
+
+}  // namespace
+
 // --- SocketTransport --------------------------------------------------------
 
 class SocketTransport::Impl {
  public:
-  Impl() {
+  Impl(util::Clock* clock, ReconnectPolicy policy)
+      : clock_(clock != nullptr ? clock : &util::system_clock()),
+        policy_(policy),
+        jitter_rng_(policy.jitter_seed) {
     // Blocking handshake on an ephemeral loopback port: listen, connect,
     // accept. The connect completes against the listen backlog, so a single
-    // thread can run all three steps in order.
-    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-    VELA_CHECK_MSG(listener >= 0, "socket(): " +
-                                      std::string(std::strerror(errno)));
+    // thread can run all three steps in order. The listener is RETAINED so
+    // session resume can re-establish the connection after a sever.
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    VELA_CHECK_MSG(listener_ >= 0,
+                   "socket(): " + std::string(std::strerror(errno)));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = 0;
     VELA_CHECK_MSG(
-        ::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+        ::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) == 0,
         "bind(127.0.0.1:0): " + std::string(std::strerror(errno)));
-    VELA_CHECK_MSG(::listen(listener, 1) == 0,
+    VELA_CHECK_MSG(::listen(listener_, 1) == 0,
                    "listen(): " + std::string(std::strerror(errno)));
-    socklen_t len = sizeof(addr);
-    VELA_CHECK(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+    socklen_t len = sizeof(addr_);
+    VELA_CHECK(::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr_),
                              &len) == 0);
-
-    tx_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    VELA_CHECK_MSG(tx_fd_ >= 0,
-                   "socket(): " + std::string(std::strerror(errno)));
-    VELA_CHECK_MSG(::connect(tx_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                             sizeof(addr)) == 0,
-                   "connect(loopback): " + std::string(std::strerror(errno)));
-    rx_fd_ = ::accept(listener, nullptr, nullptr);
-    VELA_CHECK_MSG(rx_fd_ >= 0,
-                   "accept(): " + std::string(std::strerror(errno)));
-    ::close(listener);
-
-    // Frames are small and latency-sensitive (request/reply protocol):
-    // disable Nagle so a frame is not held back waiting for an ACK.
-    const int one = 1;
-    ::setsockopt(tx_fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn_ = connect_pair();
+    VELA_CHECK_MSG(conn_ != nullptr, "socket transport: initial connect failed");
   }
 
   ~Impl() {
-    if (tx_fd_ >= 0) ::close(tx_fd_);
-    if (rx_fd_ >= 0) ::close(rx_fd_);
+    if (listener_ >= 0) ::close(listener_);
+    // conn_ fds close with the last shared_ptr reference.
   }
 
   bool send(const std::vector<std::uint8_t>& frame) {
-    // One mutex per direction keeps concurrent senders' frames intact on the
-    // stream (the EP inboxes are many-writer) and orders close() after any
-    // in-progress write, so a frame is never torn by shutdown.
-    std::lock_guard<std::mutex> lock(tx_mutex_);
+    // tx_mutex_ keeps concurrent senders' records intact on the stream (the
+    // EP inboxes are many-writer) and orders close() after any in-progress
+    // write, so a record is never torn by a graceful shutdown.
+    std::lock_guard<std::mutex> tx(tx_mutex_);
     if (closed_.load(std::memory_order_acquire)) return false;
-    std::size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n =
-          ::send(tx_fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        // Peer fd gone (teardown): behave like a closed queue.
-        closed_.store(true, std::memory_order_release);
-        return false;
+
+    std::shared_ptr<Conn> conn;
+    std::vector<std::uint8_t> record;
+    const ConnectionScript::Sever* sever = nullptr;
+    {
+      std::lock_guard<std::mutex> st(state_mutex_);
+      const std::uint64_t seq = next_seq_++;
+      record = encode_data_record(seq, frame);
+      replay_.emplace_back(seq, frame);
+      sever = pending_sever_locked(seq);
+      {
+        std::lock_guard<std::mutex> sl(stats_mutex_);
+        ++stats_.frames_sent;
       }
-      off += static_cast<std::size_t>(n);
     }
-    return true;
+    conn = snapshot();
+    drain_acks(conn);
+
+    bool wrote = false;
+    if (sever != nullptr) {
+      // Scripted cut: put exactly byte_offset bytes of the record on the
+      // wire, then kill the connection. The frame stays in the replay
+      // buffer, so resume must deliver it exactly once.
+      const std::size_t cut = std::min(sever->byte_offset, record.size());
+      {
+        std::lock_guard<std::mutex> wl(conn->write_mutex);
+        if (cut > 0) write_all(conn->tx_fd, record.data(), cut);
+        ::shutdown(conn->tx_fd, SHUT_RDWR);
+      }
+      std::lock_guard<std::mutex> sl(stats_mutex_);
+      ++stats_.severs_injected;
+    } else {
+      std::lock_guard<std::mutex> wl(conn->write_mutex);
+      wrote = write_all(conn->tx_fd, record.data(), record.size());
+    }
+    if (wrote) return true;
+
+    // The write failed (or the script cut the stream): resume the session.
+    // recover() replays everything unacknowledged — including this frame —
+    // so a successful resume means the frame is on the wire.
+    std::unique_lock<std::mutex> st(state_mutex_);
+    return recover_locked(conn, st);
   }
 
   // Timed/blocking/non-blocking receive share one loop; `timeout_ms` < 0
   // blocks indefinitely, 0 polls.
   PopStatus receive_within(long timeout_ms, std::vector<std::uint8_t>* out) {
-    std::lock_guard<std::mutex> lock(rx_mutex_);
+    std::lock_guard<std::mutex> rx(rx_mutex_);
+    // The poll deadline below is the OS-level wait budget — the injection
+    // point itself; virtual-time conversion happens one layer up
+    // (util::Clock::wait_slice in the retry loops).
+    // vela-lint: allow(naked-clock)
     const auto deadline =
         timeout_ms < 0
             ? std::chrono::steady_clock::time_point::max()
+            // vela-lint: allow(naked-clock)
             : std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);
     while (true) {
-      if (decoder_.next(out)) return PopStatus::kOk;
-      if (eof_) return PopStatus::kClosed;
+      std::shared_ptr<Conn> conn = snapshot();
+      Record rec;
+      if (conn->rx_parser.next(&rec)) {
+        if (rec.type == kRecData) {
+          const std::uint64_t expected =
+              next_expected_.load(std::memory_order_acquire);
+          if (rec.seq == expected) {
+            next_expected_.store(expected + 1, std::memory_order_release);
+            send_ack(conn, expected + 1);
+            *out = std::move(rec.frame);
+            return PopStatus::kOk;
+          }
+          VELA_CHECK_MSG(rec.seq < expected,
+                         "session resume broke ordering: got seq "
+                             << rec.seq << ", expected " << expected);
+          // A replayed record we already delivered: discard (this is the
+          // exactly-once half of the resume contract) and re-ack so the
+          // sender prunes its replay buffer.
+          {
+            std::lock_guard<std::mutex> sl(stats_mutex_);
+            ++stats_.duplicates_discarded;
+          }
+          send_ack(conn, expected);
+          continue;
+        }
+        VELA_CHECK_MSG(rec.type == kRecGoodbye,
+                       "unexpected session record on data direction: "
+                           << static_cast<int>(rec.type));
+        goodbye_received_ = true;
+        continue;
+      }
+      // Parser empty: closed-and-drained, or wait for more bytes.
+      if (goodbye_received_) return PopStatus::kClosed;
+      if (dead_.load(std::memory_order_acquire)) return PopStatus::kClosed;
+      if (conn->rx_eof) {
+        // EOF without a goodbye: the connection was lost, not closed.
+        std::unique_lock<std::mutex> st(state_mutex_, std::try_to_lock);
+        if (st.owns_lock()) {
+          if (!recover_locked(conn, st)) return PopStatus::kClosed;
+        } else {
+          // Another thread is already resuming; yield so it can publish the
+          // fresh connection (we then drain its replay). Real yield on
+          // purpose — this is inter-thread scheduling, not protocol time.
+          // vela-lint: allow(naked-clock)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        continue;
+      }
 
       int wait_ms = -1;
       if (timeout_ms >= 0) {
+        // vela-lint: allow(naked-clock)
         const auto remaining = deadline - std::chrono::steady_clock::now();
         const auto ms =
             std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
@@ -162,52 +447,348 @@ class SocketTransport::Impl {
         wait_ms = ms < 0 ? 0 : static_cast<int>(ms);
       }
       pollfd pfd{};
-      pfd.fd = rx_fd_;
+      pfd.fd = conn->rx_fd;
       pfd.events = POLLIN;
       const int ready = ::poll(&pfd, 1, wait_ms);
       if (ready < 0) {
         if (errno == EINTR) continue;
         VELA_CHECK_MSG(false, "poll(): " + std::string(std::strerror(errno)));
       }
-      if (ready == 0) return PopStatus::kTimeout;
+      if (ready == 0) {
+        if (timeout_ms == 0) return PopStatus::kTimeout;
+        continue;  // re-check the deadline at the loop top
+      }
 
       std::uint8_t buf[65536];
-      const ssize_t n = ::recv(rx_fd_, buf, sizeof(buf), 0);
+      const ssize_t n = ::recv(conn->rx_fd, buf, sizeof(buf), 0);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == ECONNRESET || errno == EPIPE) {
+          conn->rx_eof = true;
+          continue;
+        }
         VELA_CHECK_MSG(false, "recv(): " + std::string(std::strerror(errno)));
       }
       if (n == 0) {
-        // Graceful shutdown: everything buffered has been fed to the
-        // decoder; whole frames still drain, a torn tail is discarded.
-        eof_ = true;
+        conn->rx_eof = true;
         continue;
       }
-      decoder_.feed(buf, static_cast<std::size_t>(n));
+      conn->rx_parser.feed(buf, static_cast<std::size_t>(n));
     }
   }
 
   void close() {
-    std::lock_guard<std::mutex> lock(tx_mutex_);
+    std::lock_guard<std::mutex> tx(tx_mutex_);
     if (closed_.exchange(true, std::memory_order_acq_rel)) return;
-    // FIN after the last complete frame: the receiver drains the socket
-    // buffer, then sees EOF — BlockingQueue's close-then-drain contract.
-    ::shutdown(tx_fd_, SHUT_WR);
+    std::shared_ptr<Conn> conn = snapshot();
+    // Goodbye after the last complete record, then FIN: the receiver drains
+    // buffered records, sees the goodbye, and reports closed — the
+    // BlockingQueue close-then-drain contract. An EOF *without* goodbye is
+    // a connection loss and triggers resume instead.
+    const auto bye = encode_ctrl_record(kRecGoodbye, 0);
+    std::lock_guard<std::mutex> wl(conn->write_mutex);
+    write_all(conn->tx_fd, bye.data(), bye.size());
+    ::shutdown(conn->tx_fd, SHUT_WR);
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  void set_connection_script(const ConnectionScript* script) {
+    std::lock_guard<std::mutex> st(state_mutex_);
+    script_ = script;
+    sever_fired_.assign(script != nullptr ? script->severs.size() : 0, false);
+    refused_so_far_ = 0;
+  }
+
+  SessionStats session_stats() const {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    return stats_;
+  }
+
  private:
-  int tx_fd_ = -1;
-  int rx_fd_ = -1;
-  std::mutex tx_mutex_;
-  std::mutex rx_mutex_;
-  FrameDecoder decoder_;  // guarded by rx_mutex_
-  bool eof_ = false;      // guarded by rx_mutex_
+  struct Conn {
+    int tx_fd = -1;
+    int rx_fd = -1;
+    std::mutex write_mutex;  // serializes writers to tx_fd (data/replay/bye)
+    RecordParser rx_parser;  // receiver side; guarded by rx_mutex_
+    RecordParser ack_parser;  // sender side (acks + hello); guarded by
+                              // tx_mutex_, or state_mutex_ pre-publish
+    bool rx_eof = false;      // guarded by rx_mutex_
+
+    ~Conn() {
+      if (tx_fd >= 0) ::close(tx_fd);
+      if (rx_fd >= 0) ::close(rx_fd);
+    }
+  };
+
+  std::shared_ptr<Conn> snapshot() const {
+    std::lock_guard<std::mutex> lock(conn_ptr_mutex_);
+    return conn_;
+  }
+
+  // Establishes a fresh connection through the retained listener. Returns
+  // nullptr for a scripted refusal. Caller holds state_mutex_ (or is the
+  // constructor).
+  std::shared_ptr<Conn> connect_pair(bool resume = false) {
+    if (resume && script_ != nullptr &&
+        refused_so_far_ < script_->refuse_reconnects) {
+      ++refused_so_far_;
+      std::lock_guard<std::mutex> sl(stats_mutex_);
+      ++stats_.refused_connects;
+      return nullptr;
+    }
+    if (resume && script_ != nullptr && script_->accept_delay.count() > 0) {
+      clock_->sleep_for(script_->accept_delay);
+    }
+    const int tx = ::socket(AF_INET, SOCK_STREAM, 0);
+    VELA_CHECK_MSG(tx >= 0, "socket(): " + std::string(std::strerror(errno)));
+    if (::connect(tx, reinterpret_cast<const sockaddr*>(&addr_),
+                  sizeof(addr_)) != 0) {
+      ::close(tx);
+      return nullptr;
+    }
+    const int rx = ::accept(listener_, nullptr, nullptr);
+    if (rx < 0) {
+      ::close(tx);
+      return nullptr;
+    }
+    // Frames are small and latency-sensitive (request/reply protocol):
+    // disable Nagle so a record is not held back waiting for an ACK.
+    const int one = 1;
+    ::setsockopt(tx, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->tx_fd = tx;
+    conn->rx_fd = rx;
+    return conn;
+  }
+
+  // The scripted sever (if any) that fires on data frame `seq`. Caller
+  // holds state_mutex_.
+  const ConnectionScript::Sever* pending_sever_locked(std::uint64_t seq) {
+    if (script_ == nullptr) return nullptr;
+    for (std::size_t i = 0; i < script_->severs.size(); ++i) {
+      if (!sever_fired_[i] && script_->severs[i].frame_index == seq) {
+        sever_fired_[i] = true;
+        return &script_->severs[i];
+      }
+    }
+    return nullptr;
+  }
+
+  // Opportunistic ack drain on the send path: prunes the replay buffer.
+  void drain_acks(const std::shared_ptr<Conn>& conn) {
+    while (true) {
+      std::uint8_t buf[4096];
+      const ssize_t n =
+          ::recv(conn->tx_fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) break;
+      conn->ack_parser.feed(buf, static_cast<std::size_t>(n));
+    }
+    Record rec;
+    while (conn->ack_parser.next(&rec)) {
+      VELA_CHECK_MSG(rec.type == kRecAck,
+                     "unexpected session record on ack direction: "
+                         << static_cast<int>(rec.type));
+      std::lock_guard<std::mutex> st(state_mutex_);
+      prune_replay_locked(rec.seq);
+    }
+  }
+
+  void prune_replay_locked(std::uint64_t next_expected) {
+    while (!replay_.empty() && replay_.front().first < next_expected) {
+      replay_.pop_front();
+    }
+  }
+
+  // Receiver-side cumulative ack. Best-effort: a lost ack only delays
+  // pruning (the reconnect hello is the authoritative sync point).
+  void send_ack(const std::shared_ptr<Conn>& conn,
+                std::uint64_t next_expected) {
+    const auto ack = encode_ctrl_record(kRecAck, next_expected);
+    write_all(conn->rx_fd, ack.data(), ack.size());
+  }
+
+  // Session resume (DESIGN.md §11). Caller holds state_mutex_ via `st`.
+  // Backoff attempt k sleeps min(base·mult^(k-1), max) + seeded jitter on
+  // the injected clock. The handshake: a fresh connection is established
+  // through the retained listener, the receive side sends kHello carrying
+  // its next expected sequence number, the send side prunes its replay
+  // buffer to that point and replays the rest — then the connection is
+  // published and the old one's fds are shut down (waking any pollers).
+  // Returns false once the attempt budget is exhausted: the session is
+  // dead and the transport reports closed.
+  bool recover_locked(const std::shared_ptr<Conn>& old_conn,
+                      std::unique_lock<std::mutex>& st) {
+    (void)st;
+    if (dead_.load(std::memory_order_acquire)) return false;
+    if (goodbye_received_ ||
+        (closed_.load(std::memory_order_acquire) && snapshot() == old_conn)) {
+      // Graceful close in progress — nothing to resume.
+      return false;
+    }
+    if (snapshot() != old_conn) return true;  // another thread resumed
+
+    for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        const auto base = policy_.backoff_base.count();
+        double delay = static_cast<double>(base);
+        for (int k = 2; k < attempt; ++k) delay *= policy_.backoff_multiplier;
+        delay = std::min(delay,
+                         static_cast<double>(policy_.backoff_max.count()));
+        const auto jitter = static_cast<std::int64_t>(
+            jitter_rng_.uniform_index(static_cast<std::uint64_t>(base) + 1));
+        clock_->sleep_for(std::chrono::milliseconds(
+            static_cast<std::int64_t>(delay) + jitter));
+      }
+      std::shared_ptr<Conn> fresh = connect_pair(/*resume=*/true);
+      if (fresh == nullptr) continue;  // refused
+
+      // Handshake: receive side → kHello(next_expected) → send side.
+      const std::uint64_t expected =
+          next_expected_.load(std::memory_order_acquire);
+      const auto hello = encode_ctrl_record(kRecHello, expected);
+      if (!write_all_timed(fresh->rx_fd, hello.data(), hello.size(), 2000)) {
+        continue;
+      }
+      Record rec;
+      if (!read_record_blocking(fresh->tx_fd, &fresh->ack_parser, &rec) ||
+          rec.type != kRecHello) {
+        continue;
+      }
+      prune_replay_locked(rec.seq);
+
+      // Publish BEFORE replaying: the receive path (which never blocks on
+      // state_mutex_) starts draining the fresh connection immediately, so
+      // a replay larger than the socket buffers still makes progress.
+      {
+        std::lock_guard<std::mutex> cp(conn_ptr_mutex_);
+        conn_ = fresh;
+      }
+      ::shutdown(old_conn->tx_fd, SHUT_RDWR);
+      ::shutdown(old_conn->rx_fd, SHUT_RDWR);
+
+      bool ok = true;
+      {
+        std::lock_guard<std::mutex> wl(fresh->write_mutex);
+        for (const auto& [seq, frame] : replay_) {
+          const auto record = encode_data_record(seq, frame);
+          if (!write_all_timed(fresh->tx_fd, record.data(), record.size(),
+                               5000)) {
+            ok = false;
+            break;
+          }
+          {
+            std::lock_guard<std::mutex> sl(stats_mutex_);
+            ++stats_.replayed_frames;
+            stats_.replayed_bytes += record.size();
+          }
+          if (audit::enabled()) {
+            audit::ConservationLedger::instance().on_session_replay(
+                record.size());
+          }
+        }
+      }
+      if (!ok) {
+        // The fresh connection wedged mid-replay; cut it and try again —
+        // the next hello re-syncs, so nothing is lost or duplicated.
+        ::shutdown(fresh->tx_fd, SHUT_RDWR);
+        ::shutdown(fresh->rx_fd, SHUT_RDWR);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> sl(stats_mutex_);
+        ++stats_.reconnects;
+      }
+      VELA_LOG_DEBUG("session") << "resumed after " << attempt
+                                << " attempt(s), replayed " << replay_.size()
+                                << " frame(s)";
+      return true;
+    }
+
+    // Budget exhausted: the session is dead. The transport reports closed;
+    // the layers above turn that into WorkerFailedError → degrade.
+    dead_.store(true, std::memory_order_release);
+    closed_.store(true, std::memory_order_release);
+    ::shutdown(old_conn->tx_fd, SHUT_RDWR);
+    ::shutdown(old_conn->rx_fd, SHUT_RDWR);
+    {
+      std::lock_guard<std::mutex> cp(conn_ptr_mutex_);
+      if (conn_ != old_conn) {
+        ::shutdown(conn_->tx_fd, SHUT_RDWR);
+        ::shutdown(conn_->rx_fd, SHUT_RDWR);
+      }
+    }
+    VELA_LOG_WARN("session") << "reconnect budget exhausted ("
+                             << policy_.max_attempts
+                             << " attempts); session dead";
+    return false;
+  }
+
+  // Blocking read of one record during the handshake (real-time bounded:
+  // loopback round trip, not protocol time). vela-lint: allow(naked-clock)
+  bool read_record_blocking(int fd, RecordParser* parser, Record* out) {
+    const auto deadline =
+        // vela-lint: allow(naked-clock)
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    while (!parser->next(out)) {
+      // vela-lint: allow(naked-clock)
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count();
+      if (ms <= 0) return false;
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(ms));
+      if (ready <= 0) {
+        if (ready < 0 && errno == EINTR) continue;
+        return false;
+      }
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      parser->feed(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  util::Clock* clock_;
+  ReconnectPolicy policy_;
+  int listener_ = -1;
+  sockaddr_in addr_{};
+
+  std::mutex tx_mutex_;  // serializes send()/close() callers
+  std::mutex rx_mutex_;  // serializes receive callers
+
+  // Session state: sequence numbers, replay buffer, reconnect machinery.
+  // Lock order (never reversed): tx_mutex_/rx_mutex_ → state_mutex_ →
+  // conn_ptr_mutex_/Conn::write_mutex → stats_mutex_.
+  std::mutex state_mutex_;
+  std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> replay_;
+  std::uint64_t next_seq_ = 0;  // guarded by state_mutex_
+  Rng jitter_rng_;              // guarded by state_mutex_
+  const ConnectionScript* script_ = nullptr;  // guarded by state_mutex_
+  std::vector<bool> sever_fired_;             // guarded by state_mutex_
+  int refused_so_far_ = 0;                    // guarded by state_mutex_
+
+  mutable std::mutex conn_ptr_mutex_;
+  std::shared_ptr<Conn> conn_;  // guarded by conn_ptr_mutex_
+
+  std::atomic<std::uint64_t> next_expected_{0};
+  bool goodbye_received_ = false;  // guarded by rx_mutex_
   std::atomic<bool> closed_{false};
+  std::atomic<bool> dead_{false};
+
+  mutable std::mutex stats_mutex_;
+  SessionStats stats_;  // guarded by stats_mutex_
 };
 
-SocketTransport::SocketTransport() : impl_(std::make_unique<Impl>()) {}
+SocketTransport::SocketTransport(util::Clock* clock, ReconnectPolicy policy)
+    : impl_(std::make_unique<Impl>(clock, policy)) {}
 SocketTransport::~SocketTransport() = default;
 
 bool SocketTransport::send(std::vector<std::uint8_t> frame) {
@@ -236,9 +817,28 @@ void SocketTransport::close() { impl_->close(); }
 
 bool SocketTransport::closed() const { return impl_->closed(); }
 
+void SocketTransport::set_connection_script(const ConnectionScript* script) {
+  impl_->set_connection_script(script);
+}
+
+SessionStats SocketTransport::session_stats() const {
+  return impl_->session_stats();
+}
+
 std::unique_ptr<Transport> make_transport(TransportKind kind) {
   if (resolve_transport(kind) == TransportKind::kSocket) {
-    return std::make_unique<SocketTransport>();
+    ReconnectPolicy policy;
+    // Retry-budget knob (README): cap reconnect attempts per sever before
+    // the session is declared dead.
+    if (const char* env = std::getenv("VELA_RECONNECT_ATTEMPTS");
+        env != nullptr && env[0] != '\0') {
+      const long attempts = std::strtol(env, nullptr, 10);
+      VELA_CHECK_MSG(attempts >= 1,
+                     "VELA_RECONNECT_ATTEMPTS must be >= 1, got '" +
+                         std::string(env) + "'");
+      policy.max_attempts = static_cast<int>(attempts);
+    }
+    return std::make_unique<SocketTransport>(nullptr, policy);
   }
   return std::make_unique<InProcTransport>();
 }

@@ -1,22 +1,35 @@
-// Byte-stream transport under the comm fabric (DESIGN.md §10).
+// Byte-stream transport under the comm fabric (DESIGN.md §10, §11).
 //
 // A Transport moves complete frames (frame.h: length-prefixed, CRC-trailed
 // byte buffers) between two endpoints that both live in this process. It
-// knows nothing about Messages, meters, ledgers or fault injection — all of
-// that lives one layer up in comm::Endpoint, which is what makes the
-// backends interchangeable: the same fine-tune must be bit-exact (losses,
-// weights, TrafficMeter counts) under every TransportKind.
+// knows nothing about Messages, meters, ledgers or message-level fault
+// injection — all of that lives one layer up in comm::Endpoint, which is
+// what makes the backends interchangeable: the same fine-tune must be
+// bit-exact (losses, weights, TrafficMeter counts) under every
+// TransportKind.
 //
 // Two from-scratch backends:
 //
 //   * InProcTransport — a BlockingQueue of frame buffers; exactly the
 //     blocking-queue semantics the runtime has always had.
-//   * SocketTransport — a real localhost TCP connection established with a
-//     blocking listen/connect/accept handshake. Frames cross the kernel's
-//     socket buffers; reads are re-segmented with a FrameDecoder, so torn
-//     reads and short writes are handled, and close() is a graceful
-//     shutdown(SHUT_WR) that lets the receiver drain buffered frames before
-//     seeing EOF — mirroring BlockingQueue's close-then-drain contract.
+//   * SocketTransport — a real localhost TCP connection with SESSION RESUME
+//     (DESIGN.md §11): frames ride sequence-numbered session records, the
+//     listener is retained for the life of the transport, and a severed
+//     connection is re-established with bounded exponential backoff
+//     (deterministically seeded jitter) and a hello/ack handshake that
+//     replays unacknowledged frames — a cut cable loses no frames. Only
+//     when the reconnect budget is exhausted does the transport report
+//     closed, which the layers above translate into worker death.
+//
+// Connection-level fault scripting: a ConnectionScript (installed by the
+// Endpoint from the FaultInjector's plan) describes faults *below* the
+// frame layer — severing the TCP stream mid-record at an exact byte
+// offset, refusing the next N reconnect attempts, delaying accepts. On the
+// socket backend these exercise the real resume machinery; on the in-proc
+// backend (which has no byte stream or reconnect) a scripted sever closes
+// the queue permanently, so a "sever + refuse-all-reconnects" script kills
+// a link identically on both backends and degrade tests are
+// backend-invariant.
 //
 // Selection: VELA_TRANSPORT=inproc|socket (config fields default to
 // kDefault, which defers to the environment; unset means inproc).
@@ -25,11 +38,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/blocking_queue.h"
+#include "util/clock.h"
 
 namespace vela::comm {
 
@@ -51,6 +66,59 @@ enum class TransportKind : std::uint8_t {
 // follow VELA_TRANSPORT). Anything else fails a VELA_CHECK.
 [[nodiscard]] TransportKind transport_kind_from_name(const std::string& name);
 
+// --- connection-level fault scripting (DESIGN.md §11) -----------------------
+
+// Scripted faults below the frame layer. Deterministic by construction:
+// sever points are keyed by the send-order index of the data frame (each
+// lane has a single logical sender order), and reconnect refusals count
+// attempts, not time.
+struct ConnectionScript {
+  struct Sever {
+    // 0-based index of the send() call during which the connection is cut.
+    std::uint64_t frame_index = 0;
+    // Bytes of that frame's session record that make it onto the wire
+    // before the cut. 0 = cut before any byte; >= record size = the whole
+    // record arrives and the cut lands between records (the replay-dedupe
+    // case). Ignored by the in-proc backend (no byte stream).
+    std::size_t byte_offset = 0;
+  };
+  std::vector<Sever> severs;  // each fires once
+  // Number of reconnect attempts refused (connection reset at accept)
+  // before one is allowed to succeed. Set it >= the reconnect budget to
+  // make a sever permanent.
+  int refuse_reconnects = 0;
+  // Stall applied before each successful re-accept (a slow peer).
+  std::chrono::milliseconds accept_delay{0};
+};
+
+// Reconnect schedule for the socket backend's session resume. Attempt k
+// (k >= 1) sleeps min(base * multiplier^(k-1), max) plus a deterministic
+// jitter drawn from `jitter_seed` in [0, base); after `max_attempts`
+// failures the session is declared dead and the transport closes.
+struct ReconnectPolicy {
+  std::chrono::milliseconds backoff_base{5};
+  std::chrono::milliseconds backoff_max{250};
+  double backoff_multiplier = 2.0;
+  int max_attempts = 8;
+  std::uint64_t jitter_seed = 0x5eedf00dULL;
+};
+
+// Observability counters for the session layer (socket backend).
+struct SessionStats {
+  std::uint64_t frames_sent = 0;        // data records first-transmitted
+  std::uint64_t reconnects = 0;         // successful session resumes
+  std::uint64_t refused_connects = 0;   // attempts refused by script
+  std::uint64_t replayed_frames = 0;    // data records re-sent on resume
+  std::uint64_t replayed_bytes = 0;     // physical bytes of those records
+  std::uint64_t duplicates_discarded = 0;  // receiver-side seq dedupe
+  std::uint64_t severs_injected = 0;    // scripted cuts that fired
+};
+
+// Session record overhead on the socket stream: u8 record type + u64
+// sequence number + u32 frame length. The torn-connection property test
+// sweeps every byte offset of (overhead + frame size).
+inline constexpr std::size_t kSessionDataOverheadBytes = 13;
+
 // Unidirectional frame pipe. Thread-safe: the EP runtime's shared inboxes
 // have many writers and the fabric makes no single-reader promise either.
 // Semantics mirror BlockingQueue: send() after close() returns false,
@@ -61,7 +129,8 @@ class Transport {
 
   // Queues one complete frame; false if the transport is closed (the frame
   // is dropped). A true return means the frame was accepted in order and
-  // intact — partial writes never surface to the caller.
+  // intact — partial writes and transparent session resumes never surface
+  // to the caller.
   virtual bool send(std::vector<std::uint8_t> frame) = 0;
 
   // Blocks for the next frame; nullopt once closed and drained.
@@ -76,6 +145,14 @@ class Transport {
   [[nodiscard]] virtual bool closed() const = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+  // Installs a connection-fault script (nullptr clears). Non-owning: the
+  // script must outlive the transport, same contract as the FaultInjector
+  // it is derived from. Default: ignored (backends without connection
+  // faults).
+  virtual void set_connection_script(const ConnectionScript* script) {
+    (void)script;
+  }
 };
 
 // Factory — the only way the layers above comm construct a transport
@@ -83,7 +160,8 @@ class Transport {
 [[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind);
 
 // In-process backend: frames ride a BlockingQueue, preserving the original
-// channel semantics bit for bit.
+// channel semantics bit for bit. A scripted sever closes the queue
+// permanently — in-proc has no byte stream to resume.
 class InProcTransport final : public Transport {
  public:
   bool send(std::vector<std::uint8_t> frame) override;
@@ -94,18 +172,27 @@ class InProcTransport final : public Transport {
   void close() override;
   [[nodiscard]] bool closed() const override;
   [[nodiscard]] const char* name() const override { return "inproc"; }
+  void set_connection_script(const ConnectionScript* script) override;
 
  private:
   BlockingQueue<std::vector<std::uint8_t>> queue_;
+  std::mutex script_mutex_;
+  const ConnectionScript* script_ = nullptr;  // guarded by script_mutex_
+  std::uint64_t frames_sent_ = 0;             // guarded by script_mutex_
+  std::vector<bool> sever_fired_;             // guarded by script_mutex_
 };
 
 // Real-socket backend: a loopback TCP connection whose two file descriptors
 // are both owned by this object (the remote-process split is a later PR).
 // The constructor performs the blocking handshake — listen on an ephemeral
-// 127.0.0.1 port, connect, accept — and then discards the listener.
+// 127.0.0.1 port, connect, accept — and RETAINS the listener so a severed
+// connection can be re-established (session resume, DESIGN.md §11).
 class SocketTransport final : public Transport {
  public:
-  SocketTransport();
+  // `clock` drives backoff sleeps and defaults to the system clock;
+  // `policy` bounds the reconnect schedule. Both are test injection points.
+  explicit SocketTransport(util::Clock* clock = nullptr,
+                           ReconnectPolicy policy = {});
   ~SocketTransport() override;
 
   SocketTransport(const SocketTransport&) = delete;
@@ -119,6 +206,9 @@ class SocketTransport final : public Transport {
   void close() override;
   [[nodiscard]] bool closed() const override;
   [[nodiscard]] const char* name() const override { return "socket"; }
+  void set_connection_script(const ConnectionScript* script) override;
+
+  [[nodiscard]] SessionStats session_stats() const;
 
  private:
   class Impl;  // keeps <sys/socket.h> and friends out of this header

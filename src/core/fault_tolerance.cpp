@@ -43,8 +43,11 @@ comm::MessageType expected_reply_type(comm::MessageType request) {
 }
 
 ReliableLink::ReliableLink(std::size_t worker, comm::DuplexLink* link,
-                           const RetryPolicy* policy)
-    : worker_(worker), link_(link), policy_(policy) {
+                           const RetryPolicy* policy, util::Clock* clock)
+    : worker_(worker),
+      link_(link),
+      policy_(policy),
+      clock_(clock != nullptr ? clock : &util::system_clock()) {
   VELA_CHECK(link_ != nullptr && policy_ != nullptr);
 }
 
@@ -52,6 +55,10 @@ void ReliableLink::reset(comm::DuplexLink* link) {
   VELA_CHECK(link != nullptr);
   abandon_outstanding();
   link_ = link;
+}
+
+void ReliableLink::set_clock(util::Clock* clock) {
+  clock_ = clock != nullptr ? clock : &util::system_clock();
 }
 
 void ReliableLink::remember(std::uint64_t key) {
@@ -109,16 +116,20 @@ comm::Message ReliableLink::await(
 
   double timeout_ms = static_cast<double>(policy.timeout.count());
   for (int attempt = 0;; ++attempt) {
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(
-                        static_cast<std::int64_t>(timeout_ms));
+    // All deadlines flow through the injected clock: wait_slice converts
+    // the remaining virtual budget into the real blocking duration (the
+    // identity on the system clock; a FakeClock advances virtual time and
+    // blocks for about a millisecond, so timeout tests run fast).
+    auto deadline = clock_->now() + std::chrono::milliseconds(
+                                        static_cast<std::int64_t>(timeout_ms));
     for (;;) {
       const auto remaining =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              deadline - std::chrono::steady_clock::now());
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                clock_->now());
       if (remaining.count() <= 0) break;
       comm::Message reply;
-      const PopStatus status = link_->to_master.receive_for(remaining, &reply);
+      const PopStatus status =
+          link_->to_master.receive_for(clock_->wait_slice(remaining), &reply);
       if (status == PopStatus::kClosed) {
         throw WorkerFailedError(worker_,
                                 "channel closed while awaiting " +

@@ -32,6 +32,7 @@
 #include <unordered_set>
 
 #include "comm/endpoint.h"
+#include "util/clock.h"
 
 namespace vela::core {
 
@@ -73,13 +74,20 @@ comm::MessageType expected_reply_type(comm::MessageType request);
 
 class ReliableLink {
  public:
+  // `clock` drives every await deadline (nullptr = system clock); tests
+  // inject a FakeClock so timeout/backoff schedules resolve in virtual
+  // time instead of wall time.
   ReliableLink(std::size_t worker, comm::DuplexLink* link,
-               const RetryPolicy* policy);
+               const RetryPolicy* policy, util::Clock* clock = nullptr);
 
   // Re-attaches after a worker respawn: the fresh link starts with no
   // outstanding requests; everything in flight on the old link is abandoned
   // (late duplicates of it will be discarded, not treated as violations).
   void reset(comm::DuplexLink* link);
+
+  // Swaps the time source (nullptr = system clock). Safe between awaits;
+  // MasterProcess::set_clock fans this out to every link.
+  void set_clock(util::Clock* clock);
 
   comm::DuplexLink* link() { return link_; }
   std::size_t worker() const { return worker_; }
@@ -125,6 +133,7 @@ class ReliableLink {
   std::size_t worker_;
   comm::DuplexLink* link_;
   const RetryPolicy* policy_;
+  util::Clock* clock_;
   FaultStats stats_;
   // request_id → retransmit copy of the request still awaiting its reply.
   std::unordered_map<std::uint64_t, comm::Message> outstanding_;

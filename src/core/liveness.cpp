@@ -1,0 +1,87 @@
+#include "core/liveness.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace vela::core {
+
+const char* peer_state_name(PeerState s) {
+  switch (s) {
+    case PeerState::kHealthy:
+      return "healthy";
+    case PeerState::kSuspect:
+      return "suspect";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+LivenessConfig liveness_config_from_env() {
+  LivenessConfig cfg;
+  const char* env = std::getenv("VELA_HEARTBEAT_MS");
+  if (env != nullptr && env[0] != '\0') {
+    const long ms = std::strtol(env, nullptr, 10);
+    VELA_CHECK_MSG(ms >= 0, "VELA_HEARTBEAT_MS must be >= 0, got '" +
+                                std::string(env) + "'");
+    cfg.interval = std::chrono::milliseconds(ms);
+  }
+  return cfg;
+}
+
+HeartbeatMonitor::HeartbeatMonitor(std::size_t num_peers,
+                                   const LivenessConfig& cfg,
+                                   util::Clock* clock)
+    : cfg_(cfg), clock_(clock != nullptr ? clock : &util::system_clock()) {
+  VELA_CHECK(cfg_.suspect_after >= 1 && cfg_.dead_after >= cfg_.suspect_after);
+  const util::Clock::time_point now = clock_->now();
+  peers_.reserve(num_peers);
+  for (std::size_t i = 0; i < num_peers; ++i) peers_.emplace_back(cfg_, now);
+}
+
+bool HeartbeatMonitor::due(std::size_t peer) const {
+  VELA_CHECK(peer < peers_.size());
+  return peers_[peer].probe_due(clock_->now());
+}
+
+void HeartbeatMonitor::record_ack(std::size_t peer) {
+  VELA_CHECK(peer < peers_.size());
+  peers_[peer].on_ack(clock_->now());
+}
+
+void HeartbeatMonitor::record_miss(std::size_t peer) {
+  VELA_CHECK(peer < peers_.size());
+  peers_[peer].on_miss(clock_->now());
+}
+
+void HeartbeatMonitor::mark_dead(std::size_t peer) {
+  VELA_CHECK(peer < peers_.size());
+  peers_[peer].mark_dead();
+}
+
+void HeartbeatMonitor::reset_peer(std::size_t peer) {
+  VELA_CHECK(peer < peers_.size());
+  peers_[peer].reset(clock_->now());
+}
+
+PeerState HeartbeatMonitor::state(std::size_t peer) const {
+  VELA_CHECK(peer < peers_.size());
+  return peers_[peer].state();
+}
+
+int HeartbeatMonitor::consecutive_misses(std::size_t peer) const {
+  VELA_CHECK(peer < peers_.size());
+  return peers_[peer].consecutive_misses();
+}
+
+std::size_t HeartbeatMonitor::count(PeerState s) const {
+  std::size_t n = 0;
+  for (const PeerHealth& p : peers_) {
+    if (p.state() == s) ++n;
+  }
+  return n;
+}
+
+}  // namespace vela::core

@@ -1,0 +1,140 @@
+// Heartbeat/liveness protocol for the master↔worker fabric (DESIGN.md §11).
+//
+// The PR-1 recovery layer only notices a sick worker when a training request
+// to it times out — a worker that dies while idle (between steps, or hosting
+// no expert on the current layer) stays undetected until traffic happens to
+// touch it. The liveness layer closes that gap: the master probes every peer
+// whose heartbeat deadline has expired (a kProbe/kProbeAck round trip over
+// the existing ReliableLink, so it rides the same transport, metering and
+// fault-injection path as real traffic on BOTH backends), and tracks each
+// peer through a three-state machine:
+//
+//     healthy ──miss──▶ suspect ──misses──▶ dead
+//        ▲                 │
+//        └──────ack────────┘
+//
+// A peer is suspect after `suspect_after` consecutive missed probes and dead
+// after `dead_after`; any ack snaps it back to healthy. Dead is terminal for
+// the state machine — only the master's recovery path revives a peer (via
+// reset_peer after a successful respawn) or retires it for good (degrade).
+//
+// Probing is driven synchronously from the master thread (heartbeat_tick at
+// step boundaries), never from a background thread: the request/reply
+// protocol on a DuplexLink is single-consumer, and a concurrent prober would
+// race the broker for replies. That makes the whole module single-threaded
+// by construction and keeps probe traffic deterministic — with a FakeClock,
+// the exact probe schedule is reproducible bit for bit.
+//
+// Enabled by VELA_HEARTBEAT_MS=<interval> (or programmatically via
+// FaultToleranceConfig::liveness). Off by default: healthy-run byte ledgers
+// must stay identical to previous releases.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace vela::core {
+
+enum class PeerState : std::uint8_t { kHealthy, kSuspect, kDead };
+
+[[nodiscard]] const char* peer_state_name(PeerState s);
+
+struct LivenessConfig {
+  // Probe a peer when this much clock time has passed since it was last
+  // heard from. Zero disables the heartbeat layer entirely.
+  std::chrono::milliseconds interval{0};
+  int suspect_after = 1;  // consecutive misses before healthy → suspect
+  int dead_after = 3;     // consecutive misses before suspect → dead
+};
+
+// Reads VELA_HEARTBEAT_MS (interval; unset or 0 = disabled). Thresholds
+// keep their defaults — they are programmatic knobs.
+[[nodiscard]] LivenessConfig liveness_config_from_env();
+
+// Per-peer liveness state machine. Pure bookkeeping: callers decide when to
+// probe (probe_due) and feed outcomes back (on_ack / on_miss).
+class PeerHealth {
+ public:
+  PeerHealth() = default;
+  PeerHealth(const LivenessConfig& cfg, util::Clock::time_point now)
+      : cfg_(cfg), last_heard_(now) {}
+
+  [[nodiscard]] PeerState state() const { return state_; }
+  [[nodiscard]] int consecutive_misses() const { return misses_; }
+
+  // True when the heartbeat interval has elapsed since the peer was last
+  // heard from (or last probed). Dead peers are never due.
+  [[nodiscard]] bool probe_due(util::Clock::time_point now) const {
+    if (state_ == PeerState::kDead || cfg_.interval.count() <= 0) return false;
+    return now - last_heard_ >= cfg_.interval;
+  }
+
+  void on_ack(util::Clock::time_point now) {
+    if (state_ == PeerState::kDead) return;  // terminal; revive via reset()
+    state_ = PeerState::kHealthy;
+    misses_ = 0;
+    last_heard_ = now;
+  }
+
+  void on_miss(util::Clock::time_point now) {
+    if (state_ == PeerState::kDead) return;
+    ++misses_;
+    last_heard_ = now;  // the probe itself counts as a check; re-arm timer
+    if (misses_ >= cfg_.dead_after) {
+      state_ = PeerState::kDead;
+    } else if (misses_ >= cfg_.suspect_after) {
+      state_ = PeerState::kSuspect;
+    }
+  }
+
+  // Unconditional transitions for the recovery path: a respawned peer starts
+  // healthy; a peer whose channel is gone is dead no matter the miss count.
+  void reset(util::Clock::time_point now) {
+    state_ = PeerState::kHealthy;
+    misses_ = 0;
+    last_heard_ = now;
+  }
+  void mark_dead() {
+    state_ = PeerState::kDead;
+    misses_ = cfg_.dead_after;
+  }
+
+ private:
+  LivenessConfig cfg_{};
+  PeerState state_ = PeerState::kHealthy;
+  int misses_ = 0;
+  util::Clock::time_point last_heard_{};
+};
+
+// The master's view of all peers. Single-threaded (master thread only; see
+// header comment). Does not send probes itself — MasterProcess drives the
+// probe/ack traffic and reports outcomes here.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(std::size_t num_peers, const LivenessConfig& cfg,
+                   util::Clock* clock);
+
+  [[nodiscard]] bool enabled() const { return cfg_.interval.count() > 0; }
+  [[nodiscard]] const LivenessConfig& config() const { return cfg_; }
+
+  [[nodiscard]] bool due(std::size_t peer) const;
+  void record_ack(std::size_t peer);
+  void record_miss(std::size_t peer);
+  void mark_dead(std::size_t peer);
+  void reset_peer(std::size_t peer);
+
+  [[nodiscard]] PeerState state(std::size_t peer) const;
+  [[nodiscard]] int consecutive_misses(std::size_t peer) const;
+  [[nodiscard]] std::size_t count(PeerState s) const;
+  [[nodiscard]] std::size_t num_peers() const { return peers_.size(); }
+
+ private:
+  LivenessConfig cfg_;
+  util::Clock* clock_;
+  std::vector<PeerHealth> peers_;
+};
+
+}  // namespace vela::core

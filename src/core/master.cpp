@@ -1,5 +1,7 @@
 #include "core/master.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -25,6 +27,8 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
   links_.reserve(n);
   workers_.reserve(n);
   rlinks_.reserve(n);
+  respawn_counts_.assign(n, 0);
+  dead_.assign(n, false);
   for (std::size_t w = 0; w < n; ++w) {
     links_.push_back(comm::make_duplex_link(
         transport_, master_node, topology_.worker_node(w), &meter_));
@@ -62,6 +66,7 @@ void MasterProcess::broadcast_optimizer_step(std::uint32_t step,
                                              float scheduled_lr) {
   std::vector<std::uint64_t> ids(workers_.size());
   for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w]) continue;  // degraded fleet: dead slots host no experts
     comm::Message msg;
     msg.type = comm::MessageType::kOptimizerStep;
     msg.request_id = ids[w] = next_request_++;
@@ -72,6 +77,7 @@ void MasterProcess::broadcast_optimizer_step(std::uint32_t step,
     rlinks_[w]->post(std::move(msg));
   }
   for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w]) continue;
     rlinks_[w]->await(comm::MessageType::kOptimizerStepDone, ids[w]);
   }
 }
@@ -85,6 +91,11 @@ void MasterProcess::apply_placement(const placement::Placement& next) {
       const std::size_t from = placement_.worker_of(l, e);
       const std::size_t to = next.worker_of(l, e);
       if (from == to) continue;
+      VELA_CHECK_MSG(!dead_[from] && !dead_[to],
+                     "apply_placement would migrate ("
+                         << l << "," << e << ") across dead worker "
+                         << (dead_[from] ? from : to)
+                         << "; use degrade_to for post-failure moves");
       ++moved;
       const ExpertKey key{static_cast<std::uint32_t>(l),
                           static_cast<std::uint32_t>(e)};
@@ -144,8 +155,14 @@ void MasterProcess::attach_fault_injector(comm::FaultInjector* injector) {
   }
 }
 
+void MasterProcess::set_clock(util::Clock* clock) {
+  clock_ = clock != nullptr ? clock : &util::system_clock();
+  for (auto& rl : rlinks_) rl->set_clock(clock_);
+}
+
 bool MasterProcess::probe_worker(std::size_t w) {
   VELA_CHECK(w < workers_.size());
+  if (dead_[w]) return false;
   if (links_[w]->to_worker.closed() || links_[w]->to_master.closed()) {
     return false;
   }
@@ -175,12 +192,16 @@ void MasterProcess::snapshot_experts() {
     for (std::size_t e = 0; e < num_experts_; ++e) {
       const ExpertKey key{static_cast<std::uint32_t>(l),
                           static_cast<std::uint32_t>(e)};
+      const std::size_t worker = placement_.worker_of(l, e);
+      // A window exists between declaring a worker dead and degrading the
+      // placement off it; experts still mapped there keep their previous
+      // snapshot (they will be restored from it during the degrade).
+      if (dead_[worker]) continue;
       comm::Message msg;
       msg.type = comm::MessageType::kSnapshotExpert;
       msg.request_id = next_request_++;
       msg.layer = key.layer;
       msg.expert = key.expert;
-      const std::size_t worker = placement_.worker_of(l, e);
       const std::uint64_t id = msg.request_id;
       rlinks_[worker]->post(std::move(msg));
       outstanding.push_back({key, worker, id});
@@ -251,7 +272,7 @@ Tensor MasterProcess::recovery_state(const ExpertKey& key, std::size_t dead) {
   // fetch is charged to the recovering step like any other traffic.
   if (auto it = standbys_.find(key); it != standbys_.end()) {
     for (const std::size_t s : it->second) {
-      if (s == dead) continue;
+      if (s == dead || dead_[s]) continue;
       try {
         comm::Message msg;
         msg.type = comm::MessageType::kSnapshotExpert;
@@ -285,7 +306,12 @@ void MasterProcess::restore_expert(std::size_t w, const ExpertKey& key,
 
 void MasterProcess::respawn_worker(std::size_t w) {
   VELA_CHECK(w < workers_.size());
+  VELA_CHECK_MSG(!dead_[w], "worker " << w << " was declared dead; "
+                                      << "dead slots are never respawned");
   VELA_LOG_INFO("master") << "respawning worker " << w;
+  // State restoration below is recovery traffic: meter it into the step's
+  // recovery phase on top of the regular external/total accounting.
+  comm::TrafficMeter::RecoveryScope recovery_scope(&meter_);
   // Tear down whatever is left: close both directions (unblocks a wedged
   // thread) and join. join() is a no-op if the thread already exited.
   links_[w]->close();
@@ -306,6 +332,8 @@ void MasterProcess::respawn_worker(std::size_t w) {
                                                std::vector<ExpertKey>{});
   workers_[w]->start();
   ++workers_recovered_;
+  ++respawn_counts_[w];
+  if (monitor_ != nullptr) monitor_->reset_peer(w);
 
   for (const auto& [l, e] : placement_.experts_of(w)) {
     const ExpertKey key{static_cast<std::uint32_t>(l),
@@ -322,33 +350,159 @@ void MasterProcess::respawn_worker(std::size_t w) {
   }
 }
 
-std::size_t MasterProcess::recover_step() {
+bool MasterProcess::respawn_within_budget(std::size_t w) {
+  if (dead_[w]) return false;
+  if (respawn_budget_ >= 0 && respawn_counts_[w] >= respawn_budget_) {
+    VELA_LOG_WARN("master") << "worker " << w << " exhausted its respawn "
+                            << "budget (" << respawn_budget_
+                            << "); declaring it dead";
+    mark_worker_dead(w);
+    return false;
+  }
+  respawn_worker(w);
+  return true;
+}
+
+RecoveryReport MasterProcess::recover_step() {
   // Everything in flight is void: replies may be lost, duplicated or stale.
   for (auto& rl : rlinks_) rl->abandon_outstanding();
 
-  std::size_t respawned = 0;
+  RecoveryReport report;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!probe_worker(w)) {
-      respawn_worker(w);
-      ++respawned;
+    if (dead_[w]) continue;
+    if (probe_worker(w)) {
+      if (monitor_ != nullptr) monitor_->record_ack(w);
+      continue;
+    }
+    if (respawn_within_budget(w)) {
+      ++report.respawned;
+    } else {
+      report.declared_dead.push_back(w);
     }
   }
   // Discard the in-flight step on the survivors (fresh respawns have
   // nothing to discard, but the abort is idempotent and cheap).
   for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w]) continue;
     comm::Message msg;
     msg.type = comm::MessageType::kAbortStep;
     msg.request_id = next_request_++;
     try {
       exchange(w, std::move(msg));
     } catch (const WorkerFailedError&) {
-      // Died between probe and abort: respawn; the fresh worker needs no
-      // abort.
-      respawn_worker(w);
-      ++respawned;
+      // Died between probe and abort: respawn (the fresh worker needs no
+      // abort) or, out of budget, retire the slot.
+      if (respawn_within_budget(w)) {
+        ++report.respawned;
+      } else {
+        report.declared_dead.push_back(w);
+      }
     }
   }
-  return respawned;
+  return report;
+}
+
+std::size_t MasterProcess::num_live_workers() const {
+  std::size_t live = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!dead_[w]) ++live;
+  }
+  return live;
+}
+
+void MasterProcess::mark_worker_dead(std::size_t w) {
+  VELA_CHECK(w < workers_.size());
+  if (dead_[w]) return;
+  VELA_CHECK_MSG(num_live_workers() > 1,
+                 "cannot declare the last live worker (" << w << ") dead");
+  dead_[w] = true;
+  if (monitor_ != nullptr) monitor_->mark_dead(w);
+  // Tear down the channel and thread exactly like a respawn would, but
+  // permanently: the slot is never rebuilt.
+  links_[w]->close();
+  workers_[w]->join();
+  rlinks_[w]->abandon_outstanding();
+  // Standby replicas hosted on the dead worker are gone with it.
+  for (auto it = standbys_.begin(); it != standbys_.end();) {
+    auto& hosts = it->second;
+    hosts.erase(std::remove(hosts.begin(), hosts.end(), w), hosts.end());
+    it = hosts.empty() ? standbys_.erase(it) : std::next(it);
+  }
+  VELA_LOG_WARN("master") << "worker " << w << " declared dead; "
+                          << num_live_workers() << " worker(s) remain";
+}
+
+void MasterProcess::degrade_to(const placement::Placement& next) {
+  VELA_CHECK(next.num_layers() == placement_.num_layers() &&
+             next.num_experts() == placement_.num_experts());
+  // Orphan migration is recovery traffic (metered into the recovery phase
+  // on top of regular accounting) and tallied in recovery_bytes().
+  comm::TrafficMeter::RecoveryScope recovery_scope(&meter_);
+  std::size_t migrated = 0;
+  for (std::size_t l = 0; l < next.num_layers(); ++l) {
+    for (std::size_t e = 0; e < next.num_experts(); ++e) {
+      const std::size_t from = placement_.worker_of(l, e);
+      const std::size_t to = next.worker_of(l, e);
+      if (from == to) {
+        VELA_CHECK_MSG(!dead_[from], "degraded placement keeps ("
+                                         << l << "," << e
+                                         << ") on dead worker " << from);
+        continue;
+      }
+      VELA_CHECK_MSG(dead_[from] && !dead_[to],
+                     "degrade_to may only move orphans of dead workers to "
+                     "live survivors; ("
+                         << l << "," << e << ") moves " << from << " -> "
+                         << to);
+      const ExpertKey key{static_cast<std::uint32_t>(l),
+                          static_cast<std::uint32_t>(e)};
+      // Recover the state BEFORE retiring a standby on the destination: a
+      // standby on `to` may itself be the best (freshest) recovery source.
+      Tensor state = recovery_state(key, from);
+      drop_standby(key, to);
+      restore_expert(to, key, std::move(state));
+      ++migrated;
+    }
+  }
+  placement_ = next;
+  broker_->set_placement(&placement_);
+  VELA_LOG_INFO("master") << "degraded to " << num_live_workers()
+                          << " worker(s); migrated " << migrated
+                          << " orphaned expert(s)";
+}
+
+void MasterProcess::enable_heartbeat(const LivenessConfig& cfg,
+                                     util::Clock* clock) {
+  monitor_ = std::make_unique<HeartbeatMonitor>(
+      workers_.size(), cfg, clock != nullptr ? clock : clock_);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w]) monitor_->mark_dead(w);
+  }
+}
+
+RecoveryReport MasterProcess::heartbeat_tick() {
+  RecoveryReport report;
+  if (monitor_ == nullptr) return report;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w] || !monitor_->due(w)) continue;
+    if (probe_worker(w)) {
+      monitor_->record_ack(w);
+      continue;
+    }
+    monitor_->record_miss(w);
+    if (monitor_->state(w) == PeerState::kSuspect) {
+      VELA_LOG_WARN("master") << "worker " << w << " is suspect ("
+                              << monitor_->consecutive_misses(w)
+                              << " consecutive missed heartbeat(s))";
+    } else if (monitor_->state(w) == PeerState::kDead) {
+      if (respawn_within_budget(w)) {
+        ++report.respawned;
+      } else {
+        report.declared_dead.push_back(w);
+      }
+    }
+  }
+  return report;
 }
 
 FaultStats MasterProcess::fault_stats() const {
@@ -366,6 +520,14 @@ FaultStats MasterProcess::fault_stats() const {
 void MasterProcess::shutdown() {
   if (down_) return;
   down_ = true;
+  // Detach the injector first: teardown traffic is not a fault target (a
+  // fault injected into kShutdown could hang the join below), and the
+  // injector — owned by the caller — may already be destroyed when
+  // shutdown() runs from the destructor.
+  if (injector_ != nullptr) {
+    injector_ = nullptr;
+    for (auto& link : links_) link->set_fault_injector(nullptr, 0);
+  }
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     comm::Message msg;
     msg.type = comm::MessageType::kShutdown;

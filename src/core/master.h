@@ -25,9 +25,20 @@
 #include "core/expert_broker.h"
 #include "core/expert_worker.h"
 #include "core/fault_tolerance.h"
+#include "core/liveness.h"
 #include "placement/placement.h"
+#include "util/clock.h"
 
 namespace vela::core {
+
+// What one recovery pass (recover_step / heartbeat_tick) did: workers
+// brought back within their respawn budget, and workers newly declared dead.
+// A non-empty `declared_dead` obliges the caller to install a placement that
+// avoids the dead workers (degrade_to) before routing more traffic.
+struct RecoveryReport {
+  std::size_t respawned = 0;
+  std::vector<std::size_t> declared_dead;
+};
 
 class MasterProcess {
  public:
@@ -87,9 +98,55 @@ class MasterProcess {
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
 
-  // Heartbeat: true if worker `w` answers a probe within one retry-policy
-  // timeout. Never throws.
+  // Swaps the time source that drives retry deadlines and heartbeat
+  // scheduling on every link (nullptr = system clock). Tests inject a
+  // FakeClock so timeout paths resolve in virtual time.
+  void set_clock(util::Clock* clock);
+  util::Clock* clock() const { return clock_; }
+
+  // Liveness probe: true if worker `w` answers a kProbe within one
+  // retry-policy timeout. Never throws. Declared-dead workers are false
+  // without touching the wire.
   bool probe_worker(std::size_t w);
+
+  // --- liveness & degradation (DESIGN.md §11) --------------------------------
+  // Arms the heartbeat protocol: heartbeat_tick() then probes every worker
+  // whose `cfg.interval` has elapsed on the injected clock and walks it
+  // through healthy → suspect → dead on consecutive misses. `clock` null =
+  // the clock installed via set_clock.
+  void enable_heartbeat(const LivenessConfig& cfg, util::Clock* clock = nullptr);
+  const HeartbeatMonitor* heartbeat() const { return monitor_.get(); }
+
+  // One synchronous pass of the liveness protocol (call at step boundaries;
+  // see liveness.h for why probing is never concurrent with step traffic).
+  // Workers the state machine declares dead are respawned within budget or
+  // declared dead for good. No-op unless enable_heartbeat was called.
+  RecoveryReport heartbeat_tick();
+
+  // Per-worker respawn budget: a worker that already consumed `budget`
+  // respawns is declared dead on its next failure instead of respawned.
+  // -1 = unlimited (never degrade); 0 = first failure degrades.
+  void set_respawn_budget(int budget) { respawn_budget_ = budget; }
+  int respawn_budget() const { return respawn_budget_; }
+
+  // dead_mask()[w] is true once worker w was declared dead. Terminal:
+  // elastic shrink only, a dead slot is never re-used.
+  const std::vector<bool>& dead_mask() const { return dead_; }
+  std::size_t num_live_workers() const;
+
+  // Declares worker `w` dead: closes its link, joins the thread, abandons
+  // its in-flight requests and retires its standby replicas. The caller
+  // must then install a placement avoiding `w` (degrade_to) before routing
+  // more traffic.
+  void mark_worker_dead(std::size_t w);
+
+  // Installs a reduced-capacity placement after deaths. Every moved expert
+  // must be moving OFF a dead worker (placement::degrade_placement emits
+  // exactly this shape); its state is recovered from a live standby, else
+  // the last snapshot, else fresh, and installed on the surviving worker.
+  // Migration bytes are metered into the recovery phase
+  // (TrafficMeter::RecoveryScope) and tallied in recovery_bytes().
+  void degrade_to(const placement::Placement& next);
 
   // Pulls a full recovery snapshot (LoRA adapters + AdamW moments) of every
   // expert from its hosting worker, and refreshes standby replicas from it.
@@ -105,13 +162,15 @@ class MasterProcess {
                            std::size_t worker);
 
   // Mid-step failure recovery: abandons all in-flight requests, probes the
-  // fleet, respawns every dead worker on its original device (rebuilding
-  // frozen bases from the seed and restoring adapter/optimizer state from a
-  // live standby replica, else the last snapshot, else fresh), and aborts
-  // the in-flight step on surviving workers (tapes + partial gradients are
-  // discarded). Returns the number of workers respawned. Recovery traffic is
-  // metered and tallied in recovery_bytes().
-  std::size_t recover_step();
+  // fleet, respawns every unresponsive worker on its original device
+  // (rebuilding frozen bases from the seed and restoring adapter/optimizer
+  // state from a live standby replica, else the last snapshot, else fresh) —
+  // or, when its respawn budget is spent, declares it dead — and aborts the
+  // in-flight step on surviving workers (tapes + partial gradients are
+  // discarded). Recovery traffic is metered (recovery phase) and tallied in
+  // recovery_bytes(). A non-empty declared_dead in the report obliges the
+  // caller to degrade_to() a placement avoiding the dead workers.
+  RecoveryReport recover_step();
 
   // Tears down and rebuilds one worker; recover_step() drives this.
   void respawn_worker(std::size_t w);
@@ -133,6 +192,8 @@ class MasterProcess {
   Tensor recovery_state(const ExpertKey& key, std::size_t dead);
   void restore_expert(std::size_t w, const ExpertKey& key, Tensor state);
   void drop_standby(const ExpertKey& key, std::size_t worker);
+  // Respawns `w` if its budget allows, else marks it dead. False = now dead.
+  bool respawn_within_budget(std::size_t w);
 
   cluster::ClusterTopology topology_;
   comm::TransportKind transport_ = comm::TransportKind::kInProc;
@@ -149,6 +210,11 @@ class MasterProcess {
   comm::FaultInjector* injector_ = nullptr;
   std::map<ExpertKey, Tensor> snapshot_;
   std::map<ExpertKey, std::vector<std::size_t>> standbys_;
+  util::Clock* clock_ = &util::system_clock();
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  int respawn_budget_ = -1;          // per-worker; -1 = unlimited
+  std::vector<int> respawn_counts_;  // respawns consumed, per worker
+  std::vector<bool> dead_;           // declared dead (terminal)
   std::size_t workers_recovered_ = 0;
   std::uint64_t recovery_bytes_ = 0;
   std::uint64_t next_request_ = 1u << 20;  // distinct from broker ids

@@ -1,8 +1,10 @@
 #include "core/vela_system.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/checkpoint.h"
+#include "placement/degrade.h"
 #include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -88,6 +90,7 @@ const placement::Placement& VelaSystem::optimize_placement(
     double tokens_per_step) {
   VELA_CHECK_MSG(profiled_.has_value(),
                  "optimize_placement() requires a profile() pass first");
+  tokens_per_step_ = tokens_per_step;
   const placement::PlacementProblem problem = build_placement_problem(
       profiled_->probability_matrix(), cfg_.model, master_->topology(),
       tokens_per_step, cfg_.capacity_slack);
@@ -117,7 +120,14 @@ StepReport VelaSystem::train_step_accumulated(
       injector != nullptr ? injector->faults_injected() : 0;
   const std::size_t recovered_before = master_->workers_recovered();
   const std::uint64_t recovery_bytes_before = master_->recovery_bytes();
+  const std::size_t live_before = master_->num_live_workers();
   std::size_t retries = 0;
+
+  // Liveness pass (DESIGN.md §11): probe workers whose heartbeat interval
+  // elapsed since they were last heard from. A worker that died while idle
+  // is caught HERE — before the step routes tokens to it — and respawned or
+  // degraded away, instead of surfacing as a mid-sweep timeout below.
+  if (ft_enabled_) degrade_after(master_->heartbeat_tick());
 
   master_->broker().begin_step();
 
@@ -158,7 +168,7 @@ StepReport VelaSystem::train_step_accumulated(
       ++retries;
       VELA_LOG_ERROR("vela") << "step " << step_ << " attempt failed ("
                              << err.what() << "); recovering and retrying";
-      master_->recover_step();
+      degrade_after(master_->recover_step());
     }
   }
 
@@ -177,7 +187,7 @@ StepReport VelaSystem::train_step_accumulated(
     VELA_LOG_ERROR("vela") << "step " << step_ << " commit-phase failure ("
                            << err.what()
                            << "); respawned worker resumes one update behind";
-    master_->recover_step();
+    degrade_after(master_->recover_step());
   }
 
   // Dynamic re-placement: migration traffic (if any) is charged to this
@@ -192,7 +202,20 @@ StepReport VelaSystem::train_step_accumulated(
   // Periodic recovery snapshot; its traffic is metered into this step.
   if (ft_enabled_ && ft_.snapshot_interval > 0 &&
       (step_ + 1) % ft_.snapshot_interval == 0) {
-    master_->snapshot_experts();
+    try {
+      master_->snapshot_experts();
+    } catch (const WorkerFailedError& err) {
+      // Snapshot-phase failure: the optimizer step is already committed, so
+      // nothing re-runs. Recover the fleet (respawn or degrade away the dead
+      // worker), then re-take the snapshot from the survivors so the restore
+      // point stays current.
+      ++retries;
+      VELA_LOG_ERROR("vela") << "step " << step_ << " snapshot-phase failure ("
+                             << err.what()
+                             << "); recovering and re-snapshotting survivors";
+      degrade_after(master_->recover_step());
+      master_->snapshot_experts();
+    }
   }
 
   const comm::VelaStepRecord record = master_->broker().finish_step();
@@ -216,6 +239,7 @@ StepReport VelaSystem::train_step_accumulated(
       clock_->vela_overlap_step_seconds(record, overlap_chunks_);
   report.retries = retries;
   report.workers_recovered = master_->workers_recovered() - recovered_before;
+  report.workers_lost = live_before - master_->num_live_workers();
   report.recovery_mb =
       static_cast<double>(master_->recovery_bytes() - recovery_bytes_before) /
       1e6;
@@ -236,9 +260,34 @@ void VelaSystem::enable_fault_tolerance(const FaultToleranceConfig& cfg) {
   ft_ = cfg;
   ft_enabled_ = true;
   master_->set_retry_policy(cfg.retry);
+  master_->set_respawn_budget(cfg.respawn_budget);
+  if (cfg.clock != nullptr) master_->set_clock(cfg.clock);
+  if (cfg.liveness.interval.count() > 0) {
+    master_->enable_heartbeat(cfg.liveness, cfg.clock);
+    VELA_LOG_INFO("vela") << "heartbeat armed: interval="
+                          << cfg.liveness.interval.count() << "ms, dead after "
+                          << cfg.liveness.dead_after << " miss(es)";
+  }
   // Provision the initial restore point; setup traffic, not step traffic.
   master_->snapshot_experts();
   master_->meter().discard_current();
+}
+
+void VelaSystem::degrade_after(const RecoveryReport& report) {
+  if (report.declared_dead.empty()) return;
+  // Re-solve for the survivors with the paper's own cost model when a
+  // profile exists (orphans chase locality, like any placement); without
+  // one, degrade_placement falls back to least-loaded.
+  std::optional<placement::PlacementProblem> problem;
+  if (profiled_.has_value()) {
+    problem = build_placement_problem(profiled_->probability_matrix(),
+                                      cfg_.model, master_->topology(),
+                                      tokens_per_step_, cfg_.capacity_slack);
+  }
+  const placement::Placement next = placement::degrade_placement(
+      master_->placement(), master_->dead_mask(),
+      problem.has_value() ? &*problem : nullptr);
+  master_->degrade_to(next);
 }
 
 void VelaSystem::set_lr_schedule(const nn::LrSchedule* schedule) {
@@ -257,6 +306,7 @@ void VelaSystem::load_checkpoint(const std::string& path) {
 
 void VelaSystem::enable_dynamic_replacement(const ReplanConfig& cfg,
                                             double tokens_per_step) {
+  tokens_per_step_ = tokens_per_step;
   replanner_ = std::make_unique<Replanner>(cfg, cfg_.model,
                                            &master_->topology(),
                                            tokens_per_step);

@@ -20,6 +20,7 @@
 
 #include "cluster/topology.h"
 #include "comm/comm_clock.h"
+#include "core/liveness.h"
 #include "core/master.h"
 #include "core/profiler.h"
 #include "core/replanner.h"
@@ -76,6 +77,8 @@ struct StepReport {
   std::size_t workers_recovered = 0;  // workers respawned during this step
   double recovery_mb = 0.0;           // state-restoration traffic (in the
                                       // meter too; broken out here)
+  std::size_t workers_lost = 0;       // workers declared dead this step
+                                      // (training degraded to the survivors)
   double injected_delay_seconds = 0.0;  // virtual delay-fault time, already
                                         // included in comm/step_seconds
 };
@@ -92,6 +95,22 @@ struct FaultToleranceConfig {
   // 0 disables periodic snapshots. Snapshot traffic is metered and charged
   // to the step that takes it.
   std::size_t snapshot_interval = 1;
+  // Per-worker respawn budget (DESIGN.md §11): once a worker has consumed
+  // this many respawns, its next failure declares it dead and training
+  // degrades to the survivors — orphaned experts migrate from the freshest
+  // recovery source and the step retries at reduced capacity. -1 keeps the
+  // old behavior (unlimited respawns, never degrade); 0 degrades on the
+  // first failure.
+  int respawn_budget = -1;
+  // Liveness heartbeat (DESIGN.md §11): interval > 0 arms a probe pass at
+  // the start of every train_step, catching workers that died while idle.
+  // Defaults follow VELA_HEARTBEAT_MS (unset = off, preserving healthy-run
+  // byte ledgers exactly).
+  LivenessConfig liveness = liveness_config_from_env();
+  // Time source for retry deadlines, heartbeat scheduling and reconnect
+  // backoff. Tests inject a util::FakeClock so timeout paths resolve in
+  // virtual time. nullptr = the real system clock.
+  util::Clock* clock = nullptr;
 };
 
 class VelaSystem {
@@ -181,6 +200,11 @@ class VelaSystem {
   const std::vector<StepReport>& history() const { return history_; }
 
  private:
+  // Degrades to the survivors when a recovery pass declared workers dead:
+  // re-solves the placement for the reduced fleet (degrade_placement) and
+  // migrates the orphaned experts. No-op when nothing died.
+  void degrade_after(const RecoveryReport& report);
+
   VelaSystemConfig cfg_;
   std::unique_ptr<MasterProcess> master_;
   std::unique_ptr<model::MoETransformer> model_;
@@ -192,6 +216,10 @@ class VelaSystem {
   std::unique_ptr<Replanner> replanner_;
   bool ft_enabled_ = false;
   FaultToleranceConfig ft_;
+  // Workload scale of the last placement solve; reused by degrade_after to
+  // rebuild the cost model (the orphan argmin is invariant to this common
+  // factor, so any positive value yields the same degraded placement).
+  double tokens_per_step_ = 1.0;
   std::size_t overlap_chunks_ = 0;  // resolved pipeline depth (0/1 = off)
   std::size_t step_ = 0;
   std::vector<StepReport> history_;

@@ -1,0 +1,90 @@
+#include "placement/degrade.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::placement {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
+
+Placement degrade_placement(const Placement& current,
+                            const std::vector<bool>& dead,
+                            const PlacementProblem* problem) {
+  const std::size_t num_workers = dead.size();
+  const std::size_t num_layers = current.num_layers();
+  const std::size_t num_experts = current.num_experts();
+  VELA_CHECK(num_workers > 0);
+
+  std::size_t survivors = 0;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    if (!dead[w]) ++survivors;
+  }
+  VELA_CHECK_MSG(survivors > 0, "degrade_placement: no surviving workers");
+
+  // Loads of the surviving assignment (orphans excluded — they are about to
+  // be re-placed).
+  std::vector<std::size_t> load(num_workers, 0);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    for (std::size_t e = 0; e < num_experts; ++e) {
+      const std::size_t w = current.worker_of(l, e);
+      VELA_CHECK(w < num_workers);
+      if (!dead[w]) ++load[w];
+    }
+  }
+
+  Placement next = current;
+  std::size_t moved = 0;
+  std::size_t overflowed = 0;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    for (std::size_t e = 0; e < num_experts; ++e) {
+      const std::size_t from = current.worker_of(l, e);
+      if (!dead[from]) continue;
+
+      // The orphan rule (locality_aware.h rounding step 3): best affinity
+      // first; relax capacity only when every survivor is full.
+      std::size_t best = kNone;
+      for (int respect_capacity = 1; respect_capacity >= 0; --respect_capacity) {
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::size_t best_load = std::numeric_limits<std::size_t>::max();
+        for (std::size_t w = 0; w < num_workers; ++w) {
+          if (dead[w]) continue;
+          if (respect_capacity != 0 && problem != nullptr &&
+              w < problem->capacity.size() &&
+              load[w] >= problem->capacity[w]) {
+            continue;
+          }
+          const double cost =
+              problem != nullptr ? problem->cost_coefficient(w, l, e) : 0.0;
+          // Exact tie-break on purpose: identical coefficients must break
+          // toward the same worker on every run (equivalence gate).
+          // vela-lint: allow(float-equality)
+          if (cost < best_cost ||
+              (cost == best_cost && load[w] < best_load)) {
+            best_cost = cost;
+            best_load = load[w];
+            best = w;
+          }
+        }
+        if (best != kNone) break;
+        overflowed += respect_capacity != 0 ? 1 : 0;
+      }
+      VELA_CHECK(best != kNone);
+      next.assign(l, e, best);
+      ++load[best];
+      ++moved;
+    }
+  }
+  if (overflowed > 0) {
+    VELA_LOG_WARN("degrade") << overflowed << " orphan(s) placed above "
+                             << "survivor capacity (reduced-capacity mode)";
+  }
+  VELA_LOG_INFO("degrade") << "re-placed " << moved << " orphaned expert(s) "
+                           << "across " << survivors << " survivor(s)";
+  return next;
+}
+
+}  // namespace vela::placement

@@ -1,0 +1,43 @@
+// Degrade-and-continue re-placement (DESIGN.md §11).
+//
+// When a worker exhausts its respawn budget and is declared dead, its
+// experts must move to survivors so training continues at reduced capacity.
+// The re-placement deliberately reuses the paper's own machinery instead of
+// inventing a new heuristic: every healthy assignment is KEPT (wholesale
+// re-balancing would migrate experts that never failed, paying transfer
+// bytes for nothing), and only the orphaned experts are re-placed with the
+// locality-aware rounding's orphan rule (locality_aware.h, step 3) — each
+// orphan goes to the surviving worker with the lowest placement cost
+// coefficient that still has spare capacity. MoETuner's framing (PAPERS.md):
+// the placement objective doubles as the recovery criterion.
+//
+// Deterministic by construction: orphans are visited in ascending
+// (layer, expert) order and cost ties break toward the lowest worker id, so
+// a kill-then-degrade run and a fresh reduced-topology run compute the same
+// placement bit for bit — the equivalence gate depends on this.
+#pragma once
+
+#include <vector>
+
+#include "placement/placement.h"
+
+namespace vela::placement {
+
+// Re-places the experts currently assigned to dead workers onto survivors.
+//
+//   current  — the placement before the failure (healthy entries are kept).
+//   dead     — dead[w] == true marks worker w as lost; size = worker count.
+//   problem  — optional cost model. When present, an orphan prefers the
+//              survivor with the lowest cost_coefficient (capacity
+//              respected while any survivor has room; ties → lower load,
+//              then lower id). When absent, orphans go to the least-loaded
+//              survivor (ties → lowest id).
+//
+// If every survivor is at capacity the limit is relaxed (training at
+// reduced capacity beats stalling) and the overflow count is reported via
+// the return placement's loads. At least one survivor must exist.
+[[nodiscard]] Placement degrade_placement(const Placement& current,
+                                          const std::vector<bool>& dead,
+                                          const PlacementProblem* problem);
+
+}  // namespace vela::placement

@@ -217,6 +217,8 @@ struct LedgerState {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t retransmit = 0;
+  std::uint64_t session_replays = 0;
+  std::uint64_t session_replay_bytes = 0;
 };
 
 LedgerState& ledger_state() {
@@ -261,6 +263,18 @@ void ConservationLedger::on_retransmit(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(state.mutex);
   state.retransmit += bytes;
 }
+void ConservationLedger::on_session_replay(std::uint64_t physical_bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  // Session-resume replays happen BELOW the accounting boundary (physical
+  // record bytes, not Message::wire_size), so they never touch the balance
+  // counters — the receiver's sequence dedupe guarantees a replayed frame
+  // is delivered at most once, and that is exactly what check() proves:
+  // with replays > 0 and the balance intact, replayed bytes were charged
+  // exactly once.
+  ++state.session_replays;
+  state.session_replay_bytes += physical_bytes;
+}
 
 void ConservationLedger::on_posted_enqueued(std::uint64_t bytes) {
   LedgerState& state = ledger_state();
@@ -300,6 +314,8 @@ ConservationLedger::Snapshot ConservationLedger::snapshot() const {
   snap.delivered = state.delivered;
   snap.dropped = state.dropped;
   snap.retransmit = state.retransmit;
+  snap.session_replays = state.session_replays;
+  snap.session_replay_bytes = state.session_replay_bytes;
   return snap;
 }
 
@@ -313,6 +329,7 @@ void ConservationLedger::check(const char* phase) const {
       << " dropped=" << snap.dropped << " in_flight=" << snap.in_flight()
       << " (enqueued=" << snap.enqueued << " dequeued=" << snap.dequeued
       << ") retransmit=" << snap.retransmit
+      << " session_replays=" << snap.session_replays
       << "; expected posted == delivered + dropped + in_flight";
   fail("conservation", oss.str());
 }
@@ -326,6 +343,8 @@ void ConservationLedger::reset_for_testing() {
   state.delivered = 0;
   state.dropped = 0;
   state.retransmit = 0;
+  state.session_replays = 0;
+  state.session_replay_bytes = 0;
 }
 
 // --- autograd backward auditing ---------------------------------------------

@@ -134,6 +134,12 @@ class ConservationLedger {
   void on_delivered(std::uint64_t bytes);   // receive API returned it
   void on_dropped(std::uint64_t bytes);     // fault disposition (drop/sever)
   void on_retransmit(std::uint64_t bytes);  // recovery re-post (also posted)
+  // Session-resume replay on the socket backend (physical record bytes,
+  // BELOW the accounting boundary — informational only). With replays > 0
+  // and the balance intact, check() proves replayed bytes were charged
+  // exactly once: the receiver's sequence dedupe keeps a replayed frame
+  // from ever reaching `delivered` twice.
+  void on_session_replay(std::uint64_t physical_bytes);
 
   // Compound transitions (single critical section each) for the channel
   // hot paths — see the ordering contract above.
@@ -150,6 +156,8 @@ class ConservationLedger {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t retransmit = 0;
+    std::uint64_t session_replays = 0;
+    std::uint64_t session_replay_bytes = 0;
     std::uint64_t in_flight() const { return enqueued - dequeued; }
     bool balanced() const {
       return posted == delivered + dropped + in_flight() &&

@@ -1,0 +1,30 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace vela::util {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  time_point now() override { return std::chrono::steady_clock::now(); }
+
+  std::chrono::milliseconds wait_slice(
+      std::chrono::milliseconds budget) override {
+    return budget;
+  }
+
+  void sleep_for(std::chrono::milliseconds d) override {
+    if (d.count() > 0) std::this_thread::sleep_for(d);
+  }
+};
+
+}  // namespace
+
+Clock& system_clock() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace vela::util

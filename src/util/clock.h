@@ -1,0 +1,107 @@
+// Injectable monotonic clock for retry, backoff and heartbeat timing
+// (DESIGN.md §11).
+//
+// Every deadline the fault-tolerance layer computes — ReliableLink's reply
+// timeouts, the socket backend's reconnect backoff, the heartbeat monitor's
+// probe schedule — flows through a Clock so tests can substitute a FakeClock
+// and run hours of simulated timeouts in milliseconds of wall time. The
+// vela_lint `naked-clock` rule enforces the discipline: a raw
+// std::chrono::steady_clock::now() in src/comm or src/core is a lint error
+// unless the call site is itself the OS-level injection point (a poll(2)
+// deadline) and carries an allow() with rationale.
+//
+// The one subtle operation is wait_slice(): code that is about to block on a
+// transport with a timeout asks the clock how long to *really* block for a
+// given virtual budget. SystemClock returns the budget unchanged, so the
+// default path is byte-for-byte the old behavior. FakeClock advances its
+// virtual time by the whole budget and returns a tiny real slice — the
+// blocking call still yields the CPU (a reply already in flight can land),
+// but a timeout that would take seconds of wall time resolves in about a
+// millisecond.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace vela::util {
+
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual time_point now() = 0;
+
+  // Converts a virtual wait budget into the real duration the caller should
+  // block for (see header comment). Never returns more than `budget`.
+  [[nodiscard]] virtual std::chrono::milliseconds wait_slice(
+      std::chrono::milliseconds budget) = 0;
+
+  // Sleeps for `d` of this clock's time (backoff pauses).
+  virtual void sleep_for(std::chrono::milliseconds d) = 0;
+};
+
+// The process-wide wall clock (steady_clock passthrough). Stateless and
+// thread-safe; every timing-sensitive component defaults to it.
+[[nodiscard]] Clock& system_clock();
+
+// Deterministic manual-advance clock for tests. now() only moves via
+// advance(), sleep_for() and wait_slice() (which advances by the full
+// budget). Thread-safe: the socket backend's tx and rx paths may consult it
+// concurrently.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(
+      std::chrono::milliseconds real_slice = std::chrono::milliseconds(1))
+      : real_slice_(real_slice) {}
+
+  [[nodiscard]] time_point now() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  [[nodiscard]] std::chrono::milliseconds wait_slice(
+      std::chrono::milliseconds budget) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      now_ += budget;
+      slept_ += budget;
+    }
+    return budget < real_slice_ ? budget : real_slice_;
+  }
+
+  void sleep_for(std::chrono::milliseconds d) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += d;
+    slept_ += d;
+    ++sleep_calls_;
+  }
+
+  void advance(std::chrono::milliseconds d) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += d;
+  }
+
+  // Total virtual time spent in sleep_for/wait_slice, and the number of
+  // sleep_for calls — tests pin backoff schedules with these.
+  [[nodiscard]] std::chrono::milliseconds total_slept() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slept_;
+  }
+  [[nodiscard]] std::uint64_t sleep_calls() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleep_calls_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  // Start well above the epoch so subtracting an interval can't underflow.
+  time_point now_ = time_point{} + std::chrono::hours(1000);
+  std::chrono::milliseconds real_slice_;
+  std::chrono::milliseconds slept_{0};
+  std::uint64_t sleep_calls_ = 0;
+};
+
+}  // namespace vela::util

@@ -1,0 +1,133 @@
+// Golden-file regression test for the degrade-and-continue recovery CSV
+// (`ctest -L degrade`).
+//
+// bench_fault_tolerance and this test share the emitter in
+// bench/degrade_csv.h, so a schema, row-order or formatting drift fails
+// here on a seconds-long configuration instead of after a paper-scale run.
+// The golden file is checked in; regenerate deliberately with
+// VELA_REGEN_GOLDEN=1 after an intentional change and review the diff.
+// Because the scripted kill fires at a fixed message index and every cell
+// is either bit-exact or modelled, the same bytes must come out on both
+// VELA_TRANSPORT backends — the golden comparison doubles as a
+// backend-invariance gate for the whole recovery path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "degrade_csv.h"
+
+namespace vela {
+namespace {
+
+// Compile-time path to tests/golden/ (set in tests/CMakeLists.txt).
+#ifndef VELA_GOLDEN_DIR
+#error "VELA_GOLDEN_DIR must be defined by the build"
+#endif
+
+constexpr int kGoldenSteps = 12;
+constexpr std::size_t kKillWorker = 1;
+constexpr std::uint64_t kKillMessage = 20;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, sep)) cells.push_back(cell);
+  return cells;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream ss(text);
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& cells, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += cells[i];
+  }
+  return out;
+}
+
+std::string emit_degrade_csv(const std::string& path) {
+  {
+    CsvWriter csv(path, bench::degrade_columns());
+    bench::emit_degrade_recovery("tiny-degrade", csv, kGoldenSteps,
+                                 kKillWorker, kKillMessage);
+  }  // writer flushes on destruction
+  return slurp(path);
+}
+
+void maybe_regenerate(const std::string& golden_path,
+                      const std::string& produced) {
+  if (std::getenv("VELA_REGEN_GOLDEN") == nullptr) return;
+  std::ofstream out(golden_path, std::ios::binary);
+  out << produced;
+}
+
+TEST(DegradeGolden, RecoveryCsvMatchesGoldenByteForByte) {
+  const std::string produced = emit_degrade_csv("golden_degrade_out.csv");
+  const std::string golden_path =
+      std::string(VELA_GOLDEN_DIR) + "/degrade_tiny.csv";
+  maybe_regenerate(golden_path, produced);
+  EXPECT_EQ(produced, slurp(golden_path))
+      << "degrade CSV drifted from tests/golden/degrade_tiny.csv; if "
+         "intentional, regenerate with VELA_REGEN_GOLDEN=1 and review the "
+         "diff";
+}
+
+TEST(DegradeGolden, SchemaAndRecoveryInvariants) {
+  const auto rows = lines_of(emit_degrade_csv("golden_degrade_schema.csv"));
+  ASSERT_EQ(rows.size(), 1u + kGoldenSteps);  // header + one row per step
+  EXPECT_EQ(rows[0], join(bench::degrade_columns(), ','));
+
+  std::size_t kill_row = 0, total_lost = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto cells = split(rows[i], ',');
+    ASSERT_EQ(cells.size(), bench::degrade_columns().size()) << rows[i];
+    EXPECT_EQ(cells[0], "tiny-degrade");
+    EXPECT_EQ(cells[1], std::to_string(i - 1));  // monotonic step index
+    const double loss = std::stod(cells[2]);
+    EXPECT_TRUE(loss > 0.0 && loss < 100.0) << rows[i];
+    const std::size_t lost = std::stoul(cells[3]);
+    total_lost += lost;
+    if (lost > 0) kill_row = i;
+    // The fleet never grows back: 5 live workers before the kill, 4 after.
+    EXPECT_EQ(cells[4], kill_row == 0 ? "5" : "4") << rows[i];
+    EXPECT_GE(std::stod(cells[6]), 0.0) << rows[i];   // recovery_mb
+    EXPECT_GT(std::stod(cells[7]), 0.0) << rows[i];   // traffic
+    EXPECT_GE(std::stod(cells[8]), 0.5) << rows[i];   // compute floor
+  }
+  // Exactly one worker dies, on the step the scripted kill lands in, and
+  // that step pays a non-zero state-migration bill.
+  EXPECT_EQ(total_lost, 1u);
+  ASSERT_GT(kill_row, 0u);
+  const auto kill_cells = split(rows[kill_row], ',');
+  EXPECT_GE(std::stoul(kill_cells[5]), 1u) << rows[kill_row];  // retries
+  EXPECT_GT(std::stod(kill_cells[6]), 0.0) << rows[kill_row];
+}
+
+TEST(DegradeGolden, EmitterIsDeterministicAcrossRuns) {
+  const std::string a = emit_degrade_csv("golden_degrade_det_a.csv");
+  const std::string b = emit_degrade_csv("golden_degrade_det_b.csv");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace vela

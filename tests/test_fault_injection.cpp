@@ -380,7 +380,7 @@ TEST(FaultRecovery, ProbeDetectsCrashAndRespawnRestores) {
   master.attach_fault_injector(&injector);
 
   EXPECT_FALSE(master.probe_worker(2));
-  EXPECT_EQ(master.recover_step(), 1u);
+  EXPECT_EQ(master.recover_step().respawned, 1u);
   EXPECT_EQ(master.workers_recovered(), 1u);
   EXPECT_GT(master.recovery_bytes(), 0u);
   EXPECT_TRUE(master.probe_worker(2));

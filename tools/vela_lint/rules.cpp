@@ -435,13 +435,60 @@ void rule_direct_transport(const std::string& path,
   }
 }
 
+// --- rule: naked-clock -----------------------------------------------------
+
+// Timing in the comm/core layers (retry deadlines, reconnect backoff,
+// heartbeat scheduling) must flow through the injectable util::Clock so
+// tests resolve timeout schedules in virtual time (DESIGN.md §11). A raw
+// std::chrono clock read or this_thread sleep bypasses that injection point
+// and turns every timeout test into a wall-clock test. OS-level wait budgets
+// (poll timeouts etc.) are legitimately real-time — suppress those with a
+// `vela-lint: allow(naked-clock)` rationale.
+bool is_raw_clock_type(const std::string& t) {
+  return t == "steady_clock" || t == "system_clock" ||
+         t == "high_resolution_clock";
+}
+
+void rule_naked_clock(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Finding>* findings) {
+  const bool scoped = path.find("src/comm/") != std::string::npos ||
+                      path.find("src/core/") != std::string::npos;
+  if (!scoped || is_test_file(path)) return;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    // `steady_clock::now(` — raw time reads.
+    if (is_raw_clock_type(toks[i].text) && is_tok(toks[i + 1], "::") &&
+        toks[i + 2].text == "now" && is_tok(toks[i + 3], "(")) {
+      findings->push_back(
+          {"naked-clock", path, toks[i + 2].line,
+           "raw std::chrono::" + toks[i].text +
+               "::now() in comm/core: read time through the injected "
+               "util::Clock (clock_->now()) so timeout and backoff schedules "
+               "run in virtual time under test"});
+      continue;
+    }
+    // `this_thread::sleep_for(` / `sleep_until(` — raw blocking sleeps.
+    if (toks[i].text == "this_thread" && is_tok(toks[i + 1], "::") &&
+        (toks[i + 2].text == "sleep_for" ||
+         toks[i + 2].text == "sleep_until") &&
+        is_tok(toks[i + 3], "(")) {
+      findings->push_back(
+          {"naked-clock", path, toks[i + 2].line,
+           "raw std::this_thread::" + toks[i + 2].text +
+               "() in comm/core: sleep through the injected util::Clock "
+               "(sleep_for / wait_slice) so retry loops are testable in "
+               "virtual time"});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
-      "direct-transport",
+      "direct-transport",    "naked-clock",
   };
   return kRules;
 }
@@ -463,6 +510,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_float_equality(path, lexed.tokens, &findings);
   rule_nodiscard_wire(path, lexed.tokens, &findings);
   rule_direct_transport(path, lexed.tokens, &findings);
+  rule_naked_clock(path, lexed.tokens, &findings);
 
   // Apply suppressions: an allowance on the finding's line or the line
   // directly above it covers the finding.

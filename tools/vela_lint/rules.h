@@ -25,6 +25,12 @@
 //   nodiscard-wire       wire_size / wire_bytes / *checksum* declarations in
 //                        headers missing [[nodiscard]] — dropping these
 //                        return values silently corrupts byte accounting.
+//   naked-clock          raw std::chrono::*_clock::now() or
+//                        this_thread::sleep_for in src/comm / src/core —
+//                        timing there must flow through the injectable
+//                        util::Clock (DESIGN.md §11) so timeout/backoff
+//                        schedules are testable in virtual time. OS-level
+//                        wait budgets suppress with a rationale.
 #pragma once
 
 #include <cstddef>

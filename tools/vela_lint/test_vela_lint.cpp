@@ -239,13 +239,67 @@ void wire(comm::Endpoint* ep, const comm::DuplexLink& link) {
   EXPECT_TRUE(lint_file("src/core/master.cpp", src).empty());
 }
 
+TEST(VelaLintRules, NakedClockScopedToCommAndCore) {
+  const std::string now_read = R"src(
+#include <chrono>
+void backoff() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+}
+)src";
+  // Flagged inside the clock-injected layers; everywhere else raw time is
+  // fine (the bench harness times real work on purpose).
+  EXPECT_EQ(unsuppressed_lines(lint_file("src/comm/transport.cpp", now_read),
+                               "naked-clock")
+                .size(),
+            1u);
+  EXPECT_EQ(unsuppressed_lines(
+                lint_file("src/core/fault_tolerance.cpp", now_read),
+                "naked-clock")
+                .size(),
+            1u);
+  EXPECT_TRUE(lint_file("src/util/clock.cpp", now_read).empty());
+  EXPECT_TRUE(lint_file("bench/bench_fault_tolerance.cpp", now_read).empty());
+  EXPECT_TRUE(lint_file("tests/test_liveness.cpp", now_read).empty());
+}
+
+TEST(VelaLintRules, NakedClockCatchesRawSleeps) {
+  const std::string sleeper = R"src(
+#include <chrono>
+#include <thread>
+void retry_pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+)src";
+  const auto findings = lint_file("src/core/master.cpp", sleeper);
+  ASSERT_EQ(unsuppressed_lines(findings, "naked-clock").size(), 1u);
+  // The injected-clock equivalents are exactly what the rule points at.
+  const std::string clean = R"src(
+#include "util/clock.h"
+void retry_pause(vela::util::Clock* clock) {
+  clock->sleep_for(std::chrono::milliseconds(5));
+}
+)src";
+  EXPECT_TRUE(lint_file("src/core/master.cpp", clean).empty());
+}
+
+TEST(VelaLintRules, NakedClockSuppressibleWithRationale) {
+  const std::string src =
+      "// OS poll budget, the injection point itself.\n"
+      "// vela-lint: allow(naked-clock)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto findings = lint_file("src/comm/transport.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
 TEST(VelaLintRules, AllRulesListedAndStable) {
   const auto& rules = vela::lint::all_rules();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 8u);
   const std::set<std::string> expected = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
-      "direct-transport"};
+      "direct-transport",    "naked-clock"};
   EXPECT_EQ(std::set<std::string>(rules.begin(), rules.end()), expected);
 }
 
