@@ -5,16 +5,40 @@
 // The routing decisions of every step are sampled ONCE and fed to all four
 // systems, so differences come purely from placement and communication
 // pattern — the same control the paper's testbed gives.
+// --processes N instead runs the MEASURED variant: a live multi-process
+// deployment (one vela_node OS process per worker, socket fabric) emitting
+// the per-(step, worker) lane-level byte split to fig5_traffic_proc.csv.
 #include <cstdio>
+#include <cstdlib>
 
 #include "comm/transport.h"
 #include "fig_csv.h"
+#include "proc_csv.h"
 #include "util/argparse.h"
 
 using namespace vela;
 using namespace vela::bench;
 
 namespace {
+
+int run_processes_mode(const std::string& argv0, std::size_t workers) {
+  core::Scenario sc;
+  sc.workers = workers;
+  core::MultiProcOptions opts;
+  opts.node_binary = find_node_binary(argv0);
+  opts.log_dir = "/tmp/vela-fig5-proc";
+  std::printf("=== Fig. 5 (--processes): measured lane bytes, %zu vela_node "
+              "worker process(es) ===\n", workers);
+  if (std::system(("mkdir -p '" + opts.log_dir + "'").c_str()) != 0) return 1;
+  core::MultiProcCluster cluster(sc, opts);
+  {
+    CsvWriter csv("fig5_traffic_proc.csv", fig5_proc_columns());
+    emit_proc_figs(cluster, &csv, nullptr);
+  }
+  const int rc = cluster.shutdown_and_wait();
+  std::printf("CSV written: fig5_traffic_proc.csv (fleet exit code %d)\n", rc);
+  return rc;
+}
 
 void run_setting(const Setting& setting, CsvWriter& csv) {
   cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
@@ -41,6 +65,9 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
 
 int main(int argc, char** argv) {
   vela::ArgParser args(argc, argv);
+  if (args.has("processes")) {
+    return run_processes_mode(argv[0], args.get_size("processes", 6));
+  }
   // The figures are simulator-driven (no live channels), so --transport only
   // names the active comm-fabric backend in the header; the byte ledger —
   // and therefore the CSV — is backend-invariant by construction.

@@ -7,16 +7,42 @@
 // the CommClock converts them to time with the paper's measured bandwidths.
 // Compute time per step is charged identically to every system — the paper's
 // systems run the same FLOPs and differ only in communication pattern.
+//
+// --processes N instead runs the MEASURED variant: a live multi-process
+// deployment (one vela_node OS process per worker, socket fabric) emitting
+// per-step loss/traffic/step-time rows to fig6_steptime_proc.csv.
 #include <cstdio>
+#include <cstdlib>
 
 #include "comm/transport.h"
 #include "fig_csv.h"
+#include "proc_csv.h"
 #include "util/argparse.h"
 
 using namespace vela;
 using namespace vela::bench;
 
 namespace {
+
+int run_processes_mode(const std::string& argv0, std::size_t workers) {
+  core::Scenario sc;
+  sc.workers = workers;
+  core::MultiProcOptions opts;
+  opts.node_binary = find_node_binary(argv0);
+  opts.log_dir = "/tmp/vela-fig6-proc";
+  std::printf("=== Fig. 6 (--processes): measured steps, %zu vela_node "
+              "worker process(es) ===\n", workers);
+  if (std::system(("mkdir -p '" + opts.log_dir + "'").c_str()) != 0) return 1;
+  core::MultiProcCluster cluster(sc, opts);
+  {
+    CsvWriter csv("fig6_steptime_proc.csv", fig6_proc_columns());
+    emit_proc_figs(cluster, nullptr, &csv);
+  }
+  const int rc = cluster.shutdown_and_wait();
+  std::printf("CSV written: fig6_steptime_proc.csv (fleet exit code %d)\n",
+              rc);
+  return rc;
+}
 
 // Per-step forward+backward compute of a LoRA fine-tuning step of
 // Mixtral-8x7B on K=2048 tokens, calibrated to a V100-class device
@@ -62,6 +88,9 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
 
 int main(int argc, char** argv) {
   vela::ArgParser args(argc, argv);
+  if (args.has("processes")) {
+    return run_processes_mode(argv[0], args.get_size("processes", 6));
+  }
   // Simulator-driven figure: --transport names the backend in the header
   // only; the modelled step times and the CSV are backend-invariant.
   const comm::TransportKind transport =

@@ -1,0 +1,123 @@
+// Shared emitters for the --processes (multi-process deployment) CSV series.
+//
+// Unlike fig_csv.h these are NOT simulator-driven: every row is measured off
+// a live MultiProcCluster — real vela_node worker processes, real sockets,
+// real TrafficMeter bytes. The bench binaries' --processes mode and the
+// golden/schema tests in tests/test_multiproc_golden.cpp run through the
+// same functions, so the proc CSV schema cannot drift from what the golden
+// files pin.
+//
+// fig5 proc schema: one row per (step, worker) with the lane-level byte
+// split. Row invariant (asserted here, not just in tests): the scenario
+// places the master alone on node 0 and worker w alone on node w+1, so
+// every link is cross-node and the per-step rows partition the meter's
+// external-byte ledger exactly —
+//
+//   Σ_w row_total_bytes(step, w) == step_external_bytes(step).
+//
+// fig6 proc schema: one row per step with the measured loss/traffic and the
+// modelled comm/step seconds for the deployed placement.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/node_runtime.h"
+#include "data/batch.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace vela::bench {
+
+inline const std::vector<std::string>& fig5_proc_columns() {
+  static const std::vector<std::string> cols = {
+      "workers",          "step",
+      "worker",           "node",
+      "to_worker_bytes",  "to_master_bytes",
+      "row_total_bytes",  "step_external_bytes"};
+  return cols;
+}
+
+inline const std::vector<std::string>& fig6_proc_columns() {
+  static const std::vector<std::string> cols = {
+      "workers", "step", "loss", "external_mb_per_node", "comm_s", "step_s"};
+  return cols;
+}
+
+// Runs the cluster's scenario fine-tune and emits the measured series.
+// Either writer may be null (the schema tests emit one figure at a time).
+inline void emit_proc_figs(core::MultiProcCluster& cluster, CsvWriter* fig5,
+                           CsvWriter* fig6) {
+  core::VelaSystem& vela = cluster.system();
+  const core::Scenario& sc = cluster.scenario();
+  core::MasterProcess& master = vela.master();
+  const std::size_t num_workers = master.num_workers();
+
+  data::BatchIterator batches(
+      cluster.corpus().make_dataset(sc.dataset_sequences, sc.sequence_length),
+      sc.batch_size, sc.batch_seed, /*shuffle=*/false);
+
+  // Lane counters are lifetime totals; per-step rows are deltas between
+  // consecutive reads, so fleet-assembly traffic (none today) and recovery
+  // bytes stay attributed to the step they happened in.
+  std::vector<std::uint64_t> prev_to_worker(num_workers, 0);
+  std::vector<std::uint64_t> prev_to_master(num_workers, 0);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    prev_to_worker[w] = master.link(w).to_worker.bytes_sent();
+    prev_to_master[w] = master.link(w).to_master.bytes_received();
+  }
+
+  for (std::size_t step = 0; step < sc.steps; ++step) {
+    const core::StepReport report = vela.train_step(batches.next());
+    const std::size_t i = master.meter().num_steps() - 1;
+    const std::uint64_t step_external = master.meter().step_external_bytes(i);
+
+    std::uint64_t row_sum = 0;
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      const std::uint64_t to_worker = master.link(w).to_worker.bytes_sent();
+      const std::uint64_t to_master =
+          master.link(w).to_master.bytes_received();
+      const std::uint64_t d_tw = to_worker - prev_to_worker[w];
+      const std::uint64_t d_tm = to_master - prev_to_master[w];
+      prev_to_worker[w] = to_worker;
+      prev_to_master[w] = to_master;
+      const std::uint64_t row_total = d_tw + d_tm;
+      row_sum += row_total;
+      if (fig5 != nullptr) {
+        fig5->row({std::to_string(num_workers), std::to_string(step),
+                   std::to_string(w),
+                   std::to_string(vela.topology().worker_node(w)),
+                   std::to_string(d_tw), std::to_string(d_tm),
+                   std::to_string(row_total), std::to_string(step_external)});
+      }
+    }
+    VELA_CHECK_MSG(row_sum == step_external,
+                   "per-row byte conservation violated at step "
+                       << step << ": rows sum to " << row_sum
+                       << " B but the meter charged " << step_external
+                       << " B external");
+
+    if (fig6 != nullptr) {
+      fig6->row({std::to_string(num_workers), std::to_string(step),
+                 std::to_string(static_cast<double>(report.loss)),
+                 std::to_string(report.external_mb_per_node),
+                 std::to_string(report.comm_seconds),
+                 std::to_string(report.step_seconds)});
+    }
+  }
+}
+
+// Locates the vela_node binary for a bench/test process: $VELA_NODE_BIN when
+// set (the test binaries get it from CMake), else next to this binary's
+// build tree (build/bench/… → build/tools/vela_node).
+inline std::string find_node_binary(const std::string& argv0) {
+  if (const char* env = std::getenv("VELA_NODE_BIN")) return env;
+  const std::size_t slash = argv0.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : argv0.substr(0, slash);
+  return dir + "/../tools/vela_node";
+}
+
+}  // namespace vela::bench

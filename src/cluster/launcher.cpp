@@ -1,0 +1,142 @@
+#include "cluster/launcher.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::cluster {
+
+ChildProcess::ChildProcess(const ProcessSpec& spec) : spec_(spec) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(spec_.binary.c_str()));
+  for (const std::string& arg : spec_.args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  VELA_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    // Child. Redirect stdout+stderr to the log file before exec so even
+    // exec-failure diagnostics land in the capture.
+    if (!spec_.log_path.empty()) {
+      const int fd = ::open(spec_.log_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    ::execv(spec_.binary.c_str(), argv.data());
+    // Exec failed; 127 is the shell's "command not found" convention.
+    std::fprintf(stderr, "exec %s failed: %s\n", spec_.binary.c_str(),
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  pid_ = pid;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ >= 0 && !reaped_) {
+    // A destructor must not hang on a wedged child: kill, then reap.
+    ::kill(pid_, SIGKILL);
+    (void)wait();
+  }
+}
+
+namespace {
+
+// waitpid status → single exit code (crash = 128+signal, shell convention).
+int fold_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+bool ChildProcess::poll() {
+  if (reaped_) return true;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    exit_code_ = fold_status(status);
+  }
+  return reaped_;
+}
+
+int ChildProcess::wait() {
+  if (reaped_) return exit_code_;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  VELA_CHECK_MSG(r == pid_, "waitpid(" << pid_ << ") failed: "
+                                       << std::strerror(errno));
+  reaped_ = true;
+  exit_code_ = fold_status(status);
+  if (exit_code_ != 0) {
+    VELA_LOG_WARN("launcher") << "child " << pid_ << " exited with code "
+                              << exit_code_
+                              << (spec_.log_path.empty()
+                                      ? ""
+                                      : " (log: " + spec_.log_path + ")");
+  }
+  return exit_code_;
+}
+
+bool ChildProcess::running() { return !poll(); }
+
+void ChildProcess::kill(int sig) {
+  if (reaped_) return;
+  ::kill(pid_, sig);
+}
+
+std::uint16_t wait_for_port(const std::string& log_path,
+                            std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // vela-lint: allow(naked-clock) -- polling another process's log file;
+  // no injected clock can advance a child process's wall time.
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(log_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string tag;
+      unsigned port = 0;
+      if (fields >> tag >> port && tag == "VELA_PORT" && port > 0 &&
+          port <= 65535) {
+        return static_cast<std::uint16_t>(port);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+int wait_all(std::vector<std::unique_ptr<ChildProcess>>& children) {
+  int worst = 0;
+  for (auto& child : children) {
+    if (child == nullptr) continue;
+    const int code = child->wait();
+    if (code != 0 && worst == 0) worst = code;
+  }
+  return worst;
+}
+
+}  // namespace vela::cluster

@@ -1,0 +1,78 @@
+// Process launching for the multi-process deployment mode (DESIGN.md §12).
+//
+// ChildProcess is a thin fork/exec wrapper with the three properties the
+// vela_launch driver and the multiproc test fixture need:
+//
+//   * per-process log capture — stdout+stderr redirected to one file per
+//     child, so N workers don't interleave on the parent's terminal and a
+//     post-mortem has every process's tail;
+//   * exit propagation — wait() folds WIFEXITED/WIFSIGNALED into one code
+//     (a crash surfaces as 128+signal, the shell convention), so "did the
+//     fleet finish cleanly" is a single comparison;
+//   * kill support — the fault-tolerance tests SIGKILL a live worker and
+//     assert the master degrades instead of hanging.
+//
+// Port allocation is NOT here: the master binds port 0 (the kernel picks a
+// free port, comm/session.h's make_listen_socket reports it back) and
+// announces it on stdout as "VELA_PORT <port>"; wait_for_port() scrapes
+// that line from the master's log so workers can be pointed at it. That
+// ordering makes port collisions impossible by construction; the bounded
+// bind-retry in make_listen_socket covers the explicit-port path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vela::cluster {
+
+struct ProcessSpec {
+  std::string binary;              // executable path
+  std::vector<std::string> args;   // argv[1..]; argv[0] is `binary`
+  std::string log_path;            // stdout+stderr capture; "" = inherit
+};
+
+class ChildProcess {
+ public:
+  // fork/exec immediately; fails a VELA_CHECK if the executable cannot be
+  // spawned (exec failure inside the child surfaces as exit code 127).
+  explicit ChildProcess(const ProcessSpec& spec);
+  ~ChildProcess();  // reaps (blocking) if still running
+
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  const std::string& log_path() const { return spec_.log_path; }
+
+  // Non-blocking: true once the child has exited (status then available).
+  bool poll();
+  // Blocking reap. Returns the propagated exit code: the child's own code
+  // when it exited, 128+signal when it was killed by one.
+  int wait();
+  // True while the child has not been reaped and is still running.
+  bool running();
+
+  // Sends `sig` (default SIGKILL). No-op once exited.
+  void kill(int sig = 9);
+
+ private:
+  ProcessSpec spec_;
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+// Scrapes "VELA_PORT <port>" from `log_path` (the master's captured
+// stdout), polling until `timeout` elapses. Returns 0 on timeout.
+std::uint16_t wait_for_port(const std::string& log_path,
+                            std::chrono::milliseconds timeout);
+
+// Reaps every child, returning the worst exit code (0 only if all clean).
+int wait_all(std::vector<std::unique_ptr<ChildProcess>>& children);
+
+}  // namespace vela::cluster

@@ -1,6 +1,10 @@
 #include "comm/endpoint.h"
 
+#include <unistd.h>
+
 #include "comm/frame.h"
+#include "comm/peer_listener.h"
+#include "comm/remote_transport.h"
 #include "util/audit.h"
 #include "util/check.h"
 
@@ -46,6 +50,21 @@ Endpoint::Endpoint(TransportKind kind, std::size_t src_node,
       meter_(meter),
       transport_(make_transport(kind_)) {}
 
+Endpoint::Endpoint(std::unique_ptr<Transport> transport, RemoteRole role,
+                   std::size_t src_node, std::size_t dst_node,
+                   TrafficMeter* meter)
+    : kind_(TransportKind::kSocket),
+      role_(role),
+      src_(src_node),
+      dst_(dst_node),
+      meter_(meter),
+      transport_(std::move(transport)) {
+  VELA_CHECK_MSG(role_ != RemoteRole::kNone,
+                 "pre-built-transport endpoints are cross-process lanes; "
+                 "use the TransportKind constructor for local ones");
+  VELA_CHECK(transport_ != nullptr);
+}
+
 bool Endpoint::offer(const Message& msg, std::uint64_t size) {
   std::vector<std::uint8_t> frame = encode_frame(msg);
   // pending() mirrors the ledger: count the message before the transport
@@ -56,6 +75,13 @@ bool Endpoint::offer(const Message& msg, std::uint64_t size) {
     accepted_.fetch_sub(1, std::memory_order_relaxed);
     ledger_enqueue_rejected(size);
     return false;
+  }
+  if (role_ == RemoteRole::kEgress) {
+    // The matching delivery happens in another process whose ledger never
+    // saw this post: settle it here so this process balances by itself
+    // (and pending() stays zero — nothing local will ever dequeue it).
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    ledger_received(size);
   }
   return true;
 }
@@ -105,6 +131,22 @@ bool Endpoint::send(Message msg) {
   }
 }
 
+void Endpoint::account_received(std::uint64_t size) {
+  if (role_ == RemoteRole::kIngress) {
+    // The sender lives in another process: these bytes enter this node
+    // here, so the meter and the ledger's posted half are charged at
+    // receive (paired with the received half just below — in_flight never
+    // rises, matching the egress side's settle-at-send).
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    ledger_posted_enqueued(size);
+    if (meter_ != nullptr) meter_->record(src_, dst_, size);
+  }
+  bytes_received_.fetch_add(size, std::memory_order_relaxed);
+  messages_received_.fetch_add(1, std::memory_order_relaxed);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  ledger_received(size);
+}
+
 std::optional<Message> Endpoint::receive() {
   std::optional<std::vector<std::uint8_t>> frame = transport_->receive();
   if (!frame.has_value()) return std::nullopt;
@@ -112,8 +154,7 @@ std::optional<Message> Endpoint::receive() {
   std::string error;
   VELA_CHECK_MSG(decode_frame(*frame, &msg, &error),
                  "transport delivered an undecodable frame: " + error);
-  delivered_.fetch_add(1, std::memory_order_relaxed);
-  ledger_received(msg.wire_size());
+  account_received(msg.wire_size());
   return msg;
 }
 
@@ -124,8 +165,7 @@ std::optional<Message> Endpoint::try_receive() {
   std::string error;
   VELA_CHECK_MSG(decode_frame(*frame, &msg, &error),
                  "transport delivered an undecodable frame: " + error);
-  delivered_.fetch_add(1, std::memory_order_relaxed);
-  ledger_received(msg.wire_size());
+  account_received(msg.wire_size());
   return msg;
 }
 
@@ -137,8 +177,7 @@ PopStatus Endpoint::receive_for(std::chrono::milliseconds timeout,
   std::string error;
   VELA_CHECK_MSG(decode_frame(frame, out, &error),
                  "transport delivered an undecodable frame: " + error);
-  delivered_.fetch_add(1, std::memory_order_relaxed);
-  ledger_received(out->wire_size());
+  account_received(out->wire_size());
   return status;
 }
 
@@ -176,6 +215,62 @@ std::unique_ptr<DuplexLink> make_duplex_link(TransportKind kind,
                                              std::size_t worker_node,
                                              TrafficMeter* meter) {
   return std::make_unique<DuplexLink>(kind, master_node, worker_node, meter);
+}
+
+std::unique_ptr<DuplexLink> make_master_remote_link(
+    PeerListener& listener, std::uint32_t rank,
+    std::uint64_t expected_capacity, std::size_t master_node,
+    std::size_t worker_node, TrafficMeter* meter,
+    std::chrono::milliseconds accept_timeout, ReconnectPolicy policy,
+    util::Clock* clock) {
+  AcceptedPeer down =
+      listener.take_peer(rank, session::kLaneToWorker, accept_timeout);
+  if (!down.valid()) return nullptr;
+  AcceptedPeer up =
+      listener.take_peer(rank, session::kLaneToMaster, accept_timeout);
+  if (!up.valid()) {
+    ::close(down.fd);
+    return nullptr;
+  }
+  // The two lanes must come from the same process instance and agree on
+  // what the worker hosts; a mismatch is a launcher/scenario bug.
+  VELA_CHECK_MSG(down.id.session_id == up.id.session_id,
+                 "worker " << rank << " identified two different sessions");
+  VELA_CHECK_MSG(down.id.capacity == expected_capacity &&
+                     up.id.capacity == expected_capacity,
+                 "worker " << rank << " announced capacity "
+                           << down.id.capacity << ", expected "
+                           << expected_capacity);
+  auto to_worker = RemoteSocketTransport::adopt(
+      std::move(down), RemoteSocketTransport::Role::kSender, &listener, clock,
+      policy);
+  auto to_master = RemoteSocketTransport::adopt(
+      std::move(up), RemoteSocketTransport::Role::kReceiver, &listener, clock,
+      policy);
+  return std::make_unique<DuplexLink>(
+      std::move(to_worker), RemoteRole::kEgress, std::move(to_master),
+      RemoteRole::kIngress, master_node, worker_node, meter);
+}
+
+std::unique_ptr<DuplexLink> make_worker_remote_link(
+    std::uint16_t port, std::uint32_t rank, std::uint64_t capacity,
+    std::uint64_t session_id, std::size_t master_node,
+    std::size_t worker_node, ReconnectPolicy policy, util::Clock* clock) {
+  session::PeerIdentity id;
+  id.rank = rank;
+  id.capacity = capacity;
+  id.session_id = session_id;
+  id.lane = session::kLaneToWorker;
+  auto to_worker = RemoteSocketTransport::dial(
+      port, RemoteSocketTransport::Role::kReceiver, id, clock, policy);
+  id.lane = session::kLaneToMaster;
+  auto to_master = RemoteSocketTransport::dial(
+      port, RemoteSocketTransport::Role::kSender, id, clock, policy);
+  // The worker's receive half of the to_worker lane and send half of the
+  // to_master lane; un-metered (attribution lives at the master).
+  return std::make_unique<DuplexLink>(
+      std::move(to_worker), RemoteRole::kIngress, std::move(to_master),
+      RemoteRole::kEgress, master_node, worker_node, /*meter=*/nullptr);
 }
 
 }  // namespace vela::comm

@@ -35,6 +35,29 @@
 
 namespace vela::comm {
 
+// Which half of a cross-process lane this Endpoint is (DESIGN.md §12).
+//
+// When both halves of a lane live in one process (kNone), this single
+// Endpoint does all the accounting. When the lane crosses a process
+// boundary, each process owns one Endpoint over one RemoteSocketTransport,
+// and the accounting splits so that every process's ledger balances by
+// itself AND the union over processes equals the in-process charges:
+//
+//   * kEgress  — the local send half. Meters at send exactly as kNone does
+//     (the bytes left this node's NIC), but pairs the ledger's posted
+//     charge with an immediate received charge: the matching delivery
+//     happens in another process, whose own ledger never saw the post.
+//   * kIngress — the local receive half. Meters and charges the ledger
+//     (posted + received, paired) at receive time; the sender's meter lives
+//     in the other process. Order-freedom of the TrafficMeter sums plus the
+//     request/reply discipline of the runtimes (the master awaits every
+//     reply within the step) make the per-step totals bit-identical to the
+//     in-process run — the cross-mode gate pins this.
+//
+// Both remote roles advance accepted_ and delivered_ together, so
+// pending() == 0 and the ledger's in_flight stays zero at every boundary.
+enum class RemoteRole : std::uint8_t { kNone, kEgress, kIngress };
+
 class Endpoint {
  public:
   // `src_node`/`dst_node` locate the endpoints for traffic attribution.
@@ -42,6 +65,12 @@ class Endpoint {
   // against VELA_TRANSPORT once, at construction.
   Endpoint(TransportKind kind, std::size_t src_node, std::size_t dst_node,
            TrafficMeter* meter);
+
+  // Cross-process lane half over a pre-built transport (a
+  // RemoteSocketTransport from the dial/adopt factories). kind() reports
+  // kSocket — remote lanes are the socket fabric by construction.
+  Endpoint(std::unique_ptr<Transport> transport, RemoteRole role,
+           std::size_t src_node, std::size_t dst_node, TrafficMeter* meter);
 
   // Sends a message; records its wire size. Returns false if closed.
   bool send(Message msg);
@@ -76,6 +105,18 @@ class Endpoint {
   [[nodiscard]] std::uint64_t messages_sent() const {
     return messages_sent_.load();
   }
+  // Receive-side counters, maintained in every mode: a consumer that wants
+  // per-lane traffic (the --processes bench emitters) reads bytes_sent() on
+  // its send half and bytes_received() on its receive half, which is
+  // mode-agnostic — in a remote process the send half of the reverse lane
+  // is unreachable.
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_.load();
+  }
+  [[nodiscard]] std::uint64_t messages_received() const {
+    return messages_received_.load();
+  }
+  [[nodiscard]] RemoteRole remote_role() const { return role_; }
   [[nodiscard]] TransportKind kind() const { return kind_; }
   [[nodiscard]] const char* backend_name() const { return transport_->name(); }
 
@@ -84,12 +125,18 @@ class Endpoint {
   // before the frame is published (see channel ordering contract).
   bool offer(const Message& msg, std::uint64_t size);
 
+  // Shared receive epilogue: counters + ledger (+ ingress meter charge).
+  void account_received(std::uint64_t size);
+
   TransportKind kind_;
+  RemoteRole role_ = RemoteRole::kNone;
   std::size_t src_, dst_;
   TrafficMeter* meter_;
   std::unique_ptr<Transport> transport_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> delivered_{0};
   // Atomic: detach (master thread, at shutdown) can race a worker's late
@@ -107,6 +154,19 @@ struct DuplexLink {
                       TrafficMeter* meter = nullptr)
       : to_worker(kind, master_node, worker_node, meter),
         to_master(kind, worker_node, master_node, meter) {}
+
+  // Cross-process link: each lane is its own pre-built remote transport and
+  // this process plays one role per lane (the master holds egress/ingress,
+  // the worker the mirror image). Built by the remote factories below.
+  DuplexLink(std::unique_ptr<Transport> to_worker_transport,
+             RemoteRole to_worker_role,
+             std::unique_ptr<Transport> to_master_transport,
+             RemoteRole to_master_role, std::size_t master_node,
+             std::size_t worker_node, TrafficMeter* meter)
+      : to_worker(std::move(to_worker_transport), to_worker_role, master_node,
+                  worker_node, meter),
+        to_master(std::move(to_master_transport), to_master_role, worker_node,
+                  master_node, meter) {}
 
   Endpoint to_worker;
   Endpoint to_master;
@@ -134,5 +194,33 @@ struct DuplexLink {
 [[nodiscard]] std::unique_ptr<DuplexLink> make_duplex_link(
     TransportKind kind, std::size_t master_node, std::size_t worker_node,
     TrafficMeter* meter);
+
+// --- multi-process deployment (DESIGN.md §12) --------------------------------
+
+class PeerListener;  // comm/peer_listener.h
+
+// Master-side half of a cross-process link: blocks until worker `rank` has
+// dialed both lanes of `listener` and identified itself, then adopts the
+// two connections (to_worker = egress, to_master = ingress). The worker's
+// announced expert capacity must equal `expected_capacity` — a scenario
+// mismatch between launcher and worker is a configuration bug, caught here.
+// Returns nullptr if the worker does not appear within `accept_timeout`.
+[[nodiscard]] std::unique_ptr<DuplexLink> make_master_remote_link(
+    PeerListener& listener, std::uint32_t rank,
+    std::uint64_t expected_capacity, std::size_t master_node,
+    std::size_t worker_node, TrafficMeter* meter,
+    std::chrono::milliseconds accept_timeout, ReconnectPolicy policy = {},
+    util::Clock* clock = nullptr);
+
+// Worker-side half: dials the master's `port` twice (once per lane),
+// announcing (rank, capacity, session_id) on each. Un-metered — traffic
+// attribution lives with the master's meter. session_id must be stable for
+// the life of this process (reconnects re-identify with it) and unique
+// across processes (the launcher/VELA node derives it from the pid).
+[[nodiscard]] std::unique_ptr<DuplexLink> make_worker_remote_link(
+    std::uint16_t port, std::uint32_t rank, std::uint64_t capacity,
+    std::uint64_t session_id, std::size_t master_node,
+    std::size_t worker_node, ReconnectPolicy policy = {},
+    util::Clock* clock = nullptr);
 
 }  // namespace vela::comm

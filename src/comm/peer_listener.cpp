@@ -1,0 +1,189 @@
+#include "comm/peer_listener.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace vela::comm {
+
+PeerListener::PeerListener(const PeerListenerConfig& cfg)
+    : clock_(cfg.clock != nullptr ? cfg.clock : &util::system_clock()),
+      handshake_budget_ms_(cfg.handshake_budget_ms) {
+  listen_fd_ =
+      session::make_listen_socket(cfg.port, &port_, cfg.backlog,
+                                  cfg.bind_attempts, cfg.bind_retry_delay,
+                                  clock_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+PeerListener::~PeerListener() { stop(); }
+
+void PeerListener::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Closing the listen socket wakes the accept loop's poll.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, peer] : fresh_) {
+    if (peer.fd >= 0) ::close(peer.fd);
+  }
+  fresh_.clear();
+  for (auto& [key, queue] : resumes_) {
+    for (AcceptedPeer& peer : queue) {
+      if (peer.fd >= 0) ::close(peer.fd);
+    }
+  }
+  resumes_.clear();
+  cv_.notify_all();
+}
+
+void PeerListener::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener torn down
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // stop() shut the socket down
+    }
+    handle_connection(fd);
+  }
+}
+
+void PeerListener::handle_connection(int fd) {
+  // Read exactly the opening record, leniently: corruption is the PEER's
+  // problem, never the listener's. Everything already buffered past the
+  // ident travels on as `leftover`.
+  session::RecordParser parser;
+  session::Record rec;
+  const bool got = session::read_record_blocking(fd, &parser, &rec,
+                                                 handshake_budget_ms_,
+                                                 /*lenient=*/true);
+  if (!got || rec.type != session::kRecIdent || !rec.ident_valid) {
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_malformed_;
+    VELA_LOG_DEBUG("listener") << "rejected malformed handshake";
+    return;
+  }
+
+  AcceptedPeer peer;
+  peer.fd = fd;
+  peer.id = rec.ident;
+  peer.leftover = parser.take_buffered();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_) {
+    ::close(fd);
+    return;
+  }
+  const LaneKey key{peer.id.rank, peer.id.lane};
+  const auto claimed = claimed_sessions_.find(key);
+  if (claimed != claimed_sessions_.end() &&
+      claimed->second == peer.id.session_id) {
+    // The same process re-identifying after a connection loss: session
+    // resume. The kHello layer above takes over from here.
+    resumes_[key].push_back(std::move(peer));
+    ++accepted_;
+    cv_.notify_all();
+    return;
+  }
+  if (fresh_.count(key) != 0) {
+    // Two live dialers claiming the same (rank, lane): whichever connected
+    // first wins; the imposter is cut loose without disturbing anyone.
+    ::close(fd);
+    ++rejected_duplicate_;
+    VELA_LOG_WARN("listener")
+        << "rejected duplicate identity rank=" << peer.id.rank
+        << " lane=" << static_cast<int>(peer.id.lane);
+    return;
+  }
+  fresh_.emplace(key, std::move(peer));
+  ++accepted_;
+  cv_.notify_all();
+}
+
+AcceptedPeer PeerListener::take_peer(std::uint32_t rank, std::uint8_t lane,
+                                     std::chrono::milliseconds timeout) {
+  const LaneKey key{rank, lane};
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    return stopped_ || fresh_.count(key) != 0;
+  });
+  if (!ok || stopped_ || fresh_.count(key) == 0) return {};
+  AcceptedPeer peer = std::move(fresh_[key]);
+  fresh_.erase(key);
+  claimed_sessions_[key] = peer.id.session_id;
+  return peer;
+}
+
+AcceptedPeer PeerListener::take_resume(std::uint32_t rank, std::uint8_t lane,
+                                       std::uint64_t session_id,
+                                       std::chrono::milliseconds timeout) {
+  const LaneKey key{rank, lane};
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto find = [&]() -> AcceptedPeer* {
+    auto it = resumes_.find(key);
+    if (it == resumes_.end()) return nullptr;
+    while (!it->second.empty() &&
+           it->second.front().id.session_id != session_id) {
+      // A resume from a session we already gave up on: discard.
+      ::close(it->second.front().fd);
+      it->second.pop_front();
+    }
+    return it->second.empty() ? nullptr : &it->second.front();
+  };
+  const bool ok = cv_.wait_for(lock, timeout,
+                               [&] { return stopped_ || find() != nullptr; });
+  if (!ok || stopped_) return {};
+  AcceptedPeer* front = find();
+  if (front == nullptr) return {};
+  AcceptedPeer peer = std::move(*front);
+  resumes_[key].pop_front();
+  return peer;
+}
+
+std::uint64_t PeerListener::accepted_peers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t PeerListener::rejected_malformed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_malformed_;
+}
+
+std::uint64_t PeerListener::rejected_duplicate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_duplicate_;
+}
+
+std::unique_ptr<PeerListener> make_peer_listener(
+    const PeerListenerConfig& cfg) {
+  return std::make_unique<PeerListener>(cfg);
+}
+
+}  // namespace vela::comm

@@ -1,0 +1,131 @@
+// Master-side accept multiplexer for the multi-process deployment mode
+// (DESIGN.md §12).
+//
+// One PeerListener owns the master's single listen port. Worker processes
+// dial it — twice each, once per DuplexLink lane — and open every
+// connection with a kIdent record announcing (rank, lane, expert capacity,
+// transport session id). The accept loop validates the identity and sorts
+// the connection into a per-(rank, lane) mailbox:
+//
+//   * first connection of a (rank, lane)          → fresh-peer mailbox,
+//     claimed by take_peer() (the master builds a RemoteSocketTransport
+//     around it);
+//   * same (rank, lane, session id) again         → resume mailbox, claimed
+//     by take_resume() (the transport's reconnect path adopts it and the
+//     ordinary kHello session resume takes over);
+//   * second fresh connection while one is already
+//     pending for the same (rank, lane)           → duplicate identity,
+//     rejected;
+//   * bad magic/version/lane, truncated or non-ident
+//     opening record                              → malformed, rejected.
+//
+// Rejection means: close that fd, bump a counter, keep listening. A
+// misbehaving dialer must never take the listener (and with it the whole
+// master) down.
+//
+// Port handling (satellite of ISSUE 7): SO_REUSEADDR is always set, port 0
+// binds an ephemeral port reported back through bound_port() (the launcher
+// passes it to the workers), and a bind collision on a fixed port is
+// retried a bounded number of times on the injected clock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/session.h"
+
+namespace vela::comm {
+
+struct PeerListenerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral; see bound_port()
+  int backlog = 128;
+  // Bounded bind-collision retry (EADDRINUSE on a fixed port), slept on
+  // `clock` between attempts.
+  int bind_attempts = 5;
+  std::chrono::milliseconds bind_retry_delay{50};
+  // Per-connection deadline for the opening kIdent record; a dialer that
+  // stalls mid-handshake is rejected as malformed.
+  int handshake_budget_ms = 5000;
+  util::Clock* clock = nullptr;  // defaults to the system clock
+};
+
+// A connection the listener accepted and identified. `leftover` holds any
+// bytes that arrived after the kIdent record (a pipelined hello or early
+// data) — the adopting transport must feed them to its parser first.
+struct AcceptedPeer {
+  int fd = -1;
+  session::PeerIdentity id;
+  std::vector<std::uint8_t> leftover;
+  [[nodiscard]] bool valid() const { return fd >= 0; }
+};
+
+class PeerListener {
+ public:
+  explicit PeerListener(const PeerListenerConfig& cfg);
+  ~PeerListener();
+
+  PeerListener(const PeerListener&) = delete;
+  PeerListener& operator=(const PeerListener&) = delete;
+
+  // The actually-bound port (== cfg.port unless that was 0).
+  [[nodiscard]] std::uint16_t bound_port() const { return port_; }
+
+  // Blocks until the first connection for (rank, lane) arrives; an invalid
+  // AcceptedPeer on timeout. The wait is a real-time bound on peer startup,
+  // not protocol time.
+  [[nodiscard]] AcceptedPeer take_peer(std::uint32_t rank, std::uint8_t lane,
+                                       std::chrono::milliseconds timeout);
+
+  // Blocks until the peer re-identifies (same session id) after a
+  // connection loss; an invalid AcceptedPeer on timeout.
+  [[nodiscard]] AcceptedPeer take_resume(std::uint32_t rank,
+                                         std::uint8_t lane,
+                                         std::uint64_t session_id,
+                                         std::chrono::milliseconds timeout);
+
+  // Stops accepting and closes every unclaimed connection. Idempotent;
+  // the destructor calls it.
+  void stop();
+
+  // Handshake observability (the property tests assert on these).
+  [[nodiscard]] std::uint64_t accepted_peers() const;
+  [[nodiscard]] std::uint64_t rejected_malformed() const;
+  [[nodiscard]] std::uint64_t rejected_duplicate() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  using LaneKey = std::pair<std::uint32_t, std::uint8_t>;
+
+  util::Clock* clock_;
+  int handshake_budget_ms_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;                    // guarded by mutex_
+  std::map<LaneKey, AcceptedPeer> fresh_;   // pending unclaimed, one per lane
+  std::map<LaneKey, std::deque<AcceptedPeer>> resumes_;
+  std::map<LaneKey, std::uint64_t> claimed_sessions_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_malformed_ = 0;
+  std::uint64_t rejected_duplicate_ = 0;
+
+  std::thread accept_thread_;
+};
+
+// Factory — how everything above comm constructs a listener (vela_lint's
+// direct-transport rule keeps ad-hoc construction out of the runtimes).
+[[nodiscard]] std::unique_ptr<PeerListener> make_peer_listener(
+    const PeerListenerConfig& cfg = {});
+
+}  // namespace vela::comm

@@ -1,0 +1,314 @@
+#include "comm/session.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "comm/frame.h"
+#include "util/check.h"
+
+namespace vela::comm::session {
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void RecordParser::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+namespace {
+
+// Header length for a record type; 0 for an unknown type.
+std::size_t header_bytes_for(std::uint8_t type) {
+  switch (type) {
+    case kRecData:
+      return kSessionDataOverheadBytes;
+    case kRecAck:
+    case kRecHello:
+      return 1 + sizeof(std::uint64_t);
+    case kRecGoodbye:
+      return 1;
+    case kRecIdent:
+      return kIdentRecordBytes;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+bool RecordParser::next(Record* out) {
+  bool corrupt = false;
+  const bool got = next_lenient(out, &corrupt);
+  if (corrupt) {
+    VELA_CHECK_MSG(false, "session stream corrupted: record type "
+                              << static_cast<int>(buffer_[0]));
+  }
+  return got;
+}
+
+bool RecordParser::next_lenient(Record* out, bool* corrupt) {
+  *corrupt = false;
+  if (buffer_.empty()) return false;
+  const std::uint8_t type = buffer_[0];
+  const std::size_t header = header_bytes_for(type);
+  if (header == 0) {
+    *corrupt = true;
+    return false;
+  }
+  if (buffer_.size() < header) return false;
+  std::size_t total = header;
+  if (type == kRecData) {
+    const std::uint32_t len = get_u32(buffer_.data() + 9);
+    if (len > kMaxFrameBodyBytes + kFrameOverheadBytes) {
+      *corrupt = true;
+      return false;
+    }
+    total += len;
+    if (buffer_.size() < total) return false;
+  }
+  out->type = type;
+  out->seq = 0;
+  out->ident_valid = false;
+  out->frame.clear();
+  switch (type) {
+    case kRecData:
+      out->seq = get_u64(buffer_.data() + 1);
+      out->frame.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(header),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+      break;
+    case kRecAck:
+    case kRecHello:
+      out->seq = get_u64(buffer_.data() + 1);
+      break;
+    case kRecIdent: {
+      const std::uint8_t* p = buffer_.data() + 1;
+      const std::uint32_t magic = get_u32(p);
+      const std::uint32_t version = get_u32(p + 4);
+      out->ident.rank = get_u32(p + 8);
+      out->ident.lane = p[12];
+      out->ident.capacity = get_u64(p + 13);
+      out->ident.session_id = get_u64(p + 21);
+      out->ident_valid = magic == kIdentMagic && version == kIdentVersion &&
+                         (out->ident.lane == kLaneToWorker ||
+                          out->ident.lane == kLaneToMaster);
+      break;
+    }
+    default:
+      break;  // kRecGoodbye carries nothing
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+std::vector<std::uint8_t> encode_data_record(
+    std::uint64_t seq, const std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kSessionDataOverheadBytes + frame.size());
+  rec.push_back(kRecData);
+  put_u64(&rec, seq);
+  put_u32(&rec, static_cast<std::uint32_t>(frame.size()));
+  rec.insert(rec.end(), frame.begin(), frame.end());
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_ctrl_record(std::uint8_t type,
+                                             std::uint64_t seq) {
+  std::vector<std::uint8_t> rec;
+  if (type == kRecGoodbye) {
+    rec.push_back(kRecGoodbye);
+    return rec;
+  }
+  rec.reserve(1 + sizeof(std::uint64_t));
+  rec.push_back(type);
+  put_u64(&rec, seq);
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_ident_record(const PeerIdentity& id) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kIdentRecordBytes);
+  rec.push_back(kRecIdent);
+  put_u32(&rec, kIdentMagic);
+  put_u32(&rec, kIdentVersion);
+  put_u32(&rec, id.rank);
+  rec.push_back(id.lane);
+  put_u64(&rec, id.capacity);
+  put_u64(&rec, id.session_id);
+  VELA_CHECK(rec.size() == kIdentRecordBytes);
+  return rec;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Poll deadlines are OS-level waits, the injection point itself.
+// vela-lint: allow(naked-clock)
+bool write_all_timed(int fd, const std::uint8_t* data, std::size_t size,
+                     int budget_ms) {
+  // vela-lint: allow(naked-clock)
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n =
+        ::send(fd, data + off, size - off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;
+    }
+    // vela-lint: allow(naked-clock)
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count();
+    if (ms <= 0) return false;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    ::poll(&pfd, 1, static_cast<int>(ms));
+  }
+  return true;
+}
+
+// Handshake reads are real-time bounded (loopback round trip, not protocol
+// time). vela-lint: allow(naked-clock)
+bool read_record_blocking(int fd, RecordParser* parser, Record* out,
+                          int budget_ms, bool lenient) {
+  // vela-lint: allow(naked-clock)
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (true) {
+    if (lenient) {
+      bool corrupt = false;
+      if (parser->next_lenient(out, &corrupt)) return true;
+      if (corrupt) return false;
+    } else {
+      if (parser->next(out)) return true;
+    }
+    // vela-lint: allow(naked-clock)
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count();
+    if (ms <= 0) return false;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(ms));
+    if (ready <= 0) {
+      if (ready < 0 && errno == EINTR) continue;
+      return false;
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    parser->feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+int make_listen_socket(std::uint16_t port, std::uint16_t* bound_port,
+                       int backlog, int bind_attempts,
+                       std::chrono::milliseconds retry_delay,
+                       util::Clock* clock) {
+  util::Clock* clk = clock != nullptr ? clock : &util::system_clock();
+  VELA_CHECK_MSG(bind_attempts >= 1, "bind_attempts must be >= 1");
+  int last_errno = 0;
+  for (int attempt = 1; attempt <= bind_attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    VELA_CHECK_MSG(fd >= 0, "socket(): " + std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      last_errno = errno;
+      ::close(fd);
+      // Only a collision is worth retrying — the port may free up. Anything
+      // else (EACCES, bad address) will not change on a re-bind.
+      VELA_CHECK_MSG(last_errno == EADDRINUSE,
+                     "bind(127.0.0.1:" << port
+                                       << "): " << std::strerror(last_errno));
+      if (attempt < bind_attempts) clk->sleep_for(retry_delay);
+      continue;
+    }
+    VELA_CHECK_MSG(::listen(fd, backlog) == 0,
+                   "listen(): " + std::string(std::strerror(errno)));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    VELA_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+               0);
+    if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+    return fd;
+  }
+  VELA_CHECK_MSG(false, "bind(127.0.0.1:"
+                            << port << "): port still in use after "
+                            << bind_attempts << " attempt(s): "
+                            << std::strerror(last_errno));
+  return -1;  // unreachable
+}
+
+int dial_socket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace vela::comm::session

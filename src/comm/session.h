@@ -1,0 +1,135 @@
+// Session-record codec of the socket fabric (DESIGN.md §11, §12).
+//
+// Every byte on a socket-backed lane travels inside a session record. The
+// loopback SocketTransport and the multi-process RemoteSocketTransport speak
+// the SAME stream layout (little-endian):
+//
+//   kData    := u8 1 | u64 seq | u32 frame_len | frame[frame_len]
+//   kAck     := u8 2 | u64 next_expected_seq      (reverse direction)
+//   kHello   := u8 3 | u64 next_expected_seq      (resume handshake)
+//   kGoodbye := u8 4                              (graceful close)
+//   kIdent   := u8 5 | u32 magic | u32 version | u32 rank | u8 lane |
+//               u64 capacity | u64 session_id     (peer discovery, §12)
+//
+// kIdent is the multi-process peer-discovery handshake: the dialing worker
+// announces who it is (rank, lane, hosted-expert capacity) and which
+// transport session it belongs to, layered UNDER the kHello resume records —
+// a reconnecting peer re-identifies with the same session id, then the
+// ordinary hello/ack resume takes over, so reconnect semantics are exactly
+// the single-process session layer's. This codec is shared so the two
+// implementations cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/transport.h"
+
+namespace vela::comm::session {
+
+enum : std::uint8_t {
+  kRecData = 1,
+  kRecAck = 2,
+  kRecHello = 3,
+  kRecGoodbye = 4,
+  kRecIdent = 5,
+};
+
+// "VELA" little-endian; a dialer that opens with anything else is not a
+// vela_node and is rejected by the listener without crashing it.
+inline constexpr std::uint32_t kIdentMagic = 0x414C4556u;
+inline constexpr std::uint32_t kIdentVersion = 1;
+// u8 type + u32 magic + u32 version + u32 rank + u8 lane + u64 capacity +
+// u64 session_id.
+inline constexpr std::size_t kIdentRecordBytes = 30;
+
+// The two lanes of a master↔worker DuplexLink, as announced in kIdent.
+enum : std::uint8_t {
+  kLaneToWorker = 0,  // master → worker data; the dialing worker receives
+  kLaneToMaster = 1,  // worker → master data; the dialing worker sends
+};
+
+// Worker identity carried by a kIdent record.
+struct PeerIdentity {
+  std::uint32_t rank = 0;
+  std::uint8_t lane = kLaneToWorker;
+  std::uint64_t capacity = 0;    // experts the worker hosts at start
+  std::uint64_t session_id = 0;  // stable across reconnects of one process
+};
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v);
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p);
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p);
+
+struct Record {
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;            // kData/kAck/kHello
+  PeerIdentity ident;               // kIdent only
+  bool ident_valid = false;         // magic+version checked out
+  std::vector<std::uint8_t> frame;  // kData only
+};
+
+// Incremental session-record segmenter: the session-envelope counterpart of
+// FrameDecoder (socket reads never align with record boundaries). An unknown
+// record type or an oversize frame length fails a VELA_CHECK — a
+// desynchronized stream cannot be resynchronized. Feed from listener-side
+// handshakes instead goes through next_lenient(), which reports corruption
+// as a rejection rather than aborting the process.
+class RecordParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  [[nodiscard]] bool next(Record* out);
+  // Like next(), but a malformed stream sets *corrupt and returns false
+  // instead of failing a check (the listener rejects the peer and lives on).
+  [[nodiscard]] bool next_lenient(Record* out, bool* corrupt);
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+  // Moves out any bytes buffered past the last extracted record (a
+  // handshake reader hands them to the adopting transport's parser).
+  [[nodiscard]] std::vector<std::uint8_t> take_buffered() {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_data_record(
+    std::uint64_t seq, const std::vector<std::uint8_t>& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_ctrl_record(std::uint8_t type,
+                                                           std::uint64_t seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_ident_record(
+    const PeerIdentity& id);
+
+// --- socket plumbing shared by the loopback and remote backends -------------
+
+// Blocking write with EINTR retry; false on a dead peer.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size);
+
+// Non-blocking write with a real-time budget: used where the only drainer
+// may itself be momentarily stalled (reconnect replay), so a wedged peer
+// fails the attempt instead of deadlocking.
+bool write_all_timed(int fd, const std::uint8_t* data, std::size_t size,
+                     int budget_ms);
+
+// Blocking read of one record with a real-time deadline (handshakes). False
+// on EOF, timeout or — in lenient mode — a malformed stream.
+bool read_record_blocking(int fd, RecordParser* parser, Record* out,
+                          int budget_ms, bool lenient = false);
+
+// Creates a listening TCP socket on 127.0.0.1:`port` with SO_REUSEADDR set.
+// `port` 0 binds an ephemeral port; the actually-bound port is written to
+// *bound_port either way (reported back to the launcher). A bind collision
+// (EADDRINUSE) is retried up to `bind_attempts` times with `retry_delay`
+// slept on `clock` between attempts — bounded, on the injected clock, so
+// collision behavior is testable in virtual time. Returns the listener fd;
+// fails a VELA_CHECK once the attempt budget is exhausted.
+int make_listen_socket(std::uint16_t port, std::uint16_t* bound_port,
+                       int backlog, int bind_attempts,
+                       std::chrono::milliseconds retry_delay,
+                       util::Clock* clock);
+
+// Connects to 127.0.0.1:`port` with TCP_NODELAY. Returns -1 on failure.
+int dial_socket(std::uint16_t port);
+
+}  // namespace vela::comm::session

@@ -89,6 +89,12 @@ std::uint64_t TrafficMeter::step_external_bytes(std::size_t i) const {
   return external_history_[i];
 }
 
+std::uint64_t TrafficMeter::step_total_bytes(std::size_t i) const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  VELA_CHECK(i < total_history_.size());
+  return total_history_[i];
+}
+
 double TrafficMeter::step_external_mb_per_node(std::size_t i) const {
   return static_cast<double>(step_external_bytes(i)) / 1e6 /
          static_cast<double>(topology_->num_nodes());

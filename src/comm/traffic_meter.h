@@ -46,6 +46,8 @@ class TrafficMeter {
   std::size_t num_steps() const;
   // Total cross-node bytes in step `i`.
   std::uint64_t step_external_bytes(std::size_t i) const;
+  // All bytes (intra- plus cross-node) in step `i`.
+  std::uint64_t step_total_bytes(std::size_t i) const;
   // The Fig. 5 series: cross-node MB per node for step `i`.
   double step_external_mb_per_node(std::size_t i) const;
   // Mean of the per-step series.

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "comm/frame.h"
+#include "comm/session.h"
 #include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -120,168 +121,22 @@ void InProcTransport::set_connection_script(const ConnectionScript* script) {
 // is observed at most once above the transport — which is why all byte
 // accounting stays at Message::wire_size() and replays only surface in the
 // informational session counters.
+//
+// The record codec itself lives in comm/session.h, shared with the
+// multi-process RemoteSocketTransport so the two backends cannot drift.
 
 namespace {
 
-enum : std::uint8_t {
-  kRecData = 1,
-  kRecAck = 2,
-  kRecHello = 3,
-  kRecGoodbye = 4,
-};
-
-void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-struct Record {
-  std::uint8_t type = 0;
-  std::uint64_t seq = 0;
-  std::vector<std::uint8_t> frame;  // kData only
-};
-
-// Incremental session-record segmenter: the session-envelope counterpart of
-// FrameDecoder (socket reads never align with record boundaries).
-class RecordParser {
- public:
-  void feed(const std::uint8_t* data, std::size_t size) {
-    buffer_.insert(buffer_.end(), data, data + size);
-  }
-
-  [[nodiscard]] bool next(Record* out) {
-    if (buffer_.empty()) return false;
-    const std::uint8_t type = buffer_[0];
-    std::size_t header = 0;
-    switch (type) {
-      case kRecData:
-        header = kSessionDataOverheadBytes;
-        break;
-      case kRecAck:
-      case kRecHello:
-        header = 1 + sizeof(std::uint64_t);
-        break;
-      case kRecGoodbye:
-        header = 1;
-        break;
-      default:
-        VELA_CHECK_MSG(false, "session stream corrupted: record type "
-                                  << static_cast<int>(type));
-    }
-    if (buffer_.size() < header) return false;
-    std::size_t total = header;
-    if (type == kRecData) {
-      const std::uint32_t len = get_u32(buffer_.data() + 9);
-      VELA_CHECK_MSG(len <= kMaxFrameBodyBytes + kFrameOverheadBytes,
-                     "session stream corrupted: frame length " << len);
-      total += len;
-      if (buffer_.size() < total) return false;
-    }
-    out->type = type;
-    out->seq = type == kRecGoodbye ? 0 : get_u64(buffer_.data() + 1);
-    out->frame.clear();
-    if (type == kRecData) {
-      out->frame.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(header),
-                        buffer_.begin() + static_cast<std::ptrdiff_t>(total));
-    }
-    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
-    return true;
-  }
-
- private:
-  std::vector<std::uint8_t> buffer_;
-};
-
-std::vector<std::uint8_t> encode_data_record(
-    std::uint64_t seq, const std::vector<std::uint8_t>& frame) {
-  std::vector<std::uint8_t> rec;
-  rec.reserve(kSessionDataOverheadBytes + frame.size());
-  rec.push_back(kRecData);
-  put_u64(&rec, seq);
-  put_u32(&rec, static_cast<std::uint32_t>(frame.size()));
-  rec.insert(rec.end(), frame.begin(), frame.end());
-  return rec;
-}
-
-std::vector<std::uint8_t> encode_ctrl_record(std::uint8_t type,
-                                             std::uint64_t seq) {
-  std::vector<std::uint8_t> rec;
-  if (type == kRecGoodbye) {
-    rec.push_back(kRecGoodbye);
-    return rec;
-  }
-  rec.reserve(1 + sizeof(std::uint64_t));
-  rec.push_back(type);
-  put_u64(&rec, seq);
-  return rec;
-}
-
-// Blocking write with EINTR retry; false on a dead peer.
-bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-// Non-blocking write with a real-time budget: used where the only drainer
-// may itself be momentarily stalled (reconnect replay), so a wedged peer
-// fails the attempt instead of deadlocking. Poll deadlines are OS-level
-// waits, the injection point itself. vela-lint: allow(naked-clock)
-bool write_all_timed(int fd, const std::uint8_t* data, std::size_t size,
-                     int budget_ms) {
-  // vela-lint: allow(naked-clock)
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(budget_ms);
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::send(fd, data + off, size - off,
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-      return false;
-    }
-    // vela-lint: allow(naked-clock)
-    const auto remaining = deadline - std::chrono::steady_clock::now();
-    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        remaining)
-                        .count();
-    if (ms <= 0) return false;
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    ::poll(&pfd, 1, static_cast<int>(ms));
-  }
-  return true;
-}
+using session::encode_ctrl_record;
+using session::encode_data_record;
+using session::kRecAck;
+using session::kRecData;
+using session::kRecGoodbye;
+using session::kRecHello;
+using session::Record;
+using session::RecordParser;
+using session::write_all;
+using session::write_all_timed;
 
 }  // namespace
 
@@ -725,35 +580,9 @@ class SocketTransport::Impl {
   }
 
   // Blocking read of one record during the handshake (real-time bounded:
-  // loopback round trip, not protocol time). vela-lint: allow(naked-clock)
+  // loopback round trip, not protocol time).
   bool read_record_blocking(int fd, RecordParser* parser, Record* out) {
-    const auto deadline =
-        // vela-lint: allow(naked-clock)
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
-    while (!parser->next(out)) {
-      // vela-lint: allow(naked-clock)
-      const auto remaining = deadline - std::chrono::steady_clock::now();
-      const auto ms =
-          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
-              .count();
-      if (ms <= 0) return false;
-      pollfd pfd{};
-      pfd.fd = fd;
-      pfd.events = POLLIN;
-      const int ready = ::poll(&pfd, 1, static_cast<int>(ms));
-      if (ready <= 0) {
-        if (ready < 0 && errno == EINTR) continue;
-        return false;
-      }
-      std::uint8_t buf[4096];
-      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        return false;
-      }
-      parser->feed(buf, static_cast<std::size_t>(n));
-    }
-    return true;
+    return session::read_record_blocking(fd, parser, out, /*budget_ms=*/2000);
   }
 
   util::Clock* clock_;

@@ -183,10 +183,13 @@ class InProcTransport final : public Transport {
 };
 
 // Real-socket backend: a loopback TCP connection whose two file descriptors
-// are both owned by this object (the remote-process split is a later PR).
-// The constructor performs the blocking handshake — listen on an ephemeral
-// 127.0.0.1 port, connect, accept — and RETAINS the listener so a severed
-// connection can be re-established (session resume, DESIGN.md §11).
+// are both owned by this object. The constructor performs the blocking
+// handshake — listen on an ephemeral 127.0.0.1 port, connect, accept — and
+// RETAINS the listener so a severed connection can be re-established
+// (session resume, DESIGN.md §11). The remote-process split — where the two
+// halves live in different OS processes — is RemoteSocketTransport
+// (comm/remote_transport.h, DESIGN.md §12); both speak the shared session
+// codec in comm/session.h.
 class SocketTransport final : public Transport {
  public:
   // `clock` drives backoff sleeps and defaults to the system clock;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/peer_listener.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -51,6 +52,56 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
   broker_ = std::make_unique<ExpertBroker>(rlink_ptrs, &placement_, num_layers,
                                            spec_template_.wire_bits,
                                            spec_template_.quantize_wire);
+}
+
+MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
+                             const WorkerSpec& spec_template,
+                             placement::Placement placement,
+                             std::size_t num_layers, std::size_t num_experts,
+                             const RemoteFleetConfig& remote)
+    : topology_(topology),
+      transport_(comm::TransportKind::kSocket),
+      meter_(&topology_),
+      placement_(std::move(placement)),
+      spec_template_(spec_template),
+      num_layers_(num_layers),
+      num_experts_(num_experts),
+      remote_(true) {
+  VELA_CHECK(placement_.num_layers() == num_layers &&
+             placement_.num_experts() == num_experts);
+  VELA_CHECK_MSG(remote.listener != nullptr,
+                 "a remote fleet needs a PeerListener to adopt workers from");
+  const std::size_t n = topology_.num_workers();
+  const std::size_t master_node = topology_.master_node();
+
+  links_.reserve(n);
+  workers_.reserve(n);
+  rlinks_.reserve(n);
+  respawn_counts_.assign(n, 0);
+  dead_.assign(n, false);
+  for (std::size_t w = 0; w < n; ++w) {
+    auto link = comm::make_master_remote_link(
+        *remote.listener, static_cast<std::uint32_t>(w),
+        placement_.experts_of(w).size(), master_node,
+        topology_.worker_node(w), &meter_, remote.accept_timeout,
+        remote.reconnect, remote.clock);
+    VELA_CHECK_MSG(link != nullptr,
+                   "worker " << w << " never dialed in (waited "
+                             << remote.accept_timeout.count() << "ms)");
+    links_.push_back(std::move(link));
+    // The worker runtime lives in its own process (core/node_runtime.h);
+    // this slot only marks the rank as occupied.
+    workers_.push_back(nullptr);
+    rlinks_.push_back(
+        std::make_unique<ReliableLink>(w, links_.back().get(), &retry_policy_));
+  }
+  std::vector<ReliableLink*> rlink_ptrs;
+  for (auto& rl : rlinks_) rlink_ptrs.push_back(rl.get());
+  broker_ = std::make_unique<ExpertBroker>(rlink_ptrs, &placement_, num_layers,
+                                           spec_template_.wire_bits,
+                                           spec_template_.quantize_wire);
+  VELA_LOG_INFO("master") << "remote fleet assembled: " << n
+                          << " worker process(es)";
 }
 
 MasterProcess::~MasterProcess() { shutdown(); }
@@ -315,22 +366,37 @@ void MasterProcess::respawn_worker(std::size_t w) {
   // Tear down whatever is left: close both directions (unblocks a wedged
   // thread) and join. join() is a no-op if the thread already exited.
   links_[w]->close();
-  workers_[w]->join();
+  if (workers_[w] != nullptr) workers_[w]->join();
 
-  auto fresh = comm::make_duplex_link(
-      transport_, topology_.master_node(), topology_.worker_node(w), &meter_);
+  std::unique_ptr<comm::DuplexLink> fresh;
+  if (remote_) {
+    // respawn_within_budget gated on the hook; reaching here without one is
+    // a driver bug, not a recoverable condition.
+    VELA_CHECK_MSG(remote_respawner_ != nullptr,
+                   "remote worker " << w << " respawn without a respawner");
+    fresh = remote_respawner_(w);
+    VELA_CHECK_MSG(fresh != nullptr,
+                   "remote respawner produced no link for worker " << w);
+  } else {
+    fresh = comm::make_duplex_link(transport_, topology_.master_node(),
+                                   topology_.worker_node(w), &meter_);
+  }
   if (injector_ != nullptr) fresh->set_fault_injector(injector_, w);
   links_[w] = std::move(fresh);
   rlinks_[w]->reset(links_[w].get());
 
-  WorkerSpec spec = spec_template_;
-  spec.worker_id = w;
-  spec.node = topology_.worker_node(w);
-  // Start empty: every expert is reinstalled over the wire so recovery
-  // traffic is measured, exactly like migration traffic.
-  workers_[w] = std::make_unique<ExpertWorker>(spec, links_[w].get(),
-                                               std::vector<ExpertKey>{});
-  workers_[w]->start();
+  if (!remote_) {
+    WorkerSpec spec = spec_template_;
+    spec.worker_id = w;
+    spec.node = topology_.worker_node(w);
+    // Start empty: every expert is reinstalled over the wire so recovery
+    // traffic is measured, exactly like migration traffic. (A remote
+    // replacement process also starts expert-less by contract — the
+    // respawner relaunches vela_node with an empty assignment.)
+    workers_[w] = std::make_unique<ExpertWorker>(spec, links_[w].get(),
+                                                 std::vector<ExpertKey>{});
+    workers_[w]->start();
+  }
   ++workers_recovered_;
   ++respawn_counts_[w];
   if (monitor_ != nullptr) monitor_->reset_peer(w);
@@ -352,6 +418,15 @@ void MasterProcess::respawn_worker(std::size_t w) {
 
 bool MasterProcess::respawn_within_budget(std::size_t w) {
   if (dead_[w]) return false;
+  if (remote_ && remote_respawner_ == nullptr) {
+    // No way to restart a process from here: skip straight to the degrade
+    // path. Killing a worker must shrink the fleet, never hang the step.
+    VELA_LOG_WARN("master") << "remote worker " << w
+                            << " failed and no respawner is installed; "
+                            << "declaring it dead";
+    mark_worker_dead(w);
+    return false;
+  }
   if (respawn_budget_ >= 0 && respawn_counts_[w] >= respawn_budget_) {
     VELA_LOG_WARN("master") << "worker " << w << " exhausted its respawn "
                             << "budget (" << respawn_budget_
@@ -420,7 +495,7 @@ void MasterProcess::mark_worker_dead(std::size_t w) {
   // Tear down the channel and thread exactly like a respawn would, but
   // permanently: the slot is never rebuilt.
   links_[w]->close();
-  workers_[w]->join();
+  if (workers_[w] != nullptr) workers_[w]->join();
   rlinks_[w]->abandon_outstanding();
   // Standby replicas hosted on the dead worker are gone with it.
   for (auto it = standbys_.begin(); it != standbys_.end();) {
@@ -537,8 +612,12 @@ void MasterProcess::shutdown() {
   }
   // close() wakes any worker blocked in receive() once its backlog drains,
   // so join() cannot hang even for workers that never saw the kShutdown.
+  // Remote fleets have no threads to join — the kShutdown plus the goodbye
+  // that close() sends let each vela_node process exit on its own.
   for (auto& link : links_) link->close();
-  for (auto& worker : workers_) worker->join();
+  for (auto& worker : workers_) {
+    if (worker != nullptr) worker->join();
+  }
 }
 
 }  // namespace vela::core

@@ -14,6 +14,8 @@
 // VelaSystem; MasterProcess is reusable runtime plumbing.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -40,6 +42,18 @@ struct RecoveryReport {
   std::vector<std::size_t> declared_dead;
 };
 
+// Options of the remote-fleet constructor (DESIGN.md §12): the workers are
+// separate OS processes (vela_node) dialing `listener`, not threads spawned
+// here. `accept_timeout` bounds how long construction waits for each worker
+// to appear; `reconnect`/`clock` parameterize session resume after a torn
+// connection.
+struct RemoteFleetConfig {
+  comm::PeerListener* listener = nullptr;
+  std::chrono::milliseconds accept_timeout{30000};
+  comm::ReconnectPolicy reconnect;
+  util::Clock* clock = nullptr;
+};
+
 class MasterProcess {
  public:
   // Spawns one worker per cluster device, hosting the experts `placement`
@@ -53,6 +67,18 @@ class MasterProcess {
                 placement::Placement placement, std::size_t num_layers,
                 std::size_t num_experts,
                 comm::TransportKind transport = comm::TransportKind::kDefault);
+
+  // Remote fleet (DESIGN.md §12): adopts one worker PROCESS per cluster
+  // device from `remote.listener` instead of spawning threads. Each worker
+  // must dial both lanes and identify itself within `remote.accept_timeout`
+  // (a missing worker fails construction — the launcher propagates it as a
+  // crash). Everything above the links — broker, retry layer, liveness,
+  // recovery — is shared with the in-process fleet; the protocol and the
+  // metering are identical by construction.
+  MasterProcess(const cluster::ClusterTopology& topology,
+                const WorkerSpec& spec_template,
+                placement::Placement placement, std::size_t num_layers,
+                std::size_t num_experts, const RemoteFleetConfig& remote);
   ~MasterProcess();
 
   MasterProcess(const MasterProcess&) = delete;
@@ -72,6 +98,12 @@ class MasterProcess {
   const cluster::ClusterTopology& topology() const { return topology_; }
   const placement::Placement& placement() const { return placement_; }
   std::size_t num_workers() const { return workers_.size(); }
+  // True when the fleet lives in other OS processes (remote-fleet ctor).
+  bool remote_fleet() const { return remote_; }
+  // The duplex link of worker `w` — per-lane byte counters for the
+  // --processes bench emitters (bytes_sent on to_worker, bytes_received on
+  // to_master; in a remote fleet the far halves are in another process).
+  const comm::DuplexLink& link(std::size_t w) const { return *links_[w]; }
 
   // Ends a fine-tuning step: tells every worker to apply its local AdamW and
   // waits for all acks. When `scheduled_lr` >= 0 it is installed on the
@@ -175,6 +207,16 @@ class MasterProcess {
   // Tears down and rebuilds one worker; recover_step() drives this.
   void respawn_worker(std::size_t w);
 
+  // Remote fleets cannot rebuild a worker by spawning a thread: the hook
+  // supplies a fresh link to a REPLACEMENT process (typically: relaunch
+  // vela_node with the same rank, then make_master_remote_link again).
+  // Without a hook a remote worker failure skips respawn and goes straight
+  // to mark_worker_dead → degrade, which is the desired no-hang default.
+  void set_remote_respawner(
+      std::function<std::unique_ptr<comm::DuplexLink>(std::size_t)> fn) {
+    remote_respawner_ = std::move(fn);
+  }
+
   // --- fault accounting ------------------------------------------------------
   // Aggregated retry-layer counters over all links.
   FaultStats fault_stats() const;
@@ -204,7 +246,12 @@ class MasterProcess {
   std::size_t num_experts_ = 0;
   RetryPolicy retry_policy_;  // must outlive rlinks_ (they point at it)
   std::vector<std::unique_ptr<comm::DuplexLink>> links_;
+  // In a remote fleet every entry is nullptr (the worker is a process at
+  // the far end of the link); all join()/start sites are guarded on it.
   std::vector<std::unique_ptr<ExpertWorker>> workers_;
+  bool remote_ = false;
+  std::function<std::unique_ptr<comm::DuplexLink>(std::size_t)>
+      remote_respawner_;
   std::vector<std::unique_ptr<ReliableLink>> rlinks_;
   std::unique_ptr<ExpertBroker> broker_;
   comm::FaultInjector* injector_ = nullptr;

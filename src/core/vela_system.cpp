@@ -12,11 +12,9 @@
 
 namespace vela::core {
 
-namespace {
-
-placement::Placement sequential_placement(std::size_t num_layers,
-                                          std::size_t num_experts,
-                                          std::size_t num_workers) {
+placement::Placement initial_placement(std::size_t num_layers,
+                                       std::size_t num_experts,
+                                       std::size_t num_workers) {
   placement::Placement p(num_layers, num_experts);
   for (std::size_t l = 0; l < num_layers; ++l) {
     for (std::size_t e = 0; e < num_experts; ++e) {
@@ -26,7 +24,20 @@ placement::Placement sequential_placement(std::size_t num_layers,
   return p;
 }
 
-}  // namespace
+WorkerSpec make_worker_spec(const VelaSystemConfig& cfg, std::size_t worker_id,
+                            std::size_t node) {
+  WorkerSpec spec;
+  spec.worker_id = worker_id;
+  spec.node = node;
+  spec.model_dim = cfg.model.model_dim;
+  spec.hidden_dim = cfg.model.hidden_dim;
+  spec.lora = cfg.model.lora;
+  spec.adamw = cfg.adamw;
+  spec.base_seed = cfg.seed;
+  spec.wire_bits = cfg.wire_bits;
+  spec.quantize_wire = cfg.quantize_wire;
+  return spec;
+}
 
 VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
                        const data::SyntheticCorpus* plant_corpus,
@@ -38,22 +49,32 @@ VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
   VELA_LOG_INFO("vela") << "thread pool: "
                         << util::ThreadPool::global().size() << " lane(s)";
   cluster::ClusterTopology topology(cfg.cluster);
-
-  WorkerSpec spec;
-  spec.model_dim = cfg.model.model_dim;
-  spec.hidden_dim = cfg.model.hidden_dim;
-  spec.lora = cfg.model.lora;
-  spec.adamw = cfg.adamw;
-  spec.base_seed = cfg.seed;
-  spec.wire_bits = cfg.wire_bits;
-  spec.quantize_wire = cfg.quantize_wire;
-
   master_ = std::make_unique<MasterProcess>(
-      topology, spec,
-      sequential_placement(cfg.model.num_layers, cfg.model.num_experts,
-                           topology.num_workers()),
+      topology, make_worker_spec(cfg, 0, 0),
+      initial_placement(cfg.model.num_layers, cfg.model.num_experts,
+                        topology.num_workers()),
       cfg.model.num_layers, cfg.model.num_experts, cfg.transport);
+  init(plant_corpus, planting);
+}
 
+VelaSystem::VelaSystem(const VelaSystemConfig& cfg,
+                       std::unique_ptr<MasterProcess> master,
+                       const data::SyntheticCorpus* plant_corpus,
+                       const model::PlantingConfig& planting)
+    : cfg_(cfg), master_(std::move(master)) {
+  VELA_CHECK_MSG(master_ != nullptr,
+                 "pre-built-fleet VelaSystem needs a MasterProcess");
+  VELA_CHECK_MSG(master_->placement().num_layers() == cfg.model.num_layers &&
+                     master_->placement().num_experts() ==
+                         cfg.model.num_experts,
+                 "pre-built fleet hosts a different expert grid than "
+                 "cfg.model describes");
+  init(plant_corpus, planting);
+}
+
+void VelaSystem::init(const data::SyntheticCorpus* plant_corpus,
+                      const model::PlantingConfig& planting) {
+  const VelaSystemConfig& cfg = cfg_;
   Rng model_rng(cfg.seed);
   model_ = std::make_unique<model::MoETransformer>(
       cfg.model, &master_->broker(), model_rng, /*trainable_gate=*/false);

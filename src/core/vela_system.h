@@ -113,6 +113,21 @@ struct FaultToleranceConfig {
   util::Clock* clock = nullptr;
 };
 
+// The initial (pre-optimization) placement every mode starts from: expert e
+// of every layer on worker e mod W. Exported so a remote vela_node process
+// derives the SAME expert assignment for its rank that the master derives
+// when adopting it — single source of truth (DESIGN.md §12).
+placement::Placement initial_placement(std::size_t num_layers,
+                                       std::size_t num_experts,
+                                       std::size_t num_workers);
+
+// The WorkerSpec a VelaSystem built from `cfg` gives worker `worker_id` on
+// cluster node `node`. Exported for the same reason as initial_placement:
+// a worker process must rebuild bit-identical frozen bases and optimizer
+// settings from the scenario alone.
+WorkerSpec make_worker_spec(const VelaSystemConfig& cfg, std::size_t worker_id,
+                            std::size_t node);
+
 class VelaSystem {
  public:
   // Builds the cluster, spawns workers under an initial sequential
@@ -120,6 +135,15 @@ class VelaSystem {
   // If `plant_corpus` is provided, pre-trained expert locality is planted
   // for it before any worker computation happens.
   VelaSystem(const VelaSystemConfig& cfg,
+             const data::SyntheticCorpus* plant_corpus = nullptr,
+             const model::PlantingConfig& planting = {});
+
+  // Wraps a pre-built fleet — the multi-process deployment path, where the
+  // MasterProcess was assembled from a PeerListener (remote-fleet ctor)
+  // before the system exists. `master` must host cfg.model's expert grid
+  // under initial_placement; everything above the fleet (backbone, broker
+  // wiring, optimizer, clock) is identical to the spawning constructor.
+  VelaSystem(const VelaSystemConfig& cfg, std::unique_ptr<MasterProcess> master,
              const data::SyntheticCorpus* plant_corpus = nullptr,
              const model::PlantingConfig& planting = {});
 
@@ -200,6 +224,11 @@ class VelaSystem {
   const std::vector<StepReport>& history() const { return history_; }
 
  private:
+  // Shared tail of both constructors: model, planting, optimizer, comm
+  // clock and overlap depth on top of an already-built master_.
+  void init(const data::SyntheticCorpus* plant_corpus,
+            const model::PlantingConfig& planting);
+
   // Degrades to the survivors when a recovery pass declared workers dead:
   // re-solves the placement for the reduced fleet (degrade_placement) and
   // migrates the orphaned experts. No-op when nothing died.

@@ -1,0 +1,533 @@
+// Multi-process scale-out suite (`ctest -L multiproc`, DESIGN.md §12).
+//
+// Everything here runs REAL vela_node OS processes against this process
+// playing master — no in-process shortcuts on the deployment side. The
+// suite covers, bottom up:
+//
+//   * listen-side port handling — SO_REUSEADDR, ephemeral port-0 binding
+//     with the bound port reported back, bounded bind-collision retry on
+//     the injected clock;
+//   * the kIdent peer-discovery handshake — malformed, truncated and
+//     duplicate-identity connections are rejected without taking the
+//     listener down; a full fleet dialing concurrently and a straggler
+//     dialing late are both handled;
+//   * the headline cross-mode bit-exactness gate — a multi-process N=6
+//     two-step fine-tune must match the in-process socket run (and the
+//     in-process inproc run) bit for bit: losses, serialized weights,
+//     per-phase TrafficMeter ledgers, broker request counts;
+//   * elastic behavior — SIGKILLing a worker process mid-run degrades to
+//     the survivors (and equals a fresh reduced-topology run), or, with a
+//     respawner installed, relaunches a replacement vela_node that is
+//     restocked over the wire;
+//   * the audited variant — a multi-process run under the runtime auditors
+//     must report zero violations.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/endpoint.h"
+#include "comm/peer_listener.h"
+#include "comm/session.h"
+#include "core/node_runtime.h"
+#include "core/scenario.h"
+#include "util/audit.h"
+#include "util/check.h"
+#include "util/clock.h"
+
+namespace vela {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Compile-time path to the vela_node binary (set in tests/CMakeLists.txt);
+// VELA_NODE_BIN in the environment overrides it.
+std::string node_bin() {
+  if (const char* env = std::getenv("VELA_NODE_BIN")) return env;
+#ifdef VELA_NODE_BIN
+  return VELA_NODE_BIN;
+#else
+  ADD_FAILURE() << "VELA_NODE_BIN is neither compiled in nor in the env";
+  return "";
+#endif
+}
+
+core::MultiProcOptions proc_options(const std::string& tag) {
+  core::MultiProcOptions opts;
+  opts.node_binary = node_bin();
+  opts.log_dir = "mproc_logs_" + tag;
+  std::filesystem::create_directories(opts.log_dir);
+  // Keep the master-side reconnect budget small: a SIGKILLed worker should
+  // fail over in milliseconds of test time, not the production default.
+  opts.reconnect.max_attempts = 2;
+  opts.reconnect.backoff_base = 5ms;
+  opts.reconnect.backoff_max = 20ms;
+  return opts;
+}
+
+core::RetryPolicy fast_retry() {
+  core::RetryPolicy policy;
+  policy.timeout = std::chrono::milliseconds(120);
+  policy.max_retries = 4;
+  policy.backoff = 2.0;
+  return policy;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Spin (real time) until `pred` holds or `budget` elapses — for listener
+// counters that a detached accept thread bumps.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+int dial_and_ident(std::uint16_t port, const comm::session::PeerIdentity& id) {
+  const int fd = comm::session::dial_socket(port);
+  EXPECT_GE(fd, 0);
+  const auto rec = comm::session::encode_ident_record(id);
+  EXPECT_TRUE(comm::session::write_all(fd, rec.data(), rec.size()));
+  return fd;
+}
+
+// --- listen-side port handling (satellite 1) ---------------------------------
+
+TEST(ListenSocket, EphemeralPortIsReportedAndReuseAddrIsSet) {
+  std::uint16_t bound = 0;
+  const int fd = comm::session::make_listen_socket(
+      0, &bound, 8, /*bind_attempts=*/1, 0ms, nullptr);
+  ASSERT_GE(fd, 0);
+  EXPECT_GT(bound, 0);  // port 0 never comes back; the real port does
+
+  int reuse = 0;
+  socklen_t len = sizeof(reuse);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, &len), 0);
+  EXPECT_NE(reuse, 0);
+
+  // A second ephemeral listener coexists on its own distinct port.
+  std::uint16_t bound2 = 0;
+  const int fd2 = comm::session::make_listen_socket(
+      0, &bound2, 8, /*bind_attempts=*/1, 0ms, nullptr);
+  ASSERT_GE(fd2, 0);
+  EXPECT_NE(bound2, bound);
+  ::close(fd2);
+  ::close(fd);
+}
+
+TEST(ListenSocket, BindCollisionRetryIsBoundedOnTheInjectedClock) {
+  // Occupy a port, then collide with it on a FakeClock: the retry loop must
+  // sleep exactly (attempts - 1) times on the INJECTED clock and then give
+  // up loudly — no unbounded spinning, no wall-clock sleeps.
+  std::uint16_t occupied = 0;
+  const int holder = comm::session::make_listen_socket(
+      0, &occupied, 8, /*bind_attempts=*/1, 0ms, nullptr);
+  ASSERT_GE(holder, 0);
+
+  util::FakeClock clock;
+  std::uint16_t bound = 0;
+  EXPECT_THROW(comm::session::make_listen_socket(occupied, &bound, 8,
+                                                 /*bind_attempts=*/3, 25ms,
+                                                 &clock),
+               CheckError);
+  EXPECT_EQ(clock.sleep_calls(), 2u);
+  EXPECT_EQ(clock.total_slept(), 50ms);
+  ::close(holder);
+}
+
+TEST(ListenSocket, CollisionResolvedMidRetrySucceedsOnTheSamePort) {
+  std::uint16_t occupied = 0;
+  int holder = comm::session::make_listen_socket(0, &occupied, 8, 1, 0ms,
+                                                 nullptr);
+  ASSERT_GE(holder, 0);
+
+  util::FakeClock clock;
+  std::uint16_t bound = 0;
+  int fd = -1;
+  std::thread binder([&] {
+    fd = comm::session::make_listen_socket(occupied, &bound, 8,
+                                           /*bind_attempts=*/100000, 1ms,
+                                           &clock);
+  });
+  // Let it collide a few times, then free the port: the next attempt wins.
+  ASSERT_TRUE(eventually([&] { return clock.sleep_calls() >= 3; }));
+  ::close(holder);
+  binder.join();
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(bound, occupied);
+  EXPECT_GE(clock.sleep_calls(), 3u);
+  ::close(fd);
+}
+
+// --- kIdent handshake properties (satellite 2) -------------------------------
+
+TEST(PeerListenerHandshake, MalformedOpenerIsRejectedAndListenerLivesOn) {
+  auto listener = comm::make_peer_listener({});
+  // Not a vela_node: an HTTP-ish opener must be rejected, not crash us.
+  const int fd = comm::session::dial_socket(listener->bound_port());
+  ASSERT_GE(fd, 0);
+  const std::string garbage = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+  ASSERT_TRUE(comm::session::write_all(
+      fd, reinterpret_cast<const std::uint8_t*>(garbage.data()),
+      garbage.size()));
+  EXPECT_TRUE(
+      eventually([&] { return listener->rejected_malformed() == 1; }));
+  ::close(fd);
+
+  // The listener still accepts a well-formed peer afterwards.
+  const int good = dial_and_ident(listener->bound_port(),
+                                  {7, comm::session::kLaneToWorker, 3, 42});
+  auto peer = listener->take_peer(7, comm::session::kLaneToWorker, 3000ms);
+  ASSERT_TRUE(peer.valid());
+  EXPECT_EQ(peer.id.rank, 7u);
+  EXPECT_EQ(peer.id.capacity, 3u);
+  EXPECT_EQ(peer.id.session_id, 42u);
+  ::close(peer.fd);
+  ::close(good);
+  EXPECT_EQ(listener->accepted_peers(), 1u);
+}
+
+TEST(PeerListenerHandshake, TruncatedIdentIsRejectedOnDialerDeath) {
+  auto listener = comm::make_peer_listener({});
+  const int fd = comm::session::dial_socket(listener->bound_port());
+  ASSERT_GE(fd, 0);
+  const auto rec = comm::session::encode_ident_record(
+      {3, comm::session::kLaneToMaster, 1, 99});
+  ASSERT_EQ(rec.size(), comm::session::kIdentRecordBytes);
+  // First 10 bytes only, then hang up mid-record.
+  ASSERT_TRUE(comm::session::write_all(fd, rec.data(), 10));
+  ::close(fd);
+  EXPECT_TRUE(
+      eventually([&] { return listener->rejected_malformed() == 1; }));
+  EXPECT_EQ(listener->accepted_peers(), 0u);
+}
+
+TEST(PeerListenerHandshake, BadLaneAndBadMagicAreBothMalformed) {
+  auto listener = comm::make_peer_listener({});
+  // Lane out of range.
+  const int fd1 = dial_and_ident(listener->bound_port(), {0, 9, 0, 1});
+  EXPECT_TRUE(
+      eventually([&] { return listener->rejected_malformed() == 1; }));
+  ::close(fd1);
+  // Wrong magic: corrupt the magic field of an otherwise valid record.
+  auto rec = comm::session::encode_ident_record(
+      {0, comm::session::kLaneToWorker, 0, 1});
+  rec[1] ^= 0xFF;
+  const int fd2 = comm::session::dial_socket(listener->bound_port());
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(comm::session::write_all(fd2, rec.data(), rec.size()));
+  EXPECT_TRUE(
+      eventually([&] { return listener->rejected_malformed() == 2; }));
+  ::close(fd2);
+  EXPECT_EQ(listener->accepted_peers(), 0u);
+}
+
+TEST(PeerListenerHandshake, DuplicateIdentityIsRejectedFirstOneWins) {
+  auto listener = comm::make_peer_listener({});
+  const int first = dial_and_ident(listener->bound_port(),
+                                   {2, comm::session::kLaneToWorker, 4, 111});
+  ASSERT_TRUE(eventually([&] { return listener->accepted_peers() == 1; }));
+  // Same (rank, lane), different session: a second FRESH claimant while one
+  // is pending is a duplicate, not a resume.
+  const int second = dial_and_ident(listener->bound_port(),
+                                    {2, comm::session::kLaneToWorker, 4, 222});
+  EXPECT_TRUE(
+      eventually([&] { return listener->rejected_duplicate() == 1; }));
+
+  auto peer = listener->take_peer(2, comm::session::kLaneToWorker, 3000ms);
+  ASSERT_TRUE(peer.valid());
+  EXPECT_EQ(peer.id.session_id, 111u);  // the first dialer won
+  ::close(peer.fd);
+  ::close(first);
+  ::close(second);
+}
+
+TEST(PeerListenerHandshake, WholeFleetDialingConcurrentlyIsSorted) {
+  // The launcher's startup pattern: N ranks × 2 lanes all dial at once.
+  constexpr std::uint32_t kRanks = 6;
+  auto listener = comm::make_peer_listener({});
+  std::vector<std::thread> dialers;
+  std::vector<int> fds(kRanks * 2, -1);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    for (std::uint8_t lane = 0; lane < 2; ++lane) {
+      dialers.emplace_back([&, r, lane] {
+        fds[r * 2 + lane] = dial_and_ident(
+            listener->bound_port(), {r, lane, r, 1000 + r});
+      });
+    }
+  }
+  for (auto& t : dialers) t.join();
+
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    for (std::uint8_t lane = 0; lane < 2; ++lane) {
+      auto peer = listener->take_peer(r, lane, 5000ms);
+      ASSERT_TRUE(peer.valid()) << "rank " << r << " lane " << int(lane);
+      EXPECT_EQ(peer.id.rank, r);
+      EXPECT_EQ(peer.id.lane, lane);
+      EXPECT_EQ(peer.id.capacity, r);
+      EXPECT_EQ(peer.id.session_id, 1000u + r);
+      ::close(peer.fd);
+    }
+  }
+  EXPECT_EQ(listener->accepted_peers(), kRanks * 2);
+  EXPECT_EQ(listener->rejected_malformed(), 0u);
+  EXPECT_EQ(listener->rejected_duplicate(), 0u);
+  for (const int fd : fds) ::close(fd);
+}
+
+TEST(PeerListenerHandshake, StragglerAfterAcceptDelayIsStillClaimed) {
+  auto listener = comm::make_peer_listener({});
+  comm::AcceptedPeer peer;
+  std::thread claimer([&] {
+    // take_peer blocks FIRST; the peer dials well after the wait started.
+    peer = listener->take_peer(5, comm::session::kLaneToMaster, 5000ms);
+  });
+  std::this_thread::sleep_for(200ms);
+  const int fd = dial_and_ident(listener->bound_port(),
+                                {5, comm::session::kLaneToMaster, 2, 7});
+  claimer.join();
+  ASSERT_TRUE(peer.valid());
+  EXPECT_EQ(peer.id.rank, 5u);
+  ::close(peer.fd);
+  ::close(fd);
+}
+
+TEST(PeerListenerHandshake, TakePeerTimesOutInvalidWhenNobodyDials) {
+  auto listener = comm::make_peer_listener({});
+  const auto t0 = std::chrono::steady_clock::now();
+  auto peer = listener->take_peer(0, comm::session::kLaneToWorker, 50ms);
+  EXPECT_FALSE(peer.valid());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 50ms);
+}
+
+// --- the cross-mode bit-exactness gate (tentpole) ----------------------------
+
+void expect_artifacts_equal(const core::FineTuneArtifacts& a,
+                            const core::FineTuneArtifacts& b,
+                            const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (std::size_t i = 0; i < a.losses.size(); ++i) {
+    EXPECT_EQ(a.losses[i], b.losses[i]) << "loss diverged at step " << i;
+  }
+  EXPECT_EQ(a.step_external_bytes, b.step_external_bytes);
+  EXPECT_EQ(a.step_total_bytes, b.step_total_bytes);
+  EXPECT_EQ(a.step_recovery_bytes, b.step_recovery_bytes);
+  EXPECT_EQ(a.lifetime_external_bytes, b.lifetime_external_bytes);
+  EXPECT_EQ(a.lifetime_total_bytes, b.lifetime_total_bytes);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(CrossModeGate, MultiProcessMatchesInProcessRunsBitForBit) {
+  const core::Scenario scenario;  // N=6 workers, 2 steps, tiny_test
+
+  // Reference runs: the fleet as threads, on both in-process backends.
+  const core::FineTuneArtifacts inproc = core::run_in_process(
+      scenario, comm::TransportKind::kInProc, "gate_inproc.ckpt");
+  const core::FineTuneArtifacts socket = core::run_in_process(
+      scenario, comm::TransportKind::kSocket, "gate_socket.ckpt");
+
+  // The deployment under test: the fleet as vela_node OS processes.
+  core::FineTuneArtifacts proc;
+  int fleet_rc = -1;
+  {
+    core::MultiProcCluster cluster(scenario, proc_options("gate"));
+    EXPECT_EQ(cluster.num_workers(), scenario.workers);
+    EXPECT_GT(cluster.port(), 0);
+    proc = core::run_fine_tune(cluster.system(), scenario, cluster.corpus(),
+                               "gate_proc.ckpt");
+    fleet_rc = cluster.shutdown_and_wait();
+  }
+  EXPECT_EQ(fleet_rc, 0) << "a vela_node process exited uncleanly";
+
+  ASSERT_EQ(proc.losses.size(), scenario.steps);
+  for (const float loss : proc.losses) EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(proc.lifetime_external_bytes, 0u);
+  EXPECT_GT(proc.requests, 0u);
+
+  expect_artifacts_equal(proc, socket, "processes vs in-process socket");
+  expect_artifacts_equal(proc, inproc, "processes vs in-process inproc");
+
+  // Weights: the serialized checkpoints must be byte-identical.
+  const std::string proc_ckpt = slurp("gate_proc.ckpt");
+  EXPECT_FALSE(proc_ckpt.empty());
+  EXPECT_EQ(proc_ckpt, slurp("gate_socket.ckpt"));
+  EXPECT_EQ(proc_ckpt, slurp("gate_inproc.ckpt"));
+}
+
+TEST(CrossModeGate, MultiProcessRunIsReproducible) {
+  // Same scenario, two independent deployments: everything must repeat —
+  // process scheduling and socket interleaving must not leak into results.
+  core::Scenario scenario;
+  scenario.workers = 4;
+  core::FineTuneArtifacts runs[2];
+  for (auto& run : runs) {
+    core::MultiProcCluster cluster(scenario, proc_options("repro"));
+    run = core::run_fine_tune(cluster.system(), scenario, cluster.corpus());
+    EXPECT_EQ(cluster.shutdown_and_wait(), 0);
+  }
+  expect_artifacts_equal(runs[0], runs[1], "deployment A vs deployment B");
+}
+
+// --- kill a worker: degrade or respawn (satellite 3) -------------------------
+
+TEST(MultiProcDegrade, KilledWorkerDegradesAndMatchesReducedTopologyRun) {
+  core::Scenario scenario;
+  scenario.steps = 3;
+
+  core::FaultToleranceConfig ft;
+  ft.retry = fast_retry();
+  ft.snapshot_interval = 1;
+  ft.respawn_budget = 0;  // no respawner installed → first failure degrades
+
+  // Run A: multi-process; worker 2's PROCESS is SIGKILLed before step 0.
+  std::vector<float> losses_a;
+  placement::Placement degraded;
+  int fleet_rc = -1;
+  {
+    core::MultiProcCluster cluster(scenario, proc_options("kill"));
+    cluster.system().enable_fault_tolerance(ft);
+    cluster.worker(2).kill(SIGKILL);
+    ASSERT_NE(cluster.worker(2).wait(), 0);  // 137: killed, not exited
+
+    const core::FineTuneArtifacts art =
+        core::run_fine_tune(cluster.system(), scenario, cluster.corpus());
+    losses_a = art.losses;
+    for (const float loss : losses_a) ASSERT_TRUE(std::isfinite(loss));
+    // Recovery (migration) bytes were charged to the step that degraded.
+    EXPECT_GT(art.step_recovery_bytes[0], 0u);
+
+    auto& master = cluster.system().master();
+    EXPECT_TRUE(master.dead_mask()[2]);
+    EXPECT_EQ(master.num_live_workers(), scenario.workers - 1);
+    degraded = master.placement();
+    for (std::size_t l = 0; l < degraded.num_layers(); ++l) {
+      for (std::size_t e = 0; e < degraded.num_experts(); ++e) {
+        EXPECT_NE(degraded.worker_of(l, e), 2u);
+      }
+    }
+    fleet_rc = cluster.shutdown_and_wait();
+  }
+  // The fleet's worst exit code is the SIGKILLed worker — propagated, and
+  // the run did NOT hang waiting for it.
+  EXPECT_EQ(fleet_rc, 128 + SIGKILL);
+
+  // Run B: an in-process fleet that STARTS on A's degraded placement. The
+  // kill landed before any optimizer step, so both runs carry identical
+  // state onto the survivors — the trajectories must match bit for bit.
+  std::vector<float> losses_b;
+  {
+    core::VelaSystemConfig cfg = scenario.system_config(/*remote=*/false);
+    cfg.transport = comm::TransportKind::kSocket;
+    data::SyntheticCorpus corpus(scenario.corpus_config(),
+                                 scenario.corpus_seed);
+    core::VelaSystem vela(cfg, &corpus);
+    core::FaultToleranceConfig healthy_ft;
+    healthy_ft.retry = fast_retry();
+    healthy_ft.snapshot_interval = 1;
+    vela.enable_fault_tolerance(healthy_ft);
+    vela.set_placement(degraded);
+    losses_b =
+        core::run_fine_tune(vela, scenario, corpus).losses;
+  }
+  ASSERT_EQ(losses_a.size(), losses_b.size());
+  for (std::size_t i = 0; i < losses_a.size(); ++i) {
+    EXPECT_EQ(losses_a[i], losses_b[i]) << "loss diverged at step " << i;
+  }
+}
+
+TEST(MultiProcDegrade, RespawnerRelaunchesAFreshNodeProcess) {
+  core::Scenario scenario;
+  scenario.steps = 3;
+
+  core::MultiProcCluster cluster(scenario, proc_options("respawn"));
+  auto& vela = cluster.system();
+  auto& master = vela.master();
+
+  core::FaultToleranceConfig ft;
+  ft.retry = fast_retry();
+  ft.snapshot_interval = 1;
+  ft.respawn_budget = 1;
+  vela.enable_fault_tolerance(ft);
+
+  // The respawner: relaunch rank w as a FRESH vela_node (new pid, new
+  // session id, zero experts — capacity 0 by the respawn contract) and
+  // adopt it from the listener.
+  master.set_remote_respawner(
+      [&](std::size_t w) -> std::unique_ptr<comm::DuplexLink> {
+        cluster.relaunch_worker(w);
+        return comm::make_master_remote_link(
+            cluster.listener(), static_cast<std::uint32_t>(w),
+            /*expected_capacity=*/0, /*master_node=*/0,
+            /*worker_node=*/w + 1, &master.meter(), 15000ms);
+      });
+
+  const pid_t old_pid = cluster.worker(1).pid();
+  cluster.worker(1).kill(SIGKILL);
+  ASSERT_NE(cluster.worker(1).wait(), 0);
+
+  const core::FineTuneArtifacts art =
+      core::run_fine_tune(vela, scenario, cluster.corpus());
+  for (const float loss : art.losses) ASSERT_TRUE(std::isfinite(loss));
+
+  // The worker was respawned, not buried: nobody is dead, a NEW process
+  // holds rank 1, and its restock bytes were charged to recovery.
+  for (const bool dead : master.dead_mask()) EXPECT_FALSE(dead);
+  EXPECT_NE(cluster.worker(1).pid(), old_pid);
+  EXPECT_TRUE(cluster.worker(1).running());
+  EXPECT_GT(art.step_recovery_bytes[0], 0u);
+  EXPECT_GT(master.meter().lifetime_recovery_bytes(), 0u);
+
+  // The relaunched child replaced the killed one in the fleet, so the whole
+  // deployment now shuts down CLEAN.
+  EXPECT_EQ(cluster.shutdown_and_wait(), 0);
+}
+
+// --- the audited variant (acceptance: -L multiproc under VELA_AUDIT) ---------
+
+TEST(MultiProcAudit, AuditedMultiProcessRunReportsNoViolations) {
+  audit::set_enabled_for_testing(true);
+  audit::ConservationLedger::instance().reset_for_testing();
+  std::vector<std::pair<std::string, std::string>> violations;
+  audit::set_violation_handler(
+      [&violations](const std::string& category, const std::string& detail) {
+        violations.emplace_back(category, detail);
+      });
+  {
+    core::Scenario scenario;
+    core::MultiProcCluster cluster(scenario, proc_options("audit"));
+    const core::FineTuneArtifacts art =
+        core::run_fine_tune(cluster.system(), scenario, cluster.corpus());
+    for (const float loss : art.losses) EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_EQ(cluster.shutdown_and_wait(), 0);
+  }
+  audit::set_violation_handler(nullptr);
+  audit::ConservationLedger::instance().reset_for_testing();
+  audit::set_enabled_for_testing(false);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " audit violation(s), first: "
+      << violations.front().first << ": " << violations.front().second;
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,186 @@
+// Golden-file and schema tests for the --processes bench CSV emitters
+// (`ctest -L multiproc`, satellite of ISSUE 7).
+//
+// The bench binaries' --processes mode and this test share the emitters in
+// bench/proc_csv.h, so the measured multi-process CSV schema cannot drift
+// silently. The N=16 series is pinned byte for byte under tests/golden/
+// (regenerate deliberately with VELA_REGEN_GOLDEN=1 and review the diff);
+// the N=32 and N=64 sweeps assert structural invariants only — worker ids
+// monotone per step, node = worker + 1 (the scenario's one-worker-per-node
+// shape), and per-row byte conservation: the per-worker lane rows of a step
+// partition the TrafficMeter's external ledger exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proc_csv.h"
+
+namespace vela {
+namespace {
+
+#ifndef VELA_GOLDEN_DIR
+#error "VELA_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string node_bin() {
+  if (const char* env = std::getenv("VELA_NODE_BIN")) return env;
+#ifdef VELA_NODE_BIN
+  return VELA_NODE_BIN;
+#else
+  ADD_FAILURE() << "VELA_NODE_BIN is neither compiled in nor in the env";
+  return "";
+#endif
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream ss(text);
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, sep)) cells.push_back(cell);
+  return cells;
+}
+
+std::string join(const std::vector<std::string>& cells, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += cells[i];
+  }
+  return out;
+}
+
+void maybe_regenerate(const std::string& golden_path,
+                      const std::string& produced) {
+  if (std::getenv("VELA_REGEN_GOLDEN") == nullptr) return;
+  std::ofstream out(golden_path, std::ios::binary);
+  out << produced;
+}
+
+struct ProcCsvPair {
+  std::string fig5;
+  std::string fig6;
+};
+
+// Assembles an N-worker deployment, runs the scenario fine-tune through the
+// shared emitters, and returns both CSVs' contents.
+ProcCsvPair emit_proc_csvs(std::size_t workers, const std::string& tag) {
+  core::Scenario scenario;
+  scenario.workers = workers;
+  core::MultiProcOptions opts;
+  opts.node_binary = node_bin();
+  opts.log_dir = "mproc_logs_" + tag;
+  std::filesystem::create_directories(opts.log_dir);
+
+  const std::string fig5_path = "proc_fig5_" + tag + ".csv";
+  const std::string fig6_path = "proc_fig6_" + tag + ".csv";
+  core::MultiProcCluster cluster(scenario, opts);
+  {
+    CsvWriter fig5(fig5_path, bench::fig5_proc_columns());
+    CsvWriter fig6(fig6_path, bench::fig6_proc_columns());
+    bench::emit_proc_figs(cluster, &fig5, &fig6);
+  }  // writers flush on destruction
+  EXPECT_EQ(cluster.shutdown_and_wait(), 0)
+      << "a vela_node process exited uncleanly at N=" << workers;
+  return {slurp(fig5_path), slurp(fig6_path)};
+}
+
+// Structural invariants of a fig5 proc CSV, independent of golden files.
+void check_fig5_schema(const std::string& text, std::size_t workers,
+                       std::size_t steps) {
+  const auto rows = lines_of(text);
+  ASSERT_EQ(rows.size(), 1 + steps * workers);
+  EXPECT_EQ(rows[0], join(bench::fig5_proc_columns(), ','));
+  for (std::size_t step = 0; step < steps; ++step) {
+    unsigned long long row_sum = 0, step_external = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto cells = split(rows[1 + step * workers + w], ',');
+      ASSERT_EQ(cells.size(), bench::fig5_proc_columns().size());
+      EXPECT_EQ(cells[0], std::to_string(workers));
+      EXPECT_EQ(cells[1], std::to_string(step));
+      // Monotone worker ids, 0..N-1 within every step …
+      EXPECT_EQ(cells[2], std::to_string(w));
+      // … each alone on its own node, one past the master's node 0.
+      EXPECT_EQ(cells[3], std::to_string(w + 1));
+      const auto to_worker = std::stoull(cells[4]);
+      const auto to_master = std::stoull(cells[5]);
+      const auto row_total = std::stoull(cells[6]);
+      EXPECT_EQ(row_total, to_worker + to_master);
+      row_sum += row_total;
+      step_external = std::stoull(cells[7]);
+    }
+    // Per-row byte conservation: the worker rows of a step partition the
+    // meter's external-byte ledger with nothing lost or double-counted.
+    EXPECT_EQ(row_sum, step_external) << "step " << step;
+    EXPECT_GT(step_external, 0u) << "step " << step;
+  }
+}
+
+void check_fig6_schema(const std::string& text, std::size_t workers,
+                       std::size_t steps) {
+  const auto rows = lines_of(text);
+  ASSERT_EQ(rows.size(), 1 + steps);
+  EXPECT_EQ(rows[0], join(bench::fig6_proc_columns(), ','));
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto cells = split(rows[1 + step], ',');
+    ASSERT_EQ(cells.size(), bench::fig6_proc_columns().size());
+    EXPECT_EQ(cells[0], std::to_string(workers));
+    EXPECT_EQ(cells[1], std::to_string(step));
+    EXPECT_GT(std::stod(cells[2]), 0.0);   // loss
+    EXPECT_GE(std::stod(cells[3]), 0.0);   // external MB/node
+    EXPECT_GE(std::stod(cells[5]), std::stod(cells[4]));  // step_s ≥ comm_s
+  }
+}
+
+TEST(MultiProcGolden, Fig5And6ProcCsvsMatchGoldenAtSixteenWorkers) {
+  const ProcCsvPair produced = emit_proc_csvs(16, "golden16");
+  const std::string fig5_golden =
+      std::string(VELA_GOLDEN_DIR) + "/fig5_traffic_proc.csv";
+  const std::string fig6_golden =
+      std::string(VELA_GOLDEN_DIR) + "/fig6_steptime_proc.csv";
+  maybe_regenerate(fig5_golden, produced.fig5);
+  maybe_regenerate(fig6_golden, produced.fig6);
+  EXPECT_EQ(produced.fig5, slurp(fig5_golden))
+      << "fig5 proc CSV drifted from tests/golden/fig5_traffic_proc.csv; if "
+         "intentional, regenerate with VELA_REGEN_GOLDEN=1 and review";
+  EXPECT_EQ(produced.fig6, slurp(fig6_golden))
+      << "fig6 proc CSV drifted from tests/golden/fig6_steptime_proc.csv; if "
+         "intentional, regenerate with VELA_REGEN_GOLDEN=1 and review";
+  check_fig5_schema(produced.fig5, 16, core::Scenario{}.steps);
+  check_fig6_schema(produced.fig6, 16, core::Scenario{}.steps);
+}
+
+TEST(MultiProcGolden, SchemaInvariantsHoldAtThirtyTwoWorkers) {
+  const ProcCsvPair produced = emit_proc_csvs(32, "schema32");
+  check_fig5_schema(produced.fig5, 32, core::Scenario{}.steps);
+  check_fig6_schema(produced.fig6, 32, core::Scenario{}.steps);
+}
+
+TEST(MultiProcGolden, SchemaInvariantsHoldAtSixtyFourWorkers) {
+  const ProcCsvPair produced = emit_proc_csvs(64, "schema64");
+  check_fig5_schema(produced.fig5, 64, core::Scenario{}.steps);
+  check_fig6_schema(produced.fig6, 64, core::Scenario{}.steps);
+}
+
+}  // namespace
+}  // namespace vela

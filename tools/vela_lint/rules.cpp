@@ -371,7 +371,8 @@ void rule_nodiscard_wire(const std::string& path,
 bool is_fabric_type(const std::string& name) {
   return name == "Channel" || name == "Endpoint" || name == "DuplexLink" ||
          name == "BlockingQueue" || name == "InProcTransport" ||
-         name == "SocketTransport";
+         name == "SocketTransport" || name == "RemoteSocketTransport" ||
+         name == "PeerListener";
 }
 
 void rule_direct_transport(const std::string& path,
