@@ -43,13 +43,14 @@ int run_processes_mode(const std::string& argv0, std::size_t workers) {
 void run_setting(const Setting& setting, CsvWriter& csv) {
   cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
   std::printf("\n--- %s ---\n", setting.name.c_str());
-  std::printf("%-6s %12s %12s %12s %12s   (MB/node)\n", "step", "Sequential",
-              "Random", "Vela", "EP");
+  std::printf("%-6s %12s %12s %12s %12s %12s   (MB/node)\n", "step",
+              "Sequential", "Random", "Vela", "EP", "Vela+q8");
   const Fig5SettingStats stats =
       emit_fig5_setting(setting, topology, csv, kFineTuneSteps, kTokensPerStep,
                         /*print_progress=*/true);
-  std::printf("  mean: %10.1f %12.1f %12.1f %12.1f\n", stats.seq.mean(),
-              stats.rnd.mean(), stats.vela.mean(), stats.ep.mean());
+  std::printf("  mean: %10.1f %12.1f %12.1f %12.1f %12.1f\n", stats.seq.mean(),
+              stats.rnd.mean(), stats.vela.mean(), stats.ep.mean(),
+              stats.vela_q8.mean());
   std::printf("  Vela reduction vs EP:        %5.1f%%  (paper: 17.3%%-25.3%%)\n",
               100.0 * (1.0 - stats.vela.mean() / stats.ep.mean()));
   std::printf("  Vela reduction vs Sequential: %5.1f%%\n",
@@ -59,6 +60,10 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
   std::printf("  Vela drift (first vs last 100 steps): %.1f -> %.1f MB/node "
               "(placement computed at step 0 decays slightly; Fig. 5(a))\n",
               stats.vela_head.mean(), stats.vela_tail.mean());
+  std::printf("  Wire tiers (vela placement): fp16 %8.1f MB/node, int8 %8.1f "
+              "MB/node (%.2fx cut vs fp16)\n",
+              stats.vela_f16.mean(), stats.vela_q8.mean(),
+              stats.vela_f16.mean() / stats.vela_q8.mean());
 }
 
 }  // namespace

@@ -73,6 +73,10 @@ void run_setting(const Setting& setting, CsvWriter& csv) {
               t.vela.stddev());
   std::printf("  %-16s %10.3f %10.4f\n", "Vela+overlap", t.vela_overlap.mean(),
               t.vela_overlap.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Vela+f16 wire", t.vela_f16.mean(),
+              t.vela_f16.stddev());
+  std::printf("  %-16s %10.3f %10.4f\n", "Vela+q8 wire", t.vela_q8.mean(),
+              t.vela_q8.stddev());
   std::printf("  Vela speedup vs EP:         %5.1f%%  (paper: 20.6%%-28.2%%)\n",
               100.0 * (1.0 - t.vela.mean() / t.ep.mean()));
   std::printf("  Vela speedup vs Sequential: %5.1f%%\n",

@@ -1,0 +1,59 @@
+// THE cell-formatting convention for every CSV emitter in bench/.
+//
+// fig_csv.h, proc_csv.h and degrade_csv.h each used to spell out their own
+// std::to_string row assembly — near-duplicates that could drift (a different
+// float precision or an unescaped comma in one emitter silently forks the
+// schema the golden files pin). All emitters now build rows through cell()/
+// cells() below; tests/test_csv_cells.cpp pins the behavior.
+//
+// Formatting contract (golden-file compatible, byte for byte):
+//   * integral types and float/double format exactly as std::to_string —
+//     floats fixed with six decimals, the formatting every existing golden
+//     CSV was generated with;
+//   * strings pass through verbatim unless they contain a comma, quote, CR
+//     or LF, in which case they are RFC 4180-quoted (existing series names
+//     never trigger this, so goldens are unchanged).
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vela::bench {
+
+// RFC 4180 quoting, applied only when the cell needs it.
+inline std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+inline std::string cell(const std::string& value) { return csv_escape(value); }
+inline std::string cell(const char* value) {
+  return csv_escape(std::string(value));
+}
+// Overloads (not a template) so float keeps std::to_string(float)'s exact
+// formatting rather than promoting to double.
+inline std::string cell(float value) { return std::to_string(value); }
+inline std::string cell(double value) { return std::to_string(value); }
+template <typename T,
+          typename = std::enable_if_t<std::is_integral_v<std::decay_t<T>>>>
+std::string cell(T value) {
+  return std::to_string(value);
+}
+
+// cells(a, b, c, ...) → the row vector CsvWriter::row takes.
+template <typename... Ts>
+std::vector<std::string> cells(Ts&&... values) {
+  return {cell(std::forward<Ts>(values))...};
+}
+
+}  // namespace vela::bench

@@ -17,6 +17,7 @@
 
 #include "comm/fault_injector.h"
 #include "core/vela_system.h"
+#include "csv_cells.h"
 #include "data/corpus.h"
 #include "util/csv.h"
 
@@ -75,13 +76,11 @@ inline DegradeRunStats emit_degrade_recovery(const std::string& setting_name,
     out.workers_lost += r.workers_lost;
     out.recovery_mb += r.recovery_mb;
     out.final_loss = r.loss;
-    csv.row(std::vector<std::string>{
-        setting_name, std::to_string(i), std::to_string(r.loss),
-        std::to_string(r.workers_lost),
-        std::to_string(vela.master().num_live_workers()),
-        std::to_string(r.retries), std::to_string(r.recovery_mb),
-        std::to_string(r.external_mb_per_node),
-        std::to_string(r.step_seconds)});
+    // r.loss is float — cell(float) keeps std::to_string(float)'s exact
+    // formatting, so the golden CSV bytes are unchanged by the cells() move.
+    csv.row(cells(setting_name, i, r.loss, r.workers_lost,
+                  vela.master().num_live_workers(), r.retries, r.recovery_mb,
+                  r.external_mb_per_node, r.step_seconds));
   }
   out.live_workers = vela.master().num_live_workers();
   return out;

@@ -3,8 +3,8 @@
 // Both the paper-scale bench binaries and the golden-file regression test
 // (tests/test_bench_golden.cpp) run settings through these emitters, so the
 // CSV schema, series order and cell formatting cannot drift from what the
-// golden files pin. Cells are formatted with std::to_string (fixed, six
-// decimals) — deterministic across runs and thread counts.
+// golden files pin. Cells are formatted through bench/csv_cells.h (fixed,
+// six decimals) — deterministic across runs and thread counts.
 #pragma once
 
 #include <algorithm>
@@ -15,33 +15,54 @@
 #include "bench_common.h"
 #include "comm/comm_clock.h"
 #include "core/step_simulator.h"
+#include "csv_cells.h"
 #include "ep/expert_parallel.h"
+#include "tensor/qblock.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
 namespace vela::bench {
 
+// Wire-tier byte models (DESIGN.md §13). The vela_f16 / vela_q8 series rerun
+// the SAME vela placement accounting with the per-token payload size of the
+// fp16 and block-quantized int8 wire dtypes; routing, placement and hop
+// counts are identical, so the series isolate the wire-format effect. For a
+// setting whose model already models wire_bits = 16, vela_f16_mb == vela_mb
+// cell-for-cell — pinned by tests/test_bench_golden.cpp as a sanity check.
+inline std::size_t f16_bytes_per_token(const model::ModelConfig& m) {
+  return m.model_dim * 2;
+}
+// int8 codes (1 B/element) plus one fp32 scale per block of the default
+// length — the exact Message::wire_size() charge for a 1×model_dim payload.
+inline std::size_t q8_bytes_per_token(const model::ModelConfig& m) {
+  return qblock::wire_payload_bytes(/*rows=*/1, m.model_dim,
+                                    qblock::kDefaultBlock);
+}
+
 inline const std::vector<std::string>& fig5_columns() {
   static const std::vector<std::string> cols = {
-      "setting", "step", "sequential_mb", "random_mb", "vela_mb", "ep_mb"};
+      "setting",     "step",  "sequential_mb", "random_mb",
+      "vela_mb",     "ep_mb", "vela_f16_mb",   "vela_q8_mb"};
   return cols;
 }
 
 inline const std::vector<std::string>& fig6_columns() {
-  static const std::vector<std::string> cols = {"setting",  "ep_s",
-                                                "sequential_s", "random_s",
-                                                "vela_s",   "vela_overlap_s"};
+  static const std::vector<std::string> cols = {
+      "setting", "ep_s",           "sequential_s", "random_s",
+      "vela_s",  "vela_overlap_s", "vela_f16_s",   "vela_q8_s"};
   return cols;
 }
 
 struct Fig5SettingStats {
   RunningStat seq, rnd, vela, ep;
+  RunningStat vela_f16, vela_q8;     // quantized wire tiers, vela placement
   RunningStat vela_head, vela_tail;  // first/last window (drift check)
 };
 
-// One Fig. 5 setting: per-step cross-node MB/node for the four systems, one
-// CSV row per step. The routing decisions of every step are sampled once and
-// fed to all systems, so series differ purely by placement.
+// One Fig. 5 setting: per-step cross-node MB/node for the four systems plus
+// the two wire tiers, one CSV row per step. The routing decisions of every
+// step are sampled once and fed to all systems, so series differ purely by
+// placement (and, for the tier columns, bytes/token).
 inline Fig5SettingStats emit_fig5_setting(
     const Setting& setting, const cluster::ClusterTopology& topology,
     CsvWriter& csv, std::size_t steps, std::size_t tokens_per_step,
@@ -53,6 +74,13 @@ inline Fig5SettingStats emit_fig5_setting(
   core::VelaTrafficModelConfig vt_cfg;
   vt_cfg.bytes_per_token = setting.model.bytes_per_token();
   core::VelaTrafficModel vela_model(&topology, vt_cfg);
+
+  core::VelaTrafficModelConfig f16_cfg = vt_cfg;
+  f16_cfg.bytes_per_token = f16_bytes_per_token(setting.model);
+  core::VelaTrafficModel f16_model(&topology, f16_cfg);
+  core::VelaTrafficModelConfig q8_cfg = vt_cfg;
+  q8_cfg.bytes_per_token = q8_bytes_per_token(setting.model);
+  core::VelaTrafficModel q8_model(&topology, q8_cfg);
 
   ep::EpConfig ep_cfg;
   ep_cfg.bytes_per_token = setting.model.bytes_per_token();
@@ -79,18 +107,27 @@ inline Fig5SettingStats emit_fig5_setting(
     const double ep_mb =
         double(ep_model.external_bytes(ep_model.account_step(plans))) / 1e6 /
         nodes;
+    const double f16_mb =
+        double(f16_model.external_bytes(
+            f16_model.account_step(plans, placements.vela))) /
+        1e6 / nodes;
+    const double q8_mb =
+        double(q8_model.external_bytes(
+            q8_model.account_step(plans, placements.vela))) /
+        1e6 / nodes;
     stats.seq.add(seq_mb);
     stats.rnd.add(rnd_mb);
     stats.vela.add(vela_mb);
     stats.ep.add(ep_mb);
+    stats.vela_f16.add(f16_mb);
+    stats.vela_q8.add(q8_mb);
     if (step < window) stats.vela_head.add(vela_mb);
     if (step + window >= steps) stats.vela_tail.add(vela_mb);
-    csv.row({setting.name, std::to_string(step), std::to_string(seq_mb),
-             std::to_string(rnd_mb), std::to_string(vela_mb),
-             std::to_string(ep_mb)});
+    csv.row(cells(setting.name, step, seq_mb, rnd_mb, vela_mb, ep_mb, f16_mb,
+                  q8_mb));
     if (print_progress && (step % 100 == 0 || step == steps - 1)) {
-      std::printf("%-6zu %12.1f %12.1f %12.1f %12.1f\n", step, seq_mb, rnd_mb,
-                  vela_mb, ep_mb);
+      std::printf("%-6zu %12.1f %12.1f %12.1f %12.1f %12.1f\n", step, seq_mb,
+                  rnd_mb, vela_mb, ep_mb, q8_mb);
     }
   }
   return stats;
@@ -98,12 +135,14 @@ inline Fig5SettingStats emit_fig5_setting(
 
 struct Fig6SettingStats {
   RunningStat ep, seq, rnd, vela, vela_overlap;
+  RunningStat vela_f16, vela_q8;  // quantized wire tiers, vela placement
 };
 
 // One Fig. 6 setting: mean modeled step time of the four systems plus the
 // vela+overlap series — the SAME vela byte record pushed through the
 // overlap-pipelined clock at depth `overlap_chunks` (byte counts are
-// invariant in the pipeline depth; only the step-time model changes).
+// invariant in the pipeline depth; only the step-time model changes) — and
+// the two wire-tier series (vela placement, fp16/int8 bytes, no overlap).
 inline Fig6SettingStats emit_fig6_setting(
     const Setting& setting, const cluster::ClusterTopology& topology,
     CsvWriter& csv, std::size_t steps, std::size_t tokens_per_step,
@@ -115,6 +154,13 @@ inline Fig6SettingStats emit_fig6_setting(
   core::VelaTrafficModelConfig vt_cfg;
   vt_cfg.bytes_per_token = setting.model.bytes_per_token();
   core::VelaTrafficModel vela_model(&topology, vt_cfg);
+
+  core::VelaTrafficModelConfig f16_cfg = vt_cfg;
+  f16_cfg.bytes_per_token = f16_bytes_per_token(setting.model);
+  core::VelaTrafficModel f16_model(&topology, f16_cfg);
+  core::VelaTrafficModelConfig q8_cfg = vt_cfg;
+  q8_cfg.bytes_per_token = q8_bytes_per_token(setting.model);
+  core::VelaTrafficModel q8_model(&topology, q8_cfg);
 
   ep::EpConfig ep_cfg;
   ep_cfg.bytes_per_token = setting.model.bytes_per_token();
@@ -139,11 +185,14 @@ inline Fig6SettingStats emit_fig6_setting(
     stats.vela.add(times.sequential_s);
     stats.vela_overlap.add(times.overlap_s);
     stats.ep.add(clock.ep_step_seconds(ep_model.account_step(plans)));
+    stats.vela_f16.add(clock.vela_step_seconds(
+        f16_model.account_step(plans, placements.vela)));
+    stats.vela_q8.add(clock.vela_step_seconds(
+        q8_model.account_step(plans, placements.vela)));
   }
-  csv.row({setting.name, std::to_string(stats.ep.mean()),
-           std::to_string(stats.seq.mean()), std::to_string(stats.rnd.mean()),
-           std::to_string(stats.vela.mean()),
-           std::to_string(stats.vela_overlap.mean())});
+  csv.row(cells(setting.name, stats.ep.mean(), stats.seq.mean(),
+                stats.rnd.mean(), stats.vela.mean(), stats.vela_overlap.mean(),
+                stats.vela_f16.mean(), stats.vela_q8.mean()));
   return stats;
 }
 

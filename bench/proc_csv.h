@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/node_runtime.h"
+#include "csv_cells.h"
 #include "data/batch.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -85,11 +86,8 @@ inline void emit_proc_figs(core::MultiProcCluster& cluster, CsvWriter* fig5,
       const std::uint64_t row_total = d_tw + d_tm;
       row_sum += row_total;
       if (fig5 != nullptr) {
-        fig5->row({std::to_string(num_workers), std::to_string(step),
-                   std::to_string(w),
-                   std::to_string(vela.topology().worker_node(w)),
-                   std::to_string(d_tw), std::to_string(d_tm),
-                   std::to_string(row_total), std::to_string(step_external)});
+        fig5->row(cells(num_workers, step, w, vela.topology().worker_node(w),
+                        d_tw, d_tm, row_total, step_external));
       }
     }
     VELA_CHECK_MSG(row_sum == step_external,
@@ -99,11 +97,9 @@ inline void emit_proc_figs(core::MultiProcCluster& cluster, CsvWriter* fig5,
                        << " B external");
 
     if (fig6 != nullptr) {
-      fig6->row({std::to_string(num_workers), std::to_string(step),
-                 std::to_string(static_cast<double>(report.loss)),
-                 std::to_string(report.external_mb_per_node),
-                 std::to_string(report.comm_seconds),
-                 std::to_string(report.step_seconds)});
+      fig6->row(cells(num_workers, step, static_cast<double>(report.loss),
+                      report.external_mb_per_node, report.comm_seconds,
+                      report.step_seconds));
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "tensor/qblock.h"
 #include "util/check.h"
 
 namespace vela::comm {
@@ -54,6 +55,18 @@ std::uint32_t frame_crc(const std::uint8_t* data, std::size_t size) {
 std::vector<std::uint8_t> encode_frame(const Message& msg) {
   VELA_CHECK_MSG(msg.wire_bits <= 0xFF,
                  "wire_bits must fit the frame's u8 slot");
+  // The frame carries payload floats losslessly at any wire precision (the
+  // quantization, if any, already happened at the sender); only the
+  // accounting tag differs. q8 rides the u8 precision slot as 0x80|block,
+  // exactly like the accounted codec in serialize.cpp.
+  const bool q8 = msg.wire_bits == 8;
+  if (q8) {
+    VELA_CHECK_MSG(qblock::valid_block(msg.q8_block),
+                   "q8 message without a valid block length");
+  }
+  const std::uint8_t precision_slot =
+      q8 ? static_cast<std::uint8_t>(0x80u | msg.q8_block)
+         : static_cast<std::uint8_t>(msg.wire_bits);
   std::vector<std::uint8_t> body;
   const std::size_t numel = msg.payload.size();
   body.reserve(Message::kHeaderBytes + 2 * sizeof(std::uint64_t) +
@@ -61,7 +74,7 @@ std::vector<std::uint8_t> encode_frame(const Message& msg) {
                msg.payload.rank() * sizeof(std::uint64_t) +
                numel * sizeof(float));
   append_pod(body, static_cast<std::uint8_t>(msg.type));
-  append_pod(body, static_cast<std::uint8_t>(msg.wire_bits));
+  append_pod(body, precision_slot);
   append_pod(body, msg.chunk_index);
   append_pod(body, msg.chunk_count);
   append_pod(body, msg.request_id);
@@ -135,7 +148,16 @@ bool decode_frame(const std::vector<std::uint8_t>& frame, Message* out,
   ok = ok && read_pod(body, body_len, offset, &rank);
   if (!ok) return fail(error, "truncated frame body header");
   msg.type = static_cast<MessageType>(type);
-  msg.wire_bits = wire_bits;
+  if (wire_bits & 0x80u) {
+    const std::uint8_t block = wire_bits & 0x7Fu;
+    if (!qblock::valid_block(block)) {
+      return fail(error, "bad q8 block tag in frame header");
+    }
+    msg.wire_bits = 8;
+    msg.q8_block = block;
+  } else {
+    msg.wire_bits = wire_bits;
+  }
 
   std::vector<std::size_t> shape;
   shape.reserve(rank);

@@ -77,8 +77,12 @@ std::uint32_t Message::compute_checksum() const {
   mix(expert);
   mix(step);
   mix(static_cast<std::uint32_t>(phantom_bytes));
+  // q8_block shares the fragment word: zero (every non-q8 message) leaves
+  // the hash identical to the pre-quantization protocol, so stamped traffic
+  // from fp32/fp16 runs is bit-compatible with old goldens.
   mix(static_cast<std::uint32_t>(chunk_index) |
-      (static_cast<std::uint32_t>(chunk_count) << 8));
+      (static_cast<std::uint32_t>(chunk_count) << 8) |
+      (static_cast<std::uint32_t>(q8_block) << 16));
   const float* data = payload.data();
   for (std::size_t i = 0; i < payload.size(); ++i) {
     std::uint32_t bits;
@@ -96,6 +100,9 @@ std::string Message::to_string() const {
   if (chunk_count > 1) {
     os << ", chunk=" << static_cast<unsigned>(chunk_index) << "/"
        << static_cast<unsigned>(chunk_count);
+  }
+  if (wire_bits == 8) {
+    os << ", dtype=q8/" << static_cast<unsigned>(q8_block);
   }
   os << ", bytes=" << wire_size() << "}";
   return os.str();

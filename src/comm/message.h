@@ -48,6 +48,10 @@ enum class MessageType : std::uint8_t {
 
 const char* message_type_name(MessageType t);
 
+// The largest q8 block length the wire tag byte can carry (see Message
+// below): the u8 precision slot encodes q8 as 0x80|block.
+constexpr bool qblock_detail_max_block_fits_tag() { return 64 < 0x80; }
+
 struct Message {
   MessageType type = MessageType::kShutdown;
   std::uint64_t request_id = 0;  // pairs requests with their results
@@ -58,6 +62,12 @@ struct Message {
   Tensor payload;                   // empty for control / phantom messages
   std::uint64_t phantom_bytes = 0;  // payload size when no tensor is carried
   unsigned wire_bits = 32;          // transport precision of the payload
+  // Quantized wire tier (DESIGN.md §13): when wire_bits == 8 the payload is
+  // accounted as per-row block int8 — one int8 code per element plus one
+  // fp32 scale per `q8_block` elements (32 or 64; blocks never span rows).
+  // 0 everywhere else. On the accounted wire this rides the u8 precision
+  // slot as tag 0x80|q8_block, so the 36-byte header is unchanged.
+  std::uint8_t q8_block = 0;
   // Fragmentation of one logical transfer (the VELA_OVERLAP dispatch
   // pipeline): a payload split into `chunk_count` row chunks travels as
   // fragments that share one protocol header — fragment 0 carries it, the
@@ -82,8 +92,19 @@ struct Message {
   // they cost their payload only — which is what makes the chunked dispatch
   // pipeline byte-identical to the unchunked exchange at any chunk count.
   [[nodiscard]] std::uint64_t wire_size() const {
-    const std::uint64_t body =
-        payload.size() > 0 ? payload.wire_bytes(wire_bits) : phantom_bytes;
+    std::uint64_t body;
+    if (payload.size() == 0) {
+      body = phantom_bytes;
+    } else if (wire_bits == 8) {
+      // Per-row block int8: codes + one fp32 scale per block (qblock.h).
+      // Rank >= 2 payloads tile along dim 0; a flat payload is one row.
+      const std::uint64_t rows = payload.rank() >= 2 ? payload.dim(0) : 1;
+      const std::uint64_t cols = payload.size() / rows;
+      const std::uint64_t block = q8_block != 0 ? q8_block : 64;
+      body = rows * cols + rows * ((cols + block - 1) / block) * 4;
+    } else {
+      body = payload.wire_bytes(wire_bits);
+    }
     return (chunk_index > 0 ? 0 : kHeaderBytes) + body;
   }
 
@@ -122,6 +143,10 @@ static_assert(std::is_same_v<decltype(Message::chunk_index), std::uint8_t> &&
               "reassemble trains keyed on request_id - chunk_index)");
 static_assert(std::is_same_v<decltype(Message::checksum), std::uint32_t>,
               "wire header: the CRC slot is u32 (budgeted in kHeaderBytes)");
+static_assert(std::is_same_v<decltype(Message::q8_block), std::uint8_t> &&
+                  qblock_detail_max_block_fits_tag(),
+              "wire header: q8_block rides the u8 precision slot as "
+              "0x80|block, so the block length must stay below 0x80");
 static_assert(Message::kHeaderBytes ==
                   4 * sizeof(std::uint8_t) +    // type, wire_bits, chunk_*
                       2 * sizeof(std::uint64_t) +  // request_id, element count

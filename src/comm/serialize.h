@@ -4,12 +4,20 @@
 // accounting must correspond to a real wire format — this codec defines it
 // and the tests pin encode(msg).size() == msg.wire_size(). Payloads encode
 // at the message's wire_bits: 32 → raw IEEE binary32, 16 → IEEE binary16
-// (round-to-nearest-even), which is exactly the paper's b = 16 feature
-// transport. Header layout (little-endian, 36 bytes):
+// (round-to-nearest-even — the paper's b = 16 feature transport), 8 → the
+// quantized tier's per-row block int8 (DESIGN.md §13). Header layout
+// (little-endian, 36 bytes):
 //
-//   u8 type | u8 wire_bits | u8 chunk_index | u8 chunk_count |
+//   u8 type | u8 precision | u8 chunk_index | u8 chunk_count |
 //   u64 request_id | u32 source | u32 layer | u32 expert | u32 step |
 //   u64 payload elements
+//
+// The precision slot carries wire_bits literally for 16/32; a q8 payload
+// tags it as 0x80|block (block ∈ {32, 64}) and packs its row count into the
+// upper half of the element-count slot as (rows << 32) | numel, so the
+// header stays exactly 36 bytes. A q8 body is then, per row, per block:
+//
+//   f32 scale | i8 codes[block]          (last block of a row may be short)
 //
 // One caveat for fragmented transfers (chunk_count > 1): every physical
 // fragment still encodes the full framing above, but wire_size() charges the
@@ -64,8 +72,8 @@ std::vector<std::uint8_t> encode(const Message& msg);
 // Decodes a wire buffer back into a Message. The payload comes back as a
 // rank-1 tensor of the transported element count (shape metadata beyond the
 // element count is not carried — receivers know the expected shape from the
-// protocol state, mirroring how the runtime uses it). Throws on malformed
-// input.
+// protocol state, mirroring how the runtime uses it); a q8 payload comes
+// back rank-2 [rows, cols], already dequantized. Throws on malformed input.
 Message decode(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace vela::comm

@@ -1,0 +1,102 @@
+#include "comm/wire_codec.h"
+
+#include <cstdlib>
+
+#include "tensor/ops.h"
+#include "tensor/qblock.h"
+#include "util/check.h"
+
+namespace vela::comm {
+
+const char* wire_dtype_name(WireDtype d) {
+  switch (d) {
+    case WireDtype::kDefault:
+      return "default";
+    case WireDtype::kFp32:
+      return "fp32";
+    case WireDtype::kFp16:
+      return "fp16";
+    case WireDtype::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+WireDtype parse_wire_dtype(const std::string& name) {
+  if (name.empty() || name == "default") return WireDtype::kDefault;
+  if (name == "fp32") return WireDtype::kFp32;
+  if (name == "fp16") return WireDtype::kFp16;
+  if (name == "int8") return WireDtype::kInt8;
+  VELA_CHECK_MSG(false, "VELA_WIRE_DTYPE must be fp32|fp16|int8, got '"
+                            << name << "'");
+  return WireDtype::kDefault;
+}
+
+WireDtype wire_dtype_from_env() {
+  const char* env = std::getenv("VELA_WIRE_DTYPE");
+  return env == nullptr ? WireDtype::kDefault : parse_wire_dtype(env);
+}
+
+unsigned wire_block_from_env() {
+  const char* env = std::getenv("VELA_WIRE_BLOCK");
+  if (env == nullptr || *env == '\0') return 0;
+  const unsigned block = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  VELA_CHECK_MSG(qblock::valid_block(block),
+                 "VELA_WIRE_BLOCK must be 32 or 64, got '" << env << "'");
+  return block;
+}
+
+WireCodec WireCodec::resolve(WireDtype requested, unsigned legacy_bits,
+                             bool legacy_quantize, unsigned requested_block) {
+  WireDtype dtype = requested;
+  if (dtype == WireDtype::kDefault) dtype = wire_dtype_from_env();
+  WireCodec codec;
+  switch (dtype) {
+    case WireDtype::kDefault:
+      // Pre-tier behavior, bit for bit: accounting follows the config's
+      // wire_bits; numerics follow quantize_wire (only meaningful at 16).
+      codec.dtype =
+          legacy_quantize && legacy_bits == 16 ? WireDtype::kFp16
+                                               : WireDtype::kFp32;
+      codec.bits = legacy_bits;
+      codec.transforms = codec.dtype == WireDtype::kFp16;
+      return codec;
+    case WireDtype::kFp32:
+      codec.dtype = WireDtype::kFp32;
+      codec.bits = 32;
+      codec.transforms = false;
+      return codec;
+    case WireDtype::kFp16:
+      codec.dtype = WireDtype::kFp16;
+      codec.bits = 16;
+      codec.transforms = true;
+      return codec;
+    case WireDtype::kInt8: {
+      unsigned block = requested_block;
+      if (block == 0) block = wire_block_from_env();
+      if (block == 0) block = qblock::kDefaultBlock;
+      VELA_CHECK_MSG(qblock::valid_block(block),
+                     "int8 wire block must be 32 or 64, got " << block);
+      codec.dtype = WireDtype::kInt8;
+      codec.bits = 8;
+      codec.block = block;
+      codec.transforms = true;
+      return codec;
+    }
+  }
+  VELA_CHECK(false);
+  return codec;
+}
+
+Tensor WireCodec::apply(const Tensor& payload) const {
+  switch (dtype) {
+    case WireDtype::kFp16:
+      return ops::to_half_precision(payload);
+    case WireDtype::kInt8:
+      return qblock::roundtrip(payload, block);
+    default:
+      return payload;  // identity copy
+  }
+}
+
+}  // namespace vela::comm

@@ -36,12 +36,13 @@ std::size_t overlap_chunks_from_env() {
 ExpertBroker::ExpertBroker(std::vector<ReliableLink*> rlinks,
                            const placement::Placement* placement,
                            std::size_t num_layers, unsigned wire_bits,
-                           bool quantize_wire)
+                           bool quantize_wire, comm::WireDtype wire_dtype,
+                           unsigned q8_block)
     : rlinks_(std::move(rlinks)),
       placement_(placement),
       num_layers_(num_layers),
-      wire_bits_(wire_bits),
-      quantize_wire_(quantize_wire && wire_bits == 16),
+      codec_(comm::WireCodec::resolve(wire_dtype, wire_bits, quantize_wire,
+                                      q8_block)),
       ledger_(num_layers, 1, rlinks_.size()) {
   VELA_CHECK(!rlinks_.empty());
   VELA_CHECK(placement_ != nullptr);
@@ -98,7 +99,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
     std::size_t expert;
   };
   // Overlap dispatch serialization with itself: the per-group wire payloads
-  // (fp16 quantization, or a plain copy) are built as parallel tasks before
+  // (fp16/int8 quantization, or a plain copy) are built as parallel tasks before
   // the sequential post loop, so expert compute on the workers starts while
   // later groups are still being packed. Posting order, accounting order and
   // byte counts are exactly the serial ones — only the packing is concurrent.
@@ -108,8 +109,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
     tasks.reserve(groups.size());
     for (std::size_t i = 0; i < groups.size(); ++i) {
       tasks.push_back([this, &groups, &wire, i] {
-        const Tensor& x = groups[i].second.value();
-        wire[i] = quantize_wire_ ? ops::to_half_precision(x) : x;
+        wire[i] = codec_.apply(groups[i].second.value());
       });
     }
     util::ThreadPool::global().run(tasks);
@@ -129,7 +129,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
     msg.layer = static_cast<std::uint32_t>(layer);
     msg.expert = static_cast<std::uint32_t>(expert);
     msg.payload = std::move(wire[i]);
-    msg.wire_bits = wire_bits_;
+    codec_.stamp(msg);
     account(layer, /*backward=*/false, worker, msg.wire_size(), 1);
     rlinks_[worker]->post(std::move(msg));
     outstanding.push_back({worker, request_id, expert});
@@ -159,9 +159,8 @@ std::vector<ag::Variable> ExpertBroker::experts_forward(
           grad_msg.request_id = request_id;
           grad_msg.layer = layer32;
           grad_msg.expert = expert32;
-          grad_msg.payload =
-              quantize_wire_ ? ops::to_half_precision(n.grad) : n.grad;
-          grad_msg.wire_bits = wire_bits_;
+          grad_msg.payload = codec_.apply(n.grad);
+          codec_.stamp(grad_msg);
           account(layer32, /*backward=*/true, worker, grad_msg.wire_size(), 1);
           rlinks_[worker]->post(std::move(grad_msg));
           comm::Message dx =
@@ -231,8 +230,10 @@ std::vector<ag::Variable> ExpertBroker::experts_forward_chunked(
     max_chunks = std::max(max_chunks, p.rows.size());
   }
 
-  // Pack every chunk's wire payload as parallel tasks (fp16 rounding is
-  // elementwise, so slice-then-quantize equals quantize-then-slice bitwise).
+  // Pack every chunk's wire payload as parallel tasks. Slice-then-quantize
+  // equals quantize-then-slice bitwise for every dtype: fp16 rounding is
+  // elementwise, and the int8 tier's blocks never span rows (qblock.h), so
+  // a row slice carries exactly its own blocks and scales.
   {
     std::vector<std::function<void()>> tasks;
     for (std::size_t g = 0; g < plans.size(); ++g) {
@@ -241,8 +242,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward_chunked(
           GroupPlan& p = plans[g];
           Tensor slice =
               ops::slice_rows(groups[g].second.value(), p.begin[c], p.rows[c]);
-          p.wire[c] =
-              quantize_wire_ ? ops::to_half_precision(slice) : std::move(slice);
+          p.wire[c] = codec_.transforms ? codec_.apply(slice) : std::move(slice);
         });
       }
     }
@@ -264,7 +264,7 @@ std::vector<ag::Variable> ExpertBroker::experts_forward_chunked(
       msg.chunk_index = static_cast<std::uint8_t>(c);
       msg.chunk_count = static_cast<std::uint8_t>(p.rows.size());
       msg.payload = std::move(p.wire[c]);
-      msg.wire_bits = wire_bits_;
+      codec_.stamp(msg);
       account(layer, /*backward=*/false, p.worker, msg.wire_size(),
               c == 0 ? 1 : 0);
       rlinks_[p.worker]->post(std::move(msg));
@@ -316,9 +316,9 @@ std::vector<ag::Variable> ExpertBroker::experts_forward_chunked(
             m.chunk_index = static_cast<std::uint8_t>(c);
             m.chunk_count = static_cast<std::uint8_t>(k);
             Tensor slice = ops::slice_rows(n.grad, begin[c], rows[c]);
-            m.payload = quantize_wire_ ? ops::to_half_precision(slice)
-                                       : std::move(slice);
-            m.wire_bits = wire_bits_;
+            m.payload =
+                codec_.transforms ? codec_.apply(slice) : std::move(slice);
+            codec_.stamp(m);
             account(layer32, /*backward=*/true, worker, m.wire_size(),
                     c == 0 ? 1 : 0);
             rlinks_[worker]->post(comm::Message(m));  // keep the train copy

@@ -24,6 +24,7 @@
 
 #include "comm/comm_clock.h"
 #include "comm/phase_ledger.h"
+#include "comm/wire_codec.h"
 #include "core/fault_tolerance.h"
 #include "moe/moe_block.h"
 #include "placement/placement.h"
@@ -35,9 +36,13 @@ class ExpertBroker : public moe::ExpertBackend {
   // `rlinks[n]` is the reliable link to worker n. `placement` may be updated
   // later via set_placement (expert migration). All pointers are non-owning;
   // MasterProcess keeps the links valid across worker respawns.
+  // The last two parameters select the quantized wire tier (DESIGN.md §13);
+  // the defaults resolve to the legacy (wire_bits, quantize_wire) behavior.
   ExpertBroker(std::vector<ReliableLink*> rlinks,
                const placement::Placement* placement, std::size_t num_layers,
-               unsigned wire_bits, bool quantize_wire = false);
+               unsigned wire_bits, bool quantize_wire = false,
+               comm::WireDtype wire_dtype = comm::WireDtype::kDefault,
+               unsigned q8_block = 0);
 
   ag::Variable expert_forward(std::size_t layer, std::size_t expert,
                               const ag::Variable& xs) override;
@@ -91,8 +96,10 @@ class ExpertBroker : public moe::ExpertBackend {
   std::vector<ReliableLink*> rlinks_;
   const placement::Placement* placement_;
   std::size_t num_layers_;
-  unsigned wire_bits_;
-  bool quantize_wire_;
+  // Resolved dispatch-payload codec: every outgoing activation/gradient is
+  // transformed by codec_.apply() and stamped by codec_.stamp(), so the
+  // ledgers charge the quantized footprint uniformly across transports.
+  comm::WireCodec codec_;
   std::size_t overlap_chunks_ = 0;
   std::uint64_t next_request_ = 1;
   // Per-phase byte/message ledger, one master row × one column per worker

@@ -13,7 +13,10 @@ namespace vela::core {
 
 ExpertWorker::ExpertWorker(WorkerSpec spec, comm::DuplexLink* link,
                            std::vector<ExpertKey> initial_experts)
-    : spec_(spec), link_(link) {
+    : spec_(spec),
+      codec_(comm::WireCodec::resolve(spec.wire_dtype, spec.wire_bits,
+                                      spec.quantize_wire, spec.q8_block)),
+      link_(link) {
   VELA_CHECK(link != nullptr);
   for (const auto& key : initial_experts) {
     install_expert(key, nullptr);
@@ -48,6 +51,12 @@ void ExpertWorker::install_expert(const ExpertKey& key, const Tensor* state) {
       spec_.model_dim, spec_.hidden_dim, spec_.lora, rng);
   if (state != nullptr) {
     unpack_trainable(*state, *hosted.expert);
+  }
+  if (codec_.is_int8()) {
+    // Quantized compute tier: the frozen bases run through the packed-q8
+    // GEMM. Deterministic per expert (pack depends only on the seeded
+    // weights), so migration and respawn re-derive the identical pack.
+    hosted.expert->enable_q8_compute(codec_.block);
   }
   if (spec_.lora.enabled) {
     hosted.optimizer = std::make_unique<nn::AdamW>(
@@ -146,10 +155,8 @@ bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
       // keeps the broker's header-once-per-transfer accounting symmetric.
       reply.chunk_index = msg.chunk_index;
       reply.chunk_count = msg.chunk_count;
-      reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
-                          ? ops::to_half_precision(s.y.value())
-                          : s.y.value();
-      reply.wire_bits = spec_.wire_bits;
+      reply.payload = codec_.apply(s.y.value());
+      codec_.stamp(reply);
       s.reply = std::move(reply);
     });
   }
@@ -237,10 +244,8 @@ bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
         reply.layer = msg.layer;
         reply.expert = msg.expert;
         reply.step = msg.step;
-        reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
-                            ? ops::to_half_precision(s.req.input.grad())
-                            : s.req.input.grad();
-        reply.wire_bits = spec_.wire_bits;
+        reply.payload = codec_.apply(s.req.input.grad());
+        codec_.stamp(reply);
         s.reply = std::move(reply);
       }
     });
@@ -299,10 +304,9 @@ bool ExpertWorker::stitched_backward(std::uint64_t base_id,
     reply.chunk_index = msg.chunk_index;
     reply.chunk_count = msg.chunk_count;
     Tensor slice = ops::slice_rows(dx, at, rows);
-    reply.payload = spec_.quantize_wire && spec_.wire_bits == 16
-                        ? ops::to_half_precision(slice)
-                        : std::move(slice);
-    reply.wire_bits = spec_.wire_bits;
+    reply.payload =
+        codec_.transforms ? codec_.apply(slice) : std::move(slice);
+    codec_.stamp(reply);
     at += rows;
     ++c;
     pending_.erase(msg.request_id);

@@ -102,6 +102,10 @@ class ExpertWorker {
   }
 
   WorkerSpec spec_;
+  // Dispatch-payload codec resolved from the spec (comm/wire_codec.h) —
+  // necessarily the same resolution the master's broker performed. Applies
+  // to compute replies only; state/snapshot replies stay raw fp32.
+  comm::WireCodec codec_;
   comm::DuplexLink* link_;
   std::map<ExpertKey, HostedExpert> experts_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;

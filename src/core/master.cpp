@@ -49,9 +49,10 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
   }
   std::vector<ReliableLink*> rlink_ptrs;
   for (auto& rl : rlinks_) rlink_ptrs.push_back(rl.get());
-  broker_ = std::make_unique<ExpertBroker>(rlink_ptrs, &placement_, num_layers,
-                                           spec_template_.wire_bits,
-                                           spec_template_.quantize_wire);
+  broker_ = std::make_unique<ExpertBroker>(
+      rlink_ptrs, &placement_, num_layers, spec_template_.wire_bits,
+      spec_template_.quantize_wire, spec_template_.wire_dtype,
+      spec_template_.q8_block);
 }
 
 MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
@@ -97,9 +98,10 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
   }
   std::vector<ReliableLink*> rlink_ptrs;
   for (auto& rl : rlinks_) rlink_ptrs.push_back(rl.get());
-  broker_ = std::make_unique<ExpertBroker>(rlink_ptrs, &placement_, num_layers,
-                                           spec_template_.wire_bits,
-                                           spec_template_.quantize_wire);
+  broker_ = std::make_unique<ExpertBroker>(
+      rlink_ptrs, &placement_, num_layers, spec_template_.wire_bits,
+      spec_template_.quantize_wire, spec_template_.wire_dtype,
+      spec_template_.q8_block);
   VELA_LOG_INFO("master") << "remote fleet assembled: " << n
                           << " worker process(es)";
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/wire_codec.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
@@ -30,6 +31,12 @@ struct WorkerSpec {
   // values before transmission (simulating a half-precision transport; off
   // by default so tests can assert bit-exact dense/distributed equivalence).
   bool quantize_wire = false;
+  // Quantized wire tier (DESIGN.md §13). kDefault defers to VELA_WIRE_DTYPE
+  // and then to the legacy pair above; every process of a fleet resolves the
+  // same comm::WireCodec from these four knobs, so master, workers and
+  // remote vela_nodes can never disagree on the dispatch dtype.
+  comm::WireDtype wire_dtype = comm::WireDtype::kDefault;
+  unsigned q8_block = 0;  // int8 block length; 0 → VELA_WIRE_BLOCK, then 64
 };
 
 // Packs a module's *trainable* parameters into one flat rank-1 tensor, in

@@ -68,6 +68,8 @@ VelaSystemConfig Scenario::system_config(bool remote) const {
   cfg.seed = seed;
   cfg.wire_bits = wire_bits;
   cfg.quantize_wire = quantize_wire;
+  cfg.wire_dtype = wire_dtype;
+  cfg.q8_block = q8_block;
   cfg.transport =
       remote ? comm::TransportKind::kSocket : comm::TransportKind::kDefault;
   return cfg;
@@ -77,7 +79,8 @@ std::string Scenario::serialize() const {
   std::ostringstream out;
   out << "model=" << model << ";workers=" << workers << ";seed=" << seed
       << ";wire_bits=" << wire_bits << ";quantize_wire=" << (quantize_wire ? 1 : 0)
-      << ";corpus=" << corpus << ";corpus_seed=" << corpus_seed
+      << ";wire_dtype=" << comm::wire_dtype_name(wire_dtype)
+      << ";q8_block=" << q8_block << ";corpus=" << corpus << ";corpus_seed=" << corpus_seed
       << ";corpus_domains=" << corpus_domains
       << ";dataset_sequences=" << dataset_sequences
       << ";sequence_length=" << sequence_length << ";batch_size=" << batch_size
@@ -106,6 +109,11 @@ Scenario Scenario::parse(const std::string& text) {
       sc.wire_bits = static_cast<unsigned>(parse_u64(key, value));
     } else if (key == "quantize_wire") {
       sc.quantize_wire = parse_u64(key, value) != 0;
+    } else if (key == "wire_dtype") {
+      VELA_CHECK_MSG(!value.empty(), "scenario: empty value for " << key);
+      sc.wire_dtype = comm::parse_wire_dtype(value);
+    } else if (key == "q8_block") {
+      sc.q8_block = static_cast<unsigned>(parse_u64(key, value));
     } else if (key == "corpus") {
       sc.corpus = value;
     } else if (key == "corpus_seed") {

@@ -31,6 +31,12 @@ struct Scenario {
   std::uint64_t seed = 21;
   unsigned wire_bits = 16;
   bool quantize_wire = false;
+  // Quantized wire tier (DESIGN.md §13). Serialized by NAME, and "default"
+  // is serialized too: a remote vela_node must resolve VELA_WIRE_DTYPE from
+  // its own (inherited) environment exactly like the master does, so the
+  // scenario pins the config-level request, not the resolved codec.
+  comm::WireDtype wire_dtype = comm::WireDtype::kDefault;
+  unsigned q8_block = 0;  // int8 block length; 0 → VELA_WIRE_BLOCK, then 64
   // Corpus preset by name: "wikitext" | "alpaca" | "shakespeare" | "uniform"
   // (vocab follows the model preset).
   std::string corpus = "wikitext";

@@ -36,6 +36,8 @@ WorkerSpec make_worker_spec(const VelaSystemConfig& cfg, std::size_t worker_id,
   spec.base_seed = cfg.seed;
   spec.wire_bits = cfg.wire_bits;
   spec.quantize_wire = cfg.quantize_wire;
+  spec.wire_dtype = cfg.wire_dtype;
+  spec.q8_block = cfg.q8_block;
   return spec;
 }
 

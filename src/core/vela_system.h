@@ -20,6 +20,7 @@
 
 #include "cluster/topology.h"
 #include "comm/comm_clock.h"
+#include "comm/wire_codec.h"
 #include "core/liveness.h"
 #include "core/master.h"
 #include "core/profiler.h"
@@ -45,6 +46,13 @@ struct VelaSystemConfig {
   // Round payloads to fp16 on the wire (validates the paper's claim that
   // half-precision exchange preserves convergence).
   bool quantize_wire = false;
+  // Quantized wire tier (DESIGN.md §13): dispatch-payload dtype. kDefault
+  // consults VELA_WIRE_DTYPE, then falls back to the legacy pair above —
+  // leaving both unset keeps every pre-tier run bit-identical. kInt8 also
+  // switches hosted experts to the packed-q8 GEMM compute path.
+  comm::WireDtype wire_dtype = comm::WireDtype::kDefault;
+  // int8 block length (32/64); 0 resolves VELA_WIRE_BLOCK, then 64.
+  unsigned q8_block = 0;
   // Weight of the Switch-style load-balancing auxiliary loss. 0 for the
   // paper's fine-tuning setting (locality must not be suppressed).
   float aux_loss_weight = 0.0f;

@@ -32,7 +32,13 @@ class ExpertServer {
                std::size_t num_layers, std::size_t num_experts,
                std::size_t num_shards, comm::Endpoint* inbox,
                std::vector<comm::Endpoint*> reply)
-      : shard_(shard), cfg_(cfg), inbox_(inbox), reply_(std::move(reply)) {
+      : shard_(shard),
+        cfg_(cfg),
+        codec_(comm::WireCodec::resolve(cfg.wire_dtype, cfg.wire_bits,
+                                        /*legacy_quantize=*/false,
+                                        cfg.q8_block)),
+        inbox_(inbox),
+        reply_(std::move(reply)) {
     for (std::size_t l = 0; l < num_layers; ++l) {
       for (std::size_t e = shard; e < num_experts; e += num_shards) {
         Rng rng(nn::expert_seed(cfg.seed, l, e));
@@ -40,6 +46,9 @@ class ExpertServer {
         hosted.expert = std::make_unique<nn::SwiGLUExpert>(
             "layer" + std::to_string(l) + ".expert" + std::to_string(e),
             cfg.model.model_dim, cfg.model.hidden_dim, cfg.model.lora, rng);
+        if (codec_.is_int8()) {
+          hosted.expert->enable_q8_compute(codec_.block);
+        }
         if (cfg.model.lora.enabled) {
           hosted.optimizer = std::make_unique<nn::AdamW>(
               hosted.expert->trainable_parameters(), cfg.adamw);
@@ -159,8 +168,8 @@ class ExpertServer {
         reply.source = static_cast<std::uint32_t>(shard_);
         reply.layer = msg.layer;
         reply.expert = msg.expert;
-        reply.payload = s.y.value();
-        reply.wire_bits = cfg_.wire_bits;
+        reply.payload = codec_.apply(s.y.value());
+        codec_.stamp(reply);
         s.reply = std::move(reply);
       });
     }
@@ -245,8 +254,8 @@ class ExpertServer {
           reply.source = static_cast<std::uint32_t>(shard_);
           reply.layer = msg.layer;
           reply.expert = msg.expert;
-          reply.payload = s.req.input.grad();
-          reply.wire_bits = cfg_.wire_bits;
+          reply.payload = codec_.apply(s.req.input.grad());
+          codec_.stamp(reply);
           s.reply = std::move(reply);
         }
       });
@@ -311,6 +320,8 @@ class ExpertServer {
 
   std::size_t shard_;
   const EpRuntimeConfig& cfg_;
+  // Compute-reply codec; resolved identically on every shard.
+  comm::WireCodec codec_;
   comm::Endpoint* inbox_;
   std::vector<comm::Endpoint*> reply_;  // [source shard]
   std::map<ExpertKey, Hosted> experts_;
@@ -324,7 +335,7 @@ class ExpertServer {
 class PeerBackend : public moe::ExpertBackend {
  public:
   PeerBackend(std::size_t shard, std::size_t num_shards,
-              std::size_t num_layers, unsigned wire_bits,
+              std::size_t num_layers, comm::WireCodec codec,
               const cluster::ClusterTopology* topology,
               comm::TrafficMeter* meter,
               std::vector<comm::Endpoint*> to_server,
@@ -332,7 +343,7 @@ class PeerBackend : public moe::ExpertBackend {
       : shard_(shard),
         num_shards_(num_shards),
         num_layers_(num_layers),
-        wire_bits_(wire_bits),
+        codec_(codec),
         topology_(topology),
         meter_(meter),
         to_server_(std::move(to_server)),
@@ -372,8 +383,8 @@ class PeerBackend : public moe::ExpertBackend {
       msg.source = static_cast<std::uint32_t>(shard_);
       msg.layer = static_cast<std::uint32_t>(layer);
       msg.expert = static_cast<std::uint32_t>(expert);
-      msg.payload = xs.value();
-      msg.wire_bits = wire_bits_;
+      msg.payload = codec_.apply(xs.value());
+      codec_.stamp(msg);
       record(owner, msg.wire_size());
       account(layer, /*backward=*/false, shard_, owner, msg.wire_size());
       outstanding.push_back(
@@ -401,8 +412,8 @@ class PeerBackend : public moe::ExpertBackend {
             grad_msg.source = static_cast<std::uint32_t>(shard_);
             grad_msg.layer = layer32;
             grad_msg.expert = expert32;
-            grad_msg.payload = n.grad;
-            grad_msg.wire_bits = wire_bits_;
+            grad_msg.payload = codec_.apply(n.grad);
+            codec_.stamp(grad_msg);
             record(owner, grad_msg.wire_size());
             account(layer32, /*backward=*/true, shard_, owner,
                     grad_msg.wire_size());
@@ -442,7 +453,10 @@ class PeerBackend : public moe::ExpertBackend {
   }
 
   std::size_t shard_, num_shards_, num_layers_;
-  unsigned wire_bits_;
+  // Dispatch-payload codec (comm/wire_codec.h) — all-to-all requests and
+  // the backward gradient exchange; the backbone ring all-reduce keeps the
+  // legacy raw-fp32 accounting below.
+  comm::WireCodec codec_;
   const cluster::ClusterTopology* topology_;
   comm::TrafficMeter* meter_;
   std::vector<comm::Endpoint*> to_server_;
@@ -579,8 +593,10 @@ struct EpRuntime::Impl {
         from_server.push_back(reply[o][d].get());
       }
       backends.push_back(std::make_unique<PeerBackend>(
-          d, n, cfg.model.num_layers, cfg.wire_bits, &topology, &meter,
-          std::move(to_server), std::move(from_server)));
+          d, n, cfg.model.num_layers,
+          comm::WireCodec::resolve(cfg.wire_dtype, cfg.wire_bits,
+                                   /*legacy_quantize=*/false, cfg.q8_block),
+          &topology, &meter, std::move(to_server), std::move(from_server)));
       Rng rng(cfg.seed);
       replicas.push_back(std::make_unique<model::MoETransformer>(
           cfg.model, backends.back().get(), rng));

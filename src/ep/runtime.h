@@ -24,6 +24,7 @@
 #include "cluster/topology.h"
 #include "comm/comm_clock.h"
 #include "comm/endpoint.h"
+#include "comm/wire_codec.h"
 #include "comm/traffic_meter.h"
 #include "data/corpus.h"
 #include "model/router_planting.h"
@@ -38,6 +39,12 @@ struct EpRuntimeConfig {
   nn::AdamWConfig adamw;
   std::uint64_t seed = 1;
   unsigned wire_bits = 32;
+  // Quantized wire tier (DESIGN.md §13): dtype of all-to-all dispatch
+  // payloads and compute replies (the ring all-reduce stays raw fp32).
+  // kDefault consults VELA_WIRE_DTYPE, then keeps legacy wire_bits
+  // accounting. kInt8 also switches hosted experts to the packed-q8 GEMM.
+  comm::WireDtype wire_dtype = comm::WireDtype::kDefault;
+  unsigned q8_block = 0;  // int8 block length; 0 → VELA_WIRE_BLOCK, then 64
   // Comm-fabric backend for every channel (inbox, reply, ring); kDefault
   // follows VELA_TRANSPORT. Losses, weights and byte counts are bit-exact
   // across backends.

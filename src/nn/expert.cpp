@@ -24,6 +24,12 @@ ag::Variable SwiGLUExpert::forward(const ag::Variable& x) const {
   return w2_->forward(ag::mul(gate, up));
 }
 
+void SwiGLUExpert::enable_q8_compute(unsigned block) {
+  w1_->enable_q8_compute(block);
+  w2_->enable_q8_compute(block);
+  w3_->enable_q8_compute(block);
+}
+
 std::size_t SwiGLUExpert::memory_bytes(unsigned bits) const {
   return parameter_count() * (bits / 8);
 }

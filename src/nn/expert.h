@@ -37,6 +37,12 @@ class SwiGLUExpert : public Module {
   // x: [n_tokens, model_dim] -> [n_tokens, model_dim].
   ag::Variable forward(const ag::Variable& x) const;
 
+  // Switches all three frozen base projections to the packed block-int8
+  // GEMM (see LoRALinear::enable_q8_compute). Deterministic per expert —
+  // the pack depends only on the seeded weights — so a respawned or
+  // migrated expert re-derives the identical packed image.
+  void enable_q8_compute(unsigned block);
+
   std::size_t model_dim() const { return dim_; }
   std::size_t hidden_dim() const { return hidden_; }
 

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "tensor/ops.h"
+#include "tensor/qgemm.h"
 #include "util/check.h"
 
 namespace vela::nn {
@@ -45,10 +46,33 @@ LoRALinear::LoRALinear(std::string name, std::size_t in_features,
   }
 }
 
+void LoRALinear::enable_q8_compute(unsigned block) {
+  qw_ = std::make_shared<qblock::QTensor>(qgemm::pack(w_.value(), block));
+  // Overwrite the frozen value with the dequantized pack: w_ is untracked
+  // (never checkpointed, never optimized), so this changes compute numerics
+  // only — which the quant conformance harness gates on loss tolerance.
+  w_.mutable_value() = qblock::dequantize(*qw_);
+}
+
 ag::Variable LoRALinear::forward(const ag::Variable& x) const {
   VELA_CHECK_MSG(x.value().rank() == 2 && x.value().cols() == in_,
                  "LoRALinear input shape mismatch");
-  ag::Variable y = ag::linear_nt(x, w_);
+  ag::Variable y;
+  if (qw_ != nullptr) {
+    // Packed base projection. Same tape contract as ag::linear_nt with a
+    // frozen W: only dX flows (w_ is never trainable here), computed against
+    // the dequantized image — a straight-through estimator of the packed
+    // forward, exact up to the kernel's block summation grouping.
+    y = ag::make_op(qgemm::matmul_nt_q8(x.value(), *qw_), {x, w_},
+                    [](ag::detail::Node& n) {
+                      if (n.parents[0]->requires_grad) {
+                        n.parents[0]->accumulate_grad(
+                            ops::matmul(n.grad, n.parents[1]->value));
+                      }
+                    });
+  } else {
+    y = ag::linear_nt(x, w_);
+  }
   if (cfg_.enabled) {
     ag::Variable low = ag::linear_nt(x, a_);    // [n, r]
     ag::Variable up = ag::linear_nt(low, b_);   // [n, out]

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "autograd/ops.h"
 #include "nn/module.h"
+#include "tensor/qblock.h"
 #include "util/rng.h"
 
 namespace vela::nn {
@@ -51,6 +53,17 @@ class LoRALinear : public Module {
 
   ag::Variable forward(const ag::Variable& x) const;
 
+  // Quantized compute tier (DESIGN.md §13): pack the frozen base weight
+  // into the per-row block-int8 layout and run the base projection through
+  // qgemm::matmul_nt_q8. The stored fp32 weight is overwritten with its
+  // dequantized image so every other consumer of w_ (backward's dX = dY·Ŵ,
+  // state packing, planting inspection) sees exactly the matrix the packed
+  // kernel multiplies by. LoRA adapters stay fp32 — they are the trainable
+  // state — so checkpoint bytes are unchanged. Idempotent: int8 codes are
+  // exact under requantization, so enabling twice packs the same image.
+  void enable_q8_compute(unsigned block);
+  bool q8_compute_enabled() const { return qw_ != nullptr; }
+
   // Direct access to the frozen base weight (router planting, tests).
   ag::Variable& base_weight() { return w_; }
   const LoRAConfig& config() const { return cfg_; }
@@ -64,6 +77,7 @@ class LoRALinear : public Module {
   ag::Variable w_;  // frozen [out, in]
   ag::Variable a_;  // trainable [rank, in]
   ag::Variable b_;  // trainable [out, rank]
+  std::shared_ptr<qblock::QTensor> qw_;  // packed base, set by enable_q8_compute
 };
 
 }  // namespace vela::nn

@@ -1,0 +1,99 @@
+#include "tensor/qblock.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace vela::qblock {
+namespace {
+
+// Deterministic round-half-away-from-zero, no dependence on the FE rounding
+// mode (std::lrint would have one). |v| <= 127.5-ish by construction; clamp
+// anyway to make the contract independent of float rounding of v.
+inline std::int8_t code_of(float v) {
+  const float r = v >= 0.0f ? std::floor(v + 0.5f) : std::ceil(v - 0.5f);
+  const float c = r > 127.0f ? 127.0f : (r < -127.0f ? -127.0f : r);
+  return static_cast<std::int8_t>(c);
+}
+
+}  // namespace
+
+QTensor quantize(const Tensor& t, unsigned block) {
+  VELA_CHECK_MSG(valid_block(block),
+                 "qblock: block must be 32 or 64, got " << block);
+  VELA_CHECK_MSG(t.all_finite(),
+                 "qblock: refusing to quantize non-finite payload (NaN/Inf)");
+  QTensor q;
+  q.rows = tile_rows(t);
+  q.cols = q.rows == 0 ? 0 : t.size() / q.rows;
+  q.block = block;
+  VELA_CHECK_MSG(q.rows * q.cols == t.size(),
+                 "qblock: shape " << t.shape_string()
+                                  << " does not tile into rows");
+  q.codes.resize(t.size());
+  q.scales.resize(q.rows * q.row_blocks());
+  const float* src = t.data();
+  const std::size_t per_row = q.row_blocks();
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const float* row = src + r * q.cols;
+    std::int8_t* out = q.codes.data() + r * q.cols;
+    for (std::size_t b = 0; b < per_row; ++b) {
+      const std::size_t begin = b * block;
+      const std::size_t end = begin + block < q.cols ? begin + block : q.cols;
+      float absmax = 0.0f;
+      for (std::size_t i = begin; i < end; ++i) {
+        const float a = std::fabs(row[i]);
+        if (a > absmax) absmax = a;
+      }
+      const float scale = absmax / 127.0f;
+      q.scales[r * per_row + b] = scale;
+      // Exact-zero is the codec's sentinel for an empty block, set two lines
+      // up — not a computed float compared by accident.
+      // vela-lint: allow(float-equality)
+      if (scale == 0.0f) {
+        // All-zero block, or absmax so small the scale underflowed: every
+        // code is zero (the values were sub-representable at int8 anyway).
+        for (std::size_t i = begin; i < end; ++i) out[i] = 0;
+        continue;
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = code_of(row[i] / scale);
+      }
+    }
+  }
+  return q;
+}
+
+Tensor dequantize(const QTensor& q, bool rank1) {
+  VELA_CHECK_MSG(valid_block(q.block), "qblock: bad block " << q.block);
+  VELA_CHECK(q.codes.size() == q.rows * q.cols);
+  VELA_CHECK(q.scales.size() == q.rows * q.row_blocks());
+  std::vector<float> data(q.codes.size());
+  const std::size_t per_row = q.row_blocks();
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const std::int8_t* in = q.codes.data() + r * q.cols;
+    float* out = data.data() + r * q.cols;
+    for (std::size_t b = 0; b < per_row; ++b) {
+      const float scale = q.scales[r * per_row + b];
+      const std::size_t begin = b * q.block;
+      const std::size_t end =
+          begin + q.block < q.cols ? begin + q.block : q.cols;
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<float>(in[i]) * scale;
+      }
+    }
+  }
+  if (rank1 && q.rows == 1) {
+    return Tensor({q.cols}, std::move(data));
+  }
+  return Tensor({q.rows, q.cols}, std::move(data));
+}
+
+Tensor roundtrip(const Tensor& t, unsigned block) {
+  QTensor q = quantize(t, block);
+  Tensor d = dequantize(q);
+  return d.reshaped(t.shape());
+}
+
+}  // namespace vela::qblock

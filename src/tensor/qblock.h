@@ -1,0 +1,84 @@
+// Per-row block int8 quantization — the codec behind the quantized wire
+// tier (DESIGN.md §13) and the packed-GEMM compute path (tensor/qgemm.h).
+//
+// Layout: a rank-2 tensor [rows, cols] (rank-1 counts as one row) is split
+// per row into contiguous blocks of `block` elements; the last block of a
+// row may be short — blocks NEVER span rows. Each block stores one fp32
+// scale (absmax/127, symmetric) plus `block` int8 codes. Tiling per row is
+// what makes the overlap pipeline compose: slicing rows off a tensor and
+// quantizing the slice yields byte-identical blocks to quantizing first and
+// slicing after, so K-fragment dispatch is bit-identical at any K.
+//
+// Codes are exact under requantization (dequantize → quantize reproduces
+// the same codes and sizes); the scale itself round-trips only to within
+// float rounding, which is why the conformance harness pins codes and byte
+// counts exactly but gates end-to-end losses on a tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vela::qblock {
+
+// Allowed block lengths (elements per fp32 scale).
+inline constexpr unsigned kBlock32 = 32;
+inline constexpr unsigned kBlock64 = 64;
+inline constexpr unsigned kDefaultBlock = kBlock64;
+
+inline bool valid_block(unsigned block) {
+  return block == kBlock32 || block == kBlock64;
+}
+
+// How a tensor shape maps onto the per-row tiling: rank >= 2 tensors tile
+// along dim 0; rank-0/1 tensors are a single row. Must match
+// comm::Message::wire_size() exactly — the ledger charges these bytes.
+inline std::size_t tile_rows(const Tensor& t) {
+  return t.rank() >= 2 ? t.dim(0) : 1;
+}
+
+inline std::size_t blocks_per_row(std::size_t cols, unsigned block) {
+  return (cols + block - 1) / block;
+}
+
+// Wire footprint of the quantized image: one int8 code per element plus one
+// fp32 scale per block. (No header bytes here — comm::Message adds those.)
+inline std::size_t wire_payload_bytes(std::size_t rows, std::size_t cols,
+                                      unsigned block) {
+  return rows * cols + rows * blocks_per_row(cols, block) * sizeof(float);
+}
+
+// Block-quantized image of a tensor. Doubles as the packed-weight format
+// for qgemm — the pack step IS quantization, there is no second layout.
+struct QTensor {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  unsigned block = kDefaultBlock;
+  std::vector<std::int8_t> codes;  // rows * cols, row-major
+  std::vector<float> scales;       // rows * blocks_per_row(cols, block)
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return wire_payload_bytes(rows, cols, block);
+  }
+  std::size_t row_blocks() const { return blocks_per_row(cols, block); }
+};
+
+// Symmetric absmax quantization of one block: scale = absmax/127, codes in
+// [-127, 127] by round-half-away-from-zero (deterministic, no FE rounding
+// mode dependence). An all-zero block (absmax == 0, or so small the scale
+// underflows to 0) stores scale 0 and all-zero codes.
+QTensor quantize(const Tensor& t, unsigned block = kDefaultBlock);
+
+// Inverse map: code * scale per element, original element count restored.
+// The result is rank-2 [rows, cols] unless rows == 1 and `rank1` is set, in
+// which case a rank-1 [cols] tensor comes back.
+Tensor dequantize(const QTensor& q, bool rank1 = false);
+
+// Quantize-dequantize in the shape of the input — the sender-side wire
+// transform. The transport frame then carries the (already lossy) floats
+// losslessly, which is what keeps inproc and socket runs bit-identical.
+Tensor roundtrip(const Tensor& t, unsigned block = kDefaultBlock);
+
+}  // namespace vela::qblock

@@ -1,0 +1,45 @@
+// Block-quantized packed GEMM — the compute half of the quantized tier
+// (DESIGN.md §13), modeled on the mllm GemmPack/VecDotType structure: pack
+// the static operand once into the block-scale layout, then contract with
+// an integer dot microkernel (AVX2/SSE2 where the compiler provides them, a
+// portable scalar loop otherwise).
+//
+// Determinism contract (the same one every kernel in tensor/ops.h honors):
+// results are bit-identical at any VELA_THREADS *and* across the SIMD and
+// scalar microkernels. Both hold because the per-block int8·int8 dot is an
+// exact int32 (|dot| <= 64·127² < 2²⁴, so even its float image is exact) —
+// summation order inside a block cannot change it — and the fp32 block
+// accumulation always walks blocks in ascending order.
+#pragma once
+
+#include "tensor/qblock.h"
+#include "tensor/tensor.h"
+
+namespace vela::qgemm {
+
+// Which microkernel this build dispatches to ("avx2", "sse2" or "scalar").
+// Informational — all three produce bit-identical results.
+const char* kernel_name();
+
+// Exact int32 dot of two int8 code runs. Exposed for the conformance tests
+// (SIMD vs scalar equality on random runs and block-boundary lengths).
+std::int32_t vec_dot_q8(const std::int8_t* a, const std::int8_t* b,
+                        std::size_t n);
+std::int32_t vec_dot_q8_scalar(const std::int8_t* a, const std::int8_t* b,
+                               std::size_t n);
+
+// Pack a weight matrix for repeated use as the RHS of matmul_nt_q8. This is
+// simply per-row block quantization — one layout for wire and compute.
+inline qblock::QTensor pack(const Tensor& w,
+                            unsigned block = qblock::kDefaultBlock) {
+  return qblock::quantize(w, block);
+}
+
+// y[n, out] = x̂ · Ŵᵀ where Ŵ is the packed operand and x̂ is x quantized
+// on the fly with the same block length: per block, the exact int32 code
+// dot scaled by (scale_x · scale_w), accumulated over blocks in fp32.
+// Numerically tracks ops::matmul_nt on the dequantized operands (same data,
+// different summation grouping) without materializing either fp32 matrix.
+Tensor matmul_nt_q8(const Tensor& x, const qblock::QTensor& w);
+
+}  // namespace vela::qgemm

@@ -134,12 +134,41 @@ TEST(BenchGolden, Fig5SchemaAndInvariants) {
     const double rnd_mb = std::stod(cells[3]);
     const double vela_mb = std::stod(cells[4]);
     const double ep_mb = std::stod(cells[5]);
-    for (const double v : {seq_mb, rnd_mb, vela_mb, ep_mb}) {
+    const double f16_mb = std::stod(cells[6]);
+    const double q8_mb = std::stod(cells[7]);
+    for (const double v : {seq_mb, rnd_mb, vela_mb, ep_mb, f16_mb, q8_mb}) {
       EXPECT_GE(v, 0.0) << rows[i];
     }
     // The paper's core claim, enforced per step: the locality-aware
     // placement never moves more bytes than the sequential layout.
     EXPECT_LE(vela_mb, seq_mb) << rows[i];
+    // Wire-tier claims (DESIGN.md §13). The golden model is tiny_test with
+    // wire_bits = 32, so vela_mb is fp32-accounted: the int8 tier must cut
+    // the vela placement's external bytes at least 2x per step, and the
+    // fp16 tier sits strictly between.
+    EXPECT_LE(2.0 * q8_mb, vela_mb) << rows[i];
+    EXPECT_LT(q8_mb, f16_mb) << rows[i];
+    EXPECT_LT(f16_mb, vela_mb) << rows[i];
+  }
+}
+
+TEST(BenchGolden, Fig5F16TierMatchesNativeF16Accounting) {
+  // Sanity pin for the tier math: on a model that already models a 16-bit
+  // wire (bytes_per_token == model_dim * 2), the vela_f16_mb column must be
+  // byte-identical to vela_mb — same placement, same plans, same bytes.
+  bench::Setting s = golden_setting();
+  s.model.wire_bits = 16;
+  cluster::ClusterTopology topology(cluster::ClusterConfig::paper_testbed());
+  {
+    CsvWriter csv("golden_fig5_f16.csv", bench::fig5_columns());
+    bench::emit_fig5_setting(s, topology, csv, kGoldenSteps, kGoldenTokens);
+  }
+  const auto rows = lines_of(slurp("golden_fig5_f16.csv"));
+  ASSERT_EQ(rows.size(), 1 + kGoldenSteps);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto cells = split(rows[i], ',');
+    ASSERT_EQ(cells.size(), bench::fig5_columns().size()) << rows[i];
+    EXPECT_EQ(cells[6], cells[4]) << rows[i];  // vela_f16_mb == vela_mb
   }
 }
 
@@ -154,6 +183,8 @@ TEST(BenchGolden, Fig6SchemaAndInvariants) {
   const double seq_s = std::stod(cells[2]);
   const double vela_s = std::stod(cells[4]);
   const double overlap_s = std::stod(cells[5]);
+  const double f16_s = std::stod(cells[6]);
+  const double q8_s = std::stod(cells[7]);
   // Every step time includes the compute floor.
   for (std::size_t i = 1; i < cells.size(); ++i) {
     EXPECT_GE(std::stod(cells[i]), 0.5) << rows[1];
@@ -162,6 +193,9 @@ TEST(BenchGolden, Fig6SchemaAndInvariants) {
   EXPECT_LE(vela_s, ep_s);
   // The overlap series models the SAME bytes, so it can only be faster.
   EXPECT_LE(overlap_s, vela_s);
+  // Fewer wire bytes can only shrink the modeled step: int8 < fp16 < fp32.
+  EXPECT_LE(q8_s, f16_s);
+  EXPECT_LE(f16_s, vela_s);
 }
 
 TEST(BenchGolden, EmittersAreDeterministicAcrossRunsAndThreadCounts) {

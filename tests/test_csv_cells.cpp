@@ -1,0 +1,61 @@
+// Pins the unified CSV cell-formatting helper (bench/csv_cells.h) all bench
+// emitters now share. The formatting contract is golden-file load-bearing:
+// fig5/fig6/degrade/proc golden CSVs were generated with std::to_string
+// semantics, so cell() must reproduce them byte for byte.
+#include "csv_cells.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace vela {
+namespace {
+
+TEST(CsvCells, PlainStringsPassThroughVerbatim) {
+  EXPECT_EQ(bench::cell(std::string("tiny-golden")), "tiny-golden");
+  EXPECT_EQ(bench::cell("mixtral wikitext"), "mixtral wikitext");
+  EXPECT_EQ(bench::cell(""), "");
+}
+
+TEST(CsvCells, SpecialCharactersGetRfc4180Quoted) {
+  EXPECT_EQ(bench::cell("a,b"), "\"a,b\"");
+  EXPECT_EQ(bench::cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(bench::cell("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(bench::cell("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvCells, IntegralsFormatAsToString) {
+  EXPECT_EQ(bench::cell(0), "0");
+  EXPECT_EQ(bench::cell(std::size_t{42}), "42");
+  EXPECT_EQ(bench::cell(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(bench::cell(-7), "-7");
+}
+
+TEST(CsvCells, FloatAndDoubleKeepDistinctToStringFormatting) {
+  // std::to_string(float) formats the float's value, not the double's: the
+  // degrade emitter's loss cell is float, the proc emitter casts to double,
+  // and their goldens pin different bytes for nearby values. 16777217 is
+  // not representable in binary32 (rounds to 16777216), so the two
+  // overloads MUST disagree here — this is the regression the shared
+  // helper could silently introduce with a single double overload.
+  EXPECT_EQ(bench::cell(16777217.0f), "16777216.000000");
+  EXPECT_EQ(bench::cell(16777217.0), "16777217.000000");
+  EXPECT_EQ(bench::cell(0.5f), "0.500000");
+  EXPECT_EQ(bench::cell(0.5), "0.500000");
+  EXPECT_EQ(bench::cell(-1.25), "-1.250000");
+}
+
+TEST(CsvCells, CellsBuildsRowInArgumentOrder) {
+  const auto row = bench::cells("tiny", std::size_t{3}, 0.5, 0.25f, -2);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], "tiny");
+  EXPECT_EQ(row[1], "3");
+  EXPECT_EQ(row[2], "0.500000");
+  EXPECT_EQ(row[3], "0.250000");
+  EXPECT_EQ(row[4], "-2");
+}
+
+}  // namespace
+}  // namespace vela

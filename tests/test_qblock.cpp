@@ -1,0 +1,244 @@
+// Conformance tests for the per-row block int8 codec (tensor/qblock.h) and
+// the packed-GEMM microkernels (tensor/qgemm.h) — the numeric foundation of
+// the quantized wire tier (`ctest -L quant`, DESIGN.md §13).
+#include "tensor/qblock.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/qgemm.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vela {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quant/dequant round-trip properties
+// ---------------------------------------------------------------------------
+
+TEST(QBlock, AllZeroBlocksStoreZeroScaleAndCodes) {
+  const qblock::QTensor q = qblock::quantize(Tensor::zeros({3, 70}));
+  EXPECT_EQ(q.rows, 3u);
+  EXPECT_EQ(q.cols, 70u);
+  for (const float s : q.scales) EXPECT_EQ(s, 0.0f);
+  for (const std::int8_t c : q.codes) EXPECT_EQ(c, 0);
+  const Tensor back = qblock::dequantize(q);
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], 0.0f);
+}
+
+TEST(QBlock, SignedZeroQuantizesToPlusZero) {
+  // -0.0f has absmax 0 → zero scale, zero codes; the sign of zero does not
+  // survive (symmetric codes have a single zero).
+  const Tensor t({1, 2}, {0.0f, -0.0f});
+  const Tensor back = qblock::dequantize(qblock::quantize(t, qblock::kBlock32));
+  EXPECT_FALSE(std::signbit(back[0]));
+  EXPECT_FALSE(std::signbit(back[1]));
+}
+
+TEST(QBlock, MaxMagnitudeElementsHitFullScaleCodes) {
+  Tensor t = Tensor::zeros({1, 64});
+  t[0] = 10.0f;
+  t[63] = -10.0f;
+  const qblock::QTensor q = qblock::quantize(t, qblock::kBlock64);
+  EXPECT_EQ(q.codes[0], 127);
+  EXPECT_EQ(q.codes[63], -127);
+  EXPECT_EQ(q.scales[0], 10.0f / 127.0f);
+  const Tensor back = qblock::dequantize(q);
+  EXPECT_NEAR(back[0], 10.0f, 10.0f / 127.0f);
+  EXPECT_NEAR(back[63], -10.0f, 10.0f / 127.0f);
+}
+
+TEST(QBlock, DenormalBlocksUnderflowToZeroWithoutTrapping) {
+  // absmax = denorm_min → scale = denorm_min/127 rounds to 0; the contract
+  // is all-zero codes, not a division by the underflowed scale.
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  Tensor t = Tensor::full({2, 32}, denorm);
+  t[5] = -denorm;
+  const qblock::QTensor q = qblock::quantize(t, qblock::kBlock32);
+  for (const float s : q.scales) EXPECT_EQ(s, 0.0f);
+  for (const std::int8_t c : q.codes) EXPECT_EQ(c, 0);
+  const Tensor back = qblock::dequantize(q);
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], 0.0f);
+}
+
+TEST(QBlock, NanAndInfPayloadsRejected) {
+  Tensor nan_t = Tensor::zeros({1, 8});
+  nan_t[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(qblock::quantize(nan_t, qblock::kBlock32), CheckError);
+  Tensor inf_t = Tensor::zeros({1, 8});
+  inf_t[0] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(qblock::quantize(inf_t, qblock::kBlock32), CheckError);
+}
+
+TEST(QBlock, InvalidBlockLengthRejected) {
+  const Tensor t = Tensor::zeros({1, 8});
+  for (const unsigned bad : {0u, 8u, 16u, 48u, 128u}) {
+    EXPECT_THROW(qblock::quantize(t, bad), CheckError) << bad;
+  }
+}
+
+TEST(QBlock, RelativeErrorBoundedByHalfStep) {
+  // |x - dequant(quant(x))| <= scale/2 + float rounding, per element.
+  Rng rng(11);
+  const Tensor t = ops::randn({7, 100}, rng);
+  const qblock::QTensor q = qblock::quantize(t, qblock::kBlock32);
+  const Tensor back = qblock::dequantize(q);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      const std::size_t i = r * q.cols + c;
+      const float scale = q.scales[r * q.row_blocks() + c / q.block];
+      EXPECT_NEAR(back[i], t[i], scale * 0.5f + 1e-6f) << "element " << i;
+    }
+  }
+}
+
+TEST(QBlock, CodesExactUnderRequantization) {
+  // quantize(dequantize(q)) reproduces codes and byte counts exactly —
+  // the property that makes the sender-side roundtrip transform idempotent
+  // on the wire (scales only agree to float rounding; codes are pinned).
+  Rng rng(3);
+  for (const unsigned block : {qblock::kBlock32, qblock::kBlock64}) {
+    const Tensor t = ops::randn({5, 97}, rng);
+    const qblock::QTensor q1 = qblock::quantize(t, block);
+    const qblock::QTensor q2 = qblock::quantize(qblock::dequantize(q1), block);
+    EXPECT_EQ(q1.codes, q2.codes) << "block " << block;
+    EXPECT_EQ(q1.wire_bytes(), q2.wire_bytes());
+  }
+}
+
+TEST(QBlock, BlocksNeverSpanRows) {
+  // Quantizing a row slice reproduces that row's blocks exactly — the
+  // property the overlap pipeline's K-fragment bit-identity rests on.
+  Rng rng(19);
+  const std::size_t rows = 6, cols = 45;  // short last block per row
+  const Tensor t = ops::randn({rows, cols}, rng);
+  const qblock::QTensor whole = qblock::quantize(t, qblock::kBlock32);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<float> row(t.data() + r * cols, t.data() + (r + 1) * cols);
+    const qblock::QTensor alone =
+        qblock::quantize(Tensor({1, cols}, row), qblock::kBlock32);
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(alone.codes[c], whole.codes[r * cols + c]);
+    }
+    for (std::size_t b = 0; b < whole.row_blocks(); ++b) {
+      EXPECT_EQ(alone.scales[b], whole.scales[r * whole.row_blocks() + b]);
+    }
+  }
+}
+
+TEST(QBlock, WirePayloadBytesCountsCodesPlusScales) {
+  // 1 B per element + 4 B per block; last block short, still one scale.
+  EXPECT_EQ(qblock::wire_payload_bytes(1, 64, 64), 64u + 4u);
+  EXPECT_EQ(qblock::wire_payload_bytes(1, 65, 64), 65u + 2 * 4u);
+  EXPECT_EQ(qblock::wire_payload_bytes(3, 70, 32), 3 * 70u + 3 * 3 * 4u);
+  EXPECT_EQ(qblock::wire_payload_bytes(1, 1, 32), 1u + 4u);  // smallest
+  Rng rng(7);
+  const Tensor t = ops::randn({4, 33}, rng);
+  const qblock::QTensor q = qblock::quantize(t, qblock::kBlock32);
+  EXPECT_EQ(q.wire_bytes(),
+            q.codes.size() * sizeof(std::int8_t) +
+                q.scales.size() * sizeof(float));
+}
+
+TEST(QBlock, TensorRankMapsToRowTiling) {
+  EXPECT_EQ(qblock::tile_rows(Tensor::zeros({12})), 1u);
+  EXPECT_EQ(qblock::tile_rows(Tensor::zeros({3, 4})), 3u);
+  EXPECT_EQ(qblock::tile_rows(Tensor::zeros({2, 3, 4})), 2u);
+  // A rank-1 input can come back rank-1 when asked.
+  Rng rng(5);
+  const Tensor v = ops::randn({10}, rng);
+  const Tensor back1 = qblock::dequantize(qblock::quantize(v), /*rank1=*/true);
+  EXPECT_EQ(back1.rank(), 1u);
+  EXPECT_EQ(back1.size(), 10u);
+  // roundtrip() restores the exact input shape, rank 3 included.
+  const Tensor t3 = ops::randn({2, 3, 8}, rng);
+  const Tensor rt = qblock::roundtrip(t3, qblock::kBlock32);
+  ASSERT_EQ(rt.rank(), 3u);
+  EXPECT_EQ(rt.dim(0), 2u);
+  EXPECT_EQ(rt.dim(1), 3u);
+  EXPECT_EQ(rt.dim(2), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-GEMM microkernels
+// ---------------------------------------------------------------------------
+
+TEST(QGemm, KernelNameIsOneOfTheThree) {
+  const std::string name = qgemm::kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+}
+
+TEST(QGemm, SimdDotMatchesScalarOnRandomRuns) {
+  Rng rng(23);
+  std::vector<std::int8_t> a(300), b(300);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform_index(255)) - 127);
+    b[i] = static_cast<std::int8_t>(
+        static_cast<int>(rng.uniform_index(255)) - 127);
+  }
+  // Every length through the SIMD width boundaries plus the block lengths.
+  for (std::size_t n = 0; n <= 70; ++n) {
+    EXPECT_EQ(qgemm::vec_dot_q8(a.data(), b.data(), n),
+              qgemm::vec_dot_q8_scalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+  for (const std::size_t n : {127u, 128u, 129u, 300u}) {
+    EXPECT_EQ(qgemm::vec_dot_q8(a.data(), b.data(), n),
+              qgemm::vec_dot_q8_scalar(a.data(), b.data(), n));
+  }
+}
+
+TEST(QGemm, DotOfFullScaleCodesIsExact) {
+  // 64 · 127 · 127 is the per-block worst case; it must be exact (and is
+  // also exactly representable in fp32 — the determinism argument).
+  std::vector<std::int8_t> a(64, 127), b(64, 127);
+  EXPECT_EQ(qgemm::vec_dot_q8(a.data(), b.data(), 64), 64 * 127 * 127);
+  for (auto& v : b) v = -127;
+  EXPECT_EQ(qgemm::vec_dot_q8(a.data(), b.data(), 64), -64 * 127 * 127);
+  EXPECT_LT(64 * 127 * 127, 1 << 24);  // exact in fp32
+}
+
+TEST(QGemm, MatmulTracksDequantizedReference) {
+  Rng rng(31);
+  const Tensor x = ops::randn({5, 70}, rng);
+  const Tensor w = ops::randn({9, 70}, rng);
+  const qblock::QTensor packed = qgemm::pack(w, qblock::kBlock32);
+  const Tensor y = qgemm::matmul_nt_q8(x, packed);
+  const Tensor ref = ops::matmul_nt(qblock::roundtrip(x, qblock::kBlock32),
+                                    qblock::dequantize(packed));
+  ASSERT_EQ(y.rank(), 2u);
+  ASSERT_EQ(y.dim(0), 5u);
+  ASSERT_EQ(y.dim(1), 9u);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // Same data, different summation grouping: agreement to accumulated
+    // float rounding, not bit-for-bit.
+    EXPECT_NEAR(y[i], ref[i], 1e-4f * (std::abs(ref[i]) + 1.0f)) << i;
+  }
+}
+
+TEST(QGemm, MatmulBitIdenticalAcrossThreadCounts) {
+  Rng rng(37);
+  const Tensor x = ops::randn({32, 64}, rng);
+  const qblock::QTensor w = qgemm::pack(ops::randn({48, 64}, rng));
+  const Tensor serial = qgemm::matmul_nt_q8(x, w);
+  util::ThreadPool::set_global_threads(8);
+  const Tensor threaded = qgemm::matmul_nt_q8(x, w);
+  util::ThreadPool::set_global_threads(0);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << i;  // bit-exact, not NEAR
+  }
+}
+
+}  // namespace
+}  // namespace vela

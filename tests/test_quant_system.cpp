@@ -1,0 +1,264 @@
+// End-to-end conformance for the quantized wire tier (`ctest -L quant`,
+// DESIGN.md §13): transport-backend bit-identity, the 20-step fine-tune
+// loss-tolerance gate vs fp32, measured traffic cuts, overlap composition,
+// audit-clean conservation, and the fp32 default-path bit-identity contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/vela_system.h"
+#include "data/batch.h"
+#include "ep/runtime.h"
+#include "util/audit.h"
+#include "util/thread_pool.h"
+
+namespace vela {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+core::VelaSystemConfig base_config() {
+  core::VelaSystemConfig cfg;
+  cfg.model = model::ModelConfig::tiny_test();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.seed = 13;
+  cfg.wire_bits = 32;
+  cfg.adamw.lr = 1e-3f;
+  cfg.overlap_chunks = 0;
+  return cfg;
+}
+
+struct RunResult {
+  std::vector<float> losses;
+  std::uint64_t external_bytes = 0;
+};
+
+// One deterministic fine-tune: fixed corpus, fixed batch order.
+RunResult run_finetune(const core::VelaSystemConfig& cfg, int steps) {
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::wikitext_like(cfg.model.vocab, 6), 31);
+  core::VelaSystem vela(cfg, &corpus);
+  data::BatchIterator it(corpus.make_dataset(6, 8), 3, 4, /*shuffle=*/false);
+  RunResult out;
+  for (int step = 0; step < steps; ++step) {
+    out.losses.push_back(vela.train_step(it.next()).loss);
+  }
+  out.external_bytes = vela.master().meter().lifetime_external_bytes();
+  return out;
+}
+
+TEST(QuantSystem, Int8RunIsBitIdenticalAcrossTransports) {
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  cfg.transport = comm::TransportKind::kInProc;
+  const RunResult inproc = run_finetune(cfg, 6);
+  cfg.transport = comm::TransportKind::kSocket;
+  const RunResult socket = run_finetune(cfg, 6);
+  ASSERT_EQ(inproc.losses.size(), socket.losses.size());
+  for (std::size_t i = 0; i < inproc.losses.size(); ++i) {
+    EXPECT_EQ(inproc.losses[i], socket.losses[i]) << "step " << i;
+  }
+  EXPECT_EQ(inproc.external_bytes, socket.external_bytes);
+}
+
+TEST(QuantSystem, Int8RunIsBitIdenticalAcrossThreadCounts) {
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult serial = run_finetune(cfg, 4);
+  util::ThreadPool::set_global_threads(8);
+  const RunResult threaded = run_finetune(cfg, 4);
+  util::ThreadPool::set_global_threads(0);
+  for (std::size_t i = 0; i < serial.losses.size(); ++i) {
+    EXPECT_EQ(serial.losses[i], threaded.losses[i]) << "step " << i;
+  }
+}
+
+TEST(QuantSystem, TwentyStepLossTracksFp32WithinTolerance) {
+  // The tier's convergence gate: per-step |Δloss| bound plus a final-loss
+  // gate against the bit-exact fp32 run of the SAME schedule. Measured
+  // drift on this schedule is ≤0.01 most steps with a peak of ~0.06, so
+  // the ~0.26 bound is a deliberate ~4× headroom — the gate exists to
+  // catch a broken codec (orders of magnitude), not to freeze harmless
+  // rounding changes.
+  const int kSteps = 20;
+  const RunResult fp32 = run_finetune(base_config(), kSteps);
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult q8 = run_finetune(cfg, kSteps);
+  ASSERT_EQ(q8.losses.size(), fp32.losses.size());
+  for (int i = 0; i < kSteps; ++i) {
+    EXPECT_TRUE(std::isfinite(q8.losses[i])) << "step " << i;
+    EXPECT_NEAR(q8.losses[i], fp32.losses[i],
+                0.05f * std::abs(fp32.losses[i]) + 0.05f)
+        << "step " << i;
+    EXPECT_GT(q8.losses[i], 0.0f);
+  }
+  EXPECT_NEAR(q8.losses.back(), fp32.losses.back(),
+              0.05f * std::abs(fp32.losses.back()));
+  // Both runs must actually learn: final loss below initial.
+  EXPECT_LT(q8.losses.back(), q8.losses.front());
+}
+
+TEST(QuantSystem, Int8CutsExternalBytesAtLeastTwofold) {
+  const RunResult fp32 = run_finetune(base_config(), 3);
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult q8 = run_finetune(cfg, 3);
+  EXPECT_GE(fp32.external_bytes, 2 * q8.external_bytes)
+      << "fp32 " << fp32.external_bytes << " B vs int8 " << q8.external_bytes
+      << " B";
+}
+
+TEST(QuantSystem, Fp16TierSitsBetween) {
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kFp16;
+  const RunResult f16 = run_finetune(cfg, 3);
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult q8 = run_finetune(cfg, 3);
+  const RunResult fp32 = run_finetune(base_config(), 3);
+  EXPECT_LT(f16.external_bytes, fp32.external_bytes);
+  EXPECT_LT(q8.external_bytes, f16.external_bytes);
+  for (const float l : f16.losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(QuantSystem, OverlapFragmentationIsBitIdenticalUnderInt8) {
+  // Per-row block tiling ⇒ slicing K fragments then quantizing equals
+  // quantizing then slicing, so the training trajectory cannot depend on
+  // the pipeline depth. Byte totals are also invariant: fragment-0-only
+  // header charging and row-aligned blocks mean no K-dependent padding.
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  cfg.overlap_chunks = 0;
+  const RunResult k0 = run_finetune(cfg, 4);
+  for (const int k : {2, 4}) {
+    cfg.overlap_chunks = k;
+    const RunResult kk = run_finetune(cfg, 4);
+    ASSERT_EQ(kk.losses.size(), k0.losses.size());
+    for (std::size_t i = 0; i < k0.losses.size(); ++i) {
+      EXPECT_EQ(kk.losses[i], k0.losses[i]) << "K=" << k << " step " << i;
+    }
+  }
+}
+
+TEST(QuantSystem, ExplicitFp32MatchesDefaultBitForBit) {
+  // The tier must be invisible until asked for: an explicit fp32 codec and
+  // the legacy default (wire_bits=32, env unset) are the same run — losses
+  // AND accounted bytes.
+  const RunResult legacy = run_finetune(base_config(), 4);
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kFp32;
+  const RunResult fp32 = run_finetune(cfg, 4);
+  ASSERT_EQ(fp32.losses.size(), legacy.losses.size());
+  for (std::size_t i = 0; i < legacy.losses.size(); ++i) {
+    EXPECT_EQ(fp32.losses[i], legacy.losses[i]) << "step " << i;
+  }
+  EXPECT_EQ(fp32.external_bytes, legacy.external_bytes);
+}
+
+TEST(QuantSystem, EnvSelectsInt8ForDefaultConfig) {
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult explicit_q8 = run_finetune(cfg, 3);
+  ScopedEnv env("VELA_WIRE_DTYPE", "int8");
+  const RunResult env_q8 = run_finetune(base_config(), 3);
+  ASSERT_EQ(env_q8.losses.size(), explicit_q8.losses.size());
+  for (std::size_t i = 0; i < explicit_q8.losses.size(); ++i) {
+    EXPECT_EQ(env_q8.losses[i], explicit_q8.losses[i]) << "step " << i;
+  }
+  EXPECT_EQ(env_q8.external_bytes, explicit_q8.external_bytes);
+}
+
+TEST(QuantSystem, Block32And64BothTrainAndDifferOnlyInScaleOverhead) {
+  auto cfg = base_config();
+  // tiny_test's H=16 fits in ONE block either way (blocks are per row and
+  // clamp to the row length), so widen the model until the block lengths
+  // actually tile differently: H=48 is 2 blocks at b=32 vs 1 at b=64.
+  cfg.model.model_dim = 48;
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  cfg.q8_block = 32;
+  const RunResult b32 = run_finetune(cfg, 3);
+  cfg.q8_block = 64;
+  const RunResult b64 = run_finetune(cfg, 3);
+  for (const float l : b32.losses) EXPECT_TRUE(std::isfinite(l));
+  for (const float l : b64.losses) EXPECT_TRUE(std::isfinite(l));
+  // Twice the blocks ⇒ more scale bytes on the wire.
+  EXPECT_GT(b32.external_bytes, b64.external_bytes);
+}
+
+TEST(QuantSystem, ConservationAuditCleanUnderInt8) {
+  // VELA_AUDIT's byte-conservation ledger must balance exactly with the
+  // quantized wire_size() charges — the tier changes footprints, never
+  // conservation.
+  audit::set_enabled_for_testing(true);
+  audit::LockOrderGraph::instance().reset_for_testing();
+  audit::ConservationLedger::instance().reset_for_testing();
+  std::vector<std::pair<std::string, std::string>> violations;
+  audit::set_violation_handler(
+      [&violations](const std::string& category, const std::string& detail) {
+        violations.emplace_back(category, detail);
+      });
+
+  auto cfg = base_config();
+  cfg.wire_dtype = comm::WireDtype::kInt8;
+  const RunResult r = run_finetune(cfg, 2);
+  EXPECT_EQ(r.losses.size(), 2u);
+
+  audit::set_violation_handler(nullptr);
+  audit::LockOrderGraph::instance().reset_for_testing();
+  audit::ConservationLedger::instance().reset_for_testing();
+  audit::set_enabled_for_testing(false);
+  for (const auto& [category, detail] : violations) {
+    ADD_FAILURE() << category << ": " << detail;
+  }
+}
+
+TEST(QuantSystem, EpRuntimeInt8TrainsAndReducesTraffic) {
+  ep::EpRuntimeConfig cfg;
+  cfg.model = model::ModelConfig::tiny_test();
+  cfg.cluster = cluster::ClusterConfig::paper_testbed();
+  cfg.cluster.num_nodes = 2;
+  cfg.cluster.gpus_per_node = 1;
+  cfg.seed = 77;
+  cfg.wire_bits = 32;
+  cfg.adamw.lr = 1e-3f;
+  data::SyntheticCorpus corpus(
+      data::CorpusConfig::wikitext_like(cfg.model.vocab, 6), 5);
+  const auto batch = corpus.make_dataset(2, 6);
+
+  std::uint64_t fp32_bytes = 0, q8_bytes = 0;
+  {
+    ep::EpRuntime ep(cfg, &corpus);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(std::isfinite(ep.train_step(batch).loss));
+    }
+    fp32_bytes = ep.meter().lifetime_external_bytes();
+  }
+  {
+    cfg.wire_dtype = comm::WireDtype::kInt8;
+    ep::EpRuntime ep(cfg, &corpus);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(std::isfinite(ep.train_step(batch).loss));
+    }
+    q8_bytes = ep.meter().lifetime_external_bytes();
+  }
+  // The all-to-all payloads shrink ~4x; the ring all-reduce stays fp32, so
+  // the total is a smaller (but strict and substantial) cut.
+  EXPECT_LT(2 * q8_bytes, 2 * fp32_bytes);
+  EXPECT_LT(q8_bytes, (fp32_bytes * 3) / 4);
+}
+
+}  // namespace
+}  // namespace vela

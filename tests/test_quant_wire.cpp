@@ -1,0 +1,324 @@
+// Wire-level conformance for the quantized tier (`ctest -L quant`,
+// DESIGN.md §13): the accounted codec (serialize.h) and the lossless
+// transport frame (frame.h) against q8 payload sizes, the WireCodec
+// resolution rules, and FrameDecoder torn-read/CRC behavior over the
+// smallest and largest q8 frames. The inproc backend moves Message objects
+// directly (no byte stream), so the framing tests exercise the socket
+// backend's codec path; backend equivalence end-to-end is pinned by
+// test_quant_system.cpp.
+#include "comm/wire_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/frame.h"
+#include "comm/serialize.h"
+#include "tensor/ops.h"
+#include "tensor/qblock.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vela {
+namespace {
+
+// setenv/unsetenv guard: restores the unset state on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+comm::Message q8_message(std::size_t rows, std::size_t cols, unsigned block,
+                         std::uint64_t seed = 5) {
+  comm::Message msg;
+  msg.type = comm::MessageType::kExpertForward;
+  msg.request_id = 0x1122334455667788ull;
+  msg.layer = 1;
+  msg.expert = 2;
+  msg.step = 9;
+  Rng rng(seed);
+  msg.payload = ops::randn({rows, cols}, rng);
+  msg.wire_bits = 8;
+  msg.q8_block = static_cast<std::uint8_t>(block);
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Accounted codec (serialize.h)
+// ---------------------------------------------------------------------------
+
+TEST(QuantSerialize, EncodedSizeEqualsWireSizeEqualsSumOfBlocks) {
+  for (const unsigned block : {32u, 64u}) {
+    const comm::Message msg = q8_message(6, 70, block);
+    const auto bytes = comm::encode(msg);
+    EXPECT_EQ(bytes.size(), msg.wire_size()) << "block " << block;
+    // Ledger exactness: the charged body is exactly the sum of the per-block
+    // encoded sizes (4 B scale + the block's code run, short last block).
+    std::size_t body = 0;
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t b = 0; b * block < 70; ++b) {
+        const std::size_t len = std::min<std::size_t>(block, 70 - b * block);
+        body += sizeof(float) + len;
+      }
+    }
+    EXPECT_EQ(msg.wire_size(), comm::Message::kHeaderBytes + body);
+    EXPECT_EQ(body, qblock::wire_payload_bytes(6, 70, block));
+  }
+}
+
+TEST(QuantSerialize, SmallestPayloadEncodes) {
+  const comm::Message msg = q8_message(1, 1, 32);
+  const auto bytes = comm::encode(msg);
+  EXPECT_EQ(bytes.size(), comm::Message::kHeaderBytes + 1 + sizeof(float));
+  const comm::Message back = comm::decode(bytes);
+  EXPECT_EQ(back.wire_bits, 8u);
+  EXPECT_EQ(back.q8_block, 32u);
+  ASSERT_EQ(back.payload.size(), 1u);
+}
+
+TEST(QuantSerialize, RoundTripMatchesQuantizeDequantize) {
+  const comm::Message msg = q8_message(4, 45, 64);
+  const comm::Message back = comm::decode(comm::encode(msg));
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.wire_bits, 8u);
+  EXPECT_EQ(back.q8_block, 64u);
+  // q8 decode restores the row structure (rank-2), unlike the rank-1
+  // fp16/fp32 paths — the row tiling is part of the wire format.
+  ASSERT_EQ(back.payload.rank(), 2u);
+  EXPECT_EQ(back.payload.dim(0), 4u);
+  EXPECT_EQ(back.payload.dim(1), 45u);
+  const Tensor expect =
+      qblock::dequantize(qblock::quantize(msg.payload, 64));
+  ASSERT_EQ(back.payload.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(back.payload[i], expect[i]) << i;  // bit-exact
+  }
+}
+
+TEST(QuantSerialize, DecodeRejectsBadBlockTag) {
+  auto bytes = comm::encode(q8_message(2, 40, 32));
+  bytes[1] = 0x80 | 16;  // valid-looking tag bit, invalid block length
+  EXPECT_THROW(comm::decode(bytes), CheckError);
+}
+
+TEST(QuantSerialize, TruncatedQ8BufferRejected) {
+  auto bytes = comm::encode(q8_message(2, 40, 32));
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(comm::decode(bytes), CheckError);
+}
+
+TEST(QuantMessage, WireSizeReflectsQuantizedFootprint) {
+  const comm::Message q8 = q8_message(3, 64, 64);
+  comm::Message f32 = q8;
+  f32.wire_bits = 32;
+  f32.q8_block = 0;
+  // 3*64 codes + 3 scales vs 3*64 raw floats: better than 3.7x here.
+  EXPECT_EQ(q8.wire_size(),
+            comm::Message::kHeaderBytes + 3 * 64 + 3 * sizeof(float));
+  EXPECT_GT(f32.wire_size(), 2 * q8.wire_size() - comm::Message::kHeaderBytes);
+}
+
+TEST(QuantMessage, ChecksumCoversBlockLength) {
+  comm::Message msg = q8_message(2, 32, 32);
+  msg.stamp_checksum();
+  EXPECT_TRUE(msg.checksum_ok());
+  msg.q8_block = 64;  // tamper the accounting tag
+  EXPECT_FALSE(msg.checksum_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transport frame (frame.h)
+// ---------------------------------------------------------------------------
+
+TEST(QuantFrame, RoundTripIsLossless) {
+  const comm::Message msg = q8_message(4, 70, 64, /*seed=*/7);
+  comm::Message back;
+  std::string error;
+  ASSERT_TRUE(comm::decode_frame(comm::encode_frame(msg), &back, &error))
+      << error;
+  EXPECT_EQ(back.wire_bits, 8u);
+  EXPECT_EQ(back.q8_block, 64u);
+  ASSERT_EQ(back.payload.size(), msg.payload.size());
+  for (std::size_t i = 0; i < msg.payload.size(); ++i) {
+    // The frame is the LOSSLESS layer: full fp32 payload bits survive even
+    // for a q8-tagged message (quantization happened at the sender).
+    EXPECT_EQ(back.payload[i], msg.payload[i]) << i;
+  }
+}
+
+TEST(QuantFrame, InvalidBlockRejectedAtEncodeAndDecode) {
+  comm::Message msg = q8_message(1, 8, 32);
+  msg.q8_block = 16;
+  EXPECT_THROW(comm::encode_frame(msg), CheckError);
+
+  // A CRC-valid frame whose header carries a bad q8 tag must fail decode
+  // gracefully (error string, no throw): body[1] is the precision slot.
+  auto frame = comm::encode_frame(q8_message(1, 8, 32));
+  frame[4 + 1] = 0x80 | 16;  // after the u32 length prefix
+  const std::uint32_t body_len = frame.size() - comm::kFrameOverheadBytes;
+  const std::uint32_t crc = comm::frame_crc(frame.data() + 4, body_len);
+  // Deliberate frame surgery: this test re-seals a tampered frame.
+  // vela-lint: allow(wire-memcpy)
+  std::memcpy(frame.data() + 4 + body_len, &crc, sizeof(crc));
+  comm::Message out;
+  std::string error;
+  EXPECT_FALSE(comm::decode_frame(frame, &out, &error));
+  EXPECT_NE(error.find("q8"), std::string::npos) << error;
+}
+
+TEST(QuantFrame, CorruptedBytesRejectedByCrc) {
+  for (const std::size_t rows : {1u, 64u}) {
+    auto frame = comm::encode_frame(q8_message(rows, 65, 64));
+    frame[frame.size() / 2] ^= 0x40;
+    comm::Message out;
+    std::string error;
+    EXPECT_FALSE(comm::decode_frame(frame, &out, &error)) << rows;
+  }
+}
+
+TEST(QuantFrame, DecoderReassemblesOneByteTornReads) {
+  // Smallest q8 frame (1x1 payload: header + one short block) followed by
+  // the largest in the test (64x128), fed one byte at a time — no read
+  // boundary ever aligns with a frame.
+  const comm::Message small = q8_message(1, 1, 32, /*seed=*/21);
+  const comm::Message large = q8_message(64, 128, 64, /*seed=*/22);
+  std::vector<std::uint8_t> stream;
+  for (const auto* m : {&small, &large}) {
+    const auto f = comm::encode_frame(*m);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+
+  comm::FrameDecoder decoder;
+  std::vector<comm::Message> out;
+  std::vector<std::uint8_t> frame;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(&frame)) {
+      comm::Message m;
+      std::string error;
+      ASSERT_TRUE(comm::decode_frame(frame, &m, &error)) << error;
+      out.push_back(std::move(m));
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(out[0].payload.size(), 1u);
+  ASSERT_EQ(out[1].payload.size(), large.payload.size());
+  for (std::size_t i = 0; i < large.payload.size(); ++i) {
+    EXPECT_EQ(out[1].payload[i], large.payload[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WireCodec resolution
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, LegacyPairStaysAuthoritativeWithoutEnv) {
+  // Pre-tier configs must resolve bit-identically: wire_bits carries the
+  // accounting, quantize_wire&&16 is the only legacy transform.
+  const auto raw32 = comm::WireCodec::resolve(comm::WireDtype::kDefault, 32,
+                                              /*legacy_quantize=*/false, 0);
+  EXPECT_EQ(raw32.dtype, comm::WireDtype::kFp32);
+  EXPECT_EQ(raw32.bits, 32u);
+  EXPECT_FALSE(raw32.transforms);
+
+  const auto acct16 = comm::WireCodec::resolve(comm::WireDtype::kDefault, 16,
+                                               false, 0);
+  EXPECT_EQ(acct16.bits, 16u);
+  EXPECT_FALSE(acct16.transforms);  // accounting-only 16-bit, legacy default
+
+  const auto legacy_f16 = comm::WireCodec::resolve(comm::WireDtype::kDefault,
+                                                   16, true, 0);
+  EXPECT_EQ(legacy_f16.dtype, comm::WireDtype::kFp16);
+  EXPECT_TRUE(legacy_f16.transforms);
+}
+
+TEST(WireCodec, EnvSelectsTierForDefaultConfigs) {
+  ScopedEnv env("VELA_WIRE_DTYPE", "int8");
+  const auto codec =
+      comm::WireCodec::resolve(comm::WireDtype::kDefault, 32, false, 0);
+  EXPECT_EQ(codec.dtype, comm::WireDtype::kInt8);
+  EXPECT_EQ(codec.bits, 8u);
+  EXPECT_EQ(codec.block, qblock::kDefaultBlock);
+  EXPECT_TRUE(codec.transforms);
+}
+
+TEST(WireCodec, ExplicitConfigBeatsEnv) {
+  ScopedEnv env("VELA_WIRE_DTYPE", "int8");
+  const auto codec =
+      comm::WireCodec::resolve(comm::WireDtype::kFp32, 16, true, 0);
+  EXPECT_EQ(codec.dtype, comm::WireDtype::kFp32);
+  EXPECT_EQ(codec.bits, 32u);
+  EXPECT_FALSE(codec.transforms);
+}
+
+TEST(WireCodec, BlockResolutionChain) {
+  EXPECT_EQ(comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 32)
+                .block,
+            32u);
+  {
+    ScopedEnv env("VELA_WIRE_BLOCK", "32");
+    EXPECT_EQ(comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 0)
+                  .block,
+              32u);
+    // An explicit request still wins over the env.
+    EXPECT_EQ(comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 64)
+                  .block,
+              64u);
+  }
+  EXPECT_EQ(
+      comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 0).block,
+      qblock::kDefaultBlock);
+  EXPECT_THROW(comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 48),
+               CheckError);
+}
+
+TEST(WireCodec, ParseNamesStrictly) {
+  EXPECT_EQ(comm::parse_wire_dtype("fp32"), comm::WireDtype::kFp32);
+  EXPECT_EQ(comm::parse_wire_dtype("fp16"), comm::WireDtype::kFp16);
+  EXPECT_EQ(comm::parse_wire_dtype("int8"), comm::WireDtype::kInt8);
+  EXPECT_EQ(comm::parse_wire_dtype("default"), comm::WireDtype::kDefault);
+  EXPECT_EQ(comm::parse_wire_dtype(""), comm::WireDtype::kDefault);
+  EXPECT_THROW(comm::parse_wire_dtype("int4"), CheckError);
+  EXPECT_THROW(comm::parse_wire_dtype("INT8"), CheckError);
+}
+
+TEST(WireCodec, StampSetsAccountingFields) {
+  comm::Message msg;
+  const auto q8 = comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false,
+                                           32);
+  q8.stamp(msg);
+  EXPECT_EQ(msg.wire_bits, 8u);
+  EXPECT_EQ(msg.q8_block, 32u);
+  const auto f16 = comm::WireCodec::resolve(comm::WireDtype::kFp16, 32, false,
+                                            0);
+  f16.stamp(msg);
+  EXPECT_EQ(msg.wire_bits, 16u);
+  EXPECT_EQ(msg.q8_block, 0u);
+}
+
+TEST(WireCodec, ApplyMatchesQblockRoundtrip) {
+  Rng rng(41);
+  const Tensor t = ops::randn({3, 50}, rng);
+  const auto codec =
+      comm::WireCodec::resolve(comm::WireDtype::kInt8, 32, false, 32);
+  const Tensor wire = codec.apply(t);
+  const Tensor expect = qblock::roundtrip(t, 32);
+  ASSERT_EQ(wire.size(), expect.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(wire[i], expect[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace vela

@@ -1,0 +1,21 @@
+// Seeded quant-buffer violations: raw byte-level access to q8 block storage
+// outside the codec layers (pinned lines in test_vela_lint.cpp).
+#include <cstdint>
+#include <cstring>
+
+struct FakeQTensor {  // stand-in for vela::qblock::QTensor
+  signed char* codes;
+  float* scales;
+};
+
+void leak_layout(FakeQTensor& q, unsigned char* wire) {
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(q.codes);
+  std::memcpy(wire, q.scales, 2 * sizeof(float));
+  (void)raw;
+}
+
+void sanctioned(FakeQTensor& q, unsigned char* wire) {
+  // Checkpoint shim: layout pinned by the codec's own static_asserts.
+  // vela-lint: allow(quant-buffer)
+  std::memcpy(wire, q.codes, 16 * sizeof(char));
+}

@@ -1,6 +1,7 @@
 #include "rules.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 
@@ -483,13 +484,72 @@ void rule_naked_clock(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// --- rule: quant-buffer ----------------------------------------------------
+
+// Identifiers that by repo convention name quantized-block storage: the int8
+// code runs and per-block fp32 scales of tensor/qblock.h, and anything
+// q8/quant-prefixed that wraps them.
+bool names_quant_buffer(const std::string& t) {
+  if (t == "codes" || t == "scales") return true;
+  std::string lower;
+  lower.reserve(t.size());
+  for (char c : t) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find("q8") != std::string::npos ||
+         lower.find("qblock") != std::string::npos ||
+         lower.find("quant") != std::string::npos;
+}
+
+// The q8 block layout (DESIGN.md §13) has exactly two byte-level owners: the
+// codec in src/tensor and the wire formats in src/comm. A reinterpret_cast
+// or memcpy whose argument range touches a quant-buffer identifier anywhere
+// else is a third private copy of the layout — it goes through
+// qblock::quantize/dequantize, or carries an allow() rationale.
+void rule_quant_buffer(const std::string& path, const std::vector<Token>& toks,
+                       std::vector<Finding>* findings) {
+  if (path.find("src/tensor/") != std::string::npos) return;
+  if (path.find("src/comm/") != std::string::npos) return;
+  if (is_test_file(path)) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const bool cast = toks[i].text == "reinterpret_cast";
+    const bool copy = toks[i].text == "memcpy";
+    if (!cast && !copy) continue;
+    // The flagged extent is the whole call: template arguments (for the
+    // cast) plus the parenthesized argument list.
+    std::size_t j = i + 1;
+    if (cast && j < toks.size() && is_tok(toks[j], "<")) {
+      j = match_forward(toks, j, "<", ">");
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    if (j >= toks.size() || !is_tok(toks[j], "(")) continue;
+    const std::size_t close = match_forward(toks, j, "(", ")");
+    for (std::size_t k = i + 1; k < close && k < toks.size(); ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier &&
+          names_quant_buffer(toks[k].text)) {
+        findings->push_back(
+            {"quant-buffer", path, toks[i].line,
+             std::string(cast ? "reinterpret_cast" : "memcpy") +
+                 " over quantized block buffer '" + toks[k].text +
+                 "' outside the codec layers: q8 codes/scales have exactly "
+                 "two byte-layout owners (src/tensor, src/comm) — go "
+                 "through qblock::quantize/dequantize instead"});
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
-      "direct-transport",    "naked-clock",
+      "direct-transport",    "naked-clock",    "quant-buffer",
   };
   return kRules;
 }
@@ -512,6 +572,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_nodiscard_wire(path, lexed.tokens, &findings);
   rule_direct_transport(path, lexed.tokens, &findings);
   rule_naked_clock(path, lexed.tokens, &findings);
+  rule_quant_buffer(path, lexed.tokens, &findings);
 
   // Apply suppressions: an allowance on the finding's line or the line
   // directly above it covers the finding.

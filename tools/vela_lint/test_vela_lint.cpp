@@ -293,13 +293,75 @@ TEST(VelaLintRules, NakedClockSuppressibleWithRationale) {
   EXPECT_TRUE(findings[0].suppressed);
 }
 
+TEST(VelaLintFixtures, QuantBufferSeededViolations) {
+  // quant.cc lives in its own fixture so the violations.cc line pins above
+  // never shift: reinterpret_cast of q.codes (12) and memcpy of q.scales
+  // (13) are flagged; the allow()'d checkpoint shim (20) is downgraded.
+  const auto findings = lint_fixture("quant.cc");
+  EXPECT_EQ(unsuppressed_lines(findings, "quant-buffer"),
+            (std::set<std::size_t>{12, 13}));
+  bool saw_suppressed = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "quant-buffer" && f.suppressed && f.line == 20) {
+      saw_suppressed = true;
+    }
+  }
+  EXPECT_TRUE(saw_suppressed);
+}
+
+TEST(VelaLintRules, QuantBufferScopedToNonCodecCode) {
+  const std::string src = R"src(
+#include <cstring>
+void spill(unsigned char* out, const signed char* q8_codes, unsigned long n) {
+  std::memcpy(out, q8_codes, n * sizeof(char));
+}
+)src";
+  // The codec layers own the byte layout; tests may poke it freely; any
+  // other layer is a third private copy of the format.
+  EXPECT_EQ(unsuppressed_lines(lint_file("src/nn/linear.cpp", src),
+                               "quant-buffer")
+                .size(),
+            1u);
+  EXPECT_TRUE(lint_file("src/tensor/qblock.cpp", src).empty());
+  EXPECT_TRUE(lint_file("src/comm/serialize.cpp", src).empty());
+  EXPECT_TRUE(lint_file("tests/test_qblock.cpp", src).empty());
+}
+
+TEST(VelaLintRules, QuantBufferIgnoresUnrelatedCopies) {
+  // memcpy/reinterpret_cast with no quant-buffer identifier in the call's
+  // extent stays the business of the wire-memcpy rule only.
+  const std::string src = R"src(
+#include <cstring>
+void bulk(float* dst, const float* src_p, unsigned long n) {
+  std::memcpy(dst, src_p, n * sizeof(float));
+}
+unsigned char* view(float* p) { return reinterpret_cast<unsigned char*>(p); }
+)src";
+  EXPECT_TRUE(lint_file("src/nn/linear.cpp", src).empty());
+}
+
+TEST(VelaLintRules, QuantBufferCatchesCastTemplateArguments) {
+  // The quant identifier may appear only in the cast's TEMPLATE argument
+  // (casting a raw wire pointer to a quant-block struct type).
+  const std::string src = R"src(
+struct Q8Block;
+const Q8Block* peek(const unsigned char* wire) {
+  return reinterpret_cast<const Q8Block*>(wire);
+}
+)src";
+  EXPECT_EQ(unsuppressed_lines(lint_file("src/ep/runtime.cpp", src),
+                               "quant-buffer")
+                .size(),
+            1u);
+}
+
 TEST(VelaLintRules, AllRulesListedAndStable) {
   const auto& rules = vela::lint::all_rules();
-  EXPECT_EQ(rules.size(), 8u);
+  EXPECT_EQ(rules.size(), 9u);
   const std::set<std::string> expected = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
-      "direct-transport",    "naked-clock"};
+      "direct-transport",    "naked-clock",    "quant-buffer"};
   EXPECT_EQ(std::set<std::string>(rules.begin(), rules.end()), expected);
 }
 
