@@ -120,8 +120,8 @@ bool RecordParser::next_lenient(Record* out, bool* corrupt) {
                           out->ident.lane == kLaneToMaster);
       break;
     }
-    default:
-      break;  // kRecGoodbye carries nothing
+    case kRecGoodbye:
+      break;  // goodbye carries nothing beyond the type byte
   }
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(total));

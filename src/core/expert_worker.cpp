@@ -373,6 +373,12 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
     const ExpertKey key{msg.layer, msg.expert};
     const std::uint64_t req_key = dedupe_key(msg);
     bool sent = true;
+    // Control-plane dispatch only: kExpertForward/kExpertBackward were
+    // consumed by the run-batching branch above, and the *Result/*Done/
+    // kExpertState/kExpertSnapshot/kProbeAck/kAllReduceChunk variants are
+    // replies this worker SENDS, never receives; the default: abort below
+    // catches any of them arriving by mistake.
+    // vela-analyze: allow(partial-dispatch)
     switch (msg.type) {
       case comm::MessageType::kOptimizerStep: {
         // Forward-only passes (profiling) leave tapes that never receive a

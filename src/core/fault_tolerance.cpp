@@ -37,9 +37,25 @@ comm::MessageType expected_reply_type(comm::MessageType request) {
       return MessageType::kExpertSnapshot;
     case MessageType::kRestoreExpert:
       return MessageType::kRestoreExpertDone;
-    default:
-      return request;  // fire-and-forget messages have no reply
+    // Fire-and-forget control messages and the replies themselves have no
+    // reply; listing them explicitly (no default:) makes the compiler and
+    // vela_analyze flag this map when a new MessageType is added.
+    case MessageType::kExpertForwardResult:
+    case MessageType::kExpertBackwardResult:
+    case MessageType::kOptimizerStepDone:
+    case MessageType::kExpertState:
+    case MessageType::kInstallExpertDone:
+    case MessageType::kLoadExpertStateDone:
+    case MessageType::kAllReduceChunk:
+    case MessageType::kShutdown:
+    case MessageType::kProbeAck:
+    case MessageType::kAbortStepDone:
+    case MessageType::kExpertSnapshot:
+    case MessageType::kRestoreExpertDone:
+    case MessageType::kCrash:
+      return request;
   }
+  return request;  // unreachable: the switch above is exhaustive
 }
 
 ReliableLink::ReliableLink(std::size_t worker, comm::DuplexLink* link,

@@ -269,6 +269,12 @@ class ExpertServer {
   }
 
   void handle(comm::Message msg) {
+    // The EP baseline speaks a two-message subset of the protocol: compute
+    // requests are drained batch-wise by run_forward_batch/
+    // run_backward_batch before handle() sees them, leaving only the step
+    // boundary here; every locality-placement message type is meaningless
+    // under expert parallelism and lands on the default: abort.
+    // vela-analyze: allow(partial-dispatch)
     switch (msg.type) {
       case comm::MessageType::kOptimizerStep: {
         // Forward-only passes (evaluation) leave tapes without a backward;

@@ -2,56 +2,9 @@
 
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace vela::model {
-
-PlantedRouting PlantedRouting::generate(std::size_t num_layers,
-                                        std::size_t num_experts,
-                                        std::size_t num_domains,
-                                        double popularity_zipf,
-                                        std::uint64_t seed) {
-  VELA_CHECK(num_layers > 0 && num_experts >= 2 && num_domains > 0);
-  PlantedRouting out;
-  out.num_experts_ = num_experts;
-  out.prefs_.resize(num_layers);
-  ZipfSampler popularity(num_experts, popularity_zipf);
-  for (std::size_t l = 0; l < num_layers; ++l) {
-    Rng rng(seed * 0x100000001B3ULL + l);
-    // A per-layer permutation decides WHICH experts are the popular ones, so
-    // hot experts differ across blocks like in Fig. 7.
-    std::vector<std::size_t> perm(num_experts);
-    for (std::size_t e = 0; e < num_experts; ++e) perm[e] = e;
-    rng.shuffle(perm);
-    out.prefs_[l].resize(num_domains);
-    for (std::size_t d = 0; d < num_domains; ++d) {
-      const std::size_t primary = perm[popularity.sample(rng)];
-      std::size_t secondary = primary;
-      while (secondary == primary) secondary = perm[popularity.sample(rng)];
-      out.prefs_[l][d] = {primary, secondary};
-    }
-  }
-  return out;
-}
-
-std::pair<std::size_t, std::size_t> PlantedRouting::preference(
-    std::size_t layer, std::size_t domain) const {
-  VELA_CHECK(layer < prefs_.size() && domain < prefs_[layer].size());
-  return prefs_[layer][domain];
-}
-
-Tensor PlantedRouting::expected_probability(
-    const std::vector<double>& domain_dist) const {
-  VELA_CHECK(domain_dist.size() == num_domains());
-  Tensor p({num_layers(), num_experts_});
-  for (std::size_t l = 0; l < num_layers(); ++l) {
-    for (std::size_t d = 0; d < num_domains(); ++d) {
-      const auto [primary, secondary] = prefs_[l][d];
-      p.at(l, primary) += static_cast<float>(domain_dist[d]);
-      p.at(l, secondary) += static_cast<float>(domain_dist[d]);
-    }
-  }
-  return p;
-}
 
 PlantedRouting plant_locality(MoETransformer& model,
                               const data::SyntheticCorpus& corpus,

@@ -10,20 +10,23 @@
 // initialization, fine-tuning then proceeds with real gradients — Theorem 1's
 // stability is *verified*, not assumed.
 //
-// The same preference model doubles as the generative routing model for the
-// Mixtral-shape experiments (Figs. 5–7), where no weight tensors exist: see
-// PlantedRouting::generate and moe::SyntheticRouter.
+// The preference model itself (moe::PlantedRouting) lives one layer down in
+// moe/planted_routing.h, where the synthetic router can reach it without a
+// moe -> model layering inversion; this header adds the weight-writing half
+// that needs a runnable MoETransformer.
 #pragma once
 
 #include <cstdint>
-#include <utility>
-#include <vector>
 
 #include "data/corpus.h"
 #include "model/transformer.h"
-#include "tensor/tensor.h"
+#include "moe/planted_routing.h"
 
 namespace vela::model {
+
+// Back-compat alias: the ground-truth type predates the moe/ split and is
+// named model::PlantedRouting throughout the tests/benches.
+using PlantedRouting = moe::PlantedRouting;
 
 struct PlantingConfig {
   double popularity_zipf = 1.0;  // expert popularity skew within a block
@@ -41,37 +44,6 @@ struct PlantingConfig {
   float gate_noise = 0.02f;      // stddev of non-signal gate weights
   float residual_damp = 0.3f;    // scale applied to attention out-projections
   std::uint64_t seed = 42;
-};
-
-// The planted routing ground truth: per (layer, domain) the preferred
-// expert pair, plus analytic access probabilities.
-class PlantedRouting {
- public:
-  // Samples preferences only — no model required (used for shape presets).
-  static PlantedRouting generate(std::size_t num_layers,
-                                 std::size_t num_experts,
-                                 std::size_t num_domains,
-                                 double popularity_zipf, std::uint64_t seed);
-
-  std::size_t num_layers() const { return prefs_.size(); }
-  std::size_t num_experts() const { return num_experts_; }
-  std::size_t num_domains() const {
-    return prefs_.empty() ? 0 : prefs_[0].size();
-  }
-
-  // (primary, secondary) experts for tokens of `domain` in block `layer`.
-  std::pair<std::size_t, std::size_t> preference(std::size_t layer,
-                                                 std::size_t domain) const;
-
-  // Analytic selection-frequency matrix P ∈ R^{L×E} under a given domain
-  // usage distribution: P[l][e] = Σ_d P(domain = d)·1{e ∈ pref(l, d)}.
-  // Rows sum to 2 (top-2 routing).
-  Tensor expected_probability(const std::vector<double>& domain_dist) const;
-
- private:
-  std::size_t num_experts_ = 0;
-  // prefs_[layer][domain] = (primary, secondary)
-  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> prefs_;
 };
 
 // Writes the planted bias into a runnable model's embedding and gate weights

@@ -1,0 +1,48 @@
+// The planted routing ground truth (paper §III): per (layer, domain) the
+// preferred expert pair, plus analytic access probabilities.
+//
+// This is the layer-free half of "router planting": it depends only on the
+// Zipf preference model, so it lives in moe/ where both the synthetic
+// router (shape presets with no weights) and the runnable-model planting in
+// model/router_planting.h can reach it. The weight-writing half
+// (plant_locality) stays in model/, which sits above moe in the layer DAG.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vela::moe {
+
+class PlantedRouting {
+ public:
+  // Samples preferences only — no model required (used for shape presets).
+  static PlantedRouting generate(std::size_t num_layers,
+                                 std::size_t num_experts,
+                                 std::size_t num_domains,
+                                 double popularity_zipf, std::uint64_t seed);
+
+  std::size_t num_layers() const { return prefs_.size(); }
+  std::size_t num_experts() const { return num_experts_; }
+  std::size_t num_domains() const {
+    return prefs_.empty() ? 0 : prefs_[0].size();
+  }
+
+  // (primary, secondary) experts for tokens of `domain` in block `layer`.
+  std::pair<std::size_t, std::size_t> preference(std::size_t layer,
+                                                 std::size_t domain) const;
+
+  // Analytic selection-frequency matrix P ∈ R^{L×E} under a given domain
+  // usage distribution: P[l][e] = Σ_d P(domain = d)·1{e ∈ pref(l, d)}.
+  // Rows sum to 2 (top-2 routing).
+  Tensor expected_probability(const std::vector<double>& domain_dist) const;
+
+ private:
+  std::size_t num_experts_ = 0;
+  // prefs_[layer][domain] = (primary, secondary)
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> prefs_;
+};
+
+}  // namespace vela::moe

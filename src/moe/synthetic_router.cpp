@@ -7,7 +7,7 @@
 
 namespace vela::moe {
 
-SyntheticRouter::SyntheticRouter(const model::PlantedRouting* routing,
+SyntheticRouter::SyntheticRouter(const PlantedRouting* routing,
                                  SyntheticRouterConfig cfg)
     : routing_(routing), cfg_(std::move(cfg)), rng_(cfg_.seed) {
   VELA_CHECK(routing_ != nullptr);

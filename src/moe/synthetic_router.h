@@ -4,7 +4,7 @@
 // step) where instantiating weight tensors is pointless — only the routing
 // decisions matter for traffic. SyntheticRouter samples per-step RoutePlans
 // from the same planted-preference model the runnable system uses
-// (model::PlantedRouting), with two realism knobs:
+// (moe::PlantedRouting), with two realism knobs:
 //
 //   * routing_noise — the probability a selection slot deviates from the
 //     domain preference to a uniformly random expert (impure tokens,
@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "model/router_planting.h"
+#include "moe/planted_routing.h"
 #include "moe/gate.h"
 #include "util/rng.h"
 
@@ -33,7 +33,7 @@ struct SyntheticRouterConfig {
 class SyntheticRouter {
  public:
   // `routing` must outlive the router.
-  SyntheticRouter(const model::PlantedRouting* routing,
+  SyntheticRouter(const PlantedRouting* routing,
                   SyntheticRouterConfig cfg);
 
   // Samples the routing decisions of one fine-tuning step (`num_tokens`
@@ -49,7 +49,7 @@ class SyntheticRouter {
   std::size_t num_experts() const { return routing_->num_experts(); }
 
  private:
-  const model::PlantedRouting* routing_;
+  const PlantedRouting* routing_;
   SyntheticRouterConfig cfg_;
   std::vector<double> domain_dist_;
   Rng rng_;

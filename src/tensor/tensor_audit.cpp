@@ -1,0 +1,35 @@
+// Tensor-aware half of the VELA_AUDIT backward checker. Lives in tensor/
+// (not util/) because it needs the Tensor definition: util/ is the bottom
+// layer of the DAG and may not include tensor/ (tools/layers.conf); the
+// audit header only forward-declares Tensor for exactly this split.
+#include <sstream>
+
+#include "tensor/tensor.h"
+#include "util/audit.h"
+
+namespace vela::audit {
+
+void check_backward_tensors(const Tensor& value, const Tensor& grad,
+                            const char* where) {
+  if (!enabled()) return;
+  if (value.shape() != grad.shape()) {
+    std::ostringstream oss;
+    oss << "gradient shape mismatch at " << where << ": value [";
+    for (std::size_t i = 0; i < value.shape().size(); ++i)
+      oss << (i ? "," : "") << value.shape()[i];
+    oss << "] vs grad [";
+    for (std::size_t i = 0; i < grad.shape().size(); ++i)
+      oss << (i ? "," : "") << grad.shape()[i];
+    oss << "]";
+    fail("backward", oss.str());
+    return;
+  }
+  if (value.size() > 0 && value.data() == grad.data()) {
+    std::ostringstream oss;
+    oss << "gradient aliases value storage at " << where << " (buffer "
+        << static_cast<const void*>(value.data()) << ")";
+    fail("backward", oss.str());
+  }
+}
+
+}  // namespace vela::audit

@@ -8,8 +8,6 @@
 #include <sstream>
 #include <vector>
 
-#include "tensor/tensor.h"
-
 namespace vela::audit {
 
 namespace {
@@ -345,31 +343,6 @@ void ConservationLedger::reset_for_testing() {
   state.retransmit = 0;
   state.session_replays = 0;
   state.session_replay_bytes = 0;
-}
-
-// --- autograd backward auditing ---------------------------------------------
-
-void check_backward_tensors(const Tensor& value, const Tensor& grad,
-                            const char* where) {
-  if (!enabled()) return;
-  if (value.shape() != grad.shape()) {
-    std::ostringstream oss;
-    oss << "gradient shape mismatch at " << where << ": value [";
-    for (std::size_t i = 0; i < value.shape().size(); ++i)
-      oss << (i ? "," : "") << value.shape()[i];
-    oss << "] vs grad [";
-    for (std::size_t i = 0; i < grad.shape().size(); ++i)
-      oss << (i ? "," : "") << grad.shape()[i];
-    oss << "]";
-    fail("backward", oss.str());
-    return;
-  }
-  if (value.size() > 0 && value.data() == grad.data()) {
-    std::ostringstream oss;
-    oss << "gradient aliases value storage at " << where << " (buffer "
-        << static_cast<const void*>(value.data()) << ")";
-    fail("backward", oss.str());
-  }
 }
 
 }  // namespace vela::audit

@@ -23,7 +23,9 @@
 //     must report zero violations.
 #include <gtest/gtest.h>
 #include <signal.h>
-#include <sys/socket.h>
+// This suite deliberately speaks raw sockets to attack the listener
+// (half-open connects, garbage bytes before the kIdent handshake).
+#include <sys/socket.h>  // vela-analyze: allow(restricted-include)
 #include <unistd.h>
 
 #include <chrono>

@@ -165,7 +165,8 @@ TEST(QuantFrame, InvalidBlockRejectedAtEncodeAndDecode) {
   // gracefully (error string, no throw): body[1] is the precision slot.
   auto frame = comm::encode_frame(q8_message(1, 8, 32));
   frame[4 + 1] = 0x80 | 16;  // after the u32 length prefix
-  const std::uint32_t body_len = frame.size() - comm::kFrameOverheadBytes;
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(frame.size() - comm::kFrameOverheadBytes);
   const std::uint32_t crc = comm::frame_crc(frame.data() + 4, body_len);
   // Deliberate frame surgery: this test re-seals a tampered frame.
   // vela-lint: allow(wire-memcpy)

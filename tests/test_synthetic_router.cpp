@@ -8,9 +8,9 @@
 namespace vela {
 namespace {
 
-model::PlantedRouting routing(std::size_t layers = 4, std::size_t experts = 8,
+moe::PlantedRouting routing(std::size_t layers = 4, std::size_t experts = 8,
                               std::size_t domains = 8) {
-  return model::PlantedRouting::generate(layers, experts, domains, 1.2, 5);
+  return moe::PlantedRouting::generate(layers, experts, domains, 1.2, 5);
 }
 
 moe::SyntheticRouterConfig router_cfg(std::size_t domains = 8) {

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Header self-containedness gate (include-what-you-use-lite, satellite of
+# vela_analyze): every header under src/ must compile standalone — no
+# reliance on whatever its includer happened to include first. Runs as
+# `ctest -L analyze` (test vela_check_headers).
+#
+# Usage: check_headers.sh <c++-compiler> <repo-root>
+set -u
+CXX="${1:?usage: check_headers.sh <c++-compiler> <repo-root>}"
+ROOT="${2:?usage: check_headers.sh <c++-compiler> <repo-root>}"
+
+failed=0
+checked=0
+for header in $(cd "$ROOT" && find src -name '*.h' | sort); do
+  checked=$((checked + 1))
+  if ! printf '#include "%s"\n' "$header" | \
+      "$CXX" -std=c++20 -fsyntax-only -I "$ROOT/src" -I "$ROOT" \
+             -x c++ - 2>/tmp/check_headers_err.$$; then
+    echo "NOT SELF-CONTAINED: $header"
+    sed 's/^/    /' /tmp/check_headers_err.$$
+    failed=$((failed + 1))
+  fi
+done
+rm -f /tmp/check_headers_err.$$
+echo "check_headers: $checked headers, $failed not self-contained"
+[ "$failed" -eq 0 ]

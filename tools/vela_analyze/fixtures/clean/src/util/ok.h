@@ -1,0 +1,3 @@
+#pragma once
+
+inline int forty_two() { return 42; }

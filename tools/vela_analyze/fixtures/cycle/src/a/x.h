@@ -1,0 +1,3 @@
+#pragma once
+#include "b/y.h"
+struct X { Y y; };

@@ -1,0 +1,3 @@
+#pragma once
+#include "a/x.h"
+struct Y { int v; };

@@ -1,0 +1,18 @@
+#include "comm/frame.h"
+
+extern void account(std::uint64_t bytes);
+extern void push(const std::vector<std::uint8_t>& frame);
+
+void send_ok(const Message& msg) {
+  account(msg.wire_size());
+  push(encode_frame(msg));
+}
+
+void offer_bad(const Message& msg) {
+  push(encode_frame(msg));
+}
+
+void offer_allowed(const Message& msg) {
+  // The caller already charged wire_size() before handing the Message over.
+  push(encode_frame(msg));  // vela-analyze: allow(uncharged-send)
+}

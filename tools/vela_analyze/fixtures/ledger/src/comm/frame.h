@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+struct Message {
+  int type = 0;
+  std::uint64_t wire_size() const;
+};
+
+std::vector<std::uint8_t> encode_frame(const Message& msg);

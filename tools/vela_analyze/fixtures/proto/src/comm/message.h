@@ -1,0 +1,17 @@
+#pragma once
+
+enum class MessageType : int {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+enum : unsigned char {
+  kRecOne = 1,
+  kRecTwo = 2,
+};
+
+struct Message {
+  MessageType type;
+  unsigned char rec;
+};

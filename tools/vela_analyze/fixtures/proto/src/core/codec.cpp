@@ -1,0 +1,25 @@
+#include <string>
+
+struct Scenario {
+  std::string alpha;
+  std::string beta;
+  std::string serialize() const;
+  static Scenario parse(const std::string& text);
+};
+
+std::string Scenario::serialize() const {
+  return std::string("alpha=") + alpha + ";beta=" + beta;
+}
+
+Scenario Scenario::parse(const std::string& text) {
+  Scenario sc;
+  std::string key = text.substr(0, text.find('='));
+  std::string value = text.substr(text.find('=') + 1);
+  if (key == "alpha") {
+    sc.alpha = value;
+  }
+  if (key == "gamma") {
+    sc.beta = value;
+  }
+  return sc;
+}

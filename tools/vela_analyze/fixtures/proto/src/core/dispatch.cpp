@@ -1,0 +1,56 @@
+#include "comm/message.h"
+
+int partial_switch(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kAlpha:
+      return 1;
+    case MessageType::kBeta:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+int exhaustive_switch(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kAlpha:
+      return 1;
+    case MessageType::kBeta:
+      return 2;
+    case MessageType::kGamma:
+      return 3;
+  }
+  return 0;
+}
+
+int partial_chain(const Message& msg) {
+  if (msg.type == MessageType::kAlpha) {
+    return 1;
+  } else if (msg.type == MessageType::kBeta) {
+    return 2;
+  } else {
+    return 0;
+  }
+}
+
+int suppressed_partial(const Message& msg) {
+  // kGamma is a master-only message; this helper runs worker-side.
+  // vela-analyze: allow(partial-dispatch)
+  switch (msg.type) {
+    case MessageType::kAlpha:
+      return 1;
+    case MessageType::kBeta:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+int partial_record_switch(const Message& msg) {
+  switch (msg.rec) {
+    case kRecOne:
+      return 1;
+    default:
+      return 0;
+  }
+}

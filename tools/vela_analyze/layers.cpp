@@ -1,0 +1,256 @@
+#include "layers.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <sstream>
+
+namespace vela::analyze {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+// Resolves one quoted include to a scanned file, or nullptr. The repo
+// convention is root-relative-to-src/ paths ("comm/message.h"); tool and
+// test sources also use paths relative to their own directory.
+const SourceFile* resolve_include(const SourceTree& tree,
+                                  const SourceFile& from,
+                                  const IncludeEdge& edge) {
+  if (edge.system) return nullptr;
+  if (const SourceFile* f = tree.find("src/" + edge.path)) return f;
+  std::size_t slash = from.rel.find_last_of('/');
+  if (slash != std::string::npos) {
+    if (const SourceFile* f =
+            tree.find(from.rel.substr(0, slash + 1) + edge.path))
+      return f;
+  }
+  return tree.find(edge.path);
+}
+
+void emit(std::vector<Finding>* findings, const SourceFile& file,
+          std::size_t line, const std::string& rule,
+          const std::string& message) {
+  Finding f;
+  f.rule = rule;
+  f.file = file.rel;
+  f.line = line;
+  f.message = message;
+  f.suppressed = suppressed_at(file, line, rule);
+  findings->push_back(std::move(f));
+}
+
+// Tarjan SCC over the src/ include graph; components of size > 1 (or with a
+// self-loop) are cycles and get one finding each, anchored at the first
+// member's edge into the component.
+void check_cycles(const SourceTree& tree,
+                  const std::vector<const SourceFile*>& nodes,
+                  const std::map<std::string, std::size_t>& index_of,
+                  const std::vector<std::vector<std::size_t>>& adj,
+                  std::vector<Finding>* findings) {
+  const std::size_t n = nodes.size();
+  std::vector<std::size_t> index(n, 0), low(n, 0);
+  std::vector<bool> on_stack(n, false), visited(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t counter = 1;
+  std::vector<std::vector<std::size_t>> components;
+
+  std::function<void(std::size_t)> strongconnect = [&](std::size_t v) {
+    index[v] = low[v] = counter++;
+    visited[v] = true;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (std::size_t w : adj[v]) {
+      if (!visited[w]) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::size_t> comp;
+      for (;;) {
+        std::size_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      bool self_loop =
+          comp.size() == 1 &&
+          std::find(adj[comp[0]].begin(), adj[comp[0]].end(), comp[0]) !=
+              adj[comp[0]].end();
+      if (comp.size() > 1 || self_loop) components.push_back(std::move(comp));
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v)
+    if (!visited[v]) strongconnect(v);
+
+  for (auto& comp : components) {
+    std::vector<std::string> members;
+    members.reserve(comp.size());
+    for (std::size_t v : comp) members.push_back(nodes[v]->rel);
+    std::sort(members.begin(), members.end());
+    const SourceFile* anchor = tree.find(members.front());
+    std::size_t line = 1;
+    // Anchor at the anchor file's first include edge into the component.
+    for (const IncludeEdge& e : anchor->includes) {
+      const SourceFile* to = resolve_include(tree, *anchor, e);
+      if (!to) continue;
+      auto it = index_of.find(to->rel);
+      if (it == index_of.end()) continue;
+      if (std::find(comp.begin(), comp.end(), it->second) != comp.end() &&
+          to->rel != anchor->rel) {
+        line = e.line;
+        break;
+      }
+    }
+    std::string msg = "include cycle among " +
+                      std::to_string(members.size()) + " files: ";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) msg += " -> ";
+      msg += members[i];
+    }
+    msg += "; break the cycle (forward-declare, or split the shared part "
+           "into a lower layer)";
+    emit(findings, *anchor, line, "include-cycle", msg);
+  }
+}
+
+}  // namespace
+
+LayerConfig parse_layer_config(const std::string& text,
+                               const std::string& path) {
+  LayerConfig cfg;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  // Deferred dep validation: a layer may name a dep declared further down.
+  std::vector<std::pair<std::size_t, std::string>> pending_deps;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      cfg.errors.push_back(path + ":" + std::to_string(lineno) +
+                           ": expected 'layer NAME: deps...' or "
+                           "'restrict-include PATTERN: layers...'");
+      continue;
+    }
+    std::string head = trim(line.substr(0, colon));
+    std::vector<std::string> tail = split_words(line.substr(colon + 1));
+    std::vector<std::string> head_words = split_words(head);
+    if (head_words.size() == 2 && head_words[0] == "layer") {
+      const std::string& name = head_words[1];
+      if (cfg.allowed.count(name)) {
+        cfg.errors.push_back(path + ":" + std::to_string(lineno) +
+                             ": duplicate layer '" + name + "'");
+        continue;
+      }
+      auto& deps = cfg.allowed[name];
+      for (const std::string& d : tail) {
+        deps.insert(d);
+        pending_deps.emplace_back(lineno, d);
+      }
+    } else if (head_words.size() == 2 && head_words[0] == "restrict-include") {
+      cfg.restricted.emplace_back(
+          head_words[1], std::set<std::string>(tail.begin(), tail.end()));
+      for (const std::string& l : tail) pending_deps.emplace_back(lineno, l);
+    } else {
+      cfg.errors.push_back(path + ":" + std::to_string(lineno) +
+                           ": unrecognized directive '" + head + "'");
+    }
+  }
+  for (const auto& [lineno2, dep] : pending_deps) {
+    if (!cfg.allowed.count(dep))
+      cfg.errors.push_back(path + ":" + std::to_string(lineno2) +
+                           ": unknown layer '" + dep + "'");
+  }
+  return cfg;
+}
+
+void run_layer_passes(const SourceTree& tree, const LayerConfig& config,
+                      std::vector<Finding>* findings) {
+  // Build the src/ file graph.
+  std::vector<const SourceFile*> nodes;
+  std::map<std::string, std::size_t> index_of;
+  for (const SourceFile& f : tree.files) {
+    if (!f.in_src()) continue;
+    index_of[f.rel] = nodes.size();
+    nodes.push_back(&f);
+  }
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    for (const IncludeEdge& e : nodes[v]->includes) {
+      const SourceFile* to = resolve_include(tree, *nodes[v], e);
+      if (!to || !to->in_src()) continue;
+      adj[v].push_back(index_of.at(to->rel));
+    }
+  }
+
+  check_cycles(tree, nodes, index_of, adj, findings);
+
+  // unknown-layer: every src/ directory must be declared in layers.conf
+  // (one finding per layer, anchored at its first file).
+  std::set<std::string> reported_unknown;
+  for (const SourceFile* f : nodes) {
+    if (f->layer.empty()) continue;
+    if (config.allowed.count(f->layer)) continue;
+    if (!reported_unknown.insert(f->layer).second) continue;
+    emit(findings, *f, 1, "unknown-layer",
+         "directory src/" + f->layer +
+             " is not declared in tools/layers.conf; add a 'layer " +
+             f->layer + ": ...' line placing it in the DAG");
+  }
+
+  // layer-violation: cross-layer edges must be declared.
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    const SourceFile& from = *nodes[v];
+    if (from.layer.empty() || !config.allowed.count(from.layer)) continue;
+    const std::set<std::string>& allowed = config.allowed.at(from.layer);
+    for (const IncludeEdge& e : from.includes) {
+      const SourceFile* to = resolve_include(tree, from, e);
+      if (!to || !to->in_src() || to->layer.empty()) continue;
+      if (to->layer == from.layer || allowed.count(to->layer)) continue;
+      emit(findings, from, e.line, "layer-violation",
+           "layer src/" + from.layer + " may not include src/" + to->layer +
+               " (edge " + from.rel + " -> " + to->rel +
+               " is not declared in tools/layers.conf)");
+    }
+  }
+
+  // restricted-include: applies tree-wide, including tests.
+  for (const SourceFile& f : tree.files) {
+    for (const auto& [pattern, layers] : config.restricted) {
+      if (!f.layer.empty() && layers.count(f.layer)) continue;
+      for (const IncludeEdge& e : f.includes) {
+        if (e.path.find(pattern) == std::string::npos) continue;
+        std::string who;
+        for (const std::string& l : layers)
+          who += (who.empty() ? "src/" : ", src/") + l;
+        emit(findings, f, e.line, "restricted-include",
+             "#include " + std::string(e.system ? "<" : "\"") + e.path +
+                 std::string(e.system ? ">" : "\"") +
+                 " is restricted to " + who +
+                 " by tools/layers.conf; route through the comm fabric or "
+                 "suppress with a rationale");
+      }
+    }
+  }
+}
+
+}  // namespace vela::analyze

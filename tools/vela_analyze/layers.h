@@ -1,0 +1,39 @@
+// Include-graph layering checker (rules: include-cycle, layer-violation,
+// unknown-layer, restricted-include).
+//
+// tools/layers.conf is the checked-in architecture:
+//
+//   layer core: comm model moe ...     # src/core may include these layers
+//   restrict-include sys/socket.h: comm  # only src/comm may include this
+//
+// Quoted includes are resolved against src/ (the repo convention) and the
+// including file's own directory; edges that resolve to a scanned file form
+// the file-level include graph. The graph must be a DAG (Tarjan SCC), and
+// every cross-layer edge must be declared.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+#include "source_tree.h"
+
+namespace vela::analyze {
+
+struct LayerConfig {
+  // layer name -> layers it may include (itself always allowed).
+  std::map<std::string, std::set<std::string>> allowed;
+  // include-path substring -> layers allowed to include it.
+  std::vector<std::pair<std::string, std::set<std::string>>> restricted;
+  std::vector<std::string> errors;
+};
+
+LayerConfig parse_layer_config(const std::string& text,
+                               const std::string& path);
+
+void run_layer_passes(const SourceTree& tree, const LayerConfig& config,
+                      std::vector<Finding>* findings);
+
+}  // namespace vela::analyze

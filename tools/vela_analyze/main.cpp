@@ -1,0 +1,134 @@
+// vela_analyze — whole-program architecture & protocol conformance checks
+// for the VELA tree (see analyze.h for the pass list).
+//
+// Usage:
+//   vela_analyze [--root <dir>] [--json <report.json>] [--list-rules]
+//                [--layers <path>] [--env-registry <path>]
+//                [--env-docs <path>] [--write-env-docs]
+//
+// Paths default to tools/layers.conf, tools/env_registry.conf and
+// docs/env.md under the root. Exit status mirrors vela_lint: 0 when every
+// finding is suppressed, 1 on unsuppressed findings, 2 on usage/config/IO
+// errors. --write-env-docs regenerates docs/env.md from the scan and exits.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analyze.h"
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vela::analyze::Options opts;
+  std::string json_path;
+  bool write_env_docs = false;
+
+  auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "vela_analyze: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : vela::analyze::all_rules())
+        std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--root") {
+      opts.root = need_value(i, arg);
+    } else if (arg == "--json") {
+      json_path = need_value(i, arg);
+    } else if (arg == "--layers") {
+      opts.layers_path = need_value(i, arg);
+    } else if (arg == "--env-registry") {
+      opts.env_registry_path = need_value(i, arg);
+    } else if (arg == "--env-docs") {
+      opts.env_docs_path = need_value(i, arg);
+    } else if (arg == "--write-env-docs") {
+      write_env_docs = true;
+    } else {
+      std::cerr << "usage: vela_analyze [--root dir] [--json report.json] "
+                   "[--list-rules] [--layers p] [--env-registry p] "
+                   "[--env-docs p] [--write-env-docs]\n";
+      return 2;
+    }
+  }
+
+  vela::analyze::Report report = vela::analyze::run(opts);
+  for (const std::string& e : report.errors)
+    std::cerr << "vela_analyze: error: " << e << "\n";
+  if (!report.errors.empty()) return 2;
+
+  if (write_env_docs) {
+    namespace fs = std::filesystem;
+    fs::path docs = fs::path(opts.env_docs_path);
+    if (!docs.is_absolute()) docs = fs::path(opts.root) / docs;
+    std::error_code ec;
+    fs::create_directories(docs.parent_path(), ec);
+    std::ofstream out(docs, std::ios::binary);
+    if (!out) {
+      std::cerr << "vela_analyze: cannot write " << docs.generic_string()
+                << "\n";
+      return 2;
+    }
+    out << report.env_docs;
+    std::cerr << "vela_analyze: wrote " << docs.generic_string() << "\n";
+    return 0;
+  }
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const vela::analyze::Finding& f : report.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "vela_analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << "{\n  \"files_scanned\": " << report.files_scanned
+        << ",\n  \"unsuppressed\": " << unsuppressed
+        << ",\n  \"suppressed\": " << suppressed << ",\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+      const vela::analyze::Finding& f = report.findings[i];
+      out << "    {\"file\": \"" << json_escape(f.file)
+          << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+          << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+          << ", \"message\": \"" << json_escape(f.message) << "\"}"
+          << (i + 1 < report.findings.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  std::cerr << "vela_analyze: " << report.files_scanned << " files, "
+            << unsuppressed << " unsuppressed finding(s), " << suppressed
+            << " suppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,384 @@
+#include "protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "token_util.h"
+
+namespace vela::analyze {
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// Enumerators of the enum whose '{' is at open_idx: identifiers at depth 1
+// directly preceded by '{' or ','.
+std::vector<std::string> enum_body(const std::vector<Token>& toks,
+                                   std::size_t open_idx) {
+  std::vector<std::string> out;
+  std::size_t close = match_brace(toks, open_idx);
+  int depth = 0;
+  for (std::size_t i = open_idx; i < close; ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}")) --depth;
+    if (depth != 1) continue;
+    if (i + 1 < close && toks[i + 1].kind == TokenKind::kIdentifier &&
+        (is_punct(toks[i], "{") || is_punct(toks[i], ",")))
+      out.push_back(toks[i + 1].text);
+  }
+  return out;
+}
+
+// Finds the '{' of an enum definition starting at the `enum` token, or
+// npos for forward declarations (`enum class X : u8;`).
+std::size_t enum_open_brace(const std::vector<Token>& toks, std::size_t at) {
+  for (std::size_t i = at; i < toks.size() && i < at + 12; ++i) {
+    if (is_punct(toks[i], "{")) return i;
+    if (is_punct(toks[i], ";")) return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void emit(std::vector<Finding>* findings, const SourceFile& file,
+          std::size_t line, const std::string& rule,
+          const std::string& message) {
+  Finding f;
+  f.rule = rule;
+  f.file = file.rel;
+  f.line = line;
+  f.message = message;
+  f.suppressed = suppressed_at(file, line, rule);
+  findings->push_back(std::move(f));
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) out += (out.empty() ? "" : ", ") + n;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch extraction
+
+struct Dispatch {
+  std::size_t line = 0;
+  std::set<std::string> handled;
+  bool over_messages = false;
+  bool over_records = false;
+  const char* kind = "switch";
+};
+
+// Which tracked enum (if any) the identifier names.
+void classify_variant(const std::string& id, const ProtocolEnums& enums,
+                      Dispatch* d) {
+  if (std::find(enums.message_variants.begin(), enums.message_variants.end(),
+                id) != enums.message_variants.end()) {
+    d->over_messages = true;
+    d->handled.insert(id);
+  } else if (std::find(enums.record_kinds.begin(), enums.record_kinds.end(),
+                       id) != enums.record_kinds.end()) {
+    d->over_records = true;
+    d->handled.insert(id);
+  }
+}
+
+// Scans one switch body for case labels naming tracked variants. Nested
+// switches are skipped — they are dispatch sites of their own.
+void scan_switch(const std::vector<Token>& toks, std::size_t switch_idx,
+                 const ProtocolEnums& enums, std::vector<Dispatch>* out,
+                 std::size_t* resume) {
+  std::size_t i = switch_idx + 1;
+  if (i >= toks.size() || !is_punct(toks[i], "(")) return;
+  std::size_t close_paren = match_paren(toks, i);
+  std::size_t open = close_paren + 1;
+  if (open >= toks.size() || !is_punct(toks[open], "{")) return;
+  std::size_t close = match_brace(toks, open);
+  *resume = close;
+
+  Dispatch d;
+  d.line = toks[switch_idx].line;
+  d.kind = "switch";
+  for (std::size_t j = open + 1; j < close; ++j) {
+    if (is_ident(toks[j], "switch")) {
+      // Skip the nested switch's body.
+      std::size_t nested_resume = j;
+      scan_switch(toks, j, enums, out, &nested_resume);
+      j = nested_resume;
+      continue;
+    }
+    if (!is_ident(toks[j], "case")) continue;
+    for (std::size_t k = j + 1; k < close && !is_punct(toks[k], ":"); ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier)
+        classify_variant(toks[k].text, enums, &d);
+    }
+  }
+  if (d.over_messages || d.over_records) out->push_back(d);
+}
+
+// Scans an else-if chain starting at the `if` token at if_idx. Only braced
+// arms are followed (the tree style is always-braced); a chain qualifies as
+// a dispatch when >= 2 arms test tracked variants.
+void scan_if_chain(const std::vector<Token>& toks, std::size_t if_idx,
+                   const ProtocolEnums& enums, std::vector<Dispatch>* out,
+                   std::size_t* resume) {
+  Dispatch d;
+  d.line = toks[if_idx].line;
+  d.kind = "else-if chain";
+  std::size_t arms_with_variants = 0;
+  std::size_t i = if_idx;
+  for (;;) {
+    if (i >= toks.size() || !is_ident(toks[i], "if")) break;
+    std::size_t paren = i + 1;
+    if (paren >= toks.size() || !is_punct(toks[paren], "(")) break;
+    std::size_t close_paren = match_paren(toks, paren);
+    Dispatch arm;
+    for (std::size_t k = paren + 1; k < close_paren; ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier)
+        classify_variant(toks[k].text, enums, &arm);
+    }
+    if (arm.over_messages || arm.over_records) {
+      ++arms_with_variants;
+      d.over_messages = d.over_messages || arm.over_messages;
+      d.over_records = d.over_records || arm.over_records;
+      d.handled.insert(arm.handled.begin(), arm.handled.end());
+    }
+    std::size_t body = close_paren + 1;
+    if (body >= toks.size() || !is_punct(toks[body], "{")) break;
+    std::size_t body_close = match_brace(toks, body);
+    *resume = body_close;
+    std::size_t next = body_close + 1;
+    if (next >= toks.size() || !is_ident(toks[next], "else")) break;
+    if (next + 1 < toks.size() && is_ident(toks[next + 1], "if")) {
+      i = next + 1;
+      continue;
+    }
+    // Terminal else: part of the chain, but (like `default:`) it does not
+    // handle anything — it is where an unhandled variant would land.
+    if (next + 1 < toks.size() && is_punct(toks[next + 1], "{"))
+      *resume = match_brace(toks, next + 1);
+    break;
+  }
+  if (arms_with_variants >= 2) out->push_back(d);
+}
+
+void check_dispatches(const SourceFile& file, const ProtocolEnums& enums,
+                      std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = file.lexed.tokens;
+  std::vector<Dispatch> dispatches;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (is_ident(toks[i], "switch")) {
+      std::size_t resume = i;
+      scan_switch(toks, i, enums, &dispatches, &resume);
+      i = std::max(i, resume);
+    } else if (is_ident(toks[i], "if") &&
+               (i == 0 || !is_ident(toks[i - 1], "else"))) {
+      std::size_t resume = i;
+      scan_if_chain(toks, i, enums, &dispatches, &resume);
+      i = std::max(i, resume);
+    }
+  }
+  for (const Dispatch& d : dispatches) {
+    const std::vector<std::string>& all =
+        d.over_messages ? enums.message_variants : enums.record_kinds;
+    const char* what = d.over_messages ? "MessageType" : "session record kind";
+    std::vector<std::string> missing;
+    for (const std::string& v : all)
+      if (!d.handled.count(v)) missing.push_back(v);
+    if (missing.empty()) continue;
+    emit(findings, file, d.line, "partial-dispatch",
+         std::string(d.kind) + " over " + what + " handles " +
+             std::to_string(d.handled.size()) + "/" +
+             std::to_string(all.size()) + " variants; missing: " +
+             join(missing) +
+             "; handle them or carry // vela-analyze: "
+             "allow(partial-dispatch) with a rationale");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario codec keys
+
+// Keys emitted by serialize(): inside each string literal in the extent,
+// identifier runs terminated by '=' at the start of the literal or after a
+// separator (';', ',', space).
+std::set<std::string> serialize_keys(const SourceFile& file, std::size_t lo,
+                                     std::size_t hi) {
+  std::set<std::string> keys;
+  for (std::size_t n = lo; n <= hi && n <= file.lines.size(); ++n) {
+    const std::string& line = file.line(n);
+    bool in_string = false;
+    std::size_t lit_start = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '\\' && in_string) {
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        if (!in_string) {
+          in_string = true;
+          lit_start = i + 1;
+        } else {
+          // Literal spans [lit_start, i): pull out `key=` runs.
+          std::size_t j = lit_start;
+          while (j < i) {
+            std::size_t start = j;
+            while (j < i && (std::isalnum(static_cast<unsigned char>(
+                                 line[j])) ||
+                             line[j] == '_'))
+              ++j;
+            if (j > start && j < i && line[j] == '=' &&
+                (start == lit_start || line[start - 1] == ';' ||
+                 line[start - 1] == ',' || line[start - 1] == ' ')) {
+              keys.insert(line.substr(start, j - start));
+            }
+            if (j == start) ++j;  // non-identifier char: advance
+          }
+          in_string = false;
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+// Keys accepted by parse(): occurrences of `== "ident"` in the extent.
+std::set<std::string> parse_keys(const SourceFile& file, std::size_t lo,
+                                 std::size_t hi) {
+  std::set<std::string> keys;
+  for (std::size_t n = lo; n <= hi && n <= file.lines.size(); ++n) {
+    const std::string& line = file.line(n);
+    std::size_t pos = 0;
+    while ((pos = line.find("==", pos)) != std::string::npos) {
+      std::size_t i = pos + 2;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+      if (i < line.size() && line[i] == '"') {
+        std::size_t start = ++i;
+        while (i < line.size() && (std::isalnum(static_cast<unsigned char>(
+                                       line[i])) ||
+                                   line[i] == '_'))
+          ++i;
+        if (i < line.size() && line[i] == '"' && i > start)
+          keys.insert(line.substr(start, i - start));
+      }
+      pos += 2;
+    }
+  }
+  return keys;
+}
+
+// Line extent of the member function `Class::name(...) { ... }` in `file`,
+// or {0, 0} when not defined there.
+struct LineExtent {
+  std::size_t lo = 0, hi = 0;
+};
+LineExtent member_function_extent(const SourceFile& file, const char* cls,
+                                  const char* name) {
+  const std::vector<Token>& toks = file.lexed.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], cls) || !is_punct(toks[i + 1], "::") ||
+        !is_ident(toks[i + 2], name))
+      continue;
+    // Definition (not a call): next non-( token chain must reach a '{'
+    // before a ';'.
+    for (std::size_t j = i + 3; j < toks.size(); ++j) {
+      if (is_punct(toks[j], ";")) break;
+      if (is_punct(toks[j], "{")) {
+        std::size_t close = match_brace(toks, j);
+        LineExtent e;
+        e.lo = toks[i].line;
+        e.hi = close < toks.size() ? toks[close].line : file.lines.size();
+        return e;
+      }
+    }
+  }
+  return {};
+}
+
+void check_scenario_codec(const SourceTree& tree,
+                          std::vector<Finding>* findings) {
+  for (const SourceFile& f : tree.files) {
+    LineExtent ser = member_function_extent(f, "Scenario", "serialize");
+    if (ser.lo == 0) continue;
+    LineExtent par = member_function_extent(f, "Scenario", "parse");
+    if (par.lo == 0) {
+      emit(findings, f, ser.lo, "codec-key-mismatch",
+           "Scenario::serialize() is defined here but Scenario::parse() was "
+           "not found in the same file; the codec halves must live together "
+           "so the key sets can be checked");
+      continue;
+    }
+    std::set<std::string> emitted = serialize_keys(f, ser.lo, ser.hi);
+    std::set<std::string> accepted = parse_keys(f, par.lo, par.hi);
+    for (const std::string& k : emitted) {
+      if (!accepted.count(k))
+        emit(findings, f, par.lo, "codec-key-mismatch",
+             "scenario codec: serialize() emits key '" + k +
+                 "' but parse() never accepts it; every emitted key must "
+                 "round-trip");
+    }
+    for (const std::string& k : accepted) {
+      if (!emitted.count(k))
+        emit(findings, f, ser.lo, "codec-key-mismatch",
+             "scenario codec: parse() accepts key '" + k +
+                 "' but serialize() never emits it; dead keys hide schema "
+                 "drift");
+    }
+  }
+}
+
+}  // namespace
+
+ProtocolEnums extract_protocol_enums(const SourceTree& tree) {
+  ProtocolEnums enums;
+  for (const SourceFile& f : tree.files) {
+    const std::vector<Token>& toks = f.lexed.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "enum")) continue;
+      // enum class MessageType { ... } — prefer the comm/message.h copy.
+      if (is_ident(toks[i + 1], "class") &&
+          is_ident(toks[i + 2], "MessageType")) {
+        std::size_t open = enum_open_brace(toks, i);
+        if (open == static_cast<std::size_t>(-1)) continue;
+        bool preferred = f.rel.size() >= 14 &&
+                         f.rel.compare(f.rel.size() - 14, 14,
+                                       "comm/message.h") == 0;
+        if (enums.message_variants.empty() || preferred) {
+          enums.message_variants = enum_body(toks, open);
+          enums.message_enum_file = f.rel;
+        }
+        continue;
+      }
+      // Any enum whose first enumerator starts with kRec is the session
+      // record-kind enum (it is anonymous in the tree).
+      std::size_t open = enum_open_brace(toks, i);
+      if (open == static_cast<std::size_t>(-1)) continue;
+      std::vector<std::string> body = enum_body(toks, open);
+      if (!body.empty() && body.front().rfind("kRec", 0) == 0 &&
+          enums.record_kinds.empty()) {
+        enums.record_kinds = body;
+      }
+    }
+  }
+  return enums;
+}
+
+void run_protocol_passes(const SourceTree& tree, const ProtocolEnums& enums,
+                         std::vector<Finding>* findings) {
+  if (!enums.message_variants.empty() || !enums.record_kinds.empty()) {
+    for (const SourceFile& f : tree.files) {
+      if (is_test_file(f.rel)) continue;
+      check_dispatches(f, enums, findings);
+    }
+  }
+  check_scenario_codec(tree, findings);
+}
+
+}  // namespace vela::analyze

@@ -1,0 +1,38 @@
+// Protocol exhaustiveness checker (rules: partial-dispatch,
+// codec-key-mismatch).
+//
+// The enums of record are extracted from the tree itself, so the analyzer
+// never goes stale against the code: `enum class MessageType { ... }` (the
+// wire protocol) and the anonymous session-record enum whose enumerators
+// start with kRec. Every switch / else-if chain whose labels name those
+// variants must handle ALL of them — a `default:` arm or terminal `else`
+// does not count, because it is exactly where an unhandled new variant
+// would silently land.
+//
+// The scenario codec is checked as a key-set equation: the `"key="` literals
+// Scenario::serialize() emits must equal the `key == "..."` comparisons
+// Scenario::parse() accepts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+#include "source_tree.h"
+
+namespace vela::analyze {
+
+struct ProtocolEnums {
+  std::vector<std::string> message_variants;  // MessageType::k*
+  std::vector<std::string> record_kinds;      // kRec*
+  std::string message_enum_file;              // where MessageType was found
+};
+
+// Extracts both enums from the tree (empty vectors when absent — fixture
+// trees without a protocol simply skip the dispatch pass).
+ProtocolEnums extract_protocol_enums(const SourceTree& tree);
+
+void run_protocol_passes(const SourceTree& tree, const ProtocolEnums& enums,
+                         std::vector<Finding>* findings);
+
+}  // namespace vela::analyze

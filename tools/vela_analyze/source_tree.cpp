@@ -1,0 +1,190 @@
+#include "source_tree.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace vela::analyze {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool skip_dir(const std::string& name) {
+  return name == "fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Parses `#include <...>` / `#include "..."` from one raw line. The lint
+// lexer blanks string contents, so include paths only exist down here.
+bool parse_include(const std::string& line, IncludeEdge* out) {
+  std::size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (line.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size()) return false;
+  char open = line[i];
+  char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return false;
+  std::size_t end = line.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  out->path = line.substr(i + 1, end - i - 1);
+  out->system = open == '<';
+  return true;
+}
+
+// Records `vela-analyze: allow(rule-a, rule-b)` allowances per line. Scanned
+// from raw lines because the lint lexer keeps only vela-lint allowances.
+void scan_allowances(SourceFile* file) {
+  static const std::string kTag = "vela-analyze:";
+  for (std::size_t n = 0; n < file->lines.size(); ++n) {
+    const std::string& line = file->lines[n];
+    std::size_t at = line.find(kTag);
+    if (at == std::string::npos) continue;
+    std::size_t open = line.find("allow(", at + kTag.size());
+    if (open == std::string::npos) continue;
+    std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string inner = line.substr(open + 6, close - open - 6);
+    std::string name;
+    auto flush = [&] {
+      if (!name.empty()) file->allowances[n + 1].insert(name);
+      name.clear();
+    };
+    for (char c : inner) {
+      if (c == ',' || std::isspace(static_cast<unsigned char>(c)))
+        flush();
+      else
+        name.push_back(c);
+    }
+    flush();
+  }
+}
+
+void load_file(const fs::path& abs, const std::string& rel, SourceTree* tree) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    tree->errors.push_back("cannot read " + rel);
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  SourceFile file;
+  file.rel = rel;
+  file.text = buf.str();
+  file.lines = split_lines(file.text);
+  for (std::size_t n = 0; n < file.lines.size(); ++n) {
+    IncludeEdge edge;
+    if (parse_include(file.lines[n], &edge)) {
+      edge.line = n + 1;
+      file.includes.push_back(edge);
+    }
+  }
+  file.lexed = vela::lint::lex(file.text);
+  scan_allowances(&file);
+  if (file.in_src()) {
+    std::size_t slash = file.rel.find('/', 4);
+    if (slash != std::string::npos)
+      file.layer = file.rel.substr(4, slash - 4);
+  }
+  tree->files.push_back(std::move(file));
+}
+
+}  // namespace
+
+const std::string& SourceFile::line(std::size_t n) const {
+  static const std::string kEmpty;
+  if (n == 0 || n > lines.size()) return kEmpty;
+  return lines[n - 1];
+}
+
+const SourceFile* SourceTree::find(const std::string& rel) const {
+  auto it = std::lower_bound(
+      files.begin(), files.end(), rel,
+      [](const SourceFile& f, const std::string& r) { return f.rel < r; });
+  if (it != files.end() && it->rel == rel) return &*it;
+  return nullptr;
+}
+
+SourceTree load_tree(const std::string& root) {
+  SourceTree tree;
+  tree.root = root;
+  static const char* kTopDirs[] = {"src", "bench", "tests", "tools",
+                                   "examples"};
+  for (const char* top : kTopDirs) {
+    fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        tree.errors.push_back("walk error under " + dir.string() + ": " +
+                              ec.message());
+        break;
+      }
+      if (it->is_directory() && skip_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !has_source_extension(it->path()))
+        continue;
+      std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      load_file(it->path(), rel, &tree);
+    }
+  }
+  std::sort(tree.files.begin(), tree.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return tree;
+}
+
+bool suppressed_at(const SourceFile& file, std::size_t line,
+                   const std::string& rule) {
+  for (std::size_t n : {line, line > 0 ? line - 1 : 0}) {
+    auto it = file.allowances.find(n);
+    if (it == file.allowances.end()) continue;
+    if (it->second.count(rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
+bool is_test_file(const std::string& rel) {
+  if (rel.rfind("tests/", 0) == 0) return true;
+  std::size_t slash = rel.find_last_of('/');
+  std::string base = slash == std::string::npos ? rel : rel.substr(slash + 1);
+  return base.rfind("test_", 0) == 0;
+}
+
+}  // namespace vela::analyze

@@ -1,0 +1,66 @@
+// Source-tree model for vela_analyze.
+//
+// The analyzer works at two altitudes at once: the vela_lint token stream
+// (reused via vela_lint_core) for anything structural — enum bodies, switch
+// statements, function extents — and the raw source lines for everything the
+// lint lexer deliberately drops: `#include` paths, string-literal contents
+// (scenario codec keys, getenv names), and `vela-analyze: allow(...)`
+// suppression comments.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace vela::analyze {
+
+struct IncludeEdge {
+  std::string path;  // as written between the delimiters
+  std::size_t line = 0;
+  bool system = false;  // <...> vs "..."
+};
+
+struct SourceFile {
+  std::string rel;   // root-relative, forward slashes
+  std::string text;  // raw bytes
+  std::vector<std::string> lines;  // lines[0] is line 1
+  std::vector<IncludeEdge> includes;
+  vela::lint::LexResult lexed;
+  // line -> rules allowed on that line via `vela-analyze: allow(...)`.
+  std::map<std::size_t, std::set<std::string>> allowances;
+  // First path component under src/ ("comm", "util", ...), empty otherwise.
+  std::string layer;
+
+  [[nodiscard]] bool in_src() const { return rel.rfind("src/", 0) == 0; }
+  [[nodiscard]] bool in_tests() const { return rel.rfind("tests/", 0) == 0; }
+  [[nodiscard]] const std::string& line(std::size_t n) const;
+};
+
+struct SourceTree {
+  std::string root;
+  std::vector<SourceFile> files;  // sorted by rel
+  std::vector<std::string> errors;
+
+  [[nodiscard]] const SourceFile* find(const std::string& rel) const;
+};
+
+// Loads every .h/.hpp/.cpp/.cc/.cxx under root/{src,bench,tests,tools,
+// examples}, skipping fixture trees, build dirs, and dot-dirs. Missing
+// top-level dirs are fine (fixture roots are sparse).
+SourceTree load_tree(const std::string& root);
+
+// Lint-style suppression check: `vela-analyze: allow(rule)` (or allow(all))
+// on the finding's line or the line directly above.
+bool suppressed_at(const SourceFile& file, std::size_t line,
+                   const std::string& rule);
+
+// True for files the dispatch/ledger passes exempt: anything under tests/
+// or whose basename starts with test_ (tests drive transports and fake
+// partial protocols on purpose).
+bool is_test_file(const std::string& rel);
+
+}  // namespace vela::analyze

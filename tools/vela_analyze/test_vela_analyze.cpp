@@ -1,0 +1,328 @@
+// Self-test for vela_analyze: every rule is exercised against a seeded
+// fixture tree under fixtures/ (one mini-repo per pass family), and the
+// clean/ fixture pins the zero-findings contract the full-tree gate relies
+// on. Fixture layout:
+//
+//   clean/   fully conformant tree — every pass runs, nothing fires
+//   cycle/   a 2-cycle (a <-> b) and a 3-cycle (p -> q -> r -> p)
+//   arch/    layer-violation, unknown-layer, restricted-include (+ allows)
+//   proto/   partial switches / else-if chains, record kinds, codec drift
+//   ledger/  uncharged sends, env registry drift, stale docs, stale golden
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace vela::analyze {
+namespace {
+
+Report run_fixture(const std::string& name) {
+  Options opts;
+  opts.root = std::string(VELA_ANALYZE_FIXTURE_DIR) + "/" + name;
+  Report report = run(opts);
+  EXPECT_TRUE(report.errors.empty())
+      << "fixture " << name << " error: "
+      << (report.errors.empty() ? "" : report.errors.front());
+  return report;
+}
+
+std::vector<Finding> with_rule(const Report& report, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : report.findings)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+const Finding* find_at(const Report& report, const std::string& rule,
+                       const std::string& file) {
+  for (const Finding& f : report.findings)
+    if (f.rule == rule && f.file == file) return &f;
+  return nullptr;
+}
+
+TEST(VelaAnalyzeRules, AllRulesListedAndStable) {
+  const std::vector<std::string>& rules = all_rules();
+  ASSERT_EQ(rules.size(), 11u);
+  const std::vector<std::string> expected = {
+      "include-cycle",      "layer-violation", "unknown-layer",
+      "restricted-include", "partial-dispatch", "codec-key-mismatch",
+      "uncharged-send",     "unregistered-env", "stale-env-registry",
+      "stale-env-docs",     "stale-golden"};
+  EXPECT_EQ(rules, expected);
+}
+
+// ---------------------------------------------------------------- clean --
+
+TEST(VelaAnalyzeClean, ConformantTreeHasNoFindings) {
+  Report report = run_fixture("clean");
+  EXPECT_EQ(report.findings.size(), 0u)
+      << (report.findings.empty()
+              ? ""
+              : report.findings.front().rule + " at " +
+                    report.findings.front().file);
+  EXPECT_EQ(report.unsuppressed(), 0u);
+  EXPECT_GE(report.files_scanned, 3u);
+}
+
+TEST(VelaAnalyzeClean, EnvDocsRoundTripByteIdentical) {
+  // clean/docs/env.md was written by --write-env-docs; re-running the
+  // analysis must regenerate the identical bytes (no stale-env-docs).
+  Report report = run_fixture("clean");
+  EXPECT_TRUE(with_rule(report, "stale-env-docs").empty());
+  EXPECT_NE(report.env_docs.find("| `VELA_CLEAN` | `0` |"),
+            std::string::npos);
+  EXPECT_NE(report.env_docs.find("`src/comm/endpoint.cpp`"),
+            std::string::npos);
+}
+
+TEST(VelaAnalyzeClean, MissingLayersConfIsAnErrorNotAFinding) {
+  Options opts;
+  opts.root = std::string(VELA_ANALYZE_FIXTURE_DIR) + "/clean";
+  opts.layers_path = "tools/no_such_layers.conf";
+  Report report = run(opts);
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors.front().find("no_such_layers.conf"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- cycle --
+
+TEST(VelaAnalyzeCycles, ReportedOncePerComponentWithMembership) {
+  Report report = run_fixture("cycle");
+  std::vector<Finding> cycles = with_rule(report, "include-cycle");
+  ASSERT_EQ(cycles.size(), 2u);  // one per SCC, not one per member
+
+  const Finding* two = find_at(report, "include-cycle", "src/a/x.h");
+  ASSERT_NE(two, nullptr);
+  EXPECT_NE(two->message.find("2 files"), std::string::npos);
+  EXPECT_NE(two->message.find("src/a/x.h"), std::string::npos);
+  EXPECT_NE(two->message.find("src/b/y.h"), std::string::npos);
+  EXPECT_EQ(two->line, 2u);  // anchored at the include edge, not line 0
+
+  const Finding* three = find_at(report, "include-cycle", "src/c/p.h");
+  ASSERT_NE(three, nullptr);
+  EXPECT_NE(three->message.find("3 files"), std::string::npos);
+  EXPECT_NE(three->message.find("src/c/q.h"), std::string::npos);
+  EXPECT_NE(three->message.find("src/c/r.h"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- arch --
+
+TEST(VelaAnalyzeLayers, UndeclaredEdgeIsAViolationWithFileAndLine) {
+  Report report = run_fixture("arch");
+  const Finding* f = find_at(report, "layer-violation", "src/util/bad.h");
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->suppressed);
+  EXPECT_EQ(f->line, 2u);
+  EXPECT_NE(f->message.find("src/util"), std::string::npos);
+  EXPECT_NE(f->message.find("src/core/top.h"), std::string::npos);
+}
+
+TEST(VelaAnalyzeLayers, AllowCommentSuppressesLayerViolation) {
+  Report report = run_fixture("arch");
+  const Finding* f =
+      find_at(report, "layer-violation", "src/util/bad_allowed.h");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->suppressed);
+}
+
+TEST(VelaAnalyzeLayers, UndeclaredDirectoryIsUnknownLayer) {
+  Report report = run_fixture("arch");
+  std::vector<Finding> unknown = with_rule(report, "unknown-layer");
+  ASSERT_EQ(unknown.size(), 1u);  // once per directory, not per file
+  EXPECT_EQ(unknown[0].file, "src/rogue/r.h");
+  EXPECT_NE(unknown[0].message.find("src/rogue"), std::string::npos);
+}
+
+TEST(VelaAnalyzeLayers, SocketIncludeOutsideCommIsRestricted) {
+  Report report = run_fixture("arch");
+  const Finding* bad =
+      find_at(report, "restricted-include", "src/core/net.cpp");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->suppressed);
+  EXPECT_EQ(bad->line, 1u);
+  EXPECT_NE(bad->message.find("sys/socket.h"), std::string::npos);
+
+  const Finding* allowed =
+      find_at(report, "restricted-include", "src/core/net_allowed.cpp");
+  ASSERT_NE(allowed, nullptr);
+  EXPECT_TRUE(allowed->suppressed);
+
+  // comm itself may speak sockets.
+  EXPECT_EQ(find_at(report, "restricted-include", "src/comm/sock.cpp"),
+            nullptr);
+}
+
+// ---------------------------------------------------------------- proto --
+
+TEST(VelaAnalyzeDispatch, PartialSwitchNamesTheMissingVariant) {
+  Report report = run_fixture("proto");
+  const Finding* f =
+      find_at(report, "partial-dispatch", "src/core/dispatch.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 4u);
+  EXPECT_NE(f->message.find("2/3"), std::string::npos);
+  EXPECT_NE(f->message.find("kGamma"), std::string::npos);
+}
+
+TEST(VelaAnalyzeDispatch, DefaultArmDoesNotCountAsHandling) {
+  // The line-4 switch covers kAlpha/kBeta plus `default:`; it still fires.
+  // The line-15 switch names all three variants and must not.
+  Report report = run_fixture("proto");
+  std::vector<Finding> partial = with_rule(report, "partial-dispatch");
+  bool fired_line4 = false;
+  for (const Finding& f : partial) {
+    EXPECT_NE(f.line, 15u) << "exhaustive switch flagged";
+    if (f.line == 4u) fired_line4 = true;
+  }
+  EXPECT_TRUE(fired_line4);
+}
+
+TEST(VelaAnalyzeDispatch, ElseIfChainIsCheckedToo) {
+  Report report = run_fixture("proto");
+  std::vector<Finding> partial = with_rule(report, "partial-dispatch");
+  auto it = std::find_if(partial.begin(), partial.end(),
+                         [](const Finding& f) { return f.line == 27u; });
+  ASSERT_NE(it, partial.end());
+  EXPECT_NE(it->message.find("else-if chain"), std::string::npos);
+  EXPECT_NE(it->message.find("kGamma"), std::string::npos);
+}
+
+TEST(VelaAnalyzeDispatch, AllowCommentAboveSwitchSuppresses) {
+  Report report = run_fixture("proto");
+  std::vector<Finding> partial = with_rule(report, "partial-dispatch");
+  auto it = std::find_if(partial.begin(), partial.end(),
+                         [](const Finding& f) { return f.suppressed; });
+  ASSERT_NE(it, partial.end());
+  EXPECT_EQ(it->line, 39u);  // suppressed_partial's switch
+}
+
+TEST(VelaAnalyzeDispatch, RecordKindSwitchesAreCovered) {
+  Report report = run_fixture("proto");
+  std::vector<Finding> partial = with_rule(report, "partial-dispatch");
+  auto it = std::find_if(partial.begin(), partial.end(), [](const Finding& f) {
+    return f.message.find("kRecTwo") != std::string::npos;
+  });
+  ASSERT_NE(it, partial.end());
+  EXPECT_NE(it->message.find("record kind"), std::string::npos);
+}
+
+TEST(VelaAnalyzeCodec, MismatchReportedInBothDirections) {
+  Report report = run_fixture("proto");
+  std::vector<Finding> codec = with_rule(report, "codec-key-mismatch");
+  ASSERT_EQ(codec.size(), 2u);
+  bool emitted_not_parsed = false, parsed_not_emitted = false;
+  for (const Finding& f : codec) {
+    EXPECT_EQ(f.file, "src/core/codec.cpp");
+    if (f.message.find("'beta'") != std::string::npos)
+      emitted_not_parsed = true;
+    if (f.message.find("'gamma'") != std::string::npos)
+      parsed_not_emitted = true;
+  }
+  EXPECT_TRUE(emitted_not_parsed);
+  EXPECT_TRUE(parsed_not_emitted);
+}
+
+// --------------------------------------------------------------- ledger --
+
+TEST(VelaAnalyzeLedger, UnchargedFrameInsideCommIsFlagged) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> sends = with_rule(report, "uncharged-send");
+  // offer_bad (endpoint.cpp:12) fires; send_ok (charges wire_size) and
+  // offer_allowed (suppressed) do not fire unsuppressed.
+  auto it = std::find_if(sends.begin(), sends.end(), [](const Finding& f) {
+    return f.file == "src/comm/endpoint.cpp" && !f.suppressed;
+  });
+  ASSERT_NE(it, sends.end());
+  EXPECT_EQ(it->line, 12u);
+  EXPECT_NE(it->message.find("wire_size"), std::string::npos);
+}
+
+TEST(VelaAnalyzeLedger, ChargedAndAllowedCommSendsAreClean) {
+  Report report = run_fixture("ledger");
+  for (const Finding& f : with_rule(report, "uncharged-send")) {
+    if (f.file != "src/comm/endpoint.cpp") continue;
+    EXPECT_NE(f.line, 8u) << "send_ok charges wire_size and must not fire";
+    if (f.line == 17u) {
+      EXPECT_TRUE(f.suppressed);
+    }
+  }
+}
+
+TEST(VelaAnalyzeLedger, FramingOutsideCommIsFlaggedBothWays) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> sends = with_rule(report, "uncharged-send");
+  bool frame = false, raw_send = false;
+  for (const Finding& f : sends) {
+    if (f.file != "src/core/master.cpp" || f.suppressed) continue;
+    if (f.line == 10u) frame = true;      // encode_frame outside comm
+    if (f.line == 11u) raw_send = true;   // transport->send outside comm
+  }
+  EXPECT_TRUE(frame);
+  EXPECT_TRUE(raw_send);
+  // rogue_allowed carries allow() on both lines.
+  int suppressed = 0;
+  for (const Finding& f : sends)
+    if (f.file == "src/core/master.cpp" && f.suppressed) ++suppressed;
+  EXPECT_EQ(suppressed, 2);
+}
+
+TEST(VelaAnalyzeEnv, UnregisteredVarNamedWithRegistryHint) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> env = with_rule(report, "unregistered-env");
+  ASSERT_EQ(env.size(), 1u);
+  EXPECT_EQ(env[0].file, "src/core/master.cpp");
+  EXPECT_NE(env[0].message.find("VELA_MYSTERY"), std::string::npos);
+  EXPECT_NE(env[0].message.find("env_registry.conf"), std::string::npos);
+  // VELA_KNOWN is registered and consumed — no finding anywhere names it.
+  for (const Finding& f : report.findings)
+    EXPECT_EQ(f.message.find("VELA_KNOWN"), std::string::npos);
+}
+
+TEST(VelaAnalyzeEnv, OrphanRegistryEntryIsStale) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> stale = with_rule(report, "stale-env-registry");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "tools/env_registry.conf");
+  EXPECT_EQ(stale[0].line, 3u);
+  EXPECT_NE(stale[0].message.find("VELA_GONE"), std::string::npos);
+  EXPECT_FALSE(stale[0].suppressed);  // stale-* findings are unsuppressible
+}
+
+TEST(VelaAnalyzeEnv, HandEditedDocsAreStale) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> stale = with_rule(report, "stale-env-docs");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "docs/env.md");
+  EXPECT_NE(stale[0].message.find("--write-env-docs"), std::string::npos);
+  // The regenerated table carries the registered var with its consumer.
+  EXPECT_NE(report.env_docs.find("| `VELA_KNOWN` | `0` |"),
+            std::string::npos);
+}
+
+TEST(VelaAnalyzeGolden, UnreferencedGoldenCsvIsStale) {
+  Report report = run_fixture("ledger");
+  std::vector<Finding> stale = with_rule(report, "stale-golden");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "tests/golden/stale.csv");
+  // referenced.csv is named by tests/test_ref.cpp and must not fire.
+  EXPECT_EQ(find_at(report, "stale-golden", "tests/golden/referenced.csv"),
+            nullptr);
+}
+
+TEST(VelaAnalyzeReport, FindingsSortedByFileLineRule) {
+  Report report = run_fixture("ledger");
+  ASSERT_GE(report.findings.size(), 2u);
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    const Finding& a = report.findings[i - 1];
+    const Finding& b = report.findings[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.rule), std::tie(b.file, b.line, b.rule));
+  }
+}
+
+}  // namespace
+}  // namespace vela::analyze

@@ -1,0 +1,76 @@
+#include "token_util.h"
+
+namespace vela::analyze {
+
+namespace {
+
+std::size_t match_closer(const std::vector<Token>& tokens,
+                         std::size_t open_idx, const char* open,
+                         const char* close) {
+  int depth = 0;
+  for (std::size_t i = open_idx; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == open) {
+      ++depth;
+    } else if (tokens[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+std::size_t match_brace(const std::vector<Token>& tokens,
+                        std::size_t open_idx) {
+  return match_closer(tokens, open_idx, "{", "}");
+}
+
+std::size_t match_paren(const std::vector<Token>& tokens,
+                        std::size_t open_idx) {
+  return match_closer(tokens, open_idx, "(", ")");
+}
+
+bool is_type_scope_open(const std::vector<Token>& tokens,
+                        std::size_t open_idx) {
+  // Walk back over the scope head: `namespace a::b {`, `class Foo final :
+  // public Bar {`, `enum class E : std::uint8_t {`. A ')' before any scope
+  // keyword means a function/control head; ';' '{' '}' mean we left the
+  // declaration entirely.
+  std::size_t i = open_idx;
+  while (i > 0) {
+    const Token& t = tokens[--i];
+    if (t.kind == TokenKind::kPunct &&
+        (t.text == ")" || t.text == ";" || t.text == "{" || t.text == "}"))
+      return false;
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "namespace" || t.text == "class" || t.text == "struct" ||
+         t.text == "enum" || t.text == "union"))
+      return true;
+  }
+  return false;
+}
+
+Extent enclosing_function(const std::vector<Token>& tokens, std::size_t at) {
+  // Scan from the top, maintaining the stack of open braces; the answer is
+  // the outermost non-type-scope brace on the stack when we reach `at`.
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < tokens.size() && i <= at; ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == "{") {
+      stack.push_back(i);
+    } else if (tokens[i].text == "}") {
+      if (!stack.empty()) stack.pop_back();
+    }
+  }
+  for (std::size_t open : stack) {
+    if (is_type_scope_open(tokens, open)) continue;
+    Extent e;
+    e.open = open;
+    e.close = match_brace(tokens, open);
+    return e;
+  }
+  return {};
+}
+
+}  // namespace vela::analyze

@@ -1,0 +1,39 @@
+// Token-stream structure helpers shared by the analyzer passes: brace
+// matching, scope classification (namespace/class body vs function body),
+// and enclosing-function lookup. Operates on the vela_lint token stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lexer.h"
+
+namespace vela::analyze {
+
+using vela::lint::Token;
+using vela::lint::TokenKind;
+
+// Index of the '}' matching the '{' at open_idx, or tokens.size() if
+// unbalanced (malformed input lexes to end-of-file).
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open_idx);
+
+// Index of the ')' matching the '(' at open_idx, or tokens.size().
+std::size_t match_paren(const std::vector<Token>& tokens, std::size_t open_idx);
+
+// True when the '{' at open_idx opens a namespace/class/struct/enum/union
+// body (walk back past the scope head; stop at ; } { or ')').
+bool is_type_scope_open(const std::vector<Token>& tokens, std::size_t open_idx);
+
+// [open_idx, close_idx] of the outermost enclosing brace block around token
+// `at` that is NOT a type scope — i.e. the enclosing function (or lambda /
+// initializer) body. Returns {npos, npos} when `at` is at namespace scope.
+struct Extent {
+  std::size_t open = static_cast<std::size_t>(-1);
+  std::size_t close = static_cast<std::size_t>(-1);
+  [[nodiscard]] bool valid() const {
+    return open != static_cast<std::size_t>(-1);
+  }
+};
+Extent enclosing_function(const std::vector<Token>& tokens, std::size_t at);
+
+}  // namespace vela::analyze

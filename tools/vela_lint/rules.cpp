@@ -543,6 +543,52 @@ void rule_quant_buffer(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// include-hygiene: `#include` of a .cpp/.cc/.cxx file splices one
+// translation unit into another — ODR violations, double-compiled statics,
+// and headers that only compile because their includer dragged in the
+// implementation. Scanned from the raw source because the lexer drops
+// string/include-path content. (The companion header self-containedness
+// gate lives in tools/check_headers.sh, `ctest -L analyze`.)
+void rule_include_hygiene(const std::string& path, const std::string& source,
+                          std::vector<Finding>* findings) {
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string::npos) eol = source.size();
+    std::string text = source.substr(pos, eol - pos);
+    std::size_t i = text.find_first_not_of(" \t");
+    if (i != std::string::npos && text[i] == '#') {
+      std::size_t inc = text.find("include", i + 1);
+      if (inc != std::string::npos) {
+        std::size_t open = text.find_first_of("\"<", inc + 7);
+        if (open != std::string::npos) {
+          const char close = text[open] == '<' ? '>' : '"';
+          std::size_t end = text.find(close, open + 1);
+          if (end != std::string::npos) {
+            const std::string inc_path = text.substr(open + 1, end - open - 1);
+            for (const char* ext : {".cpp", ".cc", ".cxx"}) {
+              const std::size_t n = std::string(ext).size();
+              if (inc_path.size() > n &&
+                  inc_path.compare(inc_path.size() - n, n, ext) == 0) {
+                findings->push_back(
+                    {"include-hygiene", path, line,
+                     "#include of implementation file \"" + inc_path +
+                         "\" splices translation units together; include the "
+                         "header and link the .cpp instead",
+                     false});
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    line += 1;
+    pos = eol + 1;
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& all_rules() {
@@ -550,6 +596,7 @@ const std::vector<std::string>& all_rules() {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
       "direct-transport",    "naked-clock",    "quant-buffer",
+      "include-hygiene",
   };
   return kRules;
 }
@@ -573,6 +620,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_direct_transport(path, lexed.tokens, &findings);
   rule_naked_clock(path, lexed.tokens, &findings);
   rule_quant_buffer(path, lexed.tokens, &findings);
+  rule_include_hygiene(path, source, &findings);
 
   // Apply suppressions: an allowance on the finding's line or the line
   // directly above it covers the finding.

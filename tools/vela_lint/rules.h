@@ -31,6 +31,11 @@
 //                        util::Clock (DESIGN.md §11) so timeout/backoff
 //                        schedules are testable in virtual time. OS-level
 //                        wait budgets suppress with a rationale.
+//   include-hygiene      `#include` of a .cpp/.cc/.cxx file — splicing
+//                        translation units breaks the ODR and hides
+//                        non-self-contained headers. (Header standalone
+//                        compilation is gated by tools/check_headers.sh,
+//                        `ctest -L analyze`.)
 #pragma once
 
 #include <cstddef>

@@ -96,6 +96,31 @@ TEST(VelaLintFixtures, CleanFixtureHasNoUnsuppressedFindings) {
   }
 }
 
+TEST(VelaLintRules, IncludeHygieneFlagsCppIncludes) {
+  const std::string src =
+      "#include \"comm/message.h\"\n"
+      "#include \"comm/frame.cpp\"\n"
+      "  #  include <impl/detail.cc>\n"
+      "#include \"tensor/qgemm.cxx\"\n";
+  EXPECT_EQ(unsuppressed_lines(lint_file("src/foo.cpp", src),
+                               "include-hygiene"),
+            (std::set<std::size_t>{2, 3, 4}));
+}
+
+TEST(VelaLintRules, IncludeHygieneCleanOnHeadersAndSuppressible) {
+  const std::string clean =
+      "#include \"comm/message.h\"\n"
+      "#include <vector>\n"
+      "// mentions frame.cpp in a comment only\n";
+  EXPECT_TRUE(lint_file("src/foo.cpp", clean).empty());
+  const std::string suppressed =
+      "// vela-lint: allow(include-hygiene) generated amalgamation build\n"
+      "#include \"one_big_tu.cpp\"\n";
+  for (const Finding& f : lint_file("src/foo.cpp", suppressed)) {
+    EXPECT_TRUE(f.suppressed);
+  }
+}
+
 TEST(VelaLintLexer, CommentsAndStringsProduceNoFindings) {
   const std::string src = R"src(
 // for (auto& kv : some_unordered_map_in_a_comment) {}
@@ -357,11 +382,12 @@ const Q8Block* peek(const unsigned char* wire) {
 
 TEST(VelaLintRules, AllRulesListedAndStable) {
   const auto& rules = vela::lint::all_rules();
-  EXPECT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules.size(), 10u);
   const std::set<std::string> expected = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
-      "direct-transport",    "naked-clock",    "quant-buffer"};
+      "direct-transport",    "naked-clock",    "quant-buffer",
+      "include-hygiene"};
   EXPECT_EQ(std::set<std::string>(rules.begin(), rules.end()), expected);
 }
 
