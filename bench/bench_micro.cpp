@@ -10,6 +10,7 @@
 
 #include "autograd/ops.h"
 #include "bench_common.h"
+#include "offload_csv.h"
 #include "comm/comm_clock.h"
 #include "comm/endpoint.h"
 #include "core/step_simulator.h"
@@ -296,6 +297,41 @@ void write_bench_overlap_json() {
   std::fprintf(stderr, "wrote bench_overlap.json\n");
 }
 
+// Bounded-memory expert-store sweep (DESIGN.md §15): the Zipf-trace replay
+// from bench/offload_csv.h across eviction policies and resident budgets.
+// The headline record: locality-priority admission (fed the trace's true
+// long-run frequencies, as the placement layer derives from its routing
+// statistics) must beat plain LRU's hit rate on the skewed corpus.
+void write_bench_offload_json() {
+  using vela::bench::OffloadPoint;
+  const std::vector<OffloadPoint> points =
+      vela::bench::run_offload_sweep(".");
+
+  std::FILE* f = std::fopen("bench_offload.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open bench_offload.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"experts\": %u,\n", vela::bench::kOffloadExperts);
+  std::fprintf(f, "  \"touches\": %d,\n", vela::bench::kOffloadTouches);
+  std::fprintf(f, "  \"zipf_s\": %.2f,\n  \"sweep\": [\n",
+               vela::bench::kOffloadZipfS);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const OffloadPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"budget\": %lld, "
+                 "\"hit_rate\": %.4f, \"page_out_mb\": %.3f, "
+                 "\"page_in_mb\": %.3f, \"thrash_mb\": %.3f, "
+                 "\"replicate_once_mb\": %.3f}%s\n",
+                 p.policy.c_str(), p.budget, p.hit_rate, p.page_out_mb,
+                 p.page_in_mb, p.thrash_mb, p.replicate_once_mb,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote bench_offload.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -305,5 +341,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   write_bench_parallel_json();
   write_bench_overlap_json();
+  write_bench_offload_json();
   return 0;
 }

@@ -1,0 +1,166 @@
+// Shared emitter for the bounded-memory expert-store sweep (DESIGN.md §15).
+//
+// Both bench_micro (which also folds the same points into
+// bench_offload.json) and the golden-file regression test
+// (tests/test_offload_golden.cpp) run the thrash-vs-replicate scenario
+// through this emitter, so the schema, row order and cell formatting cannot
+// drift from what tests/golden/offload_tiny.csv pins.
+//
+// The scenario: one worker hosts kOffloadExperts experts but only `budget`
+// resident slots, and the step loop touches experts along a Zipf-distributed
+// trace (hot experts dominate, exactly the skew the locality placement
+// exploits). Every (policy, budget) cell answers the capacity-planning
+// question the store poses: keep the budget and pay the paging thrash every
+// step, or replicate the over-budget experts onto a sibling worker and pay
+// their images' one-time shipping cost. Every cell is deterministic — the
+// trace comes from the seeded Rng, paging bytes from the store's own
+// counters, and no wall-clock value is emitted.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csv_cells.h"
+#include "nn/expert.h"
+#include "nn/optimizer.h"
+#include "store/paged_store.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace vela::bench {
+
+// Fixed sweep geometry, shared by the CSV golden and bench_offload.json.
+constexpr std::uint32_t kOffloadExperts = 8;
+constexpr int kOffloadTouches = 256;
+constexpr double kOffloadZipfS = 1.2;
+constexpr std::uint64_t kOffloadTraceSeed = 17;
+
+inline const std::vector<std::string>& offload_columns() {
+  static const std::vector<std::string> cols = {
+      "setting",       "policy",       "budget",
+      "hit_rate",      "page_out_mb",  "page_in_mb",
+      "thrash_mb",     "replicate_once_mb"};
+  return cols;
+}
+
+inline const std::vector<std::pair<std::string, store::EvictionPolicy>>&
+offload_policies() {
+  static const std::vector<std::pair<std::string, store::EvictionPolicy>>
+      policies = {{"locality", store::EvictionPolicy::kLocality},
+                  {"lru", store::EvictionPolicy::kLru},
+                  {"fifo", store::EvictionPolicy::kFifo}};
+  return policies;
+}
+
+// The expert shape under test: small enough that a full sweep is
+// seconds-scale, real enough (LoRA adapters + AdamW moments) that paged
+// images carry every section the production store spills.
+inline store::SlotFactory offload_factory() {
+  return [](const store::ExpertKey& key) {
+    Rng rng(nn::expert_seed(3, key.layer, key.expert));
+    store::ExpertSlot slot;
+    slot.expert = std::make_unique<nn::SwiGLUExpert>(
+        "layer" + std::to_string(key.layer) + ".expert" +
+            std::to_string(key.expert),
+        8, 16, nn::LoRAConfig{2, 4.0f, true}, rng);
+    slot.optimizer = std::make_unique<nn::AdamW>(
+        slot.expert->trainable_parameters(), nn::AdamWConfig{});
+    return slot;
+  };
+}
+
+// The Zipf access trace: expert e is touched with weight 1/(e+1)^s, the
+// same skew the locality priorities encode — so "locality" gets the true
+// long-run frequencies, exactly what the placement layer derives from its
+// routing statistics.
+inline std::vector<std::uint32_t> offload_trace() {
+  Rng rng(kOffloadTraceSeed);
+  std::vector<std::uint32_t> trace;
+  trace.reserve(kOffloadTouches);
+  for (int i = 0; i < kOffloadTouches; ++i) {
+    trace.push_back(
+        static_cast<std::uint32_t>(rng.zipf(kOffloadExperts, kOffloadZipfS)));
+  }
+  return trace;
+}
+
+struct OffloadPoint {
+  std::string policy;
+  long long budget = 0;
+  double hit_rate = 0.0;
+  double page_out_mb = 0.0;
+  double page_in_mb = 0.0;
+  double thrash_mb = 0.0;          // page_out + page_in over the whole trace
+  double replicate_once_mb = 0.0;  // ship the over-budget images once instead
+};
+
+// Replays the trace against a PagedStore at one (policy, budget) cell.
+inline OffloadPoint run_offload_replay(const std::string& policy_name,
+                                       store::EvictionPolicy policy,
+                                       long long budget,
+                                       const std::string& dir) {
+  store::StoreConfig cfg;
+  cfg.budget = budget;
+  cfg.dir = dir;
+  cfg.dtype = store::StoreDtype::kFp32;
+  cfg.policy = policy;
+  store::PagedStore s(cfg, offload_factory());
+  std::vector<std::pair<store::ExpertKey, float>> prios;
+  for (std::uint32_t e = 0; e < kOffloadExperts; ++e) {
+    prios.emplace_back(
+        store::ExpertKey{0, e},
+        static_cast<float>(1.0 / std::pow(double(e) + 1.0, kOffloadZipfS)));
+  }
+  s.set_priorities(prios);
+  for (std::uint32_t e = 0; e < kOffloadExperts; ++e) s.emplace({0, e});
+  for (const std::uint32_t e : offload_trace()) {
+    s.pin({0, e});
+    s.unpin({0, e});
+  }
+  const store::StoreStats st = s.stats();
+  constexpr double kMb = 1024.0 * 1024.0;
+  OffloadPoint p;
+  p.policy = policy_name;
+  p.budget = budget;
+  const std::uint64_t pins = st.hits + st.misses;
+  p.hit_rate = pins == 0 ? 0.0 : double(st.hits) / double(pins);
+  p.page_out_mb = double(st.page_out_bytes) / kMb;
+  p.page_in_mb = double(st.page_in_bytes) / kMb;
+  p.thrash_mb = p.page_out_mb + p.page_in_mb;
+  // One paged image's size, measured from the store's own spill counters
+  // (images are uniform here: same shape, no accumulated gradients).
+  const double image_mb = st.evictions == 0
+                              ? 0.0
+                              : double(st.page_out_bytes) /
+                                    double(st.evictions) / kMb;
+  const long long over = static_cast<long long>(kOffloadExperts) - budget;
+  p.replicate_once_mb = over > 0 ? double(over) * image_mb : 0.0;
+  return p;
+}
+
+// The full sweep in deterministic row order: policy-major, budget-minor.
+inline std::vector<OffloadPoint> run_offload_sweep(const std::string& dir) {
+  std::vector<OffloadPoint> points;
+  for (const auto& [name, policy] : offload_policies()) {
+    for (const long long budget : {1LL, 2LL, 3LL, 4LL, 6LL}) {
+      points.push_back(run_offload_replay(name, policy, budget, dir));
+    }
+  }
+  return points;
+}
+
+inline std::vector<OffloadPoint> emit_offload_sweep(
+    const std::string& setting_name, CsvWriter& csv, const std::string& dir) {
+  const std::vector<OffloadPoint> points = run_offload_sweep(dir);
+  for (const OffloadPoint& p : points) {
+    csv.row(cells(setting_name, p.policy, p.budget, p.hit_rate, p.page_out_mb,
+                  p.page_in_mb, p.thrash_mb, p.replicate_once_mb));
+  }
+  return points;
+}
+
+}  // namespace vela::bench

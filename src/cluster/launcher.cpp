@@ -32,6 +32,8 @@ ChildProcess::ChildProcess(const ProcessSpec& spec) : spec_(spec) {
     // Child. Redirect stdout+stderr to the log file before exec so even
     // exec-failure diagnostics land in the capture.
     if (!spec_.log_path.empty()) {
+      // Post-fork/pre-exec log capture: only async-signal-safe fd plumbing
+      // is legal here, not a store seam. vela-lint: allow(raw-file-io)
       const int fd = ::open(spec_.log_path.c_str(),
                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
       if (fd >= 0) {
@@ -113,6 +115,8 @@ std::uint16_t wait_for_port(const std::string& log_path,
   // vela-lint: allow(naked-clock) -- polling another process's log file;
   // no injected clock can advance a child process's wall time.
   while (std::chrono::steady_clock::now() < deadline) {
+    // Tailing a child process's log: line-oriented text owned by the
+    // child, not the store. vela-lint: allow(raw-file-io)
     std::ifstream in(log_path);
     std::string line;
     while (std::getline(in, line)) {

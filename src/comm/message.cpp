@@ -55,6 +55,12 @@ const char* message_type_name(MessageType t) {
       return "RestoreExpertDone";
     case MessageType::kCrash:
       return "Crash";
+    case MessageType::kStorePriorities:
+      return "StorePriorities";
+    case MessageType::kStorePrioritiesDone:
+      return "StorePrioritiesDone";
+    case MessageType::kPrefetchExperts:
+      return "PrefetchExperts";
   }
   return "?";
 }

@@ -44,6 +44,14 @@ enum class MessageType : std::uint8_t {
   kRestoreExpertDone,     // worker → master: ack
   kCrash,                 // fault injection only: simulate an abrupt worker
                           //   process death (both channels die, state is lost)
+  kStorePriorities,       // master → worker: locality scores for the expert
+                          //   store's admission policy (payload = flattened
+                          //   L×E matrix; layer/expert fields carry the dims)
+  kStorePrioritiesDone,   // worker → master: ack
+  kPrefetchExperts,       // master → worker: fire-and-forget dispatch hint —
+                          //   page these experts in ahead of the forwards
+                          //   queued behind the hint (payload = expert ids
+                          //   for the layer field; never awaited, no reply)
 };
 
 const char* message_type_name(MessageType t);

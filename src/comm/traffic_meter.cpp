@@ -24,9 +24,12 @@ void TrafficMeter::end_step() {
   external_history_.push_back(cur_external_);
   total_history_.push_back(cur_total_);
   recovery_history_.push_back(cur_recovery_);
+  paging_history_.push_back(cur_page_in_ + cur_page_out_);
   cur_external_ = 0;
   cur_total_ = 0;
   cur_recovery_ = 0;
+  cur_page_in_ = 0;
+  cur_page_out_ = 0;
 }
 
 void TrafficMeter::discard_current() {
@@ -34,6 +37,41 @@ void TrafficMeter::discard_current() {
   cur_external_ = 0;
   cur_total_ = 0;
   cur_recovery_ = 0;
+  cur_page_in_ = 0;
+  cur_page_out_ = 0;
+}
+
+void TrafficMeter::record_page_in(std::uint64_t bytes) {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  cur_page_in_ += bytes;
+  lifetime_page_in_ += bytes;
+}
+
+void TrafficMeter::record_page_out(std::uint64_t bytes) {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  cur_page_out_ += bytes;
+  lifetime_page_out_ += bytes;
+}
+
+std::uint64_t TrafficMeter::current_paging_bytes() const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  return cur_page_in_ + cur_page_out_;
+}
+
+std::uint64_t TrafficMeter::step_paging_bytes(std::size_t i) const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  VELA_CHECK(i < paging_history_.size());
+  return paging_history_[i];
+}
+
+std::uint64_t TrafficMeter::lifetime_page_in_bytes() const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  return lifetime_page_in_;
+}
+
+std::uint64_t TrafficMeter::lifetime_page_out_bytes() const {
+  std::lock_guard<audit::AuditedMutex> lock(mutex_);
+  return lifetime_page_out_;
 }
 
 TrafficMeter::RecoveryScope::RecoveryScope(TrafficMeter* meter)

@@ -74,16 +74,34 @@ class TrafficMeter {
   std::uint64_t step_recovery_bytes(std::size_t i) const;
   std::uint64_t lifetime_recovery_bytes() const;
 
+  // --- expert paging (DESIGN.md §15) ---------------------------------------
+  // Bytes the expert store spilled to / reloaded from its on-disk table.
+  // Like the recovery series this is a separate breakdown: paged bytes never
+  // cross a channel, so they are NOT added to the external/total series —
+  // budget-unbounded runs and paged runs report identical network traffic.
+  void record_page_in(std::uint64_t bytes);
+  void record_page_out(std::uint64_t bytes);
+
+  std::uint64_t current_paging_bytes() const;  // in + out, open step
+  std::uint64_t step_paging_bytes(std::size_t i) const;
+  std::uint64_t lifetime_page_in_bytes() const;
+  std::uint64_t lifetime_page_out_bytes() const;
+
  private:
   const cluster::ClusterTopology* topology_;
   mutable audit::AuditedMutex mutex_{"traffic_meter"};
   std::uint64_t cur_external_ = 0;
   std::uint64_t cur_total_ = 0;
   std::uint64_t cur_recovery_ = 0;
+  std::uint64_t cur_page_in_ = 0;
+  std::uint64_t cur_page_out_ = 0;
+  std::uint64_t lifetime_page_in_ = 0;
+  std::uint64_t lifetime_page_out_ = 0;
   int recovery_depth_ = 0;  // > 0 while a RecoveryScope is open
   std::vector<std::uint64_t> external_history_;
   std::vector<std::uint64_t> total_history_;
   std::vector<std::uint64_t> recovery_history_;
+  std::vector<std::uint64_t> paging_history_;  // in + out per step
 };
 
 }  // namespace vela::comm

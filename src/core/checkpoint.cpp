@@ -1,8 +1,6 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
-#include <cstdint>
-#include <fstream>
 
 #include "core/master.h"
 #include "util/check.h"
@@ -10,74 +8,11 @@
 namespace vela::core {
 namespace {
 
-constexpr char kMagic[8] = {'V', 'E', 'L', 'A', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  VELA_CHECK_MSG(in.good(), "checkpoint truncated");
-  return value;
-}
-
 std::string expert_entry_name(std::size_t layer, std::size_t expert) {
   return "expert." + std::to_string(layer) + "." + std::to_string(expert);
 }
 
 }  // namespace
-
-void save_named_tensors(const std::string& path, const NamedTensors& tensors) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  VELA_CHECK_MSG(out.good(), "cannot open checkpoint file " << path);
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
-  for (const auto& [name, tensor] : tensors) {
-    VELA_CHECK(!name.empty());
-    write_pod(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(out, static_cast<std::uint64_t>(tensor.size()));
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
-  }
-  VELA_CHECK_MSG(out.good(), "checkpoint write failed: " << path);
-}
-
-NamedTensors load_named_tensors(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  VELA_CHECK_MSG(in.good(), "cannot open checkpoint file " << path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  VELA_CHECK_MSG(in.good() && std::equal(magic, magic + 8, kMagic),
-                 "not a VELA checkpoint: " << path);
-  const auto version = read_pod<std::uint32_t>(in);
-  VELA_CHECK_MSG(version == kVersion,
-                 "unsupported checkpoint version " << version);
-  const auto count = read_pod<std::uint64_t>(in);
-  NamedTensors tensors;
-  tensors.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto numel = read_pod<std::uint64_t>(in);
-    VELA_CHECK_MSG(numel > 0, "empty tensor in checkpoint");
-    std::vector<float> data(numel);
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    VELA_CHECK_MSG(in.good(), "checkpoint truncated at entry " << name);
-    tensors.emplace_back(
-        std::move(name),
-        Tensor({static_cast<std::size_t>(numel)}, std::move(data)));
-  }
-  return tensors;
-}
 
 NamedTensors snapshot_trainable(const nn::Module& module) {
   NamedTensors out;

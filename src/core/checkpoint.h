@@ -14,21 +14,21 @@
 #pragma once
 
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "nn/module.h"
+#include "store/tensor_file.h"
 #include "tensor/tensor.h"
 
 namespace vela::core {
 
 class MasterProcess;
 
-using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
-
-// Low-level container I/O. Throws CheckError on malformed files.
-void save_named_tensors(const std::string& path, const NamedTensors& tensors);
-NamedTensors load_named_tensors(const std::string& path);
+// The container format and its I/O live in store/tensor_file.h (raw file
+// access is confined to the store layer); re-exported here so checkpoint
+// call sites keep their historical names.
+using store::NamedTensors;
+using store::load_named_tensors;
+using store::save_named_tensors;
 
 // Module state: one entry per trainable parameter, keyed by parameter name.
 NamedTensors snapshot_trainable(const nn::Module& module);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
+#include <map>
 
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -89,9 +90,38 @@ ag::Variable ExpertBroker::expert_forward(std::size_t layer,
   return out[0];
 }
 
+void ExpertBroker::send_prefetch_hints(
+    std::size_t layer,
+    const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+  // One hint per involved worker, workers ascending, naming every expert the
+  // dispatch below will route to it. Raw sends on the underlying link: a
+  // ReliableLink::post would track the hint as outstanding forever (nothing
+  // ever awaits it), and a lost hint costs only the overlap it would have
+  // bought — the demand path still pages the expert in.
+  std::map<std::size_t, std::vector<std::size_t>> by_worker;
+  for (const auto& [expert, xs] : groups) {
+    by_worker[placement_->worker_of(layer, expert)].push_back(expert);
+  }
+  for (const auto& [worker, experts] : by_worker) {
+    comm::Message msg;
+    msg.type = comm::MessageType::kPrefetchExperts;
+    msg.request_id = next_request_++;
+    msg.layer = static_cast<std::uint32_t>(layer);
+    msg.payload = Tensor({experts.size()});
+    for (std::size_t i = 0; i < experts.size(); ++i) {
+      msg.payload[i] = static_cast<float>(experts[i]);
+    }
+    account(layer, /*backward=*/false, worker, msg.wire_size(), 1);
+    // A severed channel surfaces on the very next post(); the hint itself is
+    // allowed to vanish silently.
+    (void)rlinks_[worker]->link()->to_worker.send(std::move(msg));
+  }
+}
+
 std::vector<ag::Variable> ExpertBroker::experts_forward(
     std::size_t layer,
     const std::vector<std::pair<std::size_t, ag::Variable>>& groups) {
+  if (store_hints_ && !groups.empty()) send_prefetch_hints(layer, groups);
   if (overlap_chunks_ >= 2) return experts_forward_chunked(layer, groups);
   struct Outstanding {
     std::size_t worker;

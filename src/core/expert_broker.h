@@ -63,6 +63,17 @@ class ExpertBroker : public moe::ExpertBackend {
   void set_overlap_chunks(std::size_t chunks);
   std::size_t overlap_chunks() const { return overlap_chunks_; }
 
+  // Expert-store dispatch hints (DESIGN.md §15): when enabled, every
+  // experts_forward precedes its posts with one fire-and-forget
+  // kPrefetchExperts per involved worker, naming the experts the dispatch is
+  // about to touch — a paging worker overlaps its page-ins with the hint's
+  // in-flight forwards instead of demand-faulting on each. Sent raw (never
+  // awaited, never retransmitted); bytes are charged to the layer's forward
+  // phase. Off by default: with an unbounded store the hint is a no-op on
+  // the worker but its bytes would break bit-exact ledger parity.
+  void set_store_hints(bool on) { store_hints_ = on; }
+  bool store_hints() const { return store_hints_; }
+
   // Step-phase ledger.
   void begin_step();
   // Returns phases ordered forward block 0..L−1 then backward block L−1..0
@@ -79,6 +90,11 @@ class ExpertBroker : public moe::ExpertBackend {
   comm::Message await_reply(std::size_t worker, comm::MessageType expected,
                             std::uint64_t request_id, std::size_t layer,
                             bool backward_phase);
+
+  // Sends the kPrefetchExperts hints for one dispatch (store_hints_ only).
+  void send_prefetch_hints(
+      std::size_t layer,
+      const std::vector<std::pair<std::size_t, ag::Variable>>& groups);
 
   // The overlap pipeline's experts_forward (overlap_chunks_ >= 2).
   std::vector<ag::Variable> experts_forward_chunked(
@@ -101,6 +117,7 @@ class ExpertBroker : public moe::ExpertBackend {
   // ledgers charge the quantized footprint uniformly across transports.
   comm::WireCodec codec_;
   std::size_t overlap_chunks_ = 0;
+  bool store_hints_ = false;
   std::uint64_t next_request_ = 1;
   // Per-phase byte/message ledger, one master row × one column per worker
   // (the same helper the EP runtime uses with an N×N shape).

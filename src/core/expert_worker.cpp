@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -12,12 +13,42 @@
 namespace vela::core {
 
 ExpertWorker::ExpertWorker(WorkerSpec spec, comm::DuplexLink* link,
-                           std::vector<ExpertKey> initial_experts)
+                           std::vector<ExpertKey> initial_experts,
+                           comm::TrafficMeter* meter)
     : spec_(spec),
       codec_(comm::WireCodec::resolve(spec.wire_dtype, spec.wire_bits,
                                       spec.quantize_wire, spec.q8_block)),
       link_(link) {
   VELA_CHECK(link != nullptr);
+  store::StoreConfig cfg;
+  cfg.budget = spec_.expert_budget;
+  cfg.dir = spec_.store_dir;
+  cfg.dtype = spec_.store_dtype;
+  cfg.meter = meter;
+  // The factory rebuilds everything an expert derives from its seed: frozen
+  // bases, the q8 compute pack, a fresh optimizer. Page-in layers the
+  // spilled adapters/gradients/moments on top.
+  store_ = store::make_expert_store(
+      cfg.resolved(), [this](const ExpertKey& key) {
+        Rng rng(nn::expert_seed(spec_.base_seed, key.layer, key.expert));
+        store::ExpertSlot slot;
+        slot.expert = std::make_unique<nn::SwiGLUExpert>(
+            "layer" + std::to_string(key.layer) + ".expert" +
+                std::to_string(key.expert),
+            spec_.model_dim, spec_.hidden_dim, spec_.lora, rng);
+        if (codec_.is_int8()) {
+          // Quantized compute tier: the frozen bases run through the packed
+          // q8 GEMM. Deterministic per expert (pack depends only on the
+          // seeded weights), so migration, respawn and page-in re-derive the
+          // identical pack.
+          slot.expert->enable_q8_compute(codec_.block);
+        }
+        if (spec_.lora.enabled) {
+          slot.optimizer = std::make_unique<nn::AdamW>(
+              slot.expert->trainable_parameters(), spec_.adamw);
+        }
+        return slot;
+      });
   for (const auto& key : initial_experts) {
     install_expert(key, nullptr);
   }
@@ -40,37 +71,27 @@ void ExpertWorker::join() {
 }
 
 void ExpertWorker::install_expert(const ExpertKey& key, const Tensor* state) {
-  VELA_CHECK_MSG(!experts_.count(key),
+  VELA_CHECK_MSG(!store_->contains(key),
                  "expert " << to_string(key) << " already hosted on worker "
                            << spec_.worker_id);
-  Rng rng(nn::expert_seed(spec_.base_seed, key.layer, key.expert));
-  HostedExpert hosted;
-  hosted.expert = std::make_unique<nn::SwiGLUExpert>(
-      "layer" + std::to_string(key.layer) + ".expert" +
-          std::to_string(key.expert),
-      spec_.model_dim, spec_.hidden_dim, spec_.lora, rng);
+  store_->emplace(key);
   if (state != nullptr) {
-    unpack_trainable(*state, *hosted.expert);
+    store::Pinned pinned(*store_, key);
+    unpack_trainable(*state, pinned.expert());
   }
-  if (codec_.is_int8()) {
-    // Quantized compute tier: the frozen bases run through the packed-q8
-    // GEMM. Deterministic per expert (pack depends only on the seeded
-    // weights), so migration and respawn re-derive the identical pack.
-    hosted.expert->enable_q8_compute(codec_.block);
-  }
-  if (spec_.lora.enabled) {
-    hosted.optimizer = std::make_unique<nn::AdamW>(
-        hosted.expert->trainable_parameters(), spec_.adamw);
-  }
-  experts_.emplace(key, std::move(hosted));
 }
 
-ExpertWorker::HostedExpert& ExpertWorker::hosted(const ExpertKey& key) {
-  auto it = experts_.find(key);
-  VELA_CHECK_MSG(it != experts_.end(),
+void ExpertWorker::require_hosted(const ExpertKey& key) const {
+  VELA_CHECK_MSG(store_->contains(key),
                  "worker " << spec_.worker_id << " does not host expert "
                            << to_string(key));
-  return it->second;
+}
+
+void ExpertWorker::release_pending() {
+  for (auto& [id, req] : pending_) {
+    store_->unpin(req.key);
+  }
+  pending_.clear();
 }
 
 void ExpertWorker::run() {
@@ -117,14 +138,24 @@ void ExpertWorker::run_loop(const std::string& tag) {
 bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
   // Serial semantics on a missing expert: every request before it completes
   // and replies, then the failed lookup kills the worker. Truncate the run at
-  // the first unhosted expert, compute the valid prefix, then let hosted()
-  // raise for the offender.
+  // the first unhosted expert, compute the valid prefix, then let
+  // require_hosted raise for the offender.
   std::size_t valid = run.size();
   for (std::size_t i = 0; i < run.size(); ++i) {
-    if (experts_.count({run[i].layer, run[i].expert}) == 0) {
+    if (!store_->contains({run[i].layer, run[i].expert})) {
       valid = i;
       break;
     }
+  }
+  // Pin serially on the worker thread, in arrival order — on a bounded store
+  // this is where cold experts page in, and arrival order makes the paging
+  // sequence deterministic. Each request holds its own pin until backward
+  // retires it (pins nest for repeated experts).
+  std::vector<nn::SwiGLUExpert*> experts;
+  experts.reserve(valid);
+  for (std::size_t i = 0; i < valid; ++i) {
+    experts.push_back(
+        store_->pin({run[i].layer, run[i].expert}).expert.get());
   }
   struct Slot {
     ag::Variable x;
@@ -138,11 +169,10 @@ bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
     // Forwards only read expert weights, and each task owns its own request
     // payload and slot, so distinct requests are data-race free even when
     // they hit the same expert.
-    tasks.push_back([this, &run, &slots, i] {
+    tasks.push_back([this, &run, &slots, &experts, i] {
       comm::Message& msg = run[i];
       Slot& s = slots[i];
-      nn::SwiGLUExpert& expert =
-          *experts_.at({msg.layer, msg.expert}).expert;
+      nn::SwiGLUExpert& expert = *experts[i];
       s.x = ag::Variable::leaf(std::move(msg.payload), /*requires_grad=*/true);
       s.y = expert.forward(s.x);
       comm::Message reply;
@@ -164,15 +194,21 @@ bool ExpertWorker::handle_forward_run(std::vector<comm::Message>& run) {
   // Bookkeeping and replies stay on the worker thread, in arrival order, so
   // the master observes exactly the serial reply sequence.
   for (std::size_t i = 0; i < valid; ++i) {
-    pending_.emplace(run[i].request_id,
-                     PendingRequest{{run[i].layer, run[i].expert}, slots[i].x,
-                                    slots[i].y});
+    const ExpertKey key{run[i].layer, run[i].expert};
+    const auto [it, inserted] = pending_.emplace(
+        run[i].request_id, PendingRequest{key, slots[i].x, slots[i].y});
+    // A re-executed request (reply cache evicted after a lost reply) found
+    // its original tape still pending: the original keeps its pin, this
+    // execution's pin is surplus.
+    if (!inserted) store_->unpin(key);
     ++requests_served_;
     if (!reply_and_cache(dedupe_key(run[i]), std::move(slots[i].reply))) {
       return false;
     }
   }
-  if (valid < run.size()) hosted({run[valid].layer, run[valid].expert});
+  if (valid < run.size()) {
+    require_hosted({run[valid].layer, run[valid].expert});
+  }
   return true;
 }
 
@@ -252,6 +288,9 @@ bool ExpertWorker::handle_backward_run(std::vector<comm::Message>& run) {
   }
   util::ThreadPool::global().run(tasks);
   for (const std::size_t i : plain) {
+    // The gradients landed in the (still pinned) expert's parameters; the
+    // tape is retired, so the request's pin can go.
+    store_->unpin(slots[i].req.key);
     if (!reply_and_cache(dedupe_key(run[i]), std::move(slots[i].reply))) {
       return false;
     }
@@ -285,7 +324,9 @@ bool ExpertWorker::stitched_backward(std::uint64_t base_id,
     xs.push_back(it->second.input.value());
     dys.push_back(std::move(msg.payload));
   }
-  nn::SwiGLUExpert& expert = *hosted(key).expert;
+  require_hosted(key);
+  store::Pinned pinned(*store_, key);
+  nn::SwiGLUExpert& expert = pinned.expert();
   ag::Variable in =
       ag::Variable::leaf(ops::concat_rows(xs), /*requires_grad=*/true);
   ag::Variable out = expert.forward(in);
@@ -309,7 +350,9 @@ bool ExpertWorker::stitched_backward(std::uint64_t base_id,
     codec_.stamp(reply);
     at += rows;
     ++c;
+    // Retire the fragment's pending tape and its pin.
     pending_.erase(msg.request_id);
+    store_->unpin(key);
     if (!reply_and_cache(dedupe_key(msg), std::move(reply))) return false;
   }
   return true;
@@ -382,36 +425,59 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
     switch (msg.type) {
       case comm::MessageType::kOptimizerStep: {
         // Forward-only passes (profiling) leave tapes that never receive a
-        // backward; the step boundary retires them.
+        // backward; the step boundary retires them (and their pins).
         if (!pending_.empty()) {
           VELA_LOG_DEBUG(tag) << "dropping " << pending_.size()
                               << " forward-only tapes at step boundary";
-          pending_.clear();
         }
+        release_pending();
         partial_backward_.clear();
         // A scalar payload carries a scheduled learning rate: local expert
-        // optimizers follow the master's LR schedule.
-        if (msg.payload.size() == 1) {
-          for (auto& [k, h] : experts_) {
-            if (h.optimizer != nullptr) {
-              h.optimizer->set_learning_rate(msg.payload[0]);
+        // optimizers follow the master's LR schedule. (Paged-out experts
+        // catch up when their page-in below restores / this loop sets it.)
+        const bool has_lr = msg.payload.size() == 1;
+        const auto keys = store_->keys();
+        if (!store_->bounded()) {
+          // Everything is resident: per-expert AdamW states are disjoint, so
+          // the steps run as parallel tasks; keys() is ascending, so task
+          // order is fixed expert-id order regardless of pool size.
+          std::vector<ExpertKey> stepped;
+          std::vector<nn::AdamW*> opts;
+          stepped.reserve(keys.size());
+          opts.reserve(keys.size());
+          for (const auto& k : keys) {
+            nn::AdamW* opt = store_->pin(k).optimizer.get();
+            if (opt == nullptr) {
+              store_->unpin(k);
+              continue;
             }
+            if (has_lr) opt->set_learning_rate(msg.payload[0]);
+            stepped.push_back(k);
+            opts.push_back(opt);
           }
-        }
-        // Per-expert AdamW states are disjoint, so the steps run as parallel
-        // tasks; experts_ is a std::map, so task order is fixed expert-id
-        // order regardless of pool size.
-        {
           std::vector<std::function<void()>> tasks;
-          for (auto& [k, h] : experts_) {
-            if (h.optimizer != nullptr) {
-              tasks.push_back([&opt = *h.optimizer] {
-                opt.step();
-                opt.zero_grad();
-              });
-            }
+          tasks.reserve(opts.size());
+          for (nn::AdamW* opt : opts) {
+            tasks.push_back([opt] {
+              opt->step();
+              opt->zero_grad();
+            });
           }
           util::ThreadPool::global().run(tasks);
+          for (const auto& k : stepped) store_->unpin(k);
+        } else {
+          // Bounded store: step serially in key order, one resident expert
+          // at a time, so the pool never exceeds its budget. Per-expert
+          // updates are independent, so the result is bit-identical to the
+          // parallel path.
+          for (const auto& k : keys) {
+            store::Pinned pinned(*store_, k);
+            if (pinned.optimizer() != nullptr) {
+              if (has_lr) pinned.optimizer()->set_learning_rate(msg.payload[0]);
+              pinned.optimizer()->step();
+              pinned.optimizer()->zero_grad();
+            }
+          }
         }
         comm::Message reply;
         reply.type = comm::MessageType::kOptimizerStepDone;
@@ -422,27 +488,32 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
       }
       case comm::MessageType::kFetchExpert:
       case comm::MessageType::kQueryExpert: {
-        HostedExpert& h = hosted(key);
+        require_hosted(key);
         comm::Message reply;
         reply.type = comm::MessageType::kExpertState;
         reply.request_id = msg.request_id;
         reply.layer = msg.layer;
         reply.expert = msg.expert;
-        if (spec_.lora.enabled) reply.payload = pack_trainable(*h.expert);
+        if (spec_.lora.enabled) {
+          store::Pinned pinned(*store_, key);
+          reply.payload = pack_trainable(pinned.expert());
+        }
         reply.wire_bits = spec_.wire_bits;
-        if (msg.type == comm::MessageType::kFetchExpert) experts_.erase(key);
+        if (msg.type == comm::MessageType::kFetchExpert) store_->erase(key);
         sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
       case comm::MessageType::kSnapshotExpert: {
-        HostedExpert& h = hosted(key);
+        require_hosted(key);
         comm::Message reply;
         reply.type = comm::MessageType::kExpertSnapshot;
         reply.request_id = msg.request_id;
         reply.layer = msg.layer;
         reply.expert = msg.expert;
         if (spec_.lora.enabled) {
-          reply.payload = pack_full_state(*h.expert, h.optimizer.get());
+          store::Pinned pinned(*store_, key);
+          reply.payload =
+              pack_full_state(pinned.expert(), pinned.optimizer());
         }
         reply.wire_bits = spec_.wire_bits;
         sent = reply_and_cache(req_key, std::move(reply));
@@ -452,10 +523,10 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
         // Recovery install (or standby refresh when already hosted): frozen
         // bases re-derive from the seed; the payload (when present) restores
         // adapters + optimizer moments.
-        if (experts_.count(key) == 0) install_expert(key, nullptr);
+        if (!store_->contains(key)) install_expert(key, nullptr);
         if (msg.payload.size() > 0) {
-          HostedExpert& h = hosted(key);
-          unpack_full_state(msg.payload, *h.expert, h.optimizer.get());
+          store::Pinned pinned(*store_, key);
+          unpack_full_state(msg.payload, pinned.expert(), pinned.optimizer());
         }
         comm::Message reply;
         reply.type = comm::MessageType::kRestoreExpertDone;
@@ -466,8 +537,11 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
         break;
       }
       case comm::MessageType::kLoadExpertState: {
-        HostedExpert& h = hosted(key);
-        unpack_trainable(msg.payload, *h.expert);
+        require_hosted(key);
+        {
+          store::Pinned pinned(*store_, key);
+          unpack_trainable(msg.payload, pinned.expert());
+        }
         comm::Message reply;
         reply.type = comm::MessageType::kLoadExpertStateDone;
         reply.request_id = msg.request_id;
@@ -497,19 +571,58 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
         sent = reply_and_cache(req_key, std::move(reply));
         break;
       }
+      case comm::MessageType::kStorePriorities: {
+        // Locality scores from the placement optimizer: payload is the
+        // flattened L×E probability matrix, dims in the layer/expert fields.
+        const std::size_t layers = msg.layer;
+        const std::size_t experts = msg.expert;
+        VELA_CHECK_MSG(msg.payload.size() == layers * experts,
+                       "store priorities payload is " << msg.payload.size()
+                                                      << " floats for a "
+                                                      << layers << "x"
+                                                      << experts << " matrix");
+        std::vector<std::pair<ExpertKey, float>> priorities;
+        priorities.reserve(layers * experts);
+        for (std::size_t l = 0; l < layers; ++l) {
+          for (std::size_t e = 0; e < experts; ++e) {
+            priorities.emplace_back(
+                ExpertKey{static_cast<std::uint32_t>(l),
+                          static_cast<std::uint32_t>(e)},
+                msg.payload[l * experts + e]);
+          }
+        }
+        store_->set_priorities(priorities);
+        comm::Message reply;
+        reply.type = comm::MessageType::kStorePrioritiesDone;
+        reply.request_id = msg.request_id;
+        sent = reply_and_cache(req_key, std::move(reply));
+        break;
+      }
+      case comm::MessageType::kPrefetchExperts: {
+        // Fire-and-forget dispatch hint: page the named experts in ahead of
+        // the forwards queued behind this message. No reply, no cache —
+        // duplicates just re-run an idempotent warm-up.
+        std::vector<ExpertKey> keys;
+        keys.reserve(msg.payload.size());
+        for (std::size_t e = 0; e < msg.payload.size(); ++e) {
+          keys.push_back(ExpertKey{
+              msg.layer, static_cast<std::uint32_t>(msg.payload[e])});
+        }
+        store_->prefetch(keys);
+        break;
+      }
       case comm::MessageType::kAbortStep: {
         // Mid-step failure recovery: discard the in-flight step entirely —
         // pending tapes and any expert gradients accumulated by partial
-        // backwards — so the retried step starts from clean state.
+        // backwards (resident ones now, spilled ones at their next page-in)
+        // — so the retried step starts from clean state.
         if (!pending_.empty()) {
           VELA_LOG_DEBUG(tag) << "abort: dropping " << pending_.size()
                               << " in-flight tapes";
-          pending_.clear();
         }
+        release_pending();
         partial_backward_.clear();
-        for (auto& [k, h] : experts_) {
-          if (h.optimizer != nullptr) h.optimizer->zero_grad();
-        }
+        store_->zero_all_grads();
         comm::Message reply;
         reply.type = comm::MessageType::kAbortStepDone;
         reply.request_id = msg.request_id;
@@ -518,10 +631,10 @@ bool ExpertWorker::process_batch(std::vector<comm::Message> batch,
       }
       case comm::MessageType::kCrash: {
         // Injected fault: simulate an abrupt process death. Both channel
-        // directions die and all hosted state is lost; the master's
-        // detection + respawn path takes it from here.
+        // directions die and all hosted state is lost — including every
+        // paged image, which is why a respawned worker's store starts empty.
         VELA_LOG_ERROR(tag) << "injected crash: simulating worker death";
-        experts_.clear();
+        store_->clear();
         pending_.clear();
         partial_backward_.clear();
         link_->to_master.close();

@@ -6,6 +6,15 @@
 // per expert at the end of every step — no gradient ever leaves the worker,
 // which is precisely how VELA avoids data parallelism's all-reduce.
 //
+// Expert state lives in a store::ExpertStore (DESIGN.md §15), not in the
+// worker itself: with VELA_EXPERT_BUDGET unset the InMemoryStore backend
+// reproduces the old everything-resident semantics bit for bit; with a
+// budget the PagedStore spills cold experts to disk. The worker pins an
+// expert for exactly the window where its resident object carries state a
+// paged image cannot — a live autograd tape, forward through backward
+// retire — and keeps all pin bookkeeping on the worker thread, so the
+// parallel compute tasks below only ever touch pinned experts.
+//
 // Request handling is idempotent: every (type, request id) pair is served at
 // most once and its reply cached, so a master retransmission (after a lost
 // request or a lost reply) replays the cached reply instead of re-executing.
@@ -26,6 +35,11 @@
 #include "core/protocol.h"
 #include "nn/expert.h"
 #include "nn/optimizer.h"
+#include "store/expert_store.h"
+
+namespace vela::comm {
+class TrafficMeter;
+}
 
 namespace vela::core {
 
@@ -34,8 +48,12 @@ class ExpertWorker {
   // `link` is the duplex master↔worker connection; the worker receives on
   // link->to_worker and replies on link->to_master. `initial_experts` are
   // constructed (from the spec's base_seed) before the thread starts.
+  // `meter` (optional) receives the store's page-in/page-out byte series —
+  // in-process workers share the master's TrafficMeter, remote vela_nodes
+  // run unmetered.
   ExpertWorker(WorkerSpec spec, comm::DuplexLink* link,
-               std::vector<ExpertKey> initial_experts);
+               std::vector<ExpertKey> initial_experts,
+               comm::TrafficMeter* meter = nullptr);
   ~ExpertWorker();
 
   ExpertWorker(const ExpertWorker&) = delete;
@@ -48,16 +66,13 @@ class ExpertWorker {
 
   const WorkerSpec& spec() const { return spec_; }
   // Thread-unsafe introspection; call only after join() (tests).
-  std::size_t experts_hosted() const { return experts_.size(); }
+  std::size_t experts_hosted() const { return store_->size(); }
   std::size_t requests_served() const { return requests_served_; }
   std::size_t duplicates_replayed() const { return duplicates_replayed_; }
   std::size_t corrupt_dropped() const { return corrupt_dropped_; }
+  const store::ExpertStore& expert_store() const { return *store_; }
 
  private:
-  struct HostedExpert {
-    std::unique_ptr<nn::SwiGLUExpert> expert;
-    std::unique_ptr<nn::AdamW> optimizer;  // per-expert, moves with it
-  };
   struct PendingRequest {
     ExpertKey key;
     ag::Variable input;
@@ -91,7 +106,12 @@ class ExpertWorker {
   // identical to the unchunked exchange.
   bool stitched_backward(std::uint64_t base_id, PartialTrain train);
   void install_expert(const ExpertKey& key, const Tensor* state);
-  HostedExpert& hosted(const ExpertKey& key);
+  // CheckError (with the historical message) when the store does not host
+  // `key` — the protocol-violation death the master observes as silence.
+  void require_hosted(const ExpertKey& key) const;
+  // Unpins every pending request's expert and drops the tapes (step
+  // boundary, abort).
+  void release_pending();
   // Sends a reply and caches a copy under `key` for idempotent replay.
   // Returns false when the master-side channel is gone (terminate loop).
   bool reply_and_cache(std::uint64_t key, comm::Message reply);
@@ -107,7 +127,10 @@ class ExpertWorker {
   // to compute replies only; state/snapshot replies stay raw fp32.
   comm::WireCodec codec_;
   comm::DuplexLink* link_;
-  std::map<ExpertKey, HostedExpert> experts_;
+  std::unique_ptr<store::ExpertStore> store_;
+  // Every pending request holds one pin on its expert: the tape references
+  // the expert's parameter nodes, so eviction before the backward retires
+  // would orphan the gradients the backward is about to accumulate.
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   // Incomplete backward fragment trains, keyed by the train's base request
   // id (fragment ids are consecutive: base + chunk_index). Cleared with

@@ -37,6 +37,8 @@ comm::MessageType expected_reply_type(comm::MessageType request) {
       return MessageType::kExpertSnapshot;
     case MessageType::kRestoreExpert:
       return MessageType::kRestoreExpertDone;
+    case MessageType::kStorePriorities:
+      return MessageType::kStorePrioritiesDone;
     // Fire-and-forget control messages and the replies themselves have no
     // reply; listing them explicitly (no default:) makes the compiler and
     // vela_analyze flag this map when a new MessageType is added.
@@ -53,6 +55,8 @@ comm::MessageType expected_reply_type(comm::MessageType request) {
     case MessageType::kExpertSnapshot:
     case MessageType::kRestoreExpertDone:
     case MessageType::kCrash:
+    case MessageType::kStorePrioritiesDone:
+    case MessageType::kPrefetchExperts:  // dispatch hint, never awaited
       return request;
   }
   return request;  // unreachable: the switch above is exhaustive

@@ -41,8 +41,8 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
       assigned.push_back(
           {static_cast<std::uint32_t>(l), static_cast<std::uint32_t>(e)});
     }
-    workers_.push_back(
-        std::make_unique<ExpertWorker>(spec, links_.back().get(), assigned));
+    workers_.push_back(std::make_unique<ExpertWorker>(
+        spec, links_.back().get(), assigned, &meter_));
     workers_.back()->start();
     rlinks_.push_back(
         std::make_unique<ReliableLink>(w, links_.back().get(), &retry_policy_));
@@ -53,6 +53,7 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
       rlink_ptrs, &placement_, num_layers, spec_template_.wire_bits,
       spec_template_.quantize_wire, spec_template_.wire_dtype,
       spec_template_.q8_block);
+  resolve_paging();
 }
 
 MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
@@ -102,8 +103,40 @@ MasterProcess::MasterProcess(const cluster::ClusterTopology& topology,
       rlink_ptrs, &placement_, num_layers, spec_template_.wire_bits,
       spec_template_.quantize_wire, spec_template_.wire_dtype,
       spec_template_.q8_block);
+  resolve_paging();
   VELA_LOG_INFO("master") << "remote fleet assembled: " << n
                           << " worker process(es)";
+}
+
+void MasterProcess::resolve_paging() {
+  // The same resolution every in-process worker's store performs (spec
+  // overrides env); a remote vela_node resolves its own environment, which
+  // the launcher exports identically, so the master's view matches.
+  store::StoreConfig cfg;
+  cfg.budget = spec_template_.expert_budget;
+  cfg.dir = spec_template_.store_dir;
+  cfg.dtype = spec_template_.store_dtype;
+  paging_ = cfg.resolved().bounded();
+  broker_->set_store_hints(paging_);
+}
+
+void MasterProcess::set_store_priorities(Tensor priorities) {
+  VELA_CHECK_MSG(priorities.size() == num_layers_ * num_experts_,
+                 "store priorities need one score per (layer, expert): got "
+                     << priorities.size() << ", want "
+                     << num_layers_ * num_experts_);
+  store_priorities_ = std::move(priorities);
+  if (!paging_) return;  // unbounded stores ignore priorities; save the bytes
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (dead_[w]) continue;
+    comm::Message msg;
+    msg.type = comm::MessageType::kStorePriorities;
+    msg.request_id = next_request_++;
+    msg.layer = static_cast<std::uint32_t>(num_layers_);
+    msg.expert = static_cast<std::uint32_t>(num_experts_);
+    msg.payload = store_priorities_;
+    exchange(w, std::move(msg));
+  }
 }
 
 MasterProcess::~MasterProcess() { shutdown(); }
@@ -395,13 +428,26 @@ void MasterProcess::respawn_worker(std::size_t w) {
     // traffic is measured, exactly like migration traffic. (A remote
     // replacement process also starts expert-less by contract — the
     // respawner relaunches vela_node with an empty assignment.)
-    workers_[w] = std::make_unique<ExpertWorker>(spec, links_[w].get(),
-                                                 std::vector<ExpertKey>{});
+    workers_[w] = std::make_unique<ExpertWorker>(
+        spec, links_[w].get(), std::vector<ExpertKey>{}, &meter_);
     workers_[w]->start();
   }
   ++workers_recovered_;
   ++respawn_counts_[w];
   if (monitor_ != nullptr) monitor_->reset_peer(w);
+
+  // Re-prime the fresh store with the last locality broadcast — the respawn
+  // wiped it with everything else.
+  if (paging_ && store_priorities_.size() > 0) {
+    comm::Message prio;
+    prio.type = comm::MessageType::kStorePriorities;
+    prio.request_id = next_request_++;
+    prio.layer = static_cast<std::uint32_t>(num_layers_);
+    prio.expert = static_cast<std::uint32_t>(num_experts_);
+    prio.payload = store_priorities_;
+    recovery_bytes_ += prio.wire_size();
+    recovery_bytes_ += exchange(w, std::move(prio)).wire_size();
+  }
 
   for (const auto& [l, e] : placement_.experts_of(w)) {
     const ExpertKey key{static_cast<std::uint32_t>(l),

@@ -121,6 +121,19 @@ class MasterProcess {
   Tensor query_expert_state(std::size_t layer, std::size_t expert);
   void load_expert_state(std::size_t layer, std::size_t expert, Tensor state);
 
+  // --- expert store (DESIGN.md §15) ------------------------------------------
+  // True when this master's spec resolves to a bounded expert store — the
+  // fleet pages, so dispatch hints and priority broadcasts are worth their
+  // bytes. (Resolved once at construction from the spec template + env; a
+  // remote fleet's workers resolve their own env, which the launcher keeps
+  // in sync with the master's.)
+  bool paging() const { return paging_; }
+
+  // Broadcasts locality scores (an L×E matrix, higher = hotter) to every
+  // live worker's expert store as eviction priorities, and caches them so a
+  // respawned worker is re-primed. No-op when the fleet does not page.
+  void set_store_priorities(Tensor priorities);
+
   // --- fault tolerance -------------------------------------------------------
   // Attaches a fault injector to every link (and to links of workers
   // respawned later). Null detaches.
@@ -234,6 +247,9 @@ class MasterProcess {
   Tensor recovery_state(const ExpertKey& key, std::size_t dead);
   void restore_expert(std::size_t w, const ExpertKey& key, Tensor state);
   void drop_standby(const ExpertKey& key, std::size_t worker);
+  // Resolves whether the fleet pages (spec + env) and arms the broker's
+  // dispatch hints accordingly; both constructors end with it.
+  void resolve_paging();
   // Respawns `w` if its budget allows, else marks it dead. False = now dead.
   bool respawn_within_budget(std::size_t w);
 
@@ -255,6 +271,8 @@ class MasterProcess {
   std::vector<std::unique_ptr<ReliableLink>> rlinks_;
   std::unique_ptr<ExpertBroker> broker_;
   comm::FaultInjector* injector_ = nullptr;
+  bool paging_ = false;
+  Tensor store_priorities_;  // last broadcast L×E matrix (respawn re-prime)
   std::map<ExpertKey, Tensor> snapshot_;
   std::map<ExpertKey, std::vector<std::size_t>> standbys_;
   util::Clock* clock_ = &util::system_clock();

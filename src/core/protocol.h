@@ -10,9 +10,20 @@
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "store/expert_store.h"
 #include "tensor/tensor.h"
 
 namespace vela::core {
+
+// Expert identity and state serialization live in the store layer now
+// (store/expert_state.h) — the pager serializes the same images the
+// protocol ships. Re-exported here so protocol call sites are unchanged.
+using store::ExpertKey;
+using store::pack_full_state;
+using store::pack_trainable;
+using store::to_string;
+using store::unpack_full_state;
+using store::unpack_trainable;
 
 // Everything a worker process needs to construct and train experts locally.
 // Frozen base weights never travel: they are derived from
@@ -37,36 +48,14 @@ struct WorkerSpec {
   // remote vela_nodes can never disagree on the dispatch dtype.
   comm::WireDtype wire_dtype = comm::WireDtype::kDefault;
   unsigned q8_block = 0;  // int8 block length; 0 → VELA_WIRE_BLOCK, then 64
+  // Expert store knobs (DESIGN.md §15). budget -1 → VELA_EXPERT_BUDGET,
+  // then unbounded; dir "" → VELA_STORE_DIR, then the system temp dir;
+  // dtype kDefault → VELA_STORE_DTYPE, then fp32. Remote vela_nodes resolve
+  // from their own environment (the launcher propagates it), so every
+  // process of a fleet sees the same store behavior.
+  long long expert_budget = -1;
+  std::string store_dir;
+  store::StoreDtype store_dtype = store::StoreDtype::kDefault;
 };
-
-// Packs a module's *trainable* parameters into one flat rank-1 tensor, in
-// name order (deterministic across processes).
-Tensor pack_trainable(const nn::Module& module);
-
-// Inverse of pack_trainable: writes `packed` back into the module's
-// trainable parameters. Sizes must match exactly.
-void unpack_trainable(const Tensor& packed, nn::Module& module);
-
-// Full recovery state of a hosted expert: [param count, params...,
-// optimizer state...]. Unlike pack_trainable this also carries the AdamW
-// step count and moment buffers, so restoring onto a respawned worker
-// resumes training bit-exactly (adapter-only restores reset the moments and
-// perturb every later update). `optimizer` may be null (frozen experts).
-Tensor pack_full_state(const nn::Module& module, const nn::AdamW* optimizer);
-void unpack_full_state(const Tensor& packed, nn::Module& module,
-                       nn::AdamW* optimizer);
-
-// Key for an expert within the whole model.
-struct ExpertKey {
-  std::uint32_t layer = 0;
-  std::uint32_t expert = 0;
-
-  bool operator==(const ExpertKey&) const = default;
-  bool operator<(const ExpertKey& o) const {
-    return layer != o.layer ? layer < o.layer : expert < o.expert;
-  }
-};
-
-std::string to_string(const ExpertKey& key);
 
 }  // namespace vela::core

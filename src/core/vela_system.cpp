@@ -38,6 +38,9 @@ WorkerSpec make_worker_spec(const VelaSystemConfig& cfg, std::size_t worker_id,
   spec.quantize_wire = cfg.quantize_wire;
   spec.wire_dtype = cfg.wire_dtype;
   spec.q8_block = cfg.q8_block;
+  spec.expert_budget = cfg.expert_budget;
+  spec.store_dir = cfg.store_dir;
+  spec.store_dtype = cfg.store_dtype;
   return spec;
 }
 
@@ -121,6 +124,10 @@ const placement::Placement& VelaSystem::optimize_placement(
   const placement::Placement optimized = strategy.place(problem);
   placement_report_ = strategy.report();
   master_->apply_placement(optimized);
+  // The same locality scores that drove the placement LP prime the expert
+  // stores' eviction order (DESIGN.md §15): a hot expert outlives a cold one
+  // in the resident pool. No-op (and no bytes) on an unbounded fleet.
+  master_->set_store_priorities(profiled_->probability_matrix());
   master_->meter().discard_current();  // migration traffic is one-off setup
   return master_->placement();
 }
@@ -266,6 +273,9 @@ StepReport VelaSystem::train_step_accumulated(
   report.recovery_mb =
       static_cast<double>(master_->recovery_bytes() - recovery_bytes_before) /
       1e6;
+  report.paged_mb = static_cast<double>(master_->meter().step_paging_bytes(
+                        master_->meter().num_steps() - 1)) /
+                    1e6;
   if (injector != nullptr) {
     report.faults_injected = injector->faults_injected() - faults_before;
     // Delay faults are virtual: the injector accrues seconds, the step

@@ -68,6 +68,16 @@ struct VelaSystemConfig {
   // kDefault follows VELA_TRANSPORT (unset → inproc). Losses, weights and
   // TrafficMeter byte counts are bit-exact across backends.
   comm::TransportKind transport = comm::TransportKind::kDefault;
+  // Expert store (DESIGN.md §15): resident-expert budget per worker. -1
+  // resolves VELA_EXPERT_BUDGET; 0 / unset keeps every expert resident
+  // (bit-identical to the pre-store runtime); > 0 bounds the resident pool
+  // and spills cold experts to an on-disk table.
+  long long expert_budget = -1;
+  // Spill directory; empty resolves VELA_STORE_DIR, then the system temp dir.
+  std::string store_dir;
+  // At-rest dtype of paged images (kDefault resolves VELA_STORE_DTYPE:
+  // fp32 = lossless round trip, q8 = block-quantized adapters/moments).
+  store::StoreDtype store_dtype = store::StoreDtype::kDefault;
 };
 
 struct StepReport {
@@ -89,6 +99,10 @@ struct StepReport {
                                       // (training degraded to the survivors)
   double injected_delay_seconds = 0.0;  // virtual delay-fault time, already
                                         // included in comm/step_seconds
+  // Expert-store paging traffic this step (page-ins + page-outs, DESIGN.md
+  // §15). Disk bytes, NOT network bytes: never part of external_mb_per_node.
+  // 0.0 whenever the fleet runs unbounded.
+  double paged_mb = 0.0;
 };
 
 // Opt-in resilience for train_step: on a WorkerFailedError the fleet is

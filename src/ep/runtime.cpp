@@ -12,6 +12,7 @@
 #include "core/protocol.h"
 #include "moe/moe_block.h"
 #include "nn/expert.h"
+#include "store/expert_store.h"
 #include "util/audit.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -39,25 +40,38 @@ class ExpertServer {
                                         cfg.q8_block)),
         inbox_(inbox),
         reply_(std::move(reply)) {
+    // Expert ownership lives in an ExpertStore like the VELA worker's — but
+    // always the unbounded InMemoryStore: expert parallelism has no
+    // locality signal to page against (every shard owns a fixed stripe and
+    // every step touches all of it), so the EP baseline keeps its whole
+    // slice resident by construction.
+    store::StoreConfig store_cfg;
+    store_cfg.budget = 0;  // unbounded, bypasses the env resolution
+    store_ = store::make_expert_store(
+        store_cfg, [this](const ExpertKey& key) {
+          Rng rng(nn::expert_seed(cfg_.seed, key.layer, key.expert));
+          store::ExpertSlot slot;
+          slot.expert = std::make_unique<nn::SwiGLUExpert>(
+              "layer" + std::to_string(key.layer) + ".expert" +
+                  std::to_string(key.expert),
+              cfg_.model.model_dim, cfg_.model.hidden_dim, cfg_.model.lora,
+              rng);
+          if (codec_.is_int8()) {
+            slot.expert->enable_q8_compute(codec_.block);
+          }
+          if (cfg_.model.lora.enabled) {
+            slot.optimizer = std::make_unique<nn::AdamW>(
+                slot.expert->trainable_parameters(), cfg_.adamw);
+          }
+          return slot;
+        });
     for (std::size_t l = 0; l < num_layers; ++l) {
       for (std::size_t e = shard; e < num_experts; e += num_shards) {
-        Rng rng(nn::expert_seed(cfg.seed, l, e));
-        Hosted hosted;
-        hosted.expert = std::make_unique<nn::SwiGLUExpert>(
-            "layer" + std::to_string(l) + ".expert" + std::to_string(e),
-            cfg.model.model_dim, cfg.model.hidden_dim, cfg.model.lora, rng);
-        if (codec_.is_int8()) {
-          hosted.expert->enable_q8_compute(codec_.block);
-        }
-        if (cfg.model.lora.enabled) {
-          hosted.optimizer = std::make_unique<nn::AdamW>(
-              hosted.expert->trainable_parameters(), cfg.adamw);
-        }
-        hosted.trainable = hosted.expert->trainable_parameters();
-        experts_.emplace(
-            ExpertKey{static_cast<std::uint32_t>(l),
-                      static_cast<std::uint32_t>(e)},
-            std::move(hosted));
+        const ExpertKey key{static_cast<std::uint32_t>(l),
+                            static_cast<std::uint32_t>(e)};
+        store_->emplace(key);
+        aux_[key].trainable = store_->pin(key).expert->trainable_parameters();
+        store_->unpin(key);
       }
     }
   }
@@ -69,11 +83,12 @@ class ExpertServer {
   }
 
  private:
-  struct Hosted {
-    std::unique_ptr<nn::SwiGLUExpert> expert;
-    std::unique_ptr<nn::AdamW> optimizer;
+  // EP-only sidecar state the ExpertStore does not model, keyed parallel to
+  // the store's experts.
+  struct Aux {
     // Cached trainable-parameter handles, in registration order — the
-    // staging slots below are parallel arrays over this list.
+    // staging slots below are parallel arrays over this list. Stable for
+    // the server's lifetime because the InMemoryStore never evicts.
     std::vector<nn::Parameter> trainable;
     // Per-source-shard gradient deltas staged during the step and folded
     // into the parameter grads in ascending source order at
@@ -140,7 +155,7 @@ class ExpertServer {
     // replies; truncate, compute the prefix, then raise for the offender.
     std::size_t valid = count;
     for (std::size_t k = 0; k < count; ++k) {
-      if (experts_.count({batch[b + k].layer, batch[b + k].expert}) == 0) {
+      if (!store_->contains({batch[b + k].layer, batch[b + k].expert})) {
         valid = k;
         break;
       }
@@ -151,14 +166,21 @@ class ExpertServer {
       comm::Message reply;
     };
     std::vector<Slot> slots(valid);
+    // Resolve expert handles on the server thread (store bookkeeping is not
+    // thread-safe); the parallel tasks below touch only the raw pointers.
+    std::vector<nn::SwiGLUExpert*> experts(valid);
+    for (std::size_t k = 0; k < valid; ++k) {
+      const ExpertKey key{batch[b + k].layer, batch[b + k].expert};
+      experts[k] = store_->pin(key).expert.get();
+      store_->unpin(key);  // InMemoryStore: never evicts, pointer stays valid
+    }
     std::vector<std::function<void()>> tasks;
     tasks.reserve(valid);
     for (std::size_t k = 0; k < valid; ++k) {
-      tasks.push_back([this, &batch, &slots, b, k] {
+      tasks.push_back([this, &batch, &slots, &experts, b, k] {
         comm::Message& msg = batch[b + k];
         Slot& s = slots[k];
-        nn::SwiGLUExpert& expert =
-            *experts_.at({msg.layer, msg.expert}).expert;
+        nn::SwiGLUExpert& expert = *experts[k];
         s.x = ag::Variable::leaf(std::move(msg.payload),
                                  /*requires_grad=*/true);
         s.y = expert.forward(s.x);
@@ -191,12 +213,12 @@ class ExpertServer {
   // The cross-source summation order is thereby fixed at fold time
   // (ascending source id, see kOptimizerStep) instead of inheriting the
   // nondeterministic message arrival order.
-  static void stage_grads(Hosted& hosted, std::uint32_t source) {
-    auto& slot = hosted.staged[source];
+  static void stage_grads(Aux& aux, std::uint32_t source) {
+    auto& slot = aux.staged[source];
     const bool fresh = slot.empty();
-    if (fresh) slot.reserve(hosted.trainable.size());
-    for (std::size_t i = 0; i < hosted.trainable.size(); ++i) {
-      ag::Variable& p = hosted.trainable[i].var;
+    if (fresh) slot.reserve(aux.trainable.size());
+    for (std::size_t i = 0; i < aux.trainable.size(); ++i) {
+      ag::Variable& p = aux.trainable[i].var;
       if (fresh) {
         slot.push_back(p.has_grad() ? p.grad()
                                     : Tensor::zeros(p.value().shape()));
@@ -240,14 +262,14 @@ class ExpertServer {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(groups.size());
     for (auto& [key, indices] : groups) {
-      Hosted& hosted = experts_.at(key);
-      tasks.push_back([this, &batch, &slots, &hosted, b,
+      Aux& aux = aux_.at(key);
+      tasks.push_back([this, &batch, &slots, &aux, b,
                        &indices = indices] {
         for (const std::size_t k : indices) {
           comm::Message& msg = batch[b + k];
           Slot& s = slots[k];
           ag::backward_from(s.req.output, msg.payload);
-          stage_grads(hosted, msg.source);
+          stage_grads(aux, msg.source);
           comm::Message reply;
           reply.type = comm::MessageType::kExpertBackwardResult;
           reply.request_id = msg.request_id;
@@ -281,34 +303,36 @@ class ExpertServer {
         // the step boundary retires them.
         pending_.clear();
         // Disjoint per-expert AdamW states step as parallel tasks, in fixed
-        // expert-id order (experts_ is a std::map).
+        // expert-id order (store keys() is ascending). Handles resolve on
+        // the server thread; the tasks only touch their own expert's state.
         std::vector<std::function<void()>> tasks;
-        for (auto& [k, hosted] : experts_) {
-          if (hosted.optimizer != nullptr) {
-            tasks.push_back([&h = hosted] {
-              // Fold the staged per-source gradient deltas in ascending
-              // source order (staged is a std::map) — the summed gradient
-              // is now independent of backward-request arrival order.
-              for (std::size_t i = 0; i < h.trainable.size(); ++i) {
-                Tensor total;
-                for (auto& [source, grads] : h.staged) {
-                  if (total.size() == 0) {
-                    total = grads[i];
-                  } else {
-                    for (std::size_t j = 0; j < total.size(); ++j) {
-                      total.data()[j] += grads[i].data()[j];
-                    }
+        for (const ExpertKey& key : store_->keys()) {
+          nn::AdamW* opt = store_->pin(key).optimizer.get();
+          store_->unpin(key);
+          if (opt == nullptr) continue;
+          tasks.push_back([opt, &aux = aux_.at(key)] {
+            // Fold the staged per-source gradient deltas in ascending
+            // source order (staged is a std::map) — the summed gradient
+            // is now independent of backward-request arrival order.
+            for (std::size_t i = 0; i < aux.trainable.size(); ++i) {
+              Tensor total;
+              for (auto& [source, grads] : aux.staged) {
+                if (total.size() == 0) {
+                  total = grads[i];
+                } else {
+                  for (std::size_t j = 0; j < total.size(); ++j) {
+                    total.data()[j] += grads[i].data()[j];
                   }
                 }
-                if (total.size() > 0) {
-                  h.trainable[i].var.set_grad(std::move(total));
-                }
               }
-              h.staged.clear();
-              h.optimizer->step();
-              h.optimizer->zero_grad();
-            });
-          }
+              if (total.size() > 0) {
+                aux.trainable[i].var.set_grad(std::move(total));
+              }
+            }
+            aux.staged.clear();
+            opt->step();
+            opt->zero_grad();
+          });
         }
         util::ThreadPool::global().run(tasks);
         comm::Message reply;
@@ -330,7 +354,8 @@ class ExpertServer {
   comm::WireCodec codec_;
   comm::Endpoint* inbox_;
   std::vector<comm::Endpoint*> reply_;  // [source shard]
-  std::map<ExpertKey, Hosted> experts_;
+  std::unique_ptr<store::ExpertStore> store_;
+  std::map<ExpertKey, Aux> aux_;  // EP sidecar state, parallel to store_
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::thread thread_;
 };

@@ -11,12 +11,17 @@ namespace {
 constexpr char kMagic[8] = {'V', 'E', 'L', 'A', 'T', 'R', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
 
+// The routing-trace container predates the store layer and owns its own
+// magic/version framing; migrating it onto store/tensor_file is tracked
+// work, so its stream plumbing carries rationales for now.
 template <typename T>
+// vela-lint: allow(raw-file-io)
 void write_pod(std::ofstream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
+// vela-lint: allow(raw-file-io)
 T read_pod(std::ifstream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
@@ -27,6 +32,7 @@ T read_pod(std::ifstream& in) {
 }  // namespace
 
 void save_routing_trace(const std::string& path, const RoutingTrace& trace) {
+  // vela-lint: allow(raw-file-io) -- pre-store trace container, see above
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   VELA_CHECK_MSG(out.good(), "cannot open trace file " << path);
   out.write(kMagic, sizeof(kMagic));
@@ -51,6 +57,7 @@ void save_routing_trace(const std::string& path, const RoutingTrace& trace) {
 }
 
 RoutingTrace load_routing_trace(const std::string& path) {
+  // vela-lint: allow(raw-file-io) -- pre-store trace container, see above
   std::ifstream in(path, std::ios::binary);
   VELA_CHECK_MSG(in.good(), "cannot open trace file " << path);
   char magic[8];

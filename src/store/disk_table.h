@@ -1,0 +1,71 @@
+// Mmap-backed on-disk slot table — the spill target of the paged expert
+// store (DESIGN.md §15).
+//
+// The file is a header plus an array of uniform slots; a fixed slot array
+// keeps free-slot reuse trivial and deterministic (lowest free index wins).
+// Slot width starts at the first payload's size and widens in place when a
+// larger image arrives (an expert's image grows once gradients and optimizer
+// moments accumulate); slot indices are stable across that reslot.
+//
+//   header: magic "VELASTOR" | u32 version | u32 slot_bytes | u32 capacity
+//   slot:   u32 used | u32 payload_bytes | u32 fnv1a(payload) | payload,
+//           zero-padded to slot_bytes
+//
+// The whole file is memory-mapped; reads and writes go through the mapping
+// and growth remaps after ftruncate. Every read re-verifies length bounds
+// and the payload checksum, so a torn or truncated table (host crash, disk
+// corruption) is rejected with CheckError instead of feeding garbage bits
+// into an expert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vela::store {
+
+class DiskTable {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  // Opens (validating the header) or creates the table file. `remove_on_close`
+  // unlinks the file in the destructor — the pager's spill files are scratch;
+  // tests keep them to exercise reopen/corruption paths.
+  explicit DiskTable(std::string path, bool remove_on_close = true);
+  ~DiskTable();
+
+  DiskTable(const DiskTable&) = delete;
+  DiskTable& operator=(const DiskTable&) = delete;
+
+  // Stores a payload, reusing the lowest free slot or growing the file.
+  // A payload wider than the current slots widens every slot first.
+  std::uint32_t write(const unsigned char* data, std::size_t bytes);
+  // Reads a slot back, verifying bounds and checksum. Throws CheckError on
+  // a free slot, an out-of-range payload length, or a checksum mismatch.
+  std::vector<unsigned char> read(std::uint32_t slot) const;
+  void free_slot(std::uint32_t slot);
+
+  const std::string& path() const { return path_; }
+  std::size_t slots_in_use() const { return in_use_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t file_bytes() const { return mapped_bytes_; }
+
+ private:
+  void map_file(std::size_t bytes);
+  void grow(std::size_t min_capacity);
+  void reslot(std::size_t new_slot_bytes);
+  unsigned char* slot_base(std::uint32_t slot) const;
+
+  std::string path_;
+  bool remove_on_close_;
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  std::size_t slot_bytes_ = 0;  // 0 until the first write fixes it
+  std::size_t capacity_ = 0;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace vela::store

@@ -1,0 +1,199 @@
+#include "store/expert_state.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vela::store {
+namespace {
+
+// Trainable parameters in name order — the canonical serialization order
+// every image format shares.
+std::vector<nn::Parameter> sorted_trainable(const nn::Module& module) {
+  auto params = module.trainable_parameters();
+  std::sort(params.begin(), params.end(),
+            [](const nn::Parameter& a, const nn::Parameter& b) {
+              return a.name < b.name;
+            });
+  return params;
+}
+
+}  // namespace
+
+Tensor pack_trainable(const nn::Module& module) {
+  const auto params = sorted_trainable(module);
+  std::size_t total = 0;
+  for (const auto& p : params) total += p.var.value().size();
+  VELA_CHECK_MSG(total > 0, "module has no trainable parameters to pack");
+  Tensor packed({total});
+  std::size_t offset = 0;
+  for (const auto& p : params) {
+    const Tensor& v = p.var.value();
+    std::copy(v.data(), v.data() + v.size(), packed.data() + offset);
+    offset += v.size();
+  }
+  return packed;
+}
+
+void unpack_trainable(const Tensor& packed, nn::Module& module) {
+  auto params = sorted_trainable(module);
+  std::size_t total = 0;
+  for (const auto& p : params) total += p.var.value().size();
+  VELA_CHECK_MSG(packed.size() == total,
+                 "packed state size " << packed.size()
+                                      << " != module trainable size " << total);
+  std::size_t offset = 0;
+  for (auto& p : params) {
+    Tensor& v = p.var.mutable_value();
+    std::copy(packed.data() + offset, packed.data() + offset + v.size(),
+              v.data());
+    offset += v.size();
+  }
+}
+
+Tensor pack_full_state(const nn::Module& module, const nn::AdamW* optimizer) {
+  const Tensor params = pack_trainable(module);
+  const Tensor opt =
+      optimizer != nullptr ? optimizer->pack_state() : Tensor{};
+  Tensor packed({1 + params.size() + opt.size()});
+  packed[0] = static_cast<float>(params.size());
+  std::copy(params.data(), params.data() + params.size(), packed.data() + 1);
+  if (opt.size() > 0) {
+    std::copy(opt.data(), opt.data() + opt.size(),
+              packed.data() + 1 + params.size());
+  }
+  return packed;
+}
+
+void unpack_full_state(const Tensor& packed, nn::Module& module,
+                       nn::AdamW* optimizer) {
+  VELA_CHECK_MSG(packed.size() >= 1, "full state blob is empty");
+  const std::size_t param_count = static_cast<std::size_t>(packed[0]);
+  VELA_CHECK_MSG(1 + param_count <= packed.size(),
+                 "full state blob truncated: declares " << param_count
+                                                        << " params in "
+                                                        << packed.size()
+                                                        << " floats");
+  Tensor params({param_count});
+  std::copy(packed.data() + 1, packed.data() + 1 + param_count, params.data());
+  unpack_trainable(params, module);
+  const std::size_t opt_size = packed.size() - 1 - param_count;
+  if (optimizer != nullptr && opt_size > 0) {
+    Tensor opt({opt_size});
+    std::copy(packed.data() + 1 + param_count,
+              packed.data() + packed.size(), opt.data());
+    optimizer->load_state(opt);
+  }
+}
+
+PagedImage pack_paged_state(const nn::Module& module,
+                            const nn::AdamW* optimizer) {
+  const auto params = sorted_trainable(module);
+  if (params.empty()) return {};  // frozen expert: the seed is the state
+
+  std::size_t param_floats = 0;
+  std::size_t grad_floats = 0;
+  for (const auto& p : params) {
+    param_floats += p.var.value().size();
+    if (p.var.has_grad()) grad_floats += p.var.grad().size();
+  }
+  const Tensor opt_state =
+      optimizer != nullptr ? optimizer->pack_state() : Tensor{};
+  const std::size_t moment_floats =
+      opt_state.size() > 0 ? opt_state.size() - 1 : 0;
+
+  PagedImage image;
+  image.header = Tensor({5 + params.size()});
+  image.header[0] = static_cast<float>(params.size());
+  image.header[1] = static_cast<float>(param_floats);
+  image.header[2] = optimizer != nullptr ? 1.0f : 0.0f;
+  image.header[3] = optimizer != nullptr ? optimizer->learning_rate() : 0.0f;
+  image.header[4] = opt_state.size() > 0 ? opt_state[0] : 0.0f;  // AdamW t
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    image.header[5 + i] = params[i].var.has_grad() ? 1.0f : 0.0f;
+  }
+
+  image.bulk = Tensor({param_floats + grad_floats + moment_floats});
+  std::size_t offset = 0;
+  for (const auto& p : params) {
+    const Tensor& v = p.var.value();
+    std::copy(v.data(), v.data() + v.size(), image.bulk.data() + offset);
+    offset += v.size();
+  }
+  for (const auto& p : params) {
+    if (!p.var.has_grad()) continue;
+    const Tensor& g = p.var.grad();
+    std::copy(g.data(), g.data() + g.size(), image.bulk.data() + offset);
+    offset += g.size();
+  }
+  if (moment_floats > 0) {
+    std::copy(opt_state.data() + 1, opt_state.data() + opt_state.size(),
+              image.bulk.data() + offset);
+  }
+  return image;
+}
+
+void unpack_paged_state(const PagedImage& image, nn::Module& module,
+                        nn::AdamW* optimizer) {
+  if (image.header.size() == 0) {
+    VELA_CHECK_MSG(module.trainable_parameter_count() == 0,
+                   "empty paged image for a trainable expert");
+    return;
+  }
+  auto params = sorted_trainable(module);
+  const std::size_t n_tensors = static_cast<std::size_t>(image.header[0]);
+  const std::size_t param_floats = static_cast<std::size_t>(image.header[1]);
+  // Header flags are 0/1 integers stored in floats — exact by construction.
+  // vela-lint: allow(float-equality)
+  const bool has_opt = image.header[2] != 0.0f;
+  VELA_CHECK_MSG(n_tensors == params.size(),
+                 "paged image has " << n_tensors << " tensors, module has "
+                                    << params.size());
+  VELA_CHECK_MSG(image.header.size() == 5 + n_tensors,
+                 "paged image header malformed");
+  VELA_CHECK_MSG(has_opt == (optimizer != nullptr),
+                 "paged image optimizer presence mismatch");
+
+  std::size_t offset = 0;
+  for (auto& p : params) {
+    Tensor& v = p.var.mutable_value();
+    VELA_CHECK_MSG(offset + v.size() <= image.bulk.size(),
+                   "paged image bulk truncated in parameters");
+    std::copy(image.bulk.data() + offset,
+              image.bulk.data() + offset + v.size(), v.data());
+    offset += v.size();
+  }
+  VELA_CHECK_MSG(offset == param_floats, "paged image parameter size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // vela-lint: allow(float-equality)
+    if (image.header[5 + i] == 0.0f) continue;
+    const Tensor& v = params[i].var.value();
+    VELA_CHECK_MSG(offset + v.size() <= image.bulk.size(),
+                   "paged image bulk truncated in gradients");
+    Tensor grad(v.shape());
+    std::copy(image.bulk.data() + offset,
+              image.bulk.data() + offset + v.size(), grad.data());
+    params[i].var.set_grad(std::move(grad));
+    offset += v.size();
+  }
+  if (optimizer != nullptr) {
+    const std::size_t moment_floats = image.bulk.size() - offset;
+    Tensor opt_state({1 + moment_floats});
+    opt_state[0] = image.header[4];
+    std::copy(image.bulk.data() + offset,
+              image.bulk.data() + image.bulk.size(), opt_state.data() + 1);
+    optimizer->load_state(opt_state);
+    optimizer->set_learning_rate(image.header[3]);
+  } else {
+    VELA_CHECK_MSG(offset == image.bulk.size(),
+                   "paged image has trailing bytes");
+  }
+}
+
+std::string to_string(const ExpertKey& key) {
+  return "(" + std::to_string(key.layer) + ", " + std::to_string(key.expert) +
+         ")";
+}
+
+}  // namespace vela::store

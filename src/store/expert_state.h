@@ -1,0 +1,86 @@
+// Expert identity and expert-state (de)serialization.
+//
+// These primitives used to live in core/protocol; they moved down into the
+// store layer because the store is now the single owner of expert state, and
+// both the wire protocol (migration, recovery) and the pager (spill/reload)
+// serialize experts through the same code. core/protocol.h re-exports the
+// names into vela::core, so protocol call sites are unchanged.
+//
+// Three image formats, by what must survive:
+//
+//   pack_trainable    adapters only            — migration, checkpoints
+//   pack_full_state   adapters + AdamW moments — respawn/standby recovery
+//   pack_paged_state  full state + accumulated — page-out of a LIVE expert
+//                     gradients + current LR     between micro-batches
+//
+// The paged image is the superset: an expert may be evicted after one
+// micro-batch's backward accumulated LoRA gradients but before the optimizer
+// step consumed them, so dropping gradients at page-out would silently
+// change the update. It is split into a structural `header` (counts, flags,
+// step counter, LR) that must round-trip exactly and a `bulk` payload
+// (parameters, gradients, moments) that the q8-at-rest encoding may
+// quantize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace vela::store {
+
+// Key for an expert within the whole model.
+struct ExpertKey {
+  std::uint32_t layer = 0;
+  std::uint32_t expert = 0;
+
+  bool operator==(const ExpertKey&) const = default;
+  bool operator<(const ExpertKey& o) const {
+    return layer != o.layer ? layer < o.layer : expert < o.expert;
+  }
+};
+
+std::string to_string(const ExpertKey& key);
+
+// Packs a module's *trainable* parameters into one flat rank-1 tensor, in
+// name order (deterministic across processes).
+Tensor pack_trainable(const nn::Module& module);
+
+// Inverse of pack_trainable: writes `packed` back into the module's
+// trainable parameters. Sizes must match exactly.
+void unpack_trainable(const Tensor& packed, nn::Module& module);
+
+// Full recovery state of a hosted expert: [param count, params...,
+// optimizer state...]. Unlike pack_trainable this also carries the AdamW
+// step count and moment buffers, so restoring onto a respawned worker
+// resumes training bit-exactly (adapter-only restores reset the moments and
+// perturb every later update). `optimizer` may be null (frozen experts).
+Tensor pack_full_state(const nn::Module& module, const nn::AdamW* optimizer);
+void unpack_full_state(const Tensor& packed, nn::Module& module,
+                       nn::AdamW* optimizer);
+
+// Page-out image of a live expert.
+//
+// header: [n_tensors, param_floats, has_opt, lr, t, grad_flag...(n_tensors)]
+// bulk:   params flat (name order) | grads flat (flagged params, name order)
+//         | AdamW moments (pack_state() without the leading t)
+//
+// A module with no trainable parameters packs to an empty image (frozen
+// experts re-derive entirely from their seed).
+struct PagedImage {
+  Tensor header;
+  Tensor bulk;
+};
+
+PagedImage pack_paged_state(const nn::Module& module,
+                            const nn::AdamW* optimizer);
+// Inverse, onto a FRESH factory-built module/optimizer pair: restores
+// parameters, re-attaches accumulated gradients, reloads moments + step
+// count, and re-applies the learning rate the optimizer carried at
+// page-out.
+void unpack_paged_state(const PagedImage& image, nn::Module& module,
+                        nn::AdamW* optimizer);
+
+}  // namespace vela::store

@@ -1,0 +1,106 @@
+#include "store/expert_store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "store/paged_store.h"
+#include "util/check.h"
+
+namespace vela::store {
+
+StoreConfig StoreConfig::resolved() const {
+  StoreConfig out = *this;
+  if (out.budget < 0) {
+    out.budget = 0;
+    if (const char* env = std::getenv("VELA_EXPERT_BUDGET")) {
+      if (*env != '\0') out.budget = std::atoll(env);
+      VELA_CHECK_MSG(out.budget >= 0,
+                     "VELA_EXPERT_BUDGET must be >= 0, got " << env);
+    }
+  }
+  if (out.dir.empty()) {
+    if (const char* env = std::getenv("VELA_STORE_DIR"); env && *env != '\0') {
+      out.dir = env;
+    } else {
+      out.dir = std::filesystem::temp_directory_path().string();
+    }
+  }
+  if (out.dtype == StoreDtype::kDefault) {
+    out.dtype = StoreDtype::kFp32;
+    if (const char* env = std::getenv("VELA_STORE_DTYPE"); env && *env != '\0') {
+      const std::string v(env);
+      if (v == "q8") {
+        out.dtype = StoreDtype::kQ8;
+      } else {
+        VELA_CHECK_MSG(v == "fp32",
+                       "VELA_STORE_DTYPE must be fp32 or q8, got " << v);
+      }
+    }
+  }
+  return out;
+}
+
+InMemoryStore::InMemoryStore(SlotFactory factory)
+    : factory_(std::move(factory)) {}
+
+bool InMemoryStore::contains(const ExpertKey& key) const {
+  return slots_.count(key) != 0;
+}
+
+std::size_t InMemoryStore::size() const { return slots_.size(); }
+
+std::vector<ExpertKey> InMemoryStore::keys() const {
+  std::vector<ExpertKey> out;
+  out.reserve(slots_.size());
+  for (const auto& [key, slot] : slots_) out.push_back(key);
+  return out;
+}
+
+void InMemoryStore::emplace(const ExpertKey& key) {
+  VELA_CHECK_MSG(slots_.count(key) == 0,
+                 "expert " << to_string(key) << " already in store");
+  slots_.emplace(key, factory_(key));
+}
+
+void InMemoryStore::erase(const ExpertKey& key) {
+  VELA_CHECK_MSG(slots_.erase(key) == 1,
+                 "erase of unhosted expert " << to_string(key));
+}
+
+void InMemoryStore::clear() { slots_.clear(); }
+
+ExpertSlot& InMemoryStore::pin(const ExpertKey& key) {
+  auto it = slots_.find(key);
+  VELA_CHECK_MSG(it != slots_.end(),
+                 "pin of unhosted expert " << to_string(key));
+  ++pins_;
+  return it->second;
+}
+
+void InMemoryStore::unpin(const ExpertKey& key) { (void)key; }
+
+void InMemoryStore::zero_all_grads() {
+  for (auto& [key, slot] : slots_) {
+    if (slot.optimizer != nullptr) slot.optimizer->zero_grad();
+  }
+}
+
+StoreStats InMemoryStore::stats() const {
+  StoreStats s;
+  s.hits = pins_;
+  s.resident = slots_.size();
+  return s;
+}
+
+std::unique_ptr<ExpertStore> make_expert_store(const StoreConfig& config,
+                                               SlotFactory factory) {
+  VELA_CHECK_MSG(config.budget >= 0,
+                 "make_expert_store needs a resolved config (budget >= 0)");
+  if (config.budget == 0) {
+    return std::make_unique<InMemoryStore>(std::move(factory));
+  }
+  return std::make_unique<PagedStore>(config, std::move(factory));
+}
+
+}  // namespace vela::store

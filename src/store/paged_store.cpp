@@ -1,0 +1,320 @@
+#include "store/paged_store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#include "comm/traffic_meter.h"
+#include "tensor/qblock.h"
+#include "util/audit.h"
+#include "util/check.h"
+
+namespace vela::store {
+namespace {
+
+constexpr unsigned char kDtypeFp32 = 0;
+constexpr unsigned char kDtypeQ8 = 1;
+
+// Each store instance spills into its own table file: workers page
+// independently and a respawned worker must not inherit a dead worker's
+// images (its hosted state is lost by definition).
+std::string next_table_path(const std::string& dir) {
+  static std::atomic<std::uint64_t> counter{0};
+  return dir + "/vela_store_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+void append_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint32_t take_u32(const std::vector<unsigned char>& in,
+                       std::size_t& at) {
+  VELA_CHECK_MSG(at + sizeof(std::uint32_t) <= in.size(),
+                 "paged image truncated");
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + at, sizeof(std::uint32_t));
+  at += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+PagedStore::PagedStore(const StoreConfig& config, SlotFactory factory)
+    : cfg_(config),
+      factory_(std::move(factory)),
+      table_(next_table_path(config.dir)) {
+  VELA_CHECK_MSG(cfg_.bounded(), "PagedStore needs a budget > 0");
+  VELA_CHECK_MSG(cfg_.dtype != StoreDtype::kDefault,
+                 "PagedStore needs a resolved config");
+}
+
+bool PagedStore::contains(const ExpertKey& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::size_t PagedStore::size() const { return entries_.size(); }
+
+std::vector<ExpertKey> PagedStore::keys() const {
+  std::vector<ExpertKey> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.push_back(key);
+  return out;
+}
+
+void PagedStore::emplace(const ExpertKey& key) {
+  VELA_CHECK_MSG(entries_.count(key) == 0,
+                 "expert " << to_string(key) << " already in store");
+  Entry e;
+  e.slot = factory_(key);
+  e.install_seq = ++installs_;
+  e.last_use = ++tick_;
+  entries_.emplace(key, std::move(e));
+  ++resident_count_;
+  ensure_budget();
+}
+
+void PagedStore::erase(const ExpertKey& key) {
+  auto it = entries_.find(key);
+  VELA_CHECK_MSG(it != entries_.end(),
+                 "erase of unhosted expert " << to_string(key));
+  VELA_CHECK_MSG(it->second.pins == 0,
+                 "erase of pinned expert " << to_string(key));
+  if (it->second.disk_slot != DiskTable::kNoSlot) {
+    table_.free_slot(it->second.disk_slot);
+  }
+  if (resident(it->second)) --resident_count_;
+  entries_.erase(it);
+}
+
+void PagedStore::clear() {
+  for (auto& [key, e] : entries_) {
+    if (e.disk_slot != DiskTable::kNoSlot) table_.free_slot(e.disk_slot);
+  }
+  entries_.clear();
+  resident_count_ = 0;
+}
+
+ExpertSlot& PagedStore::pin(const ExpertKey& key) {
+  auto it = entries_.find(key);
+  VELA_CHECK_MSG(it != entries_.end(),
+                 "pin of unhosted expert " << to_string(key));
+  Entry& e = it->second;
+  if (resident(e)) {
+    ++stats_.hits;
+  } else {
+    page_in(key, e, /*demand=*/true);
+  }
+  ++e.pins;
+  e.last_use = ++tick_;
+  // A demand page-in can push the pool over budget; evict (other, unpinned)
+  // residents back down before handing the slot out.
+  ensure_budget();
+  return e.slot;
+}
+
+void PagedStore::unpin(const ExpertKey& key) {
+  auto it = entries_.find(key);
+  VELA_CHECK_MSG(it != entries_.end(),
+                 "unpin of unhosted expert " << to_string(key));
+  VELA_CHECK_MSG(it->second.pins > 0,
+                 "unpin of unpinned expert " << to_string(key));
+  --it->second.pins;
+  ensure_budget();
+}
+
+void PagedStore::zero_all_grads() {
+  for (auto& [key, e] : entries_) {
+    if (resident(e)) {
+      if (e.slot.optimizer != nullptr) e.slot.optimizer->zero_grad();
+    } else {
+      e.drop_grads_on_load = true;
+    }
+  }
+}
+
+void PagedStore::set_priorities(
+    const std::vector<std::pair<ExpertKey, float>>& priorities) {
+  priority_.clear();
+  for (const auto& [key, p] : priorities) priority_[key] = p;
+}
+
+void PagedStore::prefetch(const std::vector<ExpertKey>& keys) {
+  for (const ExpertKey& key : keys) {
+    // Fill spare budget only: a prefetch must not evict a resident expert —
+    // the requests already queued behind the hint may still need it.
+    if (resident_count_ >= static_cast<std::size_t>(cfg_.budget)) return;
+    auto it = entries_.find(key);
+    if (it == entries_.end() || resident(it->second)) continue;
+    page_in(key, it->second, /*demand=*/false);
+    it->second.last_use = ++tick_;
+  }
+}
+
+StoreStats PagedStore::stats() const {
+  StoreStats s = stats_;
+  s.resident = resident_count_;
+  s.evictions = eviction_log_.size();
+  return s;
+}
+
+float PagedStore::priority_of(const ExpertKey& key) const {
+  auto it = priority_.find(key);
+  return it != priority_.end() ? it->second : 0.0f;
+}
+
+void PagedStore::page_in(const ExpertKey& key, Entry& e, bool demand) {
+  VELA_CHECK(!resident(e));
+  if (demand) ++stats_.misses;
+  e.slot = factory_(key);
+  if (e.disk_slot != DiskTable::kNoSlot) {
+    const std::vector<unsigned char> bytes = table_.read(e.disk_slot);
+    table_.free_slot(e.disk_slot);
+    e.disk_slot = DiskTable::kNoSlot;
+    unpack_paged_state(decode(bytes), *e.slot.expert, e.slot.optimizer.get());
+    stats_.page_in_bytes += bytes.size();
+    if (cfg_.meter != nullptr) cfg_.meter->record_page_in(bytes.size());
+    audit::ConservationLedger::instance().on_page_in(bytes.size());
+  }
+  if (e.drop_grads_on_load) {
+    if (e.slot.optimizer != nullptr) e.slot.optimizer->zero_grad();
+    e.drop_grads_on_load = false;
+  }
+  ++resident_count_;
+}
+
+void PagedStore::page_out(const ExpertKey& key, Entry& e) {
+  VELA_CHECK(resident(e) && e.pins == 0);
+  const PagedImage image =
+      pack_paged_state(*e.slot.expert, e.slot.optimizer.get());
+  if (image.header.size() > 0) {
+    const std::vector<unsigned char> bytes = encode(image);
+    e.disk_slot = table_.write(bytes.data(), bytes.size());
+    stats_.page_out_bytes += bytes.size();
+    if (cfg_.meter != nullptr) cfg_.meter->record_page_out(bytes.size());
+    audit::ConservationLedger::instance().on_page_out(bytes.size());
+  }
+  // else: a frozen expert IS its seed — drop it, the factory rebuilds it.
+  e.slot = ExpertSlot{};
+  --resident_count_;
+  eviction_log_.push_back(key);
+}
+
+void PagedStore::ensure_budget() {
+  while (resident_count_ > static_cast<std::size_t>(cfg_.budget)) {
+    // Victim = minimum of a total order over the unpinned residents; every
+    // policy breaks remaining ties on the key, so the choice is exact.
+    ExpertKey victim{};
+    Entry* victim_entry = nullptr;
+    for (auto& [key, e] : entries_) {
+      if (!resident(e) || e.pins > 0) continue;
+      if (victim_entry == nullptr) {
+        victim = key;
+        victim_entry = &e;
+        continue;
+      }
+      bool better = false;
+      switch (cfg_.policy) {
+        case EvictionPolicy::kLocality: {
+          const float pk = priority_of(key);
+          const float pv = priority_of(victim);
+          better = pk != pv ? pk < pv
+                            : (e.last_use != victim_entry->last_use
+                                   ? e.last_use < victim_entry->last_use
+                                   : key < victim);
+          break;
+        }
+        case EvictionPolicy::kLru:
+          better = e.last_use != victim_entry->last_use
+                       ? e.last_use < victim_entry->last_use
+                       : key < victim;
+          break;
+        case EvictionPolicy::kFifo:
+          better = e.install_seq < victim_entry->install_seq;
+          break;
+      }
+      if (better) {
+        victim = key;
+        victim_entry = &e;
+      }
+    }
+    if (victim_entry == nullptr) return;  // everything pinned: over-budget
+    page_out(victim, *victim_entry);
+  }
+}
+
+std::vector<unsigned char> PagedStore::encode(const PagedImage& image) const {
+  // u32 header floats | header (raw f32 — counts/flags must round-trip
+  // exactly) | u8 dtype | bulk (raw f32, or q8 codes + scales).
+  std::vector<unsigned char> out;
+  append_u32(out, static_cast<std::uint32_t>(image.header.size()));
+  const auto* hp = reinterpret_cast<const unsigned char*>(image.header.data());
+  out.insert(out.end(), hp, hp + image.header.size() * sizeof(float));
+  if (cfg_.dtype == StoreDtype::kQ8) {
+    out.push_back(kDtypeQ8);
+    const qblock::QTensor q = qblock::quantize(image.bulk);
+    append_u32(out, static_cast<std::uint32_t>(q.cols));
+    // The at-rest image concatenates the opaque qblock buffers verbatim;
+    // their byte layout stays owned by qblock::quantize/dequantize
+    // (DESIGN.md §15). vela-lint: allow(quant-buffer)
+    const auto* cp = reinterpret_cast<const unsigned char*>(q.codes.data());
+    out.insert(out.end(), cp, cp + q.codes.size());
+    append_u32(out, static_cast<std::uint32_t>(q.scales.size()));
+    // vela-lint: allow(quant-buffer)
+    const auto* sp = reinterpret_cast<const unsigned char*>(q.scales.data());
+    out.insert(out.end(), sp, sp + q.scales.size() * sizeof(float));
+  } else {
+    out.push_back(kDtypeFp32);
+    const auto* bp = reinterpret_cast<const unsigned char*>(image.bulk.data());
+    out.insert(out.end(), bp, bp + image.bulk.size() * sizeof(float));
+  }
+  return out;
+}
+
+PagedImage PagedStore::decode(const std::vector<unsigned char>& bytes) const {
+  PagedImage image;
+  std::size_t at = 0;
+  const std::uint32_t header_floats = take_u32(bytes, at);
+  VELA_CHECK_MSG(at + header_floats * sizeof(float) + 1 <= bytes.size(),
+                 "paged image truncated in header");
+  image.header = Tensor({header_floats});
+  std::memcpy(image.header.data(), bytes.data() + at,
+              header_floats * sizeof(float));
+  at += header_floats * sizeof(float);
+  const unsigned char dtype = bytes[at++];
+  if (dtype == kDtypeQ8) {
+    qblock::QTensor q;
+    q.rows = 1;
+    q.cols = take_u32(bytes, at);
+    q.block = qblock::kDefaultBlock;
+    VELA_CHECK_MSG(at + q.cols <= bytes.size(),
+                   "paged image truncated in q8 codes");
+    q.codes.resize(q.cols);
+    // Opaque qblock code bytes copied verbatim; layout stays owned by
+    // qblock. vela-lint: allow(quant-buffer, wire-memcpy)
+    std::memcpy(q.codes.data(), bytes.data() + at, q.cols);
+    at += q.cols;
+    const std::uint32_t n_scales = take_u32(bytes, at);
+    VELA_CHECK_MSG(n_scales == q.row_blocks() &&
+                       at + n_scales * sizeof(float) == bytes.size(),
+                   "paged image q8 scale section malformed");
+    q.scales.resize(n_scales);
+    // vela-lint: allow(quant-buffer)
+    std::memcpy(q.scales.data(), bytes.data() + at, n_scales * sizeof(float));
+    image.bulk = qblock::dequantize(q, /*rank1=*/true);
+  } else {
+    VELA_CHECK_MSG(dtype == kDtypeFp32, "paged image has unknown dtype "
+                                            << static_cast<int>(dtype));
+    VELA_CHECK_MSG((bytes.size() - at) % sizeof(float) == 0,
+                   "paged image bulk misaligned");
+    image.bulk = Tensor({(bytes.size() - at) / sizeof(float)});
+    std::memcpy(image.bulk.data(), bytes.data() + at,
+                image.bulk.size() * sizeof(float));
+  }
+  return image;
+}
+
+}  // namespace vela::store

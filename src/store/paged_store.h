@@ -1,0 +1,86 @@
+// PagedStore — the bounded-memory ExpertStore backend (DESIGN.md §15).
+//
+// At most `budget` experts are resident; the rest exist as paged images in
+// an mmap-backed DiskTable. pin() pages a cold expert in on demand (frozen
+// bases rebuild from the seed via the SlotFactory; the image restores
+// adapters, accumulated gradients, AdamW moments and LR on top), and unpin()
+// triggers eviction back down to the budget. Pinned experts are never
+// evicted — transient over-budget is allowed when every resident expert is
+// pinned, because evicting a live autograd tape's parameters would be
+// unsound.
+//
+// Eviction is deterministic: victims are chosen by a total order (locality
+// priority / recency / install order, each with exact key tie-breaks) over
+// logical counters, never wall-clock time, and all bookkeeping runs on the
+// owning runtime's thread. Page-in/page-out byte flows feed the
+// TrafficMeter's paging series and the audit ledger's informational paging
+// counters; they are never charged as network traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "store/disk_table.h"
+#include "store/expert_store.h"
+
+namespace vela::store {
+
+class PagedStore final : public ExpertStore {
+ public:
+  // `config` must be resolved and bounded (budget > 0).
+  PagedStore(const StoreConfig& config, SlotFactory factory);
+
+  bool bounded() const override { return true; }
+  bool contains(const ExpertKey& key) const override;
+  std::size_t size() const override;
+  std::vector<ExpertKey> keys() const override;
+  void emplace(const ExpertKey& key) override;
+  void erase(const ExpertKey& key) override;
+  void clear() override;
+  ExpertSlot& pin(const ExpertKey& key) override;
+  void unpin(const ExpertKey& key) override;
+  void zero_all_grads() override;
+  void set_priorities(const std::vector<std::pair<ExpertKey, float>>&
+                          priorities) override;
+  void prefetch(const std::vector<ExpertKey>& keys) override;
+  StoreStats stats() const override;
+
+  // Every eviction in order — tests pin the determinism of this sequence,
+  // the bench derives thrash metrics from it.
+  const std::vector<ExpertKey>& eviction_log() const { return eviction_log_; }
+  const StoreConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    ExpertSlot slot;  // resident iff slot.expert != nullptr
+    int pins = 0;
+    std::uint64_t last_use = 0;     // logical tick of the latest pin
+    std::uint64_t install_seq = 0;  // FIFO order
+    // Set by zero_all_grads() for spilled entries: their image carries
+    // gradients the abort discarded, so drop them at the next page-in.
+    bool drop_grads_on_load = false;
+    std::uint32_t disk_slot = DiskTable::kNoSlot;
+  };
+
+  bool resident(const Entry& e) const { return e.slot.expert != nullptr; }
+  void page_in(const ExpertKey& key, Entry& e, bool demand);
+  void page_out(const ExpertKey& key, Entry& e);
+  void ensure_budget();
+  float priority_of(const ExpertKey& key) const;
+  std::vector<unsigned char> encode(const PagedImage& image) const;
+  PagedImage decode(const std::vector<unsigned char>& bytes) const;
+
+  StoreConfig cfg_;
+  SlotFactory factory_;
+  DiskTable table_;
+  std::map<ExpertKey, Entry> entries_;
+  std::map<ExpertKey, float> priority_;
+  std::size_t resident_count_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t installs_ = 0;
+  StoreStats stats_;
+  std::vector<ExpertKey> eviction_log_;
+};
+
+}  // namespace vela::store

@@ -1,0 +1,26 @@
+// Named-tensor container I/O — the checkpoint file format.
+//
+// Moved from core/checkpoint so that every raw file access in the library
+// lives in the store layer (the vela_lint raw-file-io rule enforces this);
+// core/checkpoint.h re-exports the names, so checkpoint call sites are
+// unchanged. Format (little-endian binary):
+//
+//   magic "VELACKPT" | u32 version | u64 entry count |
+//   per entry: u32 name length | name bytes | u64 element count | f32 data
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vela::store {
+
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+// Low-level container I/O. Throws CheckError on malformed files.
+void save_named_tensors(const std::string& path, const NamedTensors& tensors);
+NamedTensors load_named_tensors(const std::string& path);
+
+}  // namespace vela::store

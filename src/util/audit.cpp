@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -69,6 +70,11 @@ namespace {
 struct LockGraphState {
   std::mutex mutex;
   std::map<const AuditedMutex*, std::set<const AuditedMutex*>> edges;
+  // Owns every per-thread held-stack ever handed out, so the stacks stay
+  // reachable from this (intentionally leaked) static after their thread
+  // exits — leak checkers stay quiet and teardown order cannot dangle them.
+  // Bounded by the number of auditing threads the process ever starts.
+  std::vector<std::unique_ptr<std::vector<const AuditedMutex*>>> held_stacks;
 };
 
 LockGraphState& graph_state() {
@@ -77,15 +83,19 @@ LockGraphState& graph_state() {
 }
 
 // Per-thread stack of currently held audited mutexes, in acquisition order.
-// A leaked pointer TLS, not a plain thread_local vector: the vector's
+// A non-owning pointer TLS, not a plain thread_local vector: the vector's
 // destructor would run at TLS teardown, but atexit-destroyed statics (the
-// global ThreadPool) still lock AuditedMutexes after that point.
+// global ThreadPool) still lock AuditedMutexes after that point. The graph
+// state owns the storage.
 thread_local std::vector<const AuditedMutex*>* t_held = nullptr;
 
 std::vector<const AuditedMutex*>& held_stack() {
   if (t_held == nullptr) {
-    // One small vector per auditing thread, reclaimed at process exit.
-    t_held = new std::vector<const AuditedMutex*>();  // vela-lint: allow(naked-new)
+    LockGraphState& state = graph_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.held_stacks.push_back(
+        std::make_unique<std::vector<const AuditedMutex*>>());
+    t_held = state.held_stacks.back().get();
   }
   return *t_held;
 }
@@ -160,10 +170,13 @@ void LockOrderGraph::forget(const AuditedMutex* m) {
 }
 
 void LockOrderGraph::reset_for_testing() {
+  // Materialize this thread's stack BEFORE taking the graph mutex —
+  // held_stack() locks it to register a fresh stack.
+  std::vector<const AuditedMutex*>& held = held_stack();
   LockGraphState& state = graph_state();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.edges.clear();
-  held_stack().clear();
+  held.clear();
 }
 
 std::size_t LockOrderGraph::edge_count() const {
@@ -217,6 +230,8 @@ struct LedgerState {
   std::uint64_t retransmit = 0;
   std::uint64_t session_replays = 0;
   std::uint64_t session_replay_bytes = 0;
+  std::uint64_t page_out_bytes = 0;
+  std::uint64_t page_in_bytes = 0;
 };
 
 LedgerState& ledger_state() {
@@ -273,6 +288,32 @@ void ConservationLedger::on_session_replay(std::uint64_t physical_bytes) {
   ++state.session_replays;
   state.session_replay_bytes += physical_bytes;
 }
+void ConservationLedger::on_page_out(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  // Paging is disk traffic, below the wire-accounting boundary: like
+  // session replays these counters stay OUTSIDE the conservation balance.
+  // Their own invariant (in <= out) is enforced in on_page_in.
+  state.page_out_bytes += bytes;
+}
+void ConservationLedger::on_page_in(std::uint64_t bytes) {
+  LedgerState& state = ledger_state();
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.page_in_bytes += bytes;
+    in = state.page_in_bytes;
+    out = state.page_out_bytes;
+  }
+  if (enabled() && in > out) {
+    std::ostringstream oss;
+    oss << "expert store read back " << in << " paged bytes but only " << out
+        << " were ever written; the on-disk table is feeding bytes that were "
+           "never spilled";
+    fail("paging", oss.str());
+  }
+}
 
 void ConservationLedger::on_posted_enqueued(std::uint64_t bytes) {
   LedgerState& state = ledger_state();
@@ -314,6 +355,8 @@ ConservationLedger::Snapshot ConservationLedger::snapshot() const {
   snap.retransmit = state.retransmit;
   snap.session_replays = state.session_replays;
   snap.session_replay_bytes = state.session_replay_bytes;
+  snap.page_out_bytes = state.page_out_bytes;
+  snap.page_in_bytes = state.page_in_bytes;
   return snap;
 }
 
@@ -343,6 +386,8 @@ void ConservationLedger::reset_for_testing() {
   state.retransmit = 0;
   state.session_replays = 0;
   state.session_replay_bytes = 0;
+  state.page_out_bytes = 0;
+  state.page_in_bytes = 0;
 }
 
 }  // namespace vela::audit

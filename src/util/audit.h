@@ -140,6 +140,13 @@ class ConservationLedger {
   // exactly once: the receiver's sequence dedupe keeps a replayed frame
   // from ever reaching `delivered` twice.
   void on_session_replay(std::uint64_t physical_bytes);
+  // Expert-store paging (DESIGN.md §15): bytes spilled to / reloaded from
+  // the on-disk expert table. Disk traffic, not wire traffic — informational
+  // counters OUTSIDE the conservation balance, but checked for their own
+  // invariant: every byte paged in was paged out first (in <= out), so a
+  // page-in that reads more than the store ever wrote trips the audit.
+  void on_page_out(std::uint64_t bytes);
+  void on_page_in(std::uint64_t bytes);
 
   // Compound transitions (single critical section each) for the channel
   // hot paths — see the ordering contract above.
@@ -158,6 +165,8 @@ class ConservationLedger {
     std::uint64_t retransmit = 0;
     std::uint64_t session_replays = 0;
     std::uint64_t session_replay_bytes = 0;
+    std::uint64_t page_out_bytes = 0;
+    std::uint64_t page_in_bytes = 0;
     std::uint64_t in_flight() const { return enqueued - dequeued; }
     bool balanced() const {
       return posted == delivered + dropped + in_flight() &&

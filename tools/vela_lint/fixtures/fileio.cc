@@ -1,0 +1,22 @@
+// Seeded raw-file-io violations. The self-test lints this source under a
+// synthetic src/ path (the rule only scopes to production src/ code); it
+// lives in its own fixture so the violations.cc line pins never shift.
+#include <cstdio>
+#include <fstream>
+#include <sys/mman.h>
+#include <unistd.h>
+
+void spill_bytes(const char* path) {
+  std::ofstream out(path);
+  std::ifstream in(path);
+  FILE* f = std::fopen(path, "rb");
+  (void)f;
+  const int fd = ::open(path, 0);
+  void* m = mmap(nullptr, 16, 0, 0, fd, 0);
+  munmap(m, 16);
+  ftruncate(fd, 0);
+}
+
+// The sanctioned escape hatch: a shim that is being migrated to the store.
+// vela-lint: allow(raw-file-io)
+std::fstream legacy_handle(const char* path);

@@ -543,6 +543,64 @@ void rule_quant_buffer(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// --- rule: raw-file-io -----------------------------------------------------
+
+// On-disk bytes have exactly two legitimate owners inside src/: the store
+// layer (paged expert tables, checkpoint tensor files — DESIGN.md §15) and
+// util's emitters (CSV, logging). Raw file access anywhere else grows a
+// private on-disk format with no torn-write or checksum discipline and no
+// fault-injection seam; it goes through store::DiskTable / the store tensor
+// files / a util emitter, or carries an allow() rationale. Tests, bench
+// harnesses, and tools read and write files freely.
+bool is_stream_type_name(const std::string& t) {
+  return t == "ifstream" || t == "ofstream" || t == "fstream" ||
+         t == "basic_ifstream" || t == "basic_ofstream" ||
+         t == "basic_fstream";
+}
+
+bool is_posix_file_call(const std::string& t) {
+  return t == "fopen" || t == "freopen" || t == "fdopen" || t == "mmap" ||
+         t == "munmap" || t == "msync" || t == "ftruncate";
+}
+
+void rule_raw_file_io(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Finding>* findings) {
+  if (path.find("src/") == std::string::npos) return;
+  if (path.find("src/store/") != std::string::npos) return;
+  if (path.find("src/util/") != std::string::npos) return;
+  if (is_test_file(path)) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    // `#include <fstream>` names the header, not a use.
+    if (i >= 2 && is_tok(toks[i - 1], "<") && toks[i - 2].text == "include")
+      continue;
+    std::string what;
+    if (is_stream_type_name(t)) {
+      what = "std::" + t;
+    } else if (is_posix_file_call(t) && i + 1 < toks.size() &&
+               is_tok(toks[i + 1], "(") &&
+               (i == 0 || (toks[i - 1].text != "." &&
+                           toks[i - 1].text != "->"))) {
+      what = t + "()";
+    } else if (t == "open" && i >= 1 && i + 1 < toks.size() &&
+               is_tok(toks[i + 1], "(") && is_tok(toks[i - 1], "::") &&
+               (i == 1 || toks[i - 2].kind != TokenKind::kIdentifier)) {
+      // Global-qualified `::open(` only; `stream.open(` and namespace-
+      // qualified calls are someone else's API.
+      what = "::open()";
+    }
+    if (what.empty()) continue;
+    findings->push_back(
+        {"raw-file-io", path, toks[i].line,
+         "raw file I/O (" + what +
+             ") outside src/store and src/util: on-disk formats are owned by "
+             "the store layer (DESIGN.md §15) — route bytes through "
+             "store::DiskTable / the store tensor files or a util emitter, "
+             "or carry an allow() rationale"});
+  }
+}
+
 // include-hygiene: `#include` of a .cpp/.cc/.cxx file splices one
 // translation unit into another — ODR violations, double-compiled statics,
 // and headers that only compile because their includer dragged in the
@@ -596,7 +654,7 @@ const std::vector<std::string>& all_rules() {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
       "direct-transport",    "naked-clock",    "quant-buffer",
-      "include-hygiene",
+      "raw-file-io",         "include-hygiene",
   };
   return kRules;
 }
@@ -620,6 +678,7 @@ std::vector<Finding> lint_file(const std::string& path,
   rule_direct_transport(path, lexed.tokens, &findings);
   rule_naked_clock(path, lexed.tokens, &findings);
   rule_quant_buffer(path, lexed.tokens, &findings);
+  rule_raw_file_io(path, lexed.tokens, &findings);
   rule_include_hygiene(path, source, &findings);
 
   // Apply suppressions: an allowance on the finding's line or the line

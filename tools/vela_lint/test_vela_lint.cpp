@@ -380,14 +380,66 @@ const Q8Block* peek(const unsigned char* wire) {
             1u);
 }
 
+TEST(VelaLintFixtures, RawFileIoSeededViolations) {
+  // The rule scopes to production src/ paths, so the fixture source is
+  // linted under a synthetic one: streams (10, 11), fopen (12), global
+  // ::open (14), and the mmap family (15-17) are flagged; the allow()'d
+  // legacy shim (22) is downgraded.
+  const std::string src = read_file(fixture_path("fileio.cc"));
+  const auto findings = lint_file("src/moe/fileio.cc", src);
+  EXPECT_EQ(unsuppressed_lines(findings, "raw-file-io"),
+            (std::set<std::size_t>{10, 11, 12, 14, 15, 16, 17}));
+  bool saw_suppressed = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "raw-file-io" && f.suppressed && f.line == 22) {
+      saw_suppressed = true;
+    }
+  }
+  EXPECT_TRUE(saw_suppressed);
+}
+
+TEST(VelaLintRules, RawFileIoScopedToNonStoreSrc) {
+  const std::string src = R"src(
+#include <fstream>
+void dump(const char* path) { std::ofstream out(path); (void)out; }
+)src";
+  // The store and util layers own the file seams; tests, bench harnesses,
+  // and tools are out of scope entirely.
+  EXPECT_EQ(unsuppressed_lines(lint_file("src/moe/trace.cpp", src),
+                               "raw-file-io")
+                .size(),
+            1u);
+  EXPECT_TRUE(lint_file("src/store/disk_table.cpp", src).empty());
+  EXPECT_TRUE(lint_file("src/util/csv.h", src).empty());
+  EXPECT_TRUE(lint_file("tests/test_offload.cpp", src).empty());
+  EXPECT_TRUE(lint_file("bench/bench_micro.cpp", src).empty());
+  EXPECT_TRUE(lint_file("tools/vela_launch.cpp", src).empty());
+}
+
+TEST(VelaLintRules, RawFileIoIgnoresMembersAndIncludes) {
+  // `stream.open(...)` is someone else's API, `#include <fstream>` names a
+  // header, and a namespace-qualified open() is not the POSIX call.
+  const std::string src = R"src(
+#include <fstream>
+struct Table { void open(const char* p); };
+void use(Table& t, const char* p) {
+  t.open(p);
+  Table* tp = &t;
+  tp->open(p);
+  io::open(p);
+}
+)src";
+  EXPECT_TRUE(lint_file("src/core/master.cpp", src).empty());
+}
+
 TEST(VelaLintRules, AllRulesListedAndStable) {
   const auto& rules = vela::lint::all_rules();
-  EXPECT_EQ(rules.size(), 10u);
+  EXPECT_EQ(rules.size(), 11u);
   const std::set<std::string> expected = {
       "unordered-iteration", "naked-new",      "wire-memcpy",
       "manual-lock",         "float-equality", "nodiscard-wire",
       "direct-transport",    "naked-clock",    "quant-buffer",
-      "include-hygiene"};
+      "raw-file-io",         "include-hygiene"};
   EXPECT_EQ(std::set<std::string>(rules.begin(), rules.end()), expected);
 }
 
